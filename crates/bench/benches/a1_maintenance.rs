@@ -1,0 +1,72 @@
+//! A1 (ablation, beyond the paper) — incremental maintenance of the
+//! materialized model vs. recomputation per update.
+//!
+//! The paper's checkers never materialize the updated state (the
+//! overlay engine simulates it); a resident deductive database that
+//! *does* keep its canonical model materialized wants the counting
+//! algorithm instead of recomputing after every accepted update. This
+//! ablation quantifies that choice on the org workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_datalog::{MaintainedModel, Model, Update};
+use uniform_logic::Fact;
+use uniform_workload as workload;
+
+/// An accepted-update stream: hire/fire subordinates in existing
+/// departments (keeps the workload consistent and the churn derived).
+fn stream(n_depts: usize, count: usize) -> Vec<Update> {
+    (0..count)
+        .map(|i| {
+            let d = i % n_depts;
+            let f = Fact::parse_like("subordinate", &[&format!("x{i}"), &format!("m{d}")]);
+            if i % 2 == 0 {
+                Update::insert(f)
+            } else {
+                Update::delete(Fact::parse_like(
+                    "subordinate",
+                    &[&format!("x{}", i - 1), &format!("m{d}")],
+                ))
+            }
+        })
+        .collect()
+}
+
+fn bench_a1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_maintenance");
+    const UPDATES: usize = 64;
+    for &n in &[8usize, 32, 128] {
+        let db = workload::org(n, 8);
+        let updates = stream(n, UPDATES);
+
+        group.bench_with_input(BenchmarkId::new("maintained", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = MaintainedModel::new(db.facts().clone(), db.rules().clone());
+                let mut flips = 0usize;
+                for u in &updates {
+                    flips += m.apply(u).len();
+                }
+                (m.model().len(), flips)
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("recompute", n), &n, |b, _| {
+            b.iter(|| {
+                let mut edb = db.facts().clone();
+                let mut size = 0usize;
+                for u in &updates {
+                    u.apply(&mut edb);
+                    size = Model::compute(&edb, db.rules()).len();
+                }
+                size
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_a1
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E1 — §6: "the time saved by the reduction techniques of the integrity
+//! maintenance method is significant as soon as base relations contain a
+//! few dozen of tuples."
+//!
+//! Simplified-instance checking (two-phase method) vs. full constraint
+//! re-evaluation, sweeping the base-relation size. The expected shape:
+//! two-phase time is flat in |relation|, full re-check grows linearly,
+//! with the crossover well below 100 tuples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{full_recheck, Checker};
+use uniform_workload as workload;
+
+fn bench_e1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_reduction");
+    for &n in &[4usize, 16, 64, 256, 1024, 4096] {
+        let db = workload::university(n);
+        db.model(); // warm the materialized current state
+        let checker = Checker::new(&db);
+        let tx = workload::university_good_tx(0);
+
+        group.bench_with_input(BenchmarkId::new("two_phase", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = checker.check(&tx);
+                assert!(rep.satisfied);
+                rep.stats.instances_evaluated
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_recheck", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = full_recheck(&db, &tx);
+                assert!(rep.satisfied);
+                rep.stats.instances_evaluated
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_e1
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E2 — §3.2 on Lloyd–Topor 86: "Instead of evaluating expressions of
+//! the form ¬delta(U,L) ∨ new(U,s(C)), they evaluate formulas
+//! corresponding to ¬new(U,L) ∨ new(U,s(C)) … The resulting loss in
+//! efficiency is often considerable."
+//!
+//! Workload: the nonground trigger `r(X)` is affected by the update but
+//! none of its `n` instances actually changes. `delta` enumerates 0
+//! instances, `new` enumerates all `n`. Expected shape: two-phase flat,
+//! Lloyd–Topor linear in `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{lloyd_topor_check, Checker};
+use uniform_workload as workload;
+
+fn bench_e2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_delta_vs_new");
+    for &n in &[8usize, 32, 128, 512, 2048] {
+        let (db, tx) = workload::unchanged_rule_instances(n);
+        db.model();
+        let checker = Checker::new(&db);
+
+        group.bench_with_input(BenchmarkId::new("delta_guarded", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = checker.check(&tx);
+                assert!(rep.satisfied);
+                assert_eq!(rep.stats.instances_evaluated, 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("new_guarded_lloyd_topor", n), &n, |b, _| {
+            b.iter(|| {
+                let rep = lloyd_topor_check(&db, &tx);
+                assert!(rep.satisfied);
+                assert_eq!(rep.stats.delta.answers, n);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_e2
+}
+criterion_main!(benches);

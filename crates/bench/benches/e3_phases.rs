@@ -1,0 +1,45 @@
+//! E3 — §3.2 drawback 1 of interleaved methods: "all induced updates are
+//! computed, even those for which no constraint is relevant. This is for
+//! example the case with an update p(a,b) in presence of the deduction
+//! rule r(X) ← q(X,Y) ∧ p(Y,Z) if the predicate r does not occur
+//! positively in any constraint. The overhead is considerable if there
+//! are a lot of q(X,a)-facts."
+//!
+//! Exactly that workload. Expected shape: two-phase flat in the number
+//! of q-facts (no update constraint has an r trigger), interleaved
+//! linear.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{interleaved_check, Checker};
+use uniform_workload as workload;
+
+fn bench_e3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_phases");
+    for &q in &[16usize, 64, 256, 1024, 8192] {
+        let (db, tx) = workload::irrelevant_induction(q);
+        db.model();
+        let checker = Checker::new(&db);
+
+        group.bench_with_input(BenchmarkId::new("two_phase", q), &q, |b, _| {
+            b.iter(|| {
+                let rep = checker.check(&tx);
+                assert!(rep.satisfied);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("interleaved", q), &q, |b, _| {
+            b.iter(|| {
+                let rep = interleaved_check(&db, &tx);
+                assert!(rep.satisfied);
+                assert_eq!(rep.stats.delta.answers, q + 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_e3
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E4 — §3.2 drawback 2: "evaluating all simplified instances
+//! independently of each other prevents from applying certain
+//! optimizations that a global evaluation would permit. Especially the
+//! detection of redundant subqueries…" (the student/enrolled/attends
+//! example).
+//!
+//! A transaction of k new students produces, per student, one instance
+//! via the explicit `student` trigger and an identical one via the
+//! induced `enrolled` trigger. Shared (global) evaluation recognizes the
+//! duplicates; independent evaluation pays twice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{CheckOptions, Checker};
+use uniform_workload as workload;
+
+fn bench_e4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_subquery_sharing");
+    const COURSES: usize = 24;
+    let db = workload::shared_subquery_university(256, COURSES);
+    db.model();
+    let shared = Checker::new(&db);
+    let unshared = Checker::with_options(
+        &db,
+        CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+    );
+
+    for &k in &[1usize, 4, 16, 64] {
+        let tx = workload::shared_subquery_tx(k, COURSES);
+        group.bench_with_input(BenchmarkId::new("global_shared", k), &k, |b, _| {
+            b.iter(|| {
+                let rep = shared.check(&tx);
+                assert!(rep.satisfied);
+                assert!(rep.stats.subquery_memo_hits > 0);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("independent", k), &k, |b, _| {
+            b.iter(|| {
+                let rep = unshared.check(&tx);
+                assert!(rep.satisfied);
+                assert_eq!(rep.stats.subquery_memo_hits, 0);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_e4
+}
+criterion_main!(benches);

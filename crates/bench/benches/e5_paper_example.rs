@@ -1,0 +1,43 @@
+//! E5 — §5: the worked example. Refuting the original constraint set and
+//! finding the finite model of the repaired one, with the paper's search
+//! order.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use uniform_satisfiability::problems::{paper_example, paper_example_repaired};
+use uniform_satisfiability::{SatOptions, SatOutcome};
+
+fn bench_e5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_paper_example");
+
+    let original = paper_example();
+    group.bench_function("refute_original", |b| {
+        b.iter(|| {
+            let rep = original.checker().check();
+            assert_eq!(rep.outcome, SatOutcome::Unsatisfiable);
+            rep.stats.enforcement_steps
+        })
+    });
+    group.bench_function("refute_original_paper_options", |b| {
+        b.iter(|| {
+            let rep = original.checker_with(SatOptions::paper()).check();
+            assert_eq!(rep.outcome, SatOutcome::Unsatisfiable);
+        })
+    });
+
+    let repaired = paper_example_repaired();
+    group.bench_function("model_repaired", |b| {
+        b.iter(|| {
+            let rep = repaired.checker().check();
+            assert!(rep.outcome.is_satisfiable());
+            rep.stats.assertions
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_e5
+}
+criterion_main!(benches);

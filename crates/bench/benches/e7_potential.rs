@@ -1,0 +1,68 @@
+//! E7 — §3.3.1: potential-update computation. Subsumption keeps the set
+//! finite on recursive rules and small on long derivation chains; the
+//! whole phase runs without any fact access, so its cost is the
+//! compile-time price of the method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::potential_updates;
+use uniform_logic::{parse_literal, parse_rule, Rule};
+use uniform_datalog::RuleSet;
+
+fn chain_rules(k: usize) -> RuleSet {
+    let mut rules: Vec<Rule> = Vec::with_capacity(k);
+    for i in 0..k {
+        rules.push(parse_rule(&format!("lvl{}(X) :- lvl{i}(X).", i + 1)).unwrap());
+    }
+    RuleSet::new(rules).unwrap()
+}
+
+fn recursive_rules() -> RuleSet {
+    RuleSet::new(vec![
+        parse_rule("tc(X,Y) :- edge(X,Y).").unwrap(),
+        parse_rule("tc(X,Z) :- tc(X,Y), tc(Y,Z).").unwrap(),
+        parse_rule("sg(X,X) :- person(X).").unwrap(),
+        parse_rule("sg(X,Y) :- parent(PX,X), sg(PX,PY), parent(PY,Y).").unwrap(),
+    ])
+    .unwrap()
+}
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_potential");
+
+    for &k in &[4usize, 16, 64, 256] {
+        let rules = chain_rules(k);
+        let seed = parse_literal("lvl0(a)").unwrap();
+        group.bench_with_input(BenchmarkId::new("chain", k), &k, |b, &k| {
+            b.iter(|| {
+                let p = potential_updates(&rules, &seed, 100_000);
+                assert!(!p.truncated);
+                assert_eq!(p.literals.len(), k + 1);
+                p.steps
+            })
+        });
+    }
+
+    let rules = recursive_rules();
+    for seed_src in ["edge(a,b)", "not edge(a,b)", "parent(a,b)"] {
+        let seed = parse_literal(seed_src).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("recursive", seed_src),
+            &seed,
+            |b, seed| {
+                b.iter(|| {
+                    let p = potential_updates(&rules, seed, 100_000);
+                    assert!(!p.truncated, "subsumption must terminate the closure");
+                    p.literals.len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_e7
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! E8 — §3.2: "Rule Updates can be treated like conditional Updates."
+//!
+//! Adding or removing a deduction rule is checked incrementally: the
+//! potential-update closure is seeded with the rule's head, so only
+//! constraints relevant to what the rule can derive are compiled and
+//! evaluated. The baseline is what a system without the method must do —
+//! re-evaluate the *whole* constraint set on the candidate state.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{RuleUpdate, RuleUpdateChecker};
+use uniform_logic::parse_rule;
+use uniform_datalog::Database;
+use uniform_workload as workload;
+
+fn full_recheck(db: &Database, update: &RuleUpdate) -> bool {
+    match update.rules_after(db.rules()).expect("stratified") {
+        None => true,
+        Some(rules) => {
+            let mut candidate = db.clone();
+            candidate.set_rules(rules);
+            candidate.violated_constraints().is_empty()
+        }
+    }
+}
+
+fn bench_e8(c: &mut Criterion) {
+    let update = RuleUpdate::Add(parse_rule("loud(X) :- speaker(X).").unwrap());
+
+    // Sweep the EDB size at a fixed number of irrelevant constraints.
+    let mut group = c.benchmark_group("e8_edb_sweep");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let db = workload::rule_update_workload(n, 8, 8);
+        db.model(); // warm the cached current model, as in steady state
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let checker = RuleUpdateChecker::new(&db);
+            b.iter(|| {
+                let report = checker.check(&update).unwrap();
+                assert!(report.satisfied);
+                report.stats.instances_evaluated
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_recheck", n), &n, |b, _| {
+            b.iter(|| assert!(full_recheck(&db, &update)))
+        });
+    }
+    group.finish();
+
+    // Sweep the number of irrelevant constraints at a fixed EDB.
+    let mut group = c.benchmark_group("e8_constraint_sweep");
+    for &k in &[1usize, 4, 16, 64] {
+        let db = workload::rule_update_workload(512, k, 8);
+        db.model();
+        group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, _| {
+            let checker = RuleUpdateChecker::new(&db);
+            b.iter(|| assert!(checker.check(&update).unwrap().satisfied))
+        });
+        group.bench_with_input(BenchmarkId::new("full_recheck", k), &k, |b, _| {
+            b.iter(|| assert!(full_recheck(&db, &update)))
+        });
+    }
+    group.finish();
+
+    // Rule removal, same shape: the head seeds a deletion closure.
+    let mut group = c.benchmark_group("e8_removal");
+    for &n in &[256usize, 1024] {
+        let mut db = workload::rule_update_workload(n, 8, 8);
+        db.set_rules(
+            uniform_datalog::RuleSet::new(vec![parse_rule("loud(X) :- speaker(X).").unwrap()])
+                .unwrap(),
+        );
+        db.model();
+        let removal = RuleUpdate::Remove(parse_rule("loud(X) :- speaker(X).").unwrap());
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let checker = RuleUpdateChecker::new(&db);
+            b.iter(|| assert!(checker.check(&removal).unwrap().satisfied))
+        });
+        group.bench_with_input(BenchmarkId::new("full_recheck", n), &n, |b, _| {
+            b.iter(|| assert!(full_recheck(&db, &removal)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_e8
+);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! E9 — §6: "evaluation can fully benefit from query optimization
+//! techniques" / "optimization methods for general formulas seem to be
+//! desirable."
+//!
+//! Two ablations of the evaluation phase:
+//!
+//! * **goal-directed vs. materialize-everything** on recursive rules —
+//!   the magic-sets rewrite derives only goal-relevant facts, the full
+//!   canonical model derives the quadratic closure;
+//! * **general-formula optimizer on/off** — reordering a disjunction so
+//!   the cheap ground disjunct short-circuits the expensive existential
+//!   join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_integrity::{CheckOptions, Checker};
+use uniform_logic::{parse_literal, Atom};
+use uniform_datalog::{answer_goal_magic, Model, Transaction, Update};
+use uniform_workload as workload;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_goal_directed");
+    for &n in &[32usize, 128, 512] {
+        let db = workload::tc_chain(n);
+        let goal = Atom::parse_like("tc", &["n0", "V"]);
+        group.bench_with_input(BenchmarkId::new("magic", n), &n, |b, &n| {
+            b.iter(|| {
+                let r = answer_goal_magic(db.facts(), db.rules(), &goal).unwrap();
+                assert_eq!(r.answers.len(), n - 1);
+                r.derived_facts
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("materialize", n), &n, |b, &n| {
+            b.iter(|| {
+                let model = Model::compute(db.facts(), db.rules());
+                let hits = model
+                    .iter()
+                    .filter(|f| f.pred == uniform_logic::Sym::new("tc"))
+                    .filter(|f| f.args[0] == uniform_logic::Sym::new("n0"))
+                    .count();
+                assert_eq!(hits, n - 1);
+                model.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_formula_optimizer");
+    let tx = Transaction::single(
+        Update::from_literal(&parse_literal("p(a0)").unwrap()).unwrap(),
+    );
+    for &n in &[64usize, 256, 1024, 4096] {
+        let db = workload::optimizer_workload(n);
+        db.model();
+        group.bench_with_input(BenchmarkId::new("as_written", n), &n, |b, _| {
+            let checker = Checker::new(&db);
+            b.iter(|| assert!(checker.check(&tx).satisfied))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            let checker = Checker::with_options(
+                &db,
+                CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+            );
+            b.iter(|| assert!(checker.check(&tx).satisfied))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_engines, bench_optimizer
+);
+criterion_main!(benches);

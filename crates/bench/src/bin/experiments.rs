@@ -1,0 +1,410 @@
+//! Regenerate every experiment table of EXPERIMENTS.md in one run:
+//!
+//! ```sh
+//! cargo run --release -p uniform-bench --bin experiments
+//! ```
+//!
+//! Unlike the Criterion benches (high-precision timing of single
+//! operations), this binary prints the *shape* tables that correspond to
+//! the paper's claims: who wins, by what factor, where crossovers fall,
+//! and the search-statistics comparisons for the satisfiability part.
+
+use std::time::{Duration, Instant};
+use uniform_integrity::{
+    full_recheck, interleaved_check, lloyd_topor_check, CheckOptions, Checker,
+};
+use uniform_satisfiability::{problems, SatOptions, SatOutcome};
+use uniform_workload as workload;
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+fn time<R>(reps: usize, mut f: impl FnMut() -> R) -> Duration {
+    // Warm-up.
+    f();
+    median(
+        (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .collect(),
+    )
+}
+
+fn us(d: Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1e6)
+}
+
+fn e1() {
+    println!("## E1 — simplified instances vs. full re-check (µs per accepted 3-fact tx)\n");
+    println!("| |student| | two-phase | full re-check | ratio |");
+    println!("|---|---|---|---|");
+    for &n in &[4usize, 16, 64, 256, 1024, 4096] {
+        let db = workload::university(n);
+        db.model();
+        let checker = Checker::new(&db);
+        let tx = workload::university_good_tx(0);
+        let t_two = time(9, || assert!(checker.check(&tx).satisfied));
+        let t_full = time(9, || assert!(full_recheck(&db, &tx).satisfied));
+        println!(
+            "| {n} | {} | {} | {:.1}x |",
+            us(t_two),
+            us(t_full),
+            t_full.as_secs_f64() / t_two.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn e2() {
+    println!("## E2 — delta-guarded vs. new-guarded (Lloyd–Topor) triggers (µs)\n");
+    println!("| unchanged r-instances | delta (ours) | new (LT) | LT instance evals | ratio |");
+    println!("|---|---|---|---|---|");
+    for &n in &[8usize, 32, 128, 512, 2048] {
+        let (db, tx) = workload::unchanged_rule_instances(n);
+        db.model();
+        let checker = Checker::new(&db);
+        let t_delta = time(9, || assert!(checker.check(&tx).satisfied));
+        let lt_evals = lloyd_topor_check(&db, &tx).stats.instances_evaluated;
+        let t_lt = time(9, || assert!(lloyd_topor_check(&db, &tx).satisfied));
+        println!(
+            "| {n} | {} | {} | {lt_evals} | {:.1}x |",
+            us(t_delta),
+            us(t_lt),
+            t_lt.as_secs_f64() / t_delta.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn e3() {
+    println!("## E3 — two-phase vs. interleaved on irrelevant induced updates (µs)\n");
+    println!("| q-facts | two-phase | interleaved | induced updates computed | ratio |");
+    println!("|---|---|---|---|---|");
+    for &q in &[16usize, 64, 256, 1024, 8192] {
+        let (db, tx) = workload::irrelevant_induction(q);
+        db.model();
+        let checker = Checker::new(&db);
+        let t_two = time(9, || assert!(checker.check(&tx).satisfied));
+        let induced = interleaved_check(&db, &tx).stats.delta.answers;
+        let t_inter = time(9, || assert!(interleaved_check(&db, &tx).satisfied));
+        println!(
+            "| {q} | {} | {} | {induced} | {:.1}x |",
+            us(t_two),
+            us(t_inter),
+            t_inter.as_secs_f64() / t_two.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn e4() {
+    println!("## E4 — global (shared) vs. independent instance evaluation (µs)\n");
+    println!("| tx size (students) | shared | independent | subquery memo hits | ratio |");
+    println!("|---|---|---|---|---|");
+    const COURSES: usize = 24;
+    let db = workload::shared_subquery_university(256, COURSES);
+    db.model();
+    let shared = Checker::new(&db);
+    let unshared = Checker::with_options(
+        &db,
+        CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+    );
+    for &k in &[1usize, 4, 16, 64] {
+        let tx = workload::shared_subquery_tx(k, COURSES);
+        let rep_s = shared.check(&tx);
+        let t_s = time(9, || assert!(shared.check(&tx).satisfied));
+        let t_u = time(9, || assert!(unshared.check(&tx).satisfied));
+        println!(
+            "| {k} | {} | {} | {} | {:.2}x |",
+            us(t_s),
+            us(t_u),
+            rep_s.stats.subquery_memo_hits,
+            t_u.as_secs_f64() / t_s.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn e5() {
+    println!("## E5 — the §5 worked example\n");
+    println!("| variant | outcome | steps | assertions | undo events | max level | time (µs) |");
+    println!("|---|---|---|---|---|---|---|");
+    for (name, p) in [
+        ("original (unsat)", problems::paper_example()),
+        ("repaired (sat)", problems::paper_example_repaired()),
+    ] {
+        let rep = p.checker().check();
+        let t = time(9, || p.checker().check());
+        let outcome = match rep.outcome {
+            SatOutcome::Satisfiable { .. } => "sat",
+            SatOutcome::Unsatisfiable => "unsat",
+            SatOutcome::Unknown { .. } => "unknown",
+        };
+        println!(
+            "| {name} | {outcome} | {} | {} | {} | {} | {} |",
+            rep.stats.enforcement_steps,
+            rep.stats.assertions,
+            rep.stats.undo_events,
+            rep.stats.max_level,
+            us(t)
+        );
+    }
+    println!();
+}
+
+fn e6() {
+    println!("## E6 — satisfiability suite across method variants\n");
+    println!("(times in µs; `-` = Unknown / diverged within budget)\n");
+    println!("| problem | expected | default (steps) | default | paper opts | full-check ablation | tableaux |");
+    println!("|---|---|---|---|---|---|---|");
+    for p in problems::suite() {
+        let expected = match p.expected {
+            problems::Expectation::Satisfiable => "sat",
+            problems::Expectation::Unsatisfiable => "unsat",
+            problems::Expectation::Infinite => "unknown",
+        };
+        let def = p.checker().check();
+        let t_def = time(3, || p.checker().check());
+        let t_paper = time(3, || p.checker_with(SatOptions::paper()).check());
+        let t_ablation = time(3, || {
+            p.checker_with(SatOptions { incremental_checking: false, ..SatOptions::default() })
+                .check()
+        });
+        let tableaux = p.checker_with(SatOptions::tableaux()).check();
+        let show = |o: &SatOutcome| match o {
+            SatOutcome::Satisfiable { .. } => "sat",
+            SatOutcome::Unsatisfiable => "unsat",
+            SatOutcome::Unknown { .. } => "-",
+        };
+        println!(
+            "| {} | {} | {} | {} | {} | {} | {} |",
+            p.name,
+            expected,
+            def.stats.enforcement_steps,
+            us(t_def),
+            us(t_paper),
+            us(t_ablation),
+            show(&tableaux.outcome),
+        );
+    }
+    println!();
+    e6b();
+}
+
+/// §4 point 2: classical tableaux (fresh constants only) is incomplete
+/// for finite satisfiability — it diverges on problems whose finite
+/// models require constant reuse.
+fn e6b() {
+    use uniform_logic::{normalize, parse_formula, Constraint};
+    use uniform_datalog::RuleSet;
+    use uniform_satisfiability::SatChecker;
+
+    println!("### E6b — finite-satisfiability completeness (the reuse extension)\n");
+    println!("| existential strategy | outcome | fresh constants used |");
+    println!("|---|---|---|");
+    let constraints: Vec<Constraint> = [
+        "exists X: p(X)",
+        "forall X: p(X) -> (exists Y: p(Y) & r(X,Y))",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, s)| Constraint::new(format!("f{i}"), normalize(&parse_formula(s).unwrap()).unwrap()))
+    .collect();
+    for (name, opts) in [
+        ("reuse + fresh (ours/paper §4)", SatOptions { max_fresh_constants: 6, ..SatOptions::default() }),
+        ("fresh only (classical tableaux)", SatOptions { max_fresh_constants: 6, ..SatOptions::tableaux() }),
+    ] {
+        let rep = SatChecker::new(RuleSet::empty(), constraints.clone())
+            .with_options(opts)
+            .check();
+        let outcome = match rep.outcome {
+            SatOutcome::Satisfiable { ref model, .. } => format!("sat ({} facts)", model.len()),
+            SatOutcome::Unsatisfiable => "unsat".into(),
+            SatOutcome::Unknown { .. } => "diverges (budget exhausted)".into(),
+        };
+        println!("| {name} | {outcome} | {} |", rep.stats.fresh_constants);
+    }
+    println!();
+}
+
+fn e7() {
+    use uniform_integrity::potential_updates;
+    use uniform_logic::{parse_literal, parse_rule};
+    use uniform_datalog::RuleSet;
+
+    println!("## E7 — potential-update computation (compile phase, no fact access)\n");
+    println!("| rule set | seed | potential updates | worklist steps | time (µs) |");
+    println!("|---|---|---|---|---|");
+
+    for &k in &[4usize, 16, 64, 256] {
+        let rules: Vec<_> = (0..k)
+            .map(|i| parse_rule(&format!("lvl{}(X) :- lvl{i}(X).", i + 1)).unwrap())
+            .collect();
+        let rules = RuleSet::new(rules).unwrap();
+        let seed = parse_literal("lvl0(a)").unwrap();
+        let p = potential_updates(&rules, &seed, 100_000);
+        let t = time(9, || potential_updates(&rules, &seed, 100_000));
+        println!("| chain of {k} | lvl0(a) | {} | {} | {} |", p.literals.len(), p.steps, us(t));
+    }
+
+    let rules = RuleSet::new(vec![
+        parse_rule("tc(X,Y) :- edge(X,Y).").unwrap(),
+        parse_rule("tc(X,Z) :- tc(X,Y), tc(Y,Z).").unwrap(),
+        parse_rule("sg(X,X) :- person(X).").unwrap(),
+        parse_rule("sg(X,Y) :- parent(PX,X), sg(PX,PY), parent(PY,Y).").unwrap(),
+    ])
+    .unwrap();
+    for seed_src in ["edge(a,b)", "not edge(a,b)", "parent(a,b)", "person(a)"] {
+        let seed = parse_literal(seed_src).unwrap();
+        let p = potential_updates(&rules, &seed, 100_000);
+        assert!(!p.truncated);
+        let t = time(9, || potential_updates(&rules, &seed, 100_000));
+        println!(
+            "| tc + same-generation | {seed_src} | {} | {} | {} |",
+            p.literals.len(),
+            p.steps,
+            us(t)
+        );
+    }
+    println!();
+}
+
+fn e8() {
+    use uniform_integrity::{RuleUpdate, RuleUpdateChecker};
+    use uniform_logic::parse_rule;
+    use uniform_datalog::Database;
+
+    println!("## E8 — rule updates as conditional updates (incremental vs. full re-check, µs)\n");
+
+    fn full_recheck_rule(db: &Database, update: &RuleUpdate) -> bool {
+        match update.rules_after(db.rules()).expect("stratified") {
+            None => true,
+            Some(rules) => {
+                let mut candidate = db.clone();
+                candidate.set_rules(rules);
+                candidate.violated_constraints().is_empty()
+            }
+        }
+    }
+
+    let update = RuleUpdate::Add(parse_rule("loud(X) :- speaker(X).").unwrap());
+
+    println!("| |assign| (8 constraints) | incremental | full re-check | relevant constraints | ratio |");
+    println!("|---|---|---|---|---|");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let db = workload::rule_update_workload(n, 8, 8);
+        db.model();
+        let checker = RuleUpdateChecker::new(&db);
+        let rep = checker.check(&update).unwrap();
+        let t_inc = time(9, || assert!(checker.check(&update).unwrap().satisfied));
+        let t_full = time(9, || assert!(full_recheck_rule(&db, &update)));
+        println!(
+            "| {n} | {} | {} | {} of 9 | {:.1}x |",
+            us(t_inc),
+            us(t_full),
+            rep.stats.update_constraints,
+            t_full.as_secs_f64() / t_inc.as_secs_f64()
+        );
+    }
+
+    println!();
+    println!("| irrelevant constraints (|assign| = 512) | incremental | full re-check | ratio |");
+    println!("|---|---|---|---|");
+    for &k in &[1usize, 4, 16, 64] {
+        let db = workload::rule_update_workload(512, k, 8);
+        db.model();
+        let checker = RuleUpdateChecker::new(&db);
+        let t_inc = time(9, || assert!(checker.check(&update).unwrap().satisfied));
+        let t_full = time(9, || assert!(full_recheck_rule(&db, &update)));
+        println!(
+            "| {k} | {} | {} | {:.1}x |",
+            us(t_inc),
+            us(t_full),
+            t_full.as_secs_f64() / t_inc.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn e9() {
+    use uniform_logic::{parse_literal, Atom, Sym};
+    use uniform_datalog::{answer_goal_magic, Model, Transaction, Update};
+
+    println!("## E9 — evaluation-phase optimizations (§6 future work, µs)\n");
+
+    println!("### E9a — goal-directed (magic sets) vs. materialize-everything on tc chains\n");
+    println!("| chain length | magic | materialize | magic derived | full model derived | ratio |");
+    println!("|---|---|---|---|---|---|");
+    for &n in &[32usize, 128, 512] {
+        let db = workload::tc_chain(n);
+        let goal = Atom::parse_like("tc", &["n0", "V"]);
+        let magic_derived =
+            answer_goal_magic(db.facts(), db.rules(), &goal).unwrap().derived_facts;
+        let full_derived = Model::compute(db.facts(), db.rules()).len() - db.facts().len();
+        let t_magic = time(9, || {
+            answer_goal_magic(db.facts(), db.rules(), &goal).unwrap().answers.len()
+        });
+        let t_full = time(9, || {
+            Model::compute(db.facts(), db.rules())
+                .iter()
+                .filter(|f| f.pred == Sym::new("tc"))
+                .count()
+        });
+        println!(
+            "| {n} | {} | {} | {magic_derived} | {full_derived} | {:.1}x |",
+            us(t_magic),
+            us(t_full),
+            t_full.as_secs_f64() / t_magic.as_secs_f64()
+        );
+    }
+
+    println!();
+    println!("### E9b — general-formula optimizer on update-constraint instances\n");
+    println!("| |big| | as written | optimized | reorderings | ratio |");
+    println!("|---|---|---|---|---|");
+    let tx = Transaction::single(Update::from_literal(&parse_literal("p(a0)").unwrap()).unwrap());
+    for &n in &[64usize, 256, 1024, 4096] {
+        let db = workload::optimizer_workload(n);
+        db.model();
+        let plain = Checker::new(&db);
+        let tuned = Checker::with_options(
+            &db,
+            CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+        );
+        let rep = tuned.check(&tx);
+        let t_plain = time(9, || assert!(plain.check(&tx).satisfied));
+        let t_tuned = time(9, || assert!(tuned.check(&tx).satisfied));
+        println!(
+            "| {n} | {} | {} | {} | {:.1}x |",
+            us(t_plain),
+            us(t_tuned),
+            rep.stats.plan_reordered,
+            t_plain.as_secs_f64() / t_tuned.as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("# uniform — experiment tables (regenerated)\n");
+    println!(
+        "host: {} | rustc: {} | profile: release\n",
+        std::env::consts::ARCH,
+        option_env!("RUSTC_VERSION").unwrap_or("see rustc --version")
+    );
+    e1();
+    e2();
+    e3();
+    e4();
+    e5();
+    e6();
+    e7();
+    e8();
+    e9();
+    println!("done.");
+}

@@ -1,0 +1,1 @@
+//! Shared helpers for the uniform benchmark harness live in the bench targets themselves.

@@ -1,0 +1,670 @@
+//! The high-level façade: a deductive database whose every mutation is
+//! guarded by the appropriate checker of the paper.
+
+use std::fmt;
+use uniform_logic::{
+    normalize, parse_fact, parse_formula, parse_literal, parse_query, parse_rule, Constraint,
+    Fact, LogicError, Rule, Rq, Subst, Sym,
+};
+use uniform_datalog::{all_solutions, Database, Model, Transaction, Update};
+use uniform_integrity::{
+    CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
+};
+use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};
+
+/// Configuration of the façade.
+#[derive(Clone, Debug, Default)]
+pub struct UniformOptions {
+    /// Options for update checking.
+    pub check: CheckOptions,
+    /// Options for satisfiability checking of schema changes.
+    pub sat: SatOptions,
+    /// Skip the satisfiability check when adding constraints/rules
+    /// (current-state checking still applies).
+    pub skip_satisfiability: bool,
+}
+
+/// Everything that can go wrong when talking to a [`UniformDatabase`].
+#[derive(Debug)]
+pub enum UniformError {
+    /// Parse / normalization / rule-safety error.
+    Language(LogicError),
+    /// The rule set stopped being stratifiable.
+    Stratification(String),
+    /// A fact update would violate constraints; the report lists them.
+    UpdateRejected(Box<CheckReport>),
+    /// The program's initial facts violate its constraints.
+    InitialViolation(Vec<String>),
+    /// A new constraint or rule makes the schema unsatisfiable (or the
+    /// checker could not find a model within its budget).
+    Unsatisfiable(Box<SatReport>),
+    /// The new constraint is satisfiable but violated by the current
+    /// database; `repair` proposes fact insertions that would enforce it
+    /// (found by the model-generation search seeded with the current
+    /// facts), when the search found any.
+    CurrentlyViolated { constraint: String, repair: Option<Vec<Fact>> },
+}
+
+impl fmt::Display for UniformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UniformError::Language(e) => write!(f, "{e}"),
+            UniformError::Stratification(e) => write!(f, "{e}"),
+            UniformError::UpdateRejected(report) => {
+                write!(f, "update rejected; violated: ")?;
+                for (i, v) in report.violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v.constraint)?;
+                    if let Some(culprit) = &v.culprit {
+                        write!(f, " (via {culprit})")?;
+                    }
+                }
+                Ok(())
+            }
+            UniformError::InitialViolation(names) => {
+                write!(f, "initial facts violate constraints: {}", names.join(", "))
+            }
+            UniformError::Unsatisfiable(report) => match &report.outcome {
+                SatOutcome::Unsatisfiable => write!(
+                    f,
+                    "constraints and rules are unsatisfiable: no database state could ever satisfy them"
+                ),
+                SatOutcome::Unknown { reason } => {
+                    write!(f, "satisfiability could not be established: {reason}")
+                }
+                SatOutcome::Satisfiable { .. } => write!(f, "internal: satisfiable reported as error"),
+            },
+            UniformError::CurrentlyViolated { constraint, repair } => {
+                write!(f, "constraint {constraint} is violated by the current database")?;
+                if let Some(facts) = repair {
+                    write!(f, "; inserting ")?;
+                    for (i, fact) in facts.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{fact}")?;
+                    }
+                    write!(f, " would enforce it")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for UniformError {}
+
+impl From<LogicError> for UniformError {
+    fn from(e: LogicError) -> Self {
+        UniformError::Language(e)
+    }
+}
+
+impl From<uniform_logic::ParseError> for UniformError {
+    fn from(e: uniform_logic::ParseError) -> Self {
+        UniformError::Language(LogicError::Parse(e))
+    }
+}
+
+/// A deductive database with guarded updates — the paper's two methods
+/// behind one API.
+pub struct UniformDatabase {
+    db: Database,
+    options: UniformOptions,
+}
+
+impl UniformDatabase {
+    /// An empty database.
+    pub fn new() -> UniformDatabase {
+        UniformDatabase { db: Database::new(), options: UniformOptions::default() }
+    }
+
+    /// Parse a program (facts, rules, constraints). Fails if the initial
+    /// facts violate the constraints — the integrity-maintenance method
+    /// requires a consistent starting point.
+    pub fn parse(src: &str) -> Result<UniformDatabase, UniformError> {
+        let db = Database::parse(src)?;
+        let violated = db.violated_constraints();
+        if !violated.is_empty() {
+            return Err(UniformError::InitialViolation(violated));
+        }
+        Ok(UniformDatabase { db, options: UniformOptions::default() })
+    }
+
+    pub fn with_options(mut self, options: UniformOptions) -> UniformDatabase {
+        self.options = options;
+        self
+    }
+
+    /// The underlying database (read-only).
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.db.facts().iter()
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        self.db.constraints()
+    }
+
+    pub fn model(&self) -> std::rc::Rc<Model> {
+        self.db.model()
+    }
+
+    // ---- guarded fact updates -------------------------------------------
+
+    /// Check a transaction without applying it.
+    pub fn check(&self, tx: &Transaction) -> CheckReport {
+        Checker::with_options(&self.db, self.options.check).check(tx)
+    }
+
+    /// Apply a transaction iff it preserves integrity.
+    pub fn try_apply(&mut self, tx: &Transaction) -> Result<CheckReport, UniformError> {
+        for u in &tx.updates {
+            if let Some(expected) = self.db.arity_of(u.fact.pred) {
+                if expected != u.fact.args.len() {
+                    return Err(UniformError::Language(LogicError::Parse(
+                        uniform_logic::ParseError {
+                            line: 1,
+                            col: 1,
+                            message: format!(
+                                "update {u} uses {} with arity {} but the database uses arity {expected}",
+                                u.fact.pred,
+                                u.fact.args.len()
+                            ),
+                        },
+                    )));
+                }
+            }
+        }
+        let report = self.check(tx);
+        if report.satisfied {
+            for u in &tx.updates {
+                self.db.apply(u);
+            }
+            Ok(report)
+        } else {
+            Err(UniformError::UpdateRejected(Box::new(report)))
+        }
+    }
+
+    /// Insert one fact (parsed), guarded.
+    pub fn try_insert(&mut self, fact: &str) -> Result<CheckReport, UniformError> {
+        let f = parse_fact(fact)?;
+        self.try_apply(&Transaction::single(Update::insert(f)))
+    }
+
+    /// Delete one fact (parsed), guarded.
+    pub fn try_delete(&mut self, fact: &str) -> Result<CheckReport, UniformError> {
+        let f = parse_fact(fact)?;
+        self.try_apply(&Transaction::single(Update::delete(f)))
+    }
+
+    /// Apply a conditional update (BRY 87; §3.2), e.g.
+    /// `"not enrolled(X, cs) where enrolled(X, cs), failed(X)"`: the
+    /// condition is evaluated against the canonical model, the update
+    /// pattern is instantiated per answer, and the resulting transaction
+    /// is applied iff it preserves integrity.
+    pub fn try_apply_where(&mut self, src: &str) -> Result<CheckReport, UniformError> {
+        let cu = ConditionalUpdate::parse(src).map_err(UniformError::Language)?;
+        let (report, tx) = {
+            let checker = Checker::with_options(&self.db, self.options.check);
+            let compiled = checker.compile_conditional(&cu);
+            let tx = checker.expand_conditional(&cu);
+            (checker.evaluate(&compiled, &tx), tx)
+        };
+        if report.satisfied {
+            for u in &tx.updates {
+                self.db.apply(u);
+            }
+            Ok(report)
+        } else {
+            Err(UniformError::UpdateRejected(Box::new(report)))
+        }
+    }
+
+    /// Apply a transaction given as `;`-free list of literal sources,
+    /// e.g. `["student(jack)", "not enrolled(jack, cs)"]`.
+    pub fn try_update_all(&mut self, literals: &[&str]) -> Result<CheckReport, UniformError> {
+        let mut updates = Vec::with_capacity(literals.len());
+        for l in literals {
+            let lit = parse_literal(l)?;
+            let upd = Update::from_literal(&lit).ok_or_else(|| {
+                UniformError::Language(LogicError::Parse(uniform_logic::ParseError {
+                    line: 1,
+                    col: 1,
+                    message: format!("update `{l}` is not ground"),
+                }))
+            })?;
+            updates.push(upd);
+        }
+        self.try_apply(&Transaction::new(updates))
+    }
+
+    // ---- guarded schema updates ------------------------------------------
+
+    /// Satisfiability of the current rules + constraints (+ an optional
+    /// extra constraint).
+    fn satisfiability_with(&self, extra: Option<&Constraint>) -> SatReport {
+        let mut constraints = self.db.constraints().to_vec();
+        if let Some(c) = extra {
+            constraints.push(c.clone());
+        }
+        SatChecker::new(self.db.rules().clone(), constraints)
+            .with_options(self.options.sat.clone())
+            .check()
+    }
+
+    /// Check finite satisfiability of the current schema.
+    pub fn check_satisfiability(&self) -> SatReport {
+        self.satisfiability_with(None)
+    }
+
+    /// Add a constraint, guarded twice: first the schema-level
+    /// satisfiability check (§4 — incompatible constraints are rejected
+    /// no matter what the facts say), then the current-state check. When
+    /// the current state violates the new constraint, the error carries a
+    /// repair suggestion computed by seeding the model-generation search
+    /// with the current facts.
+    pub fn try_add_constraint(
+        &mut self,
+        name: &str,
+        formula: &str,
+    ) -> Result<(), UniformError> {
+        let f = parse_formula(formula)?;
+        let rq = normalize(&f).map_err(LogicError::Normalize)?;
+        let constraint = Constraint::new(name, rq);
+
+        if !self.options.skip_satisfiability {
+            let report = self.satisfiability_with(Some(&constraint));
+            if !report.outcome.is_satisfiable() {
+                return Err(UniformError::Unsatisfiable(Box::new(report)));
+            }
+        }
+
+        if !self.db.satisfies(&constraint.rq) {
+            let repair = self.suggest_repair(&constraint);
+            return Err(UniformError::CurrentlyViolated {
+                constraint: name.to_string(),
+                repair,
+            });
+        }
+
+        self.db.add_constraint(constraint);
+        Ok(())
+    }
+
+    /// Add a rule, guarded three ways: stratification, schema
+    /// satisfiability with the new rule, and the *incremental*
+    /// integrity check of a rule update treated like a conditional
+    /// update (§3.2) — only constraints relevant to literals the new
+    /// rule can reach are evaluated, never the full constraint set.
+    pub fn try_add_rule(&mut self, rule: &str) -> Result<(), UniformError> {
+        let r: Rule = parse_rule(rule)?;
+        self.apply_rule_update(RuleUpdate::Add(r)).map(|_| ())
+    }
+
+    /// Remove a constraint by name. Always safe (removing a constraint
+    /// can only enlarge the set of acceptable states). Returns `false`
+    /// if no constraint with that name exists.
+    pub fn remove_constraint(&mut self, name: &str) -> bool {
+        let before = self.db.constraints().len();
+        let remaining: Vec<Constraint> = self
+            .db
+            .constraints()
+            .iter()
+            .filter(|c| c.name != name)
+            .cloned()
+            .collect();
+        let removed = remaining.len() < before;
+        if removed {
+            self.db.set_constraints(remaining);
+        }
+        removed
+    }
+
+    /// Remove a rule (given in source syntax), guarded: dropping a rule
+    /// removes derived facts, which can violate constraints with positive
+    /// occurrences of the derived predicate. Checked incrementally like
+    /// a conditional deletion of the rule's head (§3.2). Returns `false`
+    /// if no such rule exists.
+    pub fn try_remove_rule(&mut self, rule: &str) -> Result<bool, UniformError> {
+        let target: Rule = parse_rule(rule)?;
+        self.apply_rule_update(RuleUpdate::Remove(target))
+    }
+
+    /// Shared implementation of guarded rule addition/removal. Returns
+    /// whether the rule set actually changed.
+    fn apply_rule_update(&mut self, update: RuleUpdate) -> Result<bool, UniformError> {
+        let checker = RuleUpdateChecker::with_options(&self.db, self.options.check);
+        let compiled = checker
+            .compile(&update)
+            .map_err(|e| UniformError::Stratification(e.to_string()))?;
+        let Some(rule_set) = compiled.rules_after.clone() else {
+            return Ok(false); // no-op: rule already present / absent
+        };
+
+        if !self.options.skip_satisfiability {
+            let report = SatChecker::new(rule_set.clone(), self.db.constraints().to_vec())
+                .with_options(self.options.sat.clone())
+                .check();
+            if !report.outcome.is_satisfiable() {
+                return Err(UniformError::Unsatisfiable(Box::new(report)));
+            }
+        }
+
+        let report = checker.evaluate(&compiled);
+        if !report.satisfied {
+            return Err(UniformError::UpdateRejected(Box::new(report)));
+        }
+        self.db.set_rules(rule_set);
+        Ok(true)
+    }
+
+    /// Serialize the database back to its surface syntax (round-trips
+    /// through [`UniformDatabase::parse`]).
+    pub fn to_program_source(&self) -> String {
+        uniform_datalog::to_program_source(&self.db)
+    }
+
+    /// Fact insertions that would make `constraint` satisfied in an
+    /// extension of the current database, if the enforcement search finds
+    /// any within its budget.
+    pub fn suggest_repair(&self, constraint: &Constraint) -> Option<Vec<Fact>> {
+        let mut constraints = self.db.constraints().to_vec();
+        constraints.push(constraint.clone());
+        let seed: Vec<Fact> = self.db.facts().iter().collect();
+        let seed_len = seed.len();
+        let report = SatChecker::new(self.db.rules().clone(), constraints)
+            .with_options(self.options.sat.clone())
+            .with_seed(seed)
+            .check();
+        match report.outcome {
+            SatOutcome::Satisfiable { explicit, .. } if explicit.len() > seed_len => {
+                let current = self.db.facts();
+                Some(explicit.into_iter().filter(|f| !current.contains(f)).collect())
+            }
+            _ => None,
+        }
+    }
+
+    // ---- queries -----------------------------------------------------------
+
+    /// Why is `fact` true? Renders a well-founded derivation tree
+    /// (explicit facts, rule applications, absences justifying negative
+    /// premises), or `None` when the fact is not in the canonical model.
+    pub fn explain(&self, fact: &str) -> Result<Option<String>, UniformError> {
+        let f = parse_fact(fact)?;
+        let prov = uniform_datalog::Provenance::build(self.db.facts(), self.db.rules());
+        Ok(prov.explain(&f).map(|d| d.to_string()))
+    }
+
+    /// Evaluate a closed formula against the canonical model.
+    pub fn query(&self, formula: &str) -> Result<bool, UniformError> {
+        let f = parse_formula(formula)?;
+        let rq: Rq = normalize(&f).map_err(LogicError::Normalize)?;
+        Ok(self.db.satisfies(&rq))
+    }
+
+    /// Enumerate the answers of a conjunctive query, as bindings of its
+    /// variables in first-occurrence order.
+    pub fn solutions(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
+        let literals = parse_query(query)?;
+        let mut vars: Vec<Sym> = Vec::new();
+        for l in &literals {
+            for v in l.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let model = self.db.model();
+        let sols = all_solutions(model.as_ref(), &literals, &mut Subst::new(), &vars);
+        Ok(sols
+            .into_iter()
+            .map(|s| {
+                vars.iter()
+                    .filter_map(|&v| match s.walk(uniform_logic::Term::Var(v)) {
+                        uniform_logic::Term::Const(c) => Some((v, c)),
+                        uniform_logic::Term::Var(_) => None,
+                    })
+                    .collect()
+            })
+            .collect())
+    }
+}
+
+impl Default for UniformDatabase {
+    fn default() -> Self {
+        UniformDatabase::new()
+    }
+}
+
+impl fmt::Debug for UniformDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UniformDatabase({:?})", self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORG: &str = "
+        member(X, Y) :- leads(X, Y).
+        constraint led: forall X: department(X) -> (exists Y: employee(Y) & leads(Y, X)).
+        constraint emp_member: forall X: employee(X) -> (exists Y: member(X, Y)).
+        employee(ann).
+        department(sales).
+        leads(ann, sales).
+    ";
+
+    #[test]
+    fn parse_rejects_inconsistent_start() {
+        let err = UniformDatabase::parse("p(a). constraint c: forall X: p(X) -> q(X).");
+        assert!(matches!(err, Err(UniformError::InitialViolation(ref v)) if v == &vec!["c".to_string()]));
+    }
+
+    #[test]
+    fn guarded_inserts_and_deletes() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        // Dangling department rejected.
+        assert!(db.try_insert("department(hr).").is_err());
+        // With a leader in the same transaction it goes through.
+        db.try_update_all(&["department(hr)", "employee(bob)", "leads(bob, hr)"])
+            .unwrap();
+        assert!(db.query("member(bob, hr)").unwrap());
+        // Removing ann's leadership would orphan sales.
+        assert!(db.try_delete("leads(ann, sales)").is_err());
+    }
+
+    #[test]
+    fn unsatisfiable_constraint_rejected_before_fact_check() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        // On its own, forbidding leaders is satisfiable (by databases
+        // without departments), so it is rejected by the *state* check.
+        // Once a department is required to exist, the combination has no
+        // model at all and the satisfiability check fires first.
+        db.try_add_constraint("some_dept", "exists X: department(X)").unwrap();
+        let err = db
+            .try_add_constraint("nobody", "forall X, Y: leads(X, Y) -> false")
+            .unwrap_err();
+        assert!(matches!(err, UniformError::Unsatisfiable(_)), "{err}");
+    }
+
+    #[test]
+    fn violated_but_satisfiable_constraint_suggests_repair() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        let err = db
+            .try_add_constraint("audited", "forall X, Y: leads(X, Y) -> audited(X)")
+            .unwrap_err();
+        match err {
+            UniformError::CurrentlyViolated { constraint, repair } => {
+                assert_eq!(constraint, "audited");
+                let repair = repair.expect("repair expected");
+                assert!(repair.contains(&Fact::parse_like("audited", &["ann"])), "{repair:?}");
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn satisfiable_and_satisfied_constraint_accepted() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        db.try_add_constraint("dom", "forall X, Y: leads(X, Y) -> employee(X)")
+            .unwrap();
+        assert_eq!(db.constraints().last().unwrap().name, "dom");
+        // And it now guards updates.
+        assert!(db.try_insert("leads(ghost, sales).").is_err());
+    }
+
+    #[test]
+    fn rule_updates_guarded() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        // Unstratifiable addition rejected.
+        assert!(db.try_add_rule("absent(X) :- employee(X), not absent(X).").is_err());
+        // A benign rule is accepted.
+        db.try_add_rule("boss(X) :- leads(X, Y).").unwrap();
+        assert!(db.query("boss(ann)").unwrap());
+        // A rule that derives facts violating a constraint is rejected:
+        // derive subordinate(ann, ann) violating a fresh constraint.
+        db.try_add_constraint("noselfsub", "forall X: subordinate(X, X) -> false")
+            .unwrap();
+        let err = db.try_add_rule("subordinate(X, X) :- employee(X).");
+        assert!(err.is_err(), "rule deriving violations must be rejected");
+    }
+
+    #[test]
+    fn conditional_updates_guarded() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        db.try_update_all(&["employee(bob)", "department(hr)", "leads(bob, hr)"])
+            .unwrap();
+        // Mark every leader as a veteran: fine.
+        let report = db.try_apply_where("veteran(X) where leads(X, Y)").unwrap();
+        assert!(report.satisfied);
+        assert!(db.query("veteran(ann)").unwrap());
+        assert!(db.query("veteran(bob)").unwrap());
+        // Fire every veteran: would orphan both departments.
+        let err = db.try_apply_where("not leads(X, Y) where veteran(X), leads(X, Y)");
+        assert!(err.is_err(), "conditional deletion must be guarded");
+        assert!(db.query("leads(ann, sales)").unwrap(), "rejected update not applied");
+        // Empty expansion is a no-op.
+        let report = db.try_apply_where("audit(X) where intern(X)").unwrap();
+        assert!(report.satisfied);
+    }
+
+    #[test]
+    fn conditional_update_parse_errors_surface() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        assert!(db.try_apply_where("veteran(X)").is_err(), "unbound pattern variable");
+        assert!(db.try_apply_where("veteran(X) where ???").is_err());
+    }
+
+    #[test]
+    fn incremental_rule_update_reports_stats() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        // The incremental path rejects with an UpdateRejected report (not
+        // the full-recheck InitialViolation), carrying the culprit.
+        db.try_add_constraint("noselfsub", "forall X: subordinate(X, X) -> false")
+            .unwrap();
+        let err = db.try_add_rule("subordinate(X, X) :- employee(X).").unwrap_err();
+        match err {
+            UniformError::UpdateRejected(report) => {
+                assert_eq!(report.violations[0].constraint, "noselfsub");
+                assert!(report.violations[0].culprit.is_some());
+            }
+            other => panic!("expected UpdateRejected, got {other}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatched_updates_rejected_politely() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        let err = db.try_insert("employee(x, y).").unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        let err = db.try_delete("leads(ann).").unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        // Fresh predicates are unconstrained.
+        assert!(db.try_insert("brand_new(a, b, c).").is_ok());
+    }
+
+    #[test]
+    fn explanations_render_derivations() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let tree = db.explain("member(ann, sales)").unwrap().expect("derived fact");
+        assert!(tree.contains("leads(ann,sales)"), "{tree}");
+        assert!(tree.contains("[explicit]"), "{tree}");
+        assert!(db.explain("member(ann, hr)").unwrap().is_none());
+        let explicit = db.explain("employee(ann)").unwrap().unwrap();
+        assert!(explicit.contains("[explicit]"));
+    }
+
+    #[test]
+    fn queries_and_solutions() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        assert!(db.query("exists X: member(ann, X)").unwrap());
+        assert!(!db.query("member(ann, hr)").unwrap());
+        let sols = db.solutions("member(X, sales)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Sym::new("ann"));
+    }
+
+    #[test]
+    fn constraint_removal_is_unconditional() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        assert!(db.remove_constraint("led"));
+        assert!(!db.remove_constraint("led"), "already gone");
+        // With `led` gone, a dangling department is fine.
+        db.try_insert("department(hr).").unwrap();
+    }
+
+    #[test]
+    fn rule_removal_guarded_by_recheck() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        // Removing the member rule would strip ann's membership and
+        // violate emp_member.
+        let err = db.try_remove_rule("member(X, Y) :- leads(X, Y).").unwrap_err();
+        assert!(err.to_string().contains("emp_member"), "{err}");
+        // Make the membership explicit first; then removal goes through.
+        db.try_insert("member(ann, sales).").unwrap();
+        assert!(db.try_remove_rule("member(X, Y) :- leads(X, Y).").unwrap());
+        assert!(db.query("member(ann, sales)").unwrap());
+        // Removing a rule that does not exist reports false.
+        assert!(!db.try_remove_rule("ghost(X) :- leads(X, Y).").unwrap());
+    }
+
+    #[test]
+    fn serialization_round_trip_through_facade() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let printed = db.to_program_source();
+        let db2 = UniformDatabase::parse(&printed).unwrap();
+        assert_eq!(
+            db.query("member(ann, sales)").unwrap(),
+            db2.query("member(ann, sales)").unwrap()
+        );
+        assert_eq!(db.constraints().len(), db2.constraints().len());
+    }
+
+    #[test]
+    fn check_satisfiability_of_schema() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        assert!(db.check_satisfiability().outcome.is_satisfiable());
+    }
+
+    #[test]
+    fn skip_satisfiability_option() {
+        let mut db = UniformDatabase::parse("employee(a).").unwrap().with_options(
+            UniformOptions { skip_satisfiability: true, ..UniformOptions::default() },
+        );
+        // Without the sat check, an unsatisfiable pair can be added one at
+        // a time (first is fine, second is caught by the current-state
+        // check instead).
+        db.try_add_constraint("must", "forall X: employee(X) -> good(X)")
+            .map(|_| ())
+            .unwrap_err(); // violated now, still rejected by state check
+    }
+}

@@ -1,0 +1,57 @@
+//! # uniform
+//!
+//! The *uniform approach to constraint satisfaction and constraint
+//! satisfiability in deductive databases* (Bry, Decker & Manthey, EDBT
+//! 1988) as a library: one façade type, [`UniformDatabase`], that guards
+//!
+//! * **fact updates** with the two-phase integrity-maintenance method
+//!   (simplified instances of constraints relevant to the update and its
+//!   potential consequences — never a full re-check), and
+//! * **constraint and rule updates** with the finite-satisfiability
+//!   checker (model generation by constraint enforcement) — detecting
+//!   schema changes that no database state could ever satisfy *before*
+//!   they are admitted.
+//!
+//! ```
+//! use uniform::UniformDatabase;
+//!
+//! let mut db = UniformDatabase::parse("
+//!     member(X, Y) :- leads(X, Y).
+//!     constraint led: forall X: department(X) ->
+//!         (exists Y: employee(Y) & leads(Y, X)).
+//!     employee(ann).
+//!     department(sales).
+//!     leads(ann, sales).
+//! ").unwrap();
+//!
+//! // Guarded updates: this one removes the only leader of sales.
+//! let err = db.try_delete("leads(ann, sales)").unwrap_err();
+//! println!("rejected: {err}");
+//! assert!(db.query("member(ann, sales)").unwrap());
+//!
+//! // Guarded constraint updates: this one is unsatisfiable together
+//! // with `led` — every department needs a leader, yet leaders are
+//! // forbidden.
+//! let err = db
+//!     .try_add_constraint("nobody", "forall X, Y: leads(X, Y) -> false")
+//!     .unwrap_err();
+//! println!("rejected: {err}");
+//! ```
+
+pub mod facade;
+
+pub use facade::{UniformDatabase, UniformError, UniformOptions};
+
+// Re-export the full stack for advanced use.
+pub use uniform_datalog as datalog;
+pub use uniform_integrity as integrity;
+pub use uniform_logic as logic;
+pub use uniform_satisfiability as satisfiability;
+
+pub use uniform_datalog::{Database, FactSet, Model, Transaction, Update};
+pub use uniform_integrity::{
+    CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
+    Violation,
+};
+pub use uniform_logic::{Constraint, Fact, Formula, Literal, Rq, Rule};
+pub use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};

@@ -1,0 +1,289 @@
+//! Conjunctive-query evaluation over an [`Interp`].
+//!
+//! Evaluates a conjunction of literals with trail-based backtracking:
+//! positive literals scan the interpretation with the pattern induced by
+//! the bindings accumulated so far; negative literals are checked by
+//! negation as failure once ground. This single evaluator serves rule
+//! bodies, the ranges of restricted quantifiers, and the `B\L'` residue
+//! queries of induced-update computation (Def. 4).
+//!
+//! Literals are chosen greedily per step rather than strictly left to
+//! right: fully bound literals (membership tests and ground negations)
+//! are dispatched first, then the positive literal with the most bound
+//! argument positions. This is the standard bound-is-easier heuristic;
+//! range restriction guarantees a safe order always exists, and the
+//! answer set is order independent.
+
+use crate::interp::Interp;
+use uniform_logic::{Atom, Literal, Subst, Sym, Term};
+
+/// Bind pattern of `atom` under `subst`: `Some(c)` for positions resolved
+/// to a constant.
+pub fn bind_pattern(subst: &Subst, atom: &Atom) -> Vec<Option<Sym>> {
+    atom.args
+        .iter()
+        .map(|&t| match subst.walk(t) {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        })
+        .collect()
+}
+
+/// Extend `subst` so that `atom`σ = `tuple`; records newly bound
+/// variables on `trail` for undo. Returns `false` (with a clean trail
+/// rollback left to the caller) on mismatch.
+fn extend_match(subst: &mut Subst, atom: &Atom, tuple: &[Sym], trail: &mut Vec<Sym>) -> bool {
+    for (&t, &v) in atom.args.iter().zip(tuple) {
+        match subst.walk(t) {
+            Term::Const(c) => {
+                if c != v {
+                    return false;
+                }
+            }
+            Term::Var(var) => {
+                subst.bind(var, Term::Const(v));
+                trail.push(var);
+            }
+        }
+    }
+    true
+}
+
+fn unwind(subst: &mut Subst, trail: &mut Vec<Sym>, mark: usize) {
+    while trail.len() > mark {
+        let v = trail.pop().unwrap();
+        subst.unbind(v);
+    }
+}
+
+/// Enumerate all substitutions extending `subst` that satisfy the
+/// conjunction of `literals` in `interp`. Calls `each` for every answer;
+/// `each` returns `false` to stop. Returns `false` iff enumeration was
+/// aborted.
+///
+/// `subst` is used as working state and restored before returning.
+pub fn solve_conjunction(
+    interp: &dyn Interp,
+    literals: &[Literal],
+    subst: &mut Subst,
+    each: &mut dyn FnMut(&mut Subst) -> bool,
+) -> bool {
+    let mut trail = Vec::new();
+    let mut remaining: Vec<usize> = (0..literals.len()).collect();
+    solve_rec(interp, literals, &mut remaining, subst, &mut trail, each)
+}
+
+/// Pick the next literal to dispatch: any fully bound literal first
+/// (constant-time membership / negation check), otherwise the positive
+/// literal with the most bound argument positions. Returns the slot in
+/// `remaining`.
+fn select_literal(literals: &[Literal], remaining: &[usize], subst: &Subst) -> usize {
+    let mut best_slot = 0;
+    let mut best_score = -1isize;
+    for (slot, &idx) in remaining.iter().enumerate() {
+        let lit = &literals[idx];
+        let bound = lit
+            .atom
+            .args
+            .iter()
+            .filter(|&&t| matches!(subst.walk(t), uniform_logic::Term::Const(_)))
+            .count();
+        let arity = lit.atom.args.len();
+        if bound == arity {
+            // Fully bound: dispatch immediately regardless of sign.
+            return slot;
+        }
+        if lit.positive && bound as isize > best_score {
+            best_score = bound as isize;
+            best_slot = slot;
+        }
+    }
+    if best_score < 0 {
+        // Only non-ground negative literals remain — range restriction
+        // was violated upstream.
+        let idx = remaining[0];
+        panic!(
+            "negative literal not ground when evaluated: {} (unsafe ordering?)",
+            literals[idx]
+        );
+    }
+    best_slot
+}
+
+fn solve_rec(
+    interp: &dyn Interp,
+    literals: &[Literal],
+    remaining: &mut Vec<usize>,
+    subst: &mut Subst,
+    trail: &mut Vec<Sym>,
+    each: &mut dyn FnMut(&mut Subst) -> bool,
+) -> bool {
+    if remaining.is_empty() {
+        return each(subst);
+    }
+    let slot = select_literal(literals, remaining, subst);
+    let idx = remaining.remove(slot);
+    let lit = &literals[idx];
+    let keep_going = if lit.positive {
+        let pattern = bind_pattern(subst, &lit.atom);
+        // The scan callback recurses per matching tuple.
+        let mut keep_going = true;
+        interp.scan(lit.atom.pred, &pattern, &mut |tuple| {
+            let mark = trail.len();
+            if extend_match(subst, &lit.atom, tuple, trail) {
+                keep_going = solve_rec(interp, literals, remaining, subst, trail, each);
+            }
+            unwind(subst, trail, mark);
+            keep_going
+        });
+        keep_going
+    } else {
+        let ground = subst.apply_atom(&lit.atom);
+        let fact = ground.to_fact().unwrap_or_else(|| {
+            panic!("negative literal not ground when evaluated: not {ground} (unsafe ordering?)")
+        });
+        if interp.holds(&fact) {
+            true // this branch fails, enumeration continues elsewhere
+        } else {
+            solve_rec(interp, literals, remaining, subst, trail, each)
+        }
+    };
+    remaining.insert(slot, idx);
+    keep_going
+}
+
+/// Does the conjunction have at least one solution extending `subst`?
+pub fn provable(interp: &dyn Interp, literals: &[Literal], subst: &mut Subst) -> bool {
+    !solve_conjunction(interp, literals, subst, &mut |_| false)
+}
+
+/// Collect all solutions as substitutions restricted to `keep`.
+pub fn all_solutions(
+    interp: &dyn Interp,
+    literals: &[Literal],
+    subst: &mut Subst,
+    keep: &[Sym],
+) -> Vec<Subst> {
+    let mut out = Vec::new();
+    solve_conjunction(interp, literals, subst, &mut |s| {
+        out.push(s.restrict(keep));
+        true
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::FactSet;
+    use uniform_logic::Fact;
+
+    fn db() -> FactSet {
+        FactSet::from_facts([
+            Fact::parse_like("edge", &["a", "b"]),
+            Fact::parse_like("edge", &["b", "c"]),
+            Fact::parse_like("edge", &["c", "d"]),
+            Fact::parse_like("red", &["b"]),
+        ])
+    }
+
+    fn lits(spec: &[(&str, &[&str], bool)]) -> Vec<Literal> {
+        spec.iter()
+            .map(|(p, args, pos)| Literal::new(*pos, Atom::parse_like(p, args)))
+            .collect()
+    }
+
+    #[test]
+    fn single_positive_literal_enumerates() {
+        let fs = db();
+        let q = lits(&[("edge", &["X", "Y"], true)]);
+        let sols = all_solutions(&fs, &q, &mut Subst::new(), &[Sym::new("X"), Sym::new("Y")]);
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn join_through_shared_variable() {
+        let fs = db();
+        // edge(X,Y), edge(Y,Z)
+        let q = lits(&[("edge", &["X", "Y"], true), ("edge", &["Y", "Z"], true)]);
+        let keep = [Sym::new("X"), Sym::new("Z")];
+        let mut pairs: Vec<(String, String)> = all_solutions(&fs, &q, &mut Subst::new(), &keep)
+            .iter()
+            .map(|s| {
+                (
+                    format!("{:?}", s.walk(Term::from_name("X"))),
+                    format!("{:?}", s.walk(Term::from_name("Z"))),
+                )
+            })
+            .collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![("a".into(), "c".into()), ("b".into(), "d".into())]);
+    }
+
+    #[test]
+    fn negative_literal_filters() {
+        let fs = db();
+        // edge(X,Y), not red(Y)
+        let q = lits(&[("edge", &["X", "Y"], true), ("red", &["Y"], false)]);
+        let sols = all_solutions(&fs, &q, &mut Subst::new(), &[Sym::new("Y")]);
+        let mut names: Vec<String> =
+            sols.iter().map(|s| format!("{:?}", s.walk(Term::from_name("Y")))).collect();
+        names.sort();
+        assert_eq!(names, vec!["c", "d"]);
+    }
+
+    #[test]
+    fn initial_bindings_restrict_scan() {
+        let fs = db();
+        let q = lits(&[("edge", &["X", "Y"], true)]);
+        let mut init = Subst::new();
+        init.bind(Sym::new("X"), Term::from_name("b"));
+        let sols = all_solutions(&fs, &q, &mut init, &[Sym::new("Y")]);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].walk(Term::from_name("Y")), Term::from_name("c"));
+    }
+
+    #[test]
+    fn provable_and_early_stop() {
+        let fs = db();
+        let q = lits(&[("edge", &["X", "Y"], true)]);
+        assert!(provable(&fs, &q, &mut Subst::new()));
+        let no = lits(&[("edge", &["d", "X"], true)]);
+        assert!(!provable(&fs, &no, &mut Subst::new()));
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        let mut fs = db();
+        fs.insert(&Fact::parse_like("edge", &["e", "e"]));
+        let q = lits(&[("edge", &["X", "X"], true)]);
+        let sols = all_solutions(&fs, &q, &mut Subst::new(), &[Sym::new("X")]);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].walk(Term::from_name("X")), Term::from_name("e"));
+    }
+
+    #[test]
+    fn empty_conjunction_yields_identity() {
+        let fs = db();
+        let sols = all_solutions(&fs, &[], &mut Subst::new(), &[]);
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn working_subst_restored() {
+        let fs = db();
+        let q = lits(&[("edge", &["X", "Y"], true)]);
+        let mut s = Subst::new();
+        solve_conjunction(&fs, &q, &mut s, &mut |_| true);
+        assert!(s.is_empty(), "working substitution must be unwound");
+    }
+
+    #[test]
+    #[should_panic(expected = "not ground")]
+    fn unsafe_negative_literal_panics() {
+        let fs = db();
+        let q = lits(&[("red", &["X"], false)]);
+        provable(&fs, &q, &mut Subst::new());
+    }
+}

@@ -1,0 +1,324 @@
+//! The deductive database `D = (F, R, I)` (§2): explicit facts, stratified
+//! rules, and normalized integrity constraints, with a cached canonical
+//! model.
+
+use crate::eval::satisfies_closed;
+use crate::model::Model;
+use crate::program::RuleSet;
+use crate::store::FactSet;
+use crate::update::Update;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+use uniform_logic::{
+    normalize, parse_program, Constraint, Fact, LogicError, ParseError, Rq, Sym,
+};
+
+/// Check that every predicate is used with a single arity across facts,
+/// rules and constraints — mismatches must surface as errors at the
+/// parse boundary, not as store invariant violations later.
+fn validate_arities(
+    facts: &[Fact],
+    rules: &RuleSet,
+    constraints: &[Constraint],
+) -> Result<(), LogicError> {
+    let mut seen: HashMap<Sym, (usize, String)> = HashMap::new();
+    let mut record = |pred: Sym, arity: usize, at: String| -> Result<(), LogicError> {
+        match seen.get(&pred) {
+            Some((prev, first)) if *prev != arity => Err(LogicError::Parse(ParseError {
+                line: 1,
+                col: 1,
+                message: format!(
+                    "predicate {pred} used with arity {arity} in {at} but with arity {prev} in {first}"
+                ),
+            })),
+            Some(_) => Ok(()),
+            None => {
+                seen.insert(pred, (arity, at));
+                Ok(())
+            }
+        }
+    };
+    for f in facts {
+        record(f.pred, f.args.len(), format!("fact {f}"))?;
+    }
+    for r in rules.rules() {
+        record(r.head.pred, r.head.args.len(), format!("rule {r}"))?;
+        for l in &r.body {
+            record(l.atom.pred, l.atom.args.len(), format!("rule {r}"))?;
+        }
+    }
+    for c in constraints {
+        for occ in c.rq.literals() {
+            record(
+                occ.literal.atom.pred,
+                occ.literal.atom.args.len(),
+                format!("constraint {}", c.name),
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// A deductive database: facts `F`, rules `R`, constraints `I`.
+#[derive(Clone)]
+pub struct Database {
+    edb: FactSet,
+    rules: RuleSet,
+    constraints: Vec<Constraint>,
+    model: RefCell<Option<Rc<Model>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl Database {
+    pub fn new() -> Database {
+        Database {
+            edb: FactSet::new(),
+            rules: RuleSet::empty(),
+            constraints: Vec::new(),
+            model: RefCell::new(None),
+        }
+    }
+
+    /// Build from parts.
+    pub fn with(edb: FactSet, rules: RuleSet, constraints: Vec<Constraint>) -> Database {
+        Database { edb, rules, constraints, model: RefCell::new(None) }
+    }
+
+    /// Parse a full program: facts, rules and constraints. Constraints are
+    /// normalized to restricted-quantification form; anonymous ones are
+    /// named `ic1`, `ic2`, … in source order. Every predicate must be
+    /// used with one arity throughout; mismatches are parse errors.
+    pub fn parse(src: &str) -> Result<Database, LogicError> {
+        let prog = parse_program(src)?;
+        let rules = RuleSet::new(prog.rules)
+            .map_err(|e| LogicError::Rule(uniform_logic::RuleError {
+                var: uniform_logic::Sym::new("_"),
+                rule: e.to_string(),
+            }))?;
+        let mut constraints = Vec::new();
+        for (i, (name, f)) in prog.constraints.iter().enumerate() {
+            let rq = normalize(f)?;
+            let name = name.clone().unwrap_or_else(|| format!("ic{}", i + 1));
+            constraints.push(Constraint::new(name, rq));
+        }
+        validate_arities(&prog.facts, &rules, &constraints)?;
+        Ok(Database {
+            edb: FactSet::from_facts(prog.facts),
+            rules,
+            constraints,
+            model: RefCell::new(None),
+        })
+    }
+
+    /// The arity `pred` is used with anywhere in this database (facts,
+    /// rule heads or bodies, constraint literals); `None` for unknown
+    /// predicates.
+    pub fn arity_of(&self, pred: Sym) -> Option<usize> {
+        if let Some(rel) = self.edb.relation(pred) {
+            return Some(rel.arity());
+        }
+        for r in self.rules.rules() {
+            if r.head.pred == pred {
+                return Some(r.head.args.len());
+            }
+            for l in &r.body {
+                if l.atom.pred == pred {
+                    return Some(l.atom.args.len());
+                }
+            }
+        }
+        for c in &self.constraints {
+            for occ in c.rq.literals() {
+                if occ.literal.atom.pred == pred {
+                    return Some(occ.literal.atom.args.len());
+                }
+            }
+        }
+        None
+    }
+
+    pub fn facts(&self) -> &FactSet {
+        &self.edb
+    }
+
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    pub fn constraint(&self, name: &str) -> Option<&Constraint> {
+        self.constraints.iter().find(|c| c.name == name)
+    }
+
+    /// Replace the constraint set (satisfiability checking before doing
+    /// this is the subject of §4).
+    pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
+        self.constraints = constraints;
+    }
+
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Replace the rule set; invalidates the cached model.
+    pub fn set_rules(&mut self, rules: RuleSet) {
+        self.rules = rules;
+        self.model.replace(None);
+    }
+
+    /// Apply an update to the fact base (no integrity checking here — the
+    /// guarded path lives in `uniform-integrity`/`uniform-core`). Returns
+    /// `true` if the database changed; invalidates the cached model.
+    pub fn apply(&mut self, update: &Update) -> bool {
+        let changed = update.apply(&mut self.edb);
+        if changed {
+            self.model.replace(None);
+        }
+        changed
+    }
+
+    /// Direct fact insertion (convenience for loading).
+    pub fn insert_fact(&mut self, fact: &Fact) -> bool {
+        let changed = self.edb.insert(fact);
+        if changed {
+            self.model.replace(None);
+        }
+        changed
+    }
+
+    /// The canonical model (cached until the next mutation).
+    pub fn model(&self) -> Rc<Model> {
+        let mut slot = self.model.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(Rc::new(Model::compute(&self.edb, &self.rules)));
+        }
+        slot.as_ref().expect("just computed").clone()
+    }
+
+    /// Truth of a ground atom in the canonical model.
+    pub fn holds(&self, fact: &Fact) -> bool {
+        self.model().contains(fact)
+    }
+
+    /// Evaluate a closed RQ formula in the canonical model.
+    pub fn satisfies(&self, rq: &Rq) -> bool {
+        satisfies_closed(self.model().as_ref(), rq)
+    }
+
+    /// Names of constraints violated in the current state (full check —
+    /// the expensive operation integrity maintenance exists to avoid).
+    pub fn violated_constraints(&self) -> Vec<String> {
+        let model = self.model();
+        self.constraints
+            .iter()
+            .filter(|c| !satisfies_closed(model.as_ref(), &c.rq))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Do all constraints hold in the current state?
+    pub fn is_consistent(&self) -> bool {
+        self.violated_constraints().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("facts", &self.edb.len())
+            .field("rules", &self.rules.len())
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_fact;
+
+    const UNIVERSITY: &str = "
+        % §3.2 running example
+        student(jack).
+        enrolled(X, cs) :- student(X).
+        constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+    ";
+
+    #[test]
+    fn parse_and_query() {
+        let db = Database::parse(UNIVERSITY).unwrap();
+        assert_eq!(db.facts().len(), 1);
+        assert_eq!(db.rules().len(), 1);
+        assert_eq!(db.constraints().len(), 1);
+        assert!(db.holds(&parse_fact("enrolled(jack, cs).").unwrap()));
+        assert!(!db.holds(&parse_fact("attends(jack, ddb).").unwrap()));
+        assert_eq!(db.violated_constraints(), vec!["cdb".to_string()]);
+    }
+
+    #[test]
+    fn updates_invalidate_model() {
+        let mut db = Database::parse(UNIVERSITY).unwrap();
+        assert!(!db.is_consistent());
+        db.apply(&Update::insert(Fact::parse_like("attends", &["jack", "ddb"])));
+        assert!(db.is_consistent());
+        db.apply(&Update::delete(Fact::parse_like("attends", &["jack", "ddb"])));
+        assert!(!db.is_consistent());
+    }
+
+    #[test]
+    fn anonymous_constraints_get_names() {
+        let db = Database::parse("constraint: exists X: p(X). constraint: exists X: q(X).")
+            .unwrap();
+        assert_eq!(db.constraints()[0].name, "ic1");
+        assert_eq!(db.constraints()[1].name, "ic2");
+        assert!(db.constraint("ic2").is_some());
+    }
+
+    #[test]
+    fn unstratified_program_rejected() {
+        let err = Database::parse("p(X) :- base(X), not q(X). q(X) :- base(X), not p(X).");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn non_domain_independent_constraint_rejected() {
+        assert!(Database::parse("constraint: forall X: p(X).").is_err());
+    }
+
+    #[test]
+    fn arity_mismatches_rejected_at_parse() {
+        // Fact vs fact.
+        let err = Database::parse("p(a). p(a, b).").unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        // Fact vs rule body.
+        assert!(Database::parse("r(a). s(X) :- r(X, Y).").is_err());
+        // Rule head vs fact.
+        assert!(Database::parse("q(X, Y) :- r(X, Y). q(a).").is_err());
+        // Constraint literal vs fact.
+        assert!(Database::parse("p(a). constraint c: forall X, Y: p(X, Y) -> false.").is_err());
+        // Consistent arities parse fine, including zero-arity.
+        assert!(Database::parse("flag. p(a). q(X) :- p(X), flag.").is_ok());
+    }
+
+    #[test]
+    fn arity_of_consults_all_sources() {
+        let db = Database::parse(
+            "p(a). q(X, Y) :- r(X, Y). constraint c: forall X: s(X) -> false.",
+        )
+        .unwrap();
+        assert_eq!(db.arity_of(Sym::new("p")), Some(1));
+        assert_eq!(db.arity_of(Sym::new("q")), Some(2));
+        assert_eq!(db.arity_of(Sym::new("r")), Some(2));
+        assert_eq!(db.arity_of(Sym::new("s")), Some(1));
+        assert_eq!(db.arity_of(Sym::new("ghost")), None);
+    }
+}

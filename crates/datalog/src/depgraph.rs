@@ -1,0 +1,387 @@
+//! Predicate dependency graph, SCCs and stratification.
+//!
+//! §2 fixes the semantics of a deductive database to the canonical
+//! interpretation of a *stratified* rule set in the sense of Apt, Blair &
+//! Walker 1987. This module computes the predicate dependency graph,
+//! checks that no cycle passes through negation, and assigns strata:
+//! `stratum(p)` is an evaluation order such that every negative body
+//! predicate of a rule for `p` lies in a strictly lower stratum.
+
+use std::collections::HashMap;
+use std::fmt;
+use uniform_logic::{Rule, Sym};
+
+/// An edge of the dependency graph: head predicate depends on body
+/// predicate, positively or negatively.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Dep {
+    pub on: Sym,
+    pub negative: bool,
+}
+
+/// The rule set is not stratified: a recursive cycle passes through
+/// negation.
+#[derive(Clone, Debug)]
+pub struct StratificationError {
+    pub head: Sym,
+    pub through: Sym,
+}
+
+impl fmt::Display for StratificationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rules are not stratified: predicate {} depends negatively on {} within a recursive cycle",
+            self.head, self.through
+        )
+    }
+}
+
+impl std::error::Error for StratificationError {}
+
+/// Dependency analysis result.
+#[derive(Clone, Debug, Default)]
+pub struct DepGraph {
+    /// head predicate → body dependencies (deduplicated).
+    edges: HashMap<Sym, Vec<Dep>>,
+    /// predicate → stratum (only predicates appearing in rules; EDB-only
+    /// predicates implicitly live in stratum 0).
+    strata: HashMap<Sym, usize>,
+    /// Number of strata.
+    height: usize,
+    /// Predicates defined by at least one rule (IDB predicates).
+    idb: Vec<Sym>,
+    /// Predicates involved in a recursive cycle (their SCC has more than
+    /// one member or a self-loop).
+    recursive: HashMap<Sym, bool>,
+}
+
+impl DepGraph {
+    /// Build and stratify. Fails iff the rules are not stratifiable.
+    pub fn build(rules: &[Rule]) -> Result<DepGraph, StratificationError> {
+        let mut edges: HashMap<Sym, Vec<Dep>> = HashMap::new();
+        let mut nodes: Vec<Sym> = Vec::new();
+        let note = |p: Sym, nodes: &mut Vec<Sym>| {
+            if !nodes.contains(&p) {
+                nodes.push(p);
+            }
+        };
+        for rule in rules {
+            note(rule.head.pred, &mut nodes);
+            let deps = edges.entry(rule.head.pred).or_default();
+            for lit in &rule.body {
+                note(lit.atom.pred, &mut nodes);
+                let dep = Dep { on: lit.atom.pred, negative: !lit.positive };
+                if !deps.contains(&dep) {
+                    deps.push(dep);
+                }
+            }
+        }
+
+        let sccs = tarjan(&nodes, &edges);
+        let mut scc_of: HashMap<Sym, usize> = HashMap::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            for &p in scc {
+                scc_of.insert(p, i);
+            }
+        }
+
+        // Reject negative edges within an SCC.
+        for (&head, deps) in &edges {
+            for dep in deps {
+                if dep.negative && scc_of[&head] == scc_of[&dep.on] {
+                    return Err(StratificationError { head, through: dep.on });
+                }
+            }
+        }
+
+        // Longest-path strata over the SCC condensation: positive edges
+        // propagate the stratum, negative edges increment it. Tarjan
+        // emits SCCs in reverse topological order, so processing them in
+        // order guarantees dependencies are numbered first.
+        let mut scc_stratum: Vec<usize> = vec![0; sccs.len()];
+        for (i, scc) in sccs.iter().enumerate() {
+            let mut s = 0;
+            for &p in scc {
+                if let Some(deps) = edges.get(&p) {
+                    for dep in deps {
+                        let j = scc_of[&dep.on];
+                        if j != i {
+                            let need = scc_stratum[j] + usize::from(dep.negative);
+                            s = s.max(need);
+                        }
+                    }
+                }
+            }
+            scc_stratum[i] = s;
+        }
+
+        let mut strata = HashMap::new();
+        let mut height = 0;
+        for (&p, &i) in &scc_of {
+            strata.insert(p, scc_stratum[i]);
+            height = height.max(scc_stratum[i] + 1);
+        }
+
+        let mut recursive = HashMap::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            for &p in scc {
+                let self_loop = edges
+                    .get(&p)
+                    .is_some_and(|deps| deps.iter().any(|d| d.on == p));
+                recursive.insert(p, scc.len() > 1 || self_loop);
+                let _ = i;
+            }
+        }
+
+        let idb: Vec<Sym> = rules.iter().map(|r| r.head.pred).collect();
+        let mut idb_dedup = idb.clone();
+        idb_dedup.sort();
+        idb_dedup.dedup();
+
+        Ok(DepGraph { edges, strata, height, idb: idb_dedup, recursive })
+    }
+
+    /// Stratum of a predicate (0 for pure-EDB predicates).
+    pub fn stratum(&self, pred: Sym) -> usize {
+        self.strata.get(&pred).copied().unwrap_or(0)
+    }
+
+    /// Number of strata (at least 1 when any rules exist).
+    pub fn height(&self) -> usize {
+        self.height.max(1)
+    }
+
+    /// Predicates defined by rules.
+    pub fn idb_predicates(&self) -> &[Sym] {
+        &self.idb
+    }
+
+    /// Is the predicate defined by rules?
+    pub fn is_idb(&self, pred: Sym) -> bool {
+        self.idb.binary_search(&pred).is_ok()
+    }
+
+    /// Is the predicate involved in recursion?
+    pub fn is_recursive(&self, pred: Sym) -> bool {
+        self.recursive.get(&pred).copied().unwrap_or(false)
+    }
+
+    /// Does any predicate reachable from `pred` (including itself)
+    /// participate in a recursive cycle?
+    pub fn reaches_recursion(&self, pred: Sym) -> bool {
+        let mut stack = vec![pred];
+        let mut seen = vec![pred];
+        while let Some(p) = stack.pop() {
+            if self.is_recursive(p) {
+                return true;
+            }
+            if let Some(deps) = self.edges.get(&p) {
+                for d in deps {
+                    if !seen.contains(&d.on) {
+                        seen.push(d.on);
+                        stack.push(d.on);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// All predicates reachable from `pred` through rule bodies
+    /// (including `pred`).
+    pub fn reachable(&self, pred: Sym) -> Vec<Sym> {
+        let mut seen = vec![pred];
+        let mut stack = vec![pred];
+        while let Some(p) = stack.pop() {
+            if let Some(deps) = self.edges.get(&p) {
+                for d in deps {
+                    if !seen.contains(&d.on) {
+                        seen.push(d.on);
+                        stack.push(d.on);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Tarjan's SCC algorithm (iterative). Returns SCCs in reverse
+/// topological order (dependencies before dependents).
+fn tarjan(nodes: &[Sym], edges: &HashMap<Sym, Vec<Dep>>) -> Vec<Vec<Sym>> {
+    #[derive(Default, Clone)]
+    struct NodeState {
+        index: Option<u32>,
+        lowlink: u32,
+        on_stack: bool,
+    }
+
+    let mut state: HashMap<Sym, NodeState> = nodes.iter().map(|&n| (n, NodeState::default())).collect();
+    let mut index = 0u32;
+    let mut stack: Vec<Sym> = Vec::new();
+    let mut out: Vec<Vec<Sym>> = Vec::new();
+
+    // Explicit DFS stack: (node, next-edge-cursor).
+    for &root in nodes {
+        if state[&root].index.is_some() {
+            continue;
+        }
+        let mut dfs: Vec<(Sym, usize)> = vec![(root, 0)];
+        while let Some(&(v, cursor)) = dfs.last() {
+            if cursor == 0 {
+                if state[&v].index.is_some() {
+                    // Duplicate frame (node was pushed by two parents and
+                    // already processed): discard.
+                    dfs.pop();
+                    continue;
+                }
+                let st = state.get_mut(&v).unwrap();
+                st.index = Some(index);
+                st.lowlink = index;
+                st.on_stack = true;
+                index += 1;
+                stack.push(v);
+            }
+            let deps = edges.get(&v).map(|d| d.as_slice()).unwrap_or(&[]);
+            if let Some(dep) = deps.get(cursor) {
+                dfs.last_mut().unwrap().1 += 1;
+                let w = dep.on;
+                match state[&w].index {
+                    None => dfs.push((w, 0)),
+                    Some(widx) => {
+                        if state[&w].on_stack {
+                            let low = state[&v].lowlink.min(widx);
+                            state.get_mut(&v).unwrap().lowlink = low;
+                        }
+                    }
+                }
+            } else {
+                // v finished.
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    let low = state[&parent].lowlink.min(state[&v].lowlink);
+                    state.get_mut(&parent).unwrap().lowlink = low;
+                }
+                if state[&v].lowlink == state[&v].index.unwrap() {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().unwrap();
+                        state.get_mut(&w).unwrap().on_stack = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_rule;
+
+    fn rules(srcs: &[&str]) -> Vec<Rule> {
+        srcs.iter().map(|s| parse_rule(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn flat_rules_single_stratum() {
+        let g = DepGraph::build(&rules(&["member(X,Y) :- leads(X,Y)."])).unwrap();
+        assert_eq!(g.stratum(Sym::new("member")), 0);
+        assert_eq!(g.stratum(Sym::new("leads")), 0);
+        assert_eq!(g.height(), 1);
+        assert!(g.is_idb(Sym::new("member")));
+        assert!(!g.is_idb(Sym::new("leads")));
+    }
+
+    #[test]
+    fn negation_pushes_to_higher_stratum() {
+        let g = DepGraph::build(&rules(&[
+            "reach(X,Y) :- edge(X,Y).",
+            "reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+            "unreach(X,Y) :- node(X), node(Y), not reach(X,Y).",
+        ]))
+        .unwrap();
+        assert_eq!(g.stratum(Sym::new("reach")), 0);
+        assert_eq!(g.stratum(Sym::new("unreach")), 1);
+        assert_eq!(g.height(), 2);
+        assert!(g.is_recursive(Sym::new("reach")));
+        assert!(!g.is_recursive(Sym::new("unreach")));
+        assert!(g.reaches_recursion(Sym::new("unreach")));
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let err = DepGraph::build(&rules(&[
+            "p(X) :- base(X), not q(X).",
+            "q(X) :- base(X), not p(X).",
+        ]))
+        .unwrap_err();
+        let pair = (err.head.as_str(), err.through.as_str());
+        assert!(pair == ("p", "q") || pair == ("q", "p"));
+    }
+
+    #[test]
+    fn positive_cycle_allowed() {
+        let g = DepGraph::build(&rules(&[
+            "tc(X,Y) :- edge(X,Y).",
+            "tc(X,Z) :- tc(X,Y), tc(Y,Z).",
+        ]))
+        .unwrap();
+        assert!(g.is_recursive(Sym::new("tc")));
+        assert_eq!(g.height(), 1);
+    }
+
+    #[test]
+    fn mutual_recursion_same_stratum() {
+        let g = DepGraph::build(&rules(&[
+            "even(X) :- zero(X).",
+            "even(X) :- succ(Y,X), odd(Y).",
+            "odd(X) :- succ(Y,X), even(Y).",
+        ]))
+        .unwrap();
+        assert_eq!(g.stratum(Sym::new("even")), g.stratum(Sym::new("odd")));
+        assert!(g.is_recursive(Sym::new("even")));
+        assert!(g.is_recursive(Sym::new("odd")));
+    }
+
+    #[test]
+    fn stacked_negation_increments_strata() {
+        let g = DepGraph::build(&rules(&[
+            "a(X) :- base(X).",
+            "b(X) :- base(X), not a(X).",
+            "c(X) :- base(X), not b(X).",
+        ]))
+        .unwrap();
+        assert_eq!(g.stratum(Sym::new("a")), 0);
+        assert_eq!(g.stratum(Sym::new("b")), 1);
+        assert_eq!(g.stratum(Sym::new("c")), 2);
+        assert_eq!(g.height(), 3);
+    }
+
+    #[test]
+    fn reachable_closure() {
+        let g = DepGraph::build(&rules(&[
+            "a(X) :- b(X).",
+            "b(X) :- c(X).",
+            "d(X) :- e(X).",
+        ]))
+        .unwrap();
+        let mut r: Vec<&str> = g.reachable(Sym::new("a")).iter().map(|s| s.as_str()).collect();
+        r.sort();
+        assert_eq!(r, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_rule_set() {
+        let g = DepGraph::build(&[]).unwrap();
+        assert_eq!(g.height(), 1);
+        assert!(!g.is_idb(Sym::new("anything")));
+    }
+}

@@ -1,0 +1,58 @@
+//! # uniform-datalog
+//!
+//! Deductive-database substrate for the *uniform approach* (Bry, Decker &
+//! Manthey, EDBT 1988): everything below the integrity and satisfiability
+//! layers.
+//!
+//! * [`store`] — per-predicate relations with per-column hash indexes;
+//! * [`program`] — indexed rule sets with [`depgraph`] stratification;
+//! * [`model`] — stratified semi-naive materialization of the canonical
+//!   model (§2 semantics);
+//! * [`cq`] / [`eval`] — conjunctive-query and restricted-quantification
+//!   formula evaluation over any [`Interp`];
+//! * [`magic`] — goal-directed bottom-up evaluation via magic-sets
+//!   rewriting (the compilation counterpart of [`topdown`]);
+//! * [`maintain`] — counting-based incremental maintenance of the
+//!   materialized canonical model (induced updates as view deltas);
+//! * [`planner`] — cost-based optimization of general formulas (§6
+//!   future work: reordering and simplifying whole constraints, not
+//!   just conjunctive queries);
+//! * [`provenance`] — well-founded derivation trees answering *why* a
+//!   fact is in the canonical model;
+//! * [`topdown`] — the overlay engine simulating the updated database
+//!   (`new`, §3.3.2), goal-directed for non-recursive predicates and
+//!   falling back to materialization for recursive ones;
+//! * [`update`] — single-fact updates (Def. 1) and transactions;
+//! * [`database`] — the `D = (F, R, I)` triple with a cached model.
+
+pub mod cq;
+pub mod database;
+pub mod depgraph;
+pub mod eval;
+pub mod interp;
+pub mod magic;
+pub mod maintain;
+pub mod model;
+pub mod planner;
+pub mod provenance;
+pub mod program;
+pub mod serialize;
+pub mod store;
+pub mod topdown;
+pub mod update;
+
+pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction};
+pub use database::Database;
+pub use depgraph::{DepGraph, StratificationError};
+pub use eval::{satisfies, satisfies_closed};
+pub use interp::{Interp, Overlay};
+pub use magic::{answer_goal_magic, magic_rewrite, MagicAnswers, MagicError, MagicProgram};
+pub use maintain::{MaintainStats, MaintainedModel};
+pub use model::Model;
+pub use planner::{optimize_rq, Cardinality, FixedStats, PlanReport, Planner};
+pub use provenance::{Derivation, Provenance};
+pub use program::{BodyOccurrence, RuleSet};
+pub use serialize::to_program_source;
+pub use store::{FactSet, Relation};
+pub use topdown::OverlayEngine;
+pub use update::{Transaction, Update};

@@ -1,0 +1,586 @@
+//! Incremental maintenance of the materialized canonical model.
+//!
+//! Induced updates (Def. 4) are exactly the *view deltas* of the
+//! canonical model across an EDB change. The paper's checkers consume
+//! them transiently — `delta` enumerates descendants of the update, the
+//! overlay engine simulates the new state without materializing it.
+//! This module provides the complementary systems piece a resident
+//! deductive database needs: a [`MaintainedModel`] that keeps the
+//! canonical model materialized and applies updates *incrementally*
+//! instead of recomputing from scratch.
+//!
+//! Method: the classic counting algorithm over delta rules. Each
+//! derived fact of a **non-recursive stratum** carries the number of
+//! rule instantiations deriving it; a batch of truth flips Δ is pushed
+//! through every rule body position `i` with the telescoping join
+//!
+//! ```text
+//! Δ(body) = Σᵢ  new(b₁ … bᵢ₋₁) ⋈ Δ(bᵢ) ⋈ old(bᵢ₊₁ … bₙ)
+//! ```
+//!
+//! (negative literals contribute with flipped sign), so simultaneous
+//! insertions and deletions net out exactly. Counting is sound only
+//! without recursion; **recursive strata** are re-derived from their
+//! inputs by the stratified fixpoint and diffed — the standard
+//! fallback. Flips propagate upward stratum by stratum; the returned
+//! flip list equals the brute-force model diff (property-tested).
+
+use crate::interp::{Interp, Overlay};
+use crate::model::Model;
+use crate::program::RuleSet;
+use crate::store::FactSet;
+use crate::update::{Transaction, Update};
+use std::collections::HashMap;
+use uniform_logic::{match_atom, Fact, Literal, Subst, Sym};
+
+/// Counters exposed for tests and benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintainStats {
+    /// Batches of flips pushed through a stratum's rules.
+    pub batches: usize,
+    /// Signed count contributions computed by delta joins.
+    pub contributions: usize,
+    /// Visible truth flips (the induced updates), EDB level included.
+    pub flips: usize,
+    /// Recursive strata re-derived from scratch.
+    pub strata_recomputed: usize,
+}
+
+/// A materialized canonical model maintained across updates.
+pub struct MaintainedModel {
+    rules: RuleSet,
+    edb: FactSet,
+    /// Current canonical model (EDB facts plus supported IDB facts).
+    model: FactSet,
+    /// Rule-instantiation counts of derived facts in non-recursive
+    /// strata (facts of recursive strata are tracked by `model` alone).
+    counts: HashMap<Fact, i64>,
+    /// Rule indices grouped by head stratum.
+    rules_by_stratum: Vec<Vec<usize>>,
+    /// Does the stratum contain a recursive head predicate?
+    stratum_recursive: Vec<bool>,
+    stats: MaintainStats,
+}
+
+impl MaintainedModel {
+    /// Materialize `(edb, rules)` and prepare the counting state.
+    pub fn new(edb: FactSet, rules: RuleSet) -> MaintainedModel {
+        let graph = rules.graph();
+        let height = graph.height();
+        let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); height.max(1)];
+        let mut stratum_recursive = vec![false; height.max(1)];
+        for (idx, rule) in rules.rules().iter().enumerate() {
+            let s = graph.stratum(rule.head.pred);
+            rules_by_stratum[s].push(idx);
+            if graph.is_recursive(rule.head.pred) {
+                stratum_recursive[s] = true;
+            }
+        }
+
+        let model_rc = Model::compute(&edb, &rules);
+        let model = model_rc.facts().clone();
+
+        // Counts: number of body instantiations per derived fact, for
+        // rules in non-recursive strata, evaluated over the fixpoint.
+        let mut counts: HashMap<Fact, i64> = HashMap::new();
+        for (s, rule_ids) in rules_by_stratum.iter().enumerate() {
+            if stratum_recursive[s] {
+                continue;
+            }
+            for &idx in rule_ids {
+                let rule = rules.rule(idx);
+                crate::cq::solve_conjunction(&model, &rule.body, &mut Subst::new(), &mut |sub| {
+                    if let Some(head) = sub.ground_atom(&rule.head) {
+                        *counts.entry(head).or_insert(0) += 1;
+                    }
+                    true
+                });
+            }
+        }
+
+        MaintainedModel {
+            rules,
+            edb,
+            model,
+            counts,
+            rules_by_stratum,
+            stratum_recursive,
+            stats: MaintainStats::default(),
+        }
+    }
+
+    /// The maintained model.
+    pub fn model(&self) -> &FactSet {
+        &self.model
+    }
+
+    /// The extensional facts.
+    pub fn edb(&self) -> &FactSet {
+        &self.edb
+    }
+
+    pub fn stats(&self) -> MaintainStats {
+        self.stats
+    }
+
+    /// Is `fact` true in the maintained model?
+    pub fn holds(&self, fact: &Fact) -> bool {
+        self.model.contains(fact)
+    }
+
+    /// Apply one update; returns the visible truth flips (the update
+    /// itself when effective, plus every induced update, Def. 4).
+    pub fn apply(&mut self, update: &Update) -> Vec<Literal> {
+        self.apply_transaction(&Transaction::single(update.clone()))
+    }
+
+    /// Apply a transaction atomically; returns the visible truth flips.
+    pub fn apply_transaction(&mut self, tx: &Transaction) -> Vec<Literal> {
+        // Def. 1 net effect at the EDB level.
+        let mut seed: Vec<(Fact, i64)> = Vec::new();
+        for u in &tx.updates {
+            let effective = u.apply(&mut self.edb);
+            if effective {
+                seed.push((u.fact.clone(), if u.insert { 1 } else { -1 }));
+            }
+        }
+        // Net out insert-then-delete pairs inside the transaction.
+        let mut net: HashMap<Fact, i64> = HashMap::new();
+        for (f, s) in seed {
+            *net.entry(f).or_insert(0) += s;
+        }
+
+        let strata = self.rules_by_stratum.len();
+        // Per-stratum inbox of truth flips to push through that
+        // stratum's rules.
+        let mut inbox: Vec<Vec<(Fact, i64)>> = vec![Vec::new(); strata];
+        let mut flips: Vec<Literal> = Vec::new();
+
+        // Apply the EDB-level flips.
+        for (fact, sign) in net {
+            if sign == 0 {
+                continue;
+            }
+            // EDB presence changed; visible truth changes unless the
+            // fact stays derived (deletion masked by a derivation) or
+            // was already derived (insertion of a derived fact).
+            let now = sign > 0 || self.counts.get(&fact).copied().unwrap_or(0) > 0;
+            let was = self.model.contains(&fact);
+            if now != was {
+                self.record_flip(&fact, now, &mut inbox, &mut flips);
+            }
+        }
+
+        // Push flips upward, stratum by stratum. Within a stratum,
+        // batches repeat until quiescent (positive same-stratum chains).
+        for s in 0..strata {
+            loop {
+                let batch: Vec<(Fact, i64)> = std::mem::take(&mut inbox[s]);
+                if batch.is_empty() {
+                    break;
+                }
+                self.stats.batches += 1;
+                if self.stratum_recursive[s] {
+                    self.recompute_stratum(s, &mut inbox, &mut flips);
+                    // Recomputation consumed every pending flip for this
+                    // stratum in one go.
+                    continue;
+                }
+                self.push_batch(s, &batch, &mut inbox, &mut flips);
+            }
+        }
+        flips
+    }
+
+    /// Record a visible truth flip: update the model, the output list
+    /// and the inboxes of every stratum consuming the predicate.
+    fn record_flip(
+        &mut self,
+        fact: &Fact,
+        now: bool,
+        inbox: &mut [Vec<(Fact, i64)>],
+        flips: &mut Vec<Literal>,
+    ) {
+        if now {
+            self.model.insert(fact);
+        } else {
+            self.model.remove(fact);
+        }
+        self.stats.flips += 1;
+        flips.push(Literal::new(now, fact.to_atom()));
+        let sign = if now { 1 } else { -1 };
+        for (s, rule_ids) in self.rules_by_stratum.iter().enumerate() {
+            let consumes = rule_ids.iter().any(|&idx| {
+                self.rules.rule(idx).body.iter().any(|l| l.atom.pred == fact.pred)
+            });
+            if consumes {
+                inbox[s].push((fact.clone(), sign));
+            }
+        }
+    }
+
+    /// Delta-join one batch of flips through the rules of a
+    /// non-recursive stratum (the telescoping sum over body positions).
+    fn push_batch(
+        &mut self,
+        s: usize,
+        batch: &[(Fact, i64)],
+        inbox: &mut [Vec<(Fact, i64)>],
+        flips: &mut Vec<Literal>,
+    ) {
+        // Old state = current model with this batch undone.
+        let (inserted, deleted): (Vec<_>, Vec<_>) =
+            batch.iter().partition(|&&(_, sign)| sign > 0);
+        let inserted: Vec<Fact> = inserted.into_iter().map(|(f, _)| f.clone()).collect();
+        let deleted: Vec<Fact> = deleted.into_iter().map(|(f, _)| f.clone()).collect();
+
+        let mut contributions: HashMap<Fact, i64> = HashMap::new();
+        {
+            let new_view = &self.model;
+            let old_view = Overlay::new(&self.model, &deleted, &inserted);
+            for &idx in &self.rules_by_stratum[s] {
+                let rule = self.rules.rule(idx);
+                for (pos, lit) in rule.body.iter().enumerate() {
+                    for (fact, sign) in batch {
+                        if lit.atom.pred != fact.pred {
+                            continue;
+                        }
+                        let Some(binding) = match_atom(&lit.atom, fact) else {
+                            continue;
+                        };
+                        // A flip of `fact` changes the truth of this
+                        // body literal: same direction for positive
+                        // occurrences, inverted for negative ones.
+                        let contribution = if lit.positive { *sign } else { -sign };
+                        let prefix = &rule.body[..pos];
+                        let suffix = &rule.body[pos + 1..];
+                        let mut sub = binding.clone();
+                        crate::cq::solve_conjunction(new_view, prefix, &mut sub, &mut |s1| {
+                            crate::cq::solve_conjunction(&old_view, suffix, s1, &mut |s2| {
+                                if let Some(head) = s2.ground_atom(&rule.head) {
+                                    *contributions.entry(head).or_insert(0) += contribution;
+                                }
+                                true
+                            });
+                            true
+                        });
+                    }
+                }
+            }
+        }
+
+        for (head, delta) in contributions {
+            if delta == 0 {
+                continue;
+            }
+            self.stats.contributions += 1;
+            let count = self.counts.entry(head.clone()).or_insert(0);
+            *count += delta;
+            debug_assert!(*count >= 0, "negative derivation count for {head}");
+            let now = *count > 0 || self.edb.contains(&head);
+            let was = self.model.contains(&head);
+            if now != was {
+                self.record_flip(&head, now, inbox, flips);
+            }
+        }
+    }
+
+    /// Re-derive a recursive stratum from its (already updated) inputs
+    /// and diff against the previous contents.
+    fn recompute_stratum(
+        &mut self,
+        s: usize,
+        inbox: &mut [Vec<(Fact, i64)>],
+        flips: &mut Vec<Literal>,
+    ) {
+        self.stats.strata_recomputed += 1;
+        let head_preds: Vec<Sym> = {
+            let mut out: Vec<Sym> = Vec::new();
+            for &idx in &self.rules_by_stratum[s] {
+                let p = self.rules.rule(idx).head.pred;
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+            out
+        };
+
+        // Inputs: the current model minus this stratum's derived facts,
+        // with the stratum's explicit EDB facts retained.
+        let mut base = FactSet::new();
+        for f in self.model.iter() {
+            if !head_preds.contains(&f.pred) {
+                base.insert(&f);
+            }
+        }
+        for f in self.edb.iter() {
+            if head_preds.contains(&f.pred) {
+                base.insert(&f);
+            }
+        }
+
+        // Naive fixpoint of this stratum's rules over the base (inputs
+        // are frozen; only head predicates grow).
+        loop {
+            let mut grew = false;
+            for &idx in &self.rules_by_stratum[s] {
+                let rule = self.rules.rule(idx);
+                let mut derived: Vec<Fact> = Vec::new();
+                crate::cq::solve_conjunction(&base, &rule.body, &mut Subst::new(), &mut |sub| {
+                    if let Some(head) = sub.ground_atom(&rule.head) {
+                        derived.push(head);
+                    }
+                    true
+                });
+                for f in derived {
+                    grew |= base.insert(&f);
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+
+        // Diff against the previous stratum contents.
+        let mut changes: Vec<(Fact, bool)> = Vec::new();
+        for &p in &head_preds {
+            if let Some(rel) = base.relation(p) {
+                for args in rel.iter() {
+                    let f = Fact { pred: p, args: args.to_vec() };
+                    if !self.model.contains(&f) {
+                        changes.push((f, true));
+                    }
+                }
+            }
+            if let Some(rel) = self.model.relation(p) {
+                for args in rel.iter() {
+                    let f = Fact { pred: p, args: args.to_vec() };
+                    if !base.contains(&f) {
+                        changes.push((f, false));
+                    }
+                }
+            }
+        }
+        for (fact, now) in changes {
+            self.record_flip(&fact, now, inbox, flips);
+        }
+        // Flips of this stratum's own predicates were just settled by the
+        // recomputation; drop any self-notifications to avoid a loop.
+        inbox[s].retain(|(f, _)| !head_preds.contains(&f.pred));
+    }
+}
+
+impl Interp for MaintainedModel {
+    fn holds(&self, fact: &Fact) -> bool {
+        self.model.contains(fact)
+    }
+
+    fn scan(&self, pred: Sym, pattern: &[Option<Sym>], each: &mut dyn FnMut(&[Sym]) -> bool) -> bool {
+        self.model.scan(pred, pattern, each)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use uniform_logic::{parse_fact, parse_literal};
+
+    fn setup(src: &str) -> MaintainedModel {
+        let db = Database::parse(src).unwrap();
+        MaintainedModel::new(db.facts().clone(), db.rules().clone())
+    }
+
+    fn upd(src: &str) -> Update {
+        Update::from_literal(&parse_literal(src).unwrap()).unwrap()
+    }
+
+    fn sorted(mut v: Vec<Literal>) -> Vec<String> {
+        let mut out: Vec<String> = v.drain(..).map(|l| l.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    /// Oracle: recompute from scratch and compare contents.
+    fn assert_matches_recompute(m: &MaintainedModel) {
+        let fresh = Model::compute(m.edb(), &m.rules);
+        let mut a: Vec<String> = m.model().iter().map(|f| f.to_string()).collect();
+        let mut b: Vec<String> = fresh.iter().map(|f| f.to_string()).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "maintained model diverged from recomputation");
+    }
+
+    #[test]
+    fn chain_insert_and_delete() {
+        let mut m = setup("b(X) :- a(X). c(X) :- b(X).");
+        let flips = m.apply(&upd("a(x)"));
+        assert_eq!(sorted(flips), vec!["a(x)", "b(x)", "c(x)"]);
+        assert_matches_recompute(&m);
+        let flips = m.apply(&upd("not a(x)"));
+        assert_eq!(sorted(flips), vec!["not a(x)", "not b(x)", "not c(x)"]);
+        assert_matches_recompute(&m);
+        assert!(m.model().is_empty());
+    }
+
+    #[test]
+    fn double_derivation_survives_single_deletion() {
+        let mut m = setup("
+            w(X) :- l(X, Y).
+            l(a, d1). l(a, d2).
+        ");
+        assert!(m.holds(&parse_fact("w(a)").unwrap()));
+        let flips = m.apply(&upd("not l(a, d1)"));
+        assert_eq!(sorted(flips), vec!["not l(a,d1)"], "w(a) still supported");
+        assert!(m.holds(&parse_fact("w(a)").unwrap()));
+        let flips = m.apply(&upd("not l(a, d2)"));
+        assert_eq!(sorted(flips), vec!["not l(a,d2)", "not w(a)"]);
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn explicit_fact_masks_derived_deletion() {
+        let mut m = setup("
+            member(X, Y) :- leads(X, Y).
+            member(a, s). leads(a, s).
+        ");
+        let flips = m.apply(&upd("not member(a, s)"));
+        assert!(flips.is_empty(), "still derived: {flips:?}");
+        assert!(m.holds(&parse_fact("member(a,s)").unwrap()));
+        let flips = m.apply(&upd("not leads(a, s)"));
+        assert_eq!(sorted(flips), vec!["not leads(a,s)", "not member(a,s)"]);
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn negation_flips_both_ways() {
+        let mut m = setup("
+            idle(X) :- emp(X), not works(X).
+            emp(a).
+        ");
+        assert!(m.holds(&parse_fact("idle(a)").unwrap()));
+        let flips = m.apply(&upd("works(a)"));
+        assert_eq!(sorted(flips), vec!["not idle(a)", "works(a)"]);
+        let flips = m.apply(&upd("not works(a)"));
+        assert_eq!(sorted(flips), vec!["idle(a)", "not works(a)"]);
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn recursive_stratum_recomputed() {
+        let mut m = setup("
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- tc(X, Y), e(Y, Z).
+            e(a, b). e(b, c).
+        ");
+        let flips = m.apply(&upd("e(c, d)"));
+        assert_eq!(sorted(flips), vec!["e(c,d)", "tc(a,d)", "tc(b,d)", "tc(c,d)"]);
+        assert!(m.stats().strata_recomputed > 0);
+        let flips = m.apply(&upd("not e(b, c)"));
+        assert_eq!(
+            sorted(flips),
+            vec!["not e(b,c)", "not tc(a,c)", "not tc(a,d)", "not tc(b,c)", "not tc(b,d)"]
+        );
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn downstream_of_recursion_maintained() {
+        let mut m = setup("
+            tc(X, Y) :- e(X, Y).
+            tc(X, Z) :- tc(X, Y), e(Y, Z).
+            reach(X) :- tc(src, X).
+            e(src, a).
+        ");
+        let flips = m.apply(&upd("e(a, b)"));
+        assert_eq!(sorted(flips), vec!["e(a,b)", "reach(b)", "tc(a,b)", "tc(src,b)"]);
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn transaction_nets_out() {
+        let mut m = setup("b(X) :- a(X).");
+        let tx = Transaction::new(vec![upd("a(x)"), upd("not a(x)")]);
+        let flips = m.apply_transaction(&tx);
+        assert!(flips.is_empty(), "{flips:?}");
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn simultaneous_flip_of_two_body_literals() {
+        // The Def. 4 regression shape: both supports flip in one batch.
+        let mut m = setup("
+            b(X) :- d(X). c(X) :- d(X).
+            a(X) :- b(X), c(X).
+            d(k).
+        ");
+        let flips = m.apply(&upd("not d(k)"));
+        assert_eq!(sorted(flips), vec!["not a(k)", "not b(k)", "not c(k)", "not d(k)"]);
+        assert_matches_recompute(&m);
+        let flips = m.apply(&upd("d(k)"));
+        assert_eq!(sorted(flips), vec!["a(k)", "b(k)", "c(k)", "d(k)"]);
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn noop_updates_produce_no_flips() {
+        let mut m = setup("b(X) :- a(X). a(x).");
+        assert!(m.apply(&upd("a(x)")).is_empty(), "re-insertion");
+        assert!(m.apply(&upd("not a(zzz)")).is_empty(), "absent deletion");
+        assert_matches_recompute(&m);
+    }
+
+    #[test]
+    fn flips_equal_model_diff_on_random_sequences() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let src = "
+            m(X,Y) :- l(X,Y).
+            t(X) :- p(X), q(X).
+            u(X) :- p(X), not q(X).
+            tc(X,Y) :- r(X,Y).
+            tc(X,Z) :- tc(X,Y), r(Y,Z).
+            w(X) :- m(X,Y), s(Y).
+        ";
+        let db = Database::parse(src).unwrap();
+        let mut m = MaintainedModel::new(db.facts().clone(), db.rules().clone());
+        let consts = ["a", "b", "c"];
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..300 {
+            let (pred, arity) = [("p", 1), ("q", 1), ("s", 1), ("l", 2), ("r", 2)]
+                [rng.gen_range(0..5)];
+            let args: Vec<&str> =
+                (0..arity).map(|_| consts[rng.gen_range(0..consts.len())]).collect();
+            let fact = Fact::parse_like(pred, &args);
+            let update =
+                if rng.gen_bool(0.5) { Update::insert(fact) } else { Update::delete(fact) };
+
+            let before = Model::compute(m.edb(), &db.rules().clone());
+            let flips = m.apply(&update);
+            let after = Model::compute(m.edb(), &db.rules().clone());
+
+            // Contents match recomputation…
+            let mut got: Vec<String> = m.model().iter().map(|f| f.to_string()).collect();
+            let mut want: Vec<String> = after.iter().map(|f| f.to_string()).collect();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "step {step}: contents diverged on {update}");
+
+            // …and the flip list equals the model diff.
+            let mut expected: Vec<String> = Vec::new();
+            for f in after.iter() {
+                if !before.contains(&f) {
+                    expected.push(format!("{f}"));
+                }
+            }
+            for f in before.iter() {
+                if !after.contains(&f) {
+                    expected.push(format!("not {f}"));
+                }
+            }
+            expected.sort();
+            let got = sorted(flips);
+            assert_eq!(got, expected, "step {step}: flips diverged on {update}");
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Canonical-model materialization: stratified semi-naive evaluation.
+//!
+//! §2: "The semantics of integrity constraints — as of queries in general
+//! — are defined according to a canonical interpretation in which the true
+//! atoms are exactly those that are explicit in F or derivable from F and
+//! R", with R stratified in the sense of Apt–Blair–Walker. This module
+//! computes that interpretation bottom-up, stratum by stratum, with
+//! semi-naive differentiation inside each stratum.
+
+use crate::cq::solve_conjunction;
+use crate::interp::Interp;
+use crate::program::RuleSet;
+use crate::store::FactSet;
+use std::collections::HashSet;
+use uniform_logic::{Fact, Literal, Rule, Subst, Sym};
+
+/// A materialized canonical model. Wraps a [`FactSet`] holding explicit
+/// and derived facts together.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    facts: FactSet,
+}
+
+impl Model {
+    /// Compute the canonical model of `edb` under `rules`.
+    pub fn compute(edb: &FactSet, rules: &RuleSet) -> Model {
+        Self::compute_restricted(edb, rules, None)
+    }
+
+    /// Compute the canonical model restricted to rules whose head is in
+    /// `only` (when given). Used by the goal-directed overlay engine to
+    /// avoid materializing unrelated predicates: restricting to the
+    /// predicates reachable from a goal is sound because derivations only
+    /// ever consult reachable predicates.
+    pub fn compute_restricted(edb: &FactSet, rules: &RuleSet, only: Option<&[Sym]>) -> Model {
+        let mut facts = edb.clone();
+        let graph = rules.graph();
+        let height = graph.height();
+        let relevant = |rule: &Rule| only.is_none_or(|set| set.contains(&rule.head.pred));
+
+        for stratum in 0..height {
+            // Rules of this stratum (by head predicate).
+            let layer: Vec<&Rule> = rules
+                .rules()
+                .iter()
+                .filter(|r| graph.stratum(r.head.pred) == stratum && relevant(r))
+                .collect();
+            if layer.is_empty() {
+                continue;
+            }
+
+            // Naive first round: derive from everything present.
+            let mut delta: Vec<Fact> = Vec::new();
+            let mut delta_set: HashSet<Fact> = HashSet::new();
+            for rule in &layer {
+                derive_all(&facts, rule, &mut |f| {
+                    if !facts.contains(&f) && delta_set.insert(f.clone()) {
+                        delta.push(f);
+                    }
+                });
+            }
+            for f in &delta {
+                facts.insert(f);
+            }
+
+            // Semi-naive rounds: each new round only fires rules through a
+            // body literal matching a delta fact of the previous round.
+            while !delta.is_empty() {
+                let mut next: Vec<Fact> = Vec::new();
+                let mut next_set: HashSet<Fact> = HashSet::new();
+                for rule in &layer {
+                    for (pos, lit) in rule.body.iter().enumerate() {
+                        if !lit.positive {
+                            continue;
+                        }
+                        // Only differentiate on literals of this stratum's
+                        // IDB predicates: lower-stratum and EDB relations
+                        // cannot have grown during this stratum.
+                        if graph.stratum(lit.atom.pred) != stratum || !graph.is_idb(lit.atom.pred)
+                        {
+                            continue;
+                        }
+                        for d in &delta {
+                            derive_through(&facts, rule, pos, d, &mut |f| {
+                                if !facts.contains(&f) && next_set.insert(f.clone()) {
+                                    next.push(f);
+                                }
+                            });
+                        }
+                    }
+                }
+                for f in &next {
+                    facts.insert(f);
+                }
+                delta = next;
+            }
+        }
+        Model { facts }
+    }
+
+    pub fn facts(&self) -> &FactSet {
+        &self.facts
+    }
+
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.facts.iter()
+    }
+
+    /// Facts present in `self` but not in `other` — the positive half of
+    /// an induced-update diff.
+    pub fn difference(&self, other: &Model) -> Vec<Fact> {
+        self.iter().filter(|f| !other.contains(f)).collect()
+    }
+}
+
+impl Interp for Model {
+    fn holds(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    fn scan(
+        &self,
+        pred: Sym,
+        pattern: &[Option<Sym>],
+        each: &mut dyn FnMut(&[Sym]) -> bool,
+    ) -> bool {
+        self.facts.scan(pred, pattern, each)
+    }
+}
+
+/// Fire `rule` in `interp`, emitting every (possibly already known) head
+/// fact.
+fn derive_all(interp: &dyn Interp, rule: &Rule, emit: &mut dyn FnMut(Fact)) {
+    let mut subst = Subst::new();
+    solve_conjunction(interp, &rule.body, &mut subst, &mut |s| {
+        if let Some(f) = s.ground_atom(&rule.head) {
+            emit(f);
+        }
+        true
+    });
+}
+
+/// Fire `rule` with body literal `pos` bound to the delta fact `d` and the
+/// remaining literals evaluated in `interp`.
+fn derive_through(
+    interp: &dyn Interp,
+    rule: &Rule,
+    pos: usize,
+    d: &Fact,
+    emit: &mut dyn FnMut(Fact),
+) {
+    let lit = &rule.body[pos];
+    let Some(mut subst) = uniform_logic::match_atom(&lit.atom, d) else {
+        return;
+    };
+    let rest: Vec<Literal> = rule.body_without(pos);
+    solve_conjunction(interp, &rest, &mut subst, &mut |s| {
+        if let Some(f) = s.ground_atom(&rule.head) {
+            emit(f);
+        }
+        true
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::{parse_fact, parse_rule};
+
+    fn edb(facts: &[&str]) -> FactSet {
+        FactSet::from_facts(facts.iter().map(|f| parse_fact(f).unwrap()))
+    }
+
+    fn rules(srcs: &[&str]) -> RuleSet {
+        RuleSet::new(srcs.iter().map(|s| parse_rule(s).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn flat_rule_derivation() {
+        let m = Model::compute(
+            &edb(&["leads(ann, sales)."]),
+            &rules(&["member(X,Y) :- leads(X,Y)."]),
+        );
+        assert!(m.contains(&parse_fact("member(ann, sales).").unwrap()));
+        assert!(m.contains(&parse_fact("leads(ann, sales).").unwrap()));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn transitive_closure_linear() {
+        let m = Model::compute(
+            &edb(&["edge(a,b).", "edge(b,c).", "edge(c,d)."]),
+            &rules(&["tc(X,Y) :- edge(X,Y).", "tc(X,Z) :- tc(X,Y), edge(Y,Z)."]),
+        );
+        for (x, y) in [("a", "b"), ("a", "c"), ("a", "d"), ("b", "d"), ("c", "d")] {
+            assert!(m.contains(&Fact::parse_like("tc", &[x, y])), "missing tc({x},{y})");
+        }
+        assert_eq!(m.iter().filter(|f| f.pred == Sym::new("tc")).count(), 6);
+    }
+
+    #[test]
+    fn transitive_closure_nonlinear() {
+        let m = Model::compute(
+            &edb(&["edge(a,b).", "edge(b,c).", "edge(c,a)."]),
+            &rules(&["tc(X,Y) :- edge(X,Y).", "tc(X,Z) :- tc(X,Y), tc(Y,Z)."]),
+        );
+        // Cycle: everything reaches everything.
+        assert_eq!(m.iter().filter(|f| f.pred == Sym::new("tc")).count(), 9);
+    }
+
+    #[test]
+    fn stratified_negation() {
+        let m = Model::compute(
+            &edb(&["node(a).", "node(b).", "node(c).", "edge(a,b)."]),
+            &rules(&[
+                "reach(X,Y) :- edge(X,Y).",
+                "reach(X,Z) :- reach(X,Y), edge(Y,Z).",
+                "unreach(X,Y) :- node(X), node(Y), not reach(X,Y).",
+            ]),
+        );
+        assert!(m.contains(&Fact::parse_like("unreach", &["b", "a"])));
+        assert!(m.contains(&Fact::parse_like("unreach", &["a", "c"])));
+        assert!(!m.contains(&Fact::parse_like("unreach", &["a", "b"])));
+        // a cannot reach a (no self loop).
+        assert!(m.contains(&Fact::parse_like("unreach", &["a", "a"])));
+    }
+
+    #[test]
+    fn mutual_recursion_even_odd() {
+        let m = Model::compute(
+            &edb(&["zero(n0).", "succ(n0,n1).", "succ(n1,n2).", "succ(n2,n3)."]),
+            &rules(&[
+                "even(X) :- zero(X).",
+                "even(X) :- succ(Y,X), odd(Y).",
+                "odd(X) :- succ(Y,X), even(Y).",
+            ]),
+        );
+        assert!(m.contains(&Fact::parse_like("even", &["n0"])));
+        assert!(m.contains(&Fact::parse_like("odd", &["n1"])));
+        assert!(m.contains(&Fact::parse_like("even", &["n2"])));
+        assert!(m.contains(&Fact::parse_like("odd", &["n3"])));
+        assert!(!m.contains(&Fact::parse_like("odd", &["n0"])));
+        assert!(!m.contains(&Fact::parse_like("even", &["n1"])));
+    }
+
+    #[test]
+    fn idb_predicates_can_have_edb_facts() {
+        let m = Model::compute(
+            &edb(&["member(bob, hr).", "leads(ann, sales)."]),
+            &rules(&["member(X,Y) :- leads(X,Y)."]),
+        );
+        assert!(m.contains(&Fact::parse_like("member", &["bob", "hr"])));
+        assert!(m.contains(&Fact::parse_like("member", &["ann", "sales"])));
+    }
+
+    #[test]
+    fn restricted_computation_skips_unreachable_heads() {
+        let m = Model::compute_restricted(
+            &edb(&["p(a).", "q(a)."]),
+            &rules(&["r(X) :- p(X).", "s(X) :- q(X)."]),
+            Some(&[Sym::new("r")]),
+        );
+        assert!(m.contains(&Fact::parse_like("r", &["a"])));
+        assert!(!m.contains(&Fact::parse_like("s", &["a"])));
+    }
+
+    #[test]
+    fn difference_detects_induced_changes() {
+        let rules = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let before = Model::compute(&edb(&[]), &rules);
+        let after = Model::compute(&edb(&["leads(c, b)."]), &rules);
+        let mut diff: Vec<String> =
+            after.difference(&before).iter().map(|f| f.to_string()).collect();
+        diff.sort();
+        assert_eq!(diff, vec!["leads(c,b)", "member(c,b)"]);
+    }
+
+    #[test]
+    fn same_generation() {
+        let m = Model::compute(
+            &edb(&[
+                "parent(a, b).",
+                "parent(a, c).",
+                "parent(b, d).",
+                "parent(c, e).",
+            ]),
+            &rules(&[
+                "sg(X,X) :- person(X).",
+                "person(X) :- parent(X, Y).",
+                "person(Y) :- parent(X, Y).",
+                "sg(X,Y) :- parent(PX, X), sg(PX, PY), parent(PY, Y).",
+            ]),
+        );
+        assert!(m.contains(&Fact::parse_like("sg", &["b", "c"])));
+        assert!(m.contains(&Fact::parse_like("sg", &["d", "e"])));
+        assert!(!m.contains(&Fact::parse_like("sg", &["b", "e"])));
+    }
+}

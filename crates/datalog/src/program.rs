@@ -1,0 +1,151 @@
+//! Rule sets with the two indexes integrity checking needs.
+//!
+//! * by head predicate — resolution of goals against rule heads
+//!   (top-down evaluation, `new`);
+//! * by body literal — the paper's `directly_dependent(L, A, R)` relation
+//!   (§3.3.1): for every rule `A ← B` and every literal `L'` in `B`, an
+//!   entry keyed by `L'`'s predicate and sign, carrying the head and the
+//!   residue `B \ L'`. Both the induced-update (Def. 4) and the
+//!   potential-update (Def. 5) computations walk this index.
+
+use crate::depgraph::{DepGraph, StratificationError};
+use uniform_logic::{Literal, Rule, Sym};
+use std::collections::HashMap;
+
+/// One `directly_dependent` entry: the body literal `L'` at `position` of
+/// `rule` (`rules[rule_idx]`), whose head may change when a literal
+/// unifying with `L'` (same sign) or its complement (opposite sign)
+/// changes.
+#[derive(Clone, Debug)]
+pub struct BodyOccurrence {
+    pub rule_idx: usize,
+    pub position: usize,
+}
+
+/// An immutable, indexed rule set with its stratification.
+#[derive(Clone, Debug)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+    by_head: HashMap<Sym, Vec<usize>>,
+    /// (body predicate, body-literal positivity) → occurrences.
+    by_body: HashMap<(Sym, bool), Vec<BodyOccurrence>>,
+    graph: DepGraph,
+}
+
+impl RuleSet {
+    pub fn new(rules: Vec<Rule>) -> Result<RuleSet, StratificationError> {
+        let graph = DepGraph::build(&rules)?;
+        let mut by_head: HashMap<Sym, Vec<usize>> = HashMap::new();
+        let mut by_body: HashMap<(Sym, bool), Vec<BodyOccurrence>> = HashMap::new();
+        for (i, rule) in rules.iter().enumerate() {
+            by_head.entry(rule.head.pred).or_default().push(i);
+            for (pos, lit) in rule.body.iter().enumerate() {
+                by_body
+                    .entry((lit.atom.pred, lit.positive))
+                    .or_default()
+                    .push(BodyOccurrence { rule_idx: i, position: pos });
+            }
+        }
+        Ok(RuleSet { rules, by_head, by_body, graph })
+    }
+
+    pub fn empty() -> RuleSet {
+        RuleSet::new(Vec::new()).expect("empty rule set is trivially stratified")
+    }
+
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+
+    /// Rules whose head predicate is `pred`.
+    pub fn rules_for(&self, pred: Sym) -> impl Iterator<Item = (usize, &Rule)> {
+        self.by_head
+            .get(&pred)
+            .into_iter()
+            .flatten()
+            .map(move |&i| (i, &self.rules[i]))
+    }
+
+    /// Body occurrences of literals with predicate `pred` and the given
+    /// positivity.
+    pub fn body_occurrences(
+        &self,
+        pred: Sym,
+        positive: bool,
+    ) -> impl Iterator<Item = (&Rule, &Literal, &BodyOccurrence)> {
+        self.by_body
+            .get(&(pred, positive))
+            .into_iter()
+            .flatten()
+            .map(move |occ| {
+                let rule = &self.rules[occ.rule_idx];
+                (rule, &rule.body[occ.position], occ)
+            })
+    }
+
+    pub fn rule(&self, idx: usize) -> &Rule {
+        &self.rules[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_rule;
+
+    fn rs(srcs: &[&str]) -> RuleSet {
+        RuleSet::new(srcs.iter().map(|s| parse_rule(s).unwrap()).collect()).unwrap()
+    }
+
+    #[test]
+    fn head_index() {
+        let set = rs(&[
+            "member(X,Y) :- leads(X,Y).",
+            "member(X,Y) :- assigned(X,Y).",
+            "boss(X) :- leads(X,Y).",
+        ]);
+        assert_eq!(set.rules_for(Sym::new("member")).count(), 2);
+        assert_eq!(set.rules_for(Sym::new("boss")).count(), 1);
+        assert_eq!(set.rules_for(Sym::new("leads")).count(), 0);
+    }
+
+    #[test]
+    fn body_index_distinguishes_sign() {
+        let set = rs(&["p(X) :- q(X), not r(X)."]);
+        assert_eq!(set.body_occurrences(Sym::new("q"), true).count(), 1);
+        assert_eq!(set.body_occurrences(Sym::new("q"), false).count(), 0);
+        assert_eq!(set.body_occurrences(Sym::new("r"), false).count(), 1);
+        let (rule, lit, occ) = set.body_occurrences(Sym::new("r"), false).next().unwrap();
+        assert!(!lit.positive);
+        assert_eq!(rule.head.pred, Sym::new("p"));
+        assert_eq!(occ.position, 1);
+    }
+
+    #[test]
+    fn unstratified_rejected() {
+        let rules: Vec<Rule> = ["win(X) :- move(X,Y), not win(Y)."]
+            .iter()
+            .map(|s| parse_rule(s).unwrap())
+            .collect();
+        assert!(RuleSet::new(rules).is_err());
+    }
+
+    #[test]
+    fn empty_set() {
+        let set = RuleSet::empty();
+        assert!(set.is_empty());
+        assert_eq!(set.graph().height(), 1);
+    }
+}

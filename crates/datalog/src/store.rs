@@ -1,0 +1,394 @@
+//! The fact store: per-predicate relations with per-column hash indexes.
+//!
+//! Tuples live in an append-only arena per relation; deletion tombstones a
+//! slot (re-insertion revives it). Every column has a hash index from
+//! value to slots, so a scan with any bound position is a bucket lookup
+//! rather than a full pass — this is what makes simplified-instance
+//! evaluation O(matching tuples) instead of O(relation), the asymmetry
+//! experiment E1 measures.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use uniform_logic::{Fact, Sym};
+
+/// One stored relation (all facts of one predicate).
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    /// Slot arena. `None` = deleted.
+    tuples: Vec<Option<Box<[Sym]>>>,
+    /// Tuple → slot, including tombstoned slots (for revival).
+    slot_of: HashMap<Box<[Sym]>, u32>,
+    /// Per column: value → slots ever inserted with that value. Stale
+    /// entries (tombstoned or revived-elsewhere) are filtered on read.
+    col_index: Vec<HashMap<Sym, Vec<u32>>>,
+    live: usize,
+}
+
+impl Relation {
+    pub fn new(arity: usize) -> Relation {
+        Relation {
+            arity,
+            tuples: Vec::new(),
+            slot_of: HashMap::new(),
+            col_index: (0..arity).map(|_| HashMap::new()).collect(),
+            live: 0,
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    pub fn contains(&self, args: &[Sym]) -> bool {
+        self.slot_of
+            .get(args)
+            .is_some_and(|&slot| self.tuples[slot as usize].is_some())
+    }
+
+    /// Insert a tuple; returns `true` if it was not present.
+    pub fn insert(&mut self, args: &[Sym]) -> bool {
+        debug_assert_eq!(args.len(), self.arity);
+        match self.slot_of.entry(args.into()) {
+            Entry::Occupied(e) => {
+                let slot = *e.get() as usize;
+                if self.tuples[slot].is_some() {
+                    false
+                } else {
+                    self.tuples[slot] = Some(args.into());
+                    self.live += 1;
+                    true
+                }
+            }
+            Entry::Vacant(e) => {
+                let slot = self.tuples.len() as u32;
+                e.insert(slot);
+                self.tuples.push(Some(args.into()));
+                for (col, &value) in args.iter().enumerate() {
+                    self.col_index[col].entry(value).or_default().push(slot);
+                }
+                self.live += 1;
+                true
+            }
+        }
+    }
+
+    /// Delete a tuple; returns `true` if it was present.
+    pub fn remove(&mut self, args: &[Sym]) -> bool {
+        if let Some(&slot) = self.slot_of.get(args) {
+            let cell = &mut self.tuples[slot as usize];
+            if cell.is_some() {
+                *cell = None;
+                self.live -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Enumerate live tuples matching `pattern` (`Some(c)` pins a column).
+    /// `each` returns `false` to stop early; `scan` reports whether the
+    /// enumeration ran to completion.
+    pub fn scan(&self, pattern: &[Option<Sym>], each: &mut dyn FnMut(&[Sym]) -> bool) -> bool {
+        debug_assert_eq!(pattern.len(), self.arity);
+        // Pick the most selective bound column.
+        let mut best: Option<(usize, &Vec<u32>)> = None;
+        for (col, p) in pattern.iter().enumerate() {
+            if let Some(value) = p {
+                match self.col_index[col].get(value) {
+                    None => return true, // no tuple has this value: empty result
+                    Some(bucket) => {
+                        if best.is_none_or(|(_, b)| bucket.len() < b.len()) {
+                            best = Some((col, bucket));
+                        }
+                    }
+                }
+            }
+        }
+        let matches = |tuple: &[Sym]| {
+            pattern
+                .iter()
+                .zip(tuple)
+                .all(|(p, &v)| p.is_none_or(|c| c == v))
+        };
+        match best {
+            Some((_, bucket)) => {
+                for &slot in bucket {
+                    if let Some(tuple) = &self.tuples[slot as usize] {
+                        if matches(tuple) && !each(tuple) {
+                            return false;
+                        }
+                    }
+                }
+                true
+            }
+            None => {
+                for tuple in self.tuples.iter().flatten() {
+                    if matches(tuple) && !each(tuple) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Iterate all live tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &[Sym]> {
+        self.tuples.iter().filter_map(|t| t.as_deref())
+    }
+}
+
+/// All extensional facts of a database, keyed by predicate.
+///
+/// Relations are kept in predicate-first-insertion order and all
+/// iteration follows it: identical operation sequences produce
+/// identical iteration orders. This determinism is load-bearing — the
+/// satisfiability search enforces violated instances in
+/// model-iteration order, and a randomized order (as with a plain
+/// `HashMap` and its per-instance `RandomState`) makes search outcomes
+/// within a fresh-constant budget irreproducible.
+#[derive(Clone, Debug, Default)]
+pub struct FactSet {
+    index: HashMap<Sym, u32>,
+    relations: Vec<(Sym, Relation)>,
+    len: usize,
+}
+
+impl FactSet {
+    pub fn new() -> FactSet {
+        FactSet::default()
+    }
+
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> FactSet {
+        let mut out = FactSet::new();
+        for f in facts {
+            out.insert(&f);
+        }
+        out
+    }
+
+    /// Total number of stored facts.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.index.get(&fact.pred).is_some_and(|&slot| {
+            let r = &self.relations[slot as usize].1;
+            r.arity() == fact.args.len() && r.contains(&fact.args)
+        })
+    }
+
+    /// Insert; returns `true` if the fact was new (Def. 1: inserting an
+    /// explicit fact leaves the database unchanged).
+    pub fn insert(&mut self, fact: &Fact) -> bool {
+        let slot = *self.index.entry(fact.pred).or_insert_with(|| {
+            let slot = self.relations.len() as u32;
+            self.relations.push((fact.pred, Relation::new(fact.args.len())));
+            slot
+        });
+        let rel = &mut self.relations[slot as usize].1;
+        assert_eq!(
+            rel.arity(),
+            fact.args.len(),
+            "predicate {} used with arities {} and {}",
+            fact.pred,
+            rel.arity(),
+            fact.args.len()
+        );
+        let added = rel.insert(&fact.args);
+        if added {
+            self.len += 1;
+        }
+        added
+    }
+
+    /// Delete; returns `true` if the fact was present (Def. 1: deleting an
+    /// absent fact leaves the database unchanged).
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        let removed = self
+            .index
+            .get(&fact.pred)
+            .is_some_and(|&slot| self.relations[slot as usize].1.remove(&fact.args));
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    pub fn relation(&self, pred: Sym) -> Option<&Relation> {
+        self.index.get(&pred).map(|&slot| &self.relations[slot as usize].1)
+    }
+
+    /// Predicates with at least one stored (possibly tombstoned)
+    /// relation, in first-insertion order.
+    pub fn predicates(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.relations.iter().map(|&(pred, _)| pred)
+    }
+
+    /// Iterate all facts, in predicate-then-tuple insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.relations.iter().flat_map(|(pred, rel)| {
+            rel.iter().map(move |args| Fact { pred: *pred, args: args.to_vec() })
+        })
+    }
+
+    /// All constants appearing in stored facts (the active domain), in
+    /// name order (stable across processes; interner-id order is not).
+    pub fn active_domain(&self) -> Vec<Sym> {
+        let mut out: Vec<Sym> = self
+            .relations
+            .iter()
+            .flat_map(|(_, r)| r.iter().flatten().copied())
+            .collect();
+        out.sort_by_key(|s| s.as_str());
+        out.dedup();
+        out
+    }
+}
+
+impl FromIterator<Fact> for FactSet {
+    fn from_iter<I: IntoIterator<Item = Fact>>(iter: I) -> FactSet {
+        FactSet::from_facts(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(p: &str, args: &[&str]) -> Fact {
+        Fact::parse_like(p, args)
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut fs = FactSet::new();
+        assert!(fs.insert(&fact("p", &["a", "b"])));
+        assert!(!fs.insert(&fact("p", &["a", "b"])), "duplicate insert is a no-op");
+        assert!(fs.contains(&fact("p", &["a", "b"])));
+        assert_eq!(fs.len(), 1);
+        assert!(fs.remove(&fact("p", &["a", "b"])));
+        assert!(!fs.remove(&fact("p", &["a", "b"])), "absent delete is a no-op");
+        assert!(!fs.contains(&fact("p", &["a", "b"])));
+        assert_eq!(fs.len(), 0);
+    }
+
+    #[test]
+    fn reinsertion_after_delete_revives_slot() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a"]));
+        fs.remove(&fact("p", &["a"]));
+        assert!(fs.insert(&fact("p", &["a"])));
+        assert!(fs.contains(&fact("p", &["a"])));
+        assert_eq!(fs.relation(Sym::new("p")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn scan_with_bound_column_uses_index() {
+        let mut fs = FactSet::new();
+        for i in 0..100 {
+            fs.insert(&fact("edge", &[&format!("n{i}"), &format!("n{}", i + 1)]));
+        }
+        let rel = fs.relation(Sym::new("edge")).unwrap();
+        let mut seen = Vec::new();
+        rel.scan(&[Some(Sym::new("n5")), None], &mut |t| {
+            seen.push(t.to_vec());
+            true
+        });
+        assert_eq!(seen, vec![vec![Sym::new("n5"), Sym::new("n6")]]);
+    }
+
+    #[test]
+    fn scan_early_termination() {
+        let mut fs = FactSet::new();
+        for i in 0..10 {
+            fs.insert(&fact("p", &[&format!("c{i}")]));
+        }
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        let mut count = 0;
+        let completed = rel.scan(&[None], &mut |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!completed);
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn scan_skips_tombstones() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a"]));
+        fs.insert(&fact("p", &["b"]));
+        fs.remove(&fact("p", &["a"]));
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        let mut seen = Vec::new();
+        rel.scan(&[None], &mut |t| {
+            seen.push(t[0]);
+            true
+        });
+        assert_eq!(seen, vec![Sym::new("b")]);
+        // Bound scan on the tombstoned value finds nothing.
+        let mut hit = false;
+        rel.scan(&[Some(Sym::new("a"))], &mut |_| {
+            hit = true;
+            true
+        });
+        assert!(!hit);
+    }
+
+    #[test]
+    fn unknown_value_short_circuits() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a"]));
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        let mut hit = false;
+        assert!(rel.scan(&[Some(Sym::new("zzz"))], &mut |_| {
+            hit = true;
+            true
+        }));
+        assert!(!hit);
+    }
+
+    #[test]
+    fn active_domain_collects_constants() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a", "b"]));
+        fs.insert(&fact("q", &["b", "c"]));
+        let dom: Vec<&str> = fs.active_domain().iter().map(|s| s.as_str()).collect();
+        assert_eq!(dom, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arities")]
+    fn arity_mismatch_panics() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a"]));
+        fs.insert(&fact("p", &["a", "b"]));
+    }
+
+    #[test]
+    fn iter_yields_all_live_facts() {
+        let mut fs = FactSet::new();
+        fs.insert(&fact("p", &["a"]));
+        fs.insert(&fact("q", &["b", "c"]));
+        fs.insert(&fact("p", &["d"]));
+        fs.remove(&fact("p", &["a"]));
+        let mut all: Vec<String> = fs.iter().map(|f| f.to_string()).collect();
+        all.sort();
+        assert_eq!(all, vec!["p(d)", "q(b,c)"]);
+    }
+}

@@ -1,0 +1,329 @@
+//! The overlay query engine: the evaluator `new(U, ·)` relies on.
+//!
+//! §3.3.2 simulates the updated database with a meta-interpreter instead
+//! of applying the update: an atom holds in `U(D)` if it is explicit and
+//! not deleted, or is the inserted fact, or follows from a rule whose body
+//! holds in `U(D)`. The paper notes that the interpreter "is not
+//! recursive as long as no deduction rules of the database are recursive",
+//! and that recursive rules require a query evaluator able to handle
+//! recursion (Vieille 87).
+//!
+//! This engine follows the same split:
+//!
+//! * predicates whose reachable subprogram is non-recursive are solved by
+//!   goal-directed SLD-style resolution over the overlaid EDB — zero
+//!   materialization, bindings pushed into scans;
+//! * predicates that reach recursion fall back to a lazily materialized
+//!   canonical model of the overlaid database (computed once per engine,
+//!   restricted to the reachable subprogram).
+
+use crate::interp::{Interp, Overlay};
+use crate::model::Model;
+use crate::program::RuleSet;
+use crate::store::FactSet;
+use crate::cq::solve_conjunction;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use uniform_logic::{Fact, Subst, Sym, Term};
+
+/// A virtual interpretation of the canonical model of `U(D)`, where the
+/// update is *not* applied to `edb`.
+pub struct OverlayEngine<'a> {
+    edb: &'a FactSet,
+    rules: &'a RuleSet,
+    added: Vec<Fact>,
+    removed: Vec<Fact>,
+    /// Lazily materialized canonical model of the overlaid database, only
+    /// built when a recursion-reaching predicate is queried.
+    materialized: RefCell<Option<Model>>,
+    /// Statistics: how many times the recursive fallback was taken.
+    materializations: RefCell<usize>,
+    /// Memo for ground IDB goals solved through the SLD path. This is the
+    /// engine-level realization of §3.2's "global evaluation": when many
+    /// simplified instances are evaluated against one simulated state,
+    /// shared subqueries (the paper's `attends(jack, ddb)` example) are
+    /// answered once.
+    goal_memo: RefCell<HashMap<Fact, bool>>,
+    memo_hits: RefCell<usize>,
+}
+
+impl<'a> OverlayEngine<'a> {
+    /// Engine for the *current* state (no update) — this is `evaluate`.
+    pub fn current(edb: &'a FactSet, rules: &'a RuleSet) -> Self {
+        Self::updated(edb, rules, Vec::new(), Vec::new())
+    }
+
+    /// Engine for the updated state `U(D)` — this is `new`. Positive
+    /// update literals are insertions, negative ones deletions (§3); a
+    /// transaction passes its net effect.
+    pub fn updated(edb: &'a FactSet, rules: &'a RuleSet, insert: Vec<Fact>, delete: Vec<Fact>) -> Self {
+        OverlayEngine {
+            edb,
+            rules,
+            added: insert,
+            removed: delete,
+            materialized: RefCell::new(None),
+            materializations: RefCell::new(0),
+            goal_memo: RefCell::new(HashMap::new()),
+            memo_hits: RefCell::new(0),
+        }
+    }
+
+    fn overlay(&self) -> Overlay<'_, FactSet> {
+        Overlay::new(self.edb, &self.added, &self.removed)
+    }
+
+    /// Number of times the materialized fallback was built (0 or 1; for
+    /// instrumentation).
+    pub fn materialization_count(&self) -> usize {
+        *self.materializations.borrow()
+    }
+
+    /// Ground-subquery memo hits (instrumentation for experiment E4).
+    pub fn memo_hits(&self) -> usize {
+        *self.memo_hits.borrow()
+    }
+
+    fn ensure_materialized(&self) -> std::cell::Ref<'_, Option<Model>> {
+        {
+            let mut slot = self.materialized.borrow_mut();
+            if slot.is_none() {
+                let mut edb = self.edb.clone();
+                for f in &self.added {
+                    edb.insert(f);
+                }
+                for f in &self.removed {
+                    edb.remove(f);
+                }
+                *slot = Some(Model::compute(&edb, self.rules));
+                *self.materializations.borrow_mut() += 1;
+            }
+        }
+        self.materialized.borrow()
+    }
+
+    /// Solve an IDB goal by SLD resolution (non-recursive path).
+    fn solve_rules(
+        &self,
+        pred: Sym,
+        pattern: &[Option<Sym>],
+        emitted: &mut HashSet<Vec<Sym>>,
+        each: &mut dyn FnMut(&[Sym]) -> bool,
+    ) -> bool {
+        for (_, rule) in self.rules.rules_for(pred) {
+            let rule = rule.rename_apart();
+            // Unify the head with the call pattern.
+            let mut subst = Subst::new();
+            let mut ok = true;
+            for (&arg, pat) in rule.head.args.iter().zip(pattern) {
+                if let Some(c) = pat {
+                    if !uniform_logic::unify_terms(&mut subst, arg, Term::Const(*c)) {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let mut keep_going = true;
+            solve_conjunction(self, &rule.body, &mut subst, &mut |s| {
+                let Some(fact) = s.ground_atom(&rule.head) else {
+                    return true;
+                };
+                if emitted.insert(fact.args.clone()) {
+                    keep_going = each(&fact.args);
+                }
+                keep_going
+            });
+            if !keep_going {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Interp for OverlayEngine<'_> {
+    fn holds(&self, fact: &Fact) -> bool {
+        // Memoize ground IDB goals on the SLD path; EDB lookups and
+        // materialized (recursive) predicates are O(1) already.
+        let graph = self.rules.graph();
+        let memoizable = graph.is_idb(fact.pred) && !graph.reaches_recursion(fact.pred);
+        if memoizable {
+            if let Some(&verdict) = self.goal_memo.borrow().get(fact) {
+                *self.memo_hits.borrow_mut() += 1;
+                return verdict;
+            }
+        }
+        let pattern: Vec<Option<Sym>> = fact.args.iter().map(|&c| Some(c)).collect();
+        let mut found = false;
+        self.scan(fact.pred, &pattern, &mut |_| {
+            found = true;
+            false
+        });
+        if memoizable {
+            self.goal_memo.borrow_mut().insert(fact.clone(), found);
+        }
+        found
+    }
+
+    fn scan(
+        &self,
+        pred: Sym,
+        pattern: &[Option<Sym>],
+        each: &mut dyn FnMut(&[Sym]) -> bool,
+    ) -> bool {
+        let graph = self.rules.graph();
+        if !graph.is_idb(pred) {
+            // Pure EDB predicate: overlaid base facts only.
+            return self.overlay().scan(pred, pattern, each);
+        }
+        if graph.reaches_recursion(pred) {
+            let model = self.ensure_materialized();
+            return model.as_ref().expect("just materialized").scan(pred, pattern, each);
+        }
+        // Non-recursive IDB: explicit facts first, then SLD over rules,
+        // deduplicating across both sources.
+        let mut emitted: HashSet<Vec<Sym>> = HashSet::new();
+        let completed = self.overlay().scan(pred, pattern, &mut |args| {
+            if emitted.insert(args.to_vec()) {
+                each(args)
+            } else {
+                true
+            }
+        });
+        if !completed {
+            return false;
+        }
+        self.solve_rules(pred, pattern, &mut emitted, each)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::{parse_fact, parse_rule, Rule};
+
+    fn edb(facts: &[&str]) -> FactSet {
+        FactSet::from_facts(facts.iter().map(|f| parse_fact(f).unwrap()))
+    }
+
+    fn rules(srcs: &[&str]) -> RuleSet {
+        RuleSet::new(srcs.iter().map(|s| parse_rule(s).unwrap()).collect::<Vec<Rule>>()).unwrap()
+    }
+
+    fn fact(src: &str) -> Fact {
+        parse_fact(src).unwrap()
+    }
+
+    #[test]
+    fn edb_queries_see_overlay() {
+        let e = edb(&["p(a)."]);
+        let r = rules(&[]);
+        let engine = OverlayEngine::updated(&e, &r, vec![fact("p(b).")], vec![]);
+        assert!(engine.holds(&fact("p(a).")));
+        assert!(engine.holds(&fact("p(b).")));
+        let engine2 = OverlayEngine::updated(&e, &r, vec![], vec![fact("p(a).")]);
+        assert!(!engine2.holds(&fact("p(a).")));
+    }
+
+    #[test]
+    fn derived_facts_follow_insertion() {
+        // §5 rule: member(X,Y) :- leads(X,Y). Inserting leads(c,b) makes
+        // member(c,b) true in the simulated state.
+        let e = edb(&[]);
+        let r = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let engine = OverlayEngine::updated(&e, &r, vec![fact("leads(c,b).")], vec![]);
+        assert!(engine.holds(&fact("member(c,b).")));
+        assert!(!engine.holds(&fact("member(b,c).")));
+        assert_eq!(engine.materialization_count(), 0, "non-recursive: pure SLD");
+    }
+
+    #[test]
+    fn derived_facts_follow_deletion() {
+        let e = edb(&["leads(c,b)."]);
+        let r = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let engine = OverlayEngine::updated(&e, &r, vec![], vec![fact("leads(c,b).")]);
+        assert!(!engine.holds(&fact("member(c,b).")));
+        // And the current-state engine still sees it.
+        let now = OverlayEngine::current(&e, &r);
+        assert!(now.holds(&fact("member(c,b).")));
+    }
+
+    #[test]
+    fn explicit_and_derived_deduplicated() {
+        let e = edb(&["member(a,b).", "leads(a,b)."]);
+        let r = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let engine = OverlayEngine::current(&e, &r);
+        let mut n = 0;
+        engine.scan(Sym::new("member"), &[None, None], &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn negation_in_rule_bodies() {
+        let e = edb(&["emp(a).", "emp(b).", "absent(b)."]);
+        let r = rules(&["present(X) :- emp(X), not absent(X)."]);
+        let engine = OverlayEngine::current(&e, &r);
+        assert!(engine.holds(&fact("present(a).")));
+        assert!(!engine.holds(&fact("present(b).")));
+        // Simulate inserting absent(a): present(a) flips off.
+        let upd = OverlayEngine::updated(&e, &r, vec![fact("absent(a).")], vec![]);
+        assert!(!upd.holds(&fact("present(a).")));
+    }
+
+    #[test]
+    fn recursive_predicates_materialize() {
+        let e = edb(&["edge(a,b).", "edge(b,c)."]);
+        let r = rules(&["tc(X,Y) :- edge(X,Y).", "tc(X,Z) :- tc(X,Y), edge(Y,Z)."]);
+        let engine = OverlayEngine::updated(&e, &r, vec![fact("edge(c,d).")], vec![]);
+        assert!(engine.holds(&fact("tc(a,d).")));
+        assert_eq!(engine.materialization_count(), 1);
+        // Second recursive query reuses the materialization.
+        assert!(engine.holds(&fact("tc(b,d).")));
+        assert_eq!(engine.materialization_count(), 1);
+        assert!(!engine.holds(&fact("tc(d,a).")));
+    }
+
+    #[test]
+    fn recursion_behind_nonrecursive_wrapper() {
+        let e = edb(&["edge(a,b)."]);
+        let r = rules(&[
+            "tc(X,Y) :- edge(X,Y).",
+            "tc(X,Z) :- tc(X,Y), edge(Y,Z).",
+            "connected(X,Y) :- tc(X,Y).",
+        ]);
+        let engine = OverlayEngine::updated(&e, &r, vec![fact("edge(b,c).")], vec![]);
+        assert!(engine.holds(&fact("connected(a,c).")));
+    }
+
+    #[test]
+    fn scan_with_pattern_over_rules() {
+        let e = edb(&["leads(ann,sales).", "leads(bob,hr)."]);
+        let r = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let engine = OverlayEngine::current(&e, &r);
+        let mut seen = Vec::new();
+        engine.scan(Sym::new("member"), &[None, Some(Sym::new("hr"))], &mut |t| {
+            seen.push(t[0].as_str());
+            true
+        });
+        assert_eq!(seen, vec!["bob"]);
+    }
+
+    #[test]
+    fn inserting_explicitly_present_fact_changes_nothing() {
+        let e = edb(&["p(a)."]);
+        let r = rules(&["q(X) :- p(X)."]);
+        let engine = OverlayEngine::updated(&e, &r, vec![fact("p(a).")], vec![]);
+        let mut n = 0;
+        engine.scan(Sym::new("q"), &[None], &mut |_| {
+            n += 1;
+            true
+        });
+        assert_eq!(n, 1);
+    }
+}

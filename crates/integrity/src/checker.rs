@@ -1,0 +1,555 @@
+//! The integrity maintenance method (§3.2–3.3, Proposition 3).
+//!
+//! Two strictly separated phases:
+//!
+//! * **Compile** — from the update literals alone (no fact access):
+//!   potential updates (Def. 5), then for every potential update the
+//!   simplified instances of relevant constraints, packaged as *update
+//!   constraints* `¬delta(U, Lτ) ∨ new(U, s(C))` (Def. 6).
+//! * **Evaluate** — batch evaluation of all update constraints: group by
+//!   trigger pattern, enumerate `delta` once per group, instantiate and
+//!   evaluate every `s(C)` against the simulated updated state (`new`),
+//!   deduplicating ground instances so shared subqueries are not
+//!   re-evaluated (§3.2's "global evaluation").
+//!
+//! All constraints are satisfied in `U(D)` iff they were satisfied in `D`
+//! and no evaluated instance is violated (Prop. 3).
+
+use crate::delta::{pattern_key, DeltaEngine, DeltaStats};
+use crate::potential::potential_updates;
+use crate::relevance::RelevanceIndex;
+use crate::simplify::{simplified_instances, SimplifiedInstance};
+use std::collections::HashMap;
+use uniform_logic::{match_atom, Literal, Rq};
+use uniform_datalog::{
+    satisfies_closed, Database, Interp, OverlayEngine, Transaction, Update,
+};
+
+/// Options controlling the evaluation phase (ablation switches for the
+/// experiments).
+#[derive(Clone, Copy, Debug)]
+pub struct CheckOptions {
+    /// Deduplicate ground instances before evaluation and cache
+    /// per-instance verdicts (the "global evaluation" of §3.2). Disabling
+    /// reproduces the per-instance independent evaluation of interleaved
+    /// methods (experiment E4).
+    pub share_evaluations: bool,
+    /// Stop at the first violation.
+    pub fail_fast: bool,
+    /// Safety bound on the potential-update closure.
+    pub potential_limit: usize,
+    /// Run the cost-based general-formula optimizer over each update
+    /// constraint's instance before evaluation (§6 future work,
+    /// [`uniform_datalog::planner`]; experiment E9). Off by default so
+    /// the published evaluation order is reproduced exactly.
+    pub optimize_instances: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            share_evaluations: true,
+            fail_fast: false,
+            potential_limit: 10_000,
+            optimize_instances: false,
+        }
+    }
+}
+
+/// An update constraint (Def. 6): evaluate `instance` for every ground
+/// answer of `delta(U, trigger)`.
+#[derive(Clone, Debug)]
+pub struct UpdateConstraint {
+    pub constraint: usize,
+    pub trigger: Literal,
+    pub instance: Rq,
+}
+
+/// Output of the compile phase — computable without any fact access and
+/// cacheable per update-literal shape (§3.3.1: "this set can be
+/// precompiled as well").
+#[derive(Clone, Debug, Default)]
+pub struct CompiledCheck {
+    pub potential: Vec<Literal>,
+    pub update_constraints: Vec<UpdateConstraint>,
+    pub truncated: bool,
+}
+
+/// A violated constraint instance.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub constraint: String,
+    /// The ground induced update that triggered the violated instance
+    /// (`None` for full-recheck reports).
+    pub culprit: Option<Literal>,
+    /// The violated ground instance.
+    pub instance: Rq,
+}
+
+/// Counters for the experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CheckStats {
+    pub potential_updates: usize,
+    pub update_constraints: usize,
+    pub trigger_groups: usize,
+    pub delta: DeltaStats,
+    /// Ground instances whose evaluation was actually run.
+    pub instances_evaluated: usize,
+    /// Ground instances skipped by the shared-evaluation cache.
+    pub instances_shared: usize,
+    /// Ground subqueries answered from the shared engine's memo — the
+    /// "redundant subqueries" a global evaluation avoids (§3.2, E4).
+    pub subquery_memo_hits: usize,
+    /// Canonical-model materializations of the simulated updated state.
+    pub new_materializations: usize,
+    /// Subformulas pruned by the instance optimizer (idempotence,
+    /// absorption, complement collapse) — only with
+    /// [`CheckOptions::optimize_instances`].
+    pub plan_pruned: usize,
+    /// `∧`/`∨` nodes reordered by the instance optimizer.
+    pub plan_reordered: usize,
+}
+
+/// Result of an integrity check.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    pub satisfied: bool,
+    pub violations: Vec<Violation>,
+    pub stats: CheckStats,
+}
+
+impl CheckReport {
+    fn satisfied_with(stats: CheckStats) -> CheckReport {
+        CheckReport { satisfied: true, violations: Vec::new(), stats }
+    }
+}
+
+/// The two-phase integrity checker bound to a database.
+pub struct Checker<'a> {
+    db: &'a Database,
+    index: RelevanceIndex,
+    options: CheckOptions,
+}
+
+impl<'a> Checker<'a> {
+    pub fn new(db: &'a Database) -> Checker<'a> {
+        Checker::with_options(db, CheckOptions::default())
+    }
+
+    pub fn with_options(db: &'a Database, options: CheckOptions) -> Checker<'a> {
+        Checker { db, index: RelevanceIndex::build(db.constraints()), options }
+    }
+
+    pub fn options(&self) -> CheckOptions {
+        self.options
+    }
+
+    /// The database this checker is bound to.
+    pub fn database(&self) -> &Database {
+        self.db
+    }
+
+    /// Phase 1: compile update constraints for the given update literals.
+    /// Touches rules and constraints only — never the fact base.
+    pub fn compile(&self, updates: &[Literal]) -> CompiledCheck {
+        let mut potential: Vec<Literal> = Vec::new();
+        let mut truncated = false;
+        let mut seen_patterns: HashMap<String, ()> = HashMap::new();
+        for u in updates {
+            let p = potential_updates(self.db.rules(), u, self.options.potential_limit);
+            truncated |= p.truncated;
+            for lit in p.literals {
+                if seen_patterns.insert(pattern_key(&lit), ()).is_none() {
+                    potential.push(lit);
+                }
+            }
+        }
+        let mut update_constraints = Vec::new();
+        for lit in &potential {
+            for SimplifiedInstance { constraint, trigger, instance } in
+                simplified_instances(&self.index, self.db.constraints(), lit)
+            {
+                update_constraints.push(UpdateConstraint { constraint, trigger, instance });
+            }
+        }
+        CompiledCheck { potential, update_constraints, truncated }
+    }
+
+    /// Phase 2: evaluate a compiled check against the database and the
+    /// transaction (Def. 1 net effect).
+    pub fn evaluate(&self, compiled: &CompiledCheck, tx: &Transaction) -> CheckReport {
+        let mut stats = CheckStats {
+            potential_updates: compiled.potential.len(),
+            update_constraints: compiled.update_constraints.len(),
+            ..CheckStats::default()
+        };
+
+        let (adds, dels) = tx.net_effect(self.db.facts());
+        if adds.is_empty() && dels.is_empty() {
+            return CheckReport::satisfied_with(stats);
+        }
+        let net_updates: Vec<Update> = adds
+            .iter()
+            .cloned()
+            .map(Update::insert)
+            .chain(dels.iter().cloned().map(Update::delete))
+            .collect();
+
+        let current = self.db.model();
+        let (updated_adds, updated_dels) = (adds.clone(), dels.clone());
+        let updated = OverlayEngine::updated(self.db.facts(), self.db.rules(), adds, dels);
+        let delta = DeltaEngine::new(&current, &updated, self.db.rules(), &net_updates);
+
+        // Optionally optimize each instance once, up front (§6: the
+        // evaluation phase owns whole formulas, so formula-level
+        // optimization applies before any instance is evaluated).
+        let optimized: Vec<UpdateConstraint>;
+        let constraints: &[UpdateConstraint] = if self.options.optimize_instances {
+            let planner = uniform_datalog::Planner::new(self.db.facts());
+            optimized = compiled
+                .update_constraints
+                .iter()
+                .map(|uc| {
+                    let (instance, report) = planner.optimize_with_report(&uc.instance);
+                    stats.plan_pruned += report.pruned;
+                    stats.plan_reordered += report.reordered;
+                    UpdateConstraint { constraint: uc.constraint, trigger: uc.trigger.clone(), instance }
+                })
+                .collect();
+            &optimized
+        } else {
+            &compiled.update_constraints
+        };
+
+        // Group update constraints by trigger pattern so each delta
+        // enumeration runs once.
+        let mut groups: HashMap<String, Vec<&UpdateConstraint>> = HashMap::new();
+        for uc in constraints {
+            groups.entry(pattern_key(&uc.trigger)).or_default().push(uc);
+        }
+        stats.trigger_groups = groups.len();
+
+        // Deterministic group order (HashMap iteration order is not).
+        let mut ordered_groups: Vec<(&String, &Vec<&UpdateConstraint>)> = groups.iter().collect();
+        ordered_groups.sort_by_key(|(key, _)| key.as_str());
+
+        let mut violations = Vec::new();
+        let mut verdict_cache: HashMap<Rq, bool> = HashMap::new();
+        'outer: for (_, members) in ordered_groups {
+            let representative = &members[0].trigger;
+            for answer in delta.delta(representative) {
+                let fact = answer.atom.to_fact().expect("delta answers are ground");
+                for uc in members {
+                    let Some(theta) = match_atom(&uc.trigger.atom, &fact) else {
+                        continue;
+                    };
+                    let ground = uc.instance.apply(&theta);
+                    debug_assert!(ground.is_closed(), "instance not closed: {ground}");
+                    let holds = if self.options.share_evaluations {
+                        match verdict_cache.get(&ground) {
+                            Some(&v) => {
+                                stats.instances_shared += 1;
+                                v
+                            }
+                            None => {
+                                stats.instances_evaluated += 1;
+                                let v = satisfies_closed(&updated, &ground);
+                                verdict_cache.insert(ground.clone(), v);
+                                v
+                            }
+                        }
+                    } else {
+                        // Independent evaluation (the interleaved-style
+                        // drawback of §3.2): a fresh engine per instance,
+                        // sharing nothing — no verdict cache, no subquery
+                        // memo.
+                        stats.instances_evaluated += 1;
+                        let fresh = OverlayEngine::updated(
+                            self.db.facts(),
+                            self.db.rules(),
+                            updated_adds.clone(),
+                            updated_dels.clone(),
+                        );
+                        let v = satisfies_closed(&fresh, &ground);
+                        stats.new_materializations += fresh.materialization_count();
+                        v
+                    };
+                    if !holds {
+                        violations.push(Violation {
+                            constraint: self.db.constraints()[uc.constraint].name.clone(),
+                            culprit: Some(answer.clone()),
+                            instance: ground,
+                        });
+                        if self.options.fail_fast {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        stats.delta = delta.stats();
+        stats.subquery_memo_hits = updated.memo_hits();
+        stats.new_materializations += updated.materialization_count();
+        CheckReport { satisfied: violations.is_empty(), violations, stats }
+    }
+
+    /// Both phases for a transaction.
+    pub fn check(&self, tx: &Transaction) -> CheckReport {
+        let literals: Vec<Literal> = tx.updates.iter().map(|u| u.to_literal()).collect();
+        let compiled = self.compile(&literals);
+        self.evaluate(&compiled, tx)
+    }
+
+    /// Both phases for a single-fact update.
+    pub fn check_update(&self, update: &Update) -> CheckReport {
+        self.check(&Transaction::single(update.clone()))
+    }
+
+    /// Check, and apply the transaction to `db` only if it preserves
+    /// integrity. This is the guarded-update operation integrity
+    /// maintenance exists for. Requires exclusive access.
+    pub fn check_and_apply(db: &mut Database, tx: &Transaction) -> CheckReport {
+        let report = Checker::new(db).check(tx);
+        if report.satisfied {
+            for u in &tx.updates {
+                db.apply(u);
+            }
+        }
+        report
+    }
+}
+
+/// Sanity helper used by tests and the satisfiability layer: does `interp`
+/// satisfy every constraint of `db` outright?
+pub fn all_constraints_hold(db: &Database, interp: &dyn Interp) -> bool {
+    db.constraints().iter().all(|c| satisfies_closed(interp, &c.rq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_literal;
+
+    fn upd(src: &str) -> Update {
+        Update::from_literal(&parse_literal(src).unwrap()).unwrap()
+    }
+
+    fn db(src: &str) -> Database {
+        let db = Database::parse(src).unwrap();
+        assert!(db.is_consistent(), "fixtures must start consistent");
+        db
+    }
+
+    #[test]
+    fn relational_accept_and_reject() {
+        // C1: ∀X ¬p(X) ∨ q(X).
+        let d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let checker = Checker::new(&d);
+        assert!(checker.check_update(&upd("p(a)")).satisfied);
+        let rep = checker.check_update(&upd("p(b)"));
+        assert!(!rep.satisfied);
+        assert_eq!(rep.violations[0].constraint, "c1");
+        assert_eq!(rep.violations[0].culprit, Some(parse_literal("p(b)").unwrap()));
+    }
+
+    #[test]
+    fn deletion_violates_existential() {
+        let d = db("employee(a). constraint lively: exists X: employee(X).");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("not employee(a)"));
+        assert!(!rep.satisfied);
+        // Deleting when another employee remains is fine.
+        let d2 = db("employee(a). employee(b). constraint lively: exists X: employee(X).");
+        assert!(Checker::new(&d2).check_update(&upd("not employee(a)")).satisfied);
+    }
+
+    #[test]
+    fn induced_update_triggers_constraint() {
+        // §3.2 running example: enrolled derived from student; the
+        // constraint is violated through the *induced* insertion.
+        let d = db("
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        ");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("student(jack)"));
+        assert!(!rep.satisfied);
+        // With the attends fact present the same update is accepted.
+        let d2 = db("
+            attends(jack, ddb).
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        ");
+        assert!(Checker::new(&d2).check_update(&upd("student(jack)")).satisfied);
+    }
+
+    #[test]
+    fn noop_updates_are_always_safe() {
+        let d = db("p(a). constraint c: forall X: p(X) -> q(X). q(a).");
+        let checker = Checker::new(&d);
+        // Re-inserting an existing fact: Def. 1 no-op; no evaluation.
+        let rep = checker.check_update(&upd("p(a)"));
+        assert!(rep.satisfied);
+        assert_eq!(rep.stats.instances_evaluated, 0);
+        // Deleting an absent fact likewise.
+        assert!(checker.check_update(&upd("not p(zzz)")).satisfied);
+    }
+
+    #[test]
+    fn irrelevant_updates_cheap() {
+        let d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("r(zzz)"));
+        assert!(rep.satisfied);
+        assert_eq!(rep.stats.update_constraints, 0);
+        assert_eq!(rep.stats.instances_evaluated, 0);
+    }
+
+    #[test]
+    fn deletion_restores_consistency_direction() {
+        // Deleting p(b) from an inconsistent state is outside the method's
+        // contract (precondition: D consistent), but deleting q(a) from a
+        // consistent one must be caught.
+        let d = db("p(a). q(a). constraint c1: forall X: p(X) -> q(X).");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("not q(a)"));
+        assert!(!rep.satisfied);
+        assert!(checker.check_update(&upd("not p(a)")).satisfied);
+    }
+
+    #[test]
+    fn transaction_net_effect_checked_atomically() {
+        let d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let checker = Checker::new(&d);
+        // Insert p(b) and its justification q(b) together: fine.
+        let tx = Transaction::new(vec![upd("p(b)"), upd("q(b)")]);
+        assert!(checker.check(&tx).satisfied);
+        // Insert p(b) but also delete q(a): two independent violations…
+        let tx2 = Transaction::new(vec![upd("p(b)")]);
+        assert!(!checker.check(&tx2).satisfied);
+        // Cancel inside the transaction: no net change, satisfied.
+        let tx3 = Transaction::new(vec![upd("p(b)"), upd("not p(b)")]);
+        let rep = checker.check(&tx3).satisfied;
+        assert!(rep);
+    }
+
+    #[test]
+    fn recursive_rules_supported() {
+        let d = db("
+            edge(a,b). edge(b,c).
+            tc(X,Y) :- edge(X,Y).
+            tc(X,Z) :- tc(X,Y), edge(Y,Z).
+            constraint noloop: forall X: tc(X,X) -> false.
+        ");
+        let checker = Checker::new(&d);
+        assert!(checker.check_update(&upd("edge(c,d)")).satisfied);
+        let rep = checker.check_update(&upd("edge(c,a)"));
+        assert!(!rep.satisfied, "closing the cycle creates tc(a,a)");
+        assert!(rep.stats.delta.recursive_fallbacks > 0);
+    }
+
+    #[test]
+    fn check_and_apply_guards_database() {
+        let mut d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let bad = Transaction::single(upd("p(b)"));
+        let rep = Checker::check_and_apply(&mut d, &bad);
+        assert!(!rep.satisfied);
+        assert!(!d.holds(&uniform_logic::Fact::parse_like("p", &["b"])), "rejected update not applied");
+        let good = Transaction::single(upd("p(a)"));
+        assert!(Checker::check_and_apply(&mut d, &good).satisfied);
+        assert!(d.holds(&uniform_logic::Fact::parse_like("p", &["a"])));
+    }
+
+    #[test]
+    fn agrees_with_full_recheck_on_examples() {
+        let d = db("
+            emp(a). emp(b). dept(d). assign(a,d). assign(b,d).
+            works(X) :- assign(X,Y), dept(Y).
+            constraint busy: forall X: emp(X) -> (exists Y: assign(X,Y)).
+        ");
+        let checker = Checker::new(&d);
+        for update in ["assign(b,e)", "not assign(a,d)", "emp(c)", "not emp(b)", "dept(e)"] {
+            let u = upd(update);
+            let fast = checker.check_update(&u).satisfied;
+            // Oracle: apply on a copy and fully re-check.
+            let mut copy = d.clone();
+            copy.apply(&u);
+            let slow = copy.is_consistent();
+            assert_eq!(fast, slow, "divergence on {update}");
+        }
+    }
+
+    #[test]
+    fn shared_evaluation_reduces_work() {
+        // Two constraints relevant to the same update with the same
+        // simplified instance body.
+        let d = db("
+            enrolled(X, cs) :- student(X).
+            constraint a: forall X: student(X) -> attends(X, ddb).
+            constraint b: forall X: enrolled(X, cs) -> attends(X, ddb).
+        ");
+        let shared = Checker::new(&d);
+        let rep = shared.check_update(&upd("student(jack)"));
+        assert!(!rep.satisfied);
+        assert!(rep.stats.instances_shared > 0, "stats: {:?}", rep.stats);
+        let unshared = Checker::with_options(
+            &d,
+            CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+        );
+        let rep2 = unshared.check_update(&upd("student(jack)"));
+        assert!(!rep2.satisfied);
+        assert!(rep2.stats.instances_evaluated > rep.stats.instances_evaluated);
+    }
+
+    #[test]
+    fn optimizer_preserves_verdicts() {
+        let d = db("
+            emp(a). emp(b). dept(d). assign(a,d). assign(b,d). q(a).
+            works(X) :- assign(X,Y), dept(Y).
+            constraint busy: forall X: emp(X) -> (exists Y: assign(X,Y)).
+            constraint c1: forall X: p(X) -> (q(X) | (exists Y: assign(X, Y))).
+        ");
+        let plain = Checker::new(&d);
+        let tuned = Checker::with_options(
+            &d,
+            CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+        );
+        for update in ["p(a)", "p(b)", "p(zzz)", "emp(c)", "not assign(a,d)", "dept(e)"] {
+            let u = upd(update);
+            let a = plain.check_update(&u);
+            let b = tuned.check_update(&u);
+            assert_eq!(a.satisfied, b.satisfied, "verdict changed on {update}");
+        }
+    }
+
+    #[test]
+    fn fail_fast_stops_early() {
+        let d = db("
+            constraint a: forall X: p(X) -> q(X).
+            constraint b: forall X: p(X) -> r(X).
+        ");
+        let checker =
+            Checker::with_options(&d, CheckOptions { fail_fast: true, ..CheckOptions::default() });
+        let rep = checker.check_update(&upd("p(a)"));
+        assert!(!rep.satisfied);
+        assert_eq!(rep.violations.len(), 1);
+    }
+
+    #[test]
+    fn compile_phase_is_fact_free() {
+        // Compiling against a database whose EDB changes afterwards still
+        // evaluates correctly: the compiled object depends only on rules
+        // and constraints.
+        let mut d = db("constraint c1: forall X: p(X) -> q(X).");
+        let checker = Checker::new(&d);
+        let compiled = checker.compile(&[parse_literal("p(a)").unwrap()]);
+        assert_eq!(compiled.update_constraints.len(), 1);
+        // Make q(a) true, then evaluate: satisfied.
+        d.insert_fact(&uniform_logic::Fact::parse_like("q", &["a"]));
+        let checker2 = Checker::new(&d);
+        let rep = checker2
+            .evaluate(&compiled, &Transaction::single(upd("p(a)")));
+        assert!(rep.satisfied);
+    }
+}

@@ -1,0 +1,270 @@
+//! Precompiled update-constraint registry.
+//!
+//! §3.3.1 closes with: "Since it can be determined without querying the
+//! facts, this set can be precompiled as well." The compile phase of the
+//! checker depends only on the *shape* of the update — predicate and
+//! polarity — not on its constants: compiling for the generalized
+//! literal `p(V1,…,Vn)` yields update constraints whose triggers subsume
+//! those of every ground `p(…)` update, and the delta evaluation anchors
+//! to the actual update at evaluation time, so the generalized
+//! compilation is sound and complete for all of them.
+//!
+//! [`CompiledRegistry`] caches one [`CompiledCheck`] per set of update
+//! shapes; a transaction workload touching the same relations over and
+//! over pays the compile phase once.
+
+use crate::checker::{CheckReport, Checker, CompiledCheck};
+use std::collections::HashMap;
+use std::rc::Rc;
+use uniform_logic::{Atom, Literal, Sym, Term};
+use uniform_datalog::Transaction;
+
+/// Cache of compiled checks, keyed by the generalized shape of the
+/// transaction (sorted, deduplicated `(predicate, arity, polarity)`
+/// triples).
+#[derive(Default)]
+pub struct CompiledRegistry {
+    cache: HashMap<String, Rc<CompiledCheck>>,
+    hits: usize,
+    misses: usize,
+}
+
+impl CompiledRegistry {
+    pub fn new() -> CompiledRegistry {
+        CompiledRegistry::default()
+    }
+
+    /// Cache statistics: `(hits, misses)`.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits, self.misses)
+    }
+
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// Drop all cached compilations (required after rules or constraints
+    /// change).
+    pub fn clear(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The generalized literal of an update shape: fresh variables in
+    /// every argument position.
+    fn generalize(pred: Sym, arity: usize, positive: bool) -> Literal {
+        let args: Vec<Term> =
+            (0..arity).map(|i| Term::Var(Sym::new(&format!("_G{i}")))).collect();
+        Literal::new(positive, Atom::new(pred, args))
+    }
+
+    fn shape_key(tx: &Transaction) -> (String, Vec<(Sym, usize, bool)>) {
+        let mut shapes: Vec<(Sym, usize, bool)> = tx
+            .updates
+            .iter()
+            .map(|u| (u.fact.pred, u.fact.args.len(), u.insert))
+            .collect();
+        shapes.sort();
+        shapes.dedup();
+        let key = shapes
+            .iter()
+            .map(|(p, a, pos)| format!("{}{}/{a}", if *pos { '+' } else { '-' }, p))
+            .collect::<Vec<_>>()
+            .join(",");
+        (key, shapes)
+    }
+
+    /// Fetch (or compile and cache) the compiled check for the shape of
+    /// `tx` against `checker`.
+    pub fn compiled_for(
+        &mut self,
+        checker: &Checker<'_>,
+        tx: &Transaction,
+    ) -> Rc<CompiledCheck> {
+        let (key, shapes) = Self::shape_key(tx);
+        if let Some(hit) = self.cache.get(&key) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.misses += 1;
+        let literals: Vec<Literal> = shapes
+            .into_iter()
+            .map(|(p, a, pos)| Self::generalize(p, a, pos))
+            .collect();
+        let compiled = Rc::new(checker.compile(&literals));
+        self.cache.insert(key, compiled.clone());
+        compiled
+    }
+
+    /// Fetch (or compile and cache) the compiled check for a conditional
+    /// update's pattern. Conditional updates are the sharpest case for
+    /// precompilation: the pattern (constants included) is known at
+    /// definition time, so the cache key is the pattern itself, not a
+    /// generalization.
+    pub fn compiled_for_conditional(
+        &mut self,
+        checker: &Checker<'_>,
+        cu: &crate::conditional::ConditionalUpdate,
+    ) -> Rc<CompiledCheck> {
+        let key = format!("where:{}", crate::delta::pattern_key(cu.literal()));
+        if let Some(hit) = self.cache.get(&key) {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.misses += 1;
+        let compiled = Rc::new(checker.compile_conditional(cu));
+        self.cache.insert(key, compiled.clone());
+        compiled
+    }
+}
+
+impl Checker<'_> {
+    /// Check a transaction, reusing (and populating) precompiled update
+    /// constraints from `registry`. Equivalent to [`Checker::check`].
+    pub fn check_with_registry(
+        &self,
+        registry: &mut CompiledRegistry,
+        tx: &Transaction,
+    ) -> CheckReport {
+        let compiled = registry.compiled_for(self, tx);
+        self.evaluate(&compiled, tx)
+    }
+
+    /// Check a conditional update, reusing precompiled update
+    /// constraints. Equivalent to [`Checker::check_conditional`].
+    pub fn check_conditional_with_registry(
+        &self,
+        registry: &mut CompiledRegistry,
+        cu: &crate::conditional::ConditionalUpdate,
+    ) -> CheckReport {
+        let compiled = registry.compiled_for_conditional(self, cu);
+        let tx = self.expand_conditional(cu);
+        self.evaluate(&compiled, &tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_literal;
+    use uniform_datalog::{Database, Update};
+
+    fn upd(src: &str) -> Update {
+        Update::from_literal(&parse_literal(src).unwrap()).unwrap()
+    }
+
+    fn db() -> Database {
+        Database::parse(
+            "
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+            student(s1). attends(s1, ddb).
+            ",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn generalized_compilation_matches_direct_checking() {
+        let d = db();
+        let checker = Checker::new(&d);
+        let mut reg = CompiledRegistry::new();
+        for update in [
+            "student(jack)",
+            "student(jill)",
+            "not student(s1)",
+            "attends(s1, ddb)",
+            "not attends(s1, ddb)",
+            "unrelated(z)",
+        ] {
+            let tx = Transaction::single(upd(update));
+            let direct = checker.check(&tx);
+            let cached = checker.check_with_registry(&mut reg, &tx);
+            assert_eq!(direct.satisfied, cached.satisfied, "divergence on {update}");
+            assert_eq!(
+                direct.violations.len(),
+                cached.violations.len(),
+                "violation count differs on {update}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let d = db();
+        let checker = Checker::new(&d);
+        let mut reg = CompiledRegistry::new();
+        for i in 0..10 {
+            let tx = Transaction::new(vec![
+                upd(&format!("student(n{i})")),
+                upd(&format!("attends(n{i}, ddb)")),
+            ]);
+            assert!(checker.check_with_registry(&mut reg, &tx).satisfied);
+        }
+        let (hits, misses) = reg.stats();
+        assert_eq!(misses, 1, "one shape, compiled once");
+        assert_eq!(hits, 9);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn distinct_shapes_get_distinct_entries() {
+        let d = db();
+        let checker = Checker::new(&d);
+        let mut reg = CompiledRegistry::new();
+        checker.check_with_registry(&mut reg, &Transaction::single(upd("student(a)")));
+        checker.check_with_registry(&mut reg, &Transaction::single(upd("not student(a)")));
+        checker.check_with_registry(&mut reg, &Transaction::single(upd("attends(a, ddb)")));
+        assert_eq!(reg.len(), 3);
+        // Order inside a transaction does not matter for the key.
+        let t1 = Transaction::new(vec![upd("student(a)"), upd("attends(a, ddb)")]);
+        let t2 = Transaction::new(vec![upd("attends(b, ddb)"), upd("student(b)")]);
+        checker.check_with_registry(&mut reg, &t1);
+        let before = reg.len();
+        checker.check_with_registry(&mut reg, &t2);
+        assert_eq!(reg.len(), before, "same shape set, same entry");
+    }
+
+    #[test]
+    fn conditional_shapes_cached_by_pattern() {
+        use crate::conditional::ConditionalUpdate;
+        let d = Database::parse(
+            "
+            constraint cdb: forall X: student(X) -> attends(X, ddb).
+            candidate(c1). candidate(c2). attends(c1, ddb). attends(c2, ddb).
+            student(c1).
+            ",
+        )
+        .unwrap();
+        let checker = Checker::new(&d);
+        let mut reg = CompiledRegistry::new();
+        let cu = ConditionalUpdate::parse("student(X) where candidate(X)").unwrap();
+        assert!(checker.check_conditional_with_registry(&mut reg, &cu).satisfied);
+        // Same shape, different variable name: cache hit.
+        let cu2 = ConditionalUpdate::parse("student(Y) where candidate(Y)").unwrap();
+        let direct = checker.check_conditional(&cu2);
+        let cached = checker.check_conditional_with_registry(&mut reg, &cu2);
+        assert_eq!(direct.satisfied, cached.satisfied);
+        let (hits, misses) = reg.stats();
+        assert_eq!((hits, misses), (1, 1));
+        // A different pattern (constant position) compiles separately.
+        let cu3 = ConditionalUpdate::parse("not attends(X, ddb) where attends(X, ddb)").unwrap();
+        let rep = checker.check_conditional_with_registry(&mut reg, &cu3);
+        assert!(!rep.satisfied, "unenrolling everyone violates cdb for students");
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn clear_resets_cache() {
+        let d = db();
+        let checker = Checker::new(&d);
+        let mut reg = CompiledRegistry::new();
+        checker.check_with_registry(&mut reg, &Transaction::single(upd("student(a)")));
+        assert!(!reg.is_empty());
+        reg.clear();
+        assert!(reg.is_empty());
+    }
+}

@@ -1,0 +1,489 @@
+//! Rule updates, "treated like conditional updates" (§3.2).
+//!
+//! Adding a rule `H ← B` acts like the conditional insertion of every
+//! instance of `H` whose body newly holds; removing it like the
+//! conditional deletion of the instances it alone derived. The two-phase
+//! architecture carries over:
+//!
+//! * **Compile** (fact-free): the direct change is confined to instances
+//!   of the head — insertions for an addition, deletions for a removal
+//!   (stratification forbids the negative self-dependencies that could
+//!   flip the head the other way). Seeding the Def. 5 closure with `+H`
+//!   (resp. `¬H`) over the *post-update* rule set covers every literal
+//!   the change can reach, and Def. 3/6 turn those into update
+//!   constraints exactly as for fact updates. "When defining induced or
+//!   potential updates one has to respect modifications to the rule set
+//!   as well" (§3.2) — hence the post-update set: insertions propagate
+//!   through rules present afterwards, and a deletion propagating
+//!   through the removed rule itself is already an instance of the seed.
+//! * **Evaluate**: induced updates are enumerated per trigger pattern by
+//!   diffing the canonical models before and after the rule change (the
+//!   before-model is the database's cached one), and only the relevant
+//!   simplified instances are evaluated against the new state — never
+//!   the full constraint set.
+//!
+//! The full re-check of every constraint on the candidate state — what a
+//! system without this method must do, and what the façade used to do —
+//! is retained in [`crate::baselines`] style as the experiment baseline
+//! (E8).
+
+use crate::checker::{
+    CheckOptions, CheckReport, CheckStats, CompiledCheck, UpdateConstraint, Violation,
+};
+use crate::delta::pattern_key;
+use crate::potential::potential_updates;
+use crate::relevance::RelevanceIndex;
+use crate::simplify::{simplified_instances, SimplifiedInstance};
+use std::collections::HashMap;
+use std::fmt;
+use uniform_logic::{match_atom, Fact, Literal, Rq};
+use uniform_datalog::{
+    satisfies_closed, Database, Interp as _, Model, RuleSet, StratificationError,
+};
+
+/// A change to the rule set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RuleUpdate {
+    /// Add a deduction rule.
+    Add(uniform_logic::Rule),
+    /// Remove a deduction rule (matched by its printed form).
+    Remove(uniform_logic::Rule),
+}
+
+impl RuleUpdate {
+    /// The rule being added or removed.
+    pub fn rule(&self) -> &uniform_logic::Rule {
+        match self {
+            RuleUpdate::Add(r) | RuleUpdate::Remove(r) => r,
+        }
+    }
+
+    /// Is this an addition?
+    pub fn is_addition(&self) -> bool {
+        matches!(self, RuleUpdate::Add(_))
+    }
+
+    /// The seed literal of the potential-update closure: `+H` for an
+    /// addition, `¬H` for a removal. Renamed apart so the head's
+    /// variables cannot be captured by constraint variables during
+    /// relevance unification.
+    pub fn seed(&self) -> Literal {
+        let mut map = std::collections::HashMap::new();
+        uniform_logic::rename_literal(
+            &Literal::new(self.is_addition(), self.rule().head.clone()),
+            &mut map,
+        )
+    }
+
+    /// The rule set after applying this update to `rules`. `None` for a
+    /// removal whose rule is not present (nothing to do), an error when
+    /// an addition breaks stratification.
+    pub fn rules_after(&self, rules: &RuleSet) -> Result<Option<RuleSet>, StratificationError> {
+        match self {
+            RuleUpdate::Add(r) => {
+                let printed = r.to_string();
+                if rules.rules().iter().any(|x| x.to_string() == printed) {
+                    return Ok(None);
+                }
+                let mut all = rules.rules().to_vec();
+                all.push(r.clone());
+                RuleSet::new(all).map(Some)
+            }
+            RuleUpdate::Remove(r) => {
+                let printed = r.to_string();
+                let remaining: Vec<uniform_logic::Rule> = rules
+                    .rules()
+                    .iter()
+                    .filter(|x| x.to_string() != printed)
+                    .cloned()
+                    .collect();
+                if remaining.len() == rules.len() {
+                    return Ok(None);
+                }
+                Ok(Some(RuleSet::new(remaining).expect(
+                    "removing a rule from a stratified set cannot break stratification",
+                )))
+            }
+        }
+    }
+}
+
+impl fmt::Display for RuleUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuleUpdate::Add(r) => write!(f, "+[{r}]"),
+            RuleUpdate::Remove(r) => write!(f, "-[{r}]"),
+        }
+    }
+}
+
+/// Output of the compile phase for a rule update: the post-update rule
+/// set plus the update constraints — computed without any fact access.
+#[derive(Clone, Debug)]
+pub struct CompiledRuleUpdate {
+    /// The rule set after the change; `None` when the update is a no-op
+    /// (adding a present rule, removing an absent one).
+    pub rules_after: Option<RuleSet>,
+    /// Potential updates and update constraints seeded from the head.
+    pub check: CompiledCheck,
+}
+
+/// Incremental integrity checking across rule additions and removals.
+pub struct RuleUpdateChecker<'a> {
+    db: &'a Database,
+    index: RelevanceIndex,
+    options: CheckOptions,
+}
+
+impl<'a> RuleUpdateChecker<'a> {
+    pub fn new(db: &'a Database) -> RuleUpdateChecker<'a> {
+        RuleUpdateChecker::with_options(db, CheckOptions::default())
+    }
+
+    pub fn with_options(db: &'a Database, options: CheckOptions) -> RuleUpdateChecker<'a> {
+        RuleUpdateChecker { db, index: RelevanceIndex::build(db.constraints()), options }
+    }
+
+    /// Phase 1: compile the update constraints of a rule update. Touches
+    /// rules and constraints only.
+    pub fn compile(&self, update: &RuleUpdate) -> Result<CompiledRuleUpdate, StratificationError> {
+        let Some(rules_after) = update.rules_after(self.db.rules())? else {
+            return Ok(CompiledRuleUpdate {
+                rules_after: None,
+                check: CompiledCheck::default(),
+            });
+        };
+        let seeds = potential_updates(&rules_after, &update.seed(), self.options.potential_limit);
+        let mut update_constraints = Vec::new();
+        for lit in &seeds.literals {
+            for SimplifiedInstance { constraint, trigger, instance } in
+                simplified_instances(&self.index, self.db.constraints(), lit)
+            {
+                update_constraints.push(UpdateConstraint { constraint, trigger, instance });
+            }
+        }
+        Ok(CompiledRuleUpdate {
+            rules_after: Some(rules_after),
+            check: CompiledCheck {
+                potential: seeds.literals,
+                update_constraints,
+                truncated: seeds.truncated,
+            },
+        })
+    }
+
+    /// Phase 2: enumerate induced updates per trigger pattern by diffing
+    /// the canonical models across the rule change, and evaluate the
+    /// relevant simplified instances against the new state.
+    pub fn evaluate(&self, compiled: &CompiledRuleUpdate) -> CheckReport {
+        let mut stats = CheckStats {
+            potential_updates: compiled.check.potential.len(),
+            update_constraints: compiled.check.update_constraints.len(),
+            ..CheckStats::default()
+        };
+        let Some(rules_after) = &compiled.rules_after else {
+            return CheckReport { satisfied: true, violations: Vec::new(), stats };
+        };
+        if compiled.check.update_constraints.is_empty() {
+            // No constraint is relevant to anything the rule change can
+            // reach: accepted without computing the new model.
+            return CheckReport { satisfied: true, violations: Vec::new(), stats };
+        }
+
+        let before = self.db.model();
+        let after = Model::compute(self.db.facts(), rules_after);
+        stats.new_materializations = 1;
+
+        let mut groups: HashMap<String, Vec<&UpdateConstraint>> = HashMap::new();
+        for uc in &compiled.check.update_constraints {
+            groups.entry(pattern_key(&uc.trigger)).or_default().push(uc);
+        }
+        stats.trigger_groups = groups.len();
+
+        // Deterministic group order (HashMap iteration order is not).
+        let mut ordered_groups: Vec<(&String, &Vec<&UpdateConstraint>)> = groups.iter().collect();
+        ordered_groups.sort_by_key(|(key, _)| key.as_str());
+
+        let mut delta_memo: HashMap<String, Vec<Fact>> = HashMap::new();
+        let mut verdict_cache: HashMap<Rq, bool> = HashMap::new();
+        let mut violations = Vec::new();
+        'outer: for (_, members) in ordered_groups {
+            let representative = &members[0].trigger;
+            let key = pattern_key(representative);
+            let answers = match delta_memo.get(&key) {
+                Some(hit) => hit.clone(),
+                None => {
+                    stats.delta.patterns_evaluated += 1;
+                    let answers = model_diff(representative, before.as_ref(), &after);
+                    stats.delta.answers += answers.len();
+                    delta_memo.insert(key, answers.clone());
+                    answers
+                }
+            };
+            for fact in &answers {
+                for uc in members {
+                    let Some(theta) = match_atom(&uc.trigger.atom, fact) else {
+                        continue;
+                    };
+                    let ground = uc.instance.apply(&theta);
+                    debug_assert!(ground.is_closed(), "instance not closed: {ground}");
+                    let holds = if self.options.share_evaluations {
+                        match verdict_cache.get(&ground) {
+                            Some(&v) => {
+                                stats.instances_shared += 1;
+                                v
+                            }
+                            None => {
+                                stats.instances_evaluated += 1;
+                                let v = satisfies_closed(&after, &ground);
+                                verdict_cache.insert(ground.clone(), v);
+                                v
+                            }
+                        }
+                    } else {
+                        stats.instances_evaluated += 1;
+                        satisfies_closed(&after, &ground)
+                    };
+                    if !holds {
+                        violations.push(Violation {
+                            constraint: self.db.constraints()[uc.constraint].name.clone(),
+                            culprit: Some(Literal::new(
+                                members[0].trigger.positive,
+                                fact.to_atom(),
+                            )),
+                            instance: ground,
+                        });
+                        if self.options.fail_fast {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+
+        CheckReport { satisfied: violations.is_empty(), violations, stats }
+    }
+
+    /// Both phases.
+    pub fn check(&self, update: &RuleUpdate) -> Result<CheckReport, StratificationError> {
+        let compiled = self.compile(update)?;
+        Ok(self.evaluate(&compiled))
+    }
+}
+
+/// Ground instances of `pattern` whose truth flips across the rule
+/// change: present in `after` but not `before` for positive patterns,
+/// the converse for negative ones.
+fn model_diff(pattern: &Literal, before: &Model, after: &Model) -> Vec<Fact> {
+    let (scan_in, absent_from) = if pattern.positive { (after, before) } else { (before, after) };
+    let bound: Vec<Option<uniform_logic::Sym>> =
+        pattern.atom.args.iter().map(|t| t.as_const()).collect();
+    let mut out = Vec::new();
+    scan_in.scan(pattern.atom.pred, &bound, &mut |args| {
+        let f = Fact { pred: pattern.atom.pred, args: args.to_vec() };
+        if match_atom(&pattern.atom, &f).is_some() && !absent_from.contains(&f) {
+            out.push(f);
+        }
+        true
+    });
+    out
+}
+
+/// Convenience: compile and evaluate a rule update against `db` with
+/// default options.
+pub fn check_rule_update(
+    db: &Database,
+    update: &RuleUpdate,
+) -> Result<CheckReport, StratificationError> {
+    RuleUpdateChecker::new(db).check(update)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_rule;
+
+    fn db(src: &str) -> Database {
+        let db = Database::parse(src).unwrap();
+        assert!(db.is_consistent(), "fixtures must start consistent");
+        db
+    }
+
+    fn add(src: &str) -> RuleUpdate {
+        RuleUpdate::Add(parse_rule(src).unwrap())
+    }
+
+    fn remove(src: &str) -> RuleUpdate {
+        RuleUpdate::Remove(parse_rule(src).unwrap())
+    }
+
+    #[test]
+    fn addition_deriving_violation_rejected() {
+        let d = db("
+            employee(ann).
+            constraint nss: forall X: subordinate(X, X) -> false.
+        ");
+        let report = check_rule_update(&d, &add("subordinate(X, X) :- employee(X).")).unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.violations[0].constraint, "nss");
+    }
+
+    #[test]
+    fn benign_addition_accepted() {
+        let d = db("
+            leads(ann, sales).
+            constraint nss: forall X: subordinate(X, X) -> false.
+        ");
+        let report = check_rule_update(&d, &add("boss(X) :- leads(X, Y).")).unwrap();
+        assert!(report.satisfied);
+        // No constraint mentions boss: accepted without materializing.
+        assert_eq!(report.stats.new_materializations, 0);
+    }
+
+    #[test]
+    fn removal_stripping_support_rejected() {
+        let d = db("
+            leads(ann, sales). employee(ann).
+            member(X, Y) :- leads(X, Y).
+            constraint emp_member: forall X: employee(X) -> (exists Y: member(X, Y)).
+        ");
+        let report =
+            check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.violations[0].constraint, "emp_member");
+        assert_eq!(
+            report.violations[0].culprit.as_ref().unwrap().to_string(),
+            "not member(ann,sales)"
+        );
+    }
+
+    #[test]
+    fn removal_with_explicit_backup_accepted() {
+        let d = db("
+            leads(ann, sales). employee(ann). member(ann, sales).
+            member(X, Y) :- leads(X, Y).
+            constraint emp_member: forall X: employee(X) -> (exists Y: member(X, Y)).
+        ");
+        let report =
+            check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
+        assert!(report.satisfied, "{:?}", report.violations);
+    }
+
+    #[test]
+    fn addition_through_negation_deletes_downstream() {
+        // Adding a works rule *removes* idle facts (idle is defined by
+        // negation over works); the constraint requires idlers to exist.
+        let d = db("
+            emp(a).
+            idle(X) :- emp(X), not works(X).
+            constraint someone_idle: exists X: idle(X).
+        ");
+        let report = check_rule_update(&d, &add("works(X) :- emp(X).")).unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.violations[0].constraint, "someone_idle");
+    }
+
+    #[test]
+    fn removal_through_negation_inserts_downstream() {
+        // Removing the works rule makes everyone idle; the constraint
+        // forbids idle employees.
+        let d = db("
+            emp(a). contract(a).
+            works(X) :- contract(X).
+            idle(X) :- emp(X), not works(X).
+            constraint no_idlers: forall X: idle(X) -> false.
+        ");
+        let report = check_rule_update(&d, &remove("works(X) :- contract(X).")).unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.violations[0].constraint, "no_idlers");
+    }
+
+    #[test]
+    fn unstratifiable_addition_is_an_error() {
+        let d = db("emp(a).");
+        let err = check_rule_update(&d, &add("odd(X) :- emp(X), not odd(X)."));
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn noop_updates_accepted_without_work() {
+        let d = db("
+            leads(a, b).
+            member(X, Y) :- leads(X, Y).
+            constraint c: forall X, Y: member(X, Y) -> leads(X, Y).
+        ");
+        // Adding a rule that is already present.
+        let report = check_rule_update(&d, &add("member(X, Y) :- leads(X, Y).")).unwrap();
+        assert!(report.satisfied);
+        assert_eq!(report.stats.update_constraints, 0);
+        // Removing a rule that does not exist.
+        let report = check_rule_update(&d, &remove("ghost(X) :- leads(X, Y).")).unwrap();
+        assert!(report.satisfied);
+        assert_eq!(report.stats.update_constraints, 0);
+    }
+
+    #[test]
+    fn recursive_rule_addition_checked() {
+        let d = db("
+            edge(a, b). edge(b, c). edge(c, a).
+            tc(X, Y) :- edge(X, Y).
+            constraint noloop: forall X: tc(X, X) -> false.
+        ");
+        // Adding the transitive rule closes the cycle: tc(a,a) appears.
+        let report =
+            check_rule_update(&d, &add("tc(X, Z) :- tc(X, Y), edge(Y, Z).")).unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.violations[0].constraint, "noloop");
+    }
+
+    #[test]
+    fn compile_is_fact_free() {
+        let d = db("constraint c: forall X: loud(X) -> warned(X).");
+        let checker = RuleUpdateChecker::new(&d);
+        let compiled = checker.compile(&add("loud(X) :- speaker(X).")).unwrap();
+        assert_eq!(compiled.check.update_constraints.len(), 1);
+        // Facts appear only at evaluation time.
+        let mut d2 = d.clone();
+        d2.insert_fact(&Fact::parse_like("speaker", &["s"]));
+        let checker2 = RuleUpdateChecker::new(&d2);
+        assert!(!checker2.evaluate(&compiled).satisfied);
+        d2.insert_fact(&Fact::parse_like("warned", &["s"]));
+        let checker3 = RuleUpdateChecker::new(&d2);
+        assert!(checker3.evaluate(&compiled).satisfied);
+    }
+
+    #[test]
+    fn agrees_with_full_recheck_oracle() {
+        let base = "
+            emp(a). emp(b). dept(d). assign(a, d). contract(a).
+            works(X) :- contract(X).
+            member(X, Y) :- assign(X, Y), dept(Y).
+            idle(X) :- emp(X), not works(X).
+            constraint busy: forall X, Y: member(X, Y) -> emp(X).
+            constraint lazy_bound: forall X: idle(X) -> emp(X).
+            constraint someone_works: exists X: works(X).
+        ";
+        let d = db(base);
+        let updates = vec![
+            add("works(X) :- assign(X, Y)."),
+            add("member(X, d) :- contract(X)."),
+            add("member(ghost, X) :- dept(X)."),
+            remove("works(X) :- contract(X)."),
+            remove("member(X, Y) :- assign(X, Y), dept(Y)."),
+            remove("idle(X) :- emp(X), not works(X)."),
+        ];
+        for u in updates {
+            let fast = check_rule_update(&d, &u).unwrap().satisfied;
+            let rules_after = u.rules_after(d.rules()).unwrap();
+            let slow = match rules_after {
+                None => true,
+                Some(rs) => {
+                    let mut copy = d.clone();
+                    copy.set_rules(rs);
+                    copy.is_consistent()
+                }
+            };
+            assert_eq!(fast, slow, "divergence on {u}");
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Systematic method-agreement matrix: several schema archetypes, the
+//! full update grid over their predicates, every method compared on
+//! every update. Complements the random property oracle with exhaustive
+//! small grids.
+
+use uniform_logic::parse_literal;
+use uniform_datalog::{Database, Transaction, Update};
+use uniform_integrity::verdicts_agree;
+
+fn upd(src: &str) -> Update {
+    Update::from_literal(&parse_literal(src).unwrap()).unwrap()
+}
+
+/// For every predicate shape and every constant pair, try insertion and
+/// deletion, asserting method agreement.
+fn exhaust(db: &Database, preds: &[(&str, usize)]) {
+    let consts = ["a", "b", "c"];
+    for &(pred, arity) in preds {
+        let arg_combos: Vec<Vec<&str>> = match arity {
+            1 => consts.iter().map(|c| vec![*c]).collect(),
+            2 => consts
+                .iter()
+                .flat_map(|c1| consts.iter().map(move |c2| vec![*c1, *c2]))
+                .collect(),
+            _ => unreachable!("grid supports arity 1-2"),
+        };
+        for args in arg_combos {
+            for sign in ["", "not "] {
+                let lit = format!("{sign}{pred}({})", args.join(","));
+                let tx = Transaction::single(upd(&lit));
+                verdicts_agree(db, &tx).unwrap_or_else(|e| panic!("{e}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn relational_schema_grid() {
+    let db = Database::parse(
+        "
+        p(a). q(a). s(a). s(b).
+        constraint inc: forall X: p(X) -> q(X).
+        constraint tot: forall X: q(X) -> (exists Y: r(X, Y)) | s(X).
+        constraint excl: forall X: ~(p(X) & bad(X)).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    exhaust(&db, &[("p", 1), ("q", 1), ("s", 1), ("r", 2), ("bad", 1)]);
+}
+
+#[test]
+fn deductive_schema_grid() {
+    let db = Database::parse(
+        "
+        q(X) :- p(X), base(X).
+        t(X) :- q(X), not excused(X).
+        base(a). base(b). p(a). blessed(a).
+        constraint topped: forall X: t(X) -> blessed(X).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    exhaust(&db, &[("p", 1), ("base", 1), ("excused", 1), ("blessed", 1)]);
+}
+
+#[test]
+fn recursive_schema_grid() {
+    let db = Database::parse(
+        "
+        tc(X,Y) :- edge(X,Y).
+        tc(X,Z) :- tc(X,Y), edge(Y,Z).
+        edge(a,b). edge(b,c).
+        constraint acyclic: forall X: tc(X,X) -> false.
+        constraint grounded: forall X, Y: edge(X, Y) -> node(X).
+        node(a). node(b). node(c).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    exhaust(&db, &[("edge", 2), ("node", 1)]);
+}
+
+#[test]
+fn two_member_transactions_agree() {
+    let db = Database::parse(
+        "
+        q(X) :- p(X), base(X).
+        base(a). base(b).
+        constraint c: forall X: q(X) -> ok(X).
+        ok(a).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    let literals = [
+        "p(a)", "p(b)", "not p(a)", "base(c)", "not base(a)", "ok(b)", "not ok(a)",
+    ];
+    for l1 in &literals {
+        for l2 in &literals {
+            let tx = Transaction::new(vec![upd(l1), upd(l2)]);
+            verdicts_agree(&db, &tx).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+}
+
+#[test]
+fn existential_constraints_under_deletion_grid() {
+    let db = Database::parse(
+        "
+        constraint somebody: exists X: emp(X).
+        constraint coverage: forall X: dept(X) -> (exists Y: emp(Y) & works(Y, X)).
+        emp(a). emp(b). dept(c). works(a, c). works(b, c).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    exhaust(&db, &[("emp", 1), ("works", 2), ("dept", 1)]);
+}
+
+#[test]
+fn self_join_constraints() {
+    // Constraints with repeated predicate occurrences — multiple
+    // simplified instances per update.
+    let db = Database::parse(
+        "
+        constraint sym: forall X, Y: r(X, Y) -> r(Y, X).
+        constraint antiself: forall X: r(X, X) -> false.
+        r(a, b). r(b, a).
+        ",
+    )
+    .unwrap();
+    assert!(db.is_consistent());
+    exhaust(&db, &[("r", 2)]);
+}

@@ -1,0 +1,112 @@
+//! Error types for parsing, rule validation and normalization.
+
+use crate::symbol::Sym;
+use std::fmt;
+
+/// Error produced by the surface-syntax parser, with 1-based position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A rule violates the range-restriction (safety) condition of §2:
+/// "every variable occurring in H, or in a negative literal in B occurs in
+/// a positive literal in B as well".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleError {
+    pub var: Sym,
+    pub rule: String,
+}
+
+impl fmt::Display for RuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rule `{}` is not range-restricted: variable {} does not occur in a positive body literal",
+            self.rule, self.var
+        )
+    }
+}
+
+impl std::error::Error for RuleError {}
+
+/// Errors from normalizing a formula to restricted-quantification form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NormalizeError {
+    /// A quantified variable is not covered by the quantifier's range
+    /// (the formula is not in — and cannot be read as — restricted
+    /// quantification form, so it is not guaranteed domain independent).
+    UnrestrictedVariable { var: Sym, quantifier: &'static str, formula: String },
+    /// Integrity constraints must be closed formulas.
+    FreeVariables { vars: Vec<Sym>, formula: String },
+}
+
+impl fmt::Display for NormalizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NormalizeError::UnrestrictedVariable { var, quantifier, formula } => write!(
+                f,
+                "variable {var} of `{quantifier}` quantifier in `{formula}` is not restricted by \
+                 a range literal; the formula is not domain independent"
+            ),
+            NormalizeError::FreeVariables { vars, formula } => {
+                write!(f, "constraint `{formula}` has free variables: ")?;
+                for (i, v) in vars.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for NormalizeError {}
+
+/// Umbrella error for loading a program from text.
+#[derive(Clone, Debug)]
+pub enum LogicError {
+    Parse(ParseError),
+    Rule(RuleError),
+    Normalize(NormalizeError),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Parse(e) => e.fmt(f),
+            LogicError::Rule(e) => e.fmt(f),
+            LogicError::Normalize(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+impl From<ParseError> for LogicError {
+    fn from(e: ParseError) -> Self {
+        LogicError::Parse(e)
+    }
+}
+impl From<RuleError> for LogicError {
+    fn from(e: RuleError) -> Self {
+        LogicError::Rule(e)
+    }
+}
+impl From<NormalizeError> for LogicError {
+    fn from(e: NormalizeError) -> Self {
+        LogicError::Normalize(e)
+    }
+}

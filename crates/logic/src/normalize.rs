@@ -1,0 +1,744 @@
+//! Normalization of general formulas to restricted-quantification form.
+//!
+//! §2 of the paper assumes constraints are given in a normalized form:
+//!
+//! 1. *rectified* — no two quantifiers introduce the same variable;
+//! 2. *miniscope* — the scope of each quantifier is reduced as much as
+//!    possible;
+//! 3. *negation normal form* — implications and equivalences expanded,
+//!    negation only in front of atoms;
+//! 4. ∨ distributed over ∧.
+//!
+//! and that every quantifier is *restricted*: `∃X̄ [A₁∧…∧Aₘ∧Q]` or
+//! `∀X̄ [¬A₁∨…∨¬Aₘ∨Q]` with every `Xi` occurring in some `Aj`. This module
+//! implements the pipeline and the final extraction into [`Rq`], rejecting
+//! formulas whose quantified variables cannot be restricted (those are not
+//! guaranteed domain independent, cf. Kuhns 1967).
+
+use crate::error::NormalizeError;
+use crate::formula::{Formula, Rq};
+use crate::symbol::Sym;
+use crate::term::{Atom, Term};
+use std::collections::{HashMap, HashSet};
+
+/// Cap on the ∨/∧ distribution blow-up at a single node. Beyond the cap
+/// the disjunction is left untouched — the RQ form tolerates arbitrary
+/// bodies `Q`, so this only affects how much simplification later steps
+/// can do, never correctness.
+const DISTRIBUTE_CAP: usize = 256;
+
+/// Normalize a closed formula into restricted-quantification form.
+pub fn normalize(f: &Formula) -> Result<Rq, NormalizeError> {
+    let free = f.free_vars();
+    if !free.is_empty() {
+        return Err(NormalizeError::FreeVariables { vars: free, formula: format!("{f}") });
+    }
+    normalize_open(f)
+}
+
+/// Normalize a possibly open formula (free variables allowed — used for
+/// queries and internally generated instances).
+pub fn normalize_open(f: &Formula) -> Result<Rq, NormalizeError> {
+    let mut g = rectify(&nnf(f, true));
+    for _ in 0..4 {
+        let next = miniscope(distribute(&g));
+        if next == g {
+            break;
+        }
+        g = next;
+    }
+    let g = merge_quantifiers(g);
+    to_rq(&g)
+}
+
+/// Negation normal form; also expands `→` and `↔`.
+fn nnf(f: &Formula, pos: bool) -> Formula {
+    match f {
+        Formula::True => {
+            if pos {
+                Formula::True
+            } else {
+                Formula::False
+            }
+        }
+        Formula::False => {
+            if pos {
+                Formula::False
+            } else {
+                Formula::True
+            }
+        }
+        Formula::Atom(a) => {
+            if pos {
+                Formula::Atom(a.clone())
+            } else {
+                Formula::not(Formula::Atom(a.clone()))
+            }
+        }
+        Formula::Not(g) => nnf(g, !pos),
+        Formula::And(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, pos)).collect();
+            if pos {
+                fand(parts)
+            } else {
+                for_(parts)
+            }
+        }
+        Formula::Or(gs) => {
+            let parts = gs.iter().map(|g| nnf(g, pos)).collect();
+            if pos {
+                for_(parts)
+            } else {
+                fand(parts)
+            }
+        }
+        Formula::Implies(a, b) => {
+            let expanded = Formula::Or(vec![Formula::not((**a).clone()), (**b).clone()]);
+            nnf(&expanded, pos)
+        }
+        Formula::Iff(a, b) => {
+            let expanded = Formula::And(vec![
+                Formula::implies((**a).clone(), (**b).clone()),
+                Formula::implies((**b).clone(), (**a).clone()),
+            ]);
+            nnf(&expanded, pos)
+        }
+        Formula::Forall(vs, g) => {
+            if pos {
+                Formula::forall(vs.clone(), nnf(g, true))
+            } else {
+                Formula::exists(vs.clone(), nnf(g, false))
+            }
+        }
+        Formula::Exists(vs, g) => {
+            if pos {
+                Formula::exists(vs.clone(), nnf(g, true))
+            } else {
+                Formula::forall(vs.clone(), nnf(g, false))
+            }
+        }
+    }
+}
+
+/// Smart conjunction over general formulas (flattens; identity/absorbing
+/// elements).
+fn fand(parts: Vec<Formula>) -> Formula {
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        match p {
+            Formula::True => {}
+            Formula::False => return Formula::False,
+            Formula::And(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Formula::True,
+        1 => out.pop().unwrap(),
+        _ => Formula::And(out),
+    }
+}
+
+/// Smart disjunction over general formulas.
+fn for_(parts: Vec<Formula>) -> Formula {
+    let mut out = Vec::with_capacity(parts.len());
+    for p in parts {
+        match p {
+            Formula::False => {}
+            Formula::True => return Formula::True,
+            Formula::Or(inner) => out.extend(inner),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Formula::False,
+        1 => out.pop().unwrap(),
+        _ => Formula::Or(out),
+    }
+}
+
+/// Rename quantified variables so that no two quantifiers bind the same
+/// name and no quantified name shadows a free variable. Also drops
+/// vacuous quantifiers.
+fn rectify(f: &Formula) -> Formula {
+    fn fresh_name(base: Sym, used: &mut HashSet<Sym>) -> Sym {
+        if used.insert(base) {
+            return base;
+        }
+        for k in 2usize.. {
+            let candidate = Sym::new(&format!("{base}_{k}"));
+            if used.insert(candidate) {
+                return candidate;
+            }
+        }
+        unreachable!()
+    }
+
+    fn go(
+        f: &Formula,
+        used: &mut HashSet<Sym>,
+        env: &mut HashMap<Sym, Vec<Sym>>,
+    ) -> Formula {
+        match f {
+            Formula::True | Formula::False => f.clone(),
+            Formula::Atom(a) => Formula::Atom(Atom {
+                pred: a.pred,
+                args: a
+                    .args
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Var(v) => match env.get(&v).and_then(|stack| stack.last()) {
+                            Some(&renamed) => Term::Var(renamed),
+                            None => t,
+                        },
+                        Term::Const(_) => t,
+                    })
+                    .collect(),
+            }),
+            Formula::Not(g) => Formula::not(go(g, used, env)),
+            Formula::And(gs) => fand(gs.iter().map(|g| go(g, used, env)).collect()),
+            Formula::Or(gs) => for_(gs.iter().map(|g| go(g, used, env)).collect()),
+            Formula::Implies(a, b) => Formula::implies(go(a, used, env), go(b, used, env)),
+            Formula::Iff(a, b) => Formula::iff(go(a, used, env), go(b, used, env)),
+            Formula::Forall(vs, g) | Formula::Exists(vs, g) => {
+                let is_forall = matches!(f, Formula::Forall(..));
+                let renamed: Vec<(Sym, Sym)> = vs
+                    .iter()
+                    .map(|&v| (v, fresh_name(v, used)))
+                    .collect();
+                for &(v, r) in &renamed {
+                    env.entry(v).or_default().push(r);
+                }
+                let body = go(g, used, env);
+                for &(v, _) in &renamed {
+                    env.get_mut(&v).unwrap().pop();
+                }
+                let occurring = body.free_vars();
+                let kept: Vec<Sym> = renamed
+                    .iter()
+                    .map(|&(_, r)| r)
+                    .filter(|r| occurring.contains(r))
+                    .collect();
+                if kept.is_empty() {
+                    body
+                } else if is_forall {
+                    Formula::forall(kept, body)
+                } else {
+                    Formula::exists(kept, body)
+                }
+            }
+        }
+    }
+
+    let mut used: HashSet<Sym> = f.free_vars().into_iter().collect();
+    go(f, &mut used, &mut HashMap::new())
+}
+
+fn free_in(f: &Formula, x: Sym) -> bool {
+    f.free_vars().contains(&x)
+}
+
+/// Push quantifiers inward as far as possible (miniscope form). `∀`
+/// distributes over `∧` and factors out disjuncts not mentioning the
+/// variable; `∃` dually.
+fn miniscope(f: Formula) -> Formula {
+    match f {
+        Formula::And(gs) => fand(gs.into_iter().map(miniscope).collect()),
+        Formula::Or(gs) => for_(gs.into_iter().map(miniscope).collect()),
+        Formula::Not(g) => Formula::not(miniscope(*g)),
+        Formula::Forall(vars, g) => {
+            let mut body = miniscope(*g);
+            for &v in vars.iter().rev() {
+                body = push_quant(true, v, body);
+            }
+            body
+        }
+        Formula::Exists(vars, g) => {
+            let mut body = miniscope(*g);
+            for &v in vars.iter().rev() {
+                body = push_quant(false, v, body);
+            }
+            body
+        }
+        leaf => leaf,
+    }
+}
+
+/// Push a single quantifier (`∀` if `forall`, else `∃`) over variable `x`
+/// into `g`.
+fn push_quant(forall: bool, x: Sym, g: Formula) -> Formula {
+    if !free_in(&g, x) {
+        return g;
+    }
+    let wrap = |body: Formula| {
+        if forall {
+            Formula::forall(vec![x], body)
+        } else {
+            Formula::exists(vec![x], body)
+        }
+    };
+    match g {
+        // The connective the quantifier distributes over.
+        Formula::And(ps) if forall => fand(ps.into_iter().map(|p| push_quant(true, x, p)).collect()),
+        Formula::Or(ps) if !forall => for_(ps.into_iter().map(|p| push_quant(false, x, p)).collect()),
+        // The dual connective: factor out parts not mentioning x.
+        Formula::Or(ps) if forall => {
+            let (with, without): (Vec<_>, Vec<_>) = ps.into_iter().partition(|p| free_in(p, x));
+            let inner = if with.len() == 1 {
+                push_quant(true, x, with.into_iter().next().unwrap())
+            } else {
+                wrap(for_(with))
+            };
+            let mut parts = without;
+            parts.push(inner);
+            for_(parts)
+        }
+        Formula::And(ps) if !forall => {
+            let (with, without): (Vec<_>, Vec<_>) = ps.into_iter().partition(|p| free_in(p, x));
+            let inner = if with.len() == 1 {
+                push_quant(false, x, with.into_iter().next().unwrap())
+            } else {
+                wrap(fand(with))
+            };
+            let mut parts = without;
+            parts.push(inner);
+            fand(parts)
+        }
+        // Same-kind quantifier: push through (they commute).
+        Formula::Forall(vs, h) if forall => Formula::forall(vs, push_quant(true, x, *h)),
+        Formula::Exists(vs, h) if !forall => Formula::exists(vs, push_quant(false, x, *h)),
+        other => wrap(other),
+    }
+}
+
+/// Distribute ∨ over ∧ bottom-up, with a blow-up cap per node.
+fn distribute(f: &Formula) -> Formula {
+    match f {
+        Formula::And(gs) => fand(gs.iter().map(distribute).collect()),
+        Formula::Or(gs) => {
+            let parts: Vec<Formula> = gs.iter().map(distribute).collect();
+            let mut product = 1usize;
+            for p in &parts {
+                if let Formula::And(cs) = p {
+                    product = product.saturating_mul(cs.len());
+                }
+            }
+            if product <= 1 || product > DISTRIBUTE_CAP {
+                return for_(parts);
+            }
+            let mut combos: Vec<Vec<Formula>> = vec![Vec::new()];
+            for p in parts {
+                match p {
+                    Formula::And(cs) => {
+                        let mut next = Vec::with_capacity(combos.len() * cs.len());
+                        for combo in &combos {
+                            for c in &cs {
+                                let mut extended = combo.clone();
+                                extended.push(c.clone());
+                                next.push(extended);
+                            }
+                        }
+                        combos = next;
+                    }
+                    other => {
+                        for combo in &mut combos {
+                            combo.push(other.clone());
+                        }
+                    }
+                }
+            }
+            fand(combos.into_iter().map(for_).collect())
+        }
+        Formula::Not(g) => Formula::not(distribute(g)),
+        Formula::Forall(vs, g) => Formula::forall(vs.clone(), distribute(g)),
+        Formula::Exists(vs, g) => Formula::exists(vs.clone(), distribute(g)),
+        leaf => leaf.clone(),
+    }
+}
+
+/// Merge directly nested quantifiers of the same kind so that variable
+/// groups share one range (`∀X∀Y φ` ⇒ `∀X,Y φ`).
+fn merge_quantifiers(f: Formula) -> Formula {
+    match f {
+        Formula::And(gs) => fand(gs.into_iter().map(merge_quantifiers).collect()),
+        Formula::Or(gs) => for_(gs.into_iter().map(merge_quantifiers).collect()),
+        Formula::Not(g) => Formula::not(merge_quantifiers(*g)),
+        Formula::Forall(mut vs, g) => match merge_quantifiers(*g) {
+            Formula::Forall(inner, h) => {
+                vs.extend(inner);
+                Formula::forall(vs, *h)
+            }
+            other => Formula::forall(vs, other),
+        },
+        Formula::Exists(mut vs, g) => match merge_quantifiers(*g) {
+            Formula::Exists(inner, h) => {
+                vs.extend(inner);
+                Formula::exists(vs, *h)
+            }
+            other => Formula::exists(vs, other),
+        },
+        leaf => leaf,
+    }
+}
+
+/// Final extraction: read a normalized formula as [`Rq`], splitting each
+/// quantifier matrix into range and body and checking range restriction.
+fn to_rq(f: &Formula) -> Result<Rq, NormalizeError> {
+    match f {
+        Formula::True => Ok(Rq::True),
+        Formula::False => Ok(Rq::False),
+        Formula::Atom(a) => Ok(Rq::Lit(a.clone().pos())),
+        Formula::Not(g) => match &**g {
+            Formula::Atom(a) => Ok(Rq::Lit(a.clone().neg())),
+            other => unreachable!("not in NNF: ~({other})"),
+        },
+        Formula::And(gs) => Ok(Rq::and(gs.iter().map(to_rq).collect::<Result<_, _>>()?)),
+        Formula::Or(gs) => Ok(Rq::or(gs.iter().map(to_rq).collect::<Result<_, _>>()?)),
+        Formula::Forall(vars, matrix) => {
+            let mut vars = vars.clone();
+            let mut disjuncts: Vec<Formula> = match &**matrix {
+                Formula::Or(ps) => ps.clone(),
+                other => vec![other.clone()],
+            };
+            loop {
+                let mut range: Vec<Atom> = Vec::new();
+                let mut rest: Vec<&Formula> = Vec::new();
+                for d in &disjuncts {
+                    if let Formula::Not(inner) = d {
+                        if let Formula::Atom(a) = &**inner {
+                            if a.vars().any(|v| vars.contains(&v)) {
+                                range.push(a.clone());
+                                continue;
+                            }
+                        }
+                    }
+                    rest.push(d);
+                }
+                if check_coverage(&vars, &range, "forall", f).is_ok() {
+                    let body: Vec<Rq> = rest.iter().map(|d| to_rq(d)).collect::<Result<_, _>>()?;
+                    return Ok(Rq::forall_node(vars, range, Rq::or(body)));
+                }
+                // Miniscoping may have pushed a `∀` into one disjunct and
+                // thereby hidden a range atom from an outer variable
+                // (e.g. ∀Y dept(Y) ∨ ∀X ¬assign(X,Y)). Hoisting the inner
+                // quantifier back up is sound — rectification makes its
+                // variables unique — and may expose the missing range.
+                if !hoist_same_kind(&mut vars, &mut disjuncts, true) {
+                    check_coverage(&vars, &range, "forall", f)?;
+                    unreachable!("coverage just failed");
+                }
+            }
+        }
+        Formula::Exists(vars, matrix) => {
+            let mut vars = vars.clone();
+            let mut conjuncts: Vec<Formula> = match &**matrix {
+                Formula::And(ps) => ps.clone(),
+                other => vec![other.clone()],
+            };
+            loop {
+                let mut range: Vec<Atom> = Vec::new();
+                let mut rest: Vec<&Formula> = Vec::new();
+                for c in &conjuncts {
+                    if let Formula::Atom(a) = c {
+                        if a.vars().any(|v| vars.contains(&v)) {
+                            range.push(a.clone());
+                            continue;
+                        }
+                    }
+                    rest.push(c);
+                }
+                if check_coverage(&vars, &range, "exists", f).is_ok() {
+                    let body: Vec<Rq> = rest.iter().map(|c| to_rq(c)).collect::<Result<_, _>>()?;
+                    return Ok(Rq::exists_node(vars, range, Rq::and(body)));
+                }
+                if !hoist_same_kind(&mut vars, &mut conjuncts, false) {
+                    check_coverage(&vars, &range, "exists", f)?;
+                    unreachable!("coverage just failed");
+                }
+            }
+        }
+        Formula::Implies(..) | Formula::Iff(..) => unreachable!("not in NNF: {f}"),
+    }
+}
+
+/// Pull directly nested same-kind quantifiers (`∀` inside the disjuncts
+/// of a `∀` matrix when `forall`, `∃` inside the conjuncts of an `∃`
+/// matrix otherwise) up into `vars`, flattening the exposed matrices into
+/// `parts`. Returns `false` if nothing could be hoisted.
+fn hoist_same_kind(vars: &mut Vec<Sym>, parts: &mut Vec<Formula>, forall: bool) -> bool {
+    let mut hoisted = false;
+    let mut next: Vec<Formula> = Vec::with_capacity(parts.len());
+    for p in parts.drain(..) {
+        match p {
+            Formula::Forall(vs, h) if forall => {
+                hoisted = true;
+                vars.extend(vs);
+                match *h {
+                    Formula::Or(inner) => next.extend(inner),
+                    other => next.push(other),
+                }
+            }
+            Formula::Exists(vs, h) if !forall => {
+                hoisted = true;
+                vars.extend(vs);
+                match *h {
+                    Formula::And(inner) => next.extend(inner),
+                    other => next.push(other),
+                }
+            }
+            other => next.push(other),
+        }
+    }
+    *parts = next;
+    hoisted
+}
+
+fn check_coverage(
+    vars: &[Sym],
+    range: &[Atom],
+    quantifier: &'static str,
+    f: &Formula,
+) -> Result<(), NormalizeError> {
+    for &v in vars {
+        if !range.iter().any(|a| a.vars().any(|w| w == v)) {
+            return Err(NormalizeError::UnrestrictedVariable {
+                var: v,
+                quantifier,
+                formula: format!("{f}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Convert back to a general formula (for naive-semantics cross-checks).
+pub fn rq_to_formula(rq: &Rq) -> Formula {
+    match rq {
+        Rq::True => Formula::True,
+        Rq::False => Formula::False,
+        Rq::Lit(l) => {
+            if l.positive {
+                Formula::Atom(l.atom.clone())
+            } else {
+                Formula::not(Formula::Atom(l.atom.clone()))
+            }
+        }
+        Rq::And(gs) => fand(gs.iter().map(rq_to_formula).collect()),
+        Rq::Or(gs) => for_(gs.iter().map(rq_to_formula).collect()),
+        Rq::Forall { vars, range, body } => {
+            let mut parts: Vec<Formula> = range
+                .iter()
+                .map(|a| Formula::not(Formula::Atom(a.clone())))
+                .collect();
+            parts.push(rq_to_formula(body));
+            Formula::forall(vars.clone(), for_(parts))
+        }
+        Rq::Exists { vars, range, body } => {
+            let mut parts: Vec<Formula> =
+                range.iter().map(|a| Formula::Atom(a.clone())).collect();
+            parts.push(rq_to_formula(body));
+            Formula::exists(vars.clone(), fand(parts))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_formula;
+
+    fn norm(src: &str) -> Rq {
+        normalize(&parse_formula(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_c1_normalizes() {
+        // C1: ∀X [¬p(X) ∨ q(X)]
+        let rq = norm("forall X: p(X) -> q(X)");
+        match rq {
+            Rq::Forall { vars, range, body } => {
+                assert_eq!(vars.len(), 1);
+                assert_eq!(range, vec![Atom::parse_like("p", &["X"])]);
+                assert_eq!(*body, Rq::Lit(Atom::parse_like("q", &["X"]).pos()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_c2_normalizes_with_nested_existential() {
+        // C2: ∀XY ¬p(X,Y) ∨ [∃Z q(X,Z) ∧ ¬s(Y,Z,a)]
+        let rq = norm("forall X, Y: p(X,Y) -> (exists Z: q(X,Z) & ~s(Y,Z,a))");
+        match rq {
+            Rq::Forall { vars, range, body } => {
+                assert_eq!(vars.len(), 2);
+                assert_eq!(range, vec![Atom::parse_like("p", &["X", "Y"])]);
+                match *body {
+                    Rq::Exists { vars, range, body } => {
+                        assert_eq!(vars.len(), 1);
+                        assert_eq!(range, vec![Atom::parse_like("q", &["X", "Z"])]);
+                        assert_eq!(*body, Rq::Lit(Atom::parse_like("s", &["Y", "Z", "a"]).neg()));
+                    }
+                    other => panic!("unexpected body: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn functional_dependency_shape() {
+        // FD-style constraint (no equality in the language; a same-value
+        // predicate stands in): no two leaders for one department.
+        // Miniscoping nests the quantifier for Z under the leads(X,Y)
+        // range, which is the more selective equivalent form.
+        let rq = norm("forall X, Y, Z: leads(X,Y) & leads(Z,Y) -> same(X,Z)");
+        match rq {
+            Rq::Forall { vars, range, body } => {
+                assert_eq!(vars.len(), 2);
+                assert_eq!(range.len(), 1);
+                match *body {
+                    Rq::Forall { vars, range, body } => {
+                        assert_eq!(vars.len(), 1);
+                        assert_eq!(range.len(), 1);
+                        assert_eq!(*body, Rq::Lit(Atom::parse_like("same", &["X", "Z"]).pos()));
+                    }
+                    other => panic!("unexpected body: {other:?}"),
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unrestricted_universal() {
+        // ∀X p(X) — truth depends on the domain; not RQ-expressible.
+        let f = parse_formula("forall X: p(X)").unwrap();
+        assert!(matches!(
+            normalize(&f),
+            Err(NormalizeError::UnrestrictedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unrestricted_existential_negation() {
+        // ∃X ¬p(X) — likewise domain dependent.
+        let f = parse_formula("exists X: ~p(X)").unwrap();
+        assert!(matches!(
+            normalize(&f),
+            Err(NormalizeError::UnrestrictedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_open_constraint() {
+        let f = parse_formula("p(X) -> q(X)").unwrap();
+        assert!(matches!(normalize(&f), Err(NormalizeError::FreeVariables { .. })));
+    }
+
+    #[test]
+    fn existential_outermost_allowed() {
+        // Constraint (5) of §5: ∃X employee(X)
+        let rq = norm("exists X: employee(X)");
+        match rq {
+            Rq::Exists { vars, range, body } => {
+                assert_eq!(vars.len(), 1);
+                assert_eq!(range, vec![Atom::parse_like("employee", &["X"])]);
+                assert_eq!(*body, Rq::True);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rectification_renames_reused_names() {
+        // Both quantifiers bind X; the second must be renamed.
+        let rq = norm("(forall X: p(X) -> q(X)) & (forall X: r(X) -> s(X))");
+        match rq {
+            Rq::And(parts) => {
+                let names: Vec<Sym> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Rq::Forall { vars, .. } => vars[0],
+                        other => panic!("unexpected: {other:?}"),
+                    })
+                    .collect();
+                assert_ne!(names[0], names[1]);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn miniscope_splits_conjunctive_matrix() {
+        // ∀X (p(X) → q(X)) ∧ (p(X) → r(X)) becomes two independent ∀.
+        let rq = norm("forall X: (p(X) -> q(X)) & (p(X) -> r(X))");
+        assert!(matches!(rq, Rq::And(ref parts) if parts.len() == 2));
+    }
+
+    #[test]
+    fn distribution_gives_disjunction_matrices() {
+        // ∀X ¬p(X) ∨ (q(X) ∧ r(X)) — distribute, then ∀ splits over ∧.
+        let rq = norm("forall X: p(X) -> q(X) & r(X)");
+        match rq {
+            Rq::And(parts) => {
+                assert_eq!(parts.len(), 2);
+                for p in parts {
+                    assert!(matches!(p, Rq::Forall { .. }), "expected forall, got {p:?}");
+                }
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacuous_quantifier_dropped() {
+        // Neither X nor Y occurs in the matrix: both quantifiers vanish.
+        let rq = norm("forall X: exists Y: p(a) -> q(b)");
+        assert_eq!(
+            rq,
+            Rq::Or(vec![
+                Rq::Lit(Atom::parse_like("p", &["a"]).neg()),
+                Rq::Lit(Atom::parse_like("q", &["b"]).pos()),
+            ])
+        );
+    }
+
+    #[test]
+    fn double_negation_removed() {
+        let rq = norm("~ ~ p(a)");
+        assert_eq!(rq, Rq::Lit(Atom::parse_like("p", &["a"]).pos()));
+    }
+
+    #[test]
+    fn iff_expanded() {
+        let rq = norm("p(a) <-> q(b)");
+        // (¬p∨q) ∧ (¬q∨p)
+        match rq {
+            Rq::And(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negated_quantifier_flips() {
+        // ¬∃X p(X)  ⇒  ∀X ¬p(X): range p(X), body false.
+        let rq = norm("~ (exists X: p(X))");
+        match rq {
+            Rq::Forall { vars, range, body } => {
+                assert_eq!(vars.len(), 1);
+                assert_eq!(range.len(), 1);
+                assert_eq!(*body, Rq::False);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_shape() {
+        let rq = norm("forall X, Y: p(X,Y) -> (exists Z: q(X,Z) & ~s(Y,Z,a))");
+        let back = rq_to_formula(&rq);
+        let again = normalize(&back).unwrap();
+        assert_eq!(rq, again);
+    }
+}

@@ -1,0 +1,166 @@
+//! Naive model-theoretic evaluation — the semantics oracle.
+//!
+//! Evaluates arbitrary [`Formula`]s over an explicit finite interpretation
+//! (a set of true ground facts plus an explicit domain), quantifying over
+//! the whole domain. This is exponential and only suitable for tests: it
+//! is the ground truth against which the range-driven [`crate::formula::Rq`]
+//! evaluator and the normalization pipeline are cross-checked.
+
+use crate::formula::Formula;
+use crate::symbol::Sym;
+use crate::term::{Fact, Term};
+use std::collections::{HashMap, HashSet};
+
+/// A finite interpretation: an explicit domain and the set of true facts.
+#[derive(Clone, Debug, Default)]
+pub struct FiniteInterp {
+    pub domain: Vec<Sym>,
+    pub facts: HashSet<Fact>,
+}
+
+impl FiniteInterp {
+    pub fn new(domain: Vec<Sym>, facts: impl IntoIterator<Item = Fact>) -> Self {
+        FiniteInterp { domain, facts: facts.into_iter().collect() }
+    }
+
+    /// Build with the domain inferred from the constants of the facts.
+    pub fn from_facts(facts: impl IntoIterator<Item = Fact>) -> Self {
+        let facts: HashSet<Fact> = facts.into_iter().collect();
+        let mut domain: Vec<Sym> = facts.iter().flat_map(|f| f.args.iter().copied()).collect();
+        domain.sort();
+        domain.dedup();
+        FiniteInterp { domain, facts }
+    }
+
+    pub fn holds(&self, f: &Fact) -> bool {
+        self.facts.contains(f)
+    }
+}
+
+/// Evaluate `f` in `interp` under a variable assignment `env`. Free
+/// variables must all be bound by `env`; panics otherwise (tests should
+/// close their formulas).
+pub fn eval_formula(f: &Formula, interp: &FiniteInterp, env: &mut HashMap<Sym, Sym>) -> bool {
+    match f {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Atom(a) => {
+            let fact = Fact {
+                pred: a.pred,
+                args: a
+                    .args
+                    .iter()
+                    .map(|&t| match t {
+                        Term::Const(c) => c,
+                        Term::Var(v) => *env
+                            .get(&v)
+                            .unwrap_or_else(|| panic!("unbound variable {v} in naive evaluation")),
+                    })
+                    .collect(),
+            };
+            interp.holds(&fact)
+        }
+        Formula::Not(g) => !eval_formula(g, interp, env),
+        Formula::And(gs) => gs.iter().all(|g| eval_formula(g, interp, env)),
+        Formula::Or(gs) => gs.iter().any(|g| eval_formula(g, interp, env)),
+        Formula::Implies(a, b) => !eval_formula(a, interp, env) || eval_formula(b, interp, env),
+        Formula::Iff(a, b) => eval_formula(a, interp, env) == eval_formula(b, interp, env),
+        Formula::Forall(vars, g) => every_assignment(vars, interp, env, &mut |env| {
+            eval_formula(g, interp, env)
+        }),
+        Formula::Exists(vars, g) => !every_assignment(vars, interp, env, &mut |env| {
+            !eval_formula(g, interp, env)
+        }),
+    }
+}
+
+fn every_assignment(
+    vars: &[Sym],
+    interp: &FiniteInterp,
+    env: &mut HashMap<Sym, Sym>,
+    check: &mut dyn FnMut(&mut HashMap<Sym, Sym>) -> bool,
+) -> bool {
+    match vars.split_first() {
+        None => check(env),
+        Some((&v, rest)) => {
+            if interp.domain.is_empty() {
+                // Empty domain: universal statements hold vacuously.
+                return true;
+            }
+            for &c in &interp.domain {
+                let prev = env.insert(v, c);
+                let ok = every_assignment(rest, interp, env, check);
+                match prev {
+                    Some(p) => {
+                        env.insert(v, p);
+                    }
+                    None => {
+                        env.remove(&v);
+                    }
+                }
+                if !ok {
+                    return false;
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Evaluate a closed formula.
+pub fn eval_closed(f: &Formula, interp: &FiniteInterp) -> bool {
+    eval_formula(f, interp, &mut HashMap::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::{normalize, rq_to_formula};
+    use crate::parser::parse_formula;
+
+    fn interp(facts: &[(&str, &[&str])]) -> FiniteInterp {
+        FiniteInterp::from_facts(
+            facts.iter().map(|(p, args)| Fact::parse_like(p, args)),
+        )
+    }
+
+    #[test]
+    fn ground_atoms() {
+        let i = interp(&[("p", &["a"])]);
+        assert!(eval_closed(&parse_formula("p(a)").unwrap(), &i));
+        assert!(!eval_closed(&parse_formula("p(b)").unwrap(), &i));
+        assert!(eval_closed(&parse_formula("~p(b)").unwrap(), &i));
+    }
+
+    #[test]
+    fn quantifiers_over_domain() {
+        let i = interp(&[("p", &["a"]), ("p", &["b"]), ("q", &["a"])]);
+        assert!(eval_closed(&parse_formula("forall X: q(X) -> p(X)").unwrap(), &i));
+        assert!(!eval_closed(&parse_formula("forall X: p(X) -> q(X)").unwrap(), &i));
+        assert!(eval_closed(&parse_formula("exists X: p(X) & q(X)").unwrap(), &i));
+        assert!(!eval_closed(&parse_formula("exists X: q(X) & ~p(X)").unwrap(), &i));
+    }
+
+    #[test]
+    fn empty_interpretation_satisfies_universals() {
+        let i = FiniteInterp::default();
+        assert!(eval_closed(&parse_formula("forall X: p(X) -> q(X)").unwrap(), &i));
+        assert!(!eval_closed(&parse_formula("exists X: p(X)").unwrap(), &i));
+    }
+
+    #[test]
+    fn normalization_preserves_truth_paper_c2() {
+        let f = parse_formula("forall X, Y: p(X,Y) -> (exists Z: q(X,Z) & ~s(Y,Z,a))").unwrap();
+        let rq = normalize(&f).unwrap();
+        let back = rq_to_formula(&rq);
+        let cases = [
+            interp(&[("p", &[{ "c1" }, "c2"]), ("q", &["c1", "d"]) , ("dom", &["a"])]),
+            interp(&[("p", &["c1", "c2"]), ("s", &["c2", "d", "a"]), ("q", &["c1", "d"])]),
+            interp(&[("q", &["c1", "d"])]),
+            interp(&[("p", &["c1", "c2"])]),
+        ];
+        for i in &cases {
+            assert_eq!(eval_closed(&f, i), eval_closed(&back, i), "mismatch on {i:?}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Terms, atoms, literals and ground facts.
+//!
+//! The paper restricts the language to function-free terms: "The only terms
+//! occurring in a rule are constants and variables" (§2). Atoms apply a
+//! predicate symbol to terms; literals add a sign; facts are ground atoms
+//! stored with constants only, which keeps the fact store and join paths
+//! free of `Term` matching.
+
+use crate::symbol::Sym;
+use std::fmt;
+
+/// A function-free term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    Var(Sym),
+    Const(Sym),
+}
+
+impl Term {
+    /// Build a term from an identifier using the surface-syntax convention
+    /// (leading uppercase / `_` means variable).
+    pub fn from_name(name: &str) -> Term {
+        let s = Sym::new(name);
+        if s.is_var_name() {
+            Term::Var(s)
+        } else {
+            Term::Const(s)
+        }
+    }
+
+    pub fn is_var(self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+
+    pub fn is_const(self) -> bool {
+        matches!(self, Term::Const(_))
+    }
+
+    /// The constant symbol, if this is a constant.
+    pub fn as_const(self) -> Option<Sym> {
+        match self {
+            Term::Const(c) => Some(c),
+            Term::Var(_) => None,
+        }
+    }
+
+    /// The variable symbol, if this is a variable.
+    pub fn as_var(self) -> Option<Sym> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// An atom `p(t1, ..., tn)`. Propositional atoms have an empty argument
+/// list.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom {
+    pub pred: Sym,
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    pub fn new(pred: impl Into<Sym>, args: Vec<Term>) -> Atom {
+        Atom { pred: pred.into(), args }
+    }
+
+    /// Parse-free construction helper: argument names follow the
+    /// variable/constant convention.
+    ///
+    /// ```
+    /// use uniform_logic::Atom;
+    /// let a = Atom::parse_like("leads", &["X", "dept1"]);
+    /// assert!(a.args[0].is_var());
+    /// assert!(a.args[1].is_const());
+    /// ```
+    pub fn parse_like(pred: &str, args: &[&str]) -> Atom {
+        Atom {
+            pred: Sym::new(pred),
+            args: args.iter().map(|a| Term::from_name(a)).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_const())
+    }
+
+    /// Iterate over the variables of the atom (with repetitions).
+    pub fn vars(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Convert to a ground fact; `None` if any argument is a variable.
+    pub fn to_fact(&self) -> Option<Fact> {
+        let mut args = Vec::with_capacity(self.args.len());
+        for t in &self.args {
+            args.push(t.as_const()?);
+        }
+        Some(Fact { pred: self.pred, args })
+    }
+
+    /// A positive literal over this atom.
+    pub fn pos(self) -> Literal {
+        Literal { positive: true, atom: self }
+    }
+
+    /// A negative literal over this atom.
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Literal {
+        Literal { positive: false, atom: self }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.pred)?;
+        if !self.args.is_empty() {
+            write!(f, "(")?;
+            for (i, a) in self.args.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{a}")?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A signed atom.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    pub positive: bool,
+    pub atom: Atom,
+}
+
+impl Literal {
+    pub fn new(positive: bool, atom: Atom) -> Literal {
+        Literal { positive, atom }
+    }
+
+    /// The complementary literal (¬L, or L if this is ¬A).
+    ///
+    /// Updates in the paper are literals: a positive literal is an
+    /// insertion, a negative one a deletion, and relevance (Def. 2) is
+    /// phrased via complements.
+    pub fn complement(&self) -> Literal {
+        Literal { positive: !self.positive, atom: self.atom.clone() }
+    }
+
+    pub fn is_ground(&self) -> bool {
+        self.atom.is_ground()
+    }
+
+    pub fn vars(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.atom.vars()
+    }
+}
+
+impl fmt::Debug for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "not ")?;
+        }
+        write!(f, "{}", self.atom)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// A ground atom with constant arguments only — the unit of storage in the
+/// fact base and of model construction in the satisfiability checker.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fact {
+    pub pred: Sym,
+    pub args: Vec<Sym>,
+}
+
+impl Fact {
+    pub fn new(pred: impl Into<Sym>, args: Vec<Sym>) -> Fact {
+        Fact { pred: pred.into(), args }
+    }
+
+    /// Construction helper mirroring [`Atom::parse_like`]; all arguments
+    /// are taken as constants.
+    pub fn parse_like(pred: &str, args: &[&str]) -> Fact {
+        Fact {
+            pred: Sym::new(pred),
+            args: args.iter().map(|a| Sym::new(a)).collect(),
+        }
+    }
+
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// View as an (always ground) atom.
+    pub fn to_atom(&self) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&c| Term::Const(c)).collect(),
+        }
+    }
+}
+
+impl fmt::Debug for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_atom())
+    }
+}
+
+impl fmt::Display for Fact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_convention() {
+        assert!(Term::from_name("X").is_var());
+        assert!(Term::from_name("jack").is_const());
+        assert_eq!(Term::from_name("a").as_const(), Some(Sym::new("a")));
+        assert_eq!(Term::from_name("X").as_var(), Some(Sym::new("X")));
+    }
+
+    #[test]
+    fn atom_groundness_and_fact_conversion() {
+        let g = Atom::parse_like("enrolled", &["jack", "cs"]);
+        assert!(g.is_ground());
+        let f = g.to_fact().unwrap();
+        assert_eq!(f, Fact::parse_like("enrolled", &["jack", "cs"]));
+        assert_eq!(f.to_atom(), g);
+
+        let open = Atom::parse_like("enrolled", &["X", "cs"]);
+        assert!(!open.is_ground());
+        assert!(open.to_fact().is_none());
+        assert_eq!(open.vars().collect::<Vec<_>>(), vec![Sym::new("X")]);
+    }
+
+    #[test]
+    fn literal_complement_is_involutive() {
+        let l = Atom::parse_like("p", &["a"]).pos();
+        assert_eq!(l.complement().complement(), l);
+        assert!(!l.complement().positive);
+    }
+
+    #[test]
+    fn display_round_trippable_shapes() {
+        let l = Atom::parse_like("s", &["Y", "Z", "a"]).neg();
+        assert_eq!(l.to_string(), "not s(Y,Z,a)");
+        let p = Atom::parse_like("halts", &[]).pos();
+        assert_eq!(p.to_string(), "halts");
+    }
+}

@@ -1,0 +1,158 @@
+//! Unification, matching and renaming for the function-free language.
+//!
+//! Without function symbols there is no occurs-check to worry about:
+//! bindings map variables to constants or to other variables, and
+//! unification is linear in the number of argument positions.
+
+use crate::subst::Subst;
+use crate::symbol::Sym;
+use crate::term::{Atom, Fact, Literal, Term};
+use std::collections::HashMap;
+
+/// Unify two terms under an accumulating substitution. Returns `false` on
+/// clash (two distinct constants).
+pub fn unify_terms(s: &mut Subst, a: Term, b: Term) -> bool {
+    let a = s.walk(a);
+    let b = s.walk(b);
+    match (a, b) {
+        (x, y) if x == y => true,
+        (Term::Var(v), t) | (t, Term::Var(v)) => {
+            s.bind(v, t);
+            true
+        }
+        (Term::Const(_), Term::Const(_)) => false,
+    }
+}
+
+/// Most general unifier of two atoms, or `None` if they do not unify.
+pub fn unify_atoms(a: &Atom, b: &Atom) -> Option<Subst> {
+    unify_atoms_under(&Subst::new(), a, b)
+}
+
+/// Unify two atoms extending an existing substitution.
+pub fn unify_atoms_under(base: &Subst, a: &Atom, b: &Atom) -> Option<Subst> {
+    if a.pred != b.pred || a.args.len() != b.args.len() {
+        return None;
+    }
+    let mut s = base.clone();
+    for (&x, &y) in a.args.iter().zip(&b.args) {
+        if !unify_terms(&mut s, x, y) {
+            return None;
+        }
+    }
+    Some(s)
+}
+
+/// Most general unifier of two literals of the same sign.
+pub fn unify_literals(a: &Literal, b: &Literal) -> Option<Subst> {
+    if a.positive != b.positive {
+        return None;
+    }
+    unify_atoms(&a.atom, &b.atom)
+}
+
+/// One-way matching: find σ with `pattern`σ = `ground`. Only variables of
+/// the pattern are bound. Used for fact lookups and induced-update
+/// instantiation.
+pub fn match_atom(pattern: &Atom, ground: &Fact) -> Option<Subst> {
+    if pattern.pred != ground.pred || pattern.args.len() != ground.args.len() {
+        return None;
+    }
+    let mut s = Subst::new();
+    for (&p, &g) in pattern.args.iter().zip(&ground.args) {
+        match s.walk(p) {
+            Term::Const(c) if c == g => {}
+            Term::Const(_) => return None,
+            Term::Var(v) => s.bind(v, Term::Const(g)),
+        }
+    }
+    Some(s)
+}
+
+/// Rename the variables of an atom apart with fresh variable symbols,
+/// recording the renaming in `map`. Shared variables across calls with the
+/// same map stay shared — rename a whole rule with one map.
+pub fn rename_atom(a: &Atom, map: &mut HashMap<Sym, Sym>) -> Atom {
+    Atom {
+        pred: a.pred,
+        args: a
+            .args
+            .iter()
+            .map(|&t| match t {
+                Term::Const(_) => t,
+                Term::Var(v) => {
+                    let fresh = *map.entry(v).or_insert_with(|| Sym::fresh("_R"));
+                    Term::Var(fresh)
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Rename a literal apart; see [`rename_atom`].
+pub fn rename_literal(l: &Literal, map: &mut HashMap<Sym, Sym>) -> Literal {
+    Literal { positive: l.positive, atom: rename_atom(&l.atom, map) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom(p: &str, args: &[&str]) -> Atom {
+        Atom::parse_like(p, args)
+    }
+
+    #[test]
+    fn unifies_var_with_const() {
+        let s = unify_atoms(&atom("p", &["X", "b"]), &atom("p", &["a", "Y"])).unwrap();
+        assert_eq!(s.walk(Term::from_name("X")), Term::from_name("a"));
+        assert_eq!(s.walk(Term::from_name("Y")), Term::from_name("b"));
+    }
+
+    #[test]
+    fn clash_on_distinct_constants() {
+        assert!(unify_atoms(&atom("p", &["a"]), &atom("p", &["b"])).is_none());
+        assert!(unify_atoms(&atom("p", &["a"]), &atom("q", &["a"])).is_none());
+        assert!(unify_atoms(&atom("p", &["a"]), &atom("p", &["a", "b"])).is_none());
+    }
+
+    #[test]
+    fn var_var_sharing_propagates() {
+        // p(X, X) with p(Y, a) must drive X (and Y) to a.
+        let s = unify_atoms(&atom("p", &["X", "X"]), &atom("p", &["Y", "a"])).unwrap();
+        assert_eq!(s.walk(Term::from_name("X")), Term::from_name("a"));
+        assert_eq!(s.walk(Term::from_name("Y")), Term::from_name("a"));
+    }
+
+    #[test]
+    fn repeated_var_clash() {
+        assert!(unify_atoms(&atom("p", &["X", "X"]), &atom("p", &["a", "b"])).is_none());
+    }
+
+    #[test]
+    fn literal_signs_must_agree() {
+        let pos = atom("p", &["X"]).pos();
+        let neg = atom("p", &["a"]).neg();
+        assert!(unify_literals(&pos, &neg).is_none());
+        assert!(unify_literals(&pos, &neg.complement()).is_some());
+    }
+
+    #[test]
+    fn matching_is_one_way() {
+        let f = Fact::parse_like("p", &["a", "a"]);
+        assert!(match_atom(&atom("p", &["X", "X"]), &f).is_some());
+        assert!(match_atom(&atom("p", &["X", "b"]), &f).is_none());
+        let f2 = Fact::parse_like("p", &["a", "b"]);
+        assert!(match_atom(&atom("p", &["X", "X"]), &f2).is_none());
+    }
+
+    #[test]
+    fn renaming_preserves_sharing() {
+        let mut map = HashMap::new();
+        let a = rename_atom(&atom("p", &["X", "Y"]), &mut map);
+        let b = rename_atom(&atom("q", &["X"]), &mut map);
+        assert_eq!(a.args[0], b.args[0]);
+        assert_ne!(a.args[0], Term::from_name("X"));
+        assert!(a.args[0].is_var());
+    }
+}

@@ -1,0 +1,221 @@
+//! Property tests for the logic kernel: printer/parser round trips,
+//! unification laws, subsumption laws.
+
+use proptest::prelude::*;
+use uniform_logic::{
+    atom_subsumes, literal_subsumes, match_atom, parse_fact, parse_formula, parse_literal,
+    parse_rule, unify_atoms, Atom, Fact, Formula, Literal, Sym, Term,
+};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_map(|s| s)
+}
+
+fn arb_term_name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z][a-z0-9]{0,4}".prop_map(|s| s),          // constant
+        "[A-Z][A-Za-z0-9]{0,3}".prop_map(|s| s),       // variable
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (arb_name(), prop::collection::vec(arb_term_name(), 0..4)).prop_map(|(p, args)| {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        Atom::parse_like(&p, &refs)
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    (any::<bool>(), arb_atom()).prop_map(|(pos, atom)| Literal::new(pos, atom))
+}
+
+fn arb_ground_atom() -> impl Strategy<Value = Atom> {
+    (arb_name(), prop::collection::vec("[a-z][a-z0-9]{0,4}", 0..4)).prop_map(|(p, args)| {
+        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+        Atom::parse_like(&p, &refs)
+    })
+}
+
+fn arb_formula() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        Just(Formula::True),
+        Just(Formula::False),
+        arb_atom().prop_map(Formula::Atom),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Formula::not),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::And(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(vec![a, b])),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::implies(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::iff(a, b)),
+            (inner.clone(), any::<bool>()).prop_map(|(f, forall)| {
+                let v = Sym::new("Qv");
+                if forall {
+                    Formula::forall(vec![v], f)
+                } else {
+                    Formula::exists(vec![v], f)
+                }
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn formula_display_round_trips(f in arb_formula()) {
+        let printed = format!("{f}");
+        let parsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("printed formula failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&parsed, &f, "round trip changed the formula: {}", printed);
+    }
+
+    #[test]
+    fn literal_display_round_trips(l in arb_literal()) {
+        let printed = format!("{l}");
+        let parsed = parse_literal(&printed).unwrap();
+        prop_assert_eq!(parsed, l);
+    }
+
+    #[test]
+    fn ground_atom_display_round_trips_as_fact(a in arb_ground_atom()) {
+        let printed = format!("{a}.");
+        let parsed: Fact = parse_fact(&printed).unwrap();
+        prop_assert_eq!(parsed.to_atom(), a);
+    }
+
+    #[test]
+    fn mgu_is_a_unifier(a in arb_atom(), b in arb_atom()) {
+        if let Some(mgu) = unify_atoms(&a, &b) {
+            prop_assert_eq!(
+                mgu.apply_atom(&a),
+                mgu.apply_atom(&b),
+                "mgu must equalize both atoms"
+            );
+        }
+    }
+
+    #[test]
+    fn unification_is_symmetric_in_success(a in arb_atom(), b in arb_atom()) {
+        prop_assert_eq!(unify_atoms(&a, &b).is_some(), unify_atoms(&b, &a).is_some());
+    }
+
+    #[test]
+    fn matching_implies_unification(pat in arb_atom(), g in arb_ground_atom()) {
+        let Some(fact) = g.to_fact() else { return Ok(()); };
+        if let Some(theta) = match_atom(&pat, &fact) {
+            prop_assert_eq!(theta.apply_atom(&pat), g.clone(), "match must instantiate to the fact");
+            prop_assert!(unify_atoms(&pat, &g).is_some());
+        }
+    }
+
+    #[test]
+    fn subsumption_is_reflexive(a in arb_atom()) {
+        prop_assert!(atom_subsumes(&a, &a));
+    }
+
+    #[test]
+    fn subsumption_respects_instances(pat in arb_atom(), g in arb_ground_atom()) {
+        let Some(fact) = g.to_fact() else { return Ok(()); };
+        // If the pattern matches the ground atom, it subsumes it.
+        if match_atom(&pat, &fact).is_some() {
+            prop_assert!(atom_subsumes(&pat, &g));
+        }
+        // And subsumption of a ground atom coincides with matching.
+        if atom_subsumes(&pat, &g) {
+            prop_assert!(match_atom(&pat, &fact).is_some());
+        }
+    }
+
+    #[test]
+    fn literal_subsumption_requires_same_sign(l1 in arb_literal(), l2 in arb_literal()) {
+        if literal_subsumes(&l1, &l2) {
+            prop_assert_eq!(l1.positive, l2.positive);
+            prop_assert!(atom_subsumes(&l1.atom, &l2.atom));
+        }
+    }
+
+    #[test]
+    fn complement_is_involutive(l in arb_literal()) {
+        prop_assert_eq!(l.complement().complement(), l);
+    }
+
+    #[test]
+    fn rule_display_round_trips(
+        head_args in prop::collection::vec("[A-Z]", 1..3),
+        extra in prop::collection::vec(arb_term_name(), 0..2),
+    ) {
+        // Build a guaranteed range-restricted rule: head vars all occur in
+        // the first (positive) body literal.
+        let head_refs: Vec<&str> = head_args.iter().map(|s| s.as_str()).collect();
+        let mut body_args = head_refs.clone();
+        let extra_refs: Vec<&str> = extra.iter().map(|s| s.as_str()).collect();
+        body_args.extend(extra_refs);
+        let head = Atom::parse_like("h", &head_refs);
+        let body = Atom::parse_like("b", &body_args);
+        let rule = uniform_logic::Rule::new(head, vec![body.pos()]).unwrap();
+        let printed = format!("{rule}.");
+        let parsed = parse_rule(&printed).unwrap();
+        prop_assert_eq!(parsed.to_string(), rule.to_string());
+    }
+
+    #[test]
+    fn substitution_application_idempotent_on_ground(g in arb_ground_atom()) {
+        let s = uniform_logic::Subst::new();
+        prop_assert_eq!(s.apply_atom(&g), g.clone());
+        // Ground atoms have no variables to bind.
+        prop_assert!(g.vars().next().is_none());
+        prop_assert_eq!(g.to_fact().map(|f| f.to_atom()), Some(g));
+    }
+
+    #[test]
+    fn term_convention_is_total(name in arb_term_name()) {
+        let t = Term::from_name(&name);
+        let first = name.chars().next().unwrap();
+        if first.is_ascii_uppercase() || first == '_' {
+            prop_assert!(t.is_var());
+        } else {
+            prop_assert!(t.is_const());
+        }
+    }
+
+    /// Fuzz: no parser entry point may panic, whatever the input.
+    /// Errors are fine; panics are bugs.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,80}") {
+        let _ = uniform_logic::parse_program(&s);
+        let _ = parse_formula(&s);
+        let _ = parse_literal(&s);
+        let _ = parse_rule(&s);
+        let _ = parse_fact(&s);
+        let _ = uniform_logic::parse_query(&s);
+    }
+
+    /// Fuzz: mutated fragments of valid-looking programs (heavy on the
+    /// tokens the grammar actually uses) must not panic either.
+    #[test]
+    fn parser_never_panics_on_near_miss_input(
+        s in "[a-zA-Z0-9_,():~&|<>?%. -]{0,120}"
+    ) {
+        let _ = uniform_logic::parse_program(&s);
+        let _ = parse_formula(&s);
+        let _ = parse_rule(&s);
+    }
+
+    /// Round trip at the program level: printing a parsed program and
+    /// re-parsing it is the identity on content we can observe.
+    #[test]
+    fn program_of_facts_round_trips(facts in prop::collection::vec(arb_ground_atom(), 0..8)) {
+        let mut src = String::new();
+        for f in &facts {
+            src.push_str(&format!("{f}.\n"));
+        }
+        let prog = uniform_logic::parse_program(&src).unwrap();
+        prop_assert_eq!(prog.facts.len(), facts.len());
+        for (got, want) in prog.facts.iter().zip(&facts) {
+            prop_assert_eq!(&got.to_atom(), want);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The rule-completion transform of §4.
+//!
+//! "For completeness reasons we have to assume that for every rule with
+//! negative literals in its body an additional constraint has been
+//! introduced: For every rule `H ← A₁∧…∧Aₙ∧¬B₁∧…∧¬Bₘ` involving free
+//! variables X₁…Xₖ a constraint `∀X₁…Xₖ [¬A₁∨…∨¬Aₙ∨B₁∨…∨Bₘ∨H]` has to be
+//! added. Without this addition certain alternatives that exist for
+//! reaching a finite model of the constraint set would never be
+//! exploited."
+//!
+//! The generated formula is built directly in restricted-quantification
+//! form: rule range-restriction guarantees the positive body atoms cover
+//! all variables.
+
+use uniform_logic::{Constraint, Rq, Rule, Sym};
+
+/// The completion constraint of a rule, or `None` if the rule has no
+/// negative body literal (no constraint needed).
+pub fn completion_constraint(rule: &Rule, name: String) -> Option<Constraint> {
+    let negatives: Vec<_> = rule.negative_body().cloned().collect();
+    if negatives.is_empty() {
+        return None;
+    }
+    let range: Vec<_> = rule.positive_body().map(|l| l.atom.clone()).collect();
+    let vars: Vec<Sym> = rule.vars().into_iter().collect();
+    let mut disjuncts: Vec<Rq> =
+        negatives.into_iter().map(|l| Rq::Lit(l.complement())).collect();
+    disjuncts.push(Rq::Lit(rule.head.clone().pos()));
+    let rq = Rq::forall_node(vars, range, Rq::or(disjuncts));
+    Some(Constraint::new(name, rq))
+}
+
+/// Completion constraints for a whole rule set, named `completion(<head>)#i`.
+pub fn completion_constraints(rules: &[Rule]) -> Vec<Constraint> {
+    rules
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| {
+            completion_constraint(r, format!("completion({})#{}", r.head.pred, i))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::parse_rule;
+
+    #[test]
+    fn positive_rules_need_no_completion() {
+        let r = parse_rule("member(X,Y) :- leads(X,Y).").unwrap();
+        assert!(completion_constraint(&r, "x".into()).is_none());
+    }
+
+    #[test]
+    fn negative_rule_completed() {
+        let r = parse_rule("present(X) :- emp(X), not absent(X).").unwrap();
+        let c = completion_constraint(&r, "comp".into()).unwrap();
+        // ∀X [¬emp(X) ∨ absent(X) ∨ present(X)]
+        match &c.rq {
+            Rq::Forall { vars, range, body } => {
+                assert_eq!(vars.len(), 1);
+                assert_eq!(range.len(), 1);
+                assert_eq!(range[0].pred, Sym::new("emp"));
+                match &**body {
+                    Rq::Or(parts) => {
+                        let rendered: Vec<String> =
+                            parts.iter().map(|p| format!("{p}")).collect();
+                        assert_eq!(rendered, vec!["absent(X)", "present(X)"]);
+                    }
+                    other => panic!("unexpected body {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiple_negatives_all_appear() {
+        let r = parse_rule("ok(X) :- item(X), not broken(X), not lost(X).").unwrap();
+        let c = completion_constraint(&r, "comp".into()).unwrap();
+        match &c.rq {
+            Rq::Forall { body, .. } => match &**body {
+                Rq::Or(parts) => assert_eq!(parts.len(), 3),
+                other => panic!("unexpected body {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_generation_names_and_filters() {
+        let rules = vec![
+            parse_rule("a(X) :- b(X).").unwrap(),
+            parse_rule("c(X) :- d(X), not e(X).").unwrap(),
+        ];
+        let cs = completion_constraints(&rules);
+        assert_eq!(cs.len(), 1);
+        assert!(cs[0].name.starts_with("completion(c)"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # uniform-satisfiability
+//!
+//! Constraint *satisfiability* checking — part 2 of Bry, Decker & Manthey
+//! (EDBT 1988): given rules and constraints, decide whether a **finite
+//! model** exists at all, by constructing a sample fact base through
+//! constraint enforcement, with the violated-constraint determination
+//! powered by the integrity-maintenance machinery of `uniform-integrity`.
+//!
+//! * [`search`] — the enforcement search with level saturation,
+//!   backtracking, fresh-constant budgets and iterative deepening;
+//! * [`completion`] — the §4 rule-completion transform;
+//! * [`problems`] — the worked example of §5 and a benchmark library
+//!   (Schubert's steamroller, pigeonhole, graph coloring, dependency
+//!   sets, axioms of infinity).
+//!
+//! ```
+//! use uniform_satisfiability::{SatChecker, SatOutcome};
+//! use uniform_datalog::Database;
+//!
+//! let db = Database::parse("
+//!     constraint some: exists X: employee(X).
+//!     constraint sane: forall X: employee(X) -> person(X).
+//! ").unwrap();
+//! let report = SatChecker::from_database(&db).check();
+//! assert!(report.outcome.is_satisfiable());
+//! ```
+
+pub mod completion;
+pub mod problems;
+pub mod search;
+
+pub use completion::{completion_constraint, completion_constraints};
+pub use problems::{Expectation, Problem};
+pub use search::{SatChecker, SatOptions, SatOutcome, SatReport, SatStats};

@@ -1,0 +1,364 @@
+//! # uniform-workload
+//!
+//! Deterministic synthetic workload generators for the experiments
+//! (EXPERIMENTS.md) and for stress tests. Every generator takes explicit
+//! size parameters and, where randomness is involved, a seed — benchmark
+//! runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use uniform_logic::{parse_literal, Fact, Literal};
+use uniform_datalog::{Database, Transaction, Update};
+
+/// The university workload of experiment E1: `student`, `enrolled`,
+/// `attends` relations with `n` students, constraints requiring every
+/// cs-enrolled student to attend `ddb`, plus domain constraints so the
+/// full re-check has a realistic constraint set to chew through.
+pub fn university(n: usize) -> Database {
+    let mut src = String::new();
+    src.push_str(
+        "constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).\n\
+         constraint dom_enrolled: forall X, C: enrolled(X, C) -> student(X).\n\
+         constraint dom_attends: forall X, C: attends(X, C) -> student(X).\n\
+         constraint has_course: forall X: student(X) -> (exists C: enrolled(X, C)).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("student(s{i}).\n"));
+        src.push_str(&format!("enrolled(s{i}, cs).\n"));
+        src.push_str(&format!("attends(s{i}, ddb).\n"));
+    }
+    let db = Database::parse(&src).expect("university workload parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// An accepted update for [`university`]: a new student with enrollment
+/// and attendance, as one transaction.
+pub fn university_good_tx(n: usize) -> Transaction {
+    Transaction::new(vec![
+        upd(&format!("student(new{n})")),
+        upd(&format!("enrolled(new{n}, cs)")),
+        upd(&format!("attends(new{n}, ddb)")),
+    ])
+}
+
+/// A rejected update for [`university`]: a student enrolled in cs who
+/// does not attend ddb.
+pub fn university_bad_tx(n: usize) -> Transaction {
+    Transaction::new(vec![
+        upd(&format!("student(bad{n})")),
+        upd(&format!("enrolled(bad{n}, cs)")),
+    ])
+}
+
+/// The §3.2 deductive workload for E2/E4: `enrolled` derived from
+/// `student` by rule, constraint on both base and derived relations, `n`
+/// existing students.
+pub fn deductive_university(n: usize) -> Database {
+    let mut src = String::from(
+        "enrolled(X, cs) :- student(X).\n\
+         constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).\n\
+         constraint attends_dom: forall X, C: attends(X, C) -> student(X).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("student(s{i}).\nattends(s{i}, ddb).\n"));
+    }
+    let db = Database::parse(&src).expect("deductive university parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// The E3 workload, straight from §3.2: rule `r(X) ← q(X,Y) ∧ p(Y,Z)`
+/// with **no constraint mentioning `r`**, and `q_count` facts `q(xi, a)`
+/// so that inserting `p(a,b)` induces `q_count` irrelevant updates.
+pub fn irrelevant_induction(q_count: usize) -> (Database, Transaction) {
+    let mut src = String::from(
+        "r(X) :- q(X,Y), p(Y,Z).\n\
+         constraint pdom: forall X, Y: p(X,Y) -> pkey(X).\n\
+         pkey(a).\n",
+    );
+    for i in 0..q_count {
+        src.push_str(&format!("q(x{i}, a).\n"));
+    }
+    let db = Database::parse(&src).expect("irrelevant-induction workload parses");
+    debug_assert!(db.is_consistent());
+    (db, Transaction::single(upd("p(a,b)")))
+}
+
+/// The E2 workload: the nonground trigger `r(X)` of the constraint is
+/// *affected but unchanged* by the update — `delta` enumerates nothing,
+/// `new` enumerates all `n` pre-existing instances (the Lloyd–Topor
+/// comparison of §3.2).
+pub fn unchanged_rule_instances(n: usize) -> (Database, Transaction) {
+    let mut src = String::from(
+        "r(X) :- q(X,Y), p(Y,Z).\n\
+         constraint c: forall X: r(X) -> rbase(X).\n\
+         p(a,c0).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("q(x{i}, a). rbase(x{i}).\n"));
+    }
+    let db = Database::parse(&src).expect("unchanged-rule-instances workload parses");
+    debug_assert!(db.is_consistent());
+    (db, Transaction::single(upd("p(a,b)")))
+}
+
+/// The E4 workload: the §3.2 redundant-subquery scenario with the shared
+/// subquery made *derived* (1988's expensive fact access translates to
+/// rule evaluation in an in-memory engine). Constraint `cdb` fires twice
+/// per new student — once through the explicit `student` trigger (S₂)
+/// and once through the induced `enrolled` trigger (S₁) — and both
+/// instances share the derived subquery `covered(x)`, which joins the
+/// student's `attends` rows against `core`.
+pub fn shared_subquery_university(n: usize, courses_per_student: usize) -> Database {
+    let mut src = String::from(
+        "enrolled(X, cs) :- student(X).\n\
+         covered(X) :- attends(X, C), core(C).\n\
+         constraint cdb: forall X: student(X) & enrolled(X, cs) -> covered(X).\n\
+         core(ddb).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("student(s{i}).\nattends(s{i}, ddb).\n"));
+        for c in 0..courses_per_student {
+            src.push_str(&format!("attends(s{i}, other{c}).\n"));
+        }
+    }
+    let db = Database::parse(&src).expect("shared-subquery university parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// A transaction of `k` new students for [`shared_subquery_university`],
+/// each with `courses_per_student` attendance rows (only `ddb` is core).
+pub fn shared_subquery_tx(k: usize, courses_per_student: usize) -> Transaction {
+    let mut updates = Vec::new();
+    for i in 0..k {
+        updates.push(upd(&format!("student(nx{i})")));
+        updates.push(upd(&format!("attends(nx{i}, ddb)")));
+        for c in 0..courses_per_student {
+            updates.push(upd(&format!("attends(nx{i}, other{c})")));
+        }
+    }
+    Transaction::new(updates)
+}
+
+/// Transitive-closure workload: a path graph of `n` nodes with `tc`
+/// rules and an acyclicity constraint. Used for recursion benchmarks.
+pub fn tc_chain(n: usize) -> Database {
+    let mut src = String::from(
+        "tc(X,Y) :- edge(X,Y).\n\
+         tc(X,Z) :- tc(X,Y), edge(Y,Z).\n\
+         constraint acyclic: forall X: tc(X,X) -> false.\n",
+    );
+    for i in 0..n.saturating_sub(1) {
+        src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
+    }
+    let db = Database::parse(&src).expect("tc chain parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// Random edge insertions for [`tc_chain`]; some close a cycle
+/// (rejected), some extend the dag (accepted).
+pub fn tc_updates(n: usize, count: usize, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let a = rng.gen_range(0..n);
+            let b = rng.gen_range(0..n);
+            upd(&format!("edge(n{a}, n{b})"))
+        })
+        .collect()
+}
+
+/// Employee/department instance of the §5 schema (with the repaired
+/// constraint set so instances are consistent): `n` departments, each
+/// led by its own manager, `per_dept` members each.
+pub fn org(n: usize, per_dept: usize) -> Database {
+    let mut src = String::from(
+        "member(X,Y) :- leads(X,Y).\n\
+         constraint c1: forall X: employee(X) -> (exists Y: department(Y) & member(X,Y)).\n\
+         constraint c2: forall X: department(X) -> (exists Y: employee(Y) & leads(Y,X)).\n\
+         constraint c3: forall X, Y: member(X,Y) -> leads(X,Y) | (forall Z: leads(Z,Y) -> subordinate(X,Z)).\n\
+         constraint c4: forall X: ~subordinate(X,X).\n",
+    );
+    for d in 0..n {
+        src.push_str(&format!("department(d{d}).\nemployee(m{d}).\nleads(m{d}, d{d}).\n"));
+        for e in 0..per_dept {
+            src.push_str(&format!(
+                "employee(e{d}_{e}).\nmember(e{d}_{e}, d{d}).\nsubordinate(e{d}_{e}, m{d}).\n"
+            ));
+        }
+    }
+    let db = Database::parse(&src).expect("org workload parses");
+    debug_assert!(db.is_consistent(), "org workload starts consistent");
+    db
+}
+
+/// A mixed stream of single-fact updates against [`org`], seeded.
+pub fn org_updates(n: usize, per_dept: usize, count: usize, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            match rng.gen_range(0..4u8) {
+                // New employee with no department (violates c1).
+                0 => upd(&format!("employee(x{i})")),
+                // Membership without subordination (violates c3 unless
+                // the member is the leader).
+                1 => {
+                    let d = rng.gen_range(0..n);
+                    upd(&format!("member(x{i}, d{d})"))
+                }
+                // Remove a leader (violates c2 for the department).
+                2 => {
+                    let d = rng.gen_range(0..n);
+                    upd(&format!("not leads(m{d}, d{d})"))
+                }
+                // Harmless subordinate fact.
+                _ => {
+                    let d = rng.gen_range(0..n);
+                    let e = rng.gen_range(0..per_dept.max(1));
+                    upd(&format!("subordinate(e{d}_{e}, m{d})"))
+                }
+            }
+        })
+        .collect()
+}
+
+/// E8 workload: a database where only *one* of `k + 1` constraints is
+/// relevant to the rule update `loud(X) :- speaker(X)`. The other `k`
+/// constraints range over an `n`-row assignment relation, so a full
+/// re-check pays `k × n` while the incremental rule-update check
+/// compiles exactly one update constraint and evaluates per speaker.
+pub fn rule_update_workload(n: usize, k: usize, speakers: usize) -> Database {
+    let mut src = String::new();
+    src.push_str("constraint loud_warned: forall X: loud(X) -> warned(X).\n");
+    for i in 0..k {
+        src.push_str(&format!(
+            "constraint c{i}: forall X, Y: assign(X, Y) -> emp(X).\n"
+        ));
+    }
+    for i in 0..n {
+        src.push_str(&format!("emp(e{i}).\nassign(e{i}, d{}).\n", i % 8));
+    }
+    for j in 0..speakers {
+        src.push_str(&format!("speaker(s{j}).\nwarned(s{j}).\n"));
+    }
+    let db = Database::parse(&src).expect("rule-update workload parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// E9 workload for the general-formula optimizer: the constraint on
+/// `p` disjoins an expensive existential over an `n`-row relation with
+/// a cheap ground lookup that is always true. Written in the
+/// pessimistic order, so only reordering saves the join.
+///
+/// Used together with [`rule_update_workload`] by the E8/E9 benches.
+pub fn optimizer_workload(n: usize) -> Database {
+    let mut src = String::from(
+        "constraint guarded: forall X: p(X) ->
+             (exists Y, Z: big(Y, Z) & big(Z, Y)) | ok(X).\n",
+    );
+    // A chain: no symmetric pair exists, so the existential always
+    // fails after scanning the join.
+    for i in 0..n {
+        src.push_str(&format!("big(b{i}, b{}).\n", i + 1));
+    }
+    src.push_str("ok(a0). ok(a1). ok(a2). ok(a3).\n");
+    let db = Database::parse(&src).expect("optimizer workload parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// Random ground facts over a fixed schema — fodder for property tests.
+pub fn random_facts(
+    preds: &[(&str, usize)],
+    constants: &[&str],
+    count: usize,
+    seed: u64,
+) -> Vec<Fact> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let (p, arity) = preds[rng.gen_range(0..preds.len())];
+            let args: Vec<&str> =
+                (0..arity).map(|_| constants[rng.gen_range(0..constants.len())]).collect();
+            Fact::parse_like(p, &args)
+        })
+        .collect()
+}
+
+fn upd(src: &str) -> Update {
+    let lit: Literal = parse_literal(src).expect(src);
+    Update::from_literal(&lit).expect("workload updates are ground")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_update_workload_shape() {
+        for (n, k, s) in [(4, 1, 2), (64, 8, 8), (256, 0, 1)] {
+            let db = rule_update_workload(n, k, s);
+            assert!(db.is_consistent());
+            assert_eq!(db.constraints().len(), k + 1);
+            assert_eq!(db.facts().len(), 2 * n + 2 * s);
+        }
+    }
+
+    #[test]
+    fn optimizer_workload_shape() {
+        let db = optimizer_workload(32);
+        assert!(db.is_consistent());
+        assert_eq!(db.constraints().len(), 1);
+        // The chain has no symmetric pair: the existential disjunct is
+        // unsatisfiable, so the constraint leans entirely on ok(X).
+        assert!(!db.satisfies(
+            &uniform_logic::normalize(
+                &uniform_logic::parse_formula("exists Y, Z: big(Y, Z) & big(Z, Y)").unwrap()
+            )
+            .unwrap()
+        ));
+    }
+
+    #[test]
+    fn university_scales_and_is_consistent() {
+        for n in [0, 1, 10, 50] {
+            let db = university(n);
+            assert!(db.is_consistent());
+            assert_eq!(db.facts().len(), 3 * n);
+        }
+    }
+
+    #[test]
+    fn irrelevant_induction_shape() {
+        let (db, tx) = irrelevant_induction(5);
+        assert_eq!(tx.len(), 1);
+        assert_eq!(db.rules().len(), 1);
+    }
+
+    #[test]
+    fn org_consistent_and_updates_deterministic() {
+        let db = org(3, 2);
+        assert!(db.is_consistent());
+        let a = org_updates(3, 2, 10, 42);
+        let b = org_updates(3, 2, 10, 42);
+        assert_eq!(a, b, "same seed, same stream");
+    }
+
+    #[test]
+    fn tc_chain_consistent() {
+        let db = tc_chain(10);
+        assert!(db.is_consistent());
+        assert!(db.holds(&Fact::parse_like("tc", &["n0", "n9"])));
+    }
+
+    #[test]
+    fn random_facts_deterministic() {
+        let a = random_facts(&[("p", 2), ("q", 1)], &["a", "b"], 20, 7);
+        let b = random_facts(&[("p", 2), ("q", 1)], &["a", "b"], 20, 7);
+        assert_eq!(a, b);
+    }
+}
