@@ -35,7 +35,7 @@ fn bench_a1(c: &mut Criterion) {
     let mut group = c.benchmark_group("a1_maintenance");
     const UPDATES: usize = 64;
     for &n in &[8usize, 32, 128] {
-        let db = workload::org(n, 8);
+        let db = workload::org(n, 8, 0);
         let updates = stream(n, UPDATES);
 
         group.bench_with_input(BenchmarkId::new("maintained", n), &n, |b, _| {

@@ -1,0 +1,79 @@
+//! B1: concurrent snapshot-query scaling.
+//!
+//! One writer-side database, one [`Snapshot`] per reader thread (cloning
+//! a snapshot is a handful of refcount bumps). Each thread runs a fixed
+//! batch of point queries and constraint evaluations against its
+//! snapshot; the benchmark reports the wall time of the whole fan-out at
+//! 1/2/4/8 threads. With snapshots sharing immutable state lock-free,
+//! aggregate throughput should scale with cores (on a single-core
+//! container the times simply stay flat at T× the single-thread batch).
+//!
+//! [`Snapshot`]: uniform::datalog::Snapshot
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+use uniform::logic::Fact;
+use uniform::workload;
+
+const STUDENTS: usize = 10_000;
+const QUERIES_PER_THREAD: usize = 2_000;
+
+fn bench_snapshot_scaling(c: &mut Criterion) {
+    let db = workload::university(STUDENTS, 0);
+    let snapshot = db.snapshot();
+    // Pre-intern the query facts: the benchmark measures snapshot reads,
+    // not the symbol interner.
+    let present: Vec<Fact> = (0..STUDENTS)
+        .map(|i| Fact::parse_like("enrolled", &[&format!("s{i}"), "cs"]))
+        .collect();
+    let absent: Vec<Fact> = (0..STUDENTS)
+        .map(|i| Fact::parse_like("enrolled", &[&format!("s{i}"), "law"]))
+        .collect();
+
+    let mut group = c.benchmark_group("b1_snapshot_scaling");
+    group.sample_size(10);
+    for &threads in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((threads * QUERIES_PER_THREAD) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("readers", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let t0 = Instant::now();
+                        std::thread::scope(|scope| {
+                            for t in 0..threads {
+                                let snap = snapshot.clone();
+                                let (present, absent) = (&present, &absent);
+                                scope.spawn(move || {
+                                    let mut hits = 0usize;
+                                    for i in 0..QUERIES_PER_THREAD {
+                                        let k = (i * 7919 + t * 104_729) % STUDENTS;
+                                        if snap.holds(&present[k]) {
+                                            hits += 1;
+                                        }
+                                        if snap.holds(&absent[k]) {
+                                            hits += 1;
+                                        }
+                                    }
+                                    assert_eq!(hits, QUERIES_PER_THREAD);
+                                });
+                            }
+                        });
+                        total += t0.elapsed();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_snapshot_scaling
+}
+criterion_main!(benches);

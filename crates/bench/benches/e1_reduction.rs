@@ -14,7 +14,7 @@ use uniform_workload as workload;
 fn bench_e1(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_reduction");
     for &n in &[4usize, 16, 64, 256, 1024, 4096] {
-        let db = workload::university(n);
+        let db = workload::university(n, 0);
         db.model(); // warm the materialized current state
         let checker = Checker::new(&db);
         let tx = workload::university_good_tx(0);

@@ -15,7 +15,7 @@ use uniform_workload as workload;
 fn bench_e2(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_delta_vs_new");
     for &n in &[8usize, 32, 128, 512, 2048] {
-        let (db, tx) = workload::unchanged_rule_instances(n);
+        let (db, tx) = workload::unchanged_rule_instances(n, 0);
         db.model();
         let checker = Checker::new(&db);
 
@@ -26,13 +26,17 @@ fn bench_e2(c: &mut Criterion) {
                 assert_eq!(rep.stats.instances_evaluated, 0);
             })
         });
-        group.bench_with_input(BenchmarkId::new("new_guarded_lloyd_topor", n), &n, |b, _| {
-            b.iter(|| {
-                let rep = lloyd_topor_check(&db, &tx);
-                assert!(rep.satisfied);
-                assert_eq!(rep.stats.delta.answers, n);
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("new_guarded_lloyd_topor", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let rep = lloyd_topor_check(&db, &tx);
+                    assert!(rep.satisfied);
+                    assert_eq!(rep.stats.delta.answers, n);
+                })
+            },
+        );
     }
     group.finish();
 }

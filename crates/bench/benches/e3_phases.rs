@@ -16,7 +16,7 @@ use uniform_workload as workload;
 fn bench_e3(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_phases");
     for &q in &[16usize, 64, 256, 1024, 8192] {
-        let (db, tx) = workload::irrelevant_induction(q);
+        let (db, tx) = workload::irrelevant_induction(q, 0);
         db.model();
         let checker = Checker::new(&db);
 

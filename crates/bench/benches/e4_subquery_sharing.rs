@@ -16,12 +16,15 @@ use uniform_workload as workload;
 fn bench_e4(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4_subquery_sharing");
     const COURSES: usize = 24;
-    let db = workload::shared_subquery_university(256, COURSES);
+    let db = workload::shared_subquery_university(256, COURSES, 0);
     db.model();
     let shared = Checker::new(&db);
     let unshared = Checker::with_options(
         &db,
-        CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+        CheckOptions {
+            share_evaluations: false,
+            ..CheckOptions::default()
+        },
     );
 
     for &k in &[1usize, 4, 16, 64] {

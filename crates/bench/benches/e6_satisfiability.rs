@@ -23,7 +23,10 @@ fn bench_e6(c: &mut Criterion) {
         ("paper", SatOptions::paper()),
         (
             "full_check_ablation",
-            SatOptions { incremental_checking: false, ..SatOptions::default() },
+            SatOptions {
+                incremental_checking: false,
+                ..SatOptions::default()
+            },
         ),
     ];
     for p in problems::suite() {
@@ -33,16 +36,12 @@ fn bench_e6(c: &mut Criterion) {
             continue;
         }
         for (profile, opts) in &profiles {
-            group.bench_with_input(
-                BenchmarkId::new(*profile, p.name),
-                &p,
-                |b, problem| {
-                    b.iter(|| {
-                        let rep = problem.checker_with(opts.clone()).check();
-                        rep.stats.enforcement_steps
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(*profile, p.name), &p, |b, problem| {
+                b.iter(|| {
+                    let rep = problem.checker_with(opts.clone()).check();
+                    rep.stats.enforcement_steps
+                })
+            });
         }
     }
     group.finish();

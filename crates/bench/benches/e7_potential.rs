@@ -4,9 +4,9 @@
 //! compile-time price of the method.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_datalog::RuleSet;
 use uniform_integrity::potential_updates;
 use uniform_logic::{parse_literal, parse_rule, Rule};
-use uniform_datalog::RuleSet;
 
 fn chain_rules(k: usize) -> RuleSet {
     let mut rules: Vec<Rule> = Vec::with_capacity(k);
@@ -45,17 +45,13 @@ fn bench_e7(c: &mut Criterion) {
     let rules = recursive_rules();
     for seed_src in ["edge(a,b)", "not edge(a,b)", "parent(a,b)"] {
         let seed = parse_literal(seed_src).unwrap();
-        group.bench_with_input(
-            BenchmarkId::new("recursive", seed_src),
-            &seed,
-            |b, seed| {
-                b.iter(|| {
-                    let p = potential_updates(&rules, seed, 100_000);
-                    assert!(!p.truncated, "subsumption must terminate the closure");
-                    p.literals.len()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("recursive", seed_src), &seed, |b, seed| {
+            b.iter(|| {
+                let p = potential_updates(&rules, seed, 100_000);
+                assert!(!p.truncated, "subsumption must terminate the closure");
+                p.literals.len()
+            })
+        });
     }
     group.finish();
 }

@@ -7,9 +7,9 @@
 //! re-evaluate the *whole* constraint set on the candidate state.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_datalog::Database;
 use uniform_integrity::{RuleUpdate, RuleUpdateChecker};
 use uniform_logic::parse_rule;
-use uniform_datalog::Database;
 use uniform_workload as workload;
 
 fn full_recheck(db: &Database, update: &RuleUpdate) -> bool {
@@ -29,7 +29,7 @@ fn bench_e8(c: &mut Criterion) {
     // Sweep the EDB size at a fixed number of irrelevant constraints.
     let mut group = c.benchmark_group("e8_edb_sweep");
     for &n in &[64usize, 256, 1024, 4096] {
-        let db = workload::rule_update_workload(n, 8, 8);
+        let db = workload::rule_update_workload(n, 8, 8, 0);
         db.model(); // warm the cached current model, as in steady state
         group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
             let checker = RuleUpdateChecker::new(&db);
@@ -48,7 +48,7 @@ fn bench_e8(c: &mut Criterion) {
     // Sweep the number of irrelevant constraints at a fixed EDB.
     let mut group = c.benchmark_group("e8_constraint_sweep");
     for &k in &[1usize, 4, 16, 64] {
-        let db = workload::rule_update_workload(512, k, 8);
+        let db = workload::rule_update_workload(512, k, 8, 0);
         db.model();
         group.bench_with_input(BenchmarkId::new("incremental", k), &k, |b, _| {
             let checker = RuleUpdateChecker::new(&db);
@@ -63,7 +63,7 @@ fn bench_e8(c: &mut Criterion) {
     // Rule removal, same shape: the head seeds a deletion closure.
     let mut group = c.benchmark_group("e8_removal");
     for &n in &[256usize, 1024] {
-        let mut db = workload::rule_update_workload(n, 8, 8);
+        let mut db = workload::rule_update_workload(n, 8, 8, 0);
         db.set_rules(
             uniform_datalog::RuleSet::new(vec![parse_rule("loud(X) :- speaker(X).").unwrap()])
                 .unwrap(),

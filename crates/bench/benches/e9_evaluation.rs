@@ -12,15 +12,15 @@
 //!   join.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uniform_datalog::{answer_goal_magic, Model, Transaction, Update};
 use uniform_integrity::{CheckOptions, Checker};
 use uniform_logic::{parse_literal, Atom};
-use uniform_datalog::{answer_goal_magic, Model, Transaction, Update};
 use uniform_workload as workload;
 
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_goal_directed");
     for &n in &[32usize, 128, 512] {
-        let db = workload::tc_chain(n);
+        let db = workload::tc_chain(n, 0);
         let goal = Atom::parse_like("tc", &["n0", "V"]);
         group.bench_with_input(BenchmarkId::new("magic", n), &n, |b, &n| {
             b.iter(|| {
@@ -47,11 +47,9 @@ fn bench_engines(c: &mut Criterion) {
 
 fn bench_optimizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_formula_optimizer");
-    let tx = Transaction::single(
-        Update::from_literal(&parse_literal("p(a0)").unwrap()).unwrap(),
-    );
+    let tx = Transaction::single(Update::from_literal(&parse_literal("p(a0)").unwrap()).unwrap());
     for &n in &[64usize, 256, 1024, 4096] {
-        let db = workload::optimizer_workload(n);
+        let db = workload::optimizer_workload(n, 0);
         db.model();
         group.bench_with_input(BenchmarkId::new("as_written", n), &n, |b, _| {
             let checker = Checker::new(&db);
@@ -60,7 +58,10 @@ fn bench_optimizer(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
             let checker = Checker::with_options(
                 &db,
-                CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+                CheckOptions {
+                    optimize_instances: true,
+                    ..CheckOptions::default()
+                },
             );
             b.iter(|| assert!(checker.check(&tx).satisfied))
         });

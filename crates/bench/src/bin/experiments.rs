@@ -44,7 +44,7 @@ fn e1() {
     println!("| |student| | two-phase | full re-check | ratio |");
     println!("|---|---|---|---|");
     for &n in &[4usize, 16, 64, 256, 1024, 4096] {
-        let db = workload::university(n);
+        let db = workload::university(n, 0);
         db.model();
         let checker = Checker::new(&db);
         let tx = workload::university_good_tx(0);
@@ -65,7 +65,7 @@ fn e2() {
     println!("| unchanged r-instances | delta (ours) | new (LT) | LT instance evals | ratio |");
     println!("|---|---|---|---|---|");
     for &n in &[8usize, 32, 128, 512, 2048] {
-        let (db, tx) = workload::unchanged_rule_instances(n);
+        let (db, tx) = workload::unchanged_rule_instances(n, 0);
         db.model();
         let checker = Checker::new(&db);
         let t_delta = time(9, || assert!(checker.check(&tx).satisfied));
@@ -86,7 +86,7 @@ fn e3() {
     println!("| q-facts | two-phase | interleaved | induced updates computed | ratio |");
     println!("|---|---|---|---|---|");
     for &q in &[16usize, 64, 256, 1024, 8192] {
-        let (db, tx) = workload::irrelevant_induction(q);
+        let (db, tx) = workload::irrelevant_induction(q, 0);
         db.model();
         let checker = Checker::new(&db);
         let t_two = time(9, || assert!(checker.check(&tx).satisfied));
@@ -107,12 +107,15 @@ fn e4() {
     println!("| tx size (students) | shared | independent | subquery memo hits | ratio |");
     println!("|---|---|---|---|---|");
     const COURSES: usize = 24;
-    let db = workload::shared_subquery_university(256, COURSES);
+    let db = workload::shared_subquery_university(256, COURSES, 0);
     db.model();
     let shared = Checker::new(&db);
     let unshared = Checker::with_options(
         &db,
-        CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+        CheckOptions {
+            share_evaluations: false,
+            ..CheckOptions::default()
+        },
     );
     for &k in &[1usize, 4, 16, 64] {
         let tx = workload::shared_subquery_tx(k, COURSES);
@@ -172,8 +175,11 @@ fn e6() {
         let t_def = time(3, || p.checker().check());
         let t_paper = time(3, || p.checker_with(SatOptions::paper()).check());
         let t_ablation = time(3, || {
-            p.checker_with(SatOptions { incremental_checking: false, ..SatOptions::default() })
-                .check()
+            p.checker_with(SatOptions {
+                incremental_checking: false,
+                ..SatOptions::default()
+            })
+            .check()
         });
         let tableaux = p.checker_with(SatOptions::tableaux()).check();
         let show = |o: &SatOutcome| match o {
@@ -200,8 +206,8 @@ fn e6() {
 /// for finite satisfiability — it diverges on problems whose finite
 /// models require constant reuse.
 fn e6b() {
-    use uniform_logic::{normalize, parse_formula, Constraint};
     use uniform_datalog::RuleSet;
+    use uniform_logic::{normalize, parse_formula, Constraint};
     use uniform_satisfiability::SatChecker;
 
     println!("### E6b — finite-satisfiability completeness (the reuse extension)\n");
@@ -213,11 +219,28 @@ fn e6b() {
     ]
     .iter()
     .enumerate()
-    .map(|(i, s)| Constraint::new(format!("f{i}"), normalize(&parse_formula(s).unwrap()).unwrap()))
+    .map(|(i, s)| {
+        Constraint::new(
+            format!("f{i}"),
+            normalize(&parse_formula(s).unwrap()).unwrap(),
+        )
+    })
     .collect();
     for (name, opts) in [
-        ("reuse + fresh (ours/paper §4)", SatOptions { max_fresh_constants: 6, ..SatOptions::default() }),
-        ("fresh only (classical tableaux)", SatOptions { max_fresh_constants: 6, ..SatOptions::tableaux() }),
+        (
+            "reuse + fresh (ours/paper §4)",
+            SatOptions {
+                max_fresh_constants: 6,
+                ..SatOptions::default()
+            },
+        ),
+        (
+            "fresh only (classical tableaux)",
+            SatOptions {
+                max_fresh_constants: 6,
+                ..SatOptions::tableaux()
+            },
+        ),
     ] {
         let rep = SatChecker::new(RuleSet::empty(), constraints.clone())
             .with_options(opts)
@@ -233,9 +256,9 @@ fn e6b() {
 }
 
 fn e7() {
+    use uniform_datalog::RuleSet;
     use uniform_integrity::potential_updates;
     use uniform_logic::{parse_literal, parse_rule};
-    use uniform_datalog::RuleSet;
 
     println!("## E7 — potential-update computation (compile phase, no fact access)\n");
     println!("| rule set | seed | potential updates | worklist steps | time (µs) |");
@@ -249,7 +272,12 @@ fn e7() {
         let seed = parse_literal("lvl0(a)").unwrap();
         let p = potential_updates(&rules, &seed, 100_000);
         let t = time(9, || potential_updates(&rules, &seed, 100_000));
-        println!("| chain of {k} | lvl0(a) | {} | {} | {} |", p.literals.len(), p.steps, us(t));
+        println!(
+            "| chain of {k} | lvl0(a) | {} | {} | {} |",
+            p.literals.len(),
+            p.steps,
+            us(t)
+        );
     }
 
     let rules = RuleSet::new(vec![
@@ -275,9 +303,9 @@ fn e7() {
 }
 
 fn e8() {
+    use uniform_datalog::Database;
     use uniform_integrity::{RuleUpdate, RuleUpdateChecker};
     use uniform_logic::parse_rule;
-    use uniform_datalog::Database;
 
     println!("## E8 — rule updates as conditional updates (incremental vs. full re-check, µs)\n");
 
@@ -294,10 +322,12 @@ fn e8() {
 
     let update = RuleUpdate::Add(parse_rule("loud(X) :- speaker(X).").unwrap());
 
-    println!("| |assign| (8 constraints) | incremental | full re-check | relevant constraints | ratio |");
+    println!(
+        "| |assign| (8 constraints) | incremental | full re-check | relevant constraints | ratio |"
+    );
     println!("|---|---|---|---|---|");
     for &n in &[64usize, 256, 1024, 4096] {
-        let db = workload::rule_update_workload(n, 8, 8);
+        let db = workload::rule_update_workload(n, 8, 8, 0);
         db.model();
         let checker = RuleUpdateChecker::new(&db);
         let rep = checker.check(&update).unwrap();
@@ -316,7 +346,7 @@ fn e8() {
     println!("| irrelevant constraints (|assign| = 512) | incremental | full re-check | ratio |");
     println!("|---|---|---|---|");
     for &k in &[1usize, 4, 16, 64] {
-        let db = workload::rule_update_workload(512, k, 8);
+        let db = workload::rule_update_workload(512, k, 8, 0);
         db.model();
         let checker = RuleUpdateChecker::new(&db);
         let t_inc = time(9, || assert!(checker.check(&update).unwrap().satisfied));
@@ -332,8 +362,8 @@ fn e8() {
 }
 
 fn e9() {
-    use uniform_logic::{parse_literal, Atom, Sym};
     use uniform_datalog::{answer_goal_magic, Model, Transaction, Update};
+    use uniform_logic::{parse_literal, Atom, Sym};
 
     println!("## E9 — evaluation-phase optimizations (§6 future work, µs)\n");
 
@@ -341,13 +371,17 @@ fn e9() {
     println!("| chain length | magic | materialize | magic derived | full model derived | ratio |");
     println!("|---|---|---|---|---|---|");
     for &n in &[32usize, 128, 512] {
-        let db = workload::tc_chain(n);
+        let db = workload::tc_chain(n, 0);
         let goal = Atom::parse_like("tc", &["n0", "V"]);
-        let magic_derived =
-            answer_goal_magic(db.facts(), db.rules(), &goal).unwrap().derived_facts;
+        let magic_derived = answer_goal_magic(db.facts(), db.rules(), &goal)
+            .unwrap()
+            .derived_facts;
         let full_derived = Model::compute(db.facts(), db.rules()).len() - db.facts().len();
         let t_magic = time(9, || {
-            answer_goal_magic(db.facts(), db.rules(), &goal).unwrap().answers.len()
+            answer_goal_magic(db.facts(), db.rules(), &goal)
+                .unwrap()
+                .answers
+                .len()
         });
         let t_full = time(9, || {
             Model::compute(db.facts(), db.rules())
@@ -369,12 +403,15 @@ fn e9() {
     println!("|---|---|---|---|---|");
     let tx = Transaction::single(Update::from_literal(&parse_literal("p(a0)").unwrap()).unwrap());
     for &n in &[64usize, 256, 1024, 4096] {
-        let db = workload::optimizer_workload(n);
+        let db = workload::optimizer_workload(n, 0);
         db.model();
         let plain = Checker::new(&db);
         let tuned = Checker::with_options(
             &db,
-            CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+            CheckOptions {
+                optimize_instances: true,
+                ..CheckOptions::default()
+            },
         );
         let rep = tuned.check(&tx);
         let t_plain = time(9, || assert!(plain.check(&tx).satisfied));

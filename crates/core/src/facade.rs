@@ -2,13 +2,13 @@
 //! guarded by the appropriate checker of the paper.
 
 use std::fmt;
-use uniform_logic::{
-    normalize, parse_fact, parse_formula, parse_literal, parse_query, parse_rule, Constraint,
-    Fact, LogicError, Rule, Rq, Subst, Sym,
-};
 use uniform_datalog::{all_solutions, Database, Model, Transaction, Update};
 use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
+};
+use uniform_logic::{
+    normalize, parse_fact, parse_formula, parse_literal, parse_query, parse_rule, Constraint, Fact,
+    LogicError, Rq, Rule, Subst, Sym,
 };
 use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};
 
@@ -42,7 +42,10 @@ pub enum UniformError {
     /// database; `repair` proposes fact insertions that would enforce it
     /// (found by the model-generation search seeded with the current
     /// facts), when the search found any.
-    CurrentlyViolated { constraint: String, repair: Option<Vec<Fact>> },
+    CurrentlyViolated {
+        constraint: String,
+        repair: Option<Vec<Fact>>,
+    },
 }
 
 impl fmt::Display for UniformError {
@@ -118,7 +121,10 @@ pub struct UniformDatabase {
 impl UniformDatabase {
     /// An empty database.
     pub fn new() -> UniformDatabase {
-        UniformDatabase { db: Database::new(), options: UniformOptions::default() }
+        UniformDatabase {
+            db: Database::new(),
+            options: UniformOptions::default(),
+        }
     }
 
     /// Parse a program (facts, rules, constraints). Fails if the initial
@@ -130,7 +136,10 @@ impl UniformDatabase {
         if !violated.is_empty() {
             return Err(UniformError::InitialViolation(violated));
         }
-        Ok(UniformDatabase { db, options: UniformOptions::default() })
+        Ok(UniformDatabase {
+            db,
+            options: UniformOptions::default(),
+        })
     }
 
     pub fn with_options(mut self, options: UniformOptions) -> UniformDatabase {
@@ -151,8 +160,17 @@ impl UniformDatabase {
         self.db.constraints()
     }
 
-    pub fn model(&self) -> std::rc::Rc<Model> {
+    pub fn model(&self) -> std::sync::Arc<Model> {
         self.db.model()
+    }
+
+    /// An immutable, `Send + Sync` read handle on the current state (see
+    /// [`uniform_datalog::Snapshot`]): O(#relations) to take, stable
+    /// answers while guarded updates keep committing to `self`. Hand one
+    /// to each concurrent reader; take a fresh one to observe later
+    /// commits.
+    pub fn snapshot(&self) -> uniform_datalog::Snapshot {
+        self.db.snapshot()
     }
 
     // ---- guarded fact updates -------------------------------------------
@@ -270,11 +288,7 @@ impl UniformDatabase {
     /// the current state violates the new constraint, the error carries a
     /// repair suggestion computed by seeding the model-generation search
     /// with the current facts.
-    pub fn try_add_constraint(
-        &mut self,
-        name: &str,
-        formula: &str,
-    ) -> Result<(), UniformError> {
+    pub fn try_add_constraint(&mut self, name: &str, formula: &str) -> Result<(), UniformError> {
         let f = parse_formula(formula)?;
         let rq = normalize(&f).map_err(LogicError::Normalize)?;
         let constraint = Constraint::new(name, rq);
@@ -386,7 +400,12 @@ impl UniformDatabase {
         match report.outcome {
             SatOutcome::Satisfiable { explicit, .. } if explicit.len() > seed_len => {
                 let current = self.db.facts();
-                Some(explicit.into_iter().filter(|f| !current.contains(f)).collect())
+                Some(
+                    explicit
+                        .into_iter()
+                        .filter(|f| !current.contains(f))
+                        .collect(),
+                )
             }
             _ => None,
         }
@@ -466,7 +485,9 @@ mod tests {
     #[test]
     fn parse_rejects_inconsistent_start() {
         let err = UniformDatabase::parse("p(a). constraint c: forall X: p(X) -> q(X).");
-        assert!(matches!(err, Err(UniformError::InitialViolation(ref v)) if v == &vec!["c".to_string()]));
+        assert!(
+            matches!(err, Err(UniformError::InitialViolation(ref v)) if v == &vec!["c".to_string()])
+        );
     }
 
     #[test]
@@ -489,7 +510,8 @@ mod tests {
         // without departments), so it is rejected by the *state* check.
         // Once a department is required to exist, the combination has no
         // model at all and the satisfiability check fires first.
-        db.try_add_constraint("some_dept", "exists X: department(X)").unwrap();
+        db.try_add_constraint("some_dept", "exists X: department(X)")
+            .unwrap();
         let err = db
             .try_add_constraint("nobody", "forall X, Y: leads(X, Y) -> false")
             .unwrap_err();
@@ -506,7 +528,10 @@ mod tests {
             UniformError::CurrentlyViolated { constraint, repair } => {
                 assert_eq!(constraint, "audited");
                 let repair = repair.expect("repair expected");
-                assert!(repair.contains(&Fact::parse_like("audited", &["ann"])), "{repair:?}");
+                assert!(
+                    repair.contains(&Fact::parse_like("audited", &["ann"])),
+                    "{repair:?}"
+                );
             }
             other => panic!("unexpected {other}"),
         }
@@ -526,7 +551,9 @@ mod tests {
     fn rule_updates_guarded() {
         let mut db = UniformDatabase::parse(ORG).unwrap();
         // Unstratifiable addition rejected.
-        assert!(db.try_add_rule("absent(X) :- employee(X), not absent(X).").is_err());
+        assert!(db
+            .try_add_rule("absent(X) :- employee(X), not absent(X).")
+            .is_err());
         // A benign rule is accepted.
         db.try_add_rule("boss(X) :- leads(X, Y).").unwrap();
         assert!(db.query("boss(ann)").unwrap());
@@ -551,7 +578,10 @@ mod tests {
         // Fire every veteran: would orphan both departments.
         let err = db.try_apply_where("not leads(X, Y) where veteran(X), leads(X, Y)");
         assert!(err.is_err(), "conditional deletion must be guarded");
-        assert!(db.query("leads(ann, sales)").unwrap(), "rejected update not applied");
+        assert!(
+            db.query("leads(ann, sales)").unwrap(),
+            "rejected update not applied"
+        );
         // Empty expansion is a no-op.
         let report = db.try_apply_where("audit(X) where intern(X)").unwrap();
         assert!(report.satisfied);
@@ -560,7 +590,10 @@ mod tests {
     #[test]
     fn conditional_update_parse_errors_surface() {
         let mut db = UniformDatabase::parse(ORG).unwrap();
-        assert!(db.try_apply_where("veteran(X)").is_err(), "unbound pattern variable");
+        assert!(
+            db.try_apply_where("veteran(X)").is_err(),
+            "unbound pattern variable"
+        );
         assert!(db.try_apply_where("veteran(X) where ???").is_err());
     }
 
@@ -571,7 +604,9 @@ mod tests {
         // the full-recheck InitialViolation), carrying the culprit.
         db.try_add_constraint("noselfsub", "forall X: subordinate(X, X) -> false")
             .unwrap();
-        let err = db.try_add_rule("subordinate(X, X) :- employee(X).").unwrap_err();
+        let err = db
+            .try_add_rule("subordinate(X, X) :- employee(X).")
+            .unwrap_err();
         match err {
             UniformError::UpdateRejected(report) => {
                 assert_eq!(report.violations[0].constraint, "noselfsub");
@@ -595,7 +630,10 @@ mod tests {
     #[test]
     fn explanations_render_derivations() {
         let db = UniformDatabase::parse(ORG).unwrap();
-        let tree = db.explain("member(ann, sales)").unwrap().expect("derived fact");
+        let tree = db
+            .explain("member(ann, sales)")
+            .unwrap()
+            .expect("derived fact");
         assert!(tree.contains("leads(ann,sales)"), "{tree}");
         assert!(tree.contains("[explicit]"), "{tree}");
         assert!(db.explain("member(ann, hr)").unwrap().is_none());
@@ -627,7 +665,9 @@ mod tests {
         let mut db = UniformDatabase::parse(ORG).unwrap();
         // Removing the member rule would strip ann's membership and
         // violate emp_member.
-        let err = db.try_remove_rule("member(X, Y) :- leads(X, Y).").unwrap_err();
+        let err = db
+            .try_remove_rule("member(X, Y) :- leads(X, Y).")
+            .unwrap_err();
         assert!(err.to_string().contains("emp_member"), "{err}");
         // Make the membership explicit first; then removal goes through.
         db.try_insert("member(ann, sales).").unwrap();
@@ -657,9 +697,12 @@ mod tests {
 
     #[test]
     fn skip_satisfiability_option() {
-        let mut db = UniformDatabase::parse("employee(a).").unwrap().with_options(
-            UniformOptions { skip_satisfiability: true, ..UniformOptions::default() },
-        );
+        let mut db = UniformDatabase::parse("employee(a).")
+            .unwrap()
+            .with_options(UniformOptions {
+                skip_satisfiability: true,
+                ..UniformOptions::default()
+            });
         // Without the sat check, an unsatisfiable pair can be added one at
         // a time (first is fine, second is caught by the current-state
         // check instead).

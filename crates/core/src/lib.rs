@@ -47,11 +47,13 @@ pub use uniform_datalog as datalog;
 pub use uniform_integrity as integrity;
 pub use uniform_logic as logic;
 pub use uniform_satisfiability as satisfiability;
+// Seeded synthetic workload generators, so examples and downstream
+// benchmarks need only the façade crate.
+pub use uniform_workload as workload;
 
 pub use uniform_datalog::{Database, FactSet, Model, Transaction, Update};
 pub use uniform_integrity::{
-    CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
-    Violation,
+    CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker, Violation,
 };
 pub use uniform_logic::{Constraint, Fact, Formula, Literal, Rq, Rule};
 pub use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};

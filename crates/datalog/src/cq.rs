@@ -217,7 +217,10 @@ mod tests {
             })
             .collect();
         pairs.sort();
-        assert_eq!(pairs, vec![("a".into(), "c".into()), ("b".into(), "d".into())]);
+        assert_eq!(
+            pairs,
+            vec![("a".into(), "c".into()), ("b".into(), "d".into())]
+        );
     }
 
     #[test]
@@ -226,8 +229,10 @@ mod tests {
         // edge(X,Y), not red(Y)
         let q = lits(&[("edge", &["X", "Y"], true), ("red", &["Y"], false)]);
         let sols = all_solutions(&fs, &q, &mut Subst::new(), &[Sym::new("Y")]);
-        let mut names: Vec<String> =
-            sols.iter().map(|s| format!("{:?}", s.walk(Term::from_name("Y")))).collect();
+        let mut names: Vec<String> = sols
+            .iter()
+            .map(|s| format!("{:?}", s.walk(Term::from_name("Y"))))
+            .collect();
         names.sort();
         assert_eq!(names, vec!["c", "d"]);
     }

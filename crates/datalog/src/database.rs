@@ -1,18 +1,23 @@
 //! The deductive database `D = (F, R, I)` (§2): explicit facts, stratified
 //! rules, and normalized integrity constraints, with a cached canonical
 //! model.
+//!
+//! The database is `Send + Sync`: the model cache sits behind a lock and
+//! every shared component (rules, constraints, relations) is `Arc`ed.
+//! [`Database::snapshot`] hands out a [`Snapshot`] — an immutable,
+//! `Send + Sync` read handle whose construction clones no tuple data
+//! (O(#relations), see [`crate::store::FactSet`]) and whose answers stay
+//! stable while writers keep committing to the originating database.
 
 use crate::eval::satisfies_closed;
 use crate::model::Model;
 use crate::program::RuleSet;
 use crate::store::FactSet;
 use crate::update::Update;
-use std::cell::RefCell;
+use parking_lot::RwLock;
 use std::collections::HashMap;
-use std::rc::Rc;
-use uniform_logic::{
-    normalize, parse_program, Constraint, Fact, LogicError, ParseError, Rq, Sym,
-};
+use std::sync::Arc;
+use uniform_logic::{normalize, parse_program, Constraint, Fact, LogicError, ParseError, Rq, Sym};
 
 /// Check that every predicate is used with a single arity across facts,
 /// rules and constraints — mismatches must surface as errors at the
@@ -61,12 +66,11 @@ fn validate_arities(
 }
 
 /// A deductive database: facts `F`, rules `R`, constraints `I`.
-#[derive(Clone)]
 pub struct Database {
     edb: FactSet,
-    rules: RuleSet,
-    constraints: Vec<Constraint>,
-    model: RefCell<Option<Rc<Model>>>,
+    rules: Arc<RuleSet>,
+    constraints: Arc<Vec<Constraint>>,
+    model: RwLock<Option<Arc<Model>>>,
 }
 
 impl Default for Database {
@@ -75,19 +79,35 @@ impl Default for Database {
     }
 }
 
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            edb: self.edb.clone(),
+            rules: self.rules.clone(),
+            constraints: self.constraints.clone(),
+            model: RwLock::new(self.model.read().clone()),
+        }
+    }
+}
+
 impl Database {
     pub fn new() -> Database {
         Database {
             edb: FactSet::new(),
-            rules: RuleSet::empty(),
-            constraints: Vec::new(),
-            model: RefCell::new(None),
+            rules: Arc::new(RuleSet::empty()),
+            constraints: Arc::new(Vec::new()),
+            model: RwLock::new(None),
         }
     }
 
     /// Build from parts.
     pub fn with(edb: FactSet, rules: RuleSet, constraints: Vec<Constraint>) -> Database {
-        Database { edb, rules, constraints, model: RefCell::new(None) }
+        Database {
+            edb,
+            rules: Arc::new(rules),
+            constraints: Arc::new(constraints),
+            model: RwLock::new(None),
+        }
     }
 
     /// Parse a full program: facts, rules and constraints. Constraints are
@@ -96,11 +116,12 @@ impl Database {
     /// used with one arity throughout; mismatches are parse errors.
     pub fn parse(src: &str) -> Result<Database, LogicError> {
         let prog = parse_program(src)?;
-        let rules = RuleSet::new(prog.rules)
-            .map_err(|e| LogicError::Rule(uniform_logic::RuleError {
+        let rules = RuleSet::new(prog.rules).map_err(|e| {
+            LogicError::Rule(uniform_logic::RuleError {
                 var: uniform_logic::Sym::new("_"),
                 rule: e.to_string(),
-            }))?;
+            })
+        })?;
         let mut constraints = Vec::new();
         for (i, (name, f)) in prog.constraints.iter().enumerate() {
             let rq = normalize(f)?;
@@ -108,12 +129,11 @@ impl Database {
             constraints.push(Constraint::new(name, rq));
         }
         validate_arities(&prog.facts, &rules, &constraints)?;
-        Ok(Database {
-            edb: FactSet::from_facts(prog.facts),
+        Ok(Database::with(
+            FactSet::from_facts(prog.facts),
             rules,
             constraints,
-            model: RefCell::new(None),
-        })
+        ))
     }
 
     /// The arity `pred` is used with anywhere in this database (facts,
@@ -133,7 +153,7 @@ impl Database {
                 }
             }
         }
-        for c in &self.constraints {
+        for c in self.constraints.iter() {
             for occ in c.rq.literals() {
                 if occ.literal.atom.pred == pred {
                     return Some(occ.literal.atom.args.len());
@@ -162,17 +182,17 @@ impl Database {
     /// Replace the constraint set (satisfiability checking before doing
     /// this is the subject of §4).
     pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
-        self.constraints = constraints;
+        self.constraints = Arc::new(constraints);
     }
 
     pub fn add_constraint(&mut self, c: Constraint) {
-        self.constraints.push(c);
+        Arc::make_mut(&mut self.constraints).push(c);
     }
 
     /// Replace the rule set; invalidates the cached model.
     pub fn set_rules(&mut self, rules: RuleSet) {
-        self.rules = rules;
-        self.model.replace(None);
+        self.rules = Arc::new(rules);
+        *self.model.get_mut() = None;
     }
 
     /// Apply an update to the fact base (no integrity checking here — the
@@ -181,7 +201,7 @@ impl Database {
     pub fn apply(&mut self, update: &Update) -> bool {
         let changed = update.apply(&mut self.edb);
         if changed {
-            self.model.replace(None);
+            *self.model.get_mut() = None;
         }
         changed
     }
@@ -190,18 +210,37 @@ impl Database {
     pub fn insert_fact(&mut self, fact: &Fact) -> bool {
         let changed = self.edb.insert(fact);
         if changed {
-            self.model.replace(None);
+            *self.model.get_mut() = None;
         }
         changed
     }
 
-    /// The canonical model (cached until the next mutation).
-    pub fn model(&self) -> Rc<Model> {
-        let mut slot = self.model.borrow_mut();
+    /// The canonical model (cached until the next mutation). Concurrent
+    /// callers share one materialization: the first to take the write
+    /// lock computes, everyone else reuses the `Arc`.
+    pub fn model(&self) -> Arc<Model> {
+        if let Some(model) = self.model.read().as_ref() {
+            return model.clone();
+        }
+        let mut slot = self.model.write();
         if slot.is_none() {
-            *slot = Some(Rc::new(Model::compute(&self.edb, &self.rules)));
+            *slot = Some(Arc::new(Model::compute(&self.edb, &self.rules)));
         }
         slot.as_ref().expect("just computed").clone()
+    }
+
+    /// An immutable, `Send + Sync` read handle on the current state:
+    /// facts, rules, constraints and the canonical model, all behind
+    /// `Arc`s. Construction clones no tuple data — O(#relations) plus a
+    /// model materialization if none was cached — and the handle's
+    /// answers are unaffected by later commits to `self`.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            edb: self.edb.clone(),
+            rules: self.rules.clone(),
+            constraints: self.constraints.clone(),
+            model: self.model(),
+        }
     }
 
     /// Truth of a ground atom in the canonical model.
@@ -241,6 +280,80 @@ impl std::fmt::Debug for Database {
     }
 }
 
+/// An immutable read view of one database state.
+///
+/// Cheap to take (no tuple data is cloned), cheap to clone, `Send +
+/// Sync`, and stable: answers reflect the state at snapshot time no
+/// matter how many transactions commit afterwards. This is the handle
+/// concurrent readers evaluate constraints and queries against while a
+/// writer keeps the authoritative [`Database`] moving.
+#[derive(Clone)]
+pub struct Snapshot {
+    edb: FactSet,
+    rules: Arc<RuleSet>,
+    constraints: Arc<Vec<Constraint>>,
+    model: Arc<Model>,
+}
+
+impl Snapshot {
+    /// Explicit facts at snapshot time.
+    pub fn facts(&self) -> &FactSet {
+        &self.edb
+    }
+
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The canonical model at snapshot time.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The canonical model as a shared handle.
+    pub fn model_arc(&self) -> Arc<Model> {
+        self.model.clone()
+    }
+
+    /// Truth of a ground atom in the snapshot's canonical model.
+    pub fn holds(&self, fact: &Fact) -> bool {
+        self.model.contains(fact)
+    }
+
+    /// Evaluate a closed RQ formula in the snapshot's canonical model.
+    pub fn satisfies(&self, rq: &Rq) -> bool {
+        satisfies_closed(self.model.as_ref(), rq)
+    }
+
+    /// Names of constraints violated at snapshot time.
+    pub fn violated_constraints(&self) -> Vec<String> {
+        self.constraints
+            .iter()
+            .filter(|c| !satisfies_closed(self.model.as_ref(), &c.rq))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    pub fn is_consistent(&self) -> bool {
+        self.violated_constraints().is_empty()
+    }
+}
+
+impl std::fmt::Debug for Snapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Snapshot")
+            .field("facts", &self.edb.len())
+            .field("model", &self.model.len())
+            .field("rules", &self.rules.len())
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,16 +381,22 @@ mod tests {
     fn updates_invalidate_model() {
         let mut db = Database::parse(UNIVERSITY).unwrap();
         assert!(!db.is_consistent());
-        db.apply(&Update::insert(Fact::parse_like("attends", &["jack", "ddb"])));
+        db.apply(&Update::insert(Fact::parse_like(
+            "attends",
+            &["jack", "ddb"],
+        )));
         assert!(db.is_consistent());
-        db.apply(&Update::delete(Fact::parse_like("attends", &["jack", "ddb"])));
+        db.apply(&Update::delete(Fact::parse_like(
+            "attends",
+            &["jack", "ddb"],
+        )));
         assert!(!db.is_consistent());
     }
 
     #[test]
     fn anonymous_constraints_get_names() {
-        let db = Database::parse("constraint: exists X: p(X). constraint: exists X: q(X).")
-            .unwrap();
+        let db =
+            Database::parse("constraint: exists X: p(X). constraint: exists X: q(X).").unwrap();
         assert_eq!(db.constraints()[0].name, "ic1");
         assert_eq!(db.constraints()[1].name, "ic2");
         assert!(db.constraint("ic2").is_some());
@@ -310,11 +429,65 @@ mod tests {
     }
 
     #[test]
+    fn database_model_and_snapshot_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Database>();
+        assert_send_sync::<Model>();
+        assert_send_sync::<Snapshot>();
+        assert_send_sync::<FactSet>();
+    }
+
+    #[test]
+    fn snapshot_answers_survive_later_commits() {
+        let mut db = Database::parse(UNIVERSITY).unwrap();
+        let before = db.snapshot();
+        assert!(before.holds(&parse_fact("enrolled(jack, cs).").unwrap()));
+        assert_eq!(before.violated_constraints(), vec!["cdb".to_string()]);
+
+        db.apply(&Update::insert(Fact::parse_like(
+            "attends",
+            &["jack", "ddb"],
+        )));
+        db.apply(&Update::insert(Fact::parse_like("student", &["jill"])));
+        db.apply(&Update::insert(Fact::parse_like(
+            "attends",
+            &["jill", "ddb"],
+        )));
+        let after = db.snapshot();
+
+        // The live database moved on…
+        assert!(db.is_consistent());
+        assert!(after.holds(&parse_fact("enrolled(jill, cs).").unwrap()));
+        // …but the old snapshot still answers from its own state.
+        assert!(!before.holds(&parse_fact("attends(jack, ddb).").unwrap()));
+        assert!(!before.holds(&parse_fact("student(jill).").unwrap()));
+        assert_eq!(before.violated_constraints(), vec!["cdb".to_string()]);
+        assert_eq!(before.facts().len(), 1);
+    }
+
+    #[test]
+    fn snapshots_are_queryable_from_other_threads() {
+        let db = Database::parse(UNIVERSITY).unwrap();
+        let snap = db.snapshot();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let snap = snap.clone();
+                std::thread::spawn(move || {
+                    assert!(snap.holds(&parse_fact("enrolled(jack, cs).").unwrap()));
+                    snap.violated_constraints().len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+    }
+
+    #[test]
     fn arity_of_consults_all_sources() {
-        let db = Database::parse(
-            "p(a). q(X, Y) :- r(X, Y). constraint c: forall X: s(X) -> false.",
-        )
-        .unwrap();
+        let db =
+            Database::parse("p(a). q(X, Y) :- r(X, Y). constraint c: forall X: s(X) -> false.")
+                .unwrap();
         assert_eq!(db.arity_of(Sym::new("p")), Some(1));
         assert_eq!(db.arity_of(Sym::new("q")), Some(2));
         assert_eq!(db.arity_of(Sym::new("r")), Some(2));

@@ -71,7 +71,10 @@ impl DepGraph {
             let deps = edges.entry(rule.head.pred).or_default();
             for lit in &rule.body {
                 note(lit.atom.pred, &mut nodes);
-                let dep = Dep { on: lit.atom.pred, negative: !lit.positive };
+                let dep = Dep {
+                    on: lit.atom.pred,
+                    negative: !lit.positive,
+                };
                 if !deps.contains(&dep) {
                     deps.push(dep);
                 }
@@ -90,7 +93,10 @@ impl DepGraph {
         for (&head, deps) in &edges {
             for dep in deps {
                 if dep.negative && scc_of[&head] == scc_of[&dep.on] {
-                    return Err(StratificationError { head, through: dep.on });
+                    return Err(StratificationError {
+                        head,
+                        through: dep.on,
+                    });
                 }
             }
         }
@@ -139,7 +145,13 @@ impl DepGraph {
         idb_dedup.sort();
         idb_dedup.dedup();
 
-        Ok(DepGraph { edges, strata, height, idb: idb_dedup, recursive })
+        Ok(DepGraph {
+            edges,
+            strata,
+            height,
+            idb: idb_dedup,
+            recursive,
+        })
     }
 
     /// Stratum of a predicate (0 for pure-EDB predicates).
@@ -217,7 +229,8 @@ fn tarjan(nodes: &[Sym], edges: &HashMap<Sym, Vec<Dep>>) -> Vec<Vec<Sym>> {
         on_stack: bool,
     }
 
-    let mut state: HashMap<Sym, NodeState> = nodes.iter().map(|&n| (n, NodeState::default())).collect();
+    let mut state: HashMap<Sym, NodeState> =
+        nodes.iter().map(|&n| (n, NodeState::default())).collect();
     let mut index = 0u32;
     let mut stack: Vec<Sym> = Vec::new();
     let mut out: Vec<Vec<Sym>> = Vec::new();
@@ -367,13 +380,13 @@ mod tests {
 
     #[test]
     fn reachable_closure() {
-        let g = DepGraph::build(&rules(&[
-            "a(X) :- b(X).",
-            "b(X) :- c(X).",
-            "d(X) :- e(X).",
-        ]))
-        .unwrap();
-        let mut r: Vec<&str> = g.reachable(Sym::new("a")).iter().map(|s| s.as_str()).collect();
+        let g =
+            DepGraph::build(&rules(&["a(X) :- b(X).", "b(X) :- c(X).", "d(X) :- e(X)."])).unwrap();
+        let mut r: Vec<&str> = g
+            .reachable(Sym::new("a"))
+            .iter()
+            .map(|s| s.as_str())
+            .collect();
         r.sort();
         assert_eq!(r, vec!["a", "b", "c"]);
     }

@@ -75,9 +75,15 @@ mod tests {
     #[test]
     fn universal_with_range() {
         let fs = db(&["student(jack).", "enrolled(jack, cs)."]);
-        assert!(satisfies_closed(&fs, &rq("forall X: student(X) -> enrolled(X, cs)")));
+        assert!(satisfies_closed(
+            &fs,
+            &rq("forall X: student(X) -> enrolled(X, cs)")
+        ));
         let fs2 = db(&["student(jack).", "student(jill).", "enrolled(jack, cs)."]);
-        assert!(!satisfies_closed(&fs2, &rq("forall X: student(X) -> enrolled(X, cs)")));
+        assert!(!satisfies_closed(
+            &fs2,
+            &rq("forall X: student(X) -> enrolled(X, cs)")
+        ));
     }
 
     #[test]

@@ -21,8 +21,12 @@ pub trait Interp {
     /// Enumerate true facts of `pred` whose argument at position `i`
     /// equals `pattern[i]` wherever it is `Some`. `each` returns `false`
     /// to abort; the return value reports whether the scan completed.
-    fn scan(&self, pred: Sym, pattern: &[Option<Sym>], each: &mut dyn FnMut(&[Sym]) -> bool)
-        -> bool;
+    fn scan(
+        &self,
+        pred: Sym,
+        pattern: &[Option<Sym>],
+        each: &mut dyn FnMut(&[Sym]) -> bool,
+    ) -> bool;
 }
 
 impl Interp for FactSet {
@@ -56,7 +60,11 @@ pub struct Overlay<'a, I: ?Sized> {
 
 impl<'a, I: Interp + ?Sized> Overlay<'a, I> {
     pub fn new(base: &'a I, added: &'a [Fact], removed: &'a [Fact]) -> Self {
-        Overlay { base, added, removed }
+        Overlay {
+            base,
+            added,
+            removed,
+        }
     }
 }
 
@@ -80,7 +88,10 @@ impl<I: Interp + ?Sized> Interp for Overlay<'_, I> {
         let matches = |f: &Fact| {
             f.pred == pred
                 && f.args.len() == pattern.len()
-                && pattern.iter().zip(&f.args).all(|(p, &v)| p.is_none_or(|c| c == v))
+                && pattern
+                    .iter()
+                    .zip(&f.args)
+                    .all(|(p, &v)| p.is_none_or(|c| c == v))
         };
         for add in self.added {
             if matches(add) && !self.base.holds(add) && !each(&add.args) {

@@ -33,16 +33,17 @@ pub mod interp;
 pub mod magic;
 pub mod maintain;
 pub mod model;
+pub mod par;
 pub mod planner;
-pub mod provenance;
 pub mod program;
+pub mod provenance;
 pub mod serialize;
 pub mod store;
 pub mod topdown;
 pub mod update;
 
 pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction};
-pub use database::Database;
+pub use database::{Database, Snapshot};
 pub use depgraph::{DepGraph, StratificationError};
 pub use eval::{satisfies, satisfies_closed};
 pub use interp::{Interp, Overlay};
@@ -50,8 +51,8 @@ pub use magic::{answer_goal_magic, magic_rewrite, MagicAnswers, MagicError, Magi
 pub use maintain::{MaintainStats, MaintainedModel};
 pub use model::Model;
 pub use planner::{optimize_rq, Cardinality, FixedStats, PlanReport, Planner};
-pub use provenance::{Derivation, Provenance};
 pub use program::{BodyOccurrence, RuleSet};
+pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;
 pub use store::{FactSet, Relation};
 pub use topdown::OverlayEngine;

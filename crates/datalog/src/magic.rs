@@ -134,13 +134,13 @@ pub fn magic_rewrite(rules: &RuleSet, goal: &Atom) -> Result<MagicProgram, Magic
         // predicate to be both stored and derived); import them under
         // the adornment. In the rewritten program the *original*
         // predicate has no rules, so this body literal reads the EDB.
-        let vars: Vec<Term> =
-            (0..ad.len()).map(|_| Term::Var(Sym::fresh("_M"))).collect();
+        let vars: Vec<Term> = (0..ad.len()).map(|_| Term::Var(Sym::fresh("_M"))).collect();
         let import_head = Atom::new(adorned_sym(pred, &ad), vars.clone());
-        let import_guard =
-            Literal::new(true, Atom::new(magic_sym(pred, &ad), bound_args(&import_head, &ad)));
-        let import_body =
-            vec![import_guard, Literal::new(true, Atom::new(pred, vars))];
+        let import_guard = Literal::new(
+            true,
+            Atom::new(magic_sym(pred, &ad), bound_args(&import_head, &ad)),
+        );
+        let import_body = vec![import_guard, Literal::new(true, Atom::new(pred, vars))];
         out.push(
             Rule::new(import_head, import_body)
                 .expect("import rule is range-restricted by construction"),
@@ -154,7 +154,10 @@ pub fn magic_rewrite(rules: &RuleSet, goal: &Atom) -> Result<MagicProgram, Magic
                 .filter(|&(_, &b)| b)
                 .filter_map(|(&t, _)| t.as_var())
                 .collect();
-            let guard = Literal::new(true, Atom::new(magic_sym(pred, &ad), bound_args(&rule.head, &ad)));
+            let guard = Literal::new(
+                true,
+                Atom::new(magic_sym(pred, &ad), bound_args(&rule.head, &ad)),
+            );
             let mut new_body: Vec<Literal> = vec![guard];
             for lit in &rule.body {
                 if lit.positive && graph.is_idb(lit.atom.pred) {
@@ -169,8 +172,10 @@ pub fn magic_rewrite(rules: &RuleSet, goal: &Atom) -> Result<MagicProgram, Magic
                         .collect();
                     // Demand: whenever the prefix holds, the subgoal is
                     // asked with these bindings.
-                    let magic_head =
-                        Atom::new(magic_sym(lit.atom.pred, &sub_ad), bound_args(&lit.atom, &sub_ad));
+                    let magic_head = Atom::new(
+                        magic_sym(lit.atom.pred, &sub_ad),
+                        bound_args(&lit.atom, &sub_ad),
+                    );
                     out.push(
                         Rule::new(magic_head, new_body.clone())
                             .expect("magic rule is range-restricted by construction"),
@@ -240,14 +245,20 @@ pub fn answer_goal_magic(
         let bound: Vec<Option<Sym>> = goal.args.iter().map(|t| t.as_const()).collect();
         if let Some(rel) = edb.relation(goal.pred) {
             rel.scan(&bound, &mut |args| {
-                let f = Fact { pred: goal.pred, args: args.to_vec() };
+                let f = Fact {
+                    pred: goal.pred,
+                    args: args.to_vec(),
+                };
                 if match_atom(goal, &f).is_some() {
                     answers.push(f);
                 }
                 true
             });
         }
-        return Ok(MagicAnswers { answers, derived_facts: 0 });
+        return Ok(MagicAnswers {
+            answers,
+            derived_facts: 0,
+        });
     }
 
     let mut seeded = edb.clone();
@@ -259,13 +270,22 @@ pub fn answer_goal_magic(
     let bound: Vec<Option<Sym>> = mp.answer_goal.args.iter().map(|t| t.as_const()).collect();
     use crate::interp::Interp as _;
     model.scan(mp.answer_goal.pred, &bound, &mut |args| {
-        let f = Fact { pred: mp.answer_goal.pred, args: args.to_vec() };
+        let f = Fact {
+            pred: mp.answer_goal.pred,
+            args: args.to_vec(),
+        };
         if match_atom(&mp.answer_goal, &f).is_some() {
-            answers.push(Fact { pred: goal.pred, args: f.args });
+            answers.push(Fact {
+                pred: goal.pred,
+                args: f.args,
+            });
         }
         true
     });
-    Ok(MagicAnswers { answers, derived_facts })
+    Ok(MagicAnswers {
+        answers,
+        derived_facts,
+    })
 }
 
 #[cfg(test)]
@@ -312,7 +332,10 @@ mod tests {
         let (edb, rules) = setup(TC);
         let goal = Atom::parse_like("tc", &["a", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
-        assert_eq!(magic(&edb, &rules, &goal), vec!["tc(a,b)", "tc(a,c)", "tc(a,d)"]);
+        assert_eq!(
+            magic(&edb, &rules, &goal),
+            vec!["tc(a,b)", "tc(a,c)", "tc(a,d)"]
+        );
     }
 
     #[test]
@@ -347,23 +370,27 @@ mod tests {
 
     #[test]
     fn cyclic_graph_terminates() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             edge(a, b). edge(b, a). edge(b, c).
             tc(X, Y) :- edge(X, Y).
             tc(X, Z) :- edge(X, Y), tc(Y, Z).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("tc", &["a", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
     }
 
     #[test]
     fn same_generation_bound_goal() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             parent(a, b). parent(a, c). parent(b, d). parent(c, e).
             sg(X, X) :- person(X).
             sg(X, Y) :- parent(XP, X), sg(XP, YP), parent(YP, Y).
             person(a). person(b). person(c). person(d). person(e).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("sg", &["d", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
     }
@@ -377,11 +404,13 @@ mod tests {
 
     #[test]
     fn repeated_variable_goal() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             edge(a, b). edge(b, a).
             tc(X, Y) :- edge(X, Y).
             tc(X, Z) :- edge(X, Y), tc(Y, Z).
-        ");
+        ",
+        );
         // tc(V, V): loops a→b→a and b→a→b.
         let goal = Atom::parse_like("tc", &["V", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
@@ -401,17 +430,22 @@ mod tests {
     fn goal_over_unknown_predicate_is_empty() {
         let (edb, rules) = setup(TC);
         let goal = Atom::parse_like("ghost", &["V"]);
-        assert!(answer_goal_magic(&edb, &rules, &goal).unwrap().answers.is_empty());
+        assert!(answer_goal_magic(&edb, &rules, &goal)
+            .unwrap()
+            .answers
+            .is_empty());
     }
 
     #[test]
     fn negation_on_base_relations_allowed() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             emp(a). emp(b). absent(b).
             present(X) :- emp(X), not absent(X).
             senior_present(X) :- present(X), senior(X).
             senior(a).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("senior_present", &["V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
         assert_eq!(magic(&edb, &rules, &goal), vec!["senior_present(a)"]);
@@ -419,11 +453,13 @@ mod tests {
 
     #[test]
     fn negation_on_derived_predicates_rejected() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             emp(a).
             works(X) :- contract(X).
             idle(X) :- emp(X), not works(X).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("idle", &["V"]);
         let err = answer_goal_magic(&edb, &rules, &goal).unwrap_err();
         assert!(matches!(err, MagicError::NegationReachable { .. }), "{err}");
@@ -434,31 +470,37 @@ mod tests {
 
     #[test]
     fn nonlinear_recursion() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             edge(a, b). edge(b, c). edge(c, d).
             path(X, Y) :- edge(X, Y).
             path(X, Z) :- path(X, Y), path(Y, Z).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("path", &["a", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
     }
 
     #[test]
     fn constants_inside_rule_bodies() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             likes(a, wine). likes(b, beer).
             winelover(X) :- likes(X, wine).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("winelover", &["V"]);
         assert_eq!(magic(&edb, &rules, &goal), vec!["winelover(a)"]);
     }
 
     #[test]
     fn constants_in_rule_heads() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             dept(d1). dept(d2).
             member(ghost, X) :- dept(X).
-        ");
+        ",
+        );
         let goal = Atom::parse_like("member", &["ghost", "V"]);
         assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal));
         let other = Atom::parse_like("member", &["real", "V"]);
@@ -467,15 +509,21 @@ mod tests {
 
     #[test]
     fn mutual_recursion() {
-        let (edb, rules) = setup("
+        let (edb, rules) = setup(
+            "
             succ(z, one). succ(one, two). succ(two, three). succ(three, four).
             even(z).
             even(X) :- succ(Y, X), odd(Y).
             odd(X) :- succ(Y, X), even(Y).
-        ");
+        ",
+        );
         for pred in ["even", "odd"] {
             let goal = Atom::parse_like(pred, &["V"]);
-            assert_eq!(magic(&edb, &rules, &goal), naive(&edb, &rules, &goal), "{pred}");
+            assert_eq!(
+                magic(&edb, &rules, &goal),
+                naive(&edb, &rules, &goal),
+                "{pred}"
+            );
         }
         let bound = Atom::parse_like("even", &["two"]);
         assert_eq!(magic(&edb, &rules, &bound).len(), 1);

@@ -211,7 +211,11 @@ impl MaintainedModel {
         let sign = if now { 1 } else { -1 };
         for (s, rule_ids) in self.rules_by_stratum.iter().enumerate() {
             let consumes = rule_ids.iter().any(|&idx| {
-                self.rules.rule(idx).body.iter().any(|l| l.atom.pred == fact.pred)
+                self.rules
+                    .rule(idx)
+                    .body
+                    .iter()
+                    .any(|l| l.atom.pred == fact.pred)
             });
             if consumes {
                 inbox[s].push((fact.clone(), sign));
@@ -229,8 +233,7 @@ impl MaintainedModel {
         flips: &mut Vec<Literal>,
     ) {
         // Old state = current model with this batch undone.
-        let (inserted, deleted): (Vec<_>, Vec<_>) =
-            batch.iter().partition(|&&(_, sign)| sign > 0);
+        let (inserted, deleted): (Vec<_>, Vec<_>) = batch.iter().partition(|&&(_, sign)| sign > 0);
         let inserted: Vec<Fact> = inserted.into_iter().map(|(f, _)| f.clone()).collect();
         let deleted: Vec<Fact> = deleted.into_iter().map(|(f, _)| f.clone()).collect();
 
@@ -346,7 +349,10 @@ impl MaintainedModel {
         for &p in &head_preds {
             if let Some(rel) = base.relation(p) {
                 for args in rel.iter() {
-                    let f = Fact { pred: p, args: args.to_vec() };
+                    let f = Fact {
+                        pred: p,
+                        args: args.to_vec(),
+                    };
                     if !self.model.contains(&f) {
                         changes.push((f, true));
                     }
@@ -354,7 +360,10 @@ impl MaintainedModel {
             }
             if let Some(rel) = self.model.relation(p) {
                 for args in rel.iter() {
-                    let f = Fact { pred: p, args: args.to_vec() };
+                    let f = Fact {
+                        pred: p,
+                        args: args.to_vec(),
+                    };
                     if !base.contains(&f) {
                         changes.push((f, false));
                     }
@@ -375,7 +384,12 @@ impl Interp for MaintainedModel {
         self.model.contains(fact)
     }
 
-    fn scan(&self, pred: Sym, pattern: &[Option<Sym>], each: &mut dyn FnMut(&[Sym]) -> bool) -> bool {
+    fn scan(
+        &self,
+        pred: Sym,
+        pattern: &[Option<Sym>],
+        each: &mut dyn FnMut(&[Sym]) -> bool,
+    ) -> bool {
         self.model.scan(pred, pattern, each)
     }
 }
@@ -425,10 +439,12 @@ mod tests {
 
     #[test]
     fn double_derivation_survives_single_deletion() {
-        let mut m = setup("
+        let mut m = setup(
+            "
             w(X) :- l(X, Y).
             l(a, d1). l(a, d2).
-        ");
+        ",
+        );
         assert!(m.holds(&parse_fact("w(a)").unwrap()));
         let flips = m.apply(&upd("not l(a, d1)"));
         assert_eq!(sorted(flips), vec!["not l(a,d1)"], "w(a) still supported");
@@ -440,10 +456,12 @@ mod tests {
 
     #[test]
     fn explicit_fact_masks_derived_deletion() {
-        let mut m = setup("
+        let mut m = setup(
+            "
             member(X, Y) :- leads(X, Y).
             member(a, s). leads(a, s).
-        ");
+        ",
+        );
         let flips = m.apply(&upd("not member(a, s)"));
         assert!(flips.is_empty(), "still derived: {flips:?}");
         assert!(m.holds(&parse_fact("member(a,s)").unwrap()));
@@ -454,10 +472,12 @@ mod tests {
 
     #[test]
     fn negation_flips_both_ways() {
-        let mut m = setup("
+        let mut m = setup(
+            "
             idle(X) :- emp(X), not works(X).
             emp(a).
-        ");
+        ",
+        );
         assert!(m.holds(&parse_fact("idle(a)").unwrap()));
         let flips = m.apply(&upd("works(a)"));
         assert_eq!(sorted(flips), vec!["not idle(a)", "works(a)"]);
@@ -468,32 +488,48 @@ mod tests {
 
     #[test]
     fn recursive_stratum_recomputed() {
-        let mut m = setup("
+        let mut m = setup(
+            "
             tc(X, Y) :- e(X, Y).
             tc(X, Z) :- tc(X, Y), e(Y, Z).
             e(a, b). e(b, c).
-        ");
+        ",
+        );
         let flips = m.apply(&upd("e(c, d)"));
-        assert_eq!(sorted(flips), vec!["e(c,d)", "tc(a,d)", "tc(b,d)", "tc(c,d)"]);
+        assert_eq!(
+            sorted(flips),
+            vec!["e(c,d)", "tc(a,d)", "tc(b,d)", "tc(c,d)"]
+        );
         assert!(m.stats().strata_recomputed > 0);
         let flips = m.apply(&upd("not e(b, c)"));
         assert_eq!(
             sorted(flips),
-            vec!["not e(b,c)", "not tc(a,c)", "not tc(a,d)", "not tc(b,c)", "not tc(b,d)"]
+            vec![
+                "not e(b,c)",
+                "not tc(a,c)",
+                "not tc(a,d)",
+                "not tc(b,c)",
+                "not tc(b,d)"
+            ]
         );
         assert_matches_recompute(&m);
     }
 
     #[test]
     fn downstream_of_recursion_maintained() {
-        let mut m = setup("
+        let mut m = setup(
+            "
             tc(X, Y) :- e(X, Y).
             tc(X, Z) :- tc(X, Y), e(Y, Z).
             reach(X) :- tc(src, X).
             e(src, a).
-        ");
+        ",
+        );
         let flips = m.apply(&upd("e(a, b)"));
-        assert_eq!(sorted(flips), vec!["e(a,b)", "reach(b)", "tc(a,b)", "tc(src,b)"]);
+        assert_eq!(
+            sorted(flips),
+            vec!["e(a,b)", "reach(b)", "tc(a,b)", "tc(src,b)"]
+        );
         assert_matches_recompute(&m);
     }
 
@@ -509,13 +545,18 @@ mod tests {
     #[test]
     fn simultaneous_flip_of_two_body_literals() {
         // The Def. 4 regression shape: both supports flip in one batch.
-        let mut m = setup("
+        let mut m = setup(
+            "
             b(X) :- d(X). c(X) :- d(X).
             a(X) :- b(X), c(X).
             d(k).
-        ");
+        ",
+        );
         let flips = m.apply(&upd("not d(k)"));
-        assert_eq!(sorted(flips), vec!["not a(k)", "not b(k)", "not c(k)", "not d(k)"]);
+        assert_eq!(
+            sorted(flips),
+            vec!["not a(k)", "not b(k)", "not c(k)", "not d(k)"]
+        );
         assert_matches_recompute(&m);
         let flips = m.apply(&upd("d(k)"));
         assert_eq!(sorted(flips), vec!["a(k)", "b(k)", "c(k)", "d(k)"]);
@@ -547,13 +588,17 @@ mod tests {
         let consts = ["a", "b", "c"];
         let mut rng = StdRng::seed_from_u64(7);
         for step in 0..300 {
-            let (pred, arity) = [("p", 1), ("q", 1), ("s", 1), ("l", 2), ("r", 2)]
-                [rng.gen_range(0..5)];
-            let args: Vec<&str> =
-                (0..arity).map(|_| consts[rng.gen_range(0..consts.len())]).collect();
+            let (pred, arity) =
+                [("p", 1), ("q", 1), ("s", 1), ("l", 2), ("r", 2)][rng.gen_range(0..5)];
+            let args: Vec<&str> = (0..arity)
+                .map(|_| consts[rng.gen_range(0..consts.len())])
+                .collect();
             let fact = Fact::parse_like(pred, &args);
-            let update =
-                if rng.gen_bool(0.5) { Update::insert(fact) } else { Update::delete(fact) };
+            let update = if rng.gen_bool(0.5) {
+                Update::insert(fact)
+            } else {
+                Update::delete(fact)
+            };
 
             let before = Model::compute(m.edb(), &db.rules().clone());
             let flips = m.apply(&update);

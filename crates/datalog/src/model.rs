@@ -9,6 +9,7 @@
 
 use crate::cq::solve_conjunction;
 use crate::interp::Interp;
+use crate::par::par_map;
 use crate::program::RuleSet;
 use crate::store::FactSet;
 use std::collections::HashSet;
@@ -49,15 +50,32 @@ impl Model {
                 continue;
             }
 
-            // Naive first round: derive from everything present.
+            // Naive first round: derive from everything present. Rules of
+            // a stratum are independent given the fixed pre-round state,
+            // so the batch fans out across threads; merging per-rule
+            // results in rule order keeps fact-insertion order identical
+            // to a sequential run (iteration order is load-bearing, see
+            // `store`).
             let mut delta: Vec<Fact> = Vec::new();
             let mut delta_set: HashSet<Fact> = HashSet::new();
-            for rule in &layer {
-                derive_all(&facts, rule, &mut |f| {
-                    if !facts.contains(&f) && delta_set.insert(f.clone()) {
-                        delta.push(f);
+            let facts_ref = &facts;
+            let per_rule: Vec<Vec<Fact>> = par_map(&layer, |rule| {
+                // Dedup within the rule (a fact derivable through many
+                // bindings is emitted once); the merge below dedups
+                // across rules.
+                let mut out = Vec::new();
+                let mut seen: HashSet<Fact> = HashSet::new();
+                derive_all(facts_ref, rule, &mut |f| {
+                    if !facts_ref.contains(&f) && seen.insert(f.clone()) {
+                        out.push(f);
                     }
                 });
+                out
+            });
+            for f in per_rule.into_iter().flatten() {
+                if delta_set.insert(f.clone()) {
+                    delta.push(f);
+                }
             }
             for f in &delta {
                 facts.insert(f);
@@ -65,10 +83,17 @@ impl Model {
 
             // Semi-naive rounds: each new round only fires rules through a
             // body literal matching a delta fact of the previous round.
+            // Same fan-out shape: every rule processes the whole delta
+            // against the fixed pre-round state, results merge in rule
+            // order.
             while !delta.is_empty() {
                 let mut next: Vec<Fact> = Vec::new();
                 let mut next_set: HashSet<Fact> = HashSet::new();
-                for rule in &layer {
+                let facts_ref = &facts;
+                let delta_ref = &delta;
+                let per_rule: Vec<Vec<Fact>> = par_map(&layer, |rule| {
+                    let mut out = Vec::new();
+                    let mut seen: HashSet<Fact> = HashSet::new();
                     for (pos, lit) in rule.body.iter().enumerate() {
                         if !lit.positive {
                             continue;
@@ -76,17 +101,22 @@ impl Model {
                         // Only differentiate on literals of this stratum's
                         // IDB predicates: lower-stratum and EDB relations
                         // cannot have grown during this stratum.
-                        if graph.stratum(lit.atom.pred) != stratum || !graph.is_idb(lit.atom.pred)
-                        {
+                        if graph.stratum(lit.atom.pred) != stratum || !graph.is_idb(lit.atom.pred) {
                             continue;
                         }
-                        for d in &delta {
-                            derive_through(&facts, rule, pos, d, &mut |f| {
-                                if !facts.contains(&f) && next_set.insert(f.clone()) {
-                                    next.push(f);
+                        for d in delta_ref {
+                            derive_through(facts_ref, rule, pos, d, &mut |f| {
+                                if !facts_ref.contains(&f) && seen.insert(f.clone()) {
+                                    out.push(f);
                                 }
                             });
                         }
+                    }
+                    out
+                });
+                for f in per_rule.into_iter().flatten() {
+                    if next_set.insert(f.clone()) {
+                        next.push(f);
                     }
                 }
                 for f in &next {
@@ -205,7 +235,10 @@ mod tests {
             &rules(&["tc(X,Y) :- edge(X,Y).", "tc(X,Z) :- tc(X,Y), edge(Y,Z)."]),
         );
         for (x, y) in [("a", "b"), ("a", "c"), ("a", "d"), ("b", "d"), ("c", "d")] {
-            assert!(m.contains(&Fact::parse_like("tc", &[x, y])), "missing tc({x},{y})");
+            assert!(
+                m.contains(&Fact::parse_like("tc", &[x, y])),
+                "missing tc({x},{y})"
+            );
         }
         assert_eq!(m.iter().filter(|f| f.pred == Sym::new("tc")).count(), 6);
     }
@@ -281,8 +314,11 @@ mod tests {
         let rules = rules(&["member(X,Y) :- leads(X,Y)."]);
         let before = Model::compute(&edb(&[]), &rules);
         let after = Model::compute(&edb(&["leads(c, b)."]), &rules);
-        let mut diff: Vec<String> =
-            after.difference(&before).iter().map(|f| f.to_string()).collect();
+        let mut diff: Vec<String> = after
+            .difference(&before)
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
         diff.sort();
         assert_eq!(diff, vec!["leads(c,b)", "member(c,b)"]);
     }

@@ -157,9 +157,10 @@ impl<'a> Planner<'a> {
         match rq {
             Rq::True | Rq::False => 0.0,
             Rq::Lit(l) => self.literal_cost(l, bound),
-            Rq::And(gs) | Rq::Or(gs) => {
-                gs.iter().map(|g| self.cost(g, bound)).fold(0.0, |a, b| (a + b).min(COST_CAP))
-            }
+            Rq::And(gs) | Rq::Or(gs) => gs
+                .iter()
+                .map(|g| self.cost(g, bound))
+                .fold(0.0, |a, b| (a + b).min(COST_CAP)),
             Rq::Forall { vars, range, body } | Rq::Exists { vars, range, body } => {
                 let (fanout, range_cost) = self.range_cost(range, bound);
                 let mut inner = bound.clone();
@@ -230,7 +231,8 @@ impl<'a> Planner<'a> {
             })
             .collect();
         let clash = lits.iter().any(|l| {
-            lits.iter().any(|m| l.atom == m.atom && l.positive != m.positive)
+            lits.iter()
+                .any(|m| l.atom == m.atom && l.positive != m.positive)
         });
         if clash {
             report.pruned += kept.len();
@@ -255,8 +257,10 @@ impl<'a> Planner<'a> {
         report.pruned += before - kept.len();
 
         // Cheapest-first ordering for short-circuit evaluation.
-        let mut keyed: Vec<(f64, Rq)> =
-            kept.into_iter().map(|c| (self.cost(&c, bound), c)).collect();
+        let mut keyed: Vec<(f64, Rq)> = kept
+            .into_iter()
+            .map(|c| (self.cost(&c, bound), c))
+            .collect();
         let already_sorted = keyed.windows(2).all(|w| w[0].0 <= w[1].0);
         if !already_sorted {
             keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -301,7 +305,11 @@ mod tests {
         let free = rq("exists X, Y: big(X, Y)");
         let half = rq("exists X: big(X, c)");
         assert!(p.estimate(&free) > p.estimate(&half));
-        assert_eq!(p.estimate(&rq("big(a, b)")), 1.0, "ground literal is a lookup");
+        assert_eq!(
+            p.estimate(&rq("big(a, b)")),
+            1.0,
+            "ground literal is a lookup"
+        );
     }
 
     #[test]
@@ -343,7 +351,10 @@ mod tests {
     fn complementary_literals_collapse() {
         let s = stats(&[]);
         let p = Planner::new(&s);
-        assert_eq!(p.optimize(&Rq::and(vec![rq("p(a)"), rq("~p(a)")])), Rq::False);
+        assert_eq!(
+            p.optimize(&Rq::and(vec![rq("p(a)"), rq("~p(a)")])),
+            Rq::False
+        );
         assert_eq!(p.optimize(&Rq::or(vec![rq("p(a)"), rq("~p(a)")])), Rq::True);
     }
 

@@ -9,8 +9,8 @@
 //!   potential-update (Def. 5) computations walk this index.
 
 use crate::depgraph::{DepGraph, StratificationError};
-use uniform_logic::{Literal, Rule, Sym};
 use std::collections::HashMap;
+use uniform_logic::{Literal, Rule, Sym};
 
 /// One `directly_dependent` entry: the body literal `L'` at `position` of
 /// `rule` (`rules[rule_idx]`), whose head may change when a literal
@@ -43,10 +43,18 @@ impl RuleSet {
                 by_body
                     .entry((lit.atom.pred, lit.positive))
                     .or_default()
-                    .push(BodyOccurrence { rule_idx: i, position: pos });
+                    .push(BodyOccurrence {
+                        rule_idx: i,
+                        position: pos,
+                    });
             }
         }
-        Ok(RuleSet { rules, by_head, by_body, graph })
+        Ok(RuleSet {
+            rules,
+            by_head,
+            by_body,
+            graph,
+        })
     }
 
     pub fn empty() -> RuleSet {

@@ -48,7 +48,10 @@ impl Derivation {
         match self {
             Derivation::Explicit(_) => 0,
             Derivation::Rule { premises, .. } => {
-                1 + premises.iter().map(|p| p.rule_applications()).sum::<usize>()
+                1 + premises
+                    .iter()
+                    .map(|p| p.rule_applications())
+                    .sum::<usize>()
             }
         }
     }
@@ -60,7 +63,12 @@ impl Derivation {
             Derivation::Explicit(f) => {
                 let _ = writeln!(out, "{pad}{f}  [explicit]");
             }
-            Derivation::Rule { fact, rule, premises, absent } => {
+            Derivation::Rule {
+                fact,
+                rule,
+                premises,
+                absent,
+            } => {
                 let _ = writeln!(out, "{pad}{fact}  [via {rule}]");
                 for p in premises {
                     p.render(indent + 1, out);
@@ -138,7 +146,12 @@ impl<'a> Provenance<'a> {
                 }
             }
         }
-        Provenance { edb, rules, model, ranks }
+        Provenance {
+            edb,
+            rules,
+            model,
+            ranks,
+        }
     }
 
     /// The materialized model the index was built over.
@@ -175,9 +188,9 @@ impl<'a> Provenance<'a> {
                 }
                 // Well-foundedness: every positive premise must appear
                 // strictly earlier in the fixpoint.
-                let well_founded = premises.iter().all(|p| {
-                    self.ranks.get(p).is_some_and(|&r| r < rank)
-                });
+                let well_founded = premises
+                    .iter()
+                    .all(|p| self.ranks.get(p).is_some_and(|&r| r < rank));
                 if well_founded {
                     found = Some((premises, absent));
                     false // stop at the first valid support
@@ -241,7 +254,9 @@ mod tests {
         let (db, _) = prov("idle(X) :- emp(X), not works(X). emp(a).");
         let d = explain(&db, "idle(a)").unwrap();
         match &d {
-            Derivation::Rule { premises, absent, .. } => {
+            Derivation::Rule {
+                premises, absent, ..
+            } => {
                 assert_eq!(premises.len(), 1);
                 assert_eq!(absent.len(), 1);
                 assert_eq!(absent[0].to_string(), "works(a)");
@@ -253,11 +268,13 @@ mod tests {
 
     #[test]
     fn recursive_derivations_are_finite() {
-        let (db, _) = prov("
+        let (db, _) = prov(
+            "
             tc(X, Y) :- e(X, Y).
             tc(X, Z) :- tc(X, Y), e(Y, Z).
             e(a, b). e(b, c). e(c, a).
-        ");
+        ",
+        );
         // tc(a,a) goes around the whole cycle; the tree must be finite
         // and well-founded.
         let d = explain(&db, "tc(a, a)").unwrap();
@@ -295,13 +312,15 @@ mod tests {
 
     #[test]
     fn provenance_model_matches_canonical_model() {
-        let db = Database::parse("
+        let db = Database::parse(
+            "
             m(X,Y) :- l(X,Y).
             u(X) :- p(X), not q(X).
             tc(X,Y) :- r(X,Y).
             tc(X,Z) :- tc(X,Y), r(Y,Z).
             l(a,b). p(a). p(b). q(b). r(a,b). r(b,c).
-        ")
+        ",
+        )
         .unwrap();
         let p = Provenance::build(db.facts(), db.rules());
         let canonical = db.model();

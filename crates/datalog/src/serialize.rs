@@ -22,7 +22,11 @@ pub fn to_program_source(db: &Database) -> String {
     if !db.constraints().is_empty() {
         out.push_str("% constraints\n");
         for c in db.constraints() {
-            out.push_str(&format!("constraint {}: {}.\n", c.name, rq_to_formula(&c.rq)));
+            out.push_str(&format!(
+                "constraint {}: {}.\n",
+                c.name,
+                rq_to_formula(&c.rq)
+            ));
         }
     }
     let mut facts: Vec<Fact> = db.facts().iter().collect();
@@ -56,9 +60,8 @@ mod tests {
     fn round_trip_preserves_everything() {
         let db = Database::parse(PROGRAM).unwrap();
         let printed = to_program_source(&db);
-        let db2 = Database::parse(&printed).unwrap_or_else(|e| {
-            panic!("printed program failed to parse: {e}\n{printed}")
-        });
+        let db2 = Database::parse(&printed)
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
 
         // Facts identical.
         let mut f1: Vec<Fact> = db.facts().iter().collect();
@@ -76,7 +79,11 @@ mod tests {
         assert_eq!(db.constraints().len(), db2.constraints().len());
         for (a, b) in db.constraints().iter().zip(db2.constraints()) {
             assert_eq!(a.name, b.name);
-            assert_eq!(a.rq, b.rq, "constraint {} changed across round trip", a.name);
+            assert_eq!(
+                a.rq, b.rq,
+                "constraint {} changed across round trip",
+                a.name
+            );
         }
 
         // And they answer queries identically.

@@ -6,9 +6,21 @@
 //! rather than a full pass — this is what makes simplified-instance
 //! evaluation O(matching tuples) instead of O(relation), the asymmetry
 //! experiment E1 measures.
+//!
+//! Relations accumulate tombstones and stale index entries under
+//! delete-heavy churn; once more than half of a (non-trivial) arena is
+//! dead, [`Relation::compact`] rebuilds it, preserving live-tuple order.
+//!
+//! [`FactSet`] holds each relation behind an [`Arc`] with copy-on-write
+//! mutation: cloning a fact set is O(#relations) regardless of how many
+//! tuples it holds, which is what makes database snapshots cheap enough
+//! to hand to every reader (see `database::Snapshot`). A writer mutating
+//! a shared relation clones just that relation, leaving snapshot holders
+//! an immutable view of the pre-mutation state.
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 use uniform_logic::{Fact, Sym};
 
 /// One stored relation (all facts of one predicate).
@@ -81,13 +93,15 @@ impl Relation {
         }
     }
 
-    /// Delete a tuple; returns `true` if it was present.
+    /// Delete a tuple; returns `true` if it was present. Triggers a
+    /// compaction when tombstones come to dominate the arena.
     pub fn remove(&mut self, args: &[Sym]) -> bool {
         if let Some(&slot) = self.slot_of.get(args) {
             let cell = &mut self.tuples[slot as usize];
             if cell.is_some() {
                 *cell = None;
                 self.live -= 1;
+                self.maybe_compact();
                 return true;
             }
         }
@@ -145,6 +159,35 @@ impl Relation {
     pub fn iter(&self) -> impl Iterator<Item = &[Sym]> {
         self.tuples.iter().filter_map(|t| t.as_deref())
     }
+
+    /// Tombstoned slots currently held in the arena (each also pins stale
+    /// `col_index` entries).
+    pub fn stale_slots(&self) -> usize {
+        self.tuples.len() - self.live
+    }
+
+    /// Rebuild the arena and indexes with only live tuples, dropping
+    /// tombstones, revival bookkeeping and stale index entries. Live
+    /// tuple order (and thus iteration order) is preserved.
+    pub fn compact(&mut self) {
+        if self.stale_slots() == 0 {
+            return;
+        }
+        let mut rebuilt = Relation::new(self.arity);
+        for tuple in self.tuples.iter().flatten() {
+            rebuilt.insert(tuple);
+        }
+        *self = rebuilt;
+    }
+
+    /// Compact once tombstoned slots exceed half the arena. The size
+    /// floor keeps small relations from re-indexing on every delete.
+    fn maybe_compact(&mut self) {
+        const COMPACT_FLOOR: usize = 32;
+        if self.tuples.len() >= COMPACT_FLOOR && self.stale_slots() * 2 > self.tuples.len() {
+            self.compact();
+        }
+    }
 }
 
 /// All extensional facts of a database, keyed by predicate.
@@ -156,10 +199,16 @@ impl Relation {
 /// model-iteration order, and a randomized order (as with a plain
 /// `HashMap` and its per-instance `RandomState`) makes search outcomes
 /// within a fresh-constant budget irreproducible.
+///
+/// Each relation sits behind an [`Arc`] with copy-on-write mutation:
+/// `clone()` is O(#relations) (it copies the predicate index and bumps
+/// one refcount per relation, never tuple data), and mutating a shared
+/// relation clones only that relation. Snapshot readers therefore keep
+/// a stable view while writers proceed.
 #[derive(Clone, Debug, Default)]
 pub struct FactSet {
     index: HashMap<Sym, u32>,
-    relations: Vec<(Sym, Relation)>,
+    relations: Vec<(Sym, Arc<Relation>)>,
     len: usize,
 }
 
@@ -193,14 +242,16 @@ impl FactSet {
     }
 
     /// Insert; returns `true` if the fact was new (Def. 1: inserting an
-    /// explicit fact leaves the database unchanged).
+    /// explicit fact leaves the database unchanged). Copy-on-write: a
+    /// relation shared with a snapshot is cloned before mutation.
     pub fn insert(&mut self, fact: &Fact) -> bool {
         let slot = *self.index.entry(fact.pred).or_insert_with(|| {
             let slot = self.relations.len() as u32;
-            self.relations.push((fact.pred, Relation::new(fact.args.len())));
+            self.relations
+                .push((fact.pred, Arc::new(Relation::new(fact.args.len()))));
             slot
         });
-        let rel = &mut self.relations[slot as usize].1;
+        let rel = &self.relations[slot as usize].1;
         assert_eq!(
             rel.arity(),
             fact.args.len(),
@@ -209,7 +260,15 @@ impl FactSet {
             rel.arity(),
             fact.args.len()
         );
-        let added = rel.insert(&fact.args);
+        // Only pre-check membership when the relation is shared (with a
+        // snapshot or clone): that is the one case where a no-op insert
+        // would otherwise pay a full COW clone. Uniquely owned relations
+        // go straight to the arena (the hot path of materialization).
+        let arc = &mut self.relations[slot as usize].1;
+        if Arc::get_mut(arc).is_none() && arc.contains(&fact.args) {
+            return false;
+        }
+        let added = Arc::make_mut(arc).insert(&fact.args);
         if added {
             self.len += 1;
         }
@@ -217,12 +276,18 @@ impl FactSet {
     }
 
     /// Delete; returns `true` if the fact was present (Def. 1: deleting an
-    /// absent fact leaves the database unchanged).
+    /// absent fact leaves the database unchanged). Copy-on-write, like
+    /// [`FactSet::insert`].
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        let removed = self
-            .index
-            .get(&fact.pred)
-            .is_some_and(|&slot| self.relations[slot as usize].1.remove(&fact.args));
+        let Some(&slot) = self.index.get(&fact.pred) else {
+            return false;
+        };
+        // Same shared-only pre-check as `insert`.
+        let arc = &mut self.relations[slot as usize].1;
+        if Arc::get_mut(arc).is_none() && !arc.contains(&fact.args) {
+            return false;
+        }
+        let removed = Arc::make_mut(arc).remove(&fact.args);
         if removed {
             self.len -= 1;
         }
@@ -230,7 +295,9 @@ impl FactSet {
     }
 
     pub fn relation(&self, pred: Sym) -> Option<&Relation> {
-        self.index.get(&pred).map(|&slot| &self.relations[slot as usize].1)
+        self.index
+            .get(&pred)
+            .map(|&slot| &*self.relations[slot as usize].1)
     }
 
     /// Predicates with at least one stored (possibly tombstoned)
@@ -242,7 +309,10 @@ impl FactSet {
     /// Iterate all facts, in predicate-then-tuple insertion order.
     pub fn iter(&self) -> impl Iterator<Item = Fact> + '_ {
         self.relations.iter().flat_map(|(pred, rel)| {
-            rel.iter().map(move |args| Fact { pred: *pred, args: args.to_vec() })
+            rel.iter().map(move |args| Fact {
+                pred: *pred,
+                args: args.to_vec(),
+            })
         })
     }
 
@@ -278,11 +348,17 @@ mod tests {
     fn insert_remove_contains() {
         let mut fs = FactSet::new();
         assert!(fs.insert(&fact("p", &["a", "b"])));
-        assert!(!fs.insert(&fact("p", &["a", "b"])), "duplicate insert is a no-op");
+        assert!(
+            !fs.insert(&fact("p", &["a", "b"])),
+            "duplicate insert is a no-op"
+        );
         assert!(fs.contains(&fact("p", &["a", "b"])));
         assert_eq!(fs.len(), 1);
         assert!(fs.remove(&fact("p", &["a", "b"])));
-        assert!(!fs.remove(&fact("p", &["a", "b"])), "absent delete is a no-op");
+        assert!(
+            !fs.remove(&fact("p", &["a", "b"])),
+            "absent delete is a no-op"
+        );
         assert!(!fs.contains(&fact("p", &["a", "b"])));
         assert_eq!(fs.len(), 0);
     }
@@ -378,6 +454,90 @@ mod tests {
         let mut fs = FactSet::new();
         fs.insert(&fact("p", &["a"]));
         fs.insert(&fact("p", &["a", "b"]));
+    }
+
+    #[test]
+    fn churn_triggers_compaction_and_preserves_contents() {
+        // Insert/delete/revive churn: without compaction the arena and
+        // col_index grow with every distinct tombstoned tuple forever.
+        let mut fs = FactSet::new();
+        for round in 0..10 {
+            for i in 0..100 {
+                fs.insert(&fact("p", &[&format!("r{round}_v{i}"), "k"]));
+            }
+            for i in 0..100 {
+                if i % 10 != 0 {
+                    fs.remove(&fact("p", &[&format!("r{round}_v{i}"), "k"]));
+                }
+            }
+            // Revive a handful of this round's deletions.
+            for i in [1usize, 11, 21] {
+                fs.insert(&fact("p", &[&format!("r{round}_v{i}"), "k"]));
+            }
+        }
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        // 13 survivors per round; staleness is bounded by the compaction
+        // threshold instead of accumulating 870 tombstones.
+        assert_eq!(rel.len(), 130);
+        assert_eq!(fs.len(), 130);
+        assert!(
+            rel.stale_slots() * 2 <= rel.len() + rel.stale_slots() + 1,
+            "stale fraction unbounded: {} stale vs {} live",
+            rel.stale_slots(),
+            rel.len()
+        );
+        // Contents and index behavior survive compaction.
+        assert!(fs.contains(&fact("p", &["r9_v0", "k"])));
+        assert!(fs.contains(&fact("p", &["r0_v21", "k"])));
+        assert!(!fs.contains(&fact("p", &["r9_v2", "k"])));
+        let mut seen = 0;
+        rel.scan(&[None, Some(Sym::new("k"))], &mut |_| {
+            seen += 1;
+            true
+        });
+        assert_eq!(seen, 130, "indexed scan must see exactly the live tuples");
+    }
+
+    #[test]
+    fn explicit_compact_drops_all_tombstones() {
+        let mut fs = FactSet::new();
+        for i in 0..10 {
+            fs.insert(&fact("q", &[&format!("c{i}")]));
+        }
+        for i in 0..5 {
+            fs.remove(&fact("q", &[&format!("c{i}")]));
+        }
+        let rel = fs.relation(Sym::new("q")).unwrap();
+        assert_eq!(rel.stale_slots(), 5, "below the auto-compaction floor");
+        let mut rel = rel.clone();
+        rel.compact();
+        assert_eq!(rel.stale_slots(), 0);
+        assert_eq!(rel.len(), 5);
+        let order: Vec<&str> = rel.iter().map(|t| t[0].as_str()).collect();
+        assert_eq!(
+            order,
+            vec!["c5", "c6", "c7", "c8", "c9"],
+            "live order preserved"
+        );
+    }
+
+    #[test]
+    fn clones_share_relations_until_mutation() {
+        let mut a = FactSet::new();
+        for i in 0..50 {
+            a.insert(&fact("p", &[&format!("v{i}")]));
+            a.insert(&fact("q", &[&format!("v{i}"), "x"]));
+        }
+        let b = a.clone();
+        // Writer mutates p; the reader's view of both relations is stable.
+        a.insert(&fact("p", &["new"]));
+        a.remove(&fact("q", &["v0", "x"]));
+        assert!(a.contains(&fact("p", &["new"])));
+        assert!(!b.contains(&fact("p", &["new"])));
+        assert!(!a.contains(&fact("q", &["v0", "x"])));
+        assert!(b.contains(&fact("q", &["v0", "x"])));
+        assert_eq!(b.len(), 100);
+        assert_eq!(a.len(), 100);
     }
 
     #[test]

@@ -17,17 +17,23 @@
 //!   canonical model of the overlaid database (computed once per engine,
 //!   restricted to the reachable subprogram).
 
+use crate::cq::solve_conjunction;
 use crate::interp::{Interp, Overlay};
 use crate::model::Model;
 use crate::program::RuleSet;
 use crate::store::FactSet;
-use crate::cq::solve_conjunction;
-use std::cell::RefCell;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use uniform_logic::{Fact, Subst, Sym, Term};
 
 /// A virtual interpretation of the canonical model of `U(D)`, where the
 /// update is *not* applied to `edb`.
+///
+/// `Sync`: the lazily materialized fallback model and the shared-subquery
+/// memo sit behind locks, so one engine can serve the parallel
+/// per-constraint evaluation loop of `uniform-integrity` directly.
 pub struct OverlayEngine<'a> {
     edb: &'a FactSet,
     rules: &'a RuleSet,
@@ -35,16 +41,16 @@ pub struct OverlayEngine<'a> {
     removed: Vec<Fact>,
     /// Lazily materialized canonical model of the overlaid database, only
     /// built when a recursion-reaching predicate is queried.
-    materialized: RefCell<Option<Model>>,
+    materialized: RwLock<Option<Arc<Model>>>,
     /// Statistics: how many times the recursive fallback was taken.
-    materializations: RefCell<usize>,
+    materializations: AtomicUsize,
     /// Memo for ground IDB goals solved through the SLD path. This is the
     /// engine-level realization of §3.2's "global evaluation": when many
     /// simplified instances are evaluated against one simulated state,
     /// shared subqueries (the paper's `attends(jack, ddb)` example) are
     /// answered once.
-    goal_memo: RefCell<HashMap<Fact, bool>>,
-    memo_hits: RefCell<usize>,
+    goal_memo: Mutex<HashMap<Fact, Arc<OnceLock<bool>>>>,
+    memo_hits: AtomicUsize,
 }
 
 impl<'a> OverlayEngine<'a> {
@@ -56,16 +62,21 @@ impl<'a> OverlayEngine<'a> {
     /// Engine for the updated state `U(D)` — this is `new`. Positive
     /// update literals are insertions, negative ones deletions (§3); a
     /// transaction passes its net effect.
-    pub fn updated(edb: &'a FactSet, rules: &'a RuleSet, insert: Vec<Fact>, delete: Vec<Fact>) -> Self {
+    pub fn updated(
+        edb: &'a FactSet,
+        rules: &'a RuleSet,
+        insert: Vec<Fact>,
+        delete: Vec<Fact>,
+    ) -> Self {
         OverlayEngine {
             edb,
             rules,
             added: insert,
             removed: delete,
-            materialized: RefCell::new(None),
-            materializations: RefCell::new(0),
-            goal_memo: RefCell::new(HashMap::new()),
-            memo_hits: RefCell::new(0),
+            materialized: RwLock::new(None),
+            materializations: AtomicUsize::new(0),
+            goal_memo: Mutex::new(HashMap::new()),
+            memo_hits: AtomicUsize::new(0),
         }
     }
 
@@ -76,30 +87,43 @@ impl<'a> OverlayEngine<'a> {
     /// Number of times the materialized fallback was built (0 or 1; for
     /// instrumentation).
     pub fn materialization_count(&self) -> usize {
-        *self.materializations.borrow()
+        self.materializations.load(Ordering::Relaxed)
     }
 
     /// Ground-subquery memo hits (instrumentation for experiment E4).
     pub fn memo_hits(&self) -> usize {
-        *self.memo_hits.borrow()
+        self.memo_hits.load(Ordering::Relaxed)
     }
 
-    fn ensure_materialized(&self) -> std::cell::Ref<'_, Option<Model>> {
-        {
-            let mut slot = self.materialized.borrow_mut();
-            if slot.is_none() {
-                let mut edb = self.edb.clone();
-                for f in &self.added {
-                    edb.insert(f);
-                }
-                for f in &self.removed {
-                    edb.remove(f);
-                }
-                *slot = Some(Model::compute(&edb, self.rules));
-                *self.materializations.borrow_mut() += 1;
-            }
+    fn ensure_materialized(&self) -> Arc<Model> {
+        if let Some(model) = self.materialized.read().as_ref() {
+            return model.clone();
         }
-        self.materialized.borrow()
+        let mut slot = self.materialized.write();
+        if slot.is_none() {
+            let mut edb = self.edb.clone();
+            for f in &self.added {
+                edb.insert(f);
+            }
+            for f in &self.removed {
+                edb.remove(f);
+            }
+            *slot = Some(Arc::new(Model::compute(&edb, self.rules)));
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.as_ref().expect("just materialized").clone()
+    }
+
+    /// Resolve a ground goal by scanning with every position bound
+    /// (the uncached slow path behind [`Interp::holds`]).
+    fn resolve(&self, fact: &Fact) -> bool {
+        let pattern: Vec<Option<Sym>> = fact.args.iter().map(|&c| Some(c)).collect();
+        let mut found = false;
+        self.scan(fact.pred, &pattern, &mut |_| {
+            found = true;
+            false
+        });
+        found
     }
 
     /// Solve an IDB goal by SLD resolution (non-recursive path).
@@ -147,25 +171,37 @@ impl<'a> OverlayEngine<'a> {
 impl Interp for OverlayEngine<'_> {
     fn holds(&self, fact: &Fact) -> bool {
         // Memoize ground IDB goals on the SLD path; EDB lookups and
-        // materialized (recursive) predicates are O(1) already.
+        // materialized (recursive) predicates are O(1) already. Each
+        // goal gets a `OnceLock` slot so exactly one thread resolves it
+        // (concurrent askers of the *same* goal block on that slot) and
+        // `memo_hits` counts re-asks deterministically regardless of
+        // scheduling. Non-recursive goals cannot re-enter their own
+        // slot, so `get_or_init` cannot self-deadlock.
         let graph = self.rules.graph();
         let memoizable = graph.is_idb(fact.pred) && !graph.reaches_recursion(fact.pred);
-        if memoizable {
-            if let Some(&verdict) = self.goal_memo.borrow().get(fact) {
-                *self.memo_hits.borrow_mut() += 1;
-                return verdict;
+        if !memoizable {
+            return self.resolve(fact);
+        }
+        let slot = {
+            let mut memo = self.goal_memo.lock();
+            match memo.get(fact) {
+                Some(slot) => slot.clone(),
+                None => {
+                    let slot = Arc::new(OnceLock::new());
+                    memo.insert(fact.clone(), slot.clone());
+                    slot
+                }
             }
-        }
-        let pattern: Vec<Option<Sym>> = fact.args.iter().map(|&c| Some(c)).collect();
-        let mut found = false;
-        self.scan(fact.pred, &pattern, &mut |_| {
-            found = true;
-            false
+        };
+        let mut resolved_here = false;
+        let verdict = *slot.get_or_init(|| {
+            resolved_here = true;
+            self.resolve(fact)
         });
-        if memoizable {
-            self.goal_memo.borrow_mut().insert(fact.clone(), found);
+        if !resolved_here {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
         }
-        found
+        verdict
     }
 
     fn scan(
@@ -180,8 +216,7 @@ impl Interp for OverlayEngine<'_> {
             return self.overlay().scan(pred, pattern, each);
         }
         if graph.reaches_recursion(pred) {
-            let model = self.ensure_materialized();
-            return model.as_ref().expect("just materialized").scan(pred, pattern, each);
+            return self.ensure_materialized().scan(pred, pattern, each);
         }
         // Non-recursive IDB: explicit facts first, then SLD over rules,
         // deduplicating across both sources.
@@ -210,7 +245,12 @@ mod tests {
     }
 
     fn rules(srcs: &[&str]) -> RuleSet {
-        RuleSet::new(srcs.iter().map(|s| parse_rule(s).unwrap()).collect::<Vec<Rule>>()).unwrap()
+        RuleSet::new(
+            srcs.iter()
+                .map(|s| parse_rule(s).unwrap())
+                .collect::<Vec<Rule>>(),
+        )
+        .unwrap()
     }
 
     fn fact(src: &str) -> Fact {
@@ -307,10 +347,14 @@ mod tests {
         let r = rules(&["member(X,Y) :- leads(X,Y)."]);
         let engine = OverlayEngine::current(&e, &r);
         let mut seen = Vec::new();
-        engine.scan(Sym::new("member"), &[None, Some(Sym::new("hr"))], &mut |t| {
-            seen.push(t[0].as_str());
-            true
-        });
+        engine.scan(
+            Sym::new("member"),
+            &[None, Some(Sym::new("hr"))],
+            &mut |t| {
+                seen.push(t[0].as_str());
+                true
+            },
+        );
         assert_eq!(seen, vec!["bob"]);
     }
 

@@ -22,12 +22,18 @@ impl Update {
     }
 
     pub fn delete(fact: Fact) -> Update {
-        Update { insert: false, fact }
+        Update {
+            insert: false,
+            fact,
+        }
     }
 
     /// From a ground literal; `None` if the literal has variables.
     pub fn from_literal(lit: &Literal) -> Option<Update> {
-        Some(Update { insert: lit.positive, fact: lit.atom.to_fact()? })
+        Some(Update {
+            insert: lit.positive,
+            fact: lit.atom.to_fact()?,
+        })
     }
 
     /// The update as a literal (the representation Definitions 2–6 use).
@@ -106,7 +112,9 @@ impl Transaction {
     }
 
     pub fn single(update: Update) -> Transaction {
-        Transaction { updates: vec![update] }
+        Transaction {
+            updates: vec![update],
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -141,18 +149,26 @@ impl Transaction {
     /// insert-then-delete (and vice versa) pairs cancel out. Integrity
     /// checking only ever needs the net effect.
     pub fn net_effect(&self, edb: &FactSet) -> (Vec<Fact>, Vec<Fact>) {
-        use std::collections::HashMap;
+        use std::collections::{HashMap, HashSet};
         let mut desired: HashMap<&Fact, bool> = HashMap::new();
         for u in &self.updates {
             desired.insert(&u.fact, u.insert);
         }
+        // Walk the transaction, not the map: HashMap iteration order is
+        // per-instance random, and downstream delta enumeration (and so
+        // violation/culprit order) must be identical run to run.
+        let mut seen: HashSet<&Fact> = HashSet::new();
         let mut added = Vec::new();
         let mut removed = Vec::new();
-        for (fact, want) in desired {
-            let have = edb.contains(fact);
+        for u in &self.updates {
+            if !seen.insert(&u.fact) {
+                continue;
+            }
+            let want = desired[&u.fact];
+            let have = edb.contains(&u.fact);
             match (have, want) {
-                (false, true) => added.push(fact.clone()),
-                (true, false) => removed.push(fact.clone()),
+                (false, true) => added.push(u.fact.clone()),
+                (true, false) => removed.push(u.fact.clone()),
                 _ => {}
             }
         }
@@ -162,7 +178,9 @@ impl Transaction {
 
 impl FromIterator<Update> for Transaction {
     fn from_iter<I: IntoIterator<Item = Update>>(iter: I) -> Transaction {
-        Transaction { updates: iter.into_iter().collect() }
+        Transaction {
+            updates: iter.into_iter().collect(),
+        }
     }
 }
 

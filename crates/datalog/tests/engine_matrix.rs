@@ -3,8 +3,8 @@
 //! recomputation of the canonical model for every single-fact update and
 //! every ground goal over a small constant grid.
 
-use uniform_logic::{parse_fact, parse_rule, Fact, Rule};
 use uniform_datalog::{FactSet, Interp, Model, OverlayEngine, RuleSet, Update};
+use uniform_logic::{parse_fact, parse_rule, Fact, Rule};
 
 struct Program {
     name: &'static str,
@@ -22,8 +22,13 @@ fn program(
     Program {
         name,
         facts: facts.iter().map(|f| parse_fact(f).unwrap()).collect(),
-        rules: RuleSet::new(rules.iter().map(|r| parse_rule(r).unwrap()).collect::<Vec<Rule>>())
-            .unwrap(),
+        rules: RuleSet::new(
+            rules
+                .iter()
+                .map(|r| parse_rule(r).unwrap())
+                .collect::<Vec<Rule>>(),
+        )
+        .unwrap(),
         preds: preds.to_vec(),
     }
 }
@@ -139,8 +144,7 @@ fn overlay_scans_agree_with_recomputation() {
             let goals = ground_goals(&prog.preds);
             goals.into_iter().next().unwrap()
         };
-        let engine =
-            OverlayEngine::updated(&edb, &prog.rules, vec![new_fact.clone()], vec![]);
+        let engine = OverlayEngine::updated(&edb, &prog.rules, vec![new_fact.clone()], vec![]);
         let mut applied = edb.clone();
         applied.insert(&new_fact);
         let truth = Model::compute(&applied, &prog.rules);

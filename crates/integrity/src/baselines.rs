@@ -19,13 +19,13 @@
 
 use crate::checker::{CheckReport, CheckStats, Checker, Violation};
 use crate::delta::pattern_key;
-use crate::simplify::simplified_instances;
 use crate::relevance::RelevanceIndex;
+use crate::simplify::simplified_instances;
 use std::collections::{HashMap, HashSet, VecDeque};
-use uniform_logic::{match_atom, Fact, Literal, Rq, Subst, Sym};
 use uniform_datalog::{
     satisfies_closed, solve_conjunction, Database, Interp, Model, OverlayEngine, Transaction,
 };
+use uniform_logic::{match_atom, Fact, Literal, Rq, Subst, Sym};
 
 /// Baseline A: apply the update to a copy and evaluate the full
 /// constraint set over the recomputed canonical model.
@@ -34,7 +34,10 @@ pub fn full_recheck(db: &Database, tx: &Transaction) -> CheckReport {
     tx.apply(&mut edb);
     let model = Model::compute(&edb, db.rules());
     let mut violations = Vec::new();
-    let mut stats = CheckStats { new_materializations: 1, ..CheckStats::default() };
+    let mut stats = CheckStats {
+        new_materializations: 1,
+        ..CheckStats::default()
+    };
     for c in db.constraints() {
         stats.instances_evaluated += 1;
         if !satisfies_closed(&model, &c.rq) {
@@ -45,7 +48,11 @@ pub fn full_recheck(db: &Database, tx: &Transaction) -> CheckReport {
             });
         }
     }
-    CheckReport { satisfied: violations.is_empty(), violations, stats }
+    CheckReport {
+        satisfied: violations.is_empty(),
+        violations,
+        stats,
+    }
 }
 
 /// Baseline B: interleaved induced-update checking.
@@ -59,7 +66,11 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
     let mut stats = CheckStats::default();
     let (adds, dels) = tx.net_effect(db.facts());
     if adds.is_empty() && dels.is_empty() {
-        return CheckReport { satisfied: true, violations: Vec::new(), stats };
+        return CheckReport {
+            satisfied: true,
+            violations: Vec::new(),
+            stats,
+        };
     }
     let current = db.model();
     let index = RelevanceIndex::build(db.constraints());
@@ -97,8 +108,7 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
             debug_assert!(si.instance.is_closed());
             stats.instances_evaluated += 1;
             // Fresh engine per evaluation: no sharing of any kind.
-            let engine =
-                OverlayEngine::updated(db.facts(), db.rules(), adds.clone(), dels.clone());
+            let engine = OverlayEngine::updated(db.facts(), db.rules(), adds.clone(), dels.clone());
             let ok = satisfies_closed(&engine, &si.instance);
             stats.new_materializations += engine.materialization_count();
             if !ok {
@@ -111,11 +121,18 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
         }
 
         // Generate successors through every rule body occurrence.
-        let delta_fact = delta_lit.atom.to_fact().expect("induced updates are ground");
+        let delta_fact = delta_lit
+            .atom
+            .to_fact()
+            .expect("induced updates are ground");
         for positive_head in [true, false] {
             // positive head ⇐ same-sign body occurrence; negative head ⇐
             // opposite sign (Def. 4 / Def. 5 polarity rules).
-            let occ_sign = if positive_head { delta_lit.positive } else { !delta_lit.positive };
+            let occ_sign = if positive_head {
+                delta_lit.positive
+            } else {
+                !delta_lit.positive
+            };
             for (rule, _, occ) in db.rules().body_occurrences(delta_lit.atom.pred, occ_sign) {
                 let rule = rule.rename_apart();
                 let body_atom = &rule.body[occ.position].atom;
@@ -127,8 +144,11 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
                     continue;
                 };
                 let residue = rule.body_without(occ.position);
-                let residue_interp: &dyn Interp =
-                    if positive_head { &generator } else { current.as_ref() };
+                let residue_interp: &dyn Interp = if positive_head {
+                    &generator
+                } else {
+                    current.as_ref()
+                };
                 let mut produced: Vec<Fact> = Vec::new();
                 solve_conjunction(residue_interp, &residue, &mut binding, &mut |s| {
                     if let Some(head) = s.ground_atom(&rule.head) {
@@ -154,7 +174,11 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
     }
 
     stats.new_materializations += generator.materialization_count();
-    CheckReport { satisfied: violations.is_empty(), violations, stats }
+    CheckReport {
+        satisfied: violations.is_empty(),
+        violations,
+        stats,
+    }
 }
 
 /// Number of induced updates the interleaved method would compute for a
@@ -183,7 +207,11 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
 
     let (adds, dels) = tx.net_effect(db.facts());
     if adds.is_empty() && dels.is_empty() {
-        return CheckReport { satisfied: true, violations: Vec::new(), stats };
+        return CheckReport {
+            satisfied: true,
+            violations: Vec::new(),
+            stats,
+        };
     }
     let current = db.model();
     let updated = OverlayEngine::updated(db.facts(), db.rules(), adds, dels);
@@ -203,7 +231,9 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
         for answer in answers {
             let fact = answer.atom.to_fact().expect("answers are ground");
             for uc in members {
-                let Some(theta) = match_atom(&uc.trigger.atom, &fact) else { continue };
+                let Some(theta) = match_atom(&uc.trigger.atom, &fact) else {
+                    continue;
+                };
                 let ground = uc.instance.apply(&theta);
                 let holds = match verdict_cache.get(&ground) {
                     Some(&v) => {
@@ -229,7 +259,11 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
     }
 
     stats.new_materializations = updated.materialization_count();
-    CheckReport { satisfied: violations.is_empty(), violations, stats }
+    CheckReport {
+        satisfied: violations.is_empty(),
+        violations,
+        stats,
+    }
 }
 
 /// `new`-based trigger enumeration: all instances of the pattern true in
@@ -243,7 +277,10 @@ fn enumerate_new_answers(
     let mut out = Vec::new();
     let state: &dyn Interp = if pattern.positive { updated } else { current };
     state.scan(pattern.atom.pred, &bound, &mut |args| {
-        let f = Fact { pred: pattern.atom.pred, args: args.to_vec() };
+        let f = Fact {
+            pred: pattern.atom.pred,
+            args: args.to_vec(),
+        };
         if match_atom(&pattern.atom, &f).is_some() {
             out.push(Literal::new(pattern.positive, f.to_atom()));
         }
@@ -271,8 +308,8 @@ pub fn verdicts_agree(db: &Database, tx: &Transaction) -> Result<bool, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uniform_logic::parse_literal;
     use uniform_datalog::Update;
+    use uniform_logic::parse_literal;
 
     fn upd(src: &str) -> Update {
         Update::from_literal(&parse_literal(src).unwrap()).unwrap()
@@ -296,12 +333,12 @@ mod tests {
     fn all_methods_agree_on_university() {
         let d = db(UNIVERSITY);
         for update in [
-            "assign(c,d)",      // violates nothing? c not emp; assigned_depts ok
-            "emp(c)",           // c becomes idle → violation
-            "not assign(a,d)",  // a becomes idle → violation
-            "not dept(d)",      // everyone idle + dangling assigns → violation
-            "assign(a,e)",      // e is not a dept → violation
-            "not emp(b)",       // fine
+            "assign(c,d)",     // violates nothing? c not emp; assigned_depts ok
+            "emp(c)",          // c becomes idle → violation
+            "not assign(a,d)", // a becomes idle → violation
+            "not dept(d)",     // everyone idle + dangling assigns → violation
+            "assign(a,e)",     // e is not a dept → violation
+            "not emp(b)",      // fine
         ] {
             let tx = Transaction::single(upd(update));
             verdicts_agree(&d, &tx).unwrap_or_else(|e| panic!("{e}"));
@@ -326,7 +363,9 @@ mod tests {
     fn interleaved_computes_irrelevant_induced_updates() {
         // §3.2 drawback 1: rule r(X) ← q(X,Y) ∧ p(Y,Z) with no constraint
         // on r. The interleaved method still derives every r(X).
-        let mut src = String::from("r(X) :- q(X,Y), p(Y,Z).\nconstraint c: forall X, Y: p(X,Y) -> pbase(X).\npbase(a).\n");
+        let mut src = String::from(
+            "r(X) :- q(X,Y), p(Y,Z).\nconstraint c: forall X, Y: p(X,Y) -> pbase(X).\npbase(a).\n",
+        );
         for i in 0..20 {
             src.push_str(&format!("q(x{i}, a).\n"));
         }
@@ -373,7 +412,10 @@ mod tests {
         let d = db(UNIVERSITY);
         let rep = full_recheck(&d, &Transaction::single(upd("emp(c)")));
         assert!(!rep.satisfied);
-        assert_eq!(rep.stats.instances_evaluated, 2, "both constraints evaluated");
+        assert_eq!(
+            rep.stats.instances_evaluated, 2,
+            "both constraints evaluated"
+        );
     }
 
     #[test]

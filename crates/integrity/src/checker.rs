@@ -19,11 +19,13 @@ use crate::delta::{pattern_key, DeltaEngine, DeltaStats};
 use crate::potential::potential_updates;
 use crate::relevance::RelevanceIndex;
 use crate::simplify::{simplified_instances, SimplifiedInstance};
+use parking_lot::Mutex;
 use std::collections::HashMap;
-use uniform_logic::{match_atom, Literal, Rq};
+use std::sync::{Arc, OnceLock};
 use uniform_datalog::{
-    satisfies_closed, Database, Interp, OverlayEngine, Transaction, Update,
+    par::par_map, satisfies_closed, Database, Interp, OverlayEngine, Transaction, Update,
 };
+use uniform_logic::{match_atom, Literal, Rq};
 
 /// Options controlling the evaluation phase (ablation switches for the
 /// experiments).
@@ -110,6 +112,16 @@ pub struct CheckStats {
     pub plan_reordered: usize,
 }
 
+/// Evaluation result of one trigger group (the fan-out unit of the
+/// parallel evaluation phase).
+#[derive(Default)]
+struct GroupOutcome {
+    violations: Vec<Violation>,
+    evaluated: usize,
+    shared: usize,
+    materializations: usize,
+}
+
 /// Result of an integrity check.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -120,7 +132,11 @@ pub struct CheckReport {
 
 impl CheckReport {
     fn satisfied_with(stats: CheckStats) -> CheckReport {
-        CheckReport { satisfied: true, violations: Vec::new(), stats }
+        CheckReport {
+            satisfied: true,
+            violations: Vec::new(),
+            stats,
+        }
     }
 }
 
@@ -137,7 +153,11 @@ impl<'a> Checker<'a> {
     }
 
     pub fn with_options(db: &'a Database, options: CheckOptions) -> Checker<'a> {
-        Checker { db, index: RelevanceIndex::build(db.constraints()), options }
+        Checker {
+            db,
+            index: RelevanceIndex::build(db.constraints()),
+            options,
+        }
     }
 
     pub fn options(&self) -> CheckOptions {
@@ -166,13 +186,24 @@ impl<'a> Checker<'a> {
         }
         let mut update_constraints = Vec::new();
         for lit in &potential {
-            for SimplifiedInstance { constraint, trigger, instance } in
-                simplified_instances(&self.index, self.db.constraints(), lit)
+            for SimplifiedInstance {
+                constraint,
+                trigger,
+                instance,
+            } in simplified_instances(&self.index, self.db.constraints(), lit)
             {
-                update_constraints.push(UpdateConstraint { constraint, trigger, instance });
+                update_constraints.push(UpdateConstraint {
+                    constraint,
+                    trigger,
+                    instance,
+                });
             }
         }
-        CompiledCheck { potential, update_constraints, truncated }
+        CompiledCheck {
+            potential,
+            update_constraints,
+            truncated,
+        }
     }
 
     /// Phase 2: evaluate a compiled check against the database and the
@@ -213,7 +244,11 @@ impl<'a> Checker<'a> {
                     let (instance, report) = planner.optimize_with_report(&uc.instance);
                     stats.plan_pruned += report.pruned;
                     stats.plan_reordered += report.reordered;
-                    UpdateConstraint { constraint: uc.constraint, trigger: uc.trigger.clone(), instance }
+                    UpdateConstraint {
+                        constraint: uc.constraint,
+                        trigger: uc.trigger.clone(),
+                        instance,
+                    }
                 })
                 .collect();
             &optimized
@@ -233,11 +268,22 @@ impl<'a> Checker<'a> {
         let mut ordered_groups: Vec<(&String, &Vec<&UpdateConstraint>)> = groups.iter().collect();
         ordered_groups.sort_by_key(|(key, _)| key.as_str());
 
-        let mut violations = Vec::new();
-        let mut verdict_cache: HashMap<Rq, bool> = HashMap::new();
-        'outer: for (_, members) in ordered_groups {
+        // Per-group evaluation, shared by the sequential (fail-fast) and
+        // parallel paths. Verdicts are cached across groups; the shared
+        // engines (`updated`, `delta`) are Sync, so groups can evaluate
+        // concurrently. `stop_early` reports whether a violation should
+        // end the evaluation after this group.
+        //
+        // Each distinct ground instance gets a `OnceLock` slot: exactly
+        // one group evaluates it (racers on the *same* instance block on
+        // that slot, never on the whole cache), so `instances_evaluated`
+        // = distinct instances and `instances_shared` = re-occurrences —
+        // deterministic totals however the groups are scheduled.
+        let verdict_cache: Mutex<HashMap<Rq, Arc<OnceLock<bool>>>> = Mutex::new(HashMap::new());
+        let eval_group = |members: &[&UpdateConstraint], stop_early: bool| -> GroupOutcome {
+            let mut outcome = GroupOutcome::default();
             let representative = &members[0].trigger;
-            for answer in delta.delta(representative) {
+            'group: for answer in delta.delta(representative) {
                 let fact = answer.atom.to_fact().expect("delta answers are ground");
                 for uc in members {
                     let Some(theta) = match_atom(&uc.trigger.atom, &fact) else {
@@ -246,24 +292,38 @@ impl<'a> Checker<'a> {
                     let ground = uc.instance.apply(&theta);
                     debug_assert!(ground.is_closed(), "instance not closed: {ground}");
                     let holds = if self.options.share_evaluations {
-                        match verdict_cache.get(&ground) {
-                            Some(&v) => {
-                                stats.instances_shared += 1;
-                                v
+                        // Probe before cloning: hits (the common case the
+                        // cache exists for) must not deep-clone the
+                        // ground formula just to look it up.
+                        let slot = {
+                            let mut cache = verdict_cache.lock();
+                            match cache.get(&ground) {
+                                Some(slot) => slot.clone(),
+                                None => {
+                                    let slot = Arc::new(OnceLock::new());
+                                    cache.insert(ground.clone(), slot.clone());
+                                    slot
+                                }
                             }
-                            None => {
-                                stats.instances_evaluated += 1;
-                                let v = satisfies_closed(&updated, &ground);
-                                verdict_cache.insert(ground.clone(), v);
-                                v
-                            }
+                        };
+                        // Evaluate outside the cache lock.
+                        let mut evaluated_here = false;
+                        let v = *slot.get_or_init(|| {
+                            evaluated_here = true;
+                            satisfies_closed(&updated, &ground)
+                        });
+                        if evaluated_here {
+                            outcome.evaluated += 1;
+                        } else {
+                            outcome.shared += 1;
                         }
+                        v
                     } else {
                         // Independent evaluation (the interleaved-style
                         // drawback of §3.2): a fresh engine per instance,
                         // sharing nothing — no verdict cache, no subquery
                         // memo.
-                        stats.instances_evaluated += 1;
+                        outcome.evaluated += 1;
                         let fresh = OverlayEngine::updated(
                             self.db.facts(),
                             self.db.rules(),
@@ -271,27 +331,59 @@ impl<'a> Checker<'a> {
                             updated_dels.clone(),
                         );
                         let v = satisfies_closed(&fresh, &ground);
-                        stats.new_materializations += fresh.materialization_count();
+                        outcome.materializations += fresh.materialization_count();
                         v
                     };
                     if !holds {
-                        violations.push(Violation {
+                        outcome.violations.push(Violation {
                             constraint: self.db.constraints()[uc.constraint].name.clone(),
                             culprit: Some(answer.clone()),
                             instance: ground,
                         });
-                        if self.options.fail_fast {
-                            break 'outer;
+                        if stop_early {
+                            break 'group;
                         }
                     }
                 }
             }
+            outcome
+        };
+
+        let outcomes: Vec<GroupOutcome> = if self.options.fail_fast {
+            // Sequential with early exit at the first violation.
+            let mut out = Vec::new();
+            for (_, members) in &ordered_groups {
+                let outcome = eval_group(members, true);
+                let stop = !outcome.violations.is_empty();
+                out.push(outcome);
+                if stop {
+                    break;
+                }
+            }
+            out
+        } else {
+            // Every group must be evaluated anyway: fan out across
+            // threads. Outcomes come back in group order, so the
+            // violation list is deterministic regardless of scheduling.
+            par_map(&ordered_groups, |(_, members)| eval_group(members, false))
+        };
+
+        let mut violations = Vec::new();
+        for outcome in outcomes {
+            violations.extend(outcome.violations);
+            stats.instances_evaluated += outcome.evaluated;
+            stats.instances_shared += outcome.shared;
+            stats.new_materializations += outcome.materializations;
         }
 
         stats.delta = delta.stats();
         stats.subquery_memo_hits = updated.memo_hits();
         stats.new_materializations += updated.materialization_count();
-        CheckReport { satisfied: violations.is_empty(), violations, stats }
+        CheckReport {
+            satisfied: violations.is_empty(),
+            violations,
+            stats,
+        }
     }
 
     /// Both phases for a transaction.
@@ -323,7 +415,9 @@ impl<'a> Checker<'a> {
 /// Sanity helper used by tests and the satisfiability layer: does `interp`
 /// satisfy every constraint of `db` outright?
 pub fn all_constraints_hold(db: &Database, interp: &dyn Interp) -> bool {
-    db.constraints().iter().all(|c| satisfies_closed(interp, &c.rq))
+    db.constraints()
+        .iter()
+        .all(|c| satisfies_closed(interp, &c.rq))
 }
 
 #[cfg(test)]
@@ -350,7 +444,10 @@ mod tests {
         let rep = checker.check_update(&upd("p(b)"));
         assert!(!rep.satisfied);
         assert_eq!(rep.violations[0].constraint, "c1");
-        assert_eq!(rep.violations[0].culprit, Some(parse_literal("p(b)").unwrap()));
+        assert_eq!(
+            rep.violations[0].culprit,
+            Some(parse_literal("p(b)").unwrap())
+        );
     }
 
     #[test]
@@ -361,7 +458,11 @@ mod tests {
         assert!(!rep.satisfied);
         // Deleting when another employee remains is fine.
         let d2 = db("employee(a). employee(b). constraint lively: exists X: employee(X).");
-        assert!(Checker::new(&d2).check_update(&upd("not employee(a)")).satisfied);
+        assert!(
+            Checker::new(&d2)
+                .check_update(&upd("not employee(a)"))
+                .satisfied
+        );
     }
 
     #[test]
@@ -381,7 +482,11 @@ mod tests {
             enrolled(X, cs) :- student(X).
             constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
         ");
-        assert!(Checker::new(&d2).check_update(&upd("student(jack)")).satisfied);
+        assert!(
+            Checker::new(&d2)
+                .check_update(&upd("student(jack)"))
+                .satisfied
+        );
     }
 
     #[test]
@@ -455,7 +560,10 @@ mod tests {
         let bad = Transaction::single(upd("p(b)"));
         let rep = Checker::check_and_apply(&mut d, &bad);
         assert!(!rep.satisfied);
-        assert!(!d.holds(&uniform_logic::Fact::parse_like("p", &["b"])), "rejected update not applied");
+        assert!(
+            !d.holds(&uniform_logic::Fact::parse_like("p", &["b"])),
+            "rejected update not applied"
+        );
         let good = Transaction::single(upd("p(a)"));
         assert!(Checker::check_and_apply(&mut d, &good).satisfied);
         assert!(d.holds(&uniform_logic::Fact::parse_like("p", &["a"])));
@@ -469,7 +577,13 @@ mod tests {
             constraint busy: forall X: emp(X) -> (exists Y: assign(X,Y)).
         ");
         let checker = Checker::new(&d);
-        for update in ["assign(b,e)", "not assign(a,d)", "emp(c)", "not emp(b)", "dept(e)"] {
+        for update in [
+            "assign(b,e)",
+            "not assign(a,d)",
+            "emp(c)",
+            "not emp(b)",
+            "dept(e)",
+        ] {
             let u = upd(update);
             let fast = checker.check_update(&u).satisfied;
             // Oracle: apply on a copy and fully re-check.
@@ -495,7 +609,10 @@ mod tests {
         assert!(rep.stats.instances_shared > 0, "stats: {:?}", rep.stats);
         let unshared = Checker::with_options(
             &d,
-            CheckOptions { share_evaluations: false, ..CheckOptions::default() },
+            CheckOptions {
+                share_evaluations: false,
+                ..CheckOptions::default()
+            },
         );
         let rep2 = unshared.check_update(&upd("student(jack)"));
         assert!(!rep2.satisfied);
@@ -513,9 +630,19 @@ mod tests {
         let plain = Checker::new(&d);
         let tuned = Checker::with_options(
             &d,
-            CheckOptions { optimize_instances: true, ..CheckOptions::default() },
+            CheckOptions {
+                optimize_instances: true,
+                ..CheckOptions::default()
+            },
         );
-        for update in ["p(a)", "p(b)", "p(zzz)", "emp(c)", "not assign(a,d)", "dept(e)"] {
+        for update in [
+            "p(a)",
+            "p(b)",
+            "p(zzz)",
+            "emp(c)",
+            "not assign(a,d)",
+            "dept(e)",
+        ] {
             let u = upd(update);
             let a = plain.check_update(&u);
             let b = tuned.check_update(&u);
@@ -529,8 +656,13 @@ mod tests {
             constraint a: forall X: p(X) -> q(X).
             constraint b: forall X: p(X) -> r(X).
         ");
-        let checker =
-            Checker::with_options(&d, CheckOptions { fail_fast: true, ..CheckOptions::default() });
+        let checker = Checker::with_options(
+            &d,
+            CheckOptions {
+                fail_fast: true,
+                ..CheckOptions::default()
+            },
+        );
         let rep = checker.check_update(&upd("p(a)"));
         assert!(!rep.satisfied);
         assert_eq!(rep.violations.len(), 1);
@@ -548,8 +680,7 @@ mod tests {
         // Make q(a) true, then evaluate: satisfied.
         d.insert_fact(&uniform_logic::Fact::parse_like("q", &["a"]));
         let checker2 = Checker::new(&d);
-        let rep = checker2
-            .evaluate(&compiled, &Transaction::single(upd("p(a)")));
+        let rep = checker2.evaluate(&compiled, &Transaction::single(upd("p(a)")));
         assert!(rep.satisfied);
     }
 }

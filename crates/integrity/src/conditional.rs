@@ -19,10 +19,8 @@
 use crate::checker::{CheckReport, Checker, CompiledCheck};
 use std::collections::HashSet;
 use std::fmt;
-use uniform_logic::{
-    parse_literal, parse_query, Literal, LogicError, RuleError, Subst, Sym,
-};
 use uniform_datalog::{solve_conjunction, Interp, Transaction, Update};
+use uniform_logic::{parse_literal, parse_query, Literal, LogicError, RuleError, Subst, Sym};
 
 /// An update pattern guarded by a conjunctive condition.
 ///
@@ -302,7 +300,10 @@ mod tests {
         d.insert_fact(&uniform_logic::Fact::parse_like("emp", &["a"]));
         let checker = Checker::new(&d);
         let tx = checker.expand_conditional(&cu);
-        assert!(!checker.evaluate(&compiled, &tx).satisfied, "audit(a) lacks logged(a)");
+        assert!(
+            !checker.evaluate(&compiled, &tx).satisfied,
+            "audit(a) lacks logged(a)"
+        );
 
         d.insert_fact(&uniform_logic::Fact::parse_like("logged", &["a"]));
         let checker = Checker::new(&d);

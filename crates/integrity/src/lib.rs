@@ -58,8 +58,8 @@ pub use checker::{
 };
 pub use conditional::ConditionalUpdate;
 pub use delta::{induced_updates_by_diff, pattern_key, DeltaEngine, DeltaStats};
-pub use rule_update::{check_rule_update, RuleUpdate, RuleUpdateChecker};
 pub use potential::{direct_dependents, potential_updates, PotentialUpdates};
 pub use registry::CompiledRegistry;
 pub use relevance::{RelevanceIndex, RelevantOccurrence};
+pub use rule_update::{check_rule_update, RuleUpdate, RuleUpdateChecker};
 pub use simplify::{simplified_instances, SimplifiedInstance};

@@ -10,8 +10,8 @@
 //! closure; §3.3.1 notes this is *necessary* for termination on recursive
 //! rules and desirable otherwise.
 
-use uniform_logic::{unify_atoms, Literal, MinimalLiteralSet};
 use uniform_datalog::RuleSet;
+use uniform_logic::{unify_atoms, Literal, MinimalLiteralSet};
 
 /// Result of the potential-update computation.
 #[derive(Clone, Debug)]
@@ -77,7 +77,11 @@ pub fn potential_updates(rules: &RuleSet, seed: &Literal, limit: usize) -> Poten
             }
         }
     }
-    PotentialUpdates { literals: set.into_vec(), steps, truncated }
+    PotentialUpdates {
+        literals: set.into_vec(),
+        steps,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -131,10 +135,7 @@ mod tests {
 
     #[test]
     fn chains_propagate() {
-        let out = potentials(
-            &["b(X) :- a(X).", "c(X) :- b(X).", "d(X) :- c(X)."],
-            "a(k)",
-        );
+        let out = potentials(&["b(X) :- a(X).", "c(X) :- b(X).", "d(X) :- c(X)."], "a(k)");
         assert_eq!(out, vec!["+a,c:k", "+b,c:k", "+c,c:k", "+d,c:k"]);
     }
 

@@ -15,16 +15,16 @@
 
 use crate::checker::{CheckReport, Checker, CompiledCheck};
 use std::collections::HashMap;
-use std::rc::Rc;
-use uniform_logic::{Atom, Literal, Sym, Term};
+use std::sync::Arc;
 use uniform_datalog::Transaction;
+use uniform_logic::{Atom, Literal, Sym, Term};
 
 /// Cache of compiled checks, keyed by the generalized shape of the
 /// transaction (sorted, deduplicated `(predicate, arity, polarity)`
 /// triples).
 #[derive(Default)]
 pub struct CompiledRegistry {
-    cache: HashMap<String, Rc<CompiledCheck>>,
+    cache: HashMap<String, Arc<CompiledCheck>>,
     hits: usize,
     misses: usize,
 }
@@ -56,8 +56,9 @@ impl CompiledRegistry {
     /// The generalized literal of an update shape: fresh variables in
     /// every argument position.
     fn generalize(pred: Sym, arity: usize, positive: bool) -> Literal {
-        let args: Vec<Term> =
-            (0..arity).map(|i| Term::Var(Sym::new(&format!("_G{i}")))).collect();
+        let args: Vec<Term> = (0..arity)
+            .map(|i| Term::Var(Sym::new(&format!("_G{i}"))))
+            .collect();
         Literal::new(positive, Atom::new(pred, args))
     }
 
@@ -79,11 +80,7 @@ impl CompiledRegistry {
 
     /// Fetch (or compile and cache) the compiled check for the shape of
     /// `tx` against `checker`.
-    pub fn compiled_for(
-        &mut self,
-        checker: &Checker<'_>,
-        tx: &Transaction,
-    ) -> Rc<CompiledCheck> {
+    pub fn compiled_for(&mut self, checker: &Checker<'_>, tx: &Transaction) -> Arc<CompiledCheck> {
         let (key, shapes) = Self::shape_key(tx);
         if let Some(hit) = self.cache.get(&key) {
             self.hits += 1;
@@ -94,7 +91,7 @@ impl CompiledRegistry {
             .into_iter()
             .map(|(p, a, pos)| Self::generalize(p, a, pos))
             .collect();
-        let compiled = Rc::new(checker.compile(&literals));
+        let compiled = Arc::new(checker.compile(&literals));
         self.cache.insert(key, compiled.clone());
         compiled
     }
@@ -108,14 +105,14 @@ impl CompiledRegistry {
         &mut self,
         checker: &Checker<'_>,
         cu: &crate::conditional::ConditionalUpdate,
-    ) -> Rc<CompiledCheck> {
+    ) -> Arc<CompiledCheck> {
         let key = format!("where:{}", crate::delta::pattern_key(cu.literal()));
         if let Some(hit) = self.cache.get(&key) {
             self.hits += 1;
             return hit.clone();
         }
         self.misses += 1;
-        let compiled = Rc::new(checker.compile_conditional(cu));
+        let compiled = Arc::new(checker.compile_conditional(cu));
         self.cache.insert(key, compiled.clone());
         compiled
     }
@@ -149,8 +146,8 @@ impl Checker<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uniform_logic::parse_literal;
     use uniform_datalog::{Database, Update};
+    use uniform_logic::parse_literal;
 
     fn upd(src: &str) -> Update {
         Update::from_literal(&parse_literal(src).unwrap()).unwrap()
@@ -242,7 +239,11 @@ mod tests {
         let checker = Checker::new(&d);
         let mut reg = CompiledRegistry::new();
         let cu = ConditionalUpdate::parse("student(X) where candidate(X)").unwrap();
-        assert!(checker.check_conditional_with_registry(&mut reg, &cu).satisfied);
+        assert!(
+            checker
+                .check_conditional_with_registry(&mut reg, &cu)
+                .satisfied
+        );
         // Same shape, different variable name: cache hit.
         let cu2 = ConditionalUpdate::parse("student(Y) where candidate(Y)").unwrap();
         let direct = checker.check_conditional(&cu2);
@@ -253,7 +254,10 @@ mod tests {
         // A different pattern (constant position) compiles separately.
         let cu3 = ConditionalUpdate::parse("not attends(X, ddb) where attends(X, ddb)").unwrap();
         let rep = checker.check_conditional_with_registry(&mut reg, &cu3);
-        assert!(!rep.satisfied, "unenrolling everyone violates cdb for students");
+        assert!(
+            !rep.satisfied,
+            "unenrolling everyone violates cdb for students"
+        );
         assert_eq!(reg.len(), 2);
     }
 

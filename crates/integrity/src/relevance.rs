@@ -49,7 +49,11 @@ impl RelevanceIndex {
             occurrences.push(occs);
             universals.push(c.rq.instantiable_universals());
         }
-        RelevanceIndex { by_pred, occurrences, universals }
+        RelevanceIndex {
+            by_pred,
+            occurrences,
+            universals,
+        }
     }
 
     /// All occurrences making a constraint relevant to `update` (Def. 2):
@@ -62,7 +66,11 @@ impl RelevanceIndex {
             for &(ci, oi) in entries {
                 let occ = &self.occurrences[ci][oi];
                 if let Some(mgu) = unify_atoms(&occ.literal.atom, &complement.atom) {
-                    out.push(RelevantOccurrence { constraint: ci, occurrence: occ, mgu });
+                    out.push(RelevantOccurrence {
+                        constraint: ci,
+                        occurrence: occ,
+                        mgu,
+                    });
                 }
             }
         }
@@ -104,7 +112,10 @@ mod tests {
         srcs.iter()
             .enumerate()
             .map(|(i, s)| {
-                Constraint::new(format!("c{}", i + 1), normalize(&parse_formula(s).unwrap()).unwrap())
+                Constraint::new(
+                    format!("c{}", i + 1),
+                    normalize(&parse_formula(s).unwrap()).unwrap(),
+                )
             })
             .collect()
     }
@@ -159,13 +170,17 @@ mod tests {
             "forall X, Y: member(X,Y) -> (forall Z: leads(Z,Y) -> subordinate(X,Z))",
         ]);
         let idx = RelevanceIndex::build(&cs);
-        let rel = idx.relevant(&Literal::new(true, uniform_logic::Atom::parse_like("member", &["V", "W"])));
+        let rel = idx.relevant(&Literal::new(
+            true,
+            uniform_logic::Atom::parse_like("member", &["V", "W"]),
+        ));
         assert_eq!(rel.len(), 1);
     }
 
     #[test]
     fn universals_follow_existential_governance() {
-        let cs = constraints(&["forall X: p(X) -> (exists Y: q(X,Y) & (forall Z: r(Y,Z) -> t(Z)))"]);
+        let cs =
+            constraints(&["forall X: p(X) -> (exists Y: q(X,Y) & (forall Z: r(Y,Z) -> t(Z)))"]);
         let idx = RelevanceIndex::build(&cs);
         // X is instantiable; Z (inside ∃Y's scope) is not.
         let u: Vec<&str> = idx.universals(0).iter().map(|s| s.as_str()).collect();

@@ -36,10 +36,10 @@ use crate::relevance::RelevanceIndex;
 use crate::simplify::{simplified_instances, SimplifiedInstance};
 use std::collections::HashMap;
 use std::fmt;
-use uniform_logic::{match_atom, Fact, Literal, Rq};
 use uniform_datalog::{
     satisfies_closed, Database, Interp as _, Model, RuleSet, StratificationError,
 };
+use uniform_logic::{match_atom, Fact, Literal, Rq};
 
 /// A change to the rule set.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -141,7 +141,11 @@ impl<'a> RuleUpdateChecker<'a> {
     }
 
     pub fn with_options(db: &'a Database, options: CheckOptions) -> RuleUpdateChecker<'a> {
-        RuleUpdateChecker { db, index: RelevanceIndex::build(db.constraints()), options }
+        RuleUpdateChecker {
+            db,
+            index: RelevanceIndex::build(db.constraints()),
+            options,
+        }
     }
 
     /// Phase 1: compile the update constraints of a rule update. Touches
@@ -156,10 +160,17 @@ impl<'a> RuleUpdateChecker<'a> {
         let seeds = potential_updates(&rules_after, &update.seed(), self.options.potential_limit);
         let mut update_constraints = Vec::new();
         for lit in &seeds.literals {
-            for SimplifiedInstance { constraint, trigger, instance } in
-                simplified_instances(&self.index, self.db.constraints(), lit)
+            for SimplifiedInstance {
+                constraint,
+                trigger,
+                instance,
+            } in simplified_instances(&self.index, self.db.constraints(), lit)
             {
-                update_constraints.push(UpdateConstraint { constraint, trigger, instance });
+                update_constraints.push(UpdateConstraint {
+                    constraint,
+                    trigger,
+                    instance,
+                });
             }
         }
         Ok(CompiledRuleUpdate {
@@ -182,12 +193,20 @@ impl<'a> RuleUpdateChecker<'a> {
             ..CheckStats::default()
         };
         let Some(rules_after) = &compiled.rules_after else {
-            return CheckReport { satisfied: true, violations: Vec::new(), stats };
+            return CheckReport {
+                satisfied: true,
+                violations: Vec::new(),
+                stats,
+            };
         };
         if compiled.check.update_constraints.is_empty() {
             // No constraint is relevant to anything the rule change can
             // reach: accepted without computing the new model.
-            return CheckReport { satisfied: true, violations: Vec::new(), stats };
+            return CheckReport {
+                satisfied: true,
+                violations: Vec::new(),
+                stats,
+            };
         }
 
         let before = self.db.model();
@@ -261,7 +280,11 @@ impl<'a> RuleUpdateChecker<'a> {
             }
         }
 
-        CheckReport { satisfied: violations.is_empty(), violations, stats }
+        CheckReport {
+            satisfied: violations.is_empty(),
+            violations,
+            stats,
+        }
     }
 
     /// Both phases.
@@ -275,12 +298,19 @@ impl<'a> RuleUpdateChecker<'a> {
 /// change: present in `after` but not `before` for positive patterns,
 /// the converse for negative ones.
 fn model_diff(pattern: &Literal, before: &Model, after: &Model) -> Vec<Fact> {
-    let (scan_in, absent_from) = if pattern.positive { (after, before) } else { (before, after) };
+    let (scan_in, absent_from) = if pattern.positive {
+        (after, before)
+    } else {
+        (before, after)
+    };
     let bound: Vec<Option<uniform_logic::Sym>> =
         pattern.atom.args.iter().map(|t| t.as_const()).collect();
     let mut out = Vec::new();
     scan_in.scan(pattern.atom.pred, &bound, &mut |args| {
-        let f = Fact { pred: pattern.atom.pred, args: args.to_vec() };
+        let f = Fact {
+            pred: pattern.atom.pred,
+            args: args.to_vec(),
+        };
         if match_atom(&pattern.atom, &f).is_some() && !absent_from.contains(&f) {
             out.push(f);
         }
@@ -347,8 +377,7 @@ mod tests {
             member(X, Y) :- leads(X, Y).
             constraint emp_member: forall X: employee(X) -> (exists Y: member(X, Y)).
         ");
-        let report =
-            check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
+        let report = check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
         assert!(!report.satisfied);
         assert_eq!(report.violations[0].constraint, "emp_member");
         assert_eq!(
@@ -364,8 +393,7 @@ mod tests {
             member(X, Y) :- leads(X, Y).
             constraint emp_member: forall X: employee(X) -> (exists Y: member(X, Y)).
         ");
-        let report =
-            check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
+        let report = check_rule_update(&d, &remove("member(X, Y) :- leads(X, Y).")).unwrap();
         assert!(report.satisfied, "{:?}", report.violations);
     }
 
@@ -430,8 +458,7 @@ mod tests {
             constraint noloop: forall X: tc(X, X) -> false.
         ");
         // Adding the transitive rule closes the cycle: tc(a,a) appears.
-        let report =
-            check_rule_update(&d, &add("tc(X, Z) :- tc(X, Y), edge(Y, Z).")).unwrap();
+        let report = check_rule_update(&d, &add("tc(X, Z) :- tc(X, Y), edge(Y, Z).")).unwrap();
         assert!(!report.satisfied);
         assert_eq!(report.violations[0].constraint, "noloop");
     }

@@ -68,7 +68,11 @@ pub fn simplified_instances(
                 .all(|v| trigger.vars().any(|w| w == *v)),
             "free variables of simplified instance {instance} not covered by trigger {trigger}"
         );
-        out.push(SimplifiedInstance { constraint: rel.constraint, trigger, instance });
+        out.push(SimplifiedInstance {
+            constraint: rel.constraint,
+            trigger,
+            instance,
+        });
     }
     out
 }
@@ -83,7 +87,10 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                Constraint::new(format!("c{}", i + 1), normalize(&parse_formula(s).unwrap()).unwrap())
+                Constraint::new(
+                    format!("c{}", i + 1),
+                    normalize(&parse_formula(s).unwrap()).unwrap(),
+                )
             })
             .collect();
         let index = RelevanceIndex::build(&constraints);
@@ -107,10 +114,12 @@ mod tests {
         // ∀Y ¬p(c1,Y) ∨ [∃Z q(c1,Z) ∧ ¬s(Y,Z,a)] — X bound to c1, the
         // existential Z left untouched, and *no* literal replaced by false
         // (q(c1,Z) is not identical to q(c1,c2)).
-        let (constraints, index) =
-            cs(&["forall X, Y: p(X,Y) -> (exists Z: q(X,Z) & ~s(Y,Z,a))"]);
-        let si =
-            simplified_instances(&index, &constraints, &parse_literal("not q(c1,c2)").unwrap());
+        let (constraints, index) = cs(&["forall X, Y: p(X,Y) -> (exists Z: q(X,Z) & ~s(Y,Z,a))"]);
+        let si = simplified_instances(
+            &index,
+            &constraints,
+            &parse_literal("not q(c1,c2)").unwrap(),
+        );
         assert_eq!(si.len(), 1);
         match &si[0].instance {
             Rq::Forall { vars, range, body } => {
@@ -143,8 +152,10 @@ mod tests {
         assert!(matches!(si[0].instance, Rq::Exists { .. }));
         // Insertion of employee(a) is not relevant (complement ¬employee(a)
         // does not unify with the positive occurrence).
-        assert!(simplified_instances(&index, &constraints, &parse_literal("employee(a)").unwrap())
-            .is_empty());
+        assert!(
+            simplified_instances(&index, &constraints, &parse_literal("employee(a)").unwrap())
+                .is_empty()
+        );
     }
 
     #[test]
@@ -172,9 +183,8 @@ mod tests {
     #[test]
     fn nonground_potential_update_links_trigger_and_instance() {
         // Potential update member(V,W) against §5 constraint (3).
-        let (constraints, index) = cs(&[
-            "forall X, Y: member(X,Y) -> (forall Z: leads(Z,Y) -> subordinate(X,Z))",
-        ]);
+        let (constraints, index) =
+            cs(&["forall X, Y: member(X,Y) -> (forall Z: leads(Z,Y) -> subordinate(X,Z))"]);
         let update = Literal::new(true, Atom::parse_like("member", &["V", "W"]));
         let si = simplified_instances(&index, &constraints, &update);
         assert_eq!(si.len(), 1);
@@ -197,11 +207,14 @@ mod tests {
     #[test]
     fn irrelevant_updates_produce_nothing() {
         let (constraints, index) = cs(&["forall X: p(X) -> q(X)"]);
-        assert!(simplified_instances(&index, &constraints, &parse_literal("r(a)").unwrap())
-            .is_empty());
+        assert!(
+            simplified_instances(&index, &constraints, &parse_literal("r(a)").unwrap()).is_empty()
+        );
         // Deletion of p: not relevant to C1.
-        assert!(simplified_instances(&index, &constraints, &parse_literal("not p(a)").unwrap())
-            .is_empty());
+        assert!(
+            simplified_instances(&index, &constraints, &parse_literal("not p(a)").unwrap())
+                .is_empty()
+        );
     }
 
     #[test]
@@ -221,6 +234,9 @@ mod tests {
         );
         let index = RelevanceIndex::build(std::slice::from_ref(&c));
         let si = simplified_instances(&index, &[c], &parse_literal("p(a)").unwrap());
-        assert!(si.is_empty(), "instances that simplify to true are dropped: {si:?}");
+        assert!(
+            si.is_empty(),
+            "instances that simplify to true are dropped: {si:?}"
+        );
     }
 }

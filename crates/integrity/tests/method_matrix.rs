@@ -3,9 +3,9 @@
 //! every update. Complements the random property oracle with exhaustive
 //! small grids.
 
-use uniform_logic::parse_literal;
 use uniform_datalog::{Database, Transaction, Update};
 use uniform_integrity::verdicts_agree;
+use uniform_logic::parse_literal;
 
 fn upd(src: &str) -> Update {
     Update::from_literal(&parse_literal(src).unwrap()).unwrap()
@@ -61,7 +61,10 @@ fn deductive_schema_grid() {
     )
     .unwrap();
     assert!(db.is_consistent());
-    exhaust(&db, &[("p", 1), ("base", 1), ("excused", 1), ("blessed", 1)]);
+    exhaust(
+        &db,
+        &[("p", 1), ("base", 1), ("excused", 1), ("blessed", 1)],
+    );
 }
 
 #[test]
@@ -94,7 +97,13 @@ fn two_member_transactions_agree() {
     .unwrap();
     assert!(db.is_consistent());
     let literals = [
-        "p(a)", "p(b)", "not p(a)", "base(c)", "not base(a)", "ok(b)", "not ok(a)",
+        "p(a)",
+        "p(b)",
+        "not p(a)",
+        "base(c)",
+        "not base(a)",
+        "ok(b)",
+        "not ok(a)",
     ];
     for l1 in &literals {
         for l2 in &literals {

@@ -13,7 +13,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -46,7 +50,11 @@ pub enum NormalizeError {
     /// A quantified variable is not covered by the quantifier's range
     /// (the formula is not in — and cannot be read as — restricted
     /// quantification form, so it is not guaranteed domain independent).
-    UnrestrictedVariable { var: Sym, quantifier: &'static str, formula: String },
+    UnrestrictedVariable {
+        var: Sym,
+        quantifier: &'static str,
+        formula: String,
+    },
     /// Integrity constraints must be closed formulas.
     FreeVariables { vars: Vec<Sym>, formula: String },
 }
@@ -54,7 +62,11 @@ pub enum NormalizeError {
 impl fmt::Display for NormalizeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NormalizeError::UnrestrictedVariable { var, quantifier, formula } => write!(
+            NormalizeError::UnrestrictedVariable {
+                var,
+                quantifier,
+                formula,
+            } => write!(
                 f,
                 "variable {var} of `{quantifier}` quantifier in `{formula}` is not restricted by \
                  a range literal; the formula is not domain independent"

@@ -177,9 +177,17 @@ pub enum Rq {
     And(Vec<Rq>),
     Or(Vec<Rq>),
     /// `∀ vars [ ¬range1 ∨ … ∨ ¬rangem ∨ body ]`
-    Forall { vars: Vec<Sym>, range: Vec<Atom>, body: Box<Rq> },
+    Forall {
+        vars: Vec<Sym>,
+        range: Vec<Atom>,
+        body: Box<Rq>,
+    },
     /// `∃ vars [ range1 ∧ … ∧ rangem ∧ body ]`
-    Exists { vars: Vec<Sym>, range: Vec<Atom>, body: Box<Rq> },
+    Exists {
+        vars: Vec<Sym>,
+        range: Vec<Atom>,
+        body: Box<Rq>,
+    },
 }
 
 /// One step of a path into an [`Rq`] tree.
@@ -252,7 +260,10 @@ impl Rq {
     fn collect_literals(&self, path: &mut RqPath, out: &mut Vec<RqLiteral>) {
         match self {
             Rq::True | Rq::False => {}
-            Rq::Lit(l) => out.push(RqLiteral { path: path.clone(), literal: l.clone() }),
+            Rq::Lit(l) => out.push(RqLiteral {
+                path: path.clone(),
+                literal: l.clone(),
+            }),
             Rq::And(gs) | Rq::Or(gs) => {
                 for (i, g) in gs.iter().enumerate() {
                     path.push(RqStep::Child(i));
@@ -263,7 +274,10 @@ impl Rq {
             Rq::Forall { range, body, .. } => {
                 for (i, a) in range.iter().enumerate() {
                     path.push(RqStep::Range(i));
-                    out.push(RqLiteral { path: path.clone(), literal: a.clone().neg() });
+                    out.push(RqLiteral {
+                        path: path.clone(),
+                        literal: a.clone().neg(),
+                    });
                     path.pop();
                 }
                 path.push(RqStep::Body);
@@ -273,7 +287,10 @@ impl Rq {
             Rq::Exists { range, body, .. } => {
                 for (i, a) in range.iter().enumerate() {
                     path.push(RqStep::Range(i));
-                    out.push(RqLiteral { path: path.clone(), literal: a.clone().pos() });
+                    out.push(RqLiteral {
+                        path: path.clone(),
+                        literal: a.clone().pos(),
+                    });
                     path.pop();
                 }
                 path.push(RqStep::Body);
@@ -364,15 +381,21 @@ impl Rq {
             Rq::And(gs) => Rq::and(gs.iter().map(|g| g.apply(s)).collect()),
             Rq::Or(gs) => Rq::or(gs.iter().map(|g| g.apply(s)).collect()),
             Rq::Forall { vars, range, body } => {
-                let remaining: Vec<Sym> =
-                    vars.iter().copied().filter(|&v| s.get(v).is_none()).collect();
+                let remaining: Vec<Sym> = vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| s.get(v).is_none())
+                    .collect();
                 let range: Vec<Atom> = range.iter().map(|a| s.apply_atom(a)).collect();
                 let body = body.apply(s);
                 Rq::forall_node(remaining, range, body)
             }
             Rq::Exists { vars, range, body } => {
-                let remaining: Vec<Sym> =
-                    vars.iter().copied().filter(|&v| s.get(v).is_none()).collect();
+                let remaining: Vec<Sym> = vars
+                    .iter()
+                    .copied()
+                    .filter(|&v| s.get(v).is_none())
+                    .collect();
                 let range: Vec<Atom> = range.iter().map(|a| s.apply_atom(a)).collect();
                 let body = body.apply(s);
                 Rq::exists_node(remaining, range, body)
@@ -390,7 +413,11 @@ impl Rq {
         } else if matches!(body, Rq::True) {
             Rq::True
         } else {
-            Rq::Forall { vars, range, body: Box::new(body) }
+            Rq::Forall {
+                vars,
+                range,
+                body: Box::new(body),
+            }
         }
     }
 
@@ -404,7 +431,11 @@ impl Rq {
         } else if matches!(body, Rq::False) {
             Rq::False
         } else {
-            Rq::Exists { vars, range, body: Box::new(body) }
+            Rq::Exists {
+                vars,
+                range,
+                body: Box::new(body),
+            }
         }
     }
 
@@ -466,7 +497,10 @@ impl Rq {
 
     /// All predicate symbols occurring in the formula.
     pub fn predicates(&self) -> BTreeSet<Sym> {
-        self.literals().into_iter().map(|o| o.literal.atom.pred).collect()
+        self.literals()
+            .into_iter()
+            .map(|o| o.literal.atom.pred)
+            .collect()
     }
 }
 
@@ -548,7 +582,10 @@ pub struct Constraint {
 
 impl Constraint {
     pub fn new(name: impl Into<String>, rq: Rq) -> Constraint {
-        Constraint { name: name.into(), rq }
+        Constraint {
+            name: name.into(),
+            rq,
+        }
     }
 }
 

@@ -36,10 +36,15 @@ pub mod unify;
 pub use error::{LogicError, NormalizeError, ParseError, RuleError};
 pub use formula::{Constraint, Formula, Rq, RqLiteral, RqPath, RqStep};
 pub use normalize::{normalize, normalize_open, rq_to_formula};
-pub use parser::{parse_fact, parse_formula, parse_literal, parse_program, parse_query, parse_rule, ProgramSource};
+pub use parser::{
+    parse_fact, parse_formula, parse_literal, parse_program, parse_query, parse_rule, ProgramSource,
+};
 pub use rule::Rule;
 pub use subst::Subst;
 pub use subsume::{atom_subsumes, literal_subsumes, MinimalLiteralSet};
 pub use symbol::Sym;
 pub use term::{Atom, Fact, Literal, Term};
-pub use unify::{match_atom, rename_atom, rename_literal, unify_atoms, unify_atoms_under, unify_literals, unify_terms};
+pub use unify::{
+    match_atom, rename_atom, rename_literal, unify_atoms, unify_atoms_under, unify_literals,
+    unify_terms,
+};

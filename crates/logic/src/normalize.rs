@@ -31,7 +31,10 @@ const DISTRIBUTE_CAP: usize = 256;
 pub fn normalize(f: &Formula) -> Result<Rq, NormalizeError> {
     let free = f.free_vars();
     if !free.is_empty() {
-        return Err(NormalizeError::FreeVariables { vars: free, formula: format!("{f}") });
+        return Err(NormalizeError::FreeVariables {
+            vars: free,
+            formula: format!("{f}"),
+        });
     }
     normalize_open(f)
 }
@@ -174,11 +177,7 @@ fn rectify(f: &Formula) -> Formula {
         unreachable!()
     }
 
-    fn go(
-        f: &Formula,
-        used: &mut HashSet<Sym>,
-        env: &mut HashMap<Sym, Vec<Sym>>,
-    ) -> Formula {
+    fn go(f: &Formula, used: &mut HashSet<Sym>, env: &mut HashMap<Sym, Vec<Sym>>) -> Formula {
         match f {
             Formula::True | Formula::False => f.clone(),
             Formula::Atom(a) => Formula::Atom(Atom {
@@ -202,10 +201,8 @@ fn rectify(f: &Formula) -> Formula {
             Formula::Iff(a, b) => Formula::iff(go(a, used, env), go(b, used, env)),
             Formula::Forall(vs, g) | Formula::Exists(vs, g) => {
                 let is_forall = matches!(f, Formula::Forall(..));
-                let renamed: Vec<(Sym, Sym)> = vs
-                    .iter()
-                    .map(|&v| (v, fresh_name(v, used)))
-                    .collect();
+                let renamed: Vec<(Sym, Sym)> =
+                    vs.iter().map(|&v| (v, fresh_name(v, used))).collect();
                 for &(v, r) in &renamed {
                     env.entry(v).or_default().push(r);
                 }
@@ -279,8 +276,12 @@ fn push_quant(forall: bool, x: Sym, g: Formula) -> Formula {
     };
     match g {
         // The connective the quantifier distributes over.
-        Formula::And(ps) if forall => fand(ps.into_iter().map(|p| push_quant(true, x, p)).collect()),
-        Formula::Or(ps) if !forall => for_(ps.into_iter().map(|p| push_quant(false, x, p)).collect()),
+        Formula::And(ps) if forall => {
+            fand(ps.into_iter().map(|p| push_quant(true, x, p)).collect())
+        }
+        Formula::Or(ps) if !forall => {
+            for_(ps.into_iter().map(|p| push_quant(false, x, p)).collect())
+        }
         // The dual connective: factor out parts not mentioning x.
         Formula::Or(ps) if forall => {
             let (with, without): (Vec<_>, Vec<_>) = ps.into_iter().partition(|p| free_in(p, x));
@@ -534,8 +535,7 @@ pub fn rq_to_formula(rq: &Rq) -> Formula {
             Formula::forall(vars.clone(), for_(parts))
         }
         Rq::Exists { vars, range, body } => {
-            let mut parts: Vec<Formula> =
-                range.iter().map(|a| Formula::Atom(a.clone())).collect();
+            let mut parts: Vec<Formula> = range.iter().map(|a| Formula::Atom(a.clone())).collect();
             parts.push(rq_to_formula(body));
             Formula::exists(vars.clone(), fand(parts))
         }
@@ -577,7 +577,10 @@ mod tests {
                     Rq::Exists { vars, range, body } => {
                         assert_eq!(vars.len(), 1);
                         assert_eq!(range, vec![Atom::parse_like("q", &["X", "Z"])]);
-                        assert_eq!(*body, Rq::Lit(Atom::parse_like("s", &["Y", "Z", "a"]).neg()));
+                        assert_eq!(
+                            *body,
+                            Rq::Lit(Atom::parse_like("s", &["Y", "Z", "a"]).neg())
+                        );
                     }
                     other => panic!("unexpected body: {other:?}"),
                 }
@@ -633,7 +636,10 @@ mod tests {
     #[test]
     fn rejects_open_constraint() {
         let f = parse_formula("p(X) -> q(X)").unwrap();
-        assert!(matches!(normalize(&f), Err(NormalizeError::FreeVariables { .. })));
+        assert!(matches!(
+            normalize(&f),
+            Err(NormalizeError::FreeVariables { .. })
+        ));
     }
 
     #[test]

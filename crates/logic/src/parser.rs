@@ -62,11 +62,21 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, col: self.col, message: message.into() }
+        ParseError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -122,7 +132,11 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let (line, col) = (self.line, self.col);
             let Some(b) = self.peek() else {
-                out.push(Spanned { tok: Tok::Eof, line, col });
+                out.push(Spanned {
+                    tok: Tok::Eof,
+                    line,
+                    col,
+                });
                 return Ok(out);
             };
             let tok = match b {
@@ -209,7 +223,10 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Parser, ParseError> {
-        Ok(Parser { toks: Lexer::new(src).tokenize()?, pos: 0 })
+        Ok(Parser {
+            toks: Lexer::new(src).tokenize()?,
+            pos: 0,
+        })
     }
 
     fn peek(&self) -> &Tok {
@@ -233,7 +250,11 @@ impl Parser {
 
     fn error(&self, message: impl Into<String>) -> ParseError {
         let s = &self.toks[self.pos];
-        ParseError { line: s.line, col: s.col, message: message.into() }
+        ParseError {
+            line: s.line,
+            col: s.col,
+            message: message.into(),
+        }
     }
 
     fn expect(&mut self, tok: Tok, what: &str) -> Result<(), ParseError> {
@@ -274,7 +295,9 @@ impl Parser {
                 match self.bump() {
                     Tok::Comma => continue,
                     Tok::RParen => break,
-                    other => return Err(self.error(format!("expected `,` or `)`, found {other:?}"))),
+                    other => {
+                        return Err(self.error(format!("expected `,` or `)`, found {other:?}")))
+                    }
                 }
             }
         }
@@ -339,7 +362,11 @@ impl Parser {
             }
             parts.push(self.and()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::Or(parts)
+        })
     }
 
     fn and(&mut self) -> Result<Formula, ParseError> {
@@ -356,7 +383,11 @@ impl Parser {
             }
             parts.push(self.unary()?);
         }
-        Ok(if parts.len() == 1 { parts.pop().unwrap() } else { Formula::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Formula::And(parts)
+        })
     }
 
     fn unary(&mut self) -> Result<Formula, ParseError> {

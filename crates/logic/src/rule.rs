@@ -46,11 +46,19 @@ impl Rule {
         let needs: Vec<Sym> = self
             .head
             .vars()
-            .chain(self.body.iter().filter(|l| !l.positive).flat_map(|l| l.vars().collect::<Vec<_>>()))
+            .chain(
+                self.body
+                    .iter()
+                    .filter(|l| !l.positive)
+                    .flat_map(|l| l.vars().collect::<Vec<_>>()),
+            )
             .collect();
         for v in needs {
             if !positive.contains(&v) {
-                return Err(RuleError { var: v, rule: format!("{self}") });
+                return Err(RuleError {
+                    var: v,
+                    rule: format!("{self}"),
+                });
             }
         }
         Ok(())
@@ -81,7 +89,11 @@ impl Rule {
         let mut map = HashMap::new();
         Rule {
             head: rename_atom(&self.head, &mut map),
-            body: self.body.iter().map(|l| rename_literal(l, &mut map)).collect(),
+            body: self
+                .body
+                .iter()
+                .map(|l| rename_literal(l, &mut map))
+                .collect(),
         }
     }
 
@@ -170,7 +182,11 @@ mod tests {
     fn body_reordered_positives_first() {
         let r = Rule::new(
             Atom::parse_like("r", &["X"]),
-            vec![lit("a", &["X"], true), lit("b", &["X"], false), lit("c", &["X"], true)],
+            vec![
+                lit("a", &["X"], true),
+                lit("b", &["X"], false),
+                lit("c", &["X"], true),
+            ],
         )
         .unwrap();
         let signs: Vec<bool> = r.body.iter().map(|l| l.positive).collect();

@@ -20,7 +20,10 @@ pub struct FiniteInterp {
 
 impl FiniteInterp {
     pub fn new(domain: Vec<Sym>, facts: impl IntoIterator<Item = Fact>) -> Self {
-        FiniteInterp { domain, facts: facts.into_iter().collect() }
+        FiniteInterp {
+            domain,
+            facts: facts.into_iter().collect(),
+        }
     }
 
     /// Build with the domain inferred from the constants of the facts.
@@ -65,12 +68,12 @@ pub fn eval_formula(f: &Formula, interp: &FiniteInterp, env: &mut HashMap<Sym, S
         Formula::Or(gs) => gs.iter().any(|g| eval_formula(g, interp, env)),
         Formula::Implies(a, b) => !eval_formula(a, interp, env) || eval_formula(b, interp, env),
         Formula::Iff(a, b) => eval_formula(a, interp, env) == eval_formula(b, interp, env),
-        Formula::Forall(vars, g) => every_assignment(vars, interp, env, &mut |env| {
-            eval_formula(g, interp, env)
-        }),
-        Formula::Exists(vars, g) => !every_assignment(vars, interp, env, &mut |env| {
-            !eval_formula(g, interp, env)
-        }),
+        Formula::Forall(vars, g) => {
+            every_assignment(vars, interp, env, &mut |env| eval_formula(g, interp, env))
+        }
+        Formula::Exists(vars, g) => {
+            !every_assignment(vars, interp, env, &mut |env| !eval_formula(g, interp, env))
+        }
     }
 }
 
@@ -119,9 +122,7 @@ mod tests {
     use crate::parser::parse_formula;
 
     fn interp(facts: &[(&str, &[&str])]) -> FiniteInterp {
-        FiniteInterp::from_facts(
-            facts.iter().map(|(p, args)| Fact::parse_like(p, args)),
-        )
+        FiniteInterp::from_facts(facts.iter().map(|(p, args)| Fact::parse_like(p, args)))
     }
 
     #[test]
@@ -135,16 +136,31 @@ mod tests {
     #[test]
     fn quantifiers_over_domain() {
         let i = interp(&[("p", &["a"]), ("p", &["b"]), ("q", &["a"])]);
-        assert!(eval_closed(&parse_formula("forall X: q(X) -> p(X)").unwrap(), &i));
-        assert!(!eval_closed(&parse_formula("forall X: p(X) -> q(X)").unwrap(), &i));
-        assert!(eval_closed(&parse_formula("exists X: p(X) & q(X)").unwrap(), &i));
-        assert!(!eval_closed(&parse_formula("exists X: q(X) & ~p(X)").unwrap(), &i));
+        assert!(eval_closed(
+            &parse_formula("forall X: q(X) -> p(X)").unwrap(),
+            &i
+        ));
+        assert!(!eval_closed(
+            &parse_formula("forall X: p(X) -> q(X)").unwrap(),
+            &i
+        ));
+        assert!(eval_closed(
+            &parse_formula("exists X: p(X) & q(X)").unwrap(),
+            &i
+        ));
+        assert!(!eval_closed(
+            &parse_formula("exists X: q(X) & ~p(X)").unwrap(),
+            &i
+        ));
     }
 
     #[test]
     fn empty_interpretation_satisfies_universals() {
         let i = FiniteInterp::default();
-        assert!(eval_closed(&parse_formula("forall X: p(X) -> q(X)").unwrap(), &i));
+        assert!(eval_closed(
+            &parse_formula("forall X: p(X) -> q(X)").unwrap(),
+            &i
+        ));
         assert!(!eval_closed(&parse_formula("exists X: p(X)").unwrap(), &i));
     }
 
@@ -154,13 +170,25 @@ mod tests {
         let rq = normalize(&f).unwrap();
         let back = rq_to_formula(&rq);
         let cases = [
-            interp(&[("p", &[{ "c1" }, "c2"]), ("q", &["c1", "d"]) , ("dom", &["a"])]),
-            interp(&[("p", &["c1", "c2"]), ("s", &["c2", "d", "a"]), ("q", &["c1", "d"])]),
+            interp(&[
+                ("p", &[{ "c1" }, "c2"]),
+                ("q", &["c1", "d"]),
+                ("dom", &["a"]),
+            ]),
+            interp(&[
+                ("p", &["c1", "c2"]),
+                ("s", &["c2", "d", "a"]),
+                ("q", &["c1", "d"]),
+            ]),
             interp(&[("q", &["c1", "d"])]),
             interp(&[("p", &["c1", "c2"])]),
         ];
         for i in &cases {
-            assert_eq!(eval_closed(&f, i), eval_closed(&back, i), "mismatch on {i:?}");
+            assert_eq!(
+                eval_closed(&f, i),
+                eval_closed(&back, i),
+                "mismatch on {i:?}"
+            );
         }
     }
 }

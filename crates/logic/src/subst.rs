@@ -84,7 +84,10 @@ impl Subst {
 
     /// Apply to a literal.
     pub fn apply_literal(&self, l: &Literal) -> Literal {
-        Literal { positive: l.positive, atom: self.apply_atom(&l.atom) }
+        Literal {
+            positive: l.positive,
+            atom: self.apply_atom(&l.atom),
+        }
     }
 
     /// Ground an atom to a fact; `None` if a variable stays unresolved.
@@ -170,7 +173,10 @@ mod tests {
         let mut s = Subst::new();
         s.bind(Sym::new("X"), c("jack"));
         let a = Atom::parse_like("enrolled", &["X", "cs"]);
-        assert_eq!(s.apply_atom(&a), Atom::parse_like("enrolled", &["jack", "cs"]));
+        assert_eq!(
+            s.apply_atom(&a),
+            Atom::parse_like("enrolled", &["jack", "cs"])
+        );
     }
 
     #[test]
@@ -205,6 +211,9 @@ mod tests {
         let open = Atom::parse_like("p", &["X", "Y"]);
         assert!(s.ground_atom(&open).is_none());
         s.bind(Sym::new("Y"), c("b"));
-        assert_eq!(s.ground_atom(&open), Some(Fact::parse_like("p", &["a", "b"])));
+        assert_eq!(
+            s.ground_atom(&open),
+            Some(Fact::parse_like("p", &["a", "b"]))
+        );
     }
 }

@@ -131,8 +131,14 @@ mod tests {
 
     #[test]
     fn sign_matters() {
-        assert!(!literal_subsumes(&lit("p", &["X"], true), &lit("p", &["a"], false)));
-        assert!(literal_subsumes(&lit("p", &["X"], false), &lit("p", &["a"], false)));
+        assert!(!literal_subsumes(
+            &lit("p", &["X"], true),
+            &lit("p", &["a"], false)
+        ));
+        assert!(literal_subsumes(
+            &lit("p", &["X"], false),
+            &lit("p", &["a"], false)
+        ));
     }
 
     #[test]

@@ -78,7 +78,10 @@ pub struct Atom {
 
 impl Atom {
     pub fn new(pred: impl Into<Sym>, args: Vec<Term>) -> Atom {
-        Atom { pred: pred.into(), args }
+        Atom {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// Parse-free construction helper: argument names follow the
@@ -116,18 +119,27 @@ impl Atom {
         for t in &self.args {
             args.push(t.as_const()?);
         }
-        Some(Fact { pred: self.pred, args })
+        Some(Fact {
+            pred: self.pred,
+            args,
+        })
     }
 
     /// A positive literal over this atom.
     pub fn pos(self) -> Literal {
-        Literal { positive: true, atom: self }
+        Literal {
+            positive: true,
+            atom: self,
+        }
     }
 
     /// A negative literal over this atom.
     #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Literal {
-        Literal { positive: false, atom: self }
+        Literal {
+            positive: false,
+            atom: self,
+        }
     }
 }
 
@@ -172,7 +184,10 @@ impl Literal {
     /// insertion, a negative one a deletion, and relevance (Def. 2) is
     /// phrased via complements.
     pub fn complement(&self) -> Literal {
-        Literal { positive: !self.positive, atom: self.atom.clone() }
+        Literal {
+            positive: !self.positive,
+            atom: self.atom.clone(),
+        }
     }
 
     pub fn is_ground(&self) -> bool {
@@ -209,7 +224,10 @@ pub struct Fact {
 
 impl Fact {
     pub fn new(pred: impl Into<Sym>, args: Vec<Sym>) -> Fact {
-        Fact { pred: pred.into(), args }
+        Fact {
+            pred: pred.into(),
+            args,
+        }
     }
 
     /// Construction helper mirroring [`Atom::parse_like`]; all arguments

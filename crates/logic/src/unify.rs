@@ -91,7 +91,10 @@ pub fn rename_atom(a: &Atom, map: &mut HashMap<Sym, Sym>) -> Atom {
 
 /// Rename a literal apart; see [`rename_atom`].
 pub fn rename_literal(l: &Literal, map: &mut HashMap<Sym, Sym>) -> Literal {
-    Literal { positive: l.positive, atom: rename_atom(&l.atom, map) }
+    Literal {
+        positive: l.positive,
+        atom: rename_atom(&l.atom, map),
+    }
 }
 
 #[cfg(test)]

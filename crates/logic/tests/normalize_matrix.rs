@@ -43,7 +43,10 @@ fn assert_preserved(src: &str) {
         );
         let original = eval_closed(&f, &interp);
         let round = eval_closed(&back, &interp);
-        assert_eq!(original, round, "{src}: mismatch on mask {mask:#x} (rq = {rq})");
+        assert_eq!(
+            original, round,
+            "{src}: mismatch on mask {mask:#x} (rq = {rq})"
+        );
     }
 }
 
@@ -115,9 +118,7 @@ fn equivalences() {
 
 #[test]
 fn conjunction_of_constraints_in_one_formula() {
-    assert_preserved(
-        "(forall X: p(X) -> q(X)) & (forall X: q(X) -> s(X)) & (exists X: p(X))",
-    );
+    assert_preserved("(forall X: p(X) -> q(X)) & (forall X: q(X) -> s(X)) & (exists X: p(X))");
 }
 
 #[test]
@@ -165,7 +166,10 @@ fn implication_chains() {
     // semantically too (covered by assert_preserved) and structurally:
     let a = normalize(&parse_formula("forall X: p(X) -> (q(X) -> s(X))").unwrap()).unwrap();
     let b = normalize(&parse_formula("forall X: (p(X) & q(X)) -> s(X)").unwrap()).unwrap();
-    assert_eq!(a, b, "curried and uncurried implications normalize identically");
+    assert_eq!(
+        a, b,
+        "curried and uncurried implications normalize identically"
+    );
 }
 
 #[test]

@@ -13,8 +13,8 @@ fn arb_name() -> impl Strategy<Value = String> {
 
 fn arb_term_name() -> impl Strategy<Value = String> {
     prop_oneof![
-        "[a-z][a-z0-9]{0,4}".prop_map(|s| s),          // constant
-        "[A-Z][A-Za-z0-9]{0,3}".prop_map(|s| s),       // variable
+        "[a-z][a-z0-9]{0,4}".prop_map(|s| s),    // constant
+        "[A-Z][A-Za-z0-9]{0,3}".prop_map(|s| s), // variable
     ]
 }
 
@@ -30,10 +30,14 @@ fn arb_literal() -> impl Strategy<Value = Literal> {
 }
 
 fn arb_ground_atom() -> impl Strategy<Value = Atom> {
-    (arb_name(), prop::collection::vec("[a-z][a-z0-9]{0,4}", 0..4)).prop_map(|(p, args)| {
-        let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
-        Atom::parse_like(&p, &refs)
-    })
+    (
+        arb_name(),
+        prop::collection::vec("[a-z][a-z0-9]{0,4}", 0..4),
+    )
+        .prop_map(|(p, args)| {
+            let refs: Vec<&str> = args.iter().map(|s| s.as_str()).collect();
+            Atom::parse_like(&p, &refs)
+        })
 }
 
 fn arb_formula() -> impl Strategy<Value = Formula> {

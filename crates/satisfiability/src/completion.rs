@@ -23,8 +23,10 @@ pub fn completion_constraint(rule: &Rule, name: String) -> Option<Constraint> {
     }
     let range: Vec<_> = rule.positive_body().map(|l| l.atom.clone()).collect();
     let vars: Vec<Sym> = rule.vars().into_iter().collect();
-    let mut disjuncts: Vec<Rq> =
-        negatives.into_iter().map(|l| Rq::Lit(l.complement())).collect();
+    let mut disjuncts: Vec<Rq> = negatives
+        .into_iter()
+        .map(|l| Rq::Lit(l.complement()))
+        .collect();
     disjuncts.push(Rq::Lit(rule.head.clone().pos()));
     let rq = Rq::forall_node(vars, range, Rq::or(disjuncts));
     Some(Constraint::new(name, rq))
@@ -35,9 +37,7 @@ pub fn completion_constraints(rules: &[Rule]) -> Vec<Constraint> {
     rules
         .iter()
         .enumerate()
-        .filter_map(|(i, r)| {
-            completion_constraint(r, format!("completion({})#{}", r.head.pred, i))
-        })
+        .filter_map(|(i, r)| completion_constraint(r, format!("completion({})#{}", r.head.pred, i)))
         .collect()
 }
 
@@ -64,8 +64,7 @@ mod tests {
                 assert_eq!(range[0].pred, Sym::new("emp"));
                 match &**body {
                     Rq::Or(parts) => {
-                        let rendered: Vec<String> =
-                            parts.iter().map(|p| format!("{p}")).collect();
+                        let rendered: Vec<String> = parts.iter().map(|p| format!("{p}")).collect();
                         assert_eq!(rendered, vec!["absent(X)", "present(X)"]);
                     }
                     other => panic!("unexpected body {other:?}"),

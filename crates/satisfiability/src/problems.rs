@@ -5,8 +5,8 @@
 //! and similar model-generation benchmarks).
 
 use crate::search::{SatChecker, SatOptions};
-use uniform_logic::{normalize, parse_formula, parse_rule, Constraint, Rule};
 use uniform_datalog::RuleSet;
+use uniform_logic::{normalize, parse_formula, parse_rule, Constraint, Rule};
 
 /// Expected outcome of a problem.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -167,8 +167,10 @@ pub fn pigeonhole(n: usize) -> Problem {
             }
         }
     }
-    let leaked: Vec<&'static str> =
-        constraints.into_iter().map(|s| &*Box::leak(s.into_boxed_str())).collect();
+    let leaked: Vec<&'static str> = constraints
+        .into_iter()
+        .map(|s| &*Box::leak(s.into_boxed_str()))
+        .collect();
     let name: &'static str = Box::leak(format!("pigeonhole-{n}").into_boxed_str());
     Problem::build(name, &[], &leaked, Expectation::Unsatisfiable, 0)
 }
@@ -180,16 +182,16 @@ pub fn cycle_coloring(n: usize) -> Problem {
     let mut constraints: Vec<String> = Vec::new();
     let nodes: Vec<String> = (0..n).map(|i| format!("node(v{i})")).collect();
     constraints.push(nodes.join(" & "));
-    let edges: Vec<String> =
-        (0..n).map(|i| format!("adj(v{i}, v{})", (i + 1) % n)).collect();
+    let edges: Vec<String> = (0..n)
+        .map(|i| format!("adj(v{i}, v{})", (i + 1) % n))
+        .collect();
     constraints.push(edges.join(" & "));
-    constraints.push(
-        "forall X: node(X) -> color(X, r) | color(X, g) | color(X, b)".to_string(),
-    );
-    constraints
-        .push("forall X, Y, C: adj(X,Y) & color(X,C) & color(Y,C) -> false".to_string());
-    let leaked: Vec<&'static str> =
-        constraints.into_iter().map(|s| &*Box::leak(s.into_boxed_str())).collect();
+    constraints.push("forall X: node(X) -> color(X, r) | color(X, g) | color(X, b)".to_string());
+    constraints.push("forall X, Y, C: adj(X,Y) & color(X,C) & color(Y,C) -> false".to_string());
+    let leaked: Vec<&'static str> = constraints
+        .into_iter()
+        .map(|s| &*Box::leak(s.into_boxed_str()))
+        .collect();
     let name: &'static str = Box::leak(format!("cycle-3coloring-{n}").into_boxed_str());
     Problem::build(name, &[], &leaked, Expectation::Satisfiable, 0)
 }
@@ -259,7 +261,10 @@ pub fn pelletier_propositional() -> Vec<Problem> {
         // P8: Peirce's law ((p → q) → p) → p
         ("pelletier-8", "~(((p -> q) -> p) -> p)"),
         // P9: ((p∨q) ∧ (¬p∨q) ∧ (p∨¬q)) → ¬(¬p∨¬q)
-        ("pelletier-9", "~(((p | q) & (~p | q) & (p | ~q)) -> ~(~p | ~q))"),
+        (
+            "pelletier-9",
+            "~(((p | q) & (~p | q) & (p | ~q)) -> ~(~p | ~q))",
+        ),
         // P10: with premises q→r, r→p∧q, p→q∨r: p ↔ q
         (
             "pelletier-10",
@@ -295,8 +300,18 @@ pub fn pelletier_propositional() -> Vec<Problem> {
 /// workload in the spirit of the era's quasigroup benchmarks.
 pub fn latin_square(n: usize) -> Problem {
     let mut constraints: Vec<String> = Vec::new();
-    constraints.push((0..n).map(|i| format!("row(r{i})")).collect::<Vec<_>>().join(" & "));
-    constraints.push((0..n).map(|i| format!("col(c{i})")).collect::<Vec<_>>().join(" & "));
+    constraints.push(
+        (0..n)
+            .map(|i| format!("row(r{i})"))
+            .collect::<Vec<_>>()
+            .join(" & "),
+    );
+    constraints.push(
+        (0..n)
+            .map(|i| format!("col(c{i})"))
+            .collect::<Vec<_>>()
+            .join(" & "),
+    );
     let mut diffs: Vec<String> = Vec::new();
     for kind in ["r", "c", "s"] {
         for i in 0..n {
@@ -312,7 +327,10 @@ pub fn latin_square(n: usize) -> Problem {
     }
     // Each cell holds at least one symbol …
     let symbols: Vec<String> = (0..n).map(|s| format!("entry(R, C, s{s})")).collect();
-    constraints.push(format!("forall R, C: row(R) & col(C) -> {}", symbols.join(" | ")));
+    constraints.push(format!(
+        "forall R, C: row(R) & col(C) -> {}",
+        symbols.join(" | ")
+    ));
     // … and at most one; rows and columns never repeat a symbol.
     constraints
         .push("forall R, C, S, T: entry(R, C, S) & entry(R, C, T) & diff(S, T) -> false".into());
@@ -320,8 +338,10 @@ pub fn latin_square(n: usize) -> Problem {
         .push("forall R, C, D, S: entry(R, C, S) & entry(R, D, S) & diff(C, D) -> false".into());
     constraints
         .push("forall R, Q, C, S: entry(R, C, S) & entry(Q, C, S) & diff(R, Q) -> false".into());
-    let leaked: Vec<&'static str> =
-        constraints.into_iter().map(|s| &*Box::leak(s.into_boxed_str())).collect();
+    let leaked: Vec<&'static str> = constraints
+        .into_iter()
+        .map(|s| &*Box::leak(s.into_boxed_str()))
+        .collect();
     let name: &'static str = Box::leak(format!("latin-square-{n}").into_boxed_str());
     Problem::build(name, &[], &leaked, Expectation::Satisfiable, 0)
 }
@@ -332,8 +352,11 @@ pub fn latin_square(n: usize) -> Problem {
 /// without equality axioms). Unsatisfiable for `n ∈ {2, 3}`,
 /// satisfiable from `n = 4` — one generator exercising both outcomes.
 pub fn queens(n: usize) -> Problem {
-    let expected =
-        if n == 1 || n >= 4 { Expectation::Satisfiable } else { Expectation::Unsatisfiable };
+    let expected = if n == 1 || n >= 4 {
+        Expectation::Satisfiable
+    } else {
+        Expectation::Unsatisfiable
+    };
     let mut constraints: Vec<String> = Vec::new();
     // Row inequalities (for the shared-column constraint).
     let mut diffs: Vec<String> = Vec::new();
@@ -369,14 +392,13 @@ pub fn queens(n: usize) -> Problem {
         constraints.push(alts.join(" | "));
     }
     // … no shared columns, no diagonal attacks.
-    constraints.push(
-        "forall R, Q, C: queen(R, C) & queen(Q, C) & diff(R, Q) -> false".into(),
-    );
-    constraints.push(
-        "forall R, C, Q, D: queen(R, C) & queen(Q, D) & dattack(R, C, Q, D) -> false".into(),
-    );
-    let leaked: Vec<&'static str> =
-        constraints.into_iter().map(|s| &*Box::leak(s.into_boxed_str())).collect();
+    constraints.push("forall R, Q, C: queen(R, C) & queen(Q, C) & diff(R, Q) -> false".into());
+    constraints
+        .push("forall R, C, Q, D: queen(R, C) & queen(Q, D) & dattack(R, C, Q, D) -> false".into());
+    let leaked: Vec<&'static str> = constraints
+        .into_iter()
+        .map(|s| &*Box::leak(s.into_boxed_str()))
+        .collect();
     let name: &'static str = Box::leak(format!("queens-{n}").into_boxed_str());
     Problem::build(name, &[], &leaked, expected, 0)
 }
@@ -456,7 +478,10 @@ mod tests {
         if ok {
             Ok(())
         } else {
-            Err(format!("{}: expected {:?}, got {:?}", p.name, p.expected, report.outcome))
+            Err(format!(
+                "{}: expected {:?}, got {:?}",
+                p.name, p.expected, report.outcome
+            ))
         }
     }
 
@@ -471,7 +496,9 @@ mod tests {
         let report = p.checker().check();
         match &report.outcome {
             SatOutcome::Satisfiable { model, .. } => {
-                assert!(model.iter().any(|f| f.pred == uniform_logic::Sym::new("leads")));
+                assert!(model
+                    .iter()
+                    .any(|f| f.pred == uniform_logic::Sym::new("leads")));
             }
             other => panic!("expected model, got {other:?}"),
         }
@@ -482,7 +509,9 @@ mod tests {
         // The as-published options (no domain enumeration) handle §5.
         let rep = paper_example().checker_with(SatOptions::paper()).check();
         assert_eq!(rep.outcome, SatOutcome::Unsatisfiable);
-        let rep2 = paper_example_repaired().checker_with(SatOptions::paper()).check();
+        let rep2 = paper_example_repaired()
+            .checker_with(SatOptions::paper())
+            .check();
         assert!(rep2.outcome.is_satisfiable(), "{:?}", rep2.outcome);
     }
 
@@ -509,7 +538,10 @@ mod tests {
         let report = p.checker().check();
         match &report.outcome {
             SatOutcome::Satisfiable { explicit, .. } => {
-                assert!(explicit.len() <= 6, "model unexpectedly large: {explicit:?}");
+                assert!(
+                    explicit.len() <= 6,
+                    "model unexpectedly large: {explicit:?}"
+                );
             }
             other => panic!("expected model, got {other:?}"),
         }

@@ -24,12 +24,12 @@
 
 use crate::completion::completion_constraints;
 use std::collections::HashSet;
-use std::rc::Rc;
-use uniform_logic::{Constraint, Fact, Literal, Rq, Subst, Sym};
+use std::sync::Arc;
 use uniform_datalog::{
     all_solutions, satisfies_closed, solve_conjunction, Database, FactSet, Model, RuleSet,
 };
 use uniform_integrity::{simplified_instances, RelevanceIndex};
+use uniform_logic::{Constraint, Fact, Literal, Rq, Subst, Sym};
 
 /// Tunable knobs; the defaults implement the paper's method plus the
 /// rigorous completeness extensions.
@@ -77,13 +77,20 @@ impl SatOptions {
     /// The paper's procedure as published: range reuse, no domain
     /// enumeration.
     pub fn paper() -> Self {
-        SatOptions { domain_reuse: false, ..SatOptions::default() }
+        SatOptions {
+            domain_reuse: false,
+            ..SatOptions::default()
+        }
     }
 
     /// Classical tableaux / SATCHMO-style baseline: fresh constants only
     /// (§4 point 2 calls this incomplete for finite satisfiability).
     pub fn tableaux() -> Self {
-        SatOptions { range_reuse: false, domain_reuse: false, ..SatOptions::default() }
+        SatOptions {
+            range_reuse: false,
+            domain_reuse: false,
+            ..SatOptions::default()
+        }
     }
 }
 
@@ -92,7 +99,10 @@ impl SatOptions {
 pub enum SatOutcome {
     /// A finite model exists; `explicit` is the constructed sample fact
     /// base, `model` its canonical model under the rules.
-    Satisfiable { explicit: Vec<Fact>, model: Vec<Fact> },
+    Satisfiable {
+        explicit: Vec<Fact>,
+        model: Vec<Fact>,
+    },
     /// No model at all (finite or infinite).
     Unsatisfiable,
     /// Resources exhausted (axiom-of-infinity behaviour, §4: such cases
@@ -162,8 +172,8 @@ impl SatChecker {
             .filter(|r| r.negative_body().count() == 0)
             .cloned()
             .collect();
-        let search_rules = RuleSet::new(positive)
-            .expect("a subset of a stratified rule set is stratified");
+        let search_rules =
+            RuleSet::new(positive).expect("a subset of a stratified rule set is stratified");
         SatChecker {
             rules,
             search_rules,
@@ -242,7 +252,11 @@ impl SatChecker {
             if !attempt.budget_hit {
                 // The search tree was explored exhaustively without ever
                 // being pruned by the budget: refutation.
-                return SatReport { outcome: SatOutcome::Unsatisfiable, stats, trace };
+                return SatReport {
+                    outcome: SatOutcome::Unsatisfiable,
+                    stats,
+                    trace,
+                };
             }
         }
         SatReport {
@@ -292,9 +306,9 @@ struct Attempt<'a> {
     budget: usize,
     facts: FactSet,
     trail: Vec<TrailOp>,
-    model_cache: Option<Rc<Model>>,
+    model_cache: Option<Arc<Model>>,
     /// Model snapshot at the last level boundary (diff base).
-    checkpoint: Rc<Model>,
+    checkpoint: Arc<Model>,
     fresh: FreshGen,
     fresh_in_use: usize,
     fresh_generated: usize,
@@ -327,7 +341,7 @@ impl<'a> Attempt<'a> {
         for f in &checker.seed {
             used.extend(f.args.iter().copied());
         }
-        let checkpoint = Rc::new(Model::compute(&facts, &checker.search_rules));
+        let checkpoint = Arc::new(Model::compute(&facts, &checker.search_rules));
         Attempt {
             checker,
             budget,
@@ -357,9 +371,12 @@ impl<'a> Attempt<'a> {
         }
     }
 
-    fn model(&mut self) -> Rc<Model> {
+    fn model(&mut self) -> Arc<Model> {
         if self.model_cache.is_none() {
-            self.model_cache = Some(Rc::new(Model::compute(&self.facts, &self.checker.search_rules)));
+            self.model_cache = Some(Arc::new(Model::compute(
+                &self.facts,
+                &self.checker.search_rules,
+            )));
         }
         self.model_cache.clone().expect("just computed")
     }
@@ -421,7 +438,9 @@ impl<'a> Attempt<'a> {
             self.note(level, || "all constraints satisfied".to_string());
             return true;
         }
-        self.note(level, || format!("level {level}: {} violated instance(s)", violated.len()));
+        self.note(level, || {
+            format!("level {level}: {} violated instance(s)", violated.len())
+        });
         let saved = std::mem::replace(&mut self.checkpoint, current);
         let ok = self.enforce_seq(&violated, level, &mut |s| s.run_level(level + 1));
         if !ok {
@@ -432,7 +451,7 @@ impl<'a> Attempt<'a> {
 
     /// Violated simplified instances of constraints relevant to the
     /// changes since the checkpoint (Prop. 2 applied to the level batch).
-    fn violated_by_changes(&mut self, current: &Rc<Model>) -> Vec<Rq> {
+    fn violated_by_changes(&mut self, current: &Arc<Model>) -> Vec<Rq> {
         self.incremental_checks += 1;
         let mut changes: Vec<Literal> = Vec::new();
         for f in current.iter() {
@@ -448,9 +467,7 @@ impl<'a> Attempt<'a> {
         let mut out: Vec<Rq> = Vec::new();
         let mut seen: HashSet<Rq> = HashSet::new();
         for delta in &changes {
-            for si in
-                simplified_instances(&self.checker.index, &self.checker.constraints, delta)
-            {
+            for si in simplified_instances(&self.checker.index, &self.checker.constraints, delta) {
                 debug_assert!(si.instance.is_closed());
                 if !satisfies_closed(current.as_ref(), &si.instance)
                     && seen.insert(si.instance.clone())
@@ -463,7 +480,7 @@ impl<'a> Attempt<'a> {
     }
 
     /// Full determination: every constraint evaluated outright.
-    fn violated_full(&mut self, current: &Rc<Model>) -> Vec<Rq> {
+    fn violated_full(&mut self, current: &Arc<Model>) -> Vec<Rq> {
         self.full_checks += 1;
         self.checker
             .constraints
@@ -494,12 +511,7 @@ impl<'a> Attempt<'a> {
     /// Enforce a single closed formula (the paper's `enforce/2`),
     /// continuing with `k` on success. Restores state and returns `false`
     /// when every alternative fails.
-    fn enforce_one(
-        &mut self,
-        f: &Rq,
-        level: usize,
-        k: &mut dyn FnMut(&mut Self) -> bool,
-    ) -> bool {
+    fn enforce_one(&mut self, f: &Rq, level: usize, k: &mut dyn FnMut(&mut Self) -> bool) -> bool {
         self.steps += 1;
         if self.steps > self.checker.options.max_steps {
             self.steps_exhausted = true;
@@ -599,7 +611,10 @@ impl<'a> Attempt<'a> {
             // alternatives must not depend on what happened to be interned
             // earlier in the process.
             domain.sort_by_key(|s| s.as_str());
-            let combos = domain.len().checked_pow(vars.len() as u32).unwrap_or(usize::MAX);
+            let combos = domain
+                .len()
+                .checked_pow(vars.len() as u32)
+                .unwrap_or(usize::MAX);
             if !domain.is_empty() && combos <= self.checker.options.domain_cap {
                 let mut assignment = vec![0usize; vars.len()];
                 'combos: loop {
@@ -649,15 +664,20 @@ impl<'a> Attempt<'a> {
                 sigma.bind(v, uniform_logic::Term::Const(c));
             }
             self.note(level, || {
-                let names: Vec<&str> =
-                    vars.iter().map(|v| sigma.walk(uniform_logic::Term::Var(*v))).map(|t| match t {
+                let names: Vec<&str> = vars
+                    .iter()
+                    .map(|v| sigma.walk(uniform_logic::Term::Var(*v)))
+                    .map(|t| match t {
                         uniform_logic::Term::Const(c) => c.as_str(),
                         uniform_logic::Term::Var(v) => v.as_str(),
-                    }).collect();
+                    })
+                    .collect();
                 format!("new constant(s): {}", names.join(", "))
             });
-            let mut agenda: Vec<Rq> =
-                lits.iter().map(|l| Rq::Lit(sigma.apply_literal(l))).collect();
+            let mut agenda: Vec<Rq> = lits
+                .iter()
+                .map(|l| Rq::Lit(sigma.apply_literal(l)))
+                .collect();
             agenda.push(body.apply(&sigma));
             if self.enforce_seq(&agenda, level, k) {
                 return true;
@@ -677,7 +697,10 @@ mod tests {
 
     fn checker(rules: &[&str], constraints: &[&str]) -> SatChecker {
         let rules = RuleSet::new(
-            rules.iter().map(|r| parse_rule(r).unwrap()).collect::<Vec<Rule>>(),
+            rules
+                .iter()
+                .map(|r| parse_rule(r).unwrap())
+                .collect::<Vec<Rule>>(),
         )
         .unwrap();
         let cs: Vec<Constraint> = constraints
@@ -698,7 +721,10 @@ mod tests {
         let rep = checker(&[], &[]).check();
         assert_eq!(
             rep.outcome,
-            SatOutcome::Satisfiable { explicit: vec![], model: vec![] }
+            SatOutcome::Satisfiable {
+                explicit: vec![],
+                model: vec![]
+            }
         );
     }
 
@@ -754,8 +780,14 @@ mod tests {
     fn existential_reuse_finds_small_model() {
         // ∃X p(X); ∀X p(X) → ∃Y p(Y)∧r(X,Y). Finite model {p(c),r(c,c)}
         // requires reusing c for Y.
-        let rep = checker(&[], &["exists X: p(X)", "forall X: p(X) -> (exists Y: p(Y) & r(X,Y))"])
-            .check();
+        let rep = checker(
+            &[],
+            &[
+                "exists X: p(X)",
+                "forall X: p(X) -> (exists Y: p(Y) & r(X,Y))",
+            ],
+        )
+        .check();
         match &rep.outcome {
             SatOutcome::Satisfiable { model, .. } => {
                 assert!(model.len() <= 3, "expected a small model, got {model:?}");
@@ -770,10 +802,23 @@ mod tests {
         // constant — the budget is exhausted and the result is Unknown
         // (§4 point 2: classical tableaux is incomplete for finite
         // satisfiability).
-        let rep = checker(&[], &["exists X: p(X)", "forall X: p(X) -> (exists Y: p(Y) & r(X,Y))"])
-            .with_options(SatOptions { max_fresh_constants: 4, ..SatOptions::tableaux() })
-            .check();
-        assert!(matches!(rep.outcome, SatOutcome::Unknown { .. }), "{:?}", rep.outcome);
+        let rep = checker(
+            &[],
+            &[
+                "exists X: p(X)",
+                "forall X: p(X) -> (exists Y: p(Y) & r(X,Y))",
+            ],
+        )
+        .with_options(SatOptions {
+            max_fresh_constants: 4,
+            ..SatOptions::tableaux()
+        })
+        .check();
+        assert!(
+            matches!(rep.outcome, SatOutcome::Unknown { .. }),
+            "{:?}",
+            rep.outcome
+        );
     }
 
     #[test]
@@ -790,9 +835,16 @@ mod tests {
                 "forall X: less(X,X) -> false",
             ],
         )
-        .with_options(SatOptions { max_fresh_constants: 5, ..SatOptions::default() })
+        .with_options(SatOptions {
+            max_fresh_constants: 5,
+            ..SatOptions::default()
+        })
         .check();
-        assert!(matches!(rep.outcome, SatOutcome::Unknown { .. }), "{:?}", rep.outcome);
+        assert!(
+            matches!(rep.outcome, SatOutcome::Unknown { .. }),
+            "{:?}",
+            rep.outcome
+        );
     }
 
     #[test]
@@ -801,7 +853,10 @@ mod tests {
         // satisfied through the rule after asserting leads.
         let rep = checker(
             &["member(X,Y) :- leads(X,Y)."],
-            &["exists X, Y: leads(X,Y)", "forall X, Y: leads(X,Y) -> member(X,Y)"],
+            &[
+                "exists X, Y: leads(X,Y)",
+                "forall X, Y: leads(X,Y) -> member(X,Y)",
+            ],
         )
         .check();
         assert!(rep.outcome.is_satisfiable(), "{:?}", rep.outcome);
@@ -821,7 +876,10 @@ mod tests {
         match &rep.outcome {
             SatOutcome::Satisfiable { model, .. } => {
                 let names: Vec<String> = model.iter().map(|f| f.to_string()).collect();
-                assert!(names.iter().any(|n| n.starts_with("q(")), "model: {names:?}");
+                assert!(
+                    names.iter().any(|n| n.starts_with("q(")),
+                    "model: {names:?}"
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -886,13 +944,19 @@ mod tests {
             (&[], &["rain", "rain -> wet", "~wet"]),
             (
                 &["member(X,Y) :- leads(X,Y)."],
-                &["exists X, Y: leads(X,Y)", "forall X, Y: member(X,Y) -> good(X)"],
+                &[
+                    "exists X, Y: leads(X,Y)",
+                    "forall X, Y: member(X,Y) -> good(X)",
+                ],
             ),
         ];
         for (rules, cs) in problems {
             let inc = checker(rules, cs).check();
             let full = checker(rules, cs)
-                .with_options(SatOptions { incremental_checking: false, ..SatOptions::default() })
+                .with_options(SatOptions {
+                    incremental_checking: false,
+                    ..SatOptions::default()
+                })
                 .check();
             assert_eq!(
                 inc.outcome.is_satisfiable(),
@@ -905,8 +969,15 @@ mod tests {
     #[test]
     fn trace_records_assertions() {
         let rep = checker(&[], &["exists X: employee(X)"])
-            .with_options(SatOptions { trace: true, ..SatOptions::default() })
+            .with_options(SatOptions {
+                trace: true,
+                ..SatOptions::default()
+            })
             .check();
-        assert!(rep.trace.iter().any(|l| l.contains("assert employee(")), "{:?}", rep.trace);
+        assert!(
+            rep.trace.iter().any(|l| l.contains("assert employee(")),
+            "{:?}",
+            rep.trace
+        );
     }
 }

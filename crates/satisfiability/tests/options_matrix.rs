@@ -15,19 +15,31 @@ fn profiles() -> Vec<(&'static str, SatOptions)> {
         ("tableaux", SatOptions::tableaux()),
         (
             "no-deepening",
-            SatOptions { iterative_deepening: false, ..SatOptions::default() },
+            SatOptions {
+                iterative_deepening: false,
+                ..SatOptions::default()
+            },
         ),
         (
             "full-check",
-            SatOptions { incremental_checking: false, ..SatOptions::default() },
+            SatOptions {
+                incremental_checking: false,
+                ..SatOptions::default()
+            },
         ),
         (
             "no-range-reuse",
-            SatOptions { range_reuse: false, ..SatOptions::default() },
+            SatOptions {
+                range_reuse: false,
+                ..SatOptions::default()
+            },
         ),
         (
             "paper-no-deepening",
-            SatOptions { iterative_deepening: false, ..SatOptions::paper() },
+            SatOptions {
+                iterative_deepening: false,
+                ..SatOptions::paper()
+            },
         ),
     ]
 }
@@ -101,7 +113,13 @@ fn paper_profile_sound_on_satisfiable_problems() {
         if p.expected != Expectation::Satisfiable {
             continue;
         }
-        for opts in [SatOptions::paper(), SatOptions { iterative_deepening: false, ..SatOptions::paper() }] {
+        for opts in [
+            SatOptions::paper(),
+            SatOptions {
+                iterative_deepening: false,
+                ..SatOptions::paper()
+            },
+        ] {
             let rep = p.checker_with(opts).check();
             assert_ne!(
                 rep.outcome,
@@ -135,7 +153,10 @@ fn budget_monotonicity() {
     let mut found_at = None;
     for budget in 0..=4 {
         let rep = p
-            .checker_with(SatOptions { max_fresh_constants: budget, ..SatOptions::default() })
+            .checker_with(SatOptions {
+                max_fresh_constants: budget,
+                ..SatOptions::default()
+            })
             .check();
         if rep.outcome.is_satisfiable() {
             found_at.get_or_insert(budget);
@@ -152,7 +173,10 @@ fn trace_only_produced_when_requested() {
     let silent = p.checker().check();
     assert!(silent.trace.is_empty());
     let traced = p
-        .checker_with(SatOptions { trace: true, ..SatOptions::default() })
+        .checker_with(SatOptions {
+            trace: true,
+            ..SatOptions::default()
+        })
         .check();
     assert!(!traced.trace.is_empty());
 }
@@ -161,7 +185,10 @@ fn trace_only_produced_when_requested() {
 fn step_limit_degrades_to_unknown() {
     let p = problems::steamroller();
     let rep = p
-        .checker_with(SatOptions { max_steps: 50, ..SatOptions::default() })
+        .checker_with(SatOptions {
+            max_steps: 50,
+            ..SatOptions::default()
+        })
         .check();
     assert!(
         matches!(rep.outcome, SatOutcome::Unknown { ref reason } if reason.contains("step limit")),
@@ -183,7 +210,10 @@ fn domain_cap_zero_still_sound() {
             continue;
         }
         let rep = p
-            .checker_with(SatOptions { domain_cap: 0, ..SatOptions::default() })
+            .checker_with(SatOptions {
+                domain_cap: 0,
+                ..SatOptions::default()
+            })
             .check();
         match p.expected {
             Expectation::Unsatisfiable => {

@@ -1,0 +1,276 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API subset the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::{iter, iter_custom}`, and the
+//! `criterion_group!` / `criterion_main!` macros — as a plain wall-clock
+//! harness: per benchmark it warms up once, takes `sample_size` timed
+//! samples, and prints min/median to stdout. No statistics, plots, or
+//! baselines; the point is that `cargo bench` builds and produces usable
+//! numbers in an offline environment. Swap in the real crate via
+//! `[workspace.dependencies]` for publication-grade measurement.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (best-effort).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Criterion {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units-per-iteration annotation (printed, not charted).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a benchmark id within a group.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    sample: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time one execution of `routine` (one sample = one iteration).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.sample = Some(t0.elapsed());
+    }
+
+    /// The routine does its own timing over `iters` iterations and
+    /// reports the total; the recorded sample is the per-iteration mean.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        const ITERS: u64 = 1;
+        let total = routine(ITERS);
+        self.sample = Some(total / ITERS as u32);
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm-up pass (not recorded).
+    let mut bencher = Bencher { sample: None };
+    f(&mut bencher);
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut bencher = Bencher { sample: None };
+        f(&mut bencher);
+        samples.push(bencher.sample.unwrap_or_default());
+    }
+    samples.sort();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label}: min {} median {} ({} samples)",
+        fmt_dur(min),
+        fmt_dur(median),
+        sample_size
+    );
+}
+
+fn fmt_dur(d: Duration) -> FmtDur {
+    FmtDur(d)
+}
+
+struct FmtDur(Duration);
+
+impl fmt::Display for FmtDur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        if ns < 1_000 {
+            write!(f, "{ns} ns")
+        } else if ns < 1_000_000 {
+            write!(f, "{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            write!(f, "{:.2} ms", ns as f64 / 1e6)
+        } else {
+            write!(f, "{:.3} s", ns as f64 / 1e9)
+        }
+    }
+}
+
+/// Define a benchmark group function, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("trivial", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4usize, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(demo, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        demo();
+    }
+
+    #[test]
+    fn bencher_records_custom_timing() {
+        let mut b = Bencher { sample: None };
+        b.iter_custom(|iters| {
+            assert_eq!(iters, 1);
+            Duration::from_millis(5)
+        });
+        assert_eq!(b.sample, Some(Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,775 @@
+//! Offline shim for `proptest`.
+//!
+//! The build environment has no registry access, so this crate implements
+//! the subset of the proptest API this workspace's property tests use:
+//!
+//! * [`Strategy`] with `prop_map` and `prop_recursive`, boxed strategies,
+//!   tuple/range/`&str`(regex-lite)/[`Just`] strategies and `prop_oneof!`;
+//! * [`collection::vec`], [`sample::select`], [`sample::subsequence`];
+//! * `any::<bool>()` (and the other primitive `Arbitrary` impls);
+//! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
+//!   macros.
+//!
+//! Semantics differ from real proptest in two deliberate ways: generation
+//! is seeded **deterministically from the test name** (every run explores
+//! the same cases — reproducible in CI, no persistence files), and there
+//! is **no shrinking** (a failing case reports its case number and
+//! message). Swap in the real crate via `[workspace.dependencies]` to get
+//! full shrinking behavior; no test source changes are needed.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod test_runner;
+
+pub use test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+
+// ---------------------------------------------------------------------------
+// Strategy core
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Recursively extend this strategy: `recurse` receives a strategy for
+    /// the inner levels and returns the strategy for one level up. `depth`
+    /// bounds the recursion; the size hints of the real API are accepted
+    /// and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        Recursive {
+            base: self.boxed(),
+            recurse: Arc::new(move |inner| recurse(inner).boxed()),
+            depth,
+        }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Result of [`Strategy::prop_recursive`].
+pub struct Recursive<T> {
+    base: BoxedStrategy<T>,
+    recurse: Arc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    depth: u32,
+}
+
+impl<T> Clone for Recursive<T> {
+    fn clone(&self) -> Self {
+        Recursive {
+            base: self.base.clone(),
+            recurse: self.recurse.clone(),
+            depth: self.depth,
+        }
+    }
+}
+
+impl<T> Strategy for Recursive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        // Choose a nesting level for this case, then stack the recursion
+        // that many times; level 0 samples the base strategy directly.
+        let levels = rng.below(self.depth as u64 + 1) as u32;
+        let mut strategy = self.base.clone();
+        for _ in 0..levels {
+            strategy = (self.recurse)(strategy);
+        }
+        strategy.generate(rng)
+    }
+}
+
+/// Uniform choice between strategies (backs `prop_oneof!`).
+pub struct OneOf<T> {
+    pub options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one option"
+        );
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].generate(rng)
+    }
+}
+
+// Integer ranges are strategies.
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Tuples of strategies are strategies.
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// String literals are regex-lite strategies.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_pattern(self, rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy produced by [`any`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// collection
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted size specifications for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        pub(crate) fn sample(&self, rng: &mut TestRng) -> usize {
+            self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+        }
+
+        pub(crate) fn clamped(&self, max: usize) -> SizeRange {
+            SizeRange {
+                lo: self.lo.min(max),
+                hi: self.hi.min(max),
+            }
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sample
+// ---------------------------------------------------------------------------
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use crate::collection::SizeRange;
+
+    /// Uniform choice of one element of `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    #[derive(Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len() as u64) as usize].clone()
+        }
+    }
+
+    /// An order-preserving random subsequence of `pool` whose length is
+    /// drawn from `size` (clamped to the pool length).
+    pub fn subsequence<T: Clone>(pool: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            pool,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Subsequence<T: Clone> {
+        pool: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let want = self.size.clamped(self.pool.len()).sample(rng);
+            // Floyd-style distinct index sampling, then restore pool order.
+            let mut picked: Vec<usize> = Vec::with_capacity(want);
+            let n = self.pool.len();
+            for j in (n - want)..n {
+                let t = rng.below(j as u64 + 1) as usize;
+                if picked.contains(&t) {
+                    picked.push(j);
+                } else {
+                    picked.push(t);
+                }
+            }
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.pool[i].clone()).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// string (regex-lite generation)
+// ---------------------------------------------------------------------------
+
+mod string {
+    use super::TestRng;
+
+    /// One parsed pattern element: a set of candidate chars plus a
+    /// repetition count range.
+    struct Piece {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Printable pool backing `\PC`: ASCII printables plus a spread of
+    /// multi-byte characters so parser fuzzing sees non-ASCII input.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(|b| b as char).collect();
+        pool.extend("éüßñλπΩж中日ेा🙂🚀".chars());
+        pool
+    }
+
+    /// Generate a string from the regex subset the tests use: literal
+    /// chars, `\PC`, character classes `[...]` (with `a-z` ranges), and
+    /// `{m,n}` / `{n}` repetition. Anything else panics loudly — extend
+    /// the subset rather than silently misgenerating.
+    pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut pieces: Vec<Piece> = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let Some(m) = chars.next() else {
+                            panic!("unterminated character class in {pattern:?}");
+                        };
+                        match m {
+                            ']' => break,
+                            '-' => match (prev, chars.peek()) {
+                                // `a-z` range (when `-` is between chars).
+                                (Some(lo), Some(&hi)) if hi != ']' => {
+                                    chars.next();
+                                    assert!(lo <= hi, "bad range in {pattern:?}");
+                                    set.extend(lo..=hi);
+                                    prev = None;
+                                }
+                                // Trailing or leading `-` is literal.
+                                _ => {
+                                    set.push('-');
+                                    prev = Some('-');
+                                }
+                            },
+                            '\\' => {
+                                let esc = chars.next().unwrap_or('\\');
+                                set.push(esc);
+                                prev = Some(esc);
+                            }
+                            other => {
+                                set.push(other);
+                                prev = Some(other);
+                            }
+                        }
+                    }
+                    assert!(!set.is_empty(), "empty character class in {pattern:?}");
+                    set
+                }
+                '\\' => match chars.next() {
+                    Some('P') => {
+                        // `\PC`: any non-control ("printable") character.
+                        let tag = chars.next();
+                        assert_eq!(tag, Some('C'), "unsupported \\P class in {pattern:?}");
+                        printable_pool()
+                    }
+                    Some(esc) => vec![esc],
+                    None => panic!("dangling escape in {pattern:?}"),
+                },
+                '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' | '^' | '$' => {
+                    panic!("unsupported regex construct {c:?} in {pattern:?}")
+                }
+                literal => vec![literal],
+            };
+            // Optional repetition.
+            let (min, max) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for m in chars.by_ref() {
+                    if m == '}' {
+                        break;
+                    }
+                    spec.push(m);
+                }
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition"),
+                        hi.trim().parse().expect("bad repetition"),
+                    ),
+                    None => {
+                        let n: usize = spec.trim().parse().expect("bad repetition");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece {
+                chars: set,
+                min,
+                max,
+            });
+        }
+
+        let mut out = String::new();
+        for piece in &pieces {
+            let n = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(piece.chars[rng.below(piece.chars.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// prelude and macros
+// ---------------------------------------------------------------------------
+
+pub mod prelude {
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror so `prop::collection::vec(...)` works, as in the
+    /// real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf { options: vec![$($crate::Strategy::boxed($strategy)),+] }
+    };
+}
+
+/// Property assertion: fails the current case (not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Define property tests. Each `arg in strategy` parameter is freshly
+/// generated per case; the body may use `prop_assert*` and
+/// `return Ok(())`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    (@munch ($config:expr)) => {};
+    (@munch ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // Deterministic per-test seed: same cases every run.
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = outcome {
+                    panic!("property failed at case {}/{}: {}", case + 1, config.cases, e);
+                }
+            }
+        }
+        $crate::proptest!(@munch ($config) $($rest)*);
+    };
+    // A `@munch` input reaching this far failed the function matcher above;
+    // bail out instead of looping through the default-config arm below.
+    (@munch $($rest:tt)*) => {
+        compile_error!("unsupported syntax inside proptest! (this shim accepts `fn name(pat in strategy, ...) { ... }` items)");
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec_generate_in_bounds() {
+        let mut rng = crate::TestRng::from_name("shim::bounds");
+        let strat = prop::collection::vec((0..5usize, 0u8..3), 2..6);
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&(a, b)| a < 5 && b < 3));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::TestRng::from_name("shim::strings");
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,5}".generate(&mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+            let t = "[A-Z][A-Za-z0-9]{0,3}".generate(&mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            let any = "\\PC{0,80}".generate(&mut rng);
+            assert!(any.chars().count() <= 80);
+            let cls = "[a-zA-Z0-9_,():~&|<>?%. -]{0,120}".generate(&mut rng);
+            assert!(cls.chars().count() <= 120);
+        }
+    }
+
+    #[test]
+    fn oneof_and_just_and_select() {
+        let mut rng = crate::TestRng::from_name("shim::oneof");
+        let strat = prop_oneof![Just(1), Just(2), Just(3)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(strat.generate(&mut rng));
+        }
+        assert_eq!(seen, [1, 2, 3].into_iter().collect());
+        let sel = crate::sample::select(vec!["a", "b"]);
+        assert!(["a", "b"].contains(&sel.generate(&mut rng)));
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = crate::TestRng::from_name("shim::subseq");
+        let strat = crate::sample::subsequence(vec![1, 2, 3, 4, 5], 0..=5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+            assert!(v.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum Tree {
+            Leaf,
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let strat = Just(Tree::Leaf).prop_recursive(3, 16, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+                .boxed()
+        });
+        let mut rng = crate::TestRng::from_name("shim::rec");
+        for _ in 0..50 {
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_wires_up(x in 0..100usize, flip in any::<bool>()) {
+            prop_assert!(x < 100);
+            if flip {
+                return Ok(());
+            }
+            prop_assert_eq!(x, x, "x must equal itself ({})", x);
+            prop_assert_ne!(x + 1, x);
+        }
+    }
+
+    #[test]
+    fn failures_report_case_numbers() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(5))]
+                #[allow(unused)]
+                fn always_fails(x in 0..10usize) {
+                    prop_assert!(false, "boom {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("property failed at case 1/5"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+}

@@ -2,19 +2,36 @@
 //!
 //! Deterministic synthetic workload generators for the experiments
 //! (EXPERIMENTS.md) and for stress tests. Every generator takes explicit
-//! size parameters and, where randomness is involved, a seed — benchmark
-//! runs are reproducible.
+//! size parameters **and a seed**: the seed drives both any sampled
+//! content (update streams, random fact pools) and the insertion order of
+//! the generated population, so benchmark runs are reproducible
+//! seed-for-seed while different seeds exercise different store layouts.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use uniform_logic::{parse_literal, Fact, Literal};
 use uniform_datalog::{Database, Transaction, Update};
+use uniform_logic::{parse_literal, Fact, Literal};
+
+/// Append `lines` to `src` in a seed-determined order. Fact insertion
+/// order shapes relation slot layout and iteration order downstream;
+/// shuffling under an explicit seed makes that layout a reproducible
+/// input of the workload instead of an accident of generation order.
+fn push_shuffled(src: &mut String, mut lines: Vec<String>, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..lines.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        lines.swap(i, j);
+    }
+    for line in lines {
+        src.push_str(&line);
+    }
+}
 
 /// The university workload of experiment E1: `student`, `enrolled`,
 /// `attends` relations with `n` students, constraints requiring every
 /// cs-enrolled student to attend `ddb`, plus domain constraints so the
 /// full re-check has a realistic constraint set to chew through.
-pub fn university(n: usize) -> Database {
+pub fn university(n: usize, seed: u64) -> Database {
     let mut src = String::new();
     src.push_str(
         "constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).\n\
@@ -22,18 +39,21 @@ pub fn university(n: usize) -> Database {
          constraint dom_attends: forall X, C: attends(X, C) -> student(X).\n\
          constraint has_course: forall X: student(X) -> (exists C: enrolled(X, C)).\n",
     );
+    let mut lines = Vec::with_capacity(3 * n);
     for i in 0..n {
-        src.push_str(&format!("student(s{i}).\n"));
-        src.push_str(&format!("enrolled(s{i}, cs).\n"));
-        src.push_str(&format!("attends(s{i}, ddb).\n"));
+        lines.push(format!("student(s{i}).\n"));
+        lines.push(format!("enrolled(s{i}, cs).\n"));
+        lines.push(format!("attends(s{i}, ddb).\n"));
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("university workload parses");
     debug_assert!(db.is_consistent());
     db
 }
 
 /// An accepted update for [`university`]: a new student with enrollment
-/// and attendance, as one transaction.
+/// and attendance, as one transaction. (`n` names the new student; no
+/// sampling is involved, so there is nothing to seed.)
 pub fn university_good_tx(n: usize) -> Transaction {
     Transaction::new(vec![
         upd(&format!("student(new{n})")),
@@ -54,15 +74,18 @@ pub fn university_bad_tx(n: usize) -> Transaction {
 /// The §3.2 deductive workload for E2/E4: `enrolled` derived from
 /// `student` by rule, constraint on both base and derived relations, `n`
 /// existing students.
-pub fn deductive_university(n: usize) -> Database {
+pub fn deductive_university(n: usize, seed: u64) -> Database {
     let mut src = String::from(
         "enrolled(X, cs) :- student(X).\n\
          constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).\n\
          constraint attends_dom: forall X, C: attends(X, C) -> student(X).\n",
     );
+    let mut lines = Vec::with_capacity(2 * n);
     for i in 0..n {
-        src.push_str(&format!("student(s{i}).\nattends(s{i}, ddb).\n"));
+        lines.push(format!("student(s{i}).\n"));
+        lines.push(format!("attends(s{i}, ddb).\n"));
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("deductive university parses");
     debug_assert!(db.is_consistent());
     db
@@ -71,15 +94,14 @@ pub fn deductive_university(n: usize) -> Database {
 /// The E3 workload, straight from §3.2: rule `r(X) ← q(X,Y) ∧ p(Y,Z)`
 /// with **no constraint mentioning `r`**, and `q_count` facts `q(xi, a)`
 /// so that inserting `p(a,b)` induces `q_count` irrelevant updates.
-pub fn irrelevant_induction(q_count: usize) -> (Database, Transaction) {
+pub fn irrelevant_induction(q_count: usize, seed: u64) -> (Database, Transaction) {
     let mut src = String::from(
         "r(X) :- q(X,Y), p(Y,Z).\n\
          constraint pdom: forall X, Y: p(X,Y) -> pkey(X).\n\
          pkey(a).\n",
     );
-    for i in 0..q_count {
-        src.push_str(&format!("q(x{i}, a).\n"));
-    }
+    let lines = (0..q_count).map(|i| format!("q(x{i}, a).\n")).collect();
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("irrelevant-induction workload parses");
     debug_assert!(db.is_consistent());
     (db, Transaction::single(upd("p(a,b)")))
@@ -89,15 +111,18 @@ pub fn irrelevant_induction(q_count: usize) -> (Database, Transaction) {
 /// *affected but unchanged* by the update — `delta` enumerates nothing,
 /// `new` enumerates all `n` pre-existing instances (the Lloyd–Topor
 /// comparison of §3.2).
-pub fn unchanged_rule_instances(n: usize) -> (Database, Transaction) {
+pub fn unchanged_rule_instances(n: usize, seed: u64) -> (Database, Transaction) {
     let mut src = String::from(
         "r(X) :- q(X,Y), p(Y,Z).\n\
          constraint c: forall X: r(X) -> rbase(X).\n\
          p(a,c0).\n",
     );
+    let mut lines = Vec::with_capacity(2 * n);
     for i in 0..n {
-        src.push_str(&format!("q(x{i}, a). rbase(x{i}).\n"));
+        lines.push(format!("q(x{i}, a).\n"));
+        lines.push(format!("rbase(x{i}).\n"));
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("unchanged-rule-instances workload parses");
     debug_assert!(db.is_consistent());
     (db, Transaction::single(upd("p(a,b)")))
@@ -110,19 +135,22 @@ pub fn unchanged_rule_instances(n: usize) -> (Database, Transaction) {
 /// and once through the induced `enrolled` trigger (S₁) — and both
 /// instances share the derived subquery `covered(x)`, which joins the
 /// student's `attends` rows against `core`.
-pub fn shared_subquery_university(n: usize, courses_per_student: usize) -> Database {
+pub fn shared_subquery_university(n: usize, courses_per_student: usize, seed: u64) -> Database {
     let mut src = String::from(
         "enrolled(X, cs) :- student(X).\n\
          covered(X) :- attends(X, C), core(C).\n\
          constraint cdb: forall X: student(X) & enrolled(X, cs) -> covered(X).\n\
          core(ddb).\n",
     );
+    let mut lines = Vec::new();
     for i in 0..n {
-        src.push_str(&format!("student(s{i}).\nattends(s{i}, ddb).\n"));
+        lines.push(format!("student(s{i}).\n"));
+        lines.push(format!("attends(s{i}, ddb).\n"));
         for c in 0..courses_per_student {
-            src.push_str(&format!("attends(s{i}, other{c}).\n"));
+            lines.push(format!("attends(s{i}, other{c}).\n"));
         }
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("shared-subquery university parses");
     debug_assert!(db.is_consistent());
     db
@@ -144,15 +172,16 @@ pub fn shared_subquery_tx(k: usize, courses_per_student: usize) -> Transaction {
 
 /// Transitive-closure workload: a path graph of `n` nodes with `tc`
 /// rules and an acyclicity constraint. Used for recursion benchmarks.
-pub fn tc_chain(n: usize) -> Database {
+pub fn tc_chain(n: usize, seed: u64) -> Database {
     let mut src = String::from(
         "tc(X,Y) :- edge(X,Y).\n\
          tc(X,Z) :- tc(X,Y), edge(Y,Z).\n\
          constraint acyclic: forall X: tc(X,X) -> false.\n",
     );
-    for i in 0..n.saturating_sub(1) {
-        src.push_str(&format!("edge(n{i}, n{}).\n", i + 1));
-    }
+    let lines = (0..n.saturating_sub(1))
+        .map(|i| format!("edge(n{i}, n{}).\n", i + 1))
+        .collect();
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("tc chain parses");
     debug_assert!(db.is_consistent());
     db
@@ -174,7 +203,7 @@ pub fn tc_updates(n: usize, count: usize, seed: u64) -> Vec<Update> {
 /// Employee/department instance of the §5 schema (with the repaired
 /// constraint set so instances are consistent): `n` departments, each
 /// led by its own manager, `per_dept` members each.
-pub fn org(n: usize, per_dept: usize) -> Database {
+pub fn org(n: usize, per_dept: usize, seed: u64) -> Database {
     let mut src = String::from(
         "member(X,Y) :- leads(X,Y).\n\
          constraint c1: forall X: employee(X) -> (exists Y: department(Y) & member(X,Y)).\n\
@@ -182,14 +211,18 @@ pub fn org(n: usize, per_dept: usize) -> Database {
          constraint c3: forall X, Y: member(X,Y) -> leads(X,Y) | (forall Z: leads(Z,Y) -> subordinate(X,Z)).\n\
          constraint c4: forall X: ~subordinate(X,X).\n",
     );
+    let mut lines = Vec::new();
     for d in 0..n {
-        src.push_str(&format!("department(d{d}).\nemployee(m{d}).\nleads(m{d}, d{d}).\n"));
+        lines.push(format!("department(d{d}).\n"));
+        lines.push(format!("employee(m{d}).\n"));
+        lines.push(format!("leads(m{d}, d{d}).\n"));
         for e in 0..per_dept {
-            src.push_str(&format!(
-                "employee(e{d}_{e}).\nmember(e{d}_{e}, d{d}).\nsubordinate(e{d}_{e}, m{d}).\n"
-            ));
+            lines.push(format!("employee(e{d}_{e}).\n"));
+            lines.push(format!("member(e{d}_{e}, d{d}).\n"));
+            lines.push(format!("subordinate(e{d}_{e}, m{d}).\n"));
         }
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("org workload parses");
     debug_assert!(db.is_consistent(), "org workload starts consistent");
     db
@@ -230,7 +263,7 @@ pub fn org_updates(n: usize, per_dept: usize, count: usize, seed: u64) -> Vec<Up
 /// constraints range over an `n`-row assignment relation, so a full
 /// re-check pays `k × n` while the incremental rule-update check
 /// compiles exactly one update constraint and evaluates per speaker.
-pub fn rule_update_workload(n: usize, k: usize, speakers: usize) -> Database {
+pub fn rule_update_workload(n: usize, k: usize, speakers: usize, seed: u64) -> Database {
     let mut src = String::new();
     src.push_str("constraint loud_warned: forall X: loud(X) -> warned(X).\n");
     for i in 0..k {
@@ -238,12 +271,16 @@ pub fn rule_update_workload(n: usize, k: usize, speakers: usize) -> Database {
             "constraint c{i}: forall X, Y: assign(X, Y) -> emp(X).\n"
         ));
     }
+    let mut lines = Vec::new();
     for i in 0..n {
-        src.push_str(&format!("emp(e{i}).\nassign(e{i}, d{}).\n", i % 8));
+        lines.push(format!("emp(e{i}).\n"));
+        lines.push(format!("assign(e{i}, d{}).\n", i % 8));
     }
     for j in 0..speakers {
-        src.push_str(&format!("speaker(s{j}).\nwarned(s{j}).\n"));
+        lines.push(format!("speaker(s{j}).\n"));
+        lines.push(format!("warned(s{j}).\n"));
     }
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("rule-update workload parses");
     debug_assert!(db.is_consistent());
     db
@@ -255,17 +292,18 @@ pub fn rule_update_workload(n: usize, k: usize, speakers: usize) -> Database {
 /// pessimistic order, so only reordering saves the join.
 ///
 /// Used together with [`rule_update_workload`] by the E8/E9 benches.
-pub fn optimizer_workload(n: usize) -> Database {
+pub fn optimizer_workload(n: usize, seed: u64) -> Database {
     let mut src = String::from(
         "constraint guarded: forall X: p(X) ->
              (exists Y, Z: big(Y, Z) & big(Z, Y)) | ok(X).\n",
     );
     // A chain: no symmetric pair exists, so the existential always
     // fails after scanning the join.
-    for i in 0..n {
-        src.push_str(&format!("big(b{i}, b{}).\n", i + 1));
-    }
-    src.push_str("ok(a0). ok(a1). ok(a2). ok(a3).\n");
+    let mut lines: Vec<String> = (0..n)
+        .map(|i| format!("big(b{i}, b{}).\n", i + 1))
+        .collect();
+    lines.push("ok(a0). ok(a1). ok(a2). ok(a3).\n".to_string());
+    push_shuffled(&mut src, lines, seed);
     let db = Database::parse(&src).expect("optimizer workload parses");
     debug_assert!(db.is_consistent());
     db
@@ -282,8 +320,9 @@ pub fn random_facts(
     (0..count)
         .map(|_| {
             let (p, arity) = preds[rng.gen_range(0..preds.len())];
-            let args: Vec<&str> =
-                (0..arity).map(|_| constants[rng.gen_range(0..constants.len())]).collect();
+            let args: Vec<&str> = (0..arity)
+                .map(|_| constants[rng.gen_range(0..constants.len())])
+                .collect();
             Fact::parse_like(p, &args)
         })
         .collect()
@@ -301,7 +340,7 @@ mod tests {
     #[test]
     fn rule_update_workload_shape() {
         for (n, k, s) in [(4, 1, 2), (64, 8, 8), (256, 0, 1)] {
-            let db = rule_update_workload(n, k, s);
+            let db = rule_update_workload(n, k, s, 0);
             assert!(db.is_consistent());
             assert_eq!(db.constraints().len(), k + 1);
             assert_eq!(db.facts().len(), 2 * n + 2 * s);
@@ -310,7 +349,7 @@ mod tests {
 
     #[test]
     fn optimizer_workload_shape() {
-        let db = optimizer_workload(32);
+        let db = optimizer_workload(32, 0);
         assert!(db.is_consistent());
         assert_eq!(db.constraints().len(), 1);
         // The chain has no symmetric pair: the existential disjunct is
@@ -326,22 +365,49 @@ mod tests {
     #[test]
     fn university_scales_and_is_consistent() {
         for n in [0, 1, 10, 50] {
-            let db = university(n);
+            let db = university(n, 0);
             assert!(db.is_consistent());
             assert_eq!(db.facts().len(), 3 * n);
         }
     }
 
     #[test]
+    fn seeds_are_reproducible_and_vary_layout() {
+        // Same seed: identical fact iteration order. Different seed: same
+        // content (as a set), typically a different order.
+        let a: Vec<String> = university(30, 7)
+            .facts()
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        let b: Vec<String> = university(30, 7)
+            .facts()
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        assert_eq!(a, b, "same seed must reproduce the same layout");
+        let c: Vec<String> = university(30, 8)
+            .facts()
+            .iter()
+            .map(|f| f.to_string())
+            .collect();
+        assert_ne!(a, c, "different seeds should vary insertion order");
+        let (mut sa, mut sc) = (a.clone(), c.clone());
+        sa.sort();
+        sc.sort();
+        assert_eq!(sa, sc, "content is seed-independent");
+    }
+
+    #[test]
     fn irrelevant_induction_shape() {
-        let (db, tx) = irrelevant_induction(5);
+        let (db, tx) = irrelevant_induction(5, 0);
         assert_eq!(tx.len(), 1);
         assert_eq!(db.rules().len(), 1);
     }
 
     #[test]
     fn org_consistent_and_updates_deterministic() {
-        let db = org(3, 2);
+        let db = org(3, 2, 0);
         assert!(db.is_consistent());
         let a = org_updates(3, 2, 10, 42);
         let b = org_updates(3, 2, 10, 42);
@@ -350,7 +416,7 @@ mod tests {
 
     #[test]
     fn tc_chain_consistent() {
-        let db = tc_chain(10);
+        let db = tc_chain(10, 0);
         assert!(db.is_consistent());
         assert!(db.holds(&Fact::parse_like("tc", &["n0", "n9"])));
     }

@@ -86,7 +86,9 @@ fn main() {
     );
 
     for facts in ["student(x).", "student(x). failed(x)."] {
-        let mut src = String::from("constraint no_failed_honors: forall S: honors(S) & failed(S) -> false.\n");
+        let mut src = String::from(
+            "constraint no_failed_honors: forall S: honors(S) & failed(S) -> false.\n",
+        );
         src.push_str(facts);
         let state = Database::parse(&src).unwrap();
         let checker = Checker::new(&state);
@@ -94,7 +96,11 @@ fn main() {
         let report = checker.evaluate(&compiled, &tx);
         println!(
             "  on state {{{facts}}} -> {}",
-            if report.satisfied { "accepted" } else { "rejected" }
+            if report.satisfied {
+                "accepted"
+            } else {
+                "rejected"
+            }
         );
     }
 }

@@ -25,7 +25,10 @@ fn main() {
     }
 
     let report = original
-        .checker_with(SatOptions { trace: true, ..SatOptions::default() })
+        .checker_with(SatOptions {
+            trace: true,
+            ..SatOptions::default()
+        })
         .check();
     println!("\n--- enforcement trace (search order: reuse, known constants, fresh) ---");
     for line in &report.trace {
@@ -40,7 +43,11 @@ fn main() {
         report.stats.undo_events,
         report.stats.max_level,
     );
-    assert_eq!(report.outcome, SatOutcome::Unsatisfiable, "§5 set must be refuted");
+    assert_eq!(
+        report.outcome,
+        SatOutcome::Unsatisfiable,
+        "§5 set must be refuted"
+    );
 
     println!("\n=== §5 example with constraint (3) weakened ===");
     println!("  (leaders exempt from the subordination requirement)");

@@ -30,8 +30,14 @@ fn main() {
     .expect("program is well-formed and initially consistent");
 
     println!("== queries ==");
-    println!("member(ann, sales)?            {}", db.query("member(ann, sales)").unwrap());
-    println!("exists X: member(ann, X)?      {}", db.query("exists X: member(ann, X)").unwrap());
+    println!(
+        "member(ann, sales)?            {}",
+        db.query("member(ann, sales)").unwrap()
+    );
+    println!(
+        "exists X: member(ann, X)?      {}",
+        db.query("exists X: member(ann, X)").unwrap()
+    );
 
     println!("\n== guarded updates ==");
     // Inserting a dangling department violates `led`.
@@ -48,7 +54,10 @@ fn main() {
          ({} instances evaluated, {} potential updates)",
         report.stats.instances_evaluated, report.stats.potential_updates
     );
-    println!("member(bob, hr)?               {}", db.query("member(bob, hr)").unwrap());
+    println!(
+        "member(bob, hr)?               {}",
+        db.query("member(bob, hr)").unwrap()
+    );
 
     // Deleting ann's leadership would leave sales unled.
     match db.try_delete("leads(ann, sales).") {
@@ -66,13 +75,16 @@ fn main() {
     }
 
     // Apply the repair and retry.
-    db.try_update_all(&["audited(ann)", "audited(bob)"]).unwrap();
-    db.try_add_constraint("audited", "forall X, Y: leads(X, Y) -> audited(X)").unwrap();
+    db.try_update_all(&["audited(ann)", "audited(bob)"])
+        .unwrap();
+    db.try_add_constraint("audited", "forall X, Y: leads(X, Y) -> audited(X)")
+        .unwrap();
     println!("add `audited` after repair     -> accepted");
 
     // A constraint making the whole schema unsatisfiable is rejected
     // outright, no matter the facts.
-    db.try_add_constraint("some_dept", "exists X: department(X)").unwrap();
+    db.try_add_constraint("some_dept", "exists X: department(X)")
+        .unwrap();
     match db.try_add_constraint("nobody", "forall X, Y: leads(X, Y) -> false") {
         Ok(_) => unreachable!(),
         Err(e) => println!("add `nobody`                   -> {e}"),

@@ -54,7 +54,8 @@ fn main() {
                 println!("  -> suggested repair: insert {}", printed.join(", "));
                 // Take the suggestion, then retry.
                 for fact in facts {
-                    db.try_insert(&fact.to_string()).expect("repair facts are safe");
+                    db.try_insert(&fact.to_string())
+                        .expect("repair facts are safe");
                 }
                 db.try_add_constraint("audited_leads", audited)
                     .expect("accepted after repair");

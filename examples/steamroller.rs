@@ -16,7 +16,10 @@ use uniform::SatOutcome;
 
 fn main() {
     let steamroller = problems::steamroller();
-    println!("=== Schubert's steamroller ({} axioms) ===", steamroller.constraints.len());
+    println!(
+        "=== Schubert's steamroller ({} axioms) ===",
+        steamroller.constraints.len()
+    );
     let t0 = std::time::Instant::now();
     let report = steamroller.checker().check();
     let elapsed = t0.elapsed();
@@ -28,7 +31,10 @@ fn main() {
     assert_eq!(report.outcome, SatOutcome::Unsatisfiable);
 
     println!("\n=== full benchmark suite ===");
-    println!("{:<24} {:>14} {:>10} {:>8} {:>8}", "problem", "expected", "outcome", "steps", "time");
+    println!(
+        "{:<24} {:>14} {:>10} {:>8} {:>8}",
+        "problem", "expected", "outcome", "steps", "time"
+    );
     for p in problems::suite() {
         let t0 = std::time::Instant::now();
         let report = p.checker().check();

@@ -9,7 +9,7 @@
 use uniform::datalog::{Transaction, Update};
 use uniform::integrity::{full_recheck, interleaved_check, lloyd_topor_check, Checker};
 use uniform::logic::parse_literal;
-use uniform_workload as workload;
+use uniform::workload;
 
 fn upd(src: &str) -> Update {
     Update::from_literal(&parse_literal(src).unwrap()).unwrap()
@@ -18,7 +18,7 @@ fn upd(src: &str) -> Update {
 fn main() {
     // 500 students, everyone enrolled in cs and attending ddb; enrollment
     // derived by rule.
-    let db = workload::deductive_university(500);
+    let db = workload::deductive_university(500, 0);
     println!(
         "database: {} facts, {} rule(s), {} constraint(s)\n",
         db.facts().len(),
@@ -80,14 +80,21 @@ fn main() {
 
         println!(
             "  verdict: {}",
-            if main.satisfied { "accepted" } else { "rejected" }
+            if main.satisfied {
+                "accepted"
+            } else {
+                "rejected"
+            }
         );
         if !main.satisfied {
             for v in &main.violations {
                 println!(
                     "    violated {} via {}",
                     v.constraint,
-                    v.culprit.as_ref().map(|c| c.to_string()).unwrap_or_default()
+                    v.culprit
+                        .as_ref()
+                        .map(|c| c.to_string())
+                        .unwrap_or_default()
                 );
             }
         }

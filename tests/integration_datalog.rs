@@ -61,12 +61,7 @@ fn overlay_engine_simulates_before_commit() {
     )
     .unwrap();
     // Simulate inserting edge(c,a): tc becomes cyclic in the simulation…
-    let engine = OverlayEngine::updated(
-        db.facts(),
-        db.rules(),
-        vec![fact("edge(c, a).")],
-        vec![],
-    );
+    let engine = OverlayEngine::updated(db.facts(), db.rules(), vec![fact("edge(c, a).")], vec![]);
     assert!(engine.holds(&fact("tc(a, a).")));
     // …but the database itself is untouched.
     assert!(!db.holds(&fact("tc(a, a).")));
@@ -83,7 +78,8 @@ fn formula_evaluation_against_models() {
     let model = Model::compute(&edb, &rules);
     let ok = normalize(&parse_formula("forall X: dormant(X) -> flagged(X)").unwrap()).unwrap();
     assert!(satisfies_closed(&model, &ok));
-    let bad = normalize(&parse_formula("forall X: flagged(X) -> account(X, 100)").unwrap()).unwrap();
+    let bad =
+        normalize(&parse_formula("forall X: flagged(X) -> account(X, 100)").unwrap()).unwrap();
     assert!(!satisfies_closed(&model, &bad));
 }
 

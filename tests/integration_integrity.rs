@@ -14,7 +14,7 @@ fn upd(src: &str) -> Update {
 
 #[test]
 fn university_workload_good_and_bad_transactions() {
-    let db = workload::university(100);
+    let db = workload::university(100, 0);
     let checker = Checker::new(&db);
     assert!(checker.check(&workload::university_good_tx(1)).satisfied);
     let rep = checker.check(&workload::university_bad_tx(1));
@@ -24,7 +24,7 @@ fn university_workload_good_and_bad_transactions() {
 
 #[test]
 fn methods_agree_on_org_update_stream() {
-    let db = workload::org(4, 3);
+    let db = workload::org(4, 3, 0);
     for u in workload::org_updates(4, 3, 30, 0xBEEF) {
         let tx = Transaction::single(u);
         verdicts_agree(&db, &tx).unwrap_or_else(|e| panic!("{e}"));
@@ -33,7 +33,7 @@ fn methods_agree_on_org_update_stream() {
 
 #[test]
 fn methods_agree_on_tc_updates() {
-    let db = workload::tc_chain(12);
+    let db = workload::tc_chain(12, 0);
     for u in workload::tc_updates(12, 20, 99) {
         let tx = Transaction::single(u);
         verdicts_agree(&db, &tx).unwrap_or_else(|e| panic!("{e}"));
@@ -42,7 +42,7 @@ fn methods_agree_on_tc_updates() {
 
 #[test]
 fn recursive_cycle_detection_via_constraints() {
-    let db = workload::tc_chain(50);
+    let db = workload::tc_chain(50, 0);
     let checker = Checker::new(&db);
     // Forward edge: fine. Back edge: closes a cycle.
     assert!(checker.check_update(&upd("edge(n10, n30)")).satisfied);
@@ -56,7 +56,7 @@ fn recursive_cycle_detection_via_constraints() {
 fn compiled_checks_are_reusable_across_states() {
     // Phase 1 output depends only on rules and constraints: reuse one
     // compiled check against many database states.
-    let mut db = workload::university(10);
+    let mut db = workload::university(10, 0);
     let checker = Checker::new(&db);
     let compiled = checker.compile(&[parse_literal("student(probe)").unwrap()]);
     let rejected = checker.evaluate(&compiled, &Transaction::single(upd("student(probe)")));
@@ -71,11 +71,14 @@ fn compiled_checks_are_reusable_across_states() {
 
 #[test]
 fn share_evaluations_toggle_preserves_verdicts() {
-    let db = workload::deductive_university(40);
+    let db = workload::deductive_university(40, 0);
     for share in [true, false] {
         let checker = Checker::with_options(
             &db,
-            CheckOptions { share_evaluations: share, ..CheckOptions::default() },
+            CheckOptions {
+                share_evaluations: share,
+                ..CheckOptions::default()
+            },
         );
         assert!(!checker.check_update(&upd("student(jack)")).satisfied);
         let tx = Transaction::new(vec![upd("student(jack)"), upd("attends(jack, ddb)")]);
@@ -94,7 +97,10 @@ fn facade_applies_only_consistent_transactions() {
     )
     .unwrap();
     assert!(db.try_insert("stock(gadget, 10).").is_ok());
-    assert!(db.try_insert("stock(gizmo, 7).").is_err(), "7 is not a known quantity");
+    assert!(
+        db.try_insert("stock(gizmo, 7).").is_err(),
+        "7 is not a known quantity"
+    );
     let facts: Vec<String> = db.facts().map(|f| f.to_string()).collect();
     assert!(!facts.iter().any(|f| f.contains("gizmo")));
 }
@@ -143,7 +149,10 @@ fn mixed_polarity_cascades() {
     let checker = Checker::new(&db);
     let rep = checker.check_update(&upd("not guard(a)"));
     assert!(!rep.satisfied);
-    assert_eq!(rep.violations[0].culprit.as_ref().unwrap().to_string(), "exposed(a)");
+    assert_eq!(
+        rep.violations[0].culprit.as_ref().unwrap().to_string(),
+        "exposed(a)"
+    );
     // And insertion of a guard for a new exposed employee, in one tx.
     let tx = Transaction::new(vec![upd("emp(b)"), upd("guard(b)")]);
     assert!(checker.check(&tx).satisfied);
@@ -154,7 +163,7 @@ fn mixed_polarity_cascades() {
 fn scaling_sanity_two_phase_faster_than_full_on_big_relations() {
     // Not a benchmark — just a sanity assertion that the asymmetry E1
     // measures actually exists at moderate scale.
-    let db = workload::university(2000);
+    let db = workload::university(2000, 0);
     let checker = Checker::new(&db);
     db.model(); // warm the shared current-state materialization
     let tx = workload::university_good_tx(7);

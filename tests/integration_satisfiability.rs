@@ -39,8 +39,20 @@ fn unsat_verdicts_stable_across_option_profiles() {
     let profiles: Vec<(&str, SatOptions)> = vec![
         ("default", SatOptions::default()),
         ("paper", SatOptions::paper()),
-        ("non-incremental", SatOptions { incremental_checking: false, ..SatOptions::default() }),
-        ("no-deepening", SatOptions { iterative_deepening: false, ..SatOptions::default() }),
+        (
+            "non-incremental",
+            SatOptions {
+                incremental_checking: false,
+                ..SatOptions::default()
+            },
+        ),
+        (
+            "no-deepening",
+            SatOptions {
+                iterative_deepening: false,
+                ..SatOptions::default()
+            },
+        ),
     ];
     for p in problems::suite() {
         if p.expected != problems::Expectation::Unsatisfiable {
@@ -64,7 +76,13 @@ fn sat_problems_found_by_every_complete_profile() {
     // find the finite models.
     let profiles: Vec<(&str, SatOptions)> = vec![
         ("default", SatOptions::default()),
-        ("non-incremental", SatOptions { incremental_checking: false, ..SatOptions::default() }),
+        (
+            "non-incremental",
+            SatOptions {
+                incremental_checking: false,
+                ..SatOptions::default()
+            },
+        ),
     ];
     for p in problems::suite() {
         if p.expected != problems::Expectation::Satisfiable {
@@ -87,7 +105,10 @@ fn budget_zero_handles_propositional_problems() {
     // Propositional problems need no fresh constants at all.
     for p in problems::pelletier_propositional() {
         let report = p
-            .checker_with(SatOptions { max_fresh_constants: 0, ..SatOptions::default() })
+            .checker_with(SatOptions {
+                max_fresh_constants: 0,
+                ..SatOptions::default()
+            })
             .check();
         assert_eq!(report.outcome, SatOutcome::Unsatisfiable, "{}", p.name);
     }
@@ -104,7 +125,10 @@ fn seeded_search_respects_existing_facts() {
         .unwrap(),
     )];
     let report = SatChecker::new(rules, constraints)
-        .with_seed(vec![Fact::parse_like("item", &["i1"]), Fact::parse_like("item", &["i2"])])
+        .with_seed(vec![
+            Fact::parse_like("item", &["i1"]),
+            Fact::parse_like("item", &["i2"]),
+        ])
         .check();
     match report.outcome {
         SatOutcome::Satisfiable { model, .. } => {
@@ -120,7 +144,10 @@ fn facade_schema_guard_detects_incompatibility_added_in_any_order() {
     // Regardless of insertion order, the third constraint clashes.
     let schema = [
         ("a", "exists X: resource(X)"),
-        ("b", "forall X: resource(X) -> (exists Y: owner(Y) & owns(Y, X))"),
+        (
+            "b",
+            "forall X: resource(X) -> (exists Y: owner(Y) & owns(Y, X))",
+        ),
         ("c", "forall X, Y: owns(X, Y) -> false"),
     ];
     for rotation in 0..3 {
@@ -141,7 +168,10 @@ fn facade_schema_guard_detects_incompatibility_added_in_any_order() {
                 }
             }
         }
-        assert!(rejected, "rotation {rotation} accepted an unsatisfiable trio");
+        assert!(
+            rejected,
+            "rotation {rotation} accepted an unsatisfiable trio"
+        );
     }
 }
 
@@ -165,7 +195,10 @@ fn completion_constraints_visible_through_checker() {
     .unwrap();
     let checker = SatChecker::from_database(&db);
     assert!(
-        checker.constraints().iter().any(|c| c.name.starts_with("completion(")),
+        checker
+            .constraints()
+            .iter()
+            .any(|c| c.name.starts_with("completion(")),
         "completion constraint for the negative rule must be added"
     );
     let report = checker.check();

@@ -27,16 +27,20 @@ fn swap_requires_transaction() {
         ",
     )
     .unwrap();
-    assert!(db.try_delete("leads(ann, sales).").is_err(), "sales would be unled");
+    assert!(
+        db.try_delete("leads(ann, sales).").is_err(),
+        "sales would be unled"
+    );
     assert!(db.try_insert("leads(bob, sales).").is_err(), "two leaders");
-    db.try_update_all(&["not leads(ann, sales)", "leads(bob, sales)"]).unwrap();
+    db.try_update_all(&["not leads(ann, sales)", "leads(bob, sales)"])
+        .unwrap();
     assert!(db.query("member(bob, sales)").unwrap());
     assert!(!db.query("member(ann, sales)").unwrap());
 }
 
 #[test]
 fn cancelling_transaction_is_noop() {
-    let db = workload::university(20);
+    let db = workload::university(20, 0);
     let checker = Checker::new(&db);
     let tx = Transaction::new(vec![
         upd("student(ghost)"),
@@ -51,10 +55,7 @@ fn cancelling_transaction_is_noop() {
 
 #[test]
 fn last_write_wins_inside_transaction() {
-    let db = UniformDatabase::parse(
-        "constraint c: forall X: p(X) -> q(X). q(a).",
-    )
-    .unwrap();
+    let db = UniformDatabase::parse("constraint c: forall X: p(X) -> q(X). q(a).").unwrap();
     // insert p(b) (bad), then delete it again, then insert p(a) (fine).
     let tx = Transaction::new(vec![upd("p(b)"), upd("not p(b)"), upd("p(a)")]);
     let rep = db.check(&tx);
@@ -63,15 +64,15 @@ fn last_write_wins_inside_transaction() {
 
 #[test]
 fn transaction_atomicity_on_rejection() {
-    let mut db = UniformDatabase::parse(
-        "constraint c: forall X: p(X) -> q(X). q(a).",
-    )
-    .unwrap();
+    let mut db = UniformDatabase::parse("constraint c: forall X: p(X) -> q(X). q(a).").unwrap();
     let before: Vec<String> = db.facts().map(|f| f.to_string()).collect();
     let err = db.try_update_all(&["p(a)", "p(b)"]).unwrap_err();
     assert!(err.to_string().contains('c'));
     let after: Vec<String> = db.facts().map(|f| f.to_string()).collect();
-    assert_eq!(before, after, "rejected transaction must not change the database");
+    assert_eq!(
+        before, after,
+        "rejected transaction must not change the database"
+    );
 }
 
 #[test]
@@ -96,7 +97,7 @@ fn mixed_insert_delete_with_derived_effects() {
 
 #[test]
 fn bulk_transaction_scales() {
-    let db = workload::university(200);
+    let db = workload::university(200, 0);
     let checker = Checker::new(&db);
     // 50 new students, all correctly enrolled and attending.
     let mut updates = Vec::new();
@@ -119,10 +120,12 @@ fn bulk_transaction_scales() {
     }
     let rep = checker.check(&Transaction::new(updates));
     assert!(!rep.satisfied);
-    assert!(rep
-        .violations
-        .iter()
-        .all(|v| v.culprit.as_ref().unwrap().to_string().contains("bulk31")));
+    assert!(rep.violations.iter().all(|v| v
+        .culprit
+        .as_ref()
+        .unwrap()
+        .to_string()
+        .contains("bulk31")));
 }
 
 #[test]
@@ -136,6 +139,9 @@ fn facade_transaction_report_statistics() {
     )
     .unwrap();
     let report = db.try_update_all(&["leads(ann, sales)"]).unwrap();
-    assert!(report.stats.potential_updates >= 2, "leads + derived member patterns");
+    assert!(
+        report.stats.potential_updates >= 2,
+        "leads + derived member patterns"
+    );
     assert!(report.satisfied);
 }

@@ -122,7 +122,12 @@ fn close_universally(f: Formula) -> Formula {
     // domain independent: ∀X [¬dom(X) ∨ …].
     let mut parts: Vec<Formula> = free
         .iter()
-        .map(|&v| Formula::not(Formula::Atom(Atom::new("dom", vec![uniform::logic::Term::Var(v)]))))
+        .map(|&v| {
+            Formula::not(Formula::Atom(Atom::new(
+                "dom",
+                vec![uniform::logic::Term::Var(v)],
+            )))
+        })
         .collect();
     parts.push(f);
     Formula::forall(free, Formula::Or(parts))
@@ -309,7 +314,11 @@ fn small_model_exists(db: &Database, n: usize) -> bool {
             .map(|(_, f)| f.clone());
         let edb = FactSet::from_facts(facts);
         let model = Model::compute(&edb, db.rules());
-        if db.constraints().iter().all(|c| satisfies_closed(&model, &c.rq)) {
+        if db
+            .constraints()
+            .iter()
+            .all(|c| satisfies_closed(&model, &c.rq))
+        {
             return true;
         }
     }
@@ -323,10 +332,7 @@ fn normalization_oracle_smoke() {
     // One fixed instance of the property, as a fast regression.
     let f = parse_formula("forall X: p(X) -> (exists Y: l(X,Y) & ~r(Y,Y))").unwrap();
     let rq = normalize(&f).unwrap();
-    let facts = vec![
-        parse_fact("p(a).").unwrap(),
-        parse_fact("l(a,b).").unwrap(),
-    ];
+    let facts = vec![parse_fact("p(a).").unwrap(), parse_fact("l(a,b).").unwrap()];
     let interp = FiniteInterp::from_facts(facts.clone());
     let fs = FactSet::from_facts(facts);
     assert_eq!(eval_closed(&f, &interp), satisfies_closed(&fs, &rq));
@@ -351,15 +357,13 @@ fn delta_oracle_smoke() {
 #[test]
 fn small_model_search_is_exhaustive() {
     // Sanity for the brute-force oracle itself.
-    let db = Database::parse(
-        "constraint a: exists X: p(X).\nconstraint b: forall X: p(X) -> q(X).\n",
-    )
-    .unwrap();
+    let db =
+        Database::parse("constraint a: exists X: p(X).\nconstraint b: forall X: p(X) -> q(X).\n")
+            .unwrap();
     assert!(small_model_exists(&db, 1));
-    let db2 = Database::parse(
-        "constraint a: exists X: p(X).\nconstraint b: forall X: p(X) -> false.\n",
-    )
-    .unwrap();
+    let db2 =
+        Database::parse("constraint a: exists X: p(X).\nconstraint b: forall X: p(X) -> false.\n")
+            .unwrap();
     assert!(!small_model_exists(&db2, 2));
 }
 

@@ -217,8 +217,16 @@ fn satisfiability_reports_are_deterministic() {
             "{}: search took a different path between identical runs",
             p.name
         );
-        assert_eq!(first.stats.assertions, second.stats.assertions, "{}", p.name);
-        assert_eq!(first.stats.undo_events, second.stats.undo_events, "{}", p.name);
+        assert_eq!(
+            first.stats.assertions, second.stats.assertions,
+            "{}",
+            p.name
+        );
+        assert_eq!(
+            first.stats.undo_events, second.stats.undo_events,
+            "{}",
+            p.name
+        );
     }
 }
 

@@ -1,0 +1,152 @@
+//! Snapshot isolation under concurrent commits.
+//!
+//! Property: a reader holding a [`Snapshot`] observes exactly the
+//! snapshot-time canonical model — fact by fact, query by query — no
+//! matter how many transactions writer threads commit to the originating
+//! database while the reader keeps asking. Taking a fresh snapshot
+//! afterwards observes the final state.
+
+use proptest::prelude::*;
+use std::sync::Mutex;
+use uniform::datalog::{Database, Snapshot, Update};
+use uniform::logic::Fact;
+
+const PREDS: [&str; 3] = ["p", "q", "r"];
+const CONSTS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Base program: one derived relation and one constraint, so snapshots
+/// carry rules and constraints, not just explicit facts.
+fn base_db() -> Database {
+    Database::parse(
+        "
+        s(X) :- p(X), q(X).
+        constraint guarded: forall X: r(X) -> p(X).
+        ",
+    )
+    .unwrap()
+}
+
+fn arb_updates() -> impl Strategy<Value = Vec<(usize, usize, bool)>> {
+    prop::collection::vec((0..PREDS.len(), 0..CONSTS.len(), any::<bool>()), 1..40)
+}
+
+fn to_update(&(p, c, insert): &(usize, usize, bool)) -> Update {
+    let fact = Fact::parse_like(PREDS[p], &[CONSTS[c]]);
+    if insert {
+        Update::insert(fact)
+    } else {
+        Update::delete(fact)
+    }
+}
+
+/// Everything a reader can observe through a snapshot, rendered
+/// comparably.
+fn observe(snap: &Snapshot) -> (Vec<String>, Vec<String>, Vec<bool>) {
+    let mut model: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
+    model.sort();
+    let violated = snap.violated_constraints();
+    let point_queries: Vec<bool> = PREDS
+        .iter()
+        .flat_map(|p| {
+            CONSTS
+                .iter()
+                .map(move |c| snap.holds(&Fact::parse_like(p, &[c])))
+        })
+        .collect();
+    (model, violated, point_queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Writers commit batches while readers repeatedly re-observe a
+    /// pre-commit snapshot; every observation equals the snapshot-time
+    /// one.
+    #[test]
+    fn snapshot_readers_unaffected_by_concurrent_commits(
+        initial in arb_updates(),
+        batch_a in arb_updates(),
+        batch_b in arb_updates(),
+    ) {
+        let mut db = base_db();
+        for spec in &initial {
+            db.apply(&to_update(spec));
+        }
+        let snapshot = db.snapshot();
+        let reference = observe(&snapshot);
+
+        let shared = Mutex::new(db);
+        let isolation_held = std::thread::scope(|scope| {
+            // Two writer threads committing interleaved batches.
+            for batch in [&batch_a, &batch_b] {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for spec in batch {
+                        let mut db = shared.lock().unwrap();
+                        db.apply(&to_update(spec));
+                        // Touch the model cache like a real commit cycle
+                        // (forces recomputation while readers hold Arcs).
+                        let _ = db.model();
+                    }
+                });
+            }
+            // Two reader threads hammering the old snapshot.
+            let readers: Vec<_> = (0..2)
+                .map(|_| {
+                    let snap = snapshot.clone();
+                    let reference = &reference;
+                    scope.spawn(move || {
+                        (0..25).all(|_| &observe(&snap) == reference)
+                    })
+                })
+                .collect();
+            readers.into_iter().all(|r| r.join().unwrap())
+        });
+        prop_assert!(isolation_held, "a reader saw a state other than the snapshot-time one");
+
+        // The snapshot still answers from its own era even after all
+        // commits landed…
+        prop_assert_eq!(&observe(&snapshot), &reference);
+
+        // …while a fresh snapshot agrees with the database's final state.
+        let db = shared.into_inner().unwrap();
+        let fresh = db.snapshot();
+        let mut final_model: Vec<String> = db.model().iter().map(|f| f.to_string()).collect();
+        final_model.sort();
+        prop_assert_eq!(observe(&fresh).0, final_model);
+        prop_assert_eq!(fresh.violated_constraints(), db.violated_constraints());
+    }
+
+    /// Sequential sanity for the same machinery: a snapshot per commit,
+    /// each later compared against an independently recomputed model of
+    /// the same prefix of updates.
+    #[test]
+    fn snapshots_pin_each_prefix_of_a_commit_sequence(
+        updates in arb_updates(),
+    ) {
+        let mut db = base_db();
+        let mut pinned: Vec<(Snapshot, Vec<String>)> = Vec::new();
+        for spec in &updates {
+            db.apply(&to_update(spec));
+            let snap = db.snapshot();
+            let mut model: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
+            model.sort();
+            pinned.push((snap, model));
+        }
+        // Replay: recompute each prefix on a fresh database and compare
+        // against what the pinned snapshot still reports.
+        for (i, (snap, expected)) in pinned.iter().enumerate() {
+            let mut replay = base_db();
+            for spec in &updates[..=i] {
+                replay.apply(&to_update(spec));
+            }
+            let mut replay_model: Vec<String> =
+                replay.model().iter().map(|f| f.to_string()).collect();
+            replay_model.sort();
+            prop_assert_eq!(&replay_model, expected, "prefix {} diverged", i);
+            let mut still: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
+            still.sort();
+            prop_assert_eq!(&still, expected, "snapshot {} drifted", i);
+        }
+    }
+}
