@@ -1,0 +1,73 @@
+//! B2: multi-writer commit throughput through the MVCC pipeline.
+//!
+//! One shared [`ConcurrentDatabase`]; each writer thread pushes its
+//! slice of the commit-mix workload (mostly disjoint-relation private
+//! transactions, some contended shared ones, some integrity-rejected
+//! ones) through begin → snapshot-check → first-committer-wins
+//! admission, retrying on conflicts. The benchmark reports wall time of
+//! the whole fan-out at 1/2/4/8 writers over a fixed total transaction
+//! count: with checks running on snapshots outside the queue lock,
+//! aggregate throughput should scale with cores (on a single-core
+//! container the times stay flat).
+//!
+//! [`ConcurrentDatabase`]: uniform::ConcurrentDatabase
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{ConcurrentDatabase, TxnError, UniformOptions};
+
+const TOTAL_TXNS: usize = 256;
+const MAX_ATTEMPTS: usize = 64;
+
+fn bench_commit_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b2_commit_throughput");
+    group.sample_size(10);
+    for &writers in &[1usize, 2, 4, 8] {
+        let per_writer = TOTAL_TXNS / writers;
+        group.throughput(Throughput::Elements((writers * per_writer) as u64));
+        group.bench_with_input(
+            BenchmarkId::new("writers", writers),
+            &writers,
+            |b, &writers| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let (base, streams) = workload::commit_mix(writers, per_writer, 42);
+                        let db = ConcurrentDatabase::from_database(base, UniformOptions::default());
+                        let t0 = Instant::now();
+                        std::thread::scope(|scope| {
+                            for stream in &streams {
+                                let db = db.clone();
+                                scope.spawn(move || {
+                                    let mut committed = 0usize;
+                                    for tx in stream {
+                                        match db
+                                            .commit_updates_with_retry(&tx.updates, MAX_ATTEMPTS)
+                                        {
+                                            Ok(_) => committed += 1,
+                                            Err(TxnError::Rejected(_)) => {}
+                                            Err(e) => panic!("commit failed: {e}"),
+                                        }
+                                    }
+                                    assert!(committed > 0);
+                                });
+                            }
+                        });
+                        total += t0.elapsed();
+                        assert!(db.with_database(|d| d.is_consistent()));
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_commit_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,441 @@
+//! The multi-writer guarded-update pipeline: [`ConcurrentDatabase`].
+//!
+//! A cheaply clonable (`Arc`-shared) handle that any number of writer
+//! threads commit through. Each transaction:
+//!
+//! 1. **begins** against a pinned MVCC snapshot
+//!    ([`ConcurrentDatabase::begin`] → [`TxnBuilder`]);
+//! 2. is **checked** by the paper's incremental integrity method
+//!    *against that snapshot* — the expensive phase, running outside
+//!    any lock, recording the relation-level read set the verdict
+//!    depends on;
+//! 3. is **submitted** to the shared
+//!    [`CommitQueue`](uniform_datalog::txn::CommitQueue), which admits
+//!    it with first-committer-wins conflict detection: writers over
+//!    disjoint relations commit without invalidating each other, while
+//!    a transaction whose read or write set overlaps a later commit's
+//!    writes is refused with a typed, retriable [`TxnError::Conflict`].
+//!
+//! Admitted schedules are serializable: replaying the admitted
+//! transactions sequentially in commit order reproduces the same EDB,
+//! canonical model and (empty) violation lists — the property
+//! `tests/prop_commit_serializability.rs` asserts over randomized
+//! multi-writer schedules.
+
+use crate::facade::{UniformDatabase, UniformError, UniformOptions};
+use std::fmt;
+use std::sync::Arc;
+use uniform_datalog::txn::{CommitError, CommitQueue, CommitReceipt};
+use uniform_datalog::{Database, Snapshot, Transaction, TxnBuilder, Update};
+use uniform_integrity::{CheckReport, Checker};
+
+/// Why a guarded concurrent commit failed.
+#[derive(Debug)]
+pub enum TxnError {
+    /// The transaction would violate integrity, checked on a snapshot
+    /// that was still fresh for the check's read set at rejection time
+    /// (stale rejections surface as [`TxnError::Conflict`] instead).
+    /// Not retriable: the same updates against the same state fail the
+    /// same way.
+    Rejected(Box<CheckReport>),
+    /// A first-committer won a relation this transaction depends on.
+    /// Retriable: re-begin against a fresh snapshot.
+    Conflict {
+        relations: Vec<uniform_logic::Sym>,
+        committed_version: u64,
+    },
+    /// The transaction out-lived the commit queue's conflict log.
+    /// Retriable: re-begin against a fresh snapshot.
+    SnapshotTooOld { begin_version: u64, horizon: u64 },
+    /// An update misuses a predicate's arity (typed, from
+    /// [`uniform_datalog::ApplyError`]). Not retriable.
+    Apply(uniform_datalog::ApplyError),
+    /// `commit_with_retry` gave up; `last` is the final refusal.
+    RetriesExhausted {
+        attempts: usize,
+        last: Box<TxnError>,
+    },
+}
+
+impl TxnError {
+    /// Would re-beginning against a fresh snapshot possibly succeed?
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            TxnError::Conflict { .. } | TxnError::SnapshotTooOld { .. }
+        )
+    }
+
+    fn from_commit(e: CommitError) -> TxnError {
+        match e {
+            CommitError::Conflict {
+                relations,
+                committed_version,
+            } => TxnError::Conflict {
+                relations,
+                committed_version,
+            },
+            CommitError::SnapshotTooOld {
+                begin_version,
+                horizon,
+            } => TxnError::SnapshotTooOld {
+                begin_version,
+                horizon,
+            },
+            CommitError::Apply(e) => TxnError::Apply(e),
+        }
+    }
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Rejected(report) => {
+                write!(f, "transaction rejected; violated: ")?;
+                for (i, v) in report.violations.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", v.constraint)?;
+                    if let Some(culprit) = &v.culprit {
+                        write!(f, " (via {culprit})")?;
+                    }
+                }
+                Ok(())
+            }
+            TxnError::Conflict {
+                relations,
+                committed_version,
+            } => write!(
+                f,
+                "commit conflict on {} (first committer won at version {committed_version})",
+                relations
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            TxnError::SnapshotTooOld {
+                begin_version,
+                horizon,
+            } => write!(
+                f,
+                "snapshot too old: began at version {begin_version}, conflict log starts at {horizon}"
+            ),
+            TxnError::Apply(e) => write!(f, "{e}"),
+            TxnError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// An admitted guarded commit.
+#[derive(Debug)]
+pub struct CommitOutcome {
+    /// The database version after the commit.
+    pub version: u64,
+    /// The integrity report of the snapshot-time check (satisfied).
+    pub report: CheckReport,
+    /// Conflict-retries spent before admission (0 on the direct path).
+    pub retries: usize,
+    /// The Def. 1 effective updates, in staging order.
+    pub effective: Vec<Update>,
+}
+
+struct Shared {
+    queue: CommitQueue,
+    options: UniformOptions,
+}
+
+/// See the module docs.
+#[derive(Clone)]
+pub struct ConcurrentDatabase {
+    shared: Arc<Shared>,
+}
+
+impl ConcurrentDatabase {
+    /// Share a façade database among writers. Fails never; the façade's
+    /// invariant (initial state consistent) carries over.
+    pub fn new(db: UniformDatabase) -> ConcurrentDatabase {
+        let (db, options) = db.into_parts();
+        ConcurrentDatabase::from_database(db, options)
+    }
+
+    /// Share a bare [`Database`] with explicit options.
+    pub fn from_database(db: Database, options: UniformOptions) -> ConcurrentDatabase {
+        ConcurrentDatabase {
+            shared: Arc::new(Shared {
+                queue: CommitQueue::new(db),
+                options,
+            }),
+        }
+    }
+
+    /// Parse a program and share it (see [`UniformDatabase::parse`]).
+    pub fn parse(src: &str) -> Result<ConcurrentDatabase, UniformError> {
+        Ok(ConcurrentDatabase::new(UniformDatabase::parse(src)?))
+    }
+
+    /// Pin a snapshot and open a transaction.
+    pub fn begin(&self) -> TxnBuilder {
+        self.shared.queue.begin()
+    }
+
+    /// A read snapshot of the latest committed state.
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.queue.snapshot()
+    }
+
+    /// The latest committed version.
+    pub fn version(&self) -> u64 {
+        self.shared.queue.version()
+    }
+
+    /// Run `f` on the live database under the queue lock (reads only).
+    pub fn with_database<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        self.shared.queue.with_db(f)
+    }
+
+    /// Check `txn` against its pinned snapshot and, if integrity is
+    /// preserved, submit it for first-committer-wins admission. The
+    /// check runs entirely on the snapshot — concurrent callers only
+    /// serialize on the final admission step.
+    pub fn commit(&self, txn: &TxnBuilder) -> Result<CommitOutcome, TxnError> {
+        let mut txn = txn.clone();
+        if let Err(e) = txn.validate_arities() {
+            return Err(TxnError::Apply(e));
+        }
+        let tx = txn.transaction();
+        let report = Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check)
+            .check(&tx);
+        // The admission decision needs every relation the verdict read —
+        // and so does deciding whether a *rejection* is still current.
+        txn.record_reads(report.reads.iter().copied());
+        if !report.satisfied {
+            // A rejection is only final if its snapshot is still fresh
+            // for the read set; if a later commit wrote into it, the
+            // verdict may be outdated — surface a retriable conflict so
+            // the caller re-checks against a fresh snapshot.
+            if let Err(e) = self.shared.queue.check_freshness(&txn) {
+                return Err(TxnError::from_commit(e));
+            }
+            return Err(TxnError::Rejected(Box::new(report)));
+        }
+        match self.shared.queue.commit(&txn) {
+            Ok(CommitReceipt { version, effective }) => Ok(CommitOutcome {
+                version,
+                report,
+                retries: 0,
+                effective,
+            }),
+            Err(e) => Err(TxnError::from_commit(e)),
+        }
+    }
+
+    /// Commit `updates` as one transaction, re-beginning against a
+    /// fresh snapshot after each conflict, up to `max_attempts` times.
+    /// Integrity rejections are returned immediately (they are
+    /// state-dependent, not race-dependent).
+    pub fn commit_updates_with_retry(
+        &self,
+        updates: &[Update],
+        max_attempts: usize,
+    ) -> Result<CommitOutcome, TxnError> {
+        let mut last: Option<TxnError> = None;
+        for attempt in 0..max_attempts.max(1) {
+            let mut txn = self.begin();
+            for u in updates {
+                txn.stage(u.clone());
+            }
+            match self.commit(&txn) {
+                Ok(mut outcome) => {
+                    outcome.retries = attempt;
+                    return Ok(outcome);
+                }
+                Err(e) if e.is_retriable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(TxnError::RetriesExhausted {
+            attempts: max_attempts.max(1),
+            last: Box::new(last.expect("at least one attempt ran")),
+        })
+    }
+
+    /// Commit a [`Transaction`] once (no retry), from a fresh snapshot.
+    pub fn commit_transaction(&self, tx: &Transaction) -> Result<CommitOutcome, TxnError> {
+        let mut txn = self.begin();
+        for u in &tx.updates {
+            txn.stage(u.clone());
+        }
+        self.commit(&txn)
+    }
+}
+
+impl fmt::Debug for ConcurrentDatabase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ConcurrentDatabase({:?})", self.shared.queue)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_logic::Fact;
+
+    const ORG: &str = "
+        member(X, Y) :- leads(X, Y).
+        constraint led: forall X: department(X) -> (exists Y: employee(Y) & leads(Y, X)).
+        employee(ann).
+        department(sales).
+        leads(ann, sales).
+    ";
+
+    fn upd(insert: bool, p: &str, args: &[&str]) -> Update {
+        let fact = Fact::parse_like(p, args);
+        if insert {
+            Update::insert(fact)
+        } else {
+            Update::delete(fact)
+        }
+    }
+
+    #[test]
+    fn guarded_commit_accepts_and_rejects() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        // A full department with its leader: accepted.
+        let mut good = db.begin();
+        good.stage(upd(true, "department", &["hr"]));
+        good.stage(upd(true, "employee", &["bob"]));
+        good.stage(upd(true, "leads", &["bob", "hr"]));
+        let outcome = db.commit(&good).unwrap();
+        assert!(outcome.report.satisfied);
+        assert_eq!(outcome.effective.len(), 3);
+        // A dangling department: rejected with the violating constraint.
+        let mut bad = db.begin();
+        bad.stage(upd(true, "department", &["void"]));
+        match db.commit(&bad).unwrap_err() {
+            TxnError::Rejected(report) => {
+                assert_eq!(report.violations[0].constraint, "led");
+            }
+            other => panic!("expected rejection, got {other}"),
+        }
+        assert!(db.with_database(|d| d.is_consistent()));
+    }
+
+    #[test]
+    fn conflicting_writers_get_typed_conflicts_and_retries_succeed() {
+        let db = ConcurrentDatabase::parse("seat(a).").unwrap();
+        let mut t1 = db.begin();
+        t1.stage(upd(false, "seat", &["a"]));
+        let mut t2 = db.begin();
+        t2.stage(upd(true, "seat", &["b"]));
+        db.commit(&t1).unwrap();
+        // t2 writes the relation t1 just changed: first committer wins.
+        let err = db.commit(&t2).unwrap_err();
+        assert!(err.is_retriable(), "{err}");
+        // The retry path re-begins and lands it.
+        let outcome = db
+            .commit_updates_with_retry(&[upd(true, "seat", &["b"])], 4)
+            .unwrap();
+        assert!(outcome.report.satisfied);
+        assert!(db.with_database(|d| d.facts().contains(&Fact::parse_like("seat", &["b"]))));
+    }
+
+    #[test]
+    fn rejections_are_not_retried() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        let err = db
+            .commit_updates_with_retry(&[upd(true, "p", &["zzz"])], 8)
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Rejected(_)), "{err}");
+    }
+
+    #[test]
+    fn snapshot_isolated_check_ignores_later_commits_to_unrelated_relations() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["a"]));
+        // An unrelated commit lands in between.
+        db.commit_updates_with_retry(&[upd(true, "noise", &["n1"])], 1)
+            .unwrap();
+        // The pinned check still admits: `noise` is outside its read set.
+        let outcome = db.commit(&t).unwrap();
+        assert!(outcome.report.satisfied);
+    }
+
+    #[test]
+    fn dependent_read_conflicts_abort_stale_checks() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        // t's admissibility depends on q(a) existing at its snapshot.
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["a"]));
+        // Another writer deletes q(a) and commits first.
+        db.commit_updates_with_retry(&[upd(false, "q", &["a"])], 1)
+            .unwrap();
+        let err = db.commit(&t).unwrap_err();
+        match err {
+            TxnError::Conflict { relations, .. } => {
+                assert!(relations.iter().any(|s| s.as_str() == "q"), "{relations:?}");
+            }
+            other => panic!("stale check must conflict, got {other}"),
+        }
+        // And the retry correctly *rejects* now that q(a) is gone.
+        let err = db
+            .commit_updates_with_retry(&[upd(true, "p", &["a"])], 4)
+            .unwrap_err();
+        assert!(matches!(err, TxnError::Rejected(_)), "{err}");
+        assert!(db.with_database(|d| d.is_consistent()));
+    }
+
+    #[test]
+    fn stale_rejections_surface_as_retriable_conflicts() {
+        let db = ConcurrentDatabase::parse("constraint c: forall X: p(X) -> q(X).").unwrap();
+        // At t's snapshot q(a) is absent, so p(a) would be rejected…
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["a"]));
+        // …but another writer commits q(a) first: the rejection verdict
+        // is stale and must come back retriable, not final.
+        db.commit_updates_with_retry(&[upd(true, "q", &["a"])], 1)
+            .unwrap();
+        let err = db.commit(&t).unwrap_err();
+        assert!(
+            err.is_retriable(),
+            "stale rejection must be retriable: {err}"
+        );
+        // The retry path re-checks on a fresh snapshot and admits.
+        let outcome = db
+            .commit_updates_with_retry(&[upd(true, "p", &["a"])], 4)
+            .unwrap();
+        assert!(outcome.report.satisfied);
+        assert!(db.with_database(|d| d.is_consistent()));
+    }
+
+    #[test]
+    fn multi_writer_threads_preserve_integrity() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    for i in 0..8 {
+                        let name = format!("d{w}_{i}");
+                        let mgr = format!("m{w}_{i}");
+                        let updates = [
+                            upd(true, "department", &[&name]),
+                            upd(true, "employee", &[&mgr]),
+                            upd(true, "leads", &[&mgr, &name]),
+                        ];
+                        db.commit_updates_with_retry(&updates, 16).unwrap();
+                    }
+                });
+            }
+        });
+        assert!(db.with_database(|d| d.is_consistent()));
+        // 3 seed facts + 3 per committed department.
+        assert_eq!(db.with_database(|d| d.facts().len()), 3 + 4 * 8 * 3);
+    }
+}

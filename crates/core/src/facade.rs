@@ -2,7 +2,7 @@
 //! guarded by the appropriate checker of the paper.
 
 use std::fmt;
-use uniform_datalog::{all_solutions, Database, Model, Transaction, Update};
+use uniform_datalog::{all_solutions, Database, Model, Transaction, TxnBuilder, Update};
 use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
 };
@@ -152,6 +152,13 @@ impl UniformDatabase {
         &self.db
     }
 
+    /// Tear down the façade into its parts (used by
+    /// [`crate::ConcurrentDatabase`] to move the database behind a
+    /// shared commit queue).
+    pub(crate) fn into_parts(self) -> (Database, UniformOptions) {
+        (self.db, self.options)
+    }
+
     pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
         self.db.facts().iter()
     }
@@ -180,29 +187,65 @@ impl UniformDatabase {
         Checker::with_options(&self.db, self.options.check).check(tx)
     }
 
+    /// Typed arity validation shared by every guarded fact-update path
+    /// (delegates to the single datalog-level rule set, which also
+    /// catches intra-transaction mismatches on fresh predicates).
+    fn validate_arities(&self, tx: &Transaction) -> Result<(), UniformError> {
+        uniform_datalog::database::validate_transaction_arities(
+            |pred| self.db.arity_of(pred),
+            &tx.updates,
+        )
+        .map_err(|e| {
+            UniformError::Language(LogicError::Parse(uniform_logic::ParseError {
+                line: 1,
+                col: 1,
+                message: e.to_string(),
+            }))
+        })
+    }
+
     /// Apply a transaction iff it preserves integrity.
     pub fn try_apply(&mut self, tx: &Transaction) -> Result<CheckReport, UniformError> {
-        for u in &tx.updates {
-            if let Some(expected) = self.db.arity_of(u.fact.pred) {
-                if expected != u.fact.args.len() {
-                    return Err(UniformError::Language(LogicError::Parse(
-                        uniform_logic::ParseError {
-                            line: 1,
-                            col: 1,
-                            message: format!(
-                                "update {u} uses {} with arity {} but the database uses arity {expected}",
-                                u.fact.pred,
-                                u.fact.args.len()
-                            ),
-                        },
-                    )));
-                }
-            }
-        }
+        self.validate_arities(tx)?;
         let report = self.check(tx);
         if report.satisfied {
             for u in &tx.updates {
-                self.db.apply(u);
+                self.db.apply(u).expect("arities validated above");
+            }
+            Ok(report)
+        } else {
+            Err(UniformError::UpdateRejected(Box::new(report)))
+        }
+    }
+
+    // ---- optimistic transactions ----------------------------------------
+
+    /// Open a transaction: a [`TxnBuilder`] staging updates against a
+    /// snapshot of the current state. Check-and-commit it later with
+    /// [`UniformDatabase::commit`]; for multi-writer pipelines see
+    /// [`crate::ConcurrentDatabase`].
+    pub fn begin(&self) -> TxnBuilder {
+        self.db.begin()
+    }
+
+    /// Commit a transaction opened with [`UniformDatabase::begin`],
+    /// guarded by the integrity checker. When the database is unchanged
+    /// since `begin` the check runs against the pinned snapshot (the
+    /// concurrent pipeline's path); if this handle committed something
+    /// in between, the transaction is transparently re-checked against
+    /// the current state — with `&mut self` there are no other writers,
+    /// so a conflict abort would be pure friction.
+    pub fn commit(&mut self, txn: &TxnBuilder) -> Result<CheckReport, UniformError> {
+        let tx = txn.transaction();
+        self.validate_arities(&tx)?;
+        if txn.begin_version() != self.db.version() {
+            return self.try_apply(&tx);
+        }
+        let report =
+            Checker::for_snapshot_with_options(txn.snapshot(), self.options.check).check(&tx);
+        if report.satisfied {
+            for u in &tx.updates {
+                self.db.apply(u).expect("arities validated above");
             }
             Ok(report)
         } else {
@@ -236,8 +279,9 @@ impl UniformDatabase {
             (checker.evaluate(&compiled, &tx), tx)
         };
         if report.satisfied {
+            self.validate_arities(&tx)?;
             for u in &tx.updates {
-                self.db.apply(u);
+                self.db.apply(u).expect("arities validated above");
             }
             Ok(report)
         } else {
@@ -504,6 +548,35 @@ mod tests {
     }
 
     #[test]
+    fn begin_commit_guards_like_try_apply() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        let mut txn = db.begin();
+        txn.insert(Fact::parse_like("department", &["hr"]));
+        txn.insert(Fact::parse_like("employee", &["bob"]));
+        txn.insert(Fact::parse_like("leads", &["bob", "hr"]));
+        let report = db.commit(&txn).unwrap();
+        assert!(report.satisfied);
+        assert!(db.query("member(bob, hr)").unwrap());
+
+        // A transaction whose snapshot went stale (this handle committed
+        // in between) is transparently re-checked against current state.
+        let mut stale = db.begin();
+        stale.insert(Fact::parse_like("department", &["ops"]));
+        stale.insert(Fact::parse_like("employee", &["cal"]));
+        stale.insert(Fact::parse_like("leads", &["cal", "ops"]));
+        db.try_insert("veteran(v).").unwrap();
+        assert!(db.commit(&stale).unwrap().satisfied);
+        assert!(db.query("member(cal, ops)").unwrap());
+
+        // Rejections carry the usual typed report.
+        let mut bad = db.begin();
+        bad.insert(Fact::parse_like("department", &["void"]));
+        let err = db.commit(&bad).unwrap_err();
+        assert!(matches!(err, UniformError::UpdateRejected(_)), "{err}");
+        assert!(!db.query("department(void)").unwrap());
+    }
+
+    #[test]
     fn unsatisfiable_constraint_rejected_before_fact_check() {
         let mut db = UniformDatabase::parse(ORG).unwrap();
         // On its own, forbidding leaders is satisfiable (by databases
@@ -623,8 +696,13 @@ mod tests {
         assert!(err.to_string().contains("arity"), "{err}");
         let err = db.try_delete("leads(ann).").unwrap_err();
         assert!(err.to_string().contains("arity"), "{err}");
-        // Fresh predicates are unconstrained.
+        // Fresh predicates are unconstrained…
         assert!(db.try_insert("brand_new(a, b, c).").is_ok());
+        // …but one transaction cannot use a fresh predicate with two
+        // different arities: refused up front, nothing applied.
+        let err = db.try_update_all(&["fresh(a, b)", "fresh(c)"]).unwrap_err();
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert!(db.database().facts().relation(Sym::new("fresh")).is_none());
     }
 
     #[test]

@@ -38,8 +38,10 @@
 //! println!("rejected: {err}");
 //! ```
 
+pub mod concurrent;
 pub mod facade;
 
+pub use concurrent::{CommitOutcome, ConcurrentDatabase, TxnError};
 pub use facade::{UniformDatabase, UniformError, UniformOptions};
 
 // Re-export the full stack for advanced use.
@@ -51,7 +53,10 @@ pub use uniform_satisfiability as satisfiability;
 // benchmarks need only the façade crate.
 pub use uniform_workload as workload;
 
-pub use uniform_datalog::{Database, FactSet, Model, Transaction, Update};
+pub use uniform_datalog::{
+    ApplyError, CommitError, CommitQueue, CommitReceipt, Database, FactSet, Model, Snapshot,
+    Transaction, TxnBuilder, Update,
+};
 pub use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker, Violation,
 };

@@ -13,11 +13,110 @@ use crate::eval::satisfies_closed;
 use crate::model::Model;
 use crate::program::RuleSet;
 use crate::store::FactSet;
+use crate::txn::TxnBuilder;
 use crate::update::Update;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use uniform_logic::{normalize, parse_program, Constraint, Fact, LogicError, ParseError, Rq, Sym};
+
+/// Why [`Database::apply`] refused to touch the store. Arity misuse is a
+/// caller error distinct from a constraint rejection (which never reaches
+/// this layer — guarded updates are checked in `uniform-integrity` /
+/// `uniform-core` before `apply` is called) and from a Def. 1 no-op
+/// (which is `Ok(false)`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ApplyError {
+    /// The update uses a predicate with a different arity than the rest
+    /// of the database (facts, rule heads/bodies, constraint literals).
+    ArityMismatch {
+        pred: Sym,
+        expected: usize,
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApplyError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "predicate {pred} used with arity {got} but the database uses arity {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
+
+/// The arity `pred` is used with anywhere in `(facts, rules,
+/// constraints)`; `None` for unknown predicates. Single source of truth
+/// behind [`Database::arity_of`] and [`Snapshot::arity_of`].
+fn arity_in(
+    facts: &FactSet,
+    rules: &RuleSet,
+    constraints: &[Constraint],
+    pred: Sym,
+) -> Option<usize> {
+    if let Some(rel) = facts.relation(pred) {
+        return Some(rel.arity());
+    }
+    for r in rules.rules() {
+        if r.head.pred == pred {
+            return Some(r.head.args.len());
+        }
+        for l in &r.body {
+            if l.atom.pred == pred {
+                return Some(l.atom.args.len());
+            }
+        }
+    }
+    for c in constraints {
+        for occ in c.rq.literals() {
+            if occ.literal.atom.pred == pred {
+                return Some(occ.literal.atom.args.len());
+            }
+        }
+    }
+    None
+}
+
+/// Validate a whole transaction's arities against a schema lookup,
+/// *including* arities introduced by earlier updates in the same
+/// transaction: `[+fresh(a,b), +fresh(c)]` must be refused up front,
+/// not panic halfway through application. Every pre-apply validation
+/// path (façade, [`crate::txn::TxnBuilder`], [`crate::txn::CommitQueue`])
+/// goes through here so the rules cannot drift apart.
+pub fn validate_transaction_arities<'a>(
+    arity_of: impl Fn(Sym) -> Option<usize>,
+    updates: impl IntoIterator<Item = &'a Update>,
+) -> Result<(), ApplyError> {
+    let mut introduced: HashMap<Sym, usize> = HashMap::new();
+    for u in updates {
+        let expected = introduced
+            .get(&u.fact.pred)
+            .copied()
+            .or_else(|| arity_of(u.fact.pred));
+        match expected {
+            Some(a) if a != u.fact.args.len() => {
+                return Err(ApplyError::ArityMismatch {
+                    pred: u.fact.pred,
+                    expected: a,
+                    got: u.fact.args.len(),
+                });
+            }
+            Some(_) => {}
+            None => {
+                introduced.insert(u.fact.pred, u.fact.args.len());
+            }
+        }
+    }
+    Ok(())
+}
 
 /// Check that every predicate is used with a single arity across facts,
 /// rules and constraints — mismatches must surface as errors at the
@@ -71,6 +170,10 @@ pub struct Database {
     rules: Arc<RuleSet>,
     constraints: Arc<Vec<Constraint>>,
     model: RwLock<Option<Arc<Model>>>,
+    /// Monotonic state version: bumped on every effective mutation (fact
+    /// or schema). Snapshots pin it; the commit pipeline's first-
+    /// committer-wins conflict detection compares against it.
+    version: u64,
 }
 
 impl Default for Database {
@@ -86,6 +189,7 @@ impl Clone for Database {
             rules: self.rules.clone(),
             constraints: self.constraints.clone(),
             model: RwLock::new(self.model.read().clone()),
+            version: self.version,
         }
     }
 }
@@ -97,6 +201,7 @@ impl Database {
             rules: Arc::new(RuleSet::empty()),
             constraints: Arc::new(Vec::new()),
             model: RwLock::new(None),
+            version: 0,
         }
     }
 
@@ -107,6 +212,7 @@ impl Database {
             rules: Arc::new(rules),
             constraints: Arc::new(constraints),
             model: RwLock::new(None),
+            version: 0,
         }
     }
 
@@ -140,27 +246,7 @@ impl Database {
     /// rule heads or bodies, constraint literals); `None` for unknown
     /// predicates.
     pub fn arity_of(&self, pred: Sym) -> Option<usize> {
-        if let Some(rel) = self.edb.relation(pred) {
-            return Some(rel.arity());
-        }
-        for r in self.rules.rules() {
-            if r.head.pred == pred {
-                return Some(r.head.args.len());
-            }
-            for l in &r.body {
-                if l.atom.pred == pred {
-                    return Some(l.atom.args.len());
-                }
-            }
-        }
-        for c in self.constraints.iter() {
-            for occ in c.rq.literals() {
-                if occ.literal.atom.pred == pred {
-                    return Some(occ.literal.atom.args.len());
-                }
-            }
-        }
-        None
+        arity_in(&self.edb, &self.rules, &self.constraints, pred)
     }
 
     pub fn facts(&self) -> &FactSet {
@@ -183,34 +269,60 @@ impl Database {
     /// this is the subject of §4).
     pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
         self.constraints = Arc::new(constraints);
+        self.version += 1;
     }
 
     pub fn add_constraint(&mut self, c: Constraint) {
         Arc::make_mut(&mut self.constraints).push(c);
+        self.version += 1;
     }
 
     /// Replace the rule set; invalidates the cached model.
     pub fn set_rules(&mut self, rules: RuleSet) {
         self.rules = Arc::new(rules);
         *self.model.get_mut() = None;
+        self.version += 1;
+    }
+
+    /// The monotonic state version: distinct whenever the database state
+    /// (facts or schema) is distinct. [`Snapshot`]s pin the version they
+    /// were taken at; the commit pipeline ([`crate::txn`]) uses it for
+    /// first-committer-wins conflict detection.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Apply an update to the fact base (no integrity checking here — the
-    /// guarded path lives in `uniform-integrity`/`uniform-core`). Returns
-    /// `true` if the database changed; invalidates the cached model.
-    pub fn apply(&mut self, update: &Update) -> bool {
+    /// guarded path lives in `uniform-integrity`/`uniform-core`).
+    /// `Ok(true)` if the database changed, `Ok(false)` for a Def. 1
+    /// no-op, and a typed [`ApplyError`] — not a silent `false` or a
+    /// store panic — when the update misuses a predicate's arity.
+    /// Effective updates invalidate the cached model.
+    pub fn apply(&mut self, update: &Update) -> Result<bool, ApplyError> {
+        if let Some(expected) = self.arity_of(update.fact.pred) {
+            if expected != update.fact.args.len() {
+                return Err(ApplyError::ArityMismatch {
+                    pred: update.fact.pred,
+                    expected,
+                    got: update.fact.args.len(),
+                });
+            }
+        }
         let changed = update.apply(&mut self.edb);
         if changed {
             *self.model.get_mut() = None;
+            self.version += 1;
         }
-        changed
+        Ok(changed)
     }
 
-    /// Direct fact insertion (convenience for loading).
+    /// Direct fact insertion (convenience for loading). Panics on arity
+    /// misuse — use [`Database::apply`] for a typed error.
     pub fn insert_fact(&mut self, fact: &Fact) -> bool {
         let changed = self.edb.insert(fact);
         if changed {
             *self.model.get_mut() = None;
+            self.version += 1;
         }
         changed
     }
@@ -240,7 +352,16 @@ impl Database {
             rules: self.rules.clone(),
             constraints: self.constraints.clone(),
             model: self.model(),
+            version: self.version,
         }
+    }
+
+    /// Open a transaction: a [`TxnBuilder`] staging updates against a
+    /// snapshot of the current state. Commit it through a
+    /// [`crate::txn::CommitQueue`] (multi-writer, conflict-detected) or
+    /// a single-owner guarded path such as `UniformDatabase::commit`.
+    pub fn begin(&self) -> TxnBuilder {
+        TxnBuilder::new(self.snapshot())
     }
 
     /// Truth of a ground atom in the canonical model.
@@ -293,12 +414,24 @@ pub struct Snapshot {
     rules: Arc<RuleSet>,
     constraints: Arc<Vec<Constraint>>,
     model: Arc<Model>,
+    version: u64,
 }
 
 impl Snapshot {
     /// Explicit facts at snapshot time.
     pub fn facts(&self) -> &FactSet {
         &self.edb
+    }
+
+    /// The originating database's [`Database::version`] at snapshot time.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The arity `pred` is used with anywhere in the snapshotted state;
+    /// `None` for unknown predicates (see [`Database::arity_of`]).
+    pub fn arity_of(&self, pred: Sym) -> Option<usize> {
+        arity_in(&self.edb, &self.rules, &self.constraints, pred)
     }
 
     pub fn rules(&self) -> &RuleSet {
@@ -384,13 +517,58 @@ mod tests {
         db.apply(&Update::insert(Fact::parse_like(
             "attends",
             &["jack", "ddb"],
-        )));
+        )))
+        .unwrap();
         assert!(db.is_consistent());
         db.apply(&Update::delete(Fact::parse_like(
             "attends",
             &["jack", "ddb"],
-        )));
+        )))
+        .unwrap();
         assert!(!db.is_consistent());
+    }
+
+    #[test]
+    fn apply_distinguishes_noops_effects_and_arity_errors() {
+        let mut db = Database::parse(UNIVERSITY).unwrap();
+        let v0 = db.version();
+        // Effective insertion: Ok(true), version moves.
+        assert_eq!(
+            db.apply(&Update::insert(Fact::parse_like("student", &["jill"]))),
+            Ok(true)
+        );
+        assert!(db.version() > v0);
+        // Def. 1 no-op: Ok(false), version unchanged.
+        let v1 = db.version();
+        assert_eq!(
+            db.apply(&Update::insert(Fact::parse_like("student", &["jill"]))),
+            Ok(false)
+        );
+        assert_eq!(db.version(), v1);
+        // Arity misuse: typed error, nothing applied, version unchanged.
+        let err = db
+            .apply(&Update::insert(Fact::parse_like("student", &["a", "b"])))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ApplyError::ArityMismatch {
+                pred: Sym::new("student"),
+                expected: 1,
+                got: 2,
+            }
+        );
+        assert!(err.to_string().contains("arity"), "{err}");
+        assert_eq!(db.version(), v1);
+        // Deletions with the wrong arity are caught too, including for
+        // predicates only known through rules or constraints.
+        assert!(db
+            .apply(&Update::delete(Fact::parse_like("enrolled", &["jack"])))
+            .is_err());
+        // Unknown predicates are unconstrained.
+        assert_eq!(
+            db.apply(&Update::insert(Fact::parse_like("fresh", &["a", "b"]))),
+            Ok(true)
+        );
     }
 
     #[test]
@@ -447,12 +625,15 @@ mod tests {
         db.apply(&Update::insert(Fact::parse_like(
             "attends",
             &["jack", "ddb"],
-        )));
-        db.apply(&Update::insert(Fact::parse_like("student", &["jill"])));
+        )))
+        .unwrap();
+        db.apply(&Update::insert(Fact::parse_like("student", &["jill"])))
+            .unwrap();
         db.apply(&Update::insert(Fact::parse_like(
             "attends",
             &["jill", "ddb"],
-        )));
+        )))
+        .unwrap();
         let after = db.snapshot();
 
         // The live database moved on…

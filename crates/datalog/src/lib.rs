@@ -23,6 +23,10 @@
 //!   (`new`, §3.3.2), goal-directed for non-recursive predicates and
 //!   falling back to materialization for recursive ones;
 //! * [`update`] — single-fact updates (Def. 1) and transactions;
+//! * [`txn`] — the concurrent commit pipeline: transactions staged
+//!   against MVCC snapshots, admitted by a [`txn::CommitQueue`] with
+//!   first-committer-wins conflict detection over relation-level
+//!   read/write sets;
 //! * [`database`] — the `D = (F, R, I)` triple with a cached model.
 
 pub mod cq;
@@ -40,10 +44,11 @@ pub mod provenance;
 pub mod serialize;
 pub mod store;
 pub mod topdown;
+pub mod txn;
 pub mod update;
 
 pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction};
-pub use database::{Database, Snapshot};
+pub use database::{validate_transaction_arities, ApplyError, Database, Snapshot};
 pub use depgraph::{DepGraph, StratificationError};
 pub use eval::{satisfies, satisfies_closed};
 pub use interp::{Interp, Overlay};
@@ -56,4 +61,5 @@ pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;
 pub use store::{FactSet, Relation};
 pub use topdown::OverlayEngine;
+pub use txn::{CommitError, CommitQueue, CommitReceipt, TxnBuilder};
 pub use update::{Transaction, Update};

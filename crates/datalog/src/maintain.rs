@@ -145,8 +145,8 @@ impl MaintainedModel {
             }
         }
         // Net out insert-then-delete pairs inside the transaction.
-        let mut net: HashMap<Fact, i64> = HashMap::new();
-        for (f, s) in seed {
+        let mut net: HashMap<&Fact, i64> = HashMap::new();
+        for (f, s) in &seed {
             *net.entry(f).or_insert(0) += s;
         }
 
@@ -156,8 +156,16 @@ impl MaintainedModel {
         let mut inbox: Vec<Vec<(Fact, i64)>> = vec![Vec::new(); strata];
         let mut flips: Vec<Literal> = Vec::new();
 
-        // Apply the EDB-level flips.
-        for (fact, sign) in net {
+        // Apply the EDB-level flips, walking the effective-update list
+        // rather than the net map: HashMap iteration order is
+        // per-instance random, and the returned flip list (and every
+        // downstream consumer of it) must be identical run to run.
+        let mut emitted: std::collections::HashSet<&Fact> = std::collections::HashSet::new();
+        for (fact, _) in &seed {
+            if !emitted.insert(fact) {
+                continue;
+            }
+            let (fact, sign) = (fact.clone(), net[fact]);
             if sign == 0 {
                 continue;
             }
@@ -237,6 +245,10 @@ impl MaintainedModel {
         let inserted: Vec<Fact> = inserted.into_iter().map(|(f, _)| f.clone()).collect();
         let deleted: Vec<Fact> = deleted.into_iter().map(|(f, _)| f.clone()).collect();
 
+        // First-contribution order, not map order: the resulting flips
+        // are user-visible, so their order must not depend on HashMap
+        // iteration.
+        let mut head_order: Vec<Fact> = Vec::new();
         let mut contributions: HashMap<Fact, i64> = HashMap::new();
         {
             let new_view = &self.model;
@@ -261,7 +273,15 @@ impl MaintainedModel {
                         crate::cq::solve_conjunction(new_view, prefix, &mut sub, &mut |s1| {
                             crate::cq::solve_conjunction(&old_view, suffix, s1, &mut |s2| {
                                 if let Some(head) = s2.ground_atom(&rule.head) {
-                                    *contributions.entry(head).or_insert(0) += contribution;
+                                    match contributions.entry(head) {
+                                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                                            *e.get_mut() += contribution;
+                                        }
+                                        std::collections::hash_map::Entry::Vacant(e) => {
+                                            head_order.push(e.key().clone());
+                                            e.insert(contribution);
+                                        }
+                                    }
                                 }
                                 true
                             });
@@ -272,7 +292,8 @@ impl MaintainedModel {
             }
         }
 
-        for (head, delta) in contributions {
+        for head in head_order {
+            let delta = contributions[&head];
             if delta == 0 {
                 continue;
             }

@@ -24,9 +24,49 @@ use crate::program::RuleSet;
 use crate::store::FactSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use uniform_logic::{Fact, Subst, Sym, Term};
+
+/// Lock stripes for the ground-goal memo. One `Mutex<HashMap>` serializes
+/// every memo probe of the parallel evaluation loop; striping by goal
+/// hash lets concurrent probes of *different* goals proceed on different
+/// locks while probes of the *same* goal still meet on one stripe (and
+/// then on that goal's `OnceLock`, preserving the evaluate-once
+/// guarantee).
+const MEMO_STRIPES: usize = 16;
+
+struct StripedMemo {
+    stripes: Vec<Mutex<HashMap<Fact, Arc<OnceLock<bool>>>>>,
+}
+
+impl StripedMemo {
+    fn new() -> StripedMemo {
+        StripedMemo {
+            stripes: (0..MEMO_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// The memo slot for `goal`, creating it if absent. Only the slot's
+    /// stripe is locked, and only for the probe.
+    fn slot(&self, goal: &Fact) -> Arc<OnceLock<bool>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        goal.hash(&mut hasher);
+        let stripe = &self.stripes[hasher.finish() as usize % MEMO_STRIPES];
+        let mut memo = stripe.lock();
+        match memo.get(goal) {
+            Some(slot) => slot.clone(),
+            None => {
+                let slot = Arc::new(OnceLock::new());
+                memo.insert(goal.clone(), slot.clone());
+                slot
+            }
+        }
+    }
+}
 
 /// A virtual interpretation of the canonical model of `U(D)`, where the
 /// update is *not* applied to `edb`.
@@ -48,8 +88,9 @@ pub struct OverlayEngine<'a> {
     /// engine-level realization of §3.2's "global evaluation": when many
     /// simplified instances are evaluated against one simulated state,
     /// shared subqueries (the paper's `attends(jack, ddb)` example) are
-    /// answered once.
-    goal_memo: Mutex<HashMap<Fact, Arc<OnceLock<bool>>>>,
+    /// answered once. Striped by goal hash so parallel evaluators don't
+    /// contend on one lock (see [`StripedMemo`]).
+    goal_memo: StripedMemo,
     memo_hits: AtomicUsize,
 }
 
@@ -75,7 +116,7 @@ impl<'a> OverlayEngine<'a> {
             removed: delete,
             materialized: RwLock::new(None),
             materializations: AtomicUsize::new(0),
-            goal_memo: Mutex::new(HashMap::new()),
+            goal_memo: StripedMemo::new(),
             memo_hits: AtomicUsize::new(0),
         }
     }
@@ -182,17 +223,7 @@ impl Interp for OverlayEngine<'_> {
         if !memoizable {
             return self.resolve(fact);
         }
-        let slot = {
-            let mut memo = self.goal_memo.lock();
-            match memo.get(fact) {
-                Some(slot) => slot.clone(),
-                None => {
-                    let slot = Arc::new(OnceLock::new());
-                    memo.insert(fact.clone(), slot.clone());
-                    slot
-                }
-            }
-        };
+        let slot = self.goal_memo.slot(fact);
         let mut resolved_here = false;
         let verdict = *slot.get_or_init(|| {
             resolved_here = true;
@@ -356,6 +387,30 @@ mod tests {
             },
         );
         assert_eq!(seen, vec!["bob"]);
+    }
+
+    #[test]
+    fn striped_goal_memo_counts_reasks_deterministically() {
+        let e = edb(&["leads(ann,sales).", "leads(bob,hr)."]);
+        let r = rules(&["member(X,Y) :- leads(X,Y)."]);
+        let engine = OverlayEngine::current(&e, &r);
+        // Distinct goals land on (potentially) distinct stripes; re-asks
+        // of the same goal hit its OnceLock slot exactly once each.
+        assert!(engine.holds(&fact("member(ann,sales).")));
+        assert!(engine.holds(&fact("member(bob,hr).")));
+        assert_eq!(engine.memo_hits(), 0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let engine = &engine;
+                scope.spawn(move || {
+                    assert!(engine.holds(&fact("member(ann,sales).")));
+                    assert!(!engine.holds(&fact("member(ann,hr).")));
+                });
+            }
+        });
+        // 4 re-asks of the warm goal; the cold goal was resolved once by
+        // whichever thread got there first and re-asked by the other 3.
+        assert_eq!(engine.memo_hits(), 7);
     }
 
     #[test]

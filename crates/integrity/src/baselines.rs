@@ -51,6 +51,7 @@ pub fn full_recheck(db: &Database, tx: &Transaction) -> CheckReport {
     CheckReport {
         satisfied: violations.is_empty(),
         violations,
+        reads: Vec::new(),
         stats,
     }
 }
@@ -69,6 +70,7 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
         return CheckReport {
             satisfied: true,
             violations: Vec::new(),
+            reads: Vec::new(),
             stats,
         };
     }
@@ -177,6 +179,7 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
     CheckReport {
         satisfied: violations.is_empty(),
         violations,
+        reads: Vec::new(),
         stats,
     }
 }
@@ -210,6 +213,7 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
         return CheckReport {
             satisfied: true,
             violations: Vec::new(),
+            reads: Vec::new(),
             stats,
         };
     }
@@ -262,6 +266,7 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
     CheckReport {
         satisfied: violations.is_empty(),
         violations,
+        reads: Vec::new(),
         stats,
     }
 }

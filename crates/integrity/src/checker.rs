@@ -20,12 +20,13 @@ use crate::potential::potential_updates;
 use crate::relevance::RelevanceIndex;
 use crate::simplify::{simplified_instances, SimplifiedInstance};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock};
 use uniform_datalog::{
-    par::par_map, satisfies_closed, Database, Interp, OverlayEngine, Transaction, Update,
+    par::par_map, satisfies_closed, Database, FactSet, Interp, Model, OverlayEngine, RuleSet,
+    Snapshot, Transaction, Update,
 };
-use uniform_logic::{match_atom, Literal, Rq};
+use uniform_logic::{match_atom, Constraint, Literal, Rq, Sym};
 
 /// Options controlling the evaluation phase (ablation switches for the
 /// experiments).
@@ -127,22 +128,40 @@ struct GroupOutcome {
 pub struct CheckReport {
     pub satisfied: bool,
     pub violations: Vec<Violation>,
+    /// Relation-level read set of the check, sorted by predicate name:
+    /// every relation whose contents the verdict depends on (trigger and
+    /// instance predicates of the evaluated update constraints, the net
+    /// update's own relations, closed downward through rule bodies). A
+    /// commit pipeline admits a checked transaction only while none of
+    /// these relations has been written since the checked snapshot —
+    /// see `uniform_datalog::txn`.
+    pub reads: Vec<Sym>,
     pub stats: CheckStats,
 }
 
 impl CheckReport {
-    fn satisfied_with(stats: CheckStats) -> CheckReport {
+    fn satisfied_with(stats: CheckStats, reads: Vec<Sym>) -> CheckReport {
         CheckReport {
             satisfied: true,
             violations: Vec::new(),
+            reads,
             stats,
         }
     }
 }
 
-/// The two-phase integrity checker bound to a database.
+/// The state a checker evaluates against: a live [`Database`] or a
+/// pinned [`Snapshot`]. Both expose the same four components; the only
+/// behavioral difference is where the canonical model comes from (the
+/// database's cache vs the snapshot's pinned model).
+enum CheckTarget<'a> {
+    Db(&'a Database),
+    Snap(&'a Snapshot),
+}
+
+/// The two-phase integrity checker, bound to a database or a snapshot.
 pub struct Checker<'a> {
-    db: &'a Database,
+    target: CheckTarget<'a>,
     index: RelevanceIndex,
     options: CheckOptions,
 }
@@ -154,8 +173,24 @@ impl<'a> Checker<'a> {
 
     pub fn with_options(db: &'a Database, options: CheckOptions) -> Checker<'a> {
         Checker {
-            db,
+            target: CheckTarget::Db(db),
             index: RelevanceIndex::build(db.constraints()),
+            options,
+        }
+    }
+
+    /// A checker evaluating against a pinned snapshot: same verdicts as
+    /// a checker on the originating database at snapshot time, but
+    /// usable from any thread while writers keep committing. This is
+    /// the checking mode of the concurrent commit pipeline.
+    pub fn for_snapshot(snapshot: &'a Snapshot) -> Checker<'a> {
+        Checker::for_snapshot_with_options(snapshot, CheckOptions::default())
+    }
+
+    pub fn for_snapshot_with_options(snapshot: &'a Snapshot, options: CheckOptions) -> Checker<'a> {
+        Checker {
+            target: CheckTarget::Snap(snapshot),
+            index: RelevanceIndex::build(snapshot.constraints()),
             options,
         }
     }
@@ -164,9 +199,33 @@ impl<'a> Checker<'a> {
         self.options
     }
 
-    /// The database this checker is bound to.
-    pub fn database(&self) -> &Database {
-        self.db
+    fn facts(&self) -> &FactSet {
+        match self.target {
+            CheckTarget::Db(db) => db.facts(),
+            CheckTarget::Snap(s) => s.facts(),
+        }
+    }
+
+    fn rules(&self) -> &RuleSet {
+        match self.target {
+            CheckTarget::Db(db) => db.rules(),
+            CheckTarget::Snap(s) => s.rules(),
+        }
+    }
+
+    fn constraints(&self) -> &[Constraint] {
+        match self.target {
+            CheckTarget::Db(db) => db.constraints(),
+            CheckTarget::Snap(s) => s.constraints(),
+        }
+    }
+
+    /// The canonical model of the checked state.
+    pub fn model(&self) -> Arc<Model> {
+        match self.target {
+            CheckTarget::Db(db) => db.model(),
+            CheckTarget::Snap(s) => s.model_arc(),
+        }
     }
 
     /// Phase 1: compile update constraints for the given update literals.
@@ -176,7 +235,7 @@ impl<'a> Checker<'a> {
         let mut truncated = false;
         let mut seen_patterns: HashMap<String, ()> = HashMap::new();
         for u in updates {
-            let p = potential_updates(self.db.rules(), u, self.options.potential_limit);
+            let p = potential_updates(self.rules(), u, self.options.potential_limit);
             truncated |= p.truncated;
             for lit in p.literals {
                 if seen_patterns.insert(pattern_key(&lit), ()).is_none() {
@@ -190,7 +249,7 @@ impl<'a> Checker<'a> {
                 constraint,
                 trigger,
                 instance,
-            } in simplified_instances(&self.index, self.db.constraints(), lit)
+            } in simplified_instances(&self.index, self.constraints(), lit)
             {
                 update_constraints.push(UpdateConstraint {
                     constraint,
@@ -206,6 +265,36 @@ impl<'a> Checker<'a> {
         }
     }
 
+    /// The relation-level read set of evaluating `compiled` for `tx`:
+    /// the net update's relations, every trigger and instance predicate
+    /// of the update constraints, closed downward through rule bodies
+    /// (delta descent and overlay evaluation read exactly through
+    /// rules). A deliberate over-approximation — sound for conflict
+    /// detection, deterministic, and computable without fact access.
+    fn read_set(&self, compiled: &CompiledCheck, tx: &Transaction) -> Vec<Sym> {
+        let mut seed: BTreeSet<Sym> = tx.updates.iter().map(|u| u.fact.pred).collect();
+        for uc in &compiled.update_constraints {
+            seed.insert(uc.trigger.atom.pred);
+            for occ in uc.instance.literals() {
+                seed.insert(occ.literal.atom.pred);
+            }
+        }
+        let rules = self.rules();
+        let mut frontier: Vec<Sym> = seed.iter().copied().collect();
+        while let Some(p) = frontier.pop() {
+            for (_, rule) in rules.rules_for(p) {
+                for l in &rule.body {
+                    if seed.insert(l.atom.pred) {
+                        frontier.push(l.atom.pred);
+                    }
+                }
+            }
+        }
+        let mut reads: Vec<Sym> = seed.into_iter().collect();
+        reads.sort_by_key(|s| s.as_str());
+        reads
+    }
+
     /// Phase 2: evaluate a compiled check against the database and the
     /// transaction (Def. 1 net effect).
     pub fn evaluate(&self, compiled: &CompiledCheck, tx: &Transaction) -> CheckReport {
@@ -214,10 +303,11 @@ impl<'a> Checker<'a> {
             update_constraints: compiled.update_constraints.len(),
             ..CheckStats::default()
         };
+        let reads = self.read_set(compiled, tx);
 
-        let (adds, dels) = tx.net_effect(self.db.facts());
+        let (adds, dels) = tx.net_effect(self.facts());
         if adds.is_empty() && dels.is_empty() {
-            return CheckReport::satisfied_with(stats);
+            return CheckReport::satisfied_with(stats, reads);
         }
         let net_updates: Vec<Update> = adds
             .iter()
@@ -226,17 +316,17 @@ impl<'a> Checker<'a> {
             .chain(dels.iter().cloned().map(Update::delete))
             .collect();
 
-        let current = self.db.model();
+        let current = self.model();
         let (updated_adds, updated_dels) = (adds.clone(), dels.clone());
-        let updated = OverlayEngine::updated(self.db.facts(), self.db.rules(), adds, dels);
-        let delta = DeltaEngine::new(&current, &updated, self.db.rules(), &net_updates);
+        let updated = OverlayEngine::updated(self.facts(), self.rules(), adds, dels);
+        let delta = DeltaEngine::new(&current, &updated, self.rules(), &net_updates);
 
         // Optionally optimize each instance once, up front (§6: the
         // evaluation phase owns whole formulas, so formula-level
         // optimization applies before any instance is evaluated).
         let optimized: Vec<UpdateConstraint>;
         let constraints: &[UpdateConstraint] = if self.options.optimize_instances {
-            let planner = uniform_datalog::Planner::new(self.db.facts());
+            let planner = uniform_datalog::Planner::new(self.facts());
             optimized = compiled
                 .update_constraints
                 .iter()
@@ -325,8 +415,8 @@ impl<'a> Checker<'a> {
                         // memo.
                         outcome.evaluated += 1;
                         let fresh = OverlayEngine::updated(
-                            self.db.facts(),
-                            self.db.rules(),
+                            self.facts(),
+                            self.rules(),
                             updated_adds.clone(),
                             updated_dels.clone(),
                         );
@@ -336,7 +426,7 @@ impl<'a> Checker<'a> {
                     };
                     if !holds {
                         outcome.violations.push(Violation {
-                            constraint: self.db.constraints()[uc.constraint].name.clone(),
+                            constraint: self.constraints()[uc.constraint].name.clone(),
                             culprit: Some(answer.clone()),
                             instance: ground,
                         });
@@ -382,6 +472,7 @@ impl<'a> Checker<'a> {
         CheckReport {
             satisfied: violations.is_empty(),
             violations,
+            reads,
             stats,
         }
     }
@@ -405,7 +496,7 @@ impl<'a> Checker<'a> {
         let report = Checker::new(db).check(tx);
         if report.satisfied {
             for u in &tx.updates {
-                db.apply(u);
+                db.apply(u).expect("checked transaction misuses an arity");
             }
         }
         report
@@ -588,7 +679,7 @@ mod tests {
             let fast = checker.check_update(&u).satisfied;
             // Oracle: apply on a copy and fully re-check.
             let mut copy = d.clone();
-            copy.apply(&u);
+            copy.apply(&u).unwrap();
             let slow = copy.is_consistent();
             assert_eq!(fast, slow, "divergence on {update}");
         }
@@ -666,6 +757,48 @@ mod tests {
         let rep = checker.check_update(&upd("p(a)"));
         assert!(!rep.satisfied);
         assert_eq!(rep.violations.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_checker_agrees_and_survives_later_commits() {
+        let mut d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let snap = d.snapshot();
+        // The live database moves on; the snapshot checker must not care.
+        d.apply(&upd("not q(a)")).unwrap();
+        let checker = Checker::for_snapshot(&snap);
+        assert!(
+            checker.check_update(&upd("p(a)")).satisfied,
+            "q(a) holds at snapshot time"
+        );
+        assert!(!checker.check_update(&upd("p(b)")).satisfied);
+        // Same update against the live state is now rejected.
+        assert!(!Checker::new(&d).check_update(&upd("p(a)")).satisfied);
+    }
+
+    #[test]
+    fn read_sets_cover_checked_relations_and_close_over_rules() {
+        let d = db("
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        ");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("student(jack)"));
+        let reads: Vec<&str> = rep.reads.iter().map(|s| s.as_str()).collect();
+        for needed in ["student", "enrolled", "attends"] {
+            assert!(reads.contains(&needed), "missing {needed}: {reads:?}");
+        }
+        let mut sorted = reads.clone();
+        sorted.sort();
+        assert_eq!(reads, sorted, "read set must be name-sorted");
+        // Irrelevant updates read only their own relation.
+        let rep2 = checker.check_update(&upd("zzz(a)"));
+        assert_eq!(
+            rep2.reads.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+            vec!["zzz"]
+        );
+        // No-op transactions still report the relations they probed.
+        let rep3 = checker.check(&Transaction::new(vec![]));
+        assert!(rep3.satisfied && rep3.reads.is_empty());
     }
 
     #[test]

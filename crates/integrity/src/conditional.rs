@@ -167,7 +167,7 @@ impl Checker<'_> {
     /// The concrete transaction a conditional update denotes on the
     /// current state.
     pub fn expand_conditional(&self, cu: &ConditionalUpdate) -> Transaction {
-        let model = self.database().model();
+        let model = self.model();
         cu.expand(model.as_ref())
     }
 }
@@ -349,7 +349,7 @@ mod tests {
             let tx = checker.expand_conditional(&cu);
             let mut copy = d.clone();
             for u in &tx.updates {
-                copy.apply(u);
+                copy.apply(u).unwrap();
             }
             assert_eq!(fast, copy.is_consistent(), "divergence on `{src}`");
         }

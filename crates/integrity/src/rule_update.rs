@@ -196,6 +196,7 @@ impl<'a> RuleUpdateChecker<'a> {
             return CheckReport {
                 satisfied: true,
                 violations: Vec::new(),
+                reads: Vec::new(),
                 stats,
             };
         };
@@ -205,6 +206,7 @@ impl<'a> RuleUpdateChecker<'a> {
             return CheckReport {
                 satisfied: true,
                 violations: Vec::new(),
+                reads: Vec::new(),
                 stats,
             };
         }
@@ -283,6 +285,7 @@ impl<'a> RuleUpdateChecker<'a> {
         CheckReport {
             satisfied: violations.is_empty(),
             violations,
+            reads: Vec::new(),
             stats,
         }
     }

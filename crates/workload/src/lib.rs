@@ -309,6 +309,85 @@ pub fn optimizer_workload(n: usize, seed: u64) -> Database {
     db
 }
 
+/// Schema for the multi-writer commit-pipeline workload: each writer
+/// owns a `roster{w}`/`badge{w}` relation pair guarded by a per-writer
+/// constraint, plus a *shared* `vip`/`audit` pair every writer touches
+/// occasionally. Private transactions from different writers have
+/// disjoint read/write sets (they commit without conflicting); shared
+/// ones contend and exercise first-committer-wins retries.
+pub fn commit_mix_db(writers: usize, seed: u64) -> Database {
+    let mut src = String::from("constraint shared: forall X: vip(X) -> audit(X).\n");
+    for w in 0..writers {
+        src.push_str(&format!(
+            "constraint own{w}: forall X: badge{w}(X) -> roster{w}(X).\n"
+        ));
+    }
+    let mut lines = Vec::new();
+    lines.push("audit(seed).\n".to_string());
+    lines.push("vip(seed).\n".to_string());
+    for w in 0..writers {
+        lines.push(format!("roster{w}(r{w}_seed).\n"));
+        lines.push(format!("badge{w}(r{w}_seed).\n"));
+    }
+    push_shuffled(&mut src, lines, seed);
+    let db = Database::parse(&src).expect("commit-mix schema parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// One writer's transaction stream for [`commit_mix_db`]. A seeded mix
+/// of: private inserts (disjoint across writers, should always admit),
+/// private churn (delete badge+roster pairs), shared `vip`/`audit`
+/// writes (conflict across writers), and deliberately bad transactions
+/// (a badge without its roster row, a vip without audit) the integrity
+/// checker must reject. Deterministic per `(writer, per_writer, seed)`.
+pub fn commit_mix_stream(
+    writer: usize,
+    writers: usize,
+    per_writer: usize,
+    seed: u64,
+) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (writer as u64).wrapping_mul(0x9e37_79b9));
+    let w = writer % writers.max(1);
+    (0..per_writer)
+        .map(|i| match rng.gen_range(0..8u8) {
+            // Private good transaction: roster row + badge together.
+            0..=3 => Transaction::new(vec![
+                upd(&format!("roster{w}(p{w}_{i})")),
+                upd(&format!("badge{w}(p{w}_{i})")),
+            ]),
+            // Private churn: retire the seed pair (badge first) or a row
+            // inserted earlier; a no-op when already gone.
+            4 => Transaction::new(vec![
+                upd(&format!("not badge{w}(p{w}_{})", i.saturating_sub(1))),
+                upd(&format!("not roster{w}(p{w}_{})", i.saturating_sub(1))),
+            ]),
+            // Shared transaction: everyone reads/writes vip and audit.
+            5 => Transaction::new(vec![
+                upd(&format!("audit(v{i}_{w})")),
+                upd(&format!("vip(v{i}_{w})")),
+            ]),
+            // Bad private: badge without roster — must be rejected.
+            6 => Transaction::new(vec![upd(&format!("badge{w}(ghost{w}_{i})"))]),
+            // Bad shared: vip without audit — must be rejected.
+            _ => Transaction::new(vec![upd(&format!("vip(ghost{w}_{i})"))]),
+        })
+        .collect()
+}
+
+/// The full multi-writer mix: base database plus one stream per writer.
+pub fn commit_mix(
+    writers: usize,
+    per_writer: usize,
+    seed: u64,
+) -> (Database, Vec<Vec<Transaction>>) {
+    let db = commit_mix_db(writers, seed);
+    let streams = (0..writers)
+        .map(|w| commit_mix_stream(w, writers, per_writer, seed))
+        .collect();
+    (db, streams)
+}
+
 /// Random ground facts over a fixed schema — fodder for property tests.
 pub fn random_facts(
     preds: &[(&str, usize)],
@@ -419,6 +498,29 @@ mod tests {
         let db = tc_chain(10, 0);
         assert!(db.is_consistent());
         assert!(db.holds(&Fact::parse_like("tc", &["n0", "n9"])));
+    }
+
+    #[test]
+    fn commit_mix_shape_and_determinism() {
+        let (db, streams) = commit_mix(3, 10, 7);
+        assert!(db.is_consistent());
+        assert_eq!(db.constraints().len(), 4, "shared + one per writer");
+        assert_eq!(streams.len(), 3);
+        assert!(streams.iter().all(|s| s.len() == 10));
+        // Same seed reproduces byte-identical streams; writers differ.
+        let (_, again) = commit_mix(3, 10, 7);
+        assert_eq!(streams, again);
+        assert_ne!(streams[0], streams[1]);
+        // Private transactions of different writers touch disjoint
+        // relations.
+        let preds = |w: usize| -> std::collections::BTreeSet<String> {
+            streams[w]
+                .iter()
+                .flat_map(|t| t.updates.iter().map(|u| u.fact.pred.to_string()))
+                .filter(|p| p.starts_with("roster") || p.starts_with("badge"))
+                .collect()
+        };
+        assert!(preds(0).is_disjoint(&preds(1)));
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Output determinism across thread counts and across processes.
+//!
+//! `UNIFORM_THREADS` is latched once per process (`uniform_datalog::par`),
+//! so the cross-thread-count comparison re-executes this test binary as a
+//! child process per setting and compares digests of everything
+//! user-visible a workload produces: guarded-update violation lists (in
+//! order), maintained-model flip lists (in order), checker read sets,
+//! satisfiability outcomes, and final fact/model iteration order.
+//!
+//! This is the regression net for the ROADMAP's `net_effect`-style bug
+//! class: any `HashMap`/`HashSet` iteration leaking into user-visible
+//! order shows up as a digest mismatch — across two runs in one process,
+//! across processes, or across `UNIFORM_THREADS=1` vs `8`.
+
+use std::fmt::Write as _;
+use uniform::datalog::{Database, MaintainedModel};
+use uniform::integrity::Checker;
+use uniform::workload;
+use uniform::{SatChecker, Transaction};
+
+/// FNV-1a over the rendered observation log (no external deps).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything user-visible from a mixed workload, rendered in the order
+/// the APIs produce it (no sorting — order is what's under test).
+fn observation_log() -> String {
+    let mut log = String::new();
+
+    // 1. Guarded updates over the org workload: violation lists and
+    //    culprits in report order, read sets, acceptance outcomes.
+    let mut db = workload::org(3, 2, 11);
+    for update in workload::org_updates(3, 2, 40, 17) {
+        let tx = Transaction::single(update.clone());
+        let report = Checker::new(&db).check(&tx);
+        let _ = write!(log, "upd {update} -> {}", report.satisfied);
+        for v in &report.violations {
+            let _ = write!(log, " viol {} via {:?}", v.constraint, v.culprit);
+        }
+        let _ = write!(
+            log,
+            " reads {:?}",
+            report.reads.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        );
+        if report.satisfied {
+            for u in &tx.updates {
+                db.apply(u).unwrap();
+            }
+        }
+        log.push('\n');
+    }
+    for f in db.facts().iter() {
+        let _ = writeln!(log, "fact {f}");
+    }
+    for f in db.model().iter() {
+        let _ = writeln!(log, "model {f}");
+    }
+    let _ = writeln!(log, "violated {:?}", db.violated_constraints());
+
+    // 2. Maintained-model flip lists, in emission order.
+    let seed_db = workload::deductive_university(12, 5);
+    let mut maintained = MaintainedModel::new(seed_db.facts().clone(), seed_db.rules().clone());
+    for update in workload::tc_updates(6, 25, 23) {
+        // tc_updates emits edge facts; reuse them as generic churn.
+        let flips = maintained.apply(&update);
+        let _ = writeln!(
+            log,
+            "flips {:?}",
+            flips.iter().map(|l| l.to_string()).collect::<Vec<_>>()
+        );
+    }
+
+    // 3. The commit-mix streams and their sequential outcome.
+    let (mix_db, streams) = workload::commit_mix(3, 6, 29);
+    let mut seq = mix_db;
+    for stream in &streams {
+        for tx in stream {
+            let report = Checker::new(&seq).check(tx);
+            let _ = write!(log, "mix {}", report.satisfied);
+            for v in &report.violations {
+                let _ = write!(log, " {} via {:?}", v.constraint, v.culprit);
+            }
+            log.push('\n');
+            if report.satisfied {
+                for u in &tx.updates {
+                    seq.apply(u).unwrap();
+                }
+            }
+        }
+    }
+    for f in seq.facts().iter() {
+        let _ = writeln!(log, "mixfact {f}");
+    }
+
+    // 4. Satisfiability search outcome (frontier order feeds the found
+    //    model's explicit facts).
+    let schema = Database::parse(
+        "
+        member(X, Y) :- leads(X, Y).
+        constraint c1: forall X: department(X) -> (exists Y: member(Y, X)).
+        constraint c2: forall X, Y: leads(X, Y) -> employee(X).
+        constraint seeded: exists X: department(X).
+        ",
+    )
+    .unwrap();
+    let report = SatChecker::from_database(&schema).check();
+    let _ = writeln!(log, "sat {:?}", report.outcome);
+
+    log
+}
+
+/// Child mode: print the digest and nothing else of substance. Inert
+/// unless the driver below sets `UNIFORM_DETERMINISM_CHILD`.
+#[test]
+fn determinism_digest_child() {
+    if std::env::var("UNIFORM_DETERMINISM_CHILD").is_err() {
+        return;
+    }
+    println!("DIGEST={:016x}", fnv1a(&observation_log()));
+}
+
+fn child_digest(threads: &str) -> String {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = std::process::Command::new(exe)
+        .args(["determinism_digest_child", "--exact", "--nocapture"])
+        .env("UNIFORM_DETERMINISM_CHILD", "1")
+        .env("UNIFORM_THREADS", threads)
+        .output()
+        .expect("spawn child test binary");
+    assert!(out.status.success(), "child failed: {out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // With --nocapture the digest may share a line with libtest chatter.
+    let at = stdout
+        .find("DIGEST=")
+        .unwrap_or_else(|| panic!("no digest in child output: {stdout}"));
+    stdout[at + "DIGEST=".len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_hexdigit())
+        .collect()
+}
+
+#[test]
+fn identical_output_within_one_process() {
+    assert_eq!(
+        fnv1a(&observation_log()),
+        fnv1a(&observation_log()),
+        "same workload, same process, different output"
+    );
+}
+
+#[test]
+fn identical_output_across_thread_counts() {
+    let single = child_digest("1");
+    let eight = child_digest("8");
+    assert_eq!(
+        single, eight,
+        "UNIFORM_THREADS=1 vs 8 must produce identical user-visible output"
+    );
+    // And across independent processes with the same setting (catches
+    // per-process hash-seed dependence).
+    assert_eq!(single, child_digest("1"));
+}

@@ -93,9 +93,9 @@ fn update_round_trip_preserves_model_cache_coherence() {
     )
     .unwrap();
     assert!(db.holds(&fact("q(a).")));
-    db.apply(&Update::insert(fact("p(b).")));
+    db.apply(&Update::insert(fact("p(b)."))).unwrap();
     assert!(db.holds(&fact("q(b).")));
-    db.apply(&Update::delete(fact("p(b).")));
+    db.apply(&Update::delete(fact("p(b)."))).unwrap();
     assert!(!db.holds(&fact("q(b).")));
     assert!(db.holds(&fact("q(a).")));
 }

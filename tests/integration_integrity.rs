@@ -63,7 +63,7 @@ fn compiled_checks_are_reusable_across_states() {
     assert!(!rejected.satisfied, "new student lacks a course");
     // Give probe a course and attendance; the same compiled object now
     // accepts the insertion.
-    db.apply(&upd("enrolled(probe, math)"));
+    db.apply(&upd("enrolled(probe, math)")).unwrap();
     let checker2 = Checker::new(&db);
     let accepted = checker2.evaluate(&compiled, &Transaction::single(upd("student(probe)")));
     assert!(accepted.satisfied, "{:?}", accepted.violations);

@@ -146,7 +146,7 @@ fn provenance_explains_checker_culprits() {
         ",
     )
     .unwrap();
-    db.apply(&upd("student(jack)")); // unguarded, to build the bad state
+    db.apply(&upd("student(jack)")).unwrap(); // unguarded, to build the bad state
     let prov = uniform::datalog::Provenance::build(db.facts(), db.rules());
     let tree = prov
         .explain(&uniform::logic::Fact::parse_like(

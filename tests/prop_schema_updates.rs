@@ -154,7 +154,7 @@ proptest! {
         let tx = checker.expand_conditional(&cu);
         let mut copy = db.clone();
         for u in &tx.updates {
-            copy.apply(u);
+            copy.apply(u).unwrap();
         }
         prop_assert_eq!(
             fast, copy.is_consistent(),

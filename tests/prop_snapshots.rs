@@ -70,7 +70,7 @@ proptest! {
     ) {
         let mut db = base_db();
         for spec in &initial {
-            db.apply(&to_update(spec));
+            db.apply(&to_update(spec)).unwrap();
         }
         let snapshot = db.snapshot();
         let reference = observe(&snapshot);
@@ -83,7 +83,7 @@ proptest! {
                 scope.spawn(move || {
                     for spec in batch {
                         let mut db = shared.lock().unwrap();
-                        db.apply(&to_update(spec));
+                        db.apply(&to_update(spec)).unwrap();
                         // Touch the model cache like a real commit cycle
                         // (forces recomputation while readers hold Arcs).
                         let _ = db.model();
@@ -127,7 +127,7 @@ proptest! {
         let mut db = base_db();
         let mut pinned: Vec<(Snapshot, Vec<String>)> = Vec::new();
         for spec in &updates {
-            db.apply(&to_update(spec));
+            db.apply(&to_update(spec)).unwrap();
             let snap = db.snapshot();
             let mut model: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
             model.sort();
@@ -138,7 +138,7 @@ proptest! {
         for (i, (snap, expected)) in pinned.iter().enumerate() {
             let mut replay = base_db();
             for spec in &updates[..=i] {
-                replay.apply(&to_update(spec));
+                replay.apply(&to_update(spec)).unwrap();
             }
             let mut replay_model: Vec<String> =
                 replay.model().iter().map(|f| f.to_string()).collect();
