@@ -1,0 +1,76 @@
+//! B3: post-commit snapshot latency — maintained vs rematerialized.
+//!
+//! One [`CommitQueue`] per mode over the deductive-university workload
+//! at increasing sizes `n`. Each iteration commits one small (2-update)
+//! transaction and then times **only** `snapshot()`:
+//!
+//! * `maintained` — the default pipeline. The maintained model absorbed
+//!   the commit's net effect at commit time, so the snapshot just
+//!   Arc-clones relation handles: latency should stay flat as `n`
+//!   grows (cost proportional to the induced update, per the paper's
+//!   central claim, not to the database).
+//! * `rematerialized` — `CommitQueue::without_maintenance`, the
+//!   pre-maintenance behavior: every post-commit snapshot pays a full
+//!   canonical-model rematerialization and scales with `n`.
+//!
+//! Single-core numbers are meaningful here (the comparison is
+//! algorithmic, not a parallel-speedup claim); see ROADMAP for the
+//! multicore re-run note.
+//!
+//! [`CommitQueue`]: uniform::CommitQueue
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{CommitQueue, Fact};
+
+const SIZES: &[usize] = &[64, 256, 1024];
+
+fn bench_postcommit_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b3_postcommit_snapshot");
+    group.sample_size(10);
+    for &n in SIZES {
+        for maintained in [true, false] {
+            let label = if maintained {
+                "maintained"
+            } else {
+                "rematerialized"
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| {
+                    let db = workload::deductive_university(n, 42);
+                    let queue = if maintained {
+                        CommitQueue::new(db)
+                    } else {
+                        CommitQueue::without_maintenance(db)
+                    };
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        // A small-delta commit: one new student and their
+                        // attendance (the rule induces one enrolled fact).
+                        let name = format!("b{i}");
+                        let mut t = queue.begin();
+                        t.insert(Fact::parse_like("student", &[&name]));
+                        t.insert(Fact::parse_like("attends", &[&name, "ddb"]));
+                        queue.commit(&t).unwrap();
+
+                        let t0 = Instant::now();
+                        let snap = queue.snapshot();
+                        total += t0.elapsed();
+
+                        assert!(snap.holds(&Fact::parse_like("enrolled", &[&name, "cs"])));
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_postcommit_snapshot
+}
+criterion_main!(benches);

@@ -25,9 +25,11 @@
 use crate::facade::{UniformDatabase, UniformError, UniformOptions};
 use std::fmt;
 use std::sync::Arc;
-use uniform_datalog::txn::{CommitError, CommitQueue, CommitReceipt};
+use uniform_datalog::txn::{
+    CommitError, CommitQueue, CommitReceipt, MaintenanceCounters, ModelPath,
+};
 use uniform_datalog::{Database, Snapshot, Transaction, TxnBuilder, Update};
-use uniform_integrity::{CheckReport, Checker};
+use uniform_integrity::{CheckReport, Checker, RuleUpdate};
 
 /// Why a guarded concurrent commit failed.
 #[derive(Debug)]
@@ -143,6 +145,10 @@ pub struct CommitOutcome {
     pub retries: usize,
     /// The Def. 1 effective updates, in staging order.
     pub effective: Vec<Update>,
+    /// How post-commit snapshots get their canonical model: maintained
+    /// incrementally by the commit queue, or rematerialized from scratch
+    /// (see [`ModelPath`]).
+    pub model_path: ModelPath,
 }
 
 struct Shared {
@@ -166,11 +172,13 @@ impl ConcurrentDatabase {
 
     /// Share a bare [`Database`] with explicit options.
     pub fn from_database(db: Database, options: UniformOptions) -> ConcurrentDatabase {
+        let queue = if options.maintain_model {
+            CommitQueue::new(db)
+        } else {
+            CommitQueue::without_maintenance(db)
+        };
         ConcurrentDatabase {
-            shared: Arc::new(Shared {
-                queue: CommitQueue::new(db),
-                options,
-            }),
+            shared: Arc::new(Shared { queue, options }),
         }
     }
 
@@ -225,14 +233,54 @@ impl ConcurrentDatabase {
             return Err(TxnError::Rejected(Box::new(report)));
         }
         match self.shared.queue.commit(&txn) {
-            Ok(CommitReceipt { version, effective }) => Ok(CommitOutcome {
+            Ok(CommitReceipt {
+                version,
+                effective,
+                model_path,
+            }) => Ok(CommitOutcome {
                 version,
                 report,
                 retries: 0,
                 effective,
+                model_path,
             }),
             Err(e) => Err(TxnError::from_commit(e)),
         }
+    }
+
+    /// The standing model-path marker: how the next snapshot of the
+    /// current state gets its canonical model.
+    pub fn model_path(&self) -> ModelPath {
+        self.shared.queue.model_path()
+    }
+
+    /// Running model-maintenance counters of the underlying queue.
+    pub fn maintenance(&self) -> MaintenanceCounters {
+        self.shared.queue.maintenance()
+    }
+
+    /// Run a raw schema mutation under the queue lock (see
+    /// [`CommitQueue::update_schema`]): the maintained model is reset
+    /// and in-flight transactions are fenced with a retriable
+    /// [`TxnError::SnapshotTooOld`]. Prefer the guarded
+    /// [`ConcurrentDatabase::try_add_rule`] for rule additions.
+    pub fn update_schema<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        self.shared.queue.update_schema(f)
+    }
+
+    /// Add a rule, guarded like [`UniformDatabase::try_add_rule`] (the
+    /// same shared protocol: stratification, schema satisfiability,
+    /// incremental integrity check), atomically with respect to
+    /// concurrent writers: the whole check-and-install runs under the
+    /// queue lock, so no commit can interleave between the verdict and
+    /// the installation. Returns `false` when the rule was already
+    /// present.
+    pub fn try_add_rule(&self, rule: &str) -> Result<bool, UniformError> {
+        let parsed: uniform_logic::Rule = uniform_logic::parse_rule(rule)?;
+        let options = &self.shared.options;
+        self.shared.queue.update_schema(|db| {
+            crate::facade::guarded_rule_update(db, options, RuleUpdate::Add(parsed))
+        })
     }
 
     /// Commit `updates` as one transaction, re-beginning against a
@@ -412,6 +460,87 @@ mod tests {
             .unwrap();
         assert!(outcome.report.satisfied);
         assert!(db.with_database(|d| d.is_consistent()));
+    }
+
+    #[test]
+    fn guarded_commits_maintain_the_model() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let outcome = db
+            .commit_updates_with_retry(
+                &[
+                    upd(true, "department", &["hr"]),
+                    upd(true, "employee", &["bob"]),
+                    upd(true, "leads", &["bob", "hr"]),
+                ],
+                4,
+            )
+            .unwrap();
+        assert_eq!(outcome.model_path, uniform_datalog::ModelPath::Maintained);
+        assert_eq!(db.model_path(), uniform_datalog::ModelPath::Maintained);
+        // The induced member(bob, hr) is in the maintained model.
+        let snap = db.snapshot();
+        assert!(snap.holds(&Fact::parse_like("member", &["bob", "hr"])));
+        assert!(db.maintenance().maintained >= 1);
+
+        // Disabling maintenance reproduces invalidate-on-commit.
+        let plain = ConcurrentDatabase::from_database(
+            UniformDatabase::parse(ORG).unwrap().into_parts().0,
+            UniformOptions {
+                maintain_model: false,
+                ..UniformOptions::default()
+            },
+        );
+        let outcome = plain
+            .commit_updates_with_retry(
+                &[
+                    upd(true, "employee", &["zoe"]),
+                    upd(true, "leads", &["zoe", "ops"]),
+                    upd(true, "department", &["ops"]),
+                ],
+                4,
+            )
+            .unwrap();
+        assert_eq!(
+            outcome.model_path,
+            uniform_datalog::ModelPath::Rematerialized
+        );
+    }
+
+    #[test]
+    fn rule_additions_are_guarded_and_reset_maintenance() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        db.commit_updates_with_retry(&[upd(true, "veteran", &["ann"])], 1)
+            .unwrap();
+        assert_eq!(db.model_path(), uniform_datalog::ModelPath::Maintained);
+
+        // An in-flight transaction is fenced by the schema change.
+        let mut inflight = db.begin();
+        inflight.stage(upd(true, "veteran", &["zed"]));
+
+        assert!(db.try_add_rule("boss(X) :- leads(X, Y).").unwrap());
+        assert_eq!(db.model_path(), uniform_datalog::ModelPath::Rematerialized);
+        assert_eq!(db.maintenance().schema_resets, 1);
+        let err = db.commit(&inflight).unwrap_err();
+        assert!(
+            matches!(err, TxnError::SnapshotTooOld { .. }),
+            "schema change must fence pinned checks: {err}"
+        );
+        assert!(db.snapshot().holds(&Fact::parse_like("boss", &["ann"])));
+
+        // Re-adding is a no-op; unstratifiable and violating rules are
+        // refused without resetting anything further.
+        assert!(!db.try_add_rule("boss(X) :- leads(X, Y).").unwrap());
+        assert!(db
+            .try_add_rule("absent(X) :- employee(X), not absent(X).")
+            .is_err());
+        assert_eq!(db.maintenance().schema_resets, 1);
+
+        // Maintenance resumes on the next effective commit.
+        let outcome = db
+            .commit_updates_with_retry(&[upd(true, "veteran", &["zed"])], 4)
+            .unwrap();
+        assert_eq!(outcome.model_path, uniform_datalog::ModelPath::Maintained);
+        assert!(db.snapshot().holds(&Fact::parse_like("boss", &["ann"])));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use uniform_logic::{
 use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};
 
 /// Configuration of the façade.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct UniformOptions {
     /// Options for update checking.
     pub check: CheckOptions,
@@ -22,6 +22,24 @@ pub struct UniformOptions {
     /// Skip the satisfiability check when adding constraints/rules
     /// (current-state checking still applies).
     pub skip_satisfiability: bool,
+    /// Maintain the canonical model incrementally through the concurrent
+    /// commit pipeline (see [`crate::ConcurrentDatabase`]): each admitted
+    /// commit's net effect flips the queue's maintained model forward, so
+    /// post-commit snapshots never rematerialize. Disable to reproduce
+    /// the invalidate-on-commit behavior (every post-commit snapshot
+    /// recomputes the model from scratch).
+    pub maintain_model: bool,
+}
+
+impl Default for UniformOptions {
+    fn default() -> UniformOptions {
+        UniformOptions {
+            check: CheckOptions::default(),
+            sat: SatOptions::default(),
+            skip_satisfiability: false,
+            maintain_model: true,
+        }
+    }
 }
 
 /// Everything that can go wrong when talking to a [`UniformDatabase`].
@@ -109,6 +127,43 @@ impl From<uniform_logic::ParseError> for UniformError {
     fn from(e: uniform_logic::ParseError) -> Self {
         UniformError::Language(LogicError::Parse(e))
     }
+}
+
+/// The guarded rule-update protocol shared by the single-owner façade
+/// and the concurrent pipeline ([`crate::ConcurrentDatabase`], which
+/// runs it under the commit-queue lock): compile the update
+/// (stratification), check schema satisfiability with the candidate
+/// rule set, evaluate the incremental integrity check, and only then
+/// install. One implementation so the two paths cannot drift apart.
+/// Returns whether the rule set actually changed.
+pub(crate) fn guarded_rule_update(
+    db: &mut Database,
+    options: &UniformOptions,
+    update: RuleUpdate,
+) -> Result<bool, UniformError> {
+    let checker = RuleUpdateChecker::with_options(db, options.check);
+    let compiled = checker
+        .compile(&update)
+        .map_err(|e| UniformError::Stratification(e.to_string()))?;
+    let Some(rule_set) = compiled.rules_after.clone() else {
+        return Ok(false); // no-op: rule already present / absent
+    };
+
+    if !options.skip_satisfiability {
+        let report = SatChecker::new(rule_set.clone(), db.constraints().to_vec())
+            .with_options(options.sat.clone())
+            .check();
+        if !report.outcome.is_satisfiable() {
+            return Err(UniformError::Unsatisfiable(Box::new(report)));
+        }
+    }
+
+    let report = checker.evaluate(&compiled);
+    if !report.satisfied {
+        return Err(UniformError::UpdateRejected(Box::new(report)));
+    }
+    db.set_rules(rule_set);
+    Ok(true)
 }
 
 /// A deductive database with guarded updates — the paper's two methods
@@ -398,29 +453,7 @@ impl UniformDatabase {
     /// Shared implementation of guarded rule addition/removal. Returns
     /// whether the rule set actually changed.
     fn apply_rule_update(&mut self, update: RuleUpdate) -> Result<bool, UniformError> {
-        let checker = RuleUpdateChecker::with_options(&self.db, self.options.check);
-        let compiled = checker
-            .compile(&update)
-            .map_err(|e| UniformError::Stratification(e.to_string()))?;
-        let Some(rule_set) = compiled.rules_after.clone() else {
-            return Ok(false); // no-op: rule already present / absent
-        };
-
-        if !self.options.skip_satisfiability {
-            let report = SatChecker::new(rule_set.clone(), self.db.constraints().to_vec())
-                .with_options(self.options.sat.clone())
-                .check();
-            if !report.outcome.is_satisfiable() {
-                return Err(UniformError::Unsatisfiable(Box::new(report)));
-            }
-        }
-
-        let report = checker.evaluate(&compiled);
-        if !report.satisfied {
-            return Err(UniformError::UpdateRejected(Box::new(report)));
-        }
-        self.db.set_rules(rule_set);
-        Ok(true)
+        guarded_rule_update(&mut self.db, &self.options, update)
     }
 
     /// Serialize the database back to its surface syntax (round-trips

@@ -327,6 +327,15 @@ impl Database {
         changed
     }
 
+    /// Install an externally produced canonical model into the cache.
+    /// Crate-internal: the commit queue's maintained model is the
+    /// canonical model of the just-committed state (see
+    /// [`crate::txn::CommitQueue`]), so installing it lets the next
+    /// [`Database::snapshot`] skip rematerialization entirely.
+    pub(crate) fn install_model(&mut self, model: Arc<Model>) {
+        *self.model.get_mut() = Some(model);
+    }
+
     /// The canonical model (cached until the next mutation). Concurrent
     /// callers share one materialization: the first to take the write
     /// lock computes, everyone else reuses the `Arc`.

@@ -36,6 +36,7 @@ pub mod eval;
 pub mod interp;
 pub mod magic;
 pub mod maintain;
+pub mod memo;
 pub mod model;
 pub mod par;
 pub mod planner;
@@ -54,6 +55,7 @@ pub use eval::{satisfies, satisfies_closed};
 pub use interp::{Interp, Overlay};
 pub use magic::{answer_goal_magic, magic_rewrite, MagicAnswers, MagicError, MagicProgram};
 pub use maintain::{MaintainStats, MaintainedModel};
+pub use memo::StripedMemo;
 pub use model::Model;
 pub use planner::{optimize_rq, Cardinality, FixedStats, PlanReport, Planner};
 pub use program::{BodyOccurrence, RuleSet};
@@ -61,5 +63,7 @@ pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;
 pub use store::{FactSet, Relation};
 pub use topdown::OverlayEngine;
-pub use txn::{CommitError, CommitQueue, CommitReceipt, TxnBuilder};
+pub use txn::{
+    CommitError, CommitQueue, CommitReceipt, MaintenanceCounters, ModelPath, TxnBuilder,
+};
 pub use update::{Transaction, Update};

@@ -59,12 +59,26 @@ pub struct MaintainedModel {
     rules_by_stratum: Vec<Vec<usize>>,
     /// Does the stratum contain a recursive head predicate?
     stratum_recursive: Vec<bool>,
+    /// Set when a counting invariant broke (a derivation count went
+    /// negative): the maintained contents can no longer be trusted and
+    /// the owner must fall back to full rematerialization.
+    poisoned: bool,
     stats: MaintainStats,
 }
 
 impl MaintainedModel {
     /// Materialize `(edb, rules)` and prepare the counting state.
     pub fn new(edb: FactSet, rules: RuleSet) -> MaintainedModel {
+        let model = Model::compute(&edb, &rules).facts().clone();
+        MaintainedModel::with_model(edb, rules, model)
+    }
+
+    /// Adopt an already-materialized canonical model of `(edb, rules)` —
+    /// e.g. a database's cached model — and prepare the counting state
+    /// without recomputing the fixpoint. The caller asserts `model` *is*
+    /// the canonical model; handing in anything else silently corrupts
+    /// maintenance.
+    pub fn with_model(edb: FactSet, rules: RuleSet, model: FactSet) -> MaintainedModel {
         let graph = rules.graph();
         let height = graph.height();
         let mut rules_by_stratum: Vec<Vec<usize>> = vec![Vec::new(); height.max(1)];
@@ -76,9 +90,6 @@ impl MaintainedModel {
                 stratum_recursive[s] = true;
             }
         }
-
-        let model_rc = Model::compute(&edb, &rules);
-        let model = model_rc.facts().clone();
 
         // Counts: number of body instantiations per derived fact, for
         // rules in non-recursive strata, evaluated over the fixpoint.
@@ -105,8 +116,16 @@ impl MaintainedModel {
             counts,
             rules_by_stratum,
             stratum_recursive,
+            poisoned: false,
             stats: MaintainStats::default(),
         }
+    }
+
+    /// Did a counting invariant break? A poisoned model's contents can
+    /// no longer be trusted; owners (the commit queue) drop it and fall
+    /// back to rematerialization.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// The maintained model.
@@ -300,7 +319,14 @@ impl MaintainedModel {
             self.stats.contributions += 1;
             let count = self.counts.entry(head.clone()).or_insert(0);
             *count += delta;
-            debug_assert!(*count >= 0, "negative derivation count for {head}");
+            if *count < 0 {
+                // A broken counting invariant. Never panic here (a panic
+                // would unwind out of the commit queue's critical section
+                // with the store already mutated): mark the model
+                // untrustworthy so the owner drops it and rematerializes.
+                self.poisoned = true;
+                *count = 0;
+            }
             let now = *count > 0 || self.edb.contains(&head);
             let was = self.model.contains(&head);
             if now != was {

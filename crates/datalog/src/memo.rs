@@ -1,0 +1,55 @@
+//! A hash-striped, evaluate-once concurrent memo.
+//!
+//! One `Mutex<HashMap>` would serialize every probe of a parallel
+//! evaluation loop; striping by key hash lets probes of *different*
+//! keys proceed on different locks, while probes of the *same* key meet
+//! on one stripe and then on that key's `OnceLock` slot — exactly one
+//! prober computes, racers block on the slot, and the evaluate-once
+//! guarantee holds regardless of scheduling. Shared by the overlay
+//! engine's ground-goal memo ([`crate::topdown::OverlayEngine`]) and
+//! the delta engine's pattern memo (`uniform-integrity`).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, OnceLock};
+
+/// Number of lock stripes: enough to make same-stripe collisions rare
+/// for the handful of worker threads a checker fans out.
+const STRIPES: usize = 16;
+
+pub struct StripedMemo<K, V> {
+    stripes: Vec<Mutex<HashMap<K, Arc<OnceLock<V>>>>>,
+}
+
+impl<K: Hash + Eq + Clone, V> StripedMemo<K, V> {
+    pub fn new() -> StripedMemo<K, V> {
+        StripedMemo {
+            stripes: (0..STRIPES).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    /// The memo slot for `key`, creating it if absent. Only the slot's
+    /// stripe is locked, and only for the probe; computation happens
+    /// outside every stripe lock, on the returned `OnceLock`.
+    pub fn slot(&self, key: &K) -> Arc<OnceLock<V>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let stripe = &self.stripes[hasher.finish() as usize % STRIPES];
+        let mut memo = stripe.lock();
+        match memo.get(key) {
+            Some(slot) => slot.clone(),
+            None => {
+                let slot = Arc::new(OnceLock::new());
+                memo.insert(key.clone(), slot.clone());
+                slot
+            }
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone, V> Default for StripedMemo<K, V> {
+    fn default() -> Self {
+        StripedMemo::new()
+    }
+}

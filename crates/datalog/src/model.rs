@@ -28,6 +28,16 @@ impl Model {
         Self::compute_restricted(edb, rules, None)
     }
 
+    /// Wrap an already-materialized canonical model. The caller asserts
+    /// that `facts` *is* the canonical model of some `(edb, rules)` pair
+    /// — this is how the commit pipeline installs the incrementally
+    /// maintained model ([`crate::maintain::MaintainedModel`], whose
+    /// contents are property-tested against [`Model::compute`]) without
+    /// paying a rematerialization.
+    pub fn from_facts(facts: FactSet) -> Model {
+        Model { facts }
+    }
+
     /// Compute the canonical model restricted to rules whose head is in
     /// `only` (when given). Used by the goal-directed overlay engine to
     /// avoid materializing unrelated predicates: restricting to the

@@ -88,6 +88,12 @@ impl Relation {
                     self.col_index[col].entry(value).or_default().push(slot);
                 }
                 self.live += 1;
+                // Growing the arena can carry a small, tombstone-heavy
+                // relation across the compaction floor (removes below
+                // the floor never compact), so the dominance invariant
+                // must be re-checked on insertion too — found by the
+                // 1024-case property pass over `prop_store`.
+                self.maybe_compact();
                 true
             }
         }

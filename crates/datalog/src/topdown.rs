@@ -19,54 +19,15 @@
 
 use crate::cq::solve_conjunction;
 use crate::interp::{Interp, Overlay};
+use crate::memo::StripedMemo;
 use crate::model::Model;
 use crate::program::RuleSet;
 use crate::store::FactSet;
-use parking_lot::{Mutex, RwLock};
-use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use parking_lot::RwLock;
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 use uniform_logic::{Fact, Subst, Sym, Term};
-
-/// Lock stripes for the ground-goal memo. One `Mutex<HashMap>` serializes
-/// every memo probe of the parallel evaluation loop; striping by goal
-/// hash lets concurrent probes of *different* goals proceed on different
-/// locks while probes of the *same* goal still meet on one stripe (and
-/// then on that goal's `OnceLock`, preserving the evaluate-once
-/// guarantee).
-const MEMO_STRIPES: usize = 16;
-
-struct StripedMemo {
-    stripes: Vec<Mutex<HashMap<Fact, Arc<OnceLock<bool>>>>>,
-}
-
-impl StripedMemo {
-    fn new() -> StripedMemo {
-        StripedMemo {
-            stripes: (0..MEMO_STRIPES)
-                .map(|_| Mutex::new(HashMap::new()))
-                .collect(),
-        }
-    }
-
-    /// The memo slot for `goal`, creating it if absent. Only the slot's
-    /// stripe is locked, and only for the probe.
-    fn slot(&self, goal: &Fact) -> Arc<OnceLock<bool>> {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        goal.hash(&mut hasher);
-        let stripe = &self.stripes[hasher.finish() as usize % MEMO_STRIPES];
-        let mut memo = stripe.lock();
-        match memo.get(goal) {
-            Some(slot) => slot.clone(),
-            None => {
-                let slot = Arc::new(OnceLock::new());
-                memo.insert(goal.clone(), slot.clone());
-                slot
-            }
-        }
-    }
-}
 
 /// A virtual interpretation of the canonical model of `U(D)`, where the
 /// update is *not* applied to `edb`.
@@ -90,7 +51,7 @@ pub struct OverlayEngine<'a> {
     /// shared subqueries (the paper's `attends(jack, ddb)` example) are
     /// answered once. Striped by goal hash so parallel evaluators don't
     /// contend on one lock (see [`StripedMemo`]).
-    goal_memo: StripedMemo,
+    goal_memo: StripedMemo<Fact, bool>,
     memo_hits: AtomicUsize,
 }
 

@@ -23,13 +23,27 @@
 //! time would read the very same tuples and reach the very same
 //! verdict — which is exactly what `tests/prop_commit_serializability`
 //! replays sequentially and asserts.
+//!
+//! The queue also owns the **lifetime of the canonical model**: it keeps
+//! a [`MaintainedModel`] that each admitted commit's net effect flips
+//! forward (the paper's induced-update view, Def. 4, as maintenance), so
+//! post-commit snapshots reuse the maintained model instead of paying a
+//! full rematerialization. Schema/rule updates
+//! ([`CommitQueue::update_schema`]) and maintenance bail-outs fall back
+//! to rematerialization; every commit receipt records which path the
+//! model took ([`ModelPath`]), and `tests/prop_model_maintenance`
+//! proves the maintained model bit-identical to a from-scratch
+//! recomputation after every admitted commit.
 
 use crate::database::{ApplyError, Database, Snapshot};
+use crate::maintain::MaintainedModel;
+use crate::model::Model;
 use crate::update::{Transaction, Update};
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 use uniform_logic::{Fact, Sym};
 
 /// A transaction under construction: updates staged against a pinned
@@ -202,6 +216,35 @@ impl From<ApplyError> for CommitError {
     }
 }
 
+/// How the canonical model behind post-commit snapshots is produced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelPath {
+    /// The queue's maintained model absorbed the commit's net effect
+    /// incrementally; [`Database::snapshot`] reuses it without
+    /// rematerializing (cost proportional to the induced update, the
+    /// paper's Def. 4 view of maintenance).
+    Maintained,
+    /// The next snapshot must rematerialize the model from scratch:
+    /// maintenance is disabled, a schema/rule update reset it, or
+    /// maintenance bailed out on a broken counting invariant.
+    Rematerialized,
+}
+
+/// Running counters of the queue's model-maintenance behavior, for
+/// tests, benches and operators (see [`CommitQueue::maintenance`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceCounters {
+    /// Effective commits absorbed incrementally by the maintained model.
+    pub maintained: u64,
+    /// Effective commits that left the next snapshot to rematerialize.
+    pub rematerialized: u64,
+    /// Maintenance bail-outs: a counting invariant broke and the
+    /// maintained model was dropped (a subset of `rematerialized`).
+    pub bailouts: u64,
+    /// Schema/rule updates that reset the maintained model.
+    pub schema_resets: u64,
+}
+
 /// Proof of an admitted commit.
 #[derive(Clone, Debug)]
 pub struct CommitReceipt {
@@ -210,6 +253,10 @@ pub struct CommitReceipt {
     /// The updates that actually changed the store (Def. 1 effective
     /// subset, in staging order).
     pub effective: Vec<Update>,
+    /// How snapshots of the post-commit state get their model. For a
+    /// Def. 1 no-op commit this reports the queue's standing marker —
+    /// nothing was invalidated.
+    pub model_path: ModelPath,
 }
 
 impl CommitReceipt {
@@ -233,6 +280,14 @@ struct QueueState {
     /// Begin-versions older than this can no longer be conflict-checked
     /// (their overlapping commit records were pruned).
     horizon: u64,
+    /// The incrementally maintained canonical model, built lazily on the
+    /// first admitted commit and flipped forward by every later one.
+    /// `None` until then, after a schema reset, or after a bail-out.
+    maintained: Option<MaintainedModel>,
+    /// The standing [`ModelPath`] marker: how the *next* snapshot of the
+    /// current state gets its model.
+    last_path: ModelPath,
+    counters: MaintenanceCounters,
 }
 
 /// The serialization point of the commit pipeline. Shares one
@@ -244,6 +299,11 @@ struct QueueState {
 pub struct CommitQueue {
     state: Mutex<QueueState>,
     log_capacity: usize,
+    /// Maintain the canonical model incrementally across commits. When
+    /// off, every effective commit invalidates the cached model and the
+    /// next snapshot rematerializes (the pre-maintenance behavior; the
+    /// `b3_postcommit_snapshot` baseline).
+    maintain: bool,
 }
 
 /// Commit records retained for conflict detection. A transaction must
@@ -263,8 +323,21 @@ impl CommitQueue {
                 db,
                 log: VecDeque::new(),
                 horizon,
+                maintained: None,
+                last_path: ModelPath::Rematerialized,
+                counters: MaintenanceCounters::default(),
             }),
             log_capacity: log_capacity.max(1),
+            maintain: true,
+        }
+    }
+
+    /// A queue with incremental model maintenance disabled: every
+    /// effective commit leaves the next snapshot to rematerialize.
+    pub fn without_maintenance(db: Database) -> CommitQueue {
+        CommitQueue {
+            maintain: false,
+            ..CommitQueue::new(db)
         }
     }
 
@@ -353,12 +426,58 @@ impl CommitQueue {
         // introduce) against the live schema before applying any of it.
         crate::database::validate_transaction_arities(|pred| state.db.arity_of(pred), &txn.updates)
             .map_err(CommitError::Apply)?;
+
+        // Build the maintained model from the pre-commit state the first
+        // time an admitted commit arrives (or the first after a schema
+        // reset / bail-out). This reuses the database's cached model when
+        // one exists; from here on the queue owns the model's lifetime.
+        if self.maintain && state.maintained.is_none() {
+            let model = state.db.model();
+            let st = &mut *state;
+            st.maintained = Some(MaintainedModel::with_model(
+                st.db.facts().clone(),
+                st.db.rules().clone(),
+                model.facts().clone(),
+            ));
+        }
+
         let mut effective = Vec::new();
         for u in &txn.updates {
             if state.db.apply(u).expect("arities validated above") {
                 effective.push(u.clone());
             }
         }
+
+        let model_path = if effective.is_empty() {
+            // Def. 1 no-op: nothing was invalidated, the cached model
+            // (and the maintained one) still describe the state exactly.
+            state.last_path
+        } else if self.maintain {
+            // Flip the maintained model forward by the same update list
+            // the store just applied: its EDB mirrors the database's
+            // update for update, so the two stay bit-identical.
+            let st = &mut *state;
+            let healthy = {
+                let m = st.maintained.as_mut().expect("built above");
+                m.apply_transaction(&Transaction::new(txn.updates.to_vec()));
+                !m.is_poisoned()
+            };
+            if healthy {
+                let model = st.maintained.as_ref().expect("built above").model().clone();
+                st.db.install_model(Arc::new(Model::from_facts(model)));
+                st.counters.maintained += 1;
+                ModelPath::Maintained
+            } else {
+                st.maintained = None;
+                st.counters.bailouts += 1;
+                st.counters.rematerialized += 1;
+                ModelPath::Rematerialized
+            }
+        } else {
+            state.counters.rematerialized += 1;
+            ModelPath::Rematerialized
+        };
+        state.last_path = model_path;
 
         let version = state.db.version();
         if !effective.is_empty() {
@@ -371,7 +490,44 @@ impl CommitQueue {
                 state.horizon = dropped.version;
             }
         }
-        Ok(CommitReceipt { version, effective })
+        Ok(CommitReceipt {
+            version,
+            effective,
+            model_path,
+        })
+    }
+
+    /// Run a schema mutation (rule or constraint changes) under the
+    /// queue lock. The maintained model cannot absorb schema changes, so
+    /// when `f` mutated the database (its version moved) the model is
+    /// dropped — the next snapshot rematerializes — and the conflict log
+    /// is reset: every in-flight transaction began behind the new
+    /// horizon and is refused with [`CommitError::SnapshotTooOld`],
+    /// because a schema change invalidates any pinned check. Fact
+    /// updates belong in [`CommitQueue::commit`], not here.
+    pub fn update_schema<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        let mut state = self.state.lock();
+        let before = state.db.version();
+        let out = f(&mut state.db);
+        if state.db.version() != before {
+            state.maintained = None;
+            state.last_path = ModelPath::Rematerialized;
+            state.counters.schema_resets += 1;
+            state.log.clear();
+            state.horizon = state.db.version();
+        }
+        out
+    }
+
+    /// The standing path marker: how the next snapshot of the current
+    /// state gets its model.
+    pub fn model_path(&self) -> ModelPath {
+        self.state.lock().last_path
+    }
+
+    /// Running model-maintenance counters.
+    pub fn maintenance(&self) -> MaintenanceCounters {
+        self.state.lock().counters
     }
 
     /// Current EDB contents (sorted), for tests and tooling.
@@ -581,6 +737,118 @@ mod tests {
         assert_eq!(removed, vec![fact("p", &["a"])]);
         assert_eq!(t.write_set().len(), 1);
         assert!(t.read_set().contains(&Sym::new("p")));
+    }
+
+    fn sorted_model(snapshot: &Snapshot) -> Vec<String> {
+        let mut out: Vec<String> = snapshot.model().iter().map(|f| f.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    fn sorted_fresh(snapshot: &Snapshot) -> Vec<String> {
+        let fresh = crate::model::Model::compute(snapshot.facts(), snapshot.rules());
+        let mut out: Vec<String> = fresh.iter().map(|f| f.to_string()).collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn commits_maintain_the_model_incrementally() {
+        let q = queue("b(X) :- a(X). a(seed).");
+        let mut t = q.begin();
+        t.insert(fact("a", &["x"]));
+        let r = q.commit(&t).unwrap();
+        assert_eq!(r.model_path, ModelPath::Maintained);
+        let snap = q.snapshot();
+        assert!(snap.holds(&fact("b", &["x"])), "induced fact maintained");
+        assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+        // Deletions flip back through the same path.
+        let mut t = q.begin();
+        t.delete(fact("a", &["x"]));
+        let r = q.commit(&t).unwrap();
+        assert_eq!(r.model_path, ModelPath::Maintained);
+        let snap = q.snapshot();
+        assert!(!snap.holds(&fact("b", &["x"])));
+        assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+        assert_eq!(q.maintenance().maintained, 2);
+        assert_eq!(q.maintenance().rematerialized, 0);
+    }
+
+    #[test]
+    fn without_maintenance_every_commit_rematerializes() {
+        let q = CommitQueue::without_maintenance(Database::parse("b(X) :- a(X).").unwrap());
+        let mut t = q.begin();
+        t.insert(fact("a", &["x"]));
+        let r = q.commit(&t).unwrap();
+        assert_eq!(r.model_path, ModelPath::Rematerialized);
+        assert_eq!(q.model_path(), ModelPath::Rematerialized);
+        // The model is still correct — just recomputed on demand.
+        let snap = q.snapshot();
+        assert!(snap.holds(&fact("b", &["x"])));
+        assert_eq!(q.maintenance().maintained, 0);
+        assert_eq!(q.maintenance().rematerialized, 1);
+    }
+
+    #[test]
+    fn noop_commit_keeps_the_standing_path() {
+        let q = queue("p(a).");
+        let mut t = q.begin();
+        t.insert(fact("p", &["b"]));
+        assert_eq!(q.commit(&t).unwrap().model_path, ModelPath::Maintained);
+        let mut noop = q.begin();
+        noop.insert(fact("p", &["b"]));
+        let r = q.commit(&noop).unwrap();
+        assert!(!r.changed());
+        assert_eq!(r.model_path, ModelPath::Maintained);
+        assert_eq!(q.maintenance().maintained, 1, "no-ops maintain nothing");
+    }
+
+    #[test]
+    fn schema_update_resets_maintenance_and_fences_inflight_txns() {
+        let q = queue("b(X) :- a(X). a(seed).");
+        let mut warm = q.begin();
+        warm.insert(fact("a", &["x"]));
+        q.commit(&warm).unwrap();
+        assert_eq!(q.model_path(), ModelPath::Maintained);
+
+        // A transaction in flight across the schema change.
+        let mut inflight = q.begin();
+        inflight.insert(fact("a", &["y"]));
+
+        q.update_schema(|db| {
+            let mut rules: Vec<uniform_logic::Rule> = db.rules().rules().to_vec();
+            rules.push(uniform_logic::parse_rule("c(X) :- b(X).").unwrap());
+            db.set_rules(crate::program::RuleSet::new(rules).unwrap());
+        });
+        assert_eq!(q.model_path(), ModelPath::Rematerialized);
+        assert_eq!(q.maintenance().schema_resets, 1);
+        // The pinned check predates the schema: refused, retriably.
+        let err = q.commit(&inflight).unwrap_err();
+        assert!(matches!(err, CommitError::SnapshotTooOld { .. }), "{err:?}");
+        // The rematerialized snapshot reflects the new rule…
+        let snap = q.snapshot();
+        assert!(snap.holds(&fact("c", &["x"])));
+        assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+        // …and the next effective commit rebuilds maintenance.
+        let mut t = q.begin();
+        t.insert(fact("a", &["y"]));
+        let r = q.commit(&t).unwrap();
+        assert_eq!(r.model_path, ModelPath::Maintained);
+        let snap = q.snapshot();
+        assert!(snap.holds(&fact("c", &["y"])));
+        assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+    }
+
+    #[test]
+    fn readonly_schema_closure_resets_nothing() {
+        let q = queue("p(a).");
+        let mut t = q.begin();
+        t.insert(fact("p", &["b"]));
+        q.commit(&t).unwrap();
+        let n = q.update_schema(|db| db.facts().len());
+        assert_eq!(n, 2);
+        assert_eq!(q.maintenance().schema_resets, 0);
+        assert_eq!(q.model_path(), ModelPath::Maintained);
     }
 
     #[test]

@@ -141,6 +141,40 @@ proptest! {
     }
 }
 
+/// Regression (found by the 1024-case `PROPTEST_CASES` pass and shrunk
+/// by the shim): a relation below the compaction floor can accumulate
+/// tombstones past 50% (sub-floor removes never compact); the *insert*
+/// that then grows the arena across the floor must re-check the
+/// dominance invariant, not leave it violated until the next delete.
+#[test]
+fn floor_crossing_insert_compacts() {
+    let mut fs = FactSet::new();
+    // 31 live tuples: arena 31, below the floor of 32.
+    let tuples: Vec<(usize, usize)> = (0..KEYS)
+        .flat_map(|k| (0..TAGS).map(move |t| (k, t)))
+        .take(31)
+        .collect();
+    for &(k, t) in &tuples {
+        fs.insert(&fact(k, t));
+    }
+    // Tombstone 17 of them — over half, but the arena is sub-floor so
+    // no remove triggers compaction.
+    for &(k, t) in tuples.iter().take(17) {
+        fs.remove(&fact(k, t));
+    }
+    assert_eq!(fs.relation(Sym::new("p")).unwrap().stale_slots(), 17);
+    // The 32nd slot crosses the floor: stale slots must not dominate.
+    fs.insert(&fact(KEYS - 1, TAGS - 1));
+    let rel = fs.relation(Sym::new("p")).unwrap();
+    let arena = rel.len() + rel.stale_slots();
+    assert!(
+        rel.stale_slots() * 2 <= arena,
+        "stale fraction unbounded after floor-crossing insert: {} of {arena}",
+        rel.stale_slots()
+    );
+    assert_eq!(rel.len(), 15, "14 survivors + the new tuple");
+}
+
 /// Deterministic heavy churn that provably crosses the 50% threshold
 /// repeatedly, then keeps using the indexes.
 #[test]

@@ -182,7 +182,12 @@ impl<'a> Checker<'a> {
     /// A checker evaluating against a pinned snapshot: same verdicts as
     /// a checker on the originating database at snapshot time, but
     /// usable from any thread while writers keep committing. This is
-    /// the checking mode of the concurrent commit pipeline.
+    /// the checking mode of the concurrent commit pipeline — and the
+    /// point where that pipeline's incremental model maintenance pays
+    /// off twice: the snapshot's pinned model *is* the commit queue's
+    /// maintained model (`uniform_datalog::txn::ModelPath::Maintained`),
+    /// so the `evaluate` phase's `current` interpretation is shared by
+    /// reference, never rematerialized per check.
     pub fn for_snapshot(snapshot: &'a Snapshot) -> Checker<'a> {
         Checker::for_snapshot_with_options(snapshot, CheckOptions::default())
     }
@@ -757,6 +762,21 @@ mod tests {
         let rep = checker.check_update(&upd("p(a)"));
         assert!(!rep.satisfied);
         assert_eq!(rep.violations.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_checker_shares_the_pinned_model_by_reference() {
+        // The `current` interpretation of the evaluation phase must be
+        // the snapshot's pinned model Arc — with the commit pipeline's
+        // maintained model installed, a per-check rematerialization here
+        // would silently undo the whole maintenance win.
+        let d = db("q(a). constraint c1: forall X: p(X) -> q(X).");
+        let snap = d.snapshot();
+        let checker = Checker::for_snapshot(&snap);
+        assert!(Arc::ptr_eq(&checker.model(), &snap.model_arc()));
+        // And checking does not clone it either: still the same Arc.
+        let _ = checker.check_update(&upd("p(a)"));
+        assert!(Arc::ptr_eq(&checker.model(), &snap.model_arc()));
     }
 
     #[test]

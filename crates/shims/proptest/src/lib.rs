@@ -10,12 +10,20 @@
 //! * the `proptest!`, `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`
 //!   macros.
 //!
-//! Semantics differ from real proptest in two deliberate ways: generation
-//! is seeded **deterministically from the test name** (every run explores
-//! the same cases — reproducible in CI, no persistence files), and there
-//! is **no shrinking** (a failing case reports its case number and
-//! message). Swap in the real crate via `[workspace.dependencies]` to get
-//! full shrinking behavior; no test source changes are needed.
+//! Semantics differ from real proptest in deliberate ways: generation is
+//! seeded **deterministically from the test name** (every run explores
+//! the same cases — reproducible in CI, no persistence files), and
+//! shrinking is **greedy and structural** rather than value-tree based:
+//! a failing argument tuple is shrunk one coordinate at a time (integers
+//! halve toward their range's lower bound, vectors truncate to shorter
+//! prefixes) and the first still-failing candidate is taken, until no
+//! candidate fails. Strategies whose generation is not invertible
+//! ([`Just`], `prop_map`, `prop_oneof!`, …) keep the original
+//! counterexample. The `PROPTEST_CASES` environment variable (the knob
+//! real proptest honors) overrides every configured case count, so CI
+//! can dial effort up without code changes. Swap in the real crate via
+//! `[workspace.dependencies]` for full value-tree shrinking; no test
+//! source changes are needed.
 
 use std::ops::{Range, RangeInclusive};
 use std::sync::Arc;
@@ -34,6 +42,16 @@ pub trait Strategy {
 
     /// Produce one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate strictly-smaller replacements for a failing `value`,
+    /// most aggressive first. The default refuses to shrink — correct
+    /// for strategies whose generation is not invertible (`prop_map`,
+    /// `prop_oneof!`, …), which therefore keep the original
+    /// counterexample. Every candidate must stay inside the strategy's
+    /// domain so a shrunk counterexample is still a valid input.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
 
     /// Transform generated values.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -78,11 +96,15 @@ pub trait Strategy {
 
 trait DynStrategy<T> {
     fn generate_dyn(&self, rng: &mut TestRng) -> T;
+    fn shrink_dyn(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+    fn shrink_dyn(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -99,6 +121,9 @@ impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
         self.0.generate_dyn(rng)
+    }
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.0.shrink_dyn(value)
     }
 }
 
@@ -183,6 +208,25 @@ impl<T> Strategy for OneOf<T> {
     }
 }
 
+/// Halving shrink candidates for an integer drawn from `lo..`: the lower
+/// bound itself, the midpoint between it and the failing value, and the
+/// predecessor — every candidate in-domain and strictly smaller.
+fn shrink_toward(lo: i128, value: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    if value > lo {
+        out.push(lo);
+        let mid = lo + (value - lo) / 2;
+        if mid != lo {
+            out.push(mid);
+        }
+        let prev = value - 1;
+        if prev != lo && prev != mid {
+            out.push(prev);
+        }
+    }
+    out
+}
+
 // Integer ranges are strategies.
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
@@ -193,6 +237,12 @@ macro_rules! impl_range_strategy {
                 let span = (self.end as i128 - self.start as i128) as u64;
                 (self.start as i128 + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(self.start as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -202,32 +252,57 @@ macro_rules! impl_range_strategy {
                 let span = (hi as i128 - lo as i128 + 1) as u64;
                 (lo as i128 + rng.below(span) as i128) as $t
             }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_toward(*self.start() as i128, *value as i128)
+                    .into_iter()
+                    .map(|v| v as $t)
+                    .collect()
+            }
         }
     )*};
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
-// Tuples of strategies are strategies.
+// The empty tuple is the (trivial) strategy of a zero-argument property.
+impl Strategy for () {
+    type Value = ();
+    fn generate(&self, _rng: &mut TestRng) {}
+}
+
+// Tuples of strategies are strategies; shrinking replaces one coordinate
+// at a time with that coordinate's shrink candidates.
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
-            #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                let ($($name,)+) = self;
-                ($($name.generate(rng),)+)
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out: Vec<Self::Value> = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     };
 }
 
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 // String literals are regex-lite strategies.
 impl Strategy for &'static str {
@@ -332,6 +407,29 @@ pub mod collection {
                 hi: self.hi.min(max),
             }
         }
+
+        /// Smallest admissible length (the shrink floor).
+        pub(crate) fn min(&self) -> usize {
+            self.lo
+        }
+    }
+
+    /// Prefix truncations of a failing vector down to `min_len`:
+    /// shortest first, then the halfway prefix, then one-shorter.
+    pub(crate) fn shrink_prefixes<T: Clone>(value: &[T], min_len: usize) -> Vec<Vec<T>> {
+        let len = value.len();
+        let mut out = Vec::new();
+        if len > min_len {
+            out.push(value[..min_len].to_vec());
+            let mid = min_len + (len - min_len) / 2;
+            if mid != min_len && mid != len {
+                out.push(value[..mid].to_vec());
+            }
+            if len - 1 != min_len && len - 1 != mid {
+                out.push(value[..len - 1].to_vec());
+            }
+        }
+        out
     }
 
     /// Vectors of `element` values with a length drawn from `size`.
@@ -348,11 +446,27 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let n = self.size.sample(rng);
             (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            // Prefix truncation keeps every element in-domain; element
+            // positions also shrink through the element strategy.
+            let mut out = shrink_prefixes(value, self.size.min());
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 }
@@ -400,6 +514,11 @@ pub mod sample {
 
     impl<T: Clone> Strategy for Subsequence<T> {
         type Value = Vec<T>;
+        fn shrink(&self, value: &Vec<T>) -> Vec<Vec<T>> {
+            // A prefix of a subsequence is a subsequence: truncate down
+            // to the (pool-clamped) minimum length.
+            crate::collection::shrink_prefixes(value, self.size.clamped(self.pool.len()).min())
+        }
         fn generate(&self, rng: &mut TestRng) -> Vec<T> {
             let want = self.size.clamped(self.pool.len()).sample(rng);
             // Floyd-style distinct index sampling, then restore pool order.
@@ -618,9 +737,100 @@ macro_rules! prop_assert_ne {
     }};
 }
 
+/// Greedy structural shrinking: repeatedly replace the failing input
+/// with the first shrink candidate that still fails, until no candidate
+/// fails or the step budget runs out. Candidates that *panic* (rather
+/// than return a [`TestCaseError`]) count as failing too — a panicking
+/// input is still a counterexample. Returns the smallest failing input,
+/// the number of successful shrink steps, and the failure it produced.
+/// (Used by the `proptest!` macro; public so the expansion can call it.)
+pub fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    initial: S::Value,
+    initial_error: TestCaseError,
+    case: &mut dyn FnMut(&S::Value) -> Result<(), TestCaseError>,
+) -> (S::Value, usize, TestCaseError) {
+    const MAX_SHRINK_STEPS: usize = 1024;
+    let mut failing = initial;
+    let mut error = initial_error;
+    let mut steps = 0;
+    'search: while steps < MAX_SHRINK_STEPS {
+        for candidate in strategy.shrink(&failing) {
+            if let Some(e) = run_case_caught(case, &candidate) {
+                failing = candidate;
+                error = e;
+                steps += 1;
+                continue 'search;
+            }
+        }
+        break;
+    }
+    (failing, steps, error)
+}
+
+/// Run one case, converting a panic into a [`TestCaseError`] carrying
+/// the panic message — a panicking input (an `unwrap` in the body, an
+/// index out of bounds) is a counterexample like any other, and must be
+/// shrinkable like any other.
+fn run_case_caught<V>(
+    case: &mut dyn FnMut(&V) -> Result<(), TestCaseError>,
+    values: &V,
+) -> Option<TestCaseError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(values))) {
+        Ok(Ok(())) => None,
+        Ok(Err(e)) => Some(e),
+        Err(payload) => Some(TestCaseError::fail(panic_message(payload.as_ref()))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked while running a property case".to_string()
+    }
+}
+
+/// The case loop behind `proptest!`: generate, run, and on failure
+/// shrink and panic with the minimal counterexample. A named function
+/// (rather than macro-expanded inline code) so the case closure's
+/// argument type is pinned by this signature — and so every property
+/// test shares one tested runner.
+pub fn run_property<S: Strategy>(
+    name: &str,
+    cases: u32,
+    strategy: &S,
+    case: &mut dyn FnMut(&S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: std::fmt::Debug,
+{
+    // Deterministic per-test seed: same cases every run.
+    let mut rng = TestRng::from_name(name);
+    for case_no in 0..cases {
+        let values = strategy.generate(&mut rng);
+        // Panic-failing cases are caught and shrunk exactly like
+        // Err-failing ones (prop_assert is not the only failure mode —
+        // bodies `unwrap` freely).
+        if let Some(e) = run_case_caught(case, &values) {
+            let (minimal, steps, final_err) = shrink_failure(strategy, values, e, case);
+            panic!(
+                "property failed at case {}/{}: {}\n  minimal failing input (after {} shrink step(s)): {:?}",
+                case_no + 1,
+                cases,
+                final_err,
+                steps,
+                minimal
+            );
+        }
+    }
+}
+
 /// Define property tests. Each `arg in strategy` parameter is freshly
 /// generated per case; the body may use `prop_assert*` and
-/// `return Ok(())`.
+/// `return Ok(())`. A failing case is shrunk (see [`shrink_failure`])
+/// and reported with its minimal failing input.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -635,18 +845,21 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let config: $crate::ProptestConfig = $config;
-            // Deterministic per-test seed: same cases every run.
-            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
-            for case in 0..config.cases {
-                $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
-                let outcome: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+            // One composite strategy over the argument tuple: components
+            // generate in argument order (the value stream per seed is
+            // unchanged), and the tuple is the unit of shrinking.
+            let strategy = ($($strategy,)*);
+            $crate::run_property(
+                concat!(module_path!(), "::", stringify!($name)),
+                config.effective_cases(),
+                &strategy,
+                &mut |values| {
+                    #[allow(unused_variables)]
+                    let ($($arg,)*) = ::core::clone::Clone::clone(values);
                     $body
                     ::core::result::Result::Ok(())
-                })();
-                if let ::core::result::Result::Err(e) = outcome {
-                    panic!("property failed at case {}/{}: {}", case + 1, config.cases, e);
-                }
-            }
+                },
+            );
         }
         $crate::proptest!(@munch ($config) $($rest)*);
     };
@@ -771,5 +984,104 @@ mod tests {
         let msg = *result.unwrap_err().downcast::<String>().unwrap();
         assert!(msg.contains("property failed at case 1/5"), "{msg}");
         assert!(msg.contains("boom"), "{msg}");
+        // Everything fails, so the greedy shrinker bottoms out at the
+        // range's lower bound.
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("(0,)"), "{msg}");
+    }
+
+    #[test]
+    fn integer_and_vec_shrinks_stay_in_domain() {
+        let int = 5..100usize;
+        for c in int.shrink(&73) {
+            assert!((5..73).contains(&c), "candidate {c} out of domain");
+        }
+        assert!(int.shrink(&5).is_empty(), "lower bound cannot shrink");
+        let vecs = crate::collection::vec(0..10usize, 2..6);
+        let value = vec![9, 8, 7, 6, 5];
+        for c in vecs.shrink(&value) {
+            assert!(
+                (2..=5).contains(&c.len()) && c.iter().all(|&x| x < 10),
+                "candidate {c:?} out of domain"
+            );
+            assert_ne!(c, value, "candidates must differ from the input");
+        }
+        let sub = crate::sample::subsequence(vec![1, 2, 3, 4], 1..=4);
+        for c in sub.shrink(&vec![1, 3, 4]) {
+            assert!(!c.is_empty() && c.len() < 3, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn seeded_failure_shrinks_to_smaller_counterexample() {
+        // The property fails iff x >= 10: the minimal counterexample is
+        // exactly ([], 10) — the vector truncates to its 0-length floor
+        // and x halves down until every candidate (0, mid < 10, 9)
+        // passes. A greedy value-level shrinker must land there.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(16))]
+                #[allow(unused)]
+                fn fails_when_x_is_big(
+                    noise in prop::collection::vec(0..100usize, 0..30),
+                    x in 0..1000usize,
+                ) {
+                    prop_assert!(x < 10, "x too big: {}", x);
+                }
+            }
+            fails_when_x_is_big();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(
+            msg.contains("([], 10)"),
+            "expected the minimal counterexample ([], 10): {msg}"
+        );
+        assert!(msg.contains("x too big: 10"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_bodies_are_caught_and_shrunk() {
+        // A body that fails by raw panic (not prop_assert) must still be
+        // reported with a case number and a minimal counterexample.
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(8))]
+                #[allow(unused)]
+                fn panics_when_big(x in 0..1000usize) {
+                    assert!(x < 10, "raw panic at {}", x);
+                }
+            }
+            panics_when_big();
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("property failed at case"), "{msg}");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("(10,)"), "{msg}");
+        assert!(msg.contains("raw panic at 10"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_treats_panicking_candidates_as_failures() {
+        // A candidate that panics (instead of prop_assert-failing) is
+        // still a counterexample; shrinking must absorb it, not abort.
+        let strategy = (1..100usize,);
+        let mut case = |v: &(usize,)| -> Result<(), TestCaseError> {
+            if v.0 >= 40 {
+                return Err(TestCaseError::fail("assert-style failure"));
+            }
+            if v.0 >= 20 {
+                panic!("panic-style failure at {}", v.0);
+            }
+            Ok(())
+        };
+        let (minimal, steps, err) =
+            crate::shrink_failure(&strategy, (90,), TestCaseError::fail("seed"), &mut case);
+        assert_eq!(minimal, (20,), "panicking region reached and minimized");
+        assert!(steps > 0);
+        assert!(
+            err.to_string().contains("panic-style failure at 20"),
+            "{err}"
+        );
     }
 }

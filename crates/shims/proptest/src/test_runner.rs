@@ -20,6 +20,19 @@ impl Config {
     pub fn with_cases(cases: u32) -> Config {
         Config { cases }
     }
+
+    /// The case count a `proptest!` block actually runs: the
+    /// `PROPTEST_CASES` environment variable (the same knob real
+    /// proptest honors) overrides every configured count, so CI can dial
+    /// property-test effort up or down without code changes.
+    pub fn effective_cases(&self) -> u32 {
+        Self::cases_with_env(self.cases, std::env::var("PROPTEST_CASES").ok().as_deref())
+    }
+
+    fn cases_with_env(configured: u32, env: Option<&str>) -> u32 {
+        env.and_then(|v| v.trim().parse().ok())
+            .unwrap_or(configured)
+    }
 }
 
 /// Failure of a single generated case.
@@ -109,6 +122,16 @@ mod tests {
         let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
         assert_eq!(va, vb);
         assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn env_override_parses_and_falls_back() {
+        // Pure-function check: no process-global env mutation (tests in
+        // this binary run concurrently and all read PROPTEST_CASES).
+        assert_eq!(Config::cases_with_env(64, None), 64);
+        assert_eq!(Config::cases_with_env(64, Some("1024")), 1024);
+        assert_eq!(Config::cases_with_env(64, Some(" 8 ")), 8);
+        assert_eq!(Config::cases_with_env(64, Some("not-a-number")), 64);
     }
 
     #[test]

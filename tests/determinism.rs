@@ -13,10 +13,11 @@
 //! across processes, or across `UNIFORM_THREADS=1` vs `8`.
 
 use std::fmt::Write as _;
-use uniform::datalog::{Database, MaintainedModel};
+use uniform::datalog::{Database, MaintainedModel, RuleSet};
 use uniform::integrity::Checker;
+use uniform::logic::parse_rule;
 use uniform::workload;
-use uniform::{SatChecker, Transaction};
+use uniform::{CommitQueue, SatChecker, Transaction};
 
 /// FNV-1a over the rendered observation log (no external deps).
 fn fnv1a(s: &str) -> u64 {
@@ -98,7 +99,50 @@ fn observation_log() -> String {
         let _ = writeln!(log, "mixfact {f}");
     }
 
-    // 4. Satisfiability search outcome (frontier order feeds the found
+    // 4. Commit-pipeline model maintenance: per-commit ModelPath
+    //    markers, the maintenance counters, and the post-commit
+    //    maintained model's *iteration order* (user-visible through
+    //    snapshots) — including a mid-stream schema reset that forces
+    //    the rematerialization fallback.
+    let (mut mdb, mstreams) = workload::commit_mix(2, 5, 37);
+    {
+        let mut rules = mdb.rules().rules().to_vec();
+        rules.push(parse_rule("vip_flag(X) :- vip(X).").unwrap());
+        mdb.set_rules(RuleSet::new(rules).unwrap());
+    }
+    let queue = CommitQueue::new(mdb);
+    let mut committed = 0usize;
+    for i in 0..5 {
+        for stream in &mstreams {
+            let mut t = queue.begin();
+            for u in &stream[i].updates {
+                t.stage(u.clone());
+            }
+            let r = queue.commit(&t).unwrap();
+            let _ = writeln!(
+                log,
+                "commit v{} path {:?} effective {}",
+                r.version,
+                r.model_path,
+                r.effective.len()
+            );
+            committed += 1;
+            if committed == 4 {
+                queue.update_schema(|db| {
+                    let mut rules = db.rules().rules().to_vec();
+                    rules.push(parse_rule("audited_vip(X) :- vip(X), audit(X).").unwrap());
+                    db.set_rules(RuleSet::new(rules).unwrap());
+                });
+                let _ = writeln!(log, "schema reset path {:?}", queue.model_path());
+            }
+        }
+    }
+    for f in queue.snapshot().model().iter() {
+        let _ = writeln!(log, "maintained {f}");
+    }
+    let _ = writeln!(log, "maintenance {:?}", queue.maintenance());
+
+    // 5. Satisfiability search outcome (frontier order feeds the found
     //    model's explicit facts).
     let schema = Database::parse(
         "

@@ -1,0 +1,270 @@
+//! The commit pipeline's model-maintenance proof: a differential oracle.
+//!
+//! Since the queue owns the canonical model's lifetime (PR 3), every
+//! admitted commit flips a [`MaintainedModel`] forward instead of
+//! invalidating the cache — so the one invariant everything rests on is
+//! that the maintained model is **bit-identical to a from-scratch
+//! rematerialization after every admitted commit**. This suite drives
+//! ≥256 randomized multi-writer schedules (the `commit_mix` workload,
+//! extended with stratified rules so induced updates actually flow) and
+//! checks, after every commit and from every writer thread:
+//!
+//! * the snapshot's model equals `Model::compute(facts, rules)` of the
+//!   same snapshot — contents, not provenance;
+//! * the violation list evaluated over the maintained model equals the
+//!   one evaluated over a freshly recomputed model;
+//! * the receipt's [`ModelPath`] marker matches the path that actually
+//!   ran: `Maintained` on the incremental path, `Rematerialized` when
+//!   maintenance is disabled or a schema/rule update reset it.
+//!
+//! Schedules rotate through four modes: threaded guarded writers
+//! (twice), a sequential raw-queue schedule with a mid-stream rule
+//! update forcing the fallback path (and admitting integrity-violating
+//! transactions, so violation lists are non-trivially compared), and a
+//! maintenance-disabled queue (the rematerialize-always baseline).
+//!
+//! [`MaintainedModel`]: uniform::datalog::MaintainedModel
+//! [`ModelPath`]: uniform::ModelPath
+
+use uniform::datalog::RuleSet;
+use uniform::logic::parse_rule;
+use uniform::workload;
+use uniform::{
+    CommitQueue, ConcurrentDatabase, Database, Fact, Model, ModelPath, Rule, Snapshot, Transaction,
+    TxnError, UniformOptions, Update,
+};
+
+const WRITERS: usize = 3;
+const TXNS_PER_WRITER: usize = 4;
+const MAX_RETRIES: usize = 64;
+
+/// ≥256 randomized schedules; `PROPTEST_CASES` scales this suite's
+/// effort with the same parsing the proptest shim applies to every
+/// property test (one implementation, no drift).
+fn schedules() -> u64 {
+    u64::from(proptest::ProptestConfig::with_cases(256).effective_cases())
+}
+
+/// The commit-mix base, extended with stratified rules (including
+/// negation) over the shared `vip`/`audit` pair so commits induce
+/// derived-fact flips for the maintained model to track.
+fn base_with_rules(seed: u64) -> (Database, Vec<Vec<Transaction>>) {
+    let (mut db, streams) = workload::commit_mix(WRITERS, TXNS_PER_WRITER, seed);
+    let mut rules: Vec<Rule> = db.rules().rules().to_vec();
+    for src in [
+        "vip_flag(X) :- vip(X).",
+        "unaudited_vip(X) :- vip(X), not audit(X).",
+        "cleared(X) :- vip_flag(X), audit(X).",
+    ] {
+        rules.push(parse_rule(src).unwrap());
+    }
+    db.set_rules(RuleSet::new(rules).unwrap());
+    (db, streams)
+}
+
+/// The differential oracle: the snapshot's (possibly maintained) model
+/// must be bit-identical to a from-scratch rematerialization of the
+/// same state, and the violation list evaluated over it must equal the
+/// freshly recomputed one.
+fn verify_snapshot(snap: &Snapshot, ctx: &str) {
+    let fresh = Model::compute(snap.facts(), snap.rules());
+    let mut got: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
+    let mut want: Vec<String> = fresh.iter().map(|f| f.to_string()).collect();
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "{ctx}: maintained model != rematerialization");
+
+    let oracle = Database::with(
+        snap.facts().clone(),
+        snap.rules().clone(),
+        snap.constraints().to_vec(),
+    );
+    assert_eq!(
+        snap.violated_constraints(),
+        oracle.violated_constraints(),
+        "{ctx}: violation lists diverged"
+    );
+}
+
+/// Threaded guarded writers over a maintained queue: every admitted
+/// effective commit must take the incremental path and leave a snapshot
+/// identical to the oracle.
+fn run_guarded_schedule(seed: u64) {
+    let (db, streams) = base_with_rules(seed);
+    let cdb = ConcurrentDatabase::from_database(db, UniformOptions::default());
+    std::thread::scope(|scope| {
+        for stream in &streams {
+            let cdb = cdb.clone();
+            scope.spawn(move || {
+                for tx in stream {
+                    let mut attempts = 0;
+                    loop {
+                        attempts += 1;
+                        let mut txn = cdb.begin();
+                        for u in &tx.updates {
+                            txn.stage(u.clone());
+                        }
+                        match cdb.commit(&txn) {
+                            Ok(outcome) => {
+                                if !outcome.effective.is_empty() {
+                                    assert_eq!(
+                                        outcome.model_path,
+                                        ModelPath::Maintained,
+                                        "seed {seed}: effective guarded commits maintain"
+                                    );
+                                }
+                                verify_snapshot(&cdb.snapshot(), &format!("seed {seed} guarded"));
+                                break;
+                            }
+                            Err(TxnError::Rejected(_)) => break,
+                            Err(e) if e.is_retriable() && attempts <= MAX_RETRIES => continue,
+                            Err(e) => panic!("seed {seed}: unexpected commit failure: {e}"),
+                        }
+                    }
+                }
+            });
+        }
+    });
+    verify_snapshot(&cdb.snapshot(), &format!("seed {seed} guarded final"));
+    assert!(cdb.with_database(|d| d.is_consistent()));
+}
+
+/// Sequential raw-queue schedule (no integrity guard, so violating
+/// transactions are admitted and violation lists are non-trivial), with
+/// a mid-stream rule update forcing the rematerialization fallback.
+fn run_schema_update_schedule(seed: u64) {
+    let (db, streams) = base_with_rules(seed);
+    let q = CommitQueue::new(db);
+    let mut commits = 0usize;
+    for i in 0..TXNS_PER_WRITER {
+        for stream in &streams {
+            let mut t = q.begin();
+            for u in &stream[i].updates {
+                t.stage(u.clone());
+            }
+            let r = q.commit(&t).expect("sequential raw commits admit");
+            if !r.effective.is_empty() {
+                assert_eq!(
+                    r.model_path,
+                    ModelPath::Maintained,
+                    "seed {seed}: effective raw commits maintain"
+                );
+            }
+            verify_snapshot(&q.snapshot(), &format!("seed {seed} raw commit {commits}"));
+            commits += 1;
+
+            if commits == WRITERS + 1 {
+                // A rule update cannot be absorbed incrementally: the
+                // maintained model resets and the marker flips.
+                q.update_schema(|db| {
+                    let mut rules = db.rules().rules().to_vec();
+                    rules.push(parse_rule("audited_pair(X) :- vip(X), audit(X).").unwrap());
+                    db.set_rules(RuleSet::new(rules).unwrap());
+                });
+                assert_eq!(q.model_path(), ModelPath::Rematerialized);
+                verify_snapshot(&q.snapshot(), &format!("seed {seed} post-schema"));
+            }
+        }
+    }
+    let counters = q.maintenance();
+    assert_eq!(counters.schema_resets, 1, "seed {seed}");
+    assert_eq!(counters.bailouts, 0, "seed {seed}");
+    assert!(
+        counters.maintained > 0,
+        "seed {seed}: the incremental path must actually run"
+    );
+}
+
+/// Maintenance disabled: every effective commit reports the fallback
+/// marker and snapshots (which rematerialize) still match the oracle.
+fn run_disabled_schedule(seed: u64) {
+    let (db, streams) = base_with_rules(seed);
+    let q = CommitQueue::without_maintenance(db);
+    for i in 0..TXNS_PER_WRITER {
+        for stream in &streams {
+            let mut t = q.begin();
+            for u in &stream[i].updates {
+                t.stage(u.clone());
+            }
+            let r = q.commit(&t).expect("sequential raw commits admit");
+            if !r.effective.is_empty() {
+                assert_eq!(r.model_path, ModelPath::Rematerialized, "seed {seed}");
+            }
+            verify_snapshot(&q.snapshot(), &format!("seed {seed} disabled"));
+        }
+    }
+    assert_eq!(q.maintenance().maintained, 0, "seed {seed}");
+}
+
+#[test]
+fn maintained_model_equals_rematerialization_over_randomized_schedules() {
+    for seed in 0..schedules() {
+        match seed % 4 {
+            0 | 1 => run_guarded_schedule(seed),
+            2 => run_schema_update_schedule(seed),
+            _ => run_disabled_schedule(seed),
+        }
+    }
+}
+
+/// Recursive rules route maintenance through the stratum-recomputation
+/// fallback inside `MaintainedModel`; the commit pipeline must stay
+/// bit-identical to the oracle through insert *and* delete churn.
+#[test]
+fn recursive_rules_maintained_through_commit_churn() {
+    let db = Database::parse(
+        "
+        tc(X, Y) :- edge(X, Y).
+        tc(X, Z) :- tc(X, Y), edge(Y, Z).
+        reach(X) :- tc(n0, X).
+        ",
+    )
+    .unwrap();
+    let q = CommitQueue::new(db);
+    for step in 0..60usize {
+        let a = format!("n{}", (step * 7) % 6);
+        let b = format!("n{}", (step * 5 + 1) % 6);
+        let fact = Fact::parse_like("edge", &[&a, &b]);
+        let update = if step % 3 == 2 {
+            Update::delete(fact)
+        } else {
+            Update::insert(fact)
+        };
+        let mut t = q.begin();
+        t.stage(update);
+        let r = q.commit(&t).unwrap();
+        if !r.effective.is_empty() {
+            assert_eq!(r.model_path, ModelPath::Maintained, "step {step}");
+        }
+        verify_snapshot(&q.snapshot(), &format!("tc churn step {step}"));
+    }
+    assert!(q.maintenance().maintained > 0);
+    assert_eq!(q.maintenance().bailouts, 0);
+}
+
+/// The pipeline survives relations appearing for the first time *after*
+/// maintenance started, and model-order determinism holds: replaying
+/// the same schedule yields the same maintained iteration order.
+#[test]
+fn fresh_relations_and_replay_determinism() {
+    let steps: [(&str, &[&str]); 4] = [
+        ("a", &["x"]),
+        ("zzz", &["1"]),
+        ("a", &["y"]),
+        ("fresh", &["k", "v"]),
+    ];
+    let run = || -> Vec<String> {
+        let q = CommitQueue::new(Database::parse("b(X) :- a(X).").unwrap());
+        for (i, (pred, args)) in steps.iter().enumerate() {
+            let mut t = q.begin();
+            t.insert(Fact::parse_like(pred, args));
+            let r = q.commit(&t).unwrap();
+            assert!(r.changed(), "step {i}");
+            verify_snapshot(&q.snapshot(), &format!("fresh rel step {i}"));
+        }
+        q.snapshot().model().iter().map(|f| f.to_string()).collect()
+    };
+    let first = run();
+    assert_eq!(first, run(), "maintained model order must be reproducible");
+    assert!(first.contains(&"b(y)".to_string()));
+}
