@@ -1,0 +1,105 @@
+//! B4: repair-engine latency and violation-policy commit throughput.
+//!
+//! Two measurements over the `violation_mix` workload (four constraint
+//! classes, violation-heavy streams):
+//!
+//! * `repair_latency` — one full minimal-repair enumeration
+//!   (`RepairEngine::repairs`) per iteration, at increasing raw-churn
+//!   levels (more churn → more simultaneous violations → deeper
+//!   enforcement).
+//! * `commit_mix` — processing one violation-heavy stream through a
+//!   [`ConcurrentDatabase`] under each [`ViolationPolicy`]: `reject`
+//!   (violations refused — the baseline cost of saying no), `explain`
+//!   (refused plus a minimal-repair diagnostic) and `auto_repair`
+//!   (repair delta folded in and committed). The per-transaction gap
+//!   between `reject` and `auto_repair` is the price of
+//!   inconsistency-tolerant writes.
+//!
+//! [`ConcurrentDatabase`]: uniform::ConcurrentDatabase
+//! [`ViolationPolicy`]: uniform::ViolationPolicy
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{ConcurrentDatabase, RepairEngine, UniformOptions, ViolationPolicy};
+
+const CHURN: &[usize] = &[2, 4, 6];
+
+fn bench_repair_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_repair_latency");
+    for &churn in CHURN {
+        group.bench_with_input(BenchmarkId::new("repairs", churn), &churn, |b, &churn| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let db = workload::violation_state(churn, i);
+                    let engine = RepairEngine::new(
+                        db.facts().clone(),
+                        db.rules().clone(),
+                        db.constraints().to_vec(),
+                    );
+                    let t0 = Instant::now();
+                    let out = engine.repairs();
+                    total += t0.elapsed();
+                    assert!(out.is_ok(), "violation_mix states are repairable");
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_policy_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b4_policy_throughput");
+    group.sample_size(10);
+    const PER_WRITER: usize = 16;
+    for (label, policy) in [
+        ("reject", ViolationPolicy::Reject),
+        ("explain", ViolationPolicy::Explain),
+        ("auto_repair", ViolationPolicy::AutoRepair),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new(label, PER_WRITER),
+            &policy,
+            |b, &policy| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for i in 0..iters {
+                        let db = ConcurrentDatabase::from_database(
+                            workload::violation_mix_db(i),
+                            UniformOptions {
+                                violation_policy: policy,
+                                ..UniformOptions::default()
+                            },
+                        );
+                        let stream = workload::violation_mix_stream(0, PER_WRITER, i);
+                        let t0 = Instant::now();
+                        let mut admitted = 0usize;
+                        for tx in &stream {
+                            if db.commit_transaction(tx).is_ok() {
+                                admitted += 1;
+                            }
+                        }
+                        total += t0.elapsed();
+                        if policy == ViolationPolicy::AutoRepair {
+                            // Every transaction lands (repaired if need
+                            // be) and the state stays consistent.
+                            assert!(db.with_database(|d| d.is_consistent()));
+                            assert!(admitted >= stream.len() / 2);
+                        }
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_repair_latency, bench_policy_throughput
+}
+criterion_main!(benches);

@@ -23,6 +23,7 @@
 //! multi-writer schedules.
 
 use crate::facade::{UniformDatabase, UniformError, UniformOptions};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 use uniform_datalog::txn::{
@@ -30,6 +31,9 @@ use uniform_datalog::txn::{
 };
 use uniform_datalog::{Database, Snapshot, Transaction, TxnBuilder, Update};
 use uniform_integrity::{CheckReport, Checker, RuleUpdate};
+use uniform_logic::{parse_query, Sym};
+use uniform_repair::{RepairEngine, RepairError, RepairSet, ViolationPolicy};
+use uniform_satisfiability::SatChecker;
 
 /// Why a guarded concurrent commit failed.
 #[derive(Debug)]
@@ -40,6 +44,21 @@ pub enum TxnError {
     /// Not retriable: the same updates against the same state fail the
     /// same way.
     Rejected(Box<CheckReport>),
+    /// [`ViolationPolicy::Explain`]: rejected like [`TxnError::Rejected`],
+    /// with the minimal repair of the would-be state attached — the
+    /// delta the writer could fold in to make the transaction
+    /// admissible. Not retriable.
+    RejectedWithRepair {
+        report: Box<CheckReport>,
+        repair: Box<RepairSet>,
+    },
+    /// [`ViolationPolicy::Explain`] / [`ViolationPolicy::AutoRepair`]:
+    /// the transaction violates integrity and the repair engine could
+    /// not produce a repair within its budgets. Not retriable.
+    RepairFailed {
+        report: Box<CheckReport>,
+        error: RepairError,
+    },
     /// A first-committer won a relation this transaction depends on.
     /// Retriable: re-begin against a fresh snapshot.
     Conflict {
@@ -91,19 +110,32 @@ impl TxnError {
 
 impl fmt::Display for TxnError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn violations(f: &mut fmt::Formatter<'_>, report: &CheckReport) -> fmt::Result {
+            for (i, v) in report.violations.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", v.constraint)?;
+                if let Some(culprit) = &v.culprit {
+                    write!(f, " (via {culprit})")?;
+                }
+            }
+            Ok(())
+        }
         match self {
             TxnError::Rejected(report) => {
                 write!(f, "transaction rejected; violated: ")?;
-                for (i, v) in report.violations.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{}", v.constraint)?;
-                    if let Some(culprit) = &v.culprit {
-                        write!(f, " (via {culprit})")?;
-                    }
-                }
-                Ok(())
+                violations(f, report)
+            }
+            TxnError::RejectedWithRepair { report, repair } => {
+                write!(f, "transaction rejected; violated: ")?;
+                violations(f, report)?;
+                write!(f, "; minimal repair: {repair}")
+            }
+            TxnError::RepairFailed { report, error } => {
+                write!(f, "transaction rejected; violated: ")?;
+                violations(f, report)?;
+                write!(f, "; no repair: {error}")
             }
             TxnError::Conflict {
                 relations,
@@ -149,6 +181,9 @@ pub struct CommitOutcome {
     /// incrementally by the commit queue, or rematerialized from scratch
     /// (see [`ModelPath`]).
     pub model_path: ModelPath,
+    /// The repair delta folded into this commit by
+    /// [`ViolationPolicy::AutoRepair`] (`None` on the ordinary path).
+    pub repair: Option<RepairSet>,
 }
 
 struct Shared {
@@ -210,8 +245,33 @@ impl ConcurrentDatabase {
     /// Check `txn` against its pinned snapshot and, if integrity is
     /// preserved, submit it for first-committer-wins admission. The
     /// check runs entirely on the snapshot — concurrent callers only
-    /// serialize on the final admission step.
+    /// serialize on the final admission step. Violations are handled by
+    /// the configured [`UniformOptions::violation_policy`]
+    /// (`Reject` by default); see
+    /// [`ConcurrentDatabase::commit_with_policy`] to override per
+    /// commit.
     pub fn commit(&self, txn: &TxnBuilder) -> Result<CommitOutcome, TxnError> {
+        self.commit_with_policy(txn, self.shared.options.violation_policy)
+    }
+
+    /// [`ConcurrentDatabase::commit`] with an explicit per-commit
+    /// [`ViolationPolicy`]:
+    ///
+    /// * `Reject` — violating transactions fail with
+    ///   [`TxnError::Rejected`] (the classical behavior);
+    /// * `Explain` — they fail with [`TxnError::RejectedWithRepair`],
+    ///   carrying the minimal repair of the would-be state as a
+    ///   diagnostic;
+    /// * `AutoRepair` — the minimal repair's delta is folded into the
+    ///   transaction and the combination commits, fenced by the usual
+    ///   conflict detection and flowing through incremental model
+    ///   maintenance like any other commit; the outcome records the
+    ///   applied repair in [`CommitOutcome::repair`].
+    pub fn commit_with_policy(
+        &self,
+        txn: &TxnBuilder,
+        policy: ViolationPolicy,
+    ) -> Result<CommitOutcome, TxnError> {
         let mut txn = txn.clone();
         if let Err(e) = txn.validate_arities() {
             return Err(TxnError::Apply(e));
@@ -230,7 +290,17 @@ impl ConcurrentDatabase {
             if let Err(e) = self.shared.queue.check_freshness(&txn) {
                 return Err(TxnError::from_commit(e));
             }
-            return Err(TxnError::Rejected(Box::new(report)));
+            return match policy {
+                ViolationPolicy::Reject => Err(TxnError::Rejected(Box::new(report))),
+                ViolationPolicy::Explain => Err(match self.repair_for(&txn, &tx, report) {
+                    Ok((report, repair)) => TxnError::RejectedWithRepair {
+                        report,
+                        repair: Box::new(repair),
+                    },
+                    Err(e) => e,
+                }),
+                ViolationPolicy::AutoRepair => self.commit_auto_repaired(txn, tx, report),
+            };
         }
         match self.shared.queue.commit(&txn) {
             Ok(CommitReceipt {
@@ -243,9 +313,133 @@ impl ConcurrentDatabase {
                 retries: 0,
                 effective,
                 model_path,
+                repair: None,
             }),
             Err(e) => Err(TxnError::from_commit(e)),
         }
+    }
+
+    /// The `AutoRepair` tail of [`ConcurrentDatabase::commit_with_policy`]:
+    /// compute the minimal repair of the would-be state, fold its delta
+    /// into the transaction, re-check the combination on the same
+    /// snapshot (recomputing the read set), and submit. The repair
+    /// *choice* depended on a full consistency determination, so the
+    /// read set is widened to every relation any constraint can reach —
+    /// a concurrent commit into any of them retriably conflicts this
+    /// one instead of admitting a stale repair.
+    fn commit_auto_repaired(
+        &self,
+        mut txn: TxnBuilder,
+        tx: Transaction,
+        report: CheckReport,
+    ) -> Result<CommitOutcome, TxnError> {
+        let (_, repair) = self.repair_for(&txn, &tx, report)?;
+        for op in repair.ops() {
+            txn.stage(op.clone());
+        }
+        let combined = txn.transaction();
+        let combined_report =
+            Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check)
+                .check(&combined);
+        if !combined_report.satisfied {
+            debug_assert!(false, "repair delta failed to restore consistency");
+            return Err(TxnError::Rejected(Box::new(combined_report)));
+        }
+        let mut reads: BTreeSet<Sym> = combined_report.reads.iter().copied().collect();
+        reads.extend(Self::constraint_closure_reads(txn.snapshot()));
+        txn.record_reads(reads);
+        match self.shared.queue.commit(&txn) {
+            Ok(CommitReceipt {
+                version,
+                effective,
+                model_path,
+            }) => Ok(CommitOutcome {
+                version,
+                report: combined_report,
+                retries: 0,
+                effective,
+                model_path,
+                repair: Some(repair),
+            }),
+            Err(e) => Err(TxnError::from_commit(e)),
+        }
+    }
+
+    /// The repair a violating transaction gets under `Explain` /
+    /// `AutoRepair` (one implementation so the diagnostic and the
+    /// applied delta cannot drift apart): run the bounded repair search
+    /// on the would-be state, then pick deterministically — the
+    /// smallest minimal repair that leaves the transaction's own net
+    /// effect intact, because a repair that silently undoes the write
+    /// it was asked to land (or advises "don't do that") would be
+    /// minimal but useless. Only when every minimal repair touches the
+    /// transaction's own facts does the overall best apply. Engine
+    /// failures become the typed [`TxnError::RepairFailed`].
+    #[allow(clippy::type_complexity)]
+    fn repair_for(
+        &self,
+        txn: &TxnBuilder,
+        tx: &Transaction,
+        report: CheckReport,
+    ) -> Result<(Box<CheckReport>, RepairSet), TxnError> {
+        let engine =
+            RepairEngine::for_update(txn.snapshot(), tx).with_options(self.shared.options.repair);
+        let repairs = match engine.repairs() {
+            Ok(repairs) => repairs,
+            Err(error) => {
+                return Err(TxnError::RepairFailed {
+                    report: Box::new(report),
+                    error,
+                })
+            }
+        };
+        let (net_adds, net_dels) = tx.net_effect(txn.snapshot().facts());
+        let own: BTreeSet<&uniform_logic::Fact> = net_adds.iter().chain(net_dels.iter()).collect();
+        let repair = repairs
+            .repairs
+            .iter()
+            .find(|r| r.ops().iter().all(|op| !own.contains(&op.fact)))
+            .unwrap_or(repairs.best())
+            .clone();
+        Ok((Box::new(report), repair))
+    }
+
+    /// Every relation any constraint depends on, closed downward
+    /// through rule bodies (via the rule set's dependency graph) — the
+    /// read footprint of a full consistency determination (which is
+    /// what choosing a repair performs).
+    fn constraint_closure_reads(snapshot: &Snapshot) -> Vec<Sym> {
+        let graph = snapshot.rules().graph();
+        let mut reads: BTreeSet<Sym> = BTreeSet::new();
+        for c in snapshot.constraints() {
+            for occ in c.rq.literals() {
+                reads.extend(graph.reachable(occ.literal.atom.pred));
+            }
+        }
+        reads.into_iter().collect()
+    }
+
+    /// The subset-minimal repairs of the latest committed state (a
+    /// consistent state reports the single empty repair), computed on a
+    /// snapshot — writers keep committing meanwhile.
+    pub fn minimal_repairs(&self) -> Result<Vec<RepairSet>, UniformError> {
+        let engine =
+            RepairEngine::for_snapshot(&self.snapshot()).with_options(self.shared.options.repair);
+        Ok(engine.repairs().map_err(UniformError::Repair)?.repairs)
+    }
+
+    /// Consistent (certain) answers of a conjunctive query against the
+    /// latest committed state: the answers true in **every** minimal
+    /// repair, evaluated via overlay simulation per repair candidate —
+    /// no repaired database is materialized, and the whole computation
+    /// runs on a snapshot outside every lock.
+    pub fn consistent_answer(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
+        let literals = parse_query(query).map_err(UniformError::from)?;
+        let engine =
+            RepairEngine::for_snapshot(&self.snapshot()).with_options(self.shared.options.repair);
+        engine
+            .consistent_answers(&literals)
+            .map_err(UniformError::Repair)
     }
 
     /// The standing model-path marker: how the next snapshot of the
@@ -271,15 +465,50 @@ impl ConcurrentDatabase {
     /// Add a rule, guarded like [`UniformDatabase::try_add_rule`] (the
     /// same shared protocol: stratification, schema satisfiability,
     /// incremental integrity check), atomically with respect to
-    /// concurrent writers: the whole check-and-install runs under the
-    /// queue lock, so no commit can interleave between the verdict and
-    /// the installation. Returns `false` when the rule was already
-    /// present.
+    /// concurrent writers. The expensive part — the finite-
+    /// satisfiability search over the candidate rule set — runs
+    /// *optimistically outside the queue lock* on a pinned snapshot, so
+    /// writers are never stalled for the search's duration; before
+    /// installation the rule and constraint revisions are revalidated
+    /// under the lock, and if another schema change slipped in the
+    /// search simply re-runs there (the pre-optimization behavior).
+    /// Returns `false` when the rule was already present.
     pub fn try_add_rule(&self, rule: &str) -> Result<bool, UniformError> {
         let parsed: uniform_logic::Rule = uniform_logic::parse_rule(rule)?;
         let options = &self.shared.options;
+        // Optimistic phase (no lock held): build the candidate rule set
+        // from a snapshot and run the satisfiability search on it.
+        let presat = if options.skip_satisfiability {
+            None
+        } else {
+            let (snapshot, rule_rev, constraint_rev) = self
+                .shared
+                .queue
+                .with_db(|db| (db.snapshot(), db.rule_rev(), db.constraint_rev()));
+            let mut rules = snapshot.rules().rules().to_vec();
+            if rules.contains(&parsed) {
+                None // no-op addition: nothing to search for
+            } else {
+                rules.push(parsed.clone());
+                match uniform_datalog::RuleSet::new(rules) {
+                    // Unstratifiable: let the locked path report it.
+                    Err(_) => None,
+                    Ok(candidate) => {
+                        let report = SatChecker::new(candidate, snapshot.constraints().to_vec())
+                            .with_options(options.sat.clone())
+                            .check();
+                        Some((report, rule_rev, constraint_rev))
+                    }
+                }
+            }
+        };
         self.shared.queue.update_schema(|db| {
-            crate::facade::guarded_rule_update(db, options, RuleUpdate::Add(parsed))
+            // Revalidate: the verdict transfers only if neither rules
+            // nor constraints moved since the snapshot.
+            let presat = presat.as_ref().and_then(|(report, r0, c0)| {
+                (db.rule_rev() == *r0 && db.constraint_rev() == *c0).then_some(report)
+            });
+            crate::facade::guarded_rule_update_presat(db, options, RuleUpdate::Add(parsed), presat)
         })
     }
 
@@ -541,6 +770,170 @@ mod tests {
             .unwrap();
         assert_eq!(outcome.model_path, uniform_datalog::ModelPath::Maintained);
         assert!(db.snapshot().holds(&Fact::parse_like("boss", &["ann"])));
+    }
+
+    #[test]
+    fn explain_policy_attaches_the_minimal_repair() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["b"]));
+        let err = db
+            .commit_with_policy(&t, uniform_repair::ViolationPolicy::Explain)
+            .unwrap_err();
+        match err {
+            TxnError::RejectedWithRepair { report, repair } => {
+                assert_eq!(report.violations[0].constraint, "c");
+                // Two size-1 repairs exist ({-p(b)} and {+q(b)}); the
+                // diagnostic prefers the one that keeps the writer's
+                // own update intact.
+                assert_eq!(repair.to_string(), "{+q(b)}");
+            }
+            other => panic!("expected RejectedWithRepair, got {other}"),
+        }
+        // Nothing was applied.
+        assert!(!db.with_database(|d| d.facts().contains(&Fact::parse_like("p", &["b"]))));
+    }
+
+    #[test]
+    fn auto_repair_folds_the_delta_into_the_commit() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["b"]));
+        let outcome = db
+            .commit_with_policy(&t, uniform_repair::ViolationPolicy::AutoRepair)
+            .unwrap();
+        let repair = outcome.repair.expect("repair applied");
+        // {-p(b)} would also be minimal, but undoing the writer's own
+        // update is never preferred: the justification q(b) is added.
+        assert_eq!(repair.to_string(), "{+q(b)}");
+        assert!(outcome.report.satisfied);
+        assert!(db.with_database(|d| d.is_consistent()));
+        assert!(db.snapshot().holds(&Fact::parse_like("p", &["b"])));
+        assert!(db.snapshot().holds(&Fact::parse_like("q", &["b"])));
+
+        // A transaction whose cheapest repair *adds* a fact: deleting
+        // q(a) violates c for the pre-existing p(a)…
+        let db = ConcurrentDatabase::parse(
+            "p(a). q(a). extra(x). constraint c: forall X: p(X) -> q(X).",
+        )
+        .unwrap();
+        let mut t = db.begin();
+        t.stage(upd(false, "q", &["a"]));
+        let outcome = db
+            .commit_with_policy(&t, uniform_repair::ViolationPolicy::AutoRepair)
+            .unwrap();
+        let repair = outcome.repair.expect("repair applied");
+        assert_eq!(repair.to_string(), "{-p(a)}", "delete the dangling p(a)");
+        assert_eq!(outcome.model_path, uniform_datalog::ModelPath::Maintained);
+        assert!(db.with_database(|d| d.is_consistent()));
+        assert!(!db.snapshot().holds(&Fact::parse_like("p", &["a"])));
+    }
+
+    #[test]
+    fn auto_repaired_commits_flow_through_model_maintenance() {
+        // The repair delta must flip the maintained model exactly like
+        // hand-written updates: model ≡ recomputation afterwards.
+        let db = ConcurrentDatabase::parse(
+            "
+            member(X, Y) :- leads(X, Y).
+            constraint led: forall X: department(X) -> (exists Y: employee(Y) & leads(Y, X)).
+            employee(ann).
+            department(sales).
+            leads(ann, sales).
+        ",
+        )
+        .unwrap();
+        let mut t = db.begin();
+        t.stage(upd(true, "department", &["hr"]));
+        let outcome = db
+            .commit_with_policy(&t, uniform_repair::ViolationPolicy::AutoRepair)
+            .unwrap();
+        // {-department(hr)} is the overall smallest, but it would undo
+        // the write; the preferred same-size repair promotes the
+        // existing employee ann to lead the new department.
+        assert_eq!(
+            outcome.repair.expect("repair applied").to_string(),
+            "{+leads(ann,hr)}"
+        );
+        let snap = db.snapshot();
+        let fresh = uniform_datalog::Model::compute(snap.facts(), snap.rules());
+        let mut got: Vec<String> = snap.model().iter().map(|f| f.to_string()).collect();
+        let mut want: Vec<String> = fresh.iter().map(|f| f.to_string()).collect();
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "maintained model != rematerialization");
+    }
+
+    #[test]
+    fn auto_repair_read_set_fences_concurrent_constraint_writes() {
+        let db = ConcurrentDatabase::parse("q(a). constraint c: forall X: p(X) -> q(X).").unwrap();
+        // t pins a snapshot; its eventual repair choice reads q.
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["b"]));
+        // A concurrent writer lands in q first.
+        db.commit_updates_with_retry(&[upd(true, "q", &["zz"]), upd(true, "p", &["zz"])], 1)
+            .unwrap();
+        // The stale auto-repair must conflict retriably, not admit a
+        // repair chosen against outdated contents of q.
+        let err = db
+            .commit_with_policy(&t, uniform_repair::ViolationPolicy::AutoRepair)
+            .unwrap_err();
+        assert!(err.is_retriable(), "{err}");
+    }
+
+    #[test]
+    fn consistent_answers_over_an_inconsistent_committed_state() {
+        let db = ConcurrentDatabase::parse("q(b). constraint c: forall X: p(X) -> q(X).").unwrap();
+        // Drive the shared state inconsistent through the raw schema
+        // path (bypassing the guard, as an external loader would).
+        db.update_schema(|d| {
+            d.insert_fact(&Fact::parse_like("p", &["a"]));
+            d.insert_fact(&Fact::parse_like("p", &["b"]));
+        });
+        assert!(!db.with_database(|d| d.is_consistent()));
+        let repairs = db.minimal_repairs().unwrap();
+        assert_eq!(repairs.len(), 2, "{repairs:?}");
+        // p(b) holds in every repair; p(a) only in one.
+        let answers = db.consistent_answer("p(X)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0].1.as_str(), "b");
+        // The engine never mutated the shared state.
+        assert!(!db.with_database(|d| d.is_consistent()));
+    }
+
+    #[test]
+    fn concurrent_rule_additions_with_optimistic_sat_install_correctly() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let rule = format!("derived{w}(X) :- employee(X).");
+                    assert!(db.try_add_rule(&rule).unwrap());
+                });
+            }
+        });
+        // All four landed, each reset the maintenance state.
+        let snap = db.snapshot();
+        for w in 0..4 {
+            assert!(snap.holds(&Fact::parse_like(&format!("derived{w}"), &["ann"])));
+        }
+        assert_eq!(db.maintenance().schema_resets, 4);
+        // Unsatisfiable additions are still refused by the (optimistic)
+        // search, and re-adding is still a no-op.
+        assert!(!db.try_add_rule("derived0(X) :- employee(X).").unwrap());
+        db.update_schema(|d| {
+            d.add_constraint(uniform_logic::Constraint::new(
+                "no_ghost",
+                uniform_logic::normalize(
+                    &uniform_logic::parse_formula("forall X: ghost(X) -> false").unwrap(),
+                )
+                .unwrap(),
+            ));
+            d.insert_fact(&Fact::parse_like("spirit", &["s"]));
+        });
+        let err = db.try_add_rule("ghost(X) :- spirit(X).").unwrap_err();
+        assert!(matches!(err, UniformError::UpdateRejected(_)), "{err}");
     }
 
     #[test]

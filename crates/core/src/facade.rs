@@ -10,6 +10,7 @@ use uniform_logic::{
     normalize, parse_fact, parse_formula, parse_literal, parse_query, parse_rule, Constraint, Fact,
     LogicError, Rq, Rule, Subst, Sym,
 };
+use uniform_repair::{RepairEngine, RepairError, RepairOptions, RepairSet, ViolationPolicy};
 use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};
 
 /// Configuration of the façade.
@@ -29,6 +30,14 @@ pub struct UniformOptions {
     /// the invalidate-on-commit behavior (every post-commit snapshot
     /// recomputes the model from scratch).
     pub maintain_model: bool,
+    /// Cost bounds for the repair engine behind
+    /// [`UniformDatabase::consistent_answer`] / `minimal_repairs` and
+    /// the `Explain`/`AutoRepair` violation policies.
+    pub repair: RepairOptions,
+    /// What the concurrent commit pipeline does when a transaction's
+    /// integrity check fails (see [`ViolationPolicy`]); overridable
+    /// per commit via [`crate::ConcurrentDatabase::commit_with_policy`].
+    pub violation_policy: ViolationPolicy,
 }
 
 impl Default for UniformOptions {
@@ -38,6 +47,8 @@ impl Default for UniformOptions {
             sat: SatOptions::default(),
             skip_satisfiability: false,
             maintain_model: true,
+            repair: RepairOptions::default(),
+            violation_policy: ViolationPolicy::Reject,
         }
     }
 }
@@ -64,6 +75,9 @@ pub enum UniformError {
         constraint: String,
         repair: Option<Vec<Fact>>,
     },
+    /// The repair engine could not produce a repair set (budget
+    /// exhausted, or the state is unrepairable).
+    Repair(RepairError),
 }
 
 impl fmt::Display for UniformError {
@@ -111,6 +125,7 @@ impl fmt::Display for UniformError {
                 }
                 Ok(())
             }
+            UniformError::Repair(e) => write!(f, "{e}"),
         }
     }
 }
@@ -141,6 +156,22 @@ pub(crate) fn guarded_rule_update(
     options: &UniformOptions,
     update: RuleUpdate,
 ) -> Result<bool, UniformError> {
+    guarded_rule_update_presat(db, options, update, None)
+}
+
+/// Like [`guarded_rule_update`], but accepting a satisfiability verdict
+/// computed *optimistically outside the caller's lock* for exactly this
+/// update's candidate rule set and the database's current constraints.
+/// The caller is responsible for revalidating that rules and
+/// constraints have not moved since the verdict was computed (see
+/// [`crate::ConcurrentDatabase::try_add_rule`]); with `None`, the
+/// search runs here as before.
+pub(crate) fn guarded_rule_update_presat(
+    db: &mut Database,
+    options: &UniformOptions,
+    update: RuleUpdate,
+    presat: Option<&SatReport>,
+) -> Result<bool, UniformError> {
     let checker = RuleUpdateChecker::with_options(db, options.check);
     let compiled = checker
         .compile(&update)
@@ -150,11 +181,18 @@ pub(crate) fn guarded_rule_update(
     };
 
     if !options.skip_satisfiability {
-        let report = SatChecker::new(rule_set.clone(), db.constraints().to_vec())
-            .with_options(options.sat.clone())
-            .check();
+        let computed;
+        let report = match presat {
+            Some(report) => report,
+            None => {
+                computed = SatChecker::new(rule_set.clone(), db.constraints().to_vec())
+                    .with_options(options.sat.clone())
+                    .check();
+                &computed
+            }
+        };
         if !report.outcome.is_satisfiable() {
-            return Err(UniformError::Unsatisfiable(Box::new(report)));
+            return Err(UniformError::Unsatisfiable(Box::new(report.clone())));
         }
     }
 
@@ -197,9 +235,60 @@ impl UniformDatabase {
         })
     }
 
+    /// Parse a program *without* requiring the initial facts to satisfy
+    /// the constraints — the entry point for inconsistency-tolerant
+    /// serving. Guarded updates assume a consistent starting state (the
+    /// incremental method's precondition), so on a tolerant database
+    /// the intended operations are [`UniformDatabase::minimal_repairs`]
+    /// and [`UniformDatabase::consistent_answer`]. To *write* the state
+    /// back to consistency, apply a chosen repair explicitly (e.g.
+    /// `minimal_repairs()?[0].to_transaction()` through the raw
+    /// database) — note that [`ViolationPolicy::AutoRepair`] repairs
+    /// only transactions whose own check fails, not pre-existing
+    /// inconsistency that a non-violating commit leaves untouched.
+    pub fn parse_tolerant(src: &str) -> Result<UniformDatabase, UniformError> {
+        Ok(UniformDatabase {
+            db: Database::parse(src)?,
+            options: UniformOptions::default(),
+        })
+    }
+
     pub fn with_options(mut self, options: UniformOptions) -> UniformDatabase {
         self.options = options;
         self
+    }
+
+    fn repair_engine(&self) -> RepairEngine {
+        RepairEngine::new(
+            self.db.facts().clone(),
+            self.db.rules().clone(),
+            self.db.constraints().to_vec(),
+        )
+        .with_options(self.options.repair)
+    }
+
+    /// The subset-minimal repairs of the current state: smallest EDB
+    /// insert/delete sets whose application satisfies every constraint.
+    /// A consistent state reports the single empty repair. Bounded by
+    /// [`UniformOptions::repair`].
+    pub fn minimal_repairs(&self) -> Result<Vec<RepairSet>, UniformError> {
+        Ok(self
+            .repair_engine()
+            .repairs()
+            .map_err(UniformError::Repair)?
+            .repairs)
+    }
+
+    /// Consistent (certain) answers of a conjunctive query: the answers
+    /// true in **every** minimal repair of the current state, evaluated
+    /// via overlay simulation — no repaired database is materialized.
+    /// On a consistent database this coincides with
+    /// [`UniformDatabase::solutions`].
+    pub fn consistent_answer(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
+        let literals = parse_query(query)?;
+        self.repair_engine()
+            .consistent_answers(&literals)
+            .map_err(UniformError::Repair)
     }
 
     /// The underlying database (read-only).
@@ -798,6 +887,40 @@ mod tests {
             db2.query("member(ann, sales)").unwrap()
         );
         assert_eq!(db.constraints().len(), db2.constraints().len());
+    }
+
+    #[test]
+    fn tolerant_parse_serves_certain_answers() {
+        // Inconsistent start: p(a) lacks q(a). The strict parser
+        // refuses it; the tolerant one serves repairs and certain
+        // answers instead.
+        let src = "p(a). p(b). q(b). constraint c: forall X: p(X) -> q(X).";
+        assert!(UniformDatabase::parse(src).is_err());
+        let db = UniformDatabase::parse_tolerant(src).unwrap();
+        let repairs = db.minimal_repairs().unwrap();
+        assert_eq!(repairs.len(), 2, "{repairs:?}");
+        let answers = db.consistent_answer("p(X)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0].1, Sym::new("b"));
+        // Derived predicates answer consistently too.
+        let db = UniformDatabase::parse_tolerant(
+            "r(X) :- p(X). p(a). p(b). q(b). constraint c: forall X: p(X) -> q(X).",
+        )
+        .unwrap();
+        let answers = db.consistent_answer("r(X)").unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0][0].1, Sym::new("b"));
+    }
+
+    #[test]
+    fn consistent_answer_on_a_consistent_database_is_plain_answering() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        assert_eq!(db.minimal_repairs().unwrap().len(), 1);
+        assert!(db.minimal_repairs().unwrap()[0].is_empty());
+        assert_eq!(
+            db.consistent_answer("member(X, sales)").unwrap(),
+            db.solutions("member(X, sales)").unwrap()
+        );
     }
 
     #[test]

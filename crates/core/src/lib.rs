@@ -48,6 +48,7 @@ pub use facade::{UniformDatabase, UniformError, UniformOptions};
 pub use uniform_datalog as datalog;
 pub use uniform_integrity as integrity;
 pub use uniform_logic as logic;
+pub use uniform_repair as repair;
 pub use uniform_satisfiability as satisfiability;
 // Seeded synthetic workload generators, so examples and downstream
 // benchmarks need only the façade crate.
@@ -61,4 +62,7 @@ pub use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker, Violation,
 };
 pub use uniform_logic::{Constraint, Fact, Formula, Literal, Rq, Rule};
+pub use uniform_repair::{
+    RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, ViolationPolicy,
+};
 pub use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};

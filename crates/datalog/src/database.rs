@@ -174,6 +174,15 @@ pub struct Database {
     /// or schema). Snapshots pin it; the commit pipeline's first-
     /// committer-wins conflict detection compares against it.
     version: u64,
+    /// Component revisions: which *kind* of state moved. `version` is
+    /// their sum in spirit; the commit pipeline uses the split to decide
+    /// what a schema mutation actually invalidated (constraints never
+    /// affect the canonical model, so a constraint-only change must not
+    /// drop a maintained model) and to revalidate optimistic
+    /// out-of-lock work (rule satisfiability searches).
+    fact_rev: u64,
+    rule_rev: u64,
+    constraint_rev: u64,
 }
 
 impl Default for Database {
@@ -190,6 +199,9 @@ impl Clone for Database {
             constraints: self.constraints.clone(),
             model: RwLock::new(self.model.read().clone()),
             version: self.version,
+            fact_rev: self.fact_rev,
+            rule_rev: self.rule_rev,
+            constraint_rev: self.constraint_rev,
         }
     }
 }
@@ -202,6 +214,9 @@ impl Database {
             constraints: Arc::new(Vec::new()),
             model: RwLock::new(None),
             version: 0,
+            fact_rev: 0,
+            rule_rev: 0,
+            constraint_rev: 0,
         }
     }
 
@@ -213,6 +228,9 @@ impl Database {
             constraints: Arc::new(constraints),
             model: RwLock::new(None),
             version: 0,
+            fact_rev: 0,
+            rule_rev: 0,
+            constraint_rev: 0,
         }
     }
 
@@ -270,11 +288,13 @@ impl Database {
     pub fn set_constraints(&mut self, constraints: Vec<Constraint>) {
         self.constraints = Arc::new(constraints);
         self.version += 1;
+        self.constraint_rev += 1;
     }
 
     pub fn add_constraint(&mut self, c: Constraint) {
         Arc::make_mut(&mut self.constraints).push(c);
         self.version += 1;
+        self.constraint_rev += 1;
     }
 
     /// Replace the rule set; invalidates the cached model.
@@ -282,6 +302,7 @@ impl Database {
         self.rules = Arc::new(rules);
         *self.model.get_mut() = None;
         self.version += 1;
+        self.rule_rev += 1;
     }
 
     /// The monotonic state version: distinct whenever the database state
@@ -290,6 +311,22 @@ impl Database {
     /// first-committer-wins conflict detection.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// Revision of the fact base alone (bumped on every effective fact
+    /// mutation, never on schema changes).
+    pub fn fact_rev(&self) -> u64 {
+        self.fact_rev
+    }
+
+    /// Revision of the rule set alone.
+    pub fn rule_rev(&self) -> u64 {
+        self.rule_rev
+    }
+
+    /// Revision of the constraint set alone.
+    pub fn constraint_rev(&self) -> u64 {
+        self.constraint_rev
     }
 
     /// Apply an update to the fact base (no integrity checking here — the
@@ -312,6 +349,7 @@ impl Database {
         if changed {
             *self.model.get_mut() = None;
             self.version += 1;
+            self.fact_rev += 1;
         }
         Ok(changed)
     }
@@ -323,6 +361,7 @@ impl Database {
         if changed {
             *self.model.get_mut() = None;
             self.version += 1;
+            self.fact_rev += 1;
         }
         changed
     }

@@ -243,6 +243,11 @@ pub struct MaintenanceCounters {
     pub bailouts: u64,
     /// Schema/rule updates that reset the maintained model.
     pub schema_resets: u64,
+    /// Constraint-only schema updates: the conflict log was still reset
+    /// (pinned integrity checks are invalid under new constraints) but
+    /// the maintained model survived — constraints never affect the
+    /// canonical model.
+    pub constraint_only_updates: u64,
 }
 
 /// Proof of an admitted commit.
@@ -498,21 +503,33 @@ impl CommitQueue {
     }
 
     /// Run a schema mutation (rule or constraint changes) under the
-    /// queue lock. The maintained model cannot absorb schema changes, so
-    /// when `f` mutated the database (its version moved) the model is
-    /// dropped — the next snapshot rematerializes — and the conflict log
-    /// is reset: every in-flight transaction began behind the new
-    /// horizon and is refused with [`CommitError::SnapshotTooOld`],
-    /// because a schema change invalidates any pinned check. Fact
-    /// updates belong in [`CommitQueue::commit`], not here.
+    /// queue lock. When `f` mutated the database (its version moved) the
+    /// conflict log is reset: every in-flight transaction began behind
+    /// the new horizon and is refused with
+    /// [`CommitError::SnapshotTooOld`], because a schema change
+    /// invalidates any pinned check. Whether the *maintained model* is
+    /// dropped depends on what moved: rule or fact changes cannot be
+    /// absorbed (drop, next snapshot rematerializes), while a
+    /// constraint-only change keeps the maintained model — constraints
+    /// never contribute to the canonical model, only to admission
+    /// verdicts. Fact updates belong in [`CommitQueue::commit`], not
+    /// here.
     pub fn update_schema<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
         let mut state = self.state.lock();
         let before = state.db.version();
+        let before_facts = state.db.fact_rev();
+        let before_rules = state.db.rule_rev();
         let out = f(&mut state.db);
         if state.db.version() != before {
-            state.maintained = None;
-            state.last_path = ModelPath::Rematerialized;
-            state.counters.schema_resets += 1;
+            let constraint_only =
+                state.db.fact_rev() == before_facts && state.db.rule_rev() == before_rules;
+            if constraint_only {
+                state.counters.constraint_only_updates += 1;
+            } else {
+                state.maintained = None;
+                state.last_path = ModelPath::Rematerialized;
+                state.counters.schema_resets += 1;
+            }
             state.log.clear();
             state.horizon = state.db.version();
         }
@@ -837,6 +854,45 @@ mod tests {
         let snap = q.snapshot();
         assert!(snap.holds(&fact("c", &["y"])));
         assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+    }
+
+    #[test]
+    fn constraint_only_schema_update_keeps_the_maintained_model() {
+        let q = queue("b(X) :- a(X). a(seed).");
+        let mut warm = q.begin();
+        warm.insert(fact("a", &["x"]));
+        q.commit(&warm).unwrap();
+        assert_eq!(q.model_path(), ModelPath::Maintained);
+
+        // In-flight across the constraint change: still fenced (its
+        // pinned integrity verdict predates the new constraint set).
+        let mut inflight = q.begin();
+        inflight.insert(fact("a", &["y"]));
+
+        q.update_schema(|db| {
+            db.add_constraint(uniform_logic::Constraint::new(
+                "fresh",
+                uniform_logic::normalize(
+                    &uniform_logic::parse_formula("forall X: never(X) -> false").unwrap(),
+                )
+                .unwrap(),
+            ));
+        });
+        // The maintained model survived: constraints never affect it.
+        assert_eq!(q.model_path(), ModelPath::Maintained);
+        assert_eq!(q.maintenance().schema_resets, 0);
+        assert_eq!(q.maintenance().constraint_only_updates, 1);
+        let err = q.commit(&inflight).unwrap_err();
+        assert!(matches!(err, CommitError::SnapshotTooOld { .. }), "{err:?}");
+        // The next commit keeps maintaining the same model instance.
+        let mut t = q.begin();
+        t.insert(fact("a", &["y"]));
+        let r = q.commit(&t).unwrap();
+        assert_eq!(r.model_path, ModelPath::Maintained);
+        let snap = q.snapshot();
+        assert!(snap.holds(&fact("b", &["y"])));
+        assert_eq!(sorted_model(&snap), sorted_fresh(&snap));
+        assert_eq!(q.maintenance().maintained, 2);
     }
 
     #[test]

@@ -1,0 +1,1239 @@
+//! The bounded repair search: subset-minimal EDB deltas restoring
+//! consistency.
+//!
+//! The search is the §4 enforcement procedure extended with the dual
+//! move. At every level the violated constraint instances of the
+//! current candidate state are determined against its *recomputed
+//! canonical model* (the soundness anchor: a candidate is only recorded
+//! once a full determination finds nothing violated), then every
+//! instance is enforced, depth-first over all alternatives:
+//!
+//! * a false positive literal is made true by inserting the fact — or
+//!   by making some rule body for it true (instantiated over the active
+//!   domain);
+//! * a false negative literal is made true by deleting the explicit
+//!   fact and *falsifying every remaining rule derivation*, one body
+//!   literal per derivation (the only-if direction of the rules'
+//!   completion — a derived fact is false exactly when every body that
+//!   could produce it is false);
+//! * `∀`-instances offer, per violating substitution, the body
+//!   enforcement of the satisfiability search *plus* the repair-only
+//!   alternative of falsifying a range atom;
+//! * `∃`-instances reuse range solutions and enumerate active-domain
+//!   witnesses (no fresh constants: repairs stay within the active
+//!   domain, so the space is finite and matches the CQA convention).
+//!
+//! Every path from one level to the next applies at least one effective
+//! EDB operation and no branch ever touches the same fact twice, so the
+//! depth is bounded by the fact budget and the enumeration — unless the
+//! branch limit cuts it — is exhaustive over repairs of at most
+//! [`RepairOptions::max_changes`] operations. Candidates are collected,
+//! filtered to the subset-minimal ones, verified by full recomputation,
+//! and reported in deterministic (size, then name) order.
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use uniform_datalog::{
+    all_solutions, provable, satisfies_closed, solve_conjunction, FactSet, Model, RuleSet,
+    Snapshot, Transaction, Update,
+};
+use uniform_logic::{unify_terms, Constraint, Fact, Literal, Rq, Subst, Sym, Term};
+use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome};
+
+/// Cost bounds of the repair search.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairOptions {
+    /// Fact budget: the maximum number of EDB operations per repair.
+    /// The enumeration is exhaustive over repairs of at most this many
+    /// operations; larger repairs are never explored.
+    pub max_changes: usize,
+    /// Branch limit: the maximum number of enforcement nodes explored
+    /// before the search gives up with
+    /// [`RepairError::BudgetExhausted`].
+    pub max_branches: usize,
+    /// Cap on distinct candidate repairs collected; hitting it marks
+    /// the report incomplete.
+    pub max_repairs: usize,
+    /// Cap on active-domain instantiations per existential node or rule
+    /// body; exceeding it skips the alternative and marks the report
+    /// incomplete.
+    pub domain_cap: usize,
+    /// Verify every reported repair by recomputing the repaired model
+    /// and checking all constraints outright (cheap at repair scale).
+    pub verify: bool,
+}
+
+impl Default for RepairOptions {
+    fn default() -> RepairOptions {
+        RepairOptions {
+            max_changes: 4,
+            max_branches: 100_000,
+            max_repairs: 256,
+            domain_cap: 256,
+            verify: true,
+        }
+    }
+}
+
+/// Why no repair set could be reported.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The bounded search was cut short — branch limit, repair cap or
+    /// domain cap — before any repair could be established. Raising
+    /// the limits in [`RepairOptions`] may help.
+    BudgetExhausted {
+        /// Enforcement nodes explored when the search stopped.
+        explored: usize,
+        /// The configured branch limit.
+        max_branches: usize,
+        /// Whether the fact budget also pruned branches (a hint that
+        /// `max_changes` is too small as well).
+        budget_clipped: bool,
+    },
+    /// The exhaustive search (within the fact budget and the active
+    /// domain) found no repair.
+    Unrepairable {
+        /// The satisfiability search proved that *no* database state at
+        /// all satisfies the constraints — repairing is hopeless no
+        /// matter the budget.
+        schema_unsatisfiable: bool,
+        /// Branches were pruned by the fact budget: a repair larger
+        /// than `max_changes` may still exist.
+        budget_clipped: bool,
+    },
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::BudgetExhausted {
+                explored,
+                max_branches,
+                budget_clipped,
+            } => {
+                write!(
+                    f,
+                    "repair search budget exhausted after {explored} nodes (branch limit {max_branches}{})",
+                    if *budget_clipped {
+                        ", fact budget also clipped branches"
+                    } else {
+                        ""
+                    }
+                )
+            }
+            RepairError::Unrepairable {
+                schema_unsatisfiable,
+                budget_clipped,
+            } => {
+                if *schema_unsatisfiable {
+                    write!(
+                        f,
+                        "unrepairable: the constraints and rules admit no database state at all"
+                    )
+                } else if *budget_clipped {
+                    write!(
+                        f,
+                        "no repair within the fact budget (a larger repair may exist)"
+                    )
+                } else {
+                    write!(f, "no repair within the active domain")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// One repair: a set of EDB operations (insertions and deletions) whose
+/// application restores every constraint. Canonically ordered by
+/// (predicate name, argument names, deletion-before-insertion), so two
+/// equal repairs compare and hash equal regardless of discovery order.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RepairSet {
+    ops: Vec<Update>,
+}
+
+fn op_key(u: &Update) -> (String, Vec<String>, bool) {
+    (
+        u.fact.pred.as_str().to_string(),
+        u.fact.args.iter().map(|a| a.as_str().to_string()).collect(),
+        u.insert,
+    )
+}
+
+impl RepairSet {
+    /// The empty repair (of an already-consistent state).
+    pub fn empty() -> RepairSet {
+        RepairSet { ops: Vec::new() }
+    }
+
+    /// Build from operations; canonicalizes the order.
+    pub fn from_ops(ops: impl IntoIterator<Item = Update>) -> RepairSet {
+        let mut ops: Vec<Update> = ops.into_iter().collect();
+        ops.sort_by_key(op_key);
+        ops.dedup();
+        RepairSet { ops }
+    }
+
+    /// The operations, canonically ordered.
+    pub fn ops(&self) -> &[Update] {
+        &self.ops
+    }
+
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Is every operation of `self` also in `other`?
+    pub fn is_subset_of(&self, other: &RepairSet) -> bool {
+        self.ops.iter().all(|op| other.ops.contains(op))
+    }
+
+    /// The repair as an overlay delta `(insertions, deletions)` for
+    /// [`uniform_datalog::OverlayEngine::updated`].
+    pub fn overlay(&self) -> (Vec<Fact>, Vec<Fact>) {
+        let mut adds = Vec::new();
+        let mut dels = Vec::new();
+        for op in &self.ops {
+            if op.insert {
+                adds.push(op.fact.clone());
+            } else {
+                dels.push(op.fact.clone());
+            }
+        }
+        (adds, dels)
+    }
+
+    /// The repair as a transaction (for folding into a commit).
+    pub fn to_transaction(&self) -> Transaction {
+        Transaction::new(self.ops.clone())
+    }
+
+    /// Apply to a copy of `edb`.
+    pub fn apply_to(&self, edb: &FactSet) -> FactSet {
+        let mut out = edb.clone();
+        for op in &self.ops {
+            op.apply(&mut out);
+        }
+        out
+    }
+}
+
+impl PartialOrd for RepairSet {
+    fn partial_cmp(&self, other: &RepairSet) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RepairSet {
+    fn cmp(&self, other: &RepairSet) -> std::cmp::Ordering {
+        let key = |r: &RepairSet| -> (usize, Vec<(String, Vec<String>, bool)>) {
+            (r.ops.len(), r.ops.iter().map(op_key).collect())
+        };
+        key(self).cmp(&key(other))
+    }
+}
+
+impl fmt::Display for RepairSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{op}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Search counters, for tests, benches and receipts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Enforcement nodes explored.
+    pub explored: usize,
+    /// Canonical-model recomputations of candidate states.
+    pub models_computed: usize,
+    /// Candidate repairs recorded before minimality filtering.
+    pub candidates: usize,
+    /// Deepest enforcement level reached.
+    pub max_level: usize,
+}
+
+/// Result of a successful repair enumeration.
+#[derive(Clone, Debug)]
+pub struct RepairReport {
+    /// The subset-minimal repairs, in (size, name) order. Never empty:
+    /// a consistent state reports the single empty repair.
+    pub repairs: Vec<RepairSet>,
+    pub stats: RepairStats,
+    /// `true` iff the enumeration was exhaustive over repairs of at
+    /// most [`RepairOptions::max_changes`] operations within the active
+    /// domain. Branch or repair caps and domain-cap skips clear it.
+    pub complete: bool,
+    /// `true` iff the fact budget pruned at least one branch — a
+    /// minimal repair *larger* than `max_changes` may exist and be
+    /// missing from `repairs`. Certain-answer semantics need
+    /// `complete && !budget_clipped` (see
+    /// [`RepairReport::covers_all_minimal_repairs`]): intersecting over
+    /// a strict subset of the minimal repairs would claim uncertain
+    /// answers certain.
+    pub budget_clipped: bool,
+}
+
+impl RepairReport {
+    /// The preferred repair: smallest, ties broken by name order.
+    pub fn best(&self) -> &RepairSet {
+        &self.repairs[0]
+    }
+
+    /// Is `repairs` provably the set of **all** minimal repairs — not
+    /// just those within the fact budget? True exactly when the search
+    /// was exhaustive and no branch was ever cut by the budget (then
+    /// every minimal repair, of any size, was realized by some branch).
+    /// This is the precondition for certain-answer semantics.
+    pub fn covers_all_minimal_repairs(&self) -> bool {
+        self.complete && !self.budget_clipped
+    }
+}
+
+/// The repair engine for one (inconsistent) database state. See the
+/// crate docs.
+pub struct RepairEngine {
+    edb: FactSet,
+    rules: RuleSet,
+    constraints: Vec<Constraint>,
+    options: RepairOptions,
+}
+
+impl RepairEngine {
+    pub fn new(edb: FactSet, rules: RuleSet, constraints: Vec<Constraint>) -> RepairEngine {
+        RepairEngine {
+            edb,
+            rules,
+            constraints,
+            options: RepairOptions::default(),
+        }
+    }
+
+    /// Repair the state a snapshot pins.
+    pub fn for_snapshot(snapshot: &Snapshot) -> RepairEngine {
+        RepairEngine::new(
+            snapshot.facts().clone(),
+            snapshot.rules().clone(),
+            snapshot.constraints().to_vec(),
+        )
+    }
+
+    /// Repair the *would-be* state `U(D)`: the snapshot with the
+    /// transaction's net effect applied. This is how a commit pipeline
+    /// turns a violating transaction's [`CheckReport`] into a repair —
+    /// the reported violations are exactly the violations of this
+    /// state.
+    ///
+    /// [`CheckReport`]: uniform_integrity::CheckReport
+    pub fn for_update(snapshot: &Snapshot, tx: &Transaction) -> RepairEngine {
+        let mut edb = snapshot.facts().clone();
+        let (adds, dels) = tx.net_effect(snapshot.facts());
+        for f in &adds {
+            edb.insert(f);
+        }
+        for f in &dels {
+            edb.remove(f);
+        }
+        RepairEngine::new(
+            edb,
+            snapshot.rules().clone(),
+            snapshot.constraints().to_vec(),
+        )
+    }
+
+    pub fn with_options(mut self, options: RepairOptions) -> RepairEngine {
+        self.options = options;
+        self
+    }
+
+    pub fn options(&self) -> &RepairOptions {
+        &self.options
+    }
+
+    pub fn facts(&self) -> &FactSet {
+        &self.edb
+    }
+
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Names of the constraints violated in the engine's state.
+    pub fn violations(&self) -> Vec<String> {
+        let model = Model::compute(&self.edb, &self.rules);
+        self.constraints
+            .iter()
+            .filter(|c| !satisfies_closed(&model, &c.rq))
+            .map(|c| c.name.clone())
+            .collect()
+    }
+
+    /// Enumerate the subset-minimal repairs. A consistent state yields
+    /// the single empty repair.
+    pub fn repairs(&self) -> Result<RepairReport, RepairError> {
+        let mut search = Search::new(self);
+        search.settle(0);
+
+        let stats = RepairStats {
+            explored: search.explored,
+            models_computed: search.models_computed,
+            candidates: search.found.len(),
+            max_level: search.max_level,
+        };
+        let complete = !search.branch_limit_hit && !search.repair_cap_hit && !search.domain_clipped;
+
+        // Subset-minimal filter: `found` is ordered smallest-first, so
+        // every proper subset of a candidate precedes it.
+        let mut minimal: Vec<RepairSet> = Vec::new();
+        for cand in &search.found {
+            if minimal.iter().any(|kept| kept.is_subset_of(cand)) {
+                continue;
+            }
+            if self.options.verify && !self.repair_restores_consistency(cand) {
+                debug_assert!(false, "unsound candidate repair: {cand}");
+                continue;
+            }
+            minimal.push(cand.clone());
+        }
+
+        if minimal.is_empty() {
+            if search.branch_limit_hit || search.repair_cap_hit || search.domain_clipped {
+                return Err(RepairError::BudgetExhausted {
+                    explored: search.explored,
+                    max_branches: self.options.max_branches,
+                    budget_clipped: search.budget_clipped,
+                });
+            }
+            return Err(RepairError::Unrepairable {
+                schema_unsatisfiable: self.schema_unsatisfiable(),
+                budget_clipped: search.budget_clipped,
+            });
+        }
+        Ok(RepairReport {
+            repairs: minimal,
+            stats,
+            complete,
+            budget_clipped: search.budget_clipped,
+        })
+    }
+
+    /// Does applying `repair` leave a state in which every constraint
+    /// holds? Full recomputation — the independent soundness check.
+    pub fn repair_restores_consistency(&self, repair: &RepairSet) -> bool {
+        let repaired = repair.apply_to(&self.edb);
+        let model = Model::compute(&repaired, &self.rules);
+        self.constraints
+            .iter()
+            .all(|c| satisfies_closed(&model, &c.rq))
+    }
+
+    /// Certain answers of a conjunctive query: the answers true in
+    /// **every** minimal repair. Refuses (typed
+    /// [`RepairError::BudgetExhausted`]) unless the enumeration
+    /// provably covered all minimal repairs — in particular, when the
+    /// fact budget clipped a branch, a minimal repair larger than
+    /// `max_changes` may exist, and intersecting without it would claim
+    /// uncertain answers certain.
+    pub fn consistent_answers(
+        &self,
+        query: &[Literal],
+    ) -> Result<Vec<Vec<(Sym, Sym)>>, RepairError> {
+        let report = self.repairs_covering_all_minimal()?;
+        Ok(crate::cqa::certain_answers(
+            &self.edb,
+            &self.rules,
+            &report.repairs,
+            query,
+        ))
+    }
+
+    /// Is the closed formula true in every minimal repair? Same
+    /// coverage requirement as [`RepairEngine::consistent_answers`].
+    pub fn certainly_satisfies(&self, rq: &Rq) -> Result<bool, RepairError> {
+        let report = self.repairs_covering_all_minimal()?;
+        Ok(crate::cqa::certainly_satisfies(
+            &self.edb,
+            &self.rules,
+            &report.repairs,
+            rq,
+        ))
+    }
+
+    /// `repairs()`, additionally demanding
+    /// [`RepairReport::covers_all_minimal_repairs`].
+    fn repairs_covering_all_minimal(&self) -> Result<RepairReport, RepairError> {
+        let report = self.repairs()?;
+        if !report.covers_all_minimal_repairs() {
+            return Err(RepairError::BudgetExhausted {
+                explored: report.stats.explored,
+                max_branches: self.options.max_branches,
+                budget_clipped: report.budget_clipped,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Classify a repairless outcome with the satisfiability search of
+    /// §4 (bounded tightly — see [`SatOptions::classification`]): if no
+    /// database state at all satisfies the constraints, no budget will
+    /// ever find a repair.
+    fn schema_unsatisfiable(&self) -> bool {
+        let report = SatChecker::new(self.rules.clone(), self.constraints.clone())
+            .with_options(SatOptions::classification())
+            .check();
+        matches!(report.outcome, SatOutcome::Unsatisfiable)
+    }
+}
+
+/// Depth-first enumeration state. One instance per `repairs()` call.
+struct Search<'a> {
+    eng: &'a RepairEngine,
+    edb: FactSet,
+    model_cache: Option<Arc<Model>>,
+    delta: Vec<Update>,
+    touched: HashSet<Fact>,
+    pos_active: HashSet<Fact>,
+    neg_active: HashSet<Fact>,
+    /// Canonical delta sets already settled (duplicate-state pruning).
+    visited: HashSet<Vec<(Fact, bool)>>,
+    /// Active domain: EDB constants plus rule/constraint constants,
+    /// name-sorted for deterministic alternative order.
+    domain: Vec<Sym>,
+    found: BTreeSet<RepairSet>,
+    explored: usize,
+    models_computed: usize,
+    max_level: usize,
+    branch_limit_hit: bool,
+    repair_cap_hit: bool,
+    budget_clipped: bool,
+    domain_clipped: bool,
+}
+
+impl<'a> Search<'a> {
+    fn new(eng: &'a RepairEngine) -> Search<'a> {
+        let mut domain: Vec<Sym> = eng.edb.active_domain();
+        for c in &eng.constraints {
+            for occ in c.rq.literals() {
+                for t in &occ.literal.atom.args {
+                    if let Some(s) = t.as_const() {
+                        if !domain.contains(&s) {
+                            domain.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        for r in eng.rules.rules() {
+            for t in r
+                .head
+                .args
+                .iter()
+                .chain(r.body.iter().flat_map(|l| l.atom.args.iter()))
+            {
+                if let Some(s) = t.as_const() {
+                    if !domain.contains(&s) {
+                        domain.push(s);
+                    }
+                }
+            }
+        }
+        domain.sort_by_key(|s| s.as_str());
+        Search {
+            eng,
+            edb: eng.edb.clone(),
+            model_cache: None,
+            delta: Vec::new(),
+            touched: HashSet::new(),
+            pos_active: HashSet::new(),
+            neg_active: HashSet::new(),
+            visited: HashSet::new(),
+            domain,
+            found: BTreeSet::new(),
+            explored: 0,
+            models_computed: 0,
+            max_level: 0,
+            branch_limit_hit: false,
+            repair_cap_hit: false,
+            budget_clipped: false,
+            domain_clipped: false,
+        }
+    }
+
+    /// Abandon everything? (Branch limit or repair cap hit — either
+    /// way the enumeration can no longer be exhaustive.)
+    fn cut(&self) -> bool {
+        self.branch_limit_hit || self.repair_cap_hit
+    }
+
+    fn model(&mut self) -> Arc<Model> {
+        if self.model_cache.is_none() {
+            self.models_computed += 1;
+            self.model_cache = Some(Arc::new(Model::compute(&self.edb, &self.eng.rules)));
+        }
+        self.model_cache.clone().expect("just computed")
+    }
+
+    fn can_push(&mut self) -> bool {
+        if self.delta.len() >= self.eng.options.max_changes {
+            self.budget_clipped = true;
+            return false;
+        }
+        true
+    }
+
+    fn push_op(&mut self, op: Update) {
+        debug_assert!(op.is_effective(&self.edb), "ineffective repair op {op}");
+        op.apply(&mut self.edb);
+        self.touched.insert(op.fact.clone());
+        self.delta.push(op);
+        self.model_cache = None;
+    }
+
+    fn pop_op(&mut self) {
+        let op = self.delta.pop().expect("pop without push");
+        op.undo(&mut self.edb);
+        self.touched.remove(&op.fact);
+        self.model_cache = None;
+    }
+
+    fn delta_key(&self) -> Vec<(Fact, bool)> {
+        let mut key: Vec<(Fact, bool)> = self
+            .delta
+            .iter()
+            .map(|u| (u.fact.clone(), u.insert))
+            .collect();
+        key.sort();
+        key
+    }
+
+    fn record(&mut self) {
+        let rs = RepairSet::from_ops(self.delta.iter().cloned());
+        self.found.insert(rs);
+        if self.found.len() >= self.eng.options.max_repairs {
+            self.repair_cap_hit = true;
+        }
+    }
+
+    /// One saturation level: determine the violated constraint
+    /// instances against the recomputed canonical model; record the
+    /// delta when nothing is violated, otherwise enforce everything and
+    /// recurse. Every path between levels applies at least one
+    /// effective operation, so the depth is bounded by the fact budget.
+    fn settle(&mut self, level: usize) {
+        if self.cut() {
+            return;
+        }
+        if !self.visited.insert(self.delta_key()) {
+            return;
+        }
+        self.max_level = self.max_level.max(level);
+        let model = self.model();
+        let eng = self.eng;
+        let violated: Vec<Rq> = eng
+            .constraints
+            .iter()
+            .filter(|c| !satisfies_closed(model.as_ref(), &c.rq))
+            .map(|c| c.rq.clone())
+            .collect();
+        if violated.is_empty() {
+            self.record();
+            return;
+        }
+        let mut cont = |s: &mut Self| s.settle(level + 1);
+        self.enforce_seq(&violated, &mut cont);
+    }
+
+    fn enforce_seq(&mut self, agenda: &[Rq], k: &mut dyn FnMut(&mut Self)) {
+        match agenda.split_first() {
+            None => k(self),
+            Some((f, rest)) => {
+                let mut cont = |s: &mut Self| s.enforce_seq(rest, k);
+                self.enforce_one(f, &mut cont);
+            }
+        }
+    }
+
+    /// Enforce one closed formula, exploring *every* alternative (this
+    /// is an enumeration, not a satisfiability decision: success paths
+    /// call `k` and then backtrack to try the next alternative).
+    fn enforce_one(&mut self, f: &Rq, k: &mut dyn FnMut(&mut Self)) {
+        if self.cut() {
+            return;
+        }
+        self.explored += 1;
+        if self.explored > self.eng.options.max_branches {
+            self.branch_limit_hit = true;
+            return;
+        }
+        if satisfies_closed(self.model().as_ref(), f) {
+            return k(self);
+        }
+        match f {
+            Rq::True => unreachable!("true is always satisfied"),
+            Rq::False => {}
+            Rq::Lit(l) if l.positive => {
+                let fact = l.atom.to_fact().expect("enforced literals are ground");
+                self.enforce_positive(fact, k);
+            }
+            Rq::Lit(l) => {
+                let fact = l.atom.to_fact().expect("enforced literals are ground");
+                self.enforce_negative(fact, k);
+            }
+            Rq::And(gs) => self.enforce_seq(gs, k),
+            Rq::Or(gs) => {
+                for g in gs {
+                    self.enforce_one(g, k);
+                }
+            }
+            Rq::Forall { range, body, vars } => {
+                // Per violating σ (range true, body false): either
+                // enforce the body — or, the repair-only dual, falsify
+                // one of the range atoms.
+                let model = self.model();
+                let lits: Vec<Literal> = range.iter().map(|a| a.clone().pos()).collect();
+                let mut agenda: Vec<Rq> = Vec::new();
+                let mut seen: HashSet<Rq> = HashSet::new();
+                for sigma in all_solutions(model.as_ref(), &lits, &mut Subst::new(), vars) {
+                    let inst = body.apply(&sigma);
+                    if satisfies_closed(model.as_ref(), &inst) {
+                        continue;
+                    }
+                    let mut alts = vec![inst];
+                    for a in range {
+                        alts.push(Rq::Lit(sigma.apply_atom(a).neg()));
+                    }
+                    let node = Rq::or(alts);
+                    if seen.insert(node.clone()) {
+                        agenda.push(node);
+                    }
+                }
+                self.enforce_seq(&agenda, k);
+            }
+            Rq::Exists { vars, range, body } => {
+                let lits: Vec<Literal> = range.iter().map(|a| a.clone().pos()).collect();
+                // Alternative 1 (§4): reuse substitutions whose range
+                // already holds; only the body needs enforcement.
+                let model = self.model();
+                let sols = all_solutions(model.as_ref(), &lits, &mut Subst::new(), vars);
+                drop(model);
+                for sigma in sols {
+                    self.enforce_one(&body.apply(&sigma), k);
+                }
+                // Alternative 2: active-domain witnesses whose range
+                // does not hold yet — enforce range and body together.
+                if !vars.is_empty() {
+                    self.for_each_domain_combo(&vars.clone(), &mut |s, sigma| {
+                        let range_holds = {
+                            let model = s.model();
+                            let mut probe = sigma.clone();
+                            provable(model.as_ref(), &lits, &mut probe)
+                        };
+                        if range_holds {
+                            return; // covered by alternative 1
+                        }
+                        let mut agenda: Vec<Rq> = lits
+                            .iter()
+                            .map(|l| Rq::Lit(sigma.apply_literal(l)))
+                            .collect();
+                        agenda.push(body.apply(sigma));
+                        s.enforce_seq(&agenda, k);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Make a false ground atom true: insert it explicitly, or make
+    /// some rule body for it true.
+    fn enforce_positive(&mut self, fact: Fact, k: &mut dyn FnMut(&mut Self)) {
+        if self.touched.contains(&fact) {
+            // This branch already deleted the fact; re-establishing it
+            // (explicitly or via rules) would make that deletion a
+            // model-level no-op — never minimal. Prune.
+            return;
+        }
+        if self.can_push() {
+            self.push_op(Update::insert(fact.clone()));
+            k(self);
+            self.pop_op();
+        }
+        if self.pos_active.contains(&fact) {
+            return; // cyclic derivation goal: no progress through here
+        }
+        self.pos_active.insert(fact.clone());
+        let eng = self.eng;
+        for (_, rule) in eng.rules.rules_for(fact.pred) {
+            if self.cut() {
+                break;
+            }
+            let rule = rule.rename_apart();
+            let mut subst = Subst::new();
+            let mut ok = true;
+            for (&arg, &c) in rule.head.args.iter().zip(&fact.args) {
+                if !unify_terms(&mut subst, arg, Term::Const(c)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            // Body variables left free by head unification: instantiate
+            // over the active domain (first-occurrence order).
+            let mut free: Vec<Sym> = Vec::new();
+            for l in &rule.body {
+                for v in l.vars() {
+                    if matches!(subst.walk(Term::Var(v)), Term::Var(_)) && !free.contains(&v) {
+                        free.push(v);
+                    }
+                }
+            }
+            let base = subst.clone();
+            self.for_each_combo_over(&free, &base, &mut |s, sigma| {
+                let agenda: Vec<Rq> = rule
+                    .body
+                    .iter()
+                    .map(|l| Rq::Lit(sigma.apply_literal(l)))
+                    .collect();
+                s.enforce_seq(&agenda, k);
+            });
+        }
+        self.pos_active.remove(&fact);
+    }
+
+    /// Make a true ground atom false: delete the explicit fact if
+    /// present, then falsify every remaining rule derivation (the
+    /// completion's only-if direction), one body literal per
+    /// derivation.
+    fn enforce_negative(&mut self, fact: Fact, k: &mut dyn FnMut(&mut Self)) {
+        if self.neg_active.contains(&fact) {
+            return; // already being falsified upstream
+        }
+        if self.edb.contains(&fact) {
+            if self.touched.contains(&fact) {
+                return; // inserted earlier in this branch: contradictory
+            }
+            if !self.can_push() {
+                return;
+            }
+            self.push_op(Update::delete(fact.clone()));
+            self.neg_active.insert(fact.clone());
+            self.falsify_derivations(&fact, k);
+            self.neg_active.remove(&fact);
+            self.pop_op();
+        } else {
+            self.neg_active.insert(fact.clone());
+            self.falsify_derivations(&fact, k);
+            self.neg_active.remove(&fact);
+        }
+    }
+
+    fn falsify_derivations(&mut self, fact: &Fact, k: &mut dyn FnMut(&mut Self)) {
+        if self.cut() {
+            return;
+        }
+        let model = self.model();
+        let eng = self.eng;
+        let active = self.neg_active.clone();
+        // The first rule instance still deriving `fact` — skipping
+        // instances whose body leans on a goal already being falsified
+        // (they collapse once that goal completes).
+        let mut chosen: Option<Vec<Literal>> = None;
+        'rules: for (_, rule) in eng.rules.rules_for(fact.pred) {
+            let rule = rule.rename_apart();
+            let mut subst = Subst::new();
+            let mut ok = true;
+            for (&arg, &c) in rule.head.args.iter().zip(&fact.args) {
+                if !unify_terms(&mut subst, arg, Term::Const(c)) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            let mut found: Option<Vec<Literal>> = None;
+            solve_conjunction(model.as_ref(), &rule.body, &mut subst, &mut |s| {
+                let ground: Vec<Literal> = rule.body.iter().map(|l| s.apply_literal(l)).collect();
+                let self_supported = ground
+                    .iter()
+                    .any(|l| l.positive && l.atom.to_fact().is_some_and(|f| active.contains(&f)));
+                if self_supported {
+                    return true; // keep looking
+                }
+                found = Some(ground);
+                false
+            });
+            if let Some(g) = found {
+                chosen = Some(g);
+                break 'rules;
+            }
+        }
+        match chosen {
+            // No live derivation left: the goal holds, continue.
+            None => k(self),
+            Some(body) => {
+                for lit in &body {
+                    if lit.complement().atom.to_fact().is_none() {
+                        continue; // non-ground (unsafe rule): skip
+                    }
+                    let goal = Rq::Lit(lit.complement());
+                    let mut cont = |s: &mut Self| s.falsify_derivations(fact, k);
+                    self.enforce_one(&goal, &mut cont);
+                }
+            }
+        }
+    }
+
+    /// Run `each` for every assignment of `vars` over the active
+    /// domain, starting from the empty substitution.
+    fn for_each_domain_combo(&mut self, vars: &[Sym], each: &mut dyn FnMut(&mut Self, &Subst)) {
+        let base = Subst::new();
+        self.for_each_combo_over(vars, &base, each);
+    }
+
+    /// Odometer over `domain^|vars|`, extending `base`. Skips the whole
+    /// enumeration (and marks the report incomplete) past
+    /// [`RepairOptions::domain_cap`].
+    fn for_each_combo_over(
+        &mut self,
+        vars: &[Sym],
+        base: &Subst,
+        each: &mut dyn FnMut(&mut Self, &Subst),
+    ) {
+        if vars.is_empty() {
+            each(self, base);
+            return;
+        }
+        if self.domain.is_empty() {
+            return;
+        }
+        let combos = self
+            .domain
+            .len()
+            .checked_pow(vars.len() as u32)
+            .unwrap_or(usize::MAX);
+        if combos > self.eng.options.domain_cap {
+            self.domain_clipped = true;
+            return;
+        }
+        let domain = self.domain.clone();
+        let mut assignment = vec![0usize; vars.len()];
+        'combos: loop {
+            if self.cut() {
+                return;
+            }
+            let mut sigma = base.clone();
+            for (&v, &i) in vars.iter().zip(&assignment) {
+                sigma.bind(v, Term::Const(domain[i]));
+            }
+            each(self, &sigma);
+            for slot in assignment.iter_mut() {
+                *slot += 1;
+                if *slot < domain.len() {
+                    continue 'combos;
+                }
+                *slot = 0;
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uniform_datalog::Database;
+
+    fn engine(src: &str) -> RepairEngine {
+        let db = Database::parse(src).unwrap();
+        RepairEngine::new(
+            db.facts().clone(),
+            db.rules().clone(),
+            db.constraints().to_vec(),
+        )
+    }
+
+    fn rendered(report: &RepairReport) -> Vec<String> {
+        report.repairs.iter().map(|r| r.to_string()).collect()
+    }
+
+    #[test]
+    fn consistent_state_yields_the_empty_repair() {
+        let report = engine("q(a). p(a). constraint c: forall X: p(X) -> q(X).")
+            .repairs()
+            .unwrap();
+        assert_eq!(report.repairs, vec![RepairSet::empty()]);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn implication_offers_insert_and_delete() {
+        let report = engine("p(a). constraint c: forall X: p(X) -> q(X).")
+            .repairs()
+            .unwrap();
+        assert_eq!(rendered(&report), vec!["{-p(a)}", "{+q(a)}"]);
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn denial_offers_each_deletion() {
+        let report = engine("p(a). q(a). constraint c: forall X: p(X) & q(X) -> false.")
+            .repairs()
+            .unwrap();
+        assert_eq!(rendered(&report), vec!["{-p(a)}", "{-q(a)}"]);
+    }
+
+    #[test]
+    fn existential_witnesses_from_the_active_domain() {
+        let report = engine("seen(a). seen(b). constraint c: exists X: emp(X).")
+            .repairs()
+            .unwrap();
+        assert_eq!(rendered(&report), vec!["{+emp(a)}", "{+emp(b)}"]);
+    }
+
+    #[test]
+    fn derived_violations_repaired_through_rule_bodies() {
+        // flagged is derived; falsifying it means deleting a body fact.
+        let report = engine(
+            "
+            flagged(X) :- p(X), bad(X).
+            p(a). bad(a).
+            constraint c: forall X: flagged(X) -> ok(X).
+        ",
+        )
+        .repairs()
+        .unwrap();
+        assert_eq!(rendered(&report), vec!["{-bad(a)}", "{+ok(a)}", "{-p(a)}"]);
+    }
+
+    #[test]
+    fn positive_goals_satisfiable_through_rules() {
+        // Enforcing emp(b) can insert emp(b) explicitly or insert the
+        // rule's body fact boss(b).
+        let report = engine(
+            "
+            emp(X) :- boss(X).
+            seen(b).
+            constraint c: forall X: seen(X) -> emp(X).
+        ",
+        )
+        .repairs()
+        .unwrap();
+        assert_eq!(
+            rendered(&report),
+            vec!["{+boss(b)}", "{+emp(b)}", "{-seen(b)}"]
+        );
+    }
+
+    #[test]
+    fn multi_violation_repairs_compose() {
+        let report = engine(
+            "
+            p(a). p(b).
+            constraint c: forall X: p(X) -> q(X).
+        ",
+        )
+        .repairs()
+        .unwrap();
+        // Each violation independently: {−p(a)}×{−p(b)} etc → 4 minimal.
+        assert_eq!(report.repairs.len(), 4);
+        assert!(report.repairs.iter().all(|r| r.len() == 2));
+        for r in &report.repairs {
+            assert!(engine("p(a). p(b). constraint c: forall X: p(X) -> q(X).")
+                .repair_restores_consistency(r));
+        }
+    }
+
+    #[test]
+    fn stratified_negation_respected() {
+        // present is derived with negation: the repairs are deleting
+        // the blocker absent(a), asserting present(a) explicitly (the
+        // store supports explicit facts on derived predicates), or
+        // deleting the trigger seen(a).
+        let report = engine(
+            "
+            present(X) :- emp(X), not absent(X).
+            emp(a). absent(a). seen(a).
+            constraint c: forall X: seen(X) -> present(X).
+        ",
+        )
+        .repairs()
+        .unwrap();
+        assert_eq!(
+            rendered(&report),
+            vec!["{-absent(a)}", "{+present(a)}", "{-seen(a)}"]
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_schema_classified() {
+        let err = engine(
+            "
+            d(x).
+            constraint want: exists X: d(X).
+            constraint deny: forall X: d(X) -> false.
+        ",
+        )
+        .repairs()
+        .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RepairError::Unrepairable {
+                    schema_unsatisfiable: true,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn branch_limit_is_a_typed_error() {
+        let eng =
+            engine("p(a). constraint c: forall X: p(X) -> q(X).").with_options(RepairOptions {
+                max_branches: 1,
+                ..RepairOptions::default()
+            });
+        let err = eng.repairs().unwrap_err();
+        assert!(matches!(err, RepairError::BudgetExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn fact_budget_bounds_repair_size() {
+        // Fixing all three violations needs 3 ops; a budget of 2 finds
+        // nothing and says so.
+        let eng = engine(
+            "
+            p(a). p(b). p(c).
+            constraint c: forall X: p(X) -> q(X).
+        ",
+        )
+        .with_options(RepairOptions {
+            max_changes: 2,
+            ..RepairOptions::default()
+        });
+        let err = eng.repairs().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RepairError::Unrepairable {
+                    schema_unsatisfiable: false,
+                    budget_clipped: true,
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn clipped_budgets_refuse_certain_answers() {
+        // Two minimal repairs: {-p(a)} (size 1) and
+        // {+q(a), -t1(a), …, -t4(a)} (size 5). With the default budget
+        // of 4 the size-5 repair is clipped; intersecting over the
+        // remaining repair alone would wrongly certify t1(a).
+        let src = "
+            p(a). t1(a). t2(a). t3(a). t4(a).
+            constraint c: forall X: p(X) -> q(X).
+            constraint d1: forall X: q(X) & t1(X) -> false.
+            constraint d2: forall X: q(X) & t2(X) -> false.
+            constraint d3: forall X: q(X) & t3(X) -> false.
+            constraint d4: forall X: q(X) & t4(X) -> false.
+        ";
+        let eng = engine(src);
+        let report = eng.repairs().unwrap();
+        assert!(report.budget_clipped);
+        assert!(!report.covers_all_minimal_repairs());
+        assert_eq!(rendered(&report), vec!["{-p(a)}"]);
+        let err = eng
+            .consistent_answers(&[uniform_logic::parse_literal("t1(X)").unwrap()])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                RepairError::BudgetExhausted {
+                    budget_clipped: true,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        // A budget admitting the size-5 repair restores certainty.
+        let eng = engine(src).with_options(RepairOptions {
+            max_changes: 5,
+            ..RepairOptions::default()
+        });
+        let report = eng.repairs().unwrap();
+        assert!(report.covers_all_minimal_repairs(), "{report:?}");
+        assert_eq!(report.repairs.len(), 2);
+        let answers = eng
+            .consistent_answers(&[uniform_logic::parse_literal("t1(X)").unwrap()])
+            .unwrap();
+        assert!(answers.is_empty(), "t1(a) is not certain: {answers:?}");
+    }
+
+    #[test]
+    fn certain_answers_intersect_repairs() {
+        // Repairs of the violated state: {−p(a)} or {+q(a)}. p(b),q(b)
+        // is untouched by both → certain; p(a) only survives in one.
+        let eng = engine(
+            "
+            p(a). p(b). q(b).
+            constraint c: forall X: p(X) -> q(X).
+        ",
+        );
+        let answers = eng
+            .consistent_answers(&[uniform_logic::parse_literal("p(X)").unwrap()])
+            .unwrap();
+        let names: Vec<String> = answers
+            .iter()
+            .map(|b| b[0].1.as_str().to_string())
+            .collect();
+        assert_eq!(names, vec!["b"]);
+        // Closed-formula certainty.
+        let holds = |s: &str| {
+            eng.certainly_satisfies(
+                &uniform_logic::normalize(&uniform_logic::parse_formula(s).unwrap()).unwrap(),
+            )
+            .unwrap()
+        };
+        assert!(holds("p(b)"));
+        assert!(!holds("p(a)"));
+        assert!(!holds("q(a)"));
+    }
+
+    #[test]
+    fn repair_sets_are_canonical_and_ordered() {
+        let a = RepairSet::from_ops(vec![
+            Update::insert(Fact::parse_like("q", &["a"])),
+            Update::delete(Fact::parse_like("p", &["a"])),
+        ]);
+        let b = RepairSet::from_ops(vec![
+            Update::delete(Fact::parse_like("p", &["a"])),
+            Update::insert(Fact::parse_like("q", &["a"])),
+        ]);
+        assert_eq!(a, b);
+        let small = RepairSet::from_ops(vec![Update::insert(Fact::parse_like("q", &["a"]))]);
+        assert!(small < a, "size-first ordering");
+        assert!(small.is_subset_of(&a));
+        assert!(!a.is_subset_of(&small));
+    }
+}

@@ -1,0 +1,77 @@
+//! # uniform-repair
+//!
+//! Minimal repairs and consistent query answering — the *constructive*
+//! use of the uniform approach (Bry, Decker & Manthey, EDBT 1988).
+//!
+//! The integrity-maintenance method of `uniform-integrity` tells a
+//! writer *that* an update violates constraints; the satisfiability
+//! search of `uniform-satisfiability` shows that the very same
+//! enforcement machinery can *construct* states in which constraints
+//! hold. This crate closes the loop for inconsistent states: given a
+//! database whose constraints are violated, [`RepairEngine`] runs a
+//! bounded enforcement search — insertions as in the §4 model
+//! generation, plus the dual move of *deleting* explicit facts (and
+//! falsifying rule derivations literal by literal, the completion
+//! semantics' only-if direction) — and enumerates the **subset-minimal
+//! repair sets**: smallest EDB insert/delete deltas whose application
+//! restores every constraint.
+//!
+//! On top of the repair enumeration sits consistent query answering in
+//! the sense of Arenas–Bertossi–Chomicki (and the SAT-based CAvSAT
+//! system of Dixit & Kolaitis): an answer is *certain* iff it holds in
+//! **every** minimal repair. Candidate repairs are evaluated through
+//! [`OverlayEngine`](uniform_datalog::OverlayEngine) overlays — the
+//! paper's `new(U, ·)` simulation — so no repaired database is ever
+//! materialized.
+//!
+//! Repairs stay within the *active domain* (constants of the facts,
+//! rules and constraints): no fresh constants are invented, matching
+//! the convention of the CQA literature and making the search space
+//! finite. The search is bounded by a fact budget
+//! ([`RepairOptions::max_changes`]) and a branch limit
+//! ([`RepairOptions::max_branches`]); blowing the branch limit is the
+//! typed [`RepairError::BudgetExhausted`].
+//!
+//! ```
+//! use uniform_datalog::Database;
+//! use uniform_repair::RepairEngine;
+//!
+//! // p(a) holds but q(a) does not: the constraint is violated.
+//! let db = Database::parse("
+//!     p(a).
+//!     constraint c: forall X: p(X) -> q(X).
+//! ").unwrap();
+//! let engine = RepairEngine::new(
+//!     db.facts().clone(),
+//!     db.rules().clone(),
+//!     db.constraints().to_vec(),
+//! );
+//! let report = engine.repairs().unwrap();
+//! // Two minimal repairs: insert q(a), or delete p(a).
+//! assert_eq!(report.repairs.len(), 2);
+//! assert!(report.complete);
+//! ```
+
+pub mod cqa;
+pub mod engine;
+
+pub use cqa::{certain_answers, certainly_satisfies};
+pub use engine::{RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, RepairStats};
+
+/// What a guarded commit pipeline does when a transaction's integrity
+/// check fails. Consumed by `uniform::ConcurrentDatabase`; defined here
+/// so every layer speaks the same policy language.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ViolationPolicy {
+    /// Refuse the transaction (the classical guarded-update behavior).
+    #[default]
+    Reject,
+    /// Refuse the transaction, but attach the minimal repair of the
+    /// would-be state as a diagnostic: what the writer could have
+    /// submitted instead.
+    Explain,
+    /// Fold the minimal repair's delta into the transaction and commit
+    /// the combination: the repaired commit flows through conflict
+    /// detection and incremental model maintenance like any other.
+    AutoRepair,
+}

@@ -92,6 +92,19 @@ impl SatOptions {
             ..SatOptions::default()
         }
     }
+
+    /// A tightly bounded preset for yes/no classification on hot paths
+    /// — e.g. the repair engine deciding whether a repairless schema is
+    /// unsatisfiable outright. Small fresh-constant and step budgets,
+    /// so an axiom-of-infinity schema answers `Unknown` quickly instead
+    /// of deepening for seconds.
+    pub fn classification() -> Self {
+        SatOptions {
+            max_fresh_constants: 3,
+            max_steps: 100_000,
+            ..SatOptions::default()
+        }
+    }
 }
 
 /// Search outcome.

@@ -388,6 +388,125 @@ pub fn commit_mix(
     (db, streams)
 }
 
+/// Schema for the repair / consistent-query-answering workload: a tiny
+/// active domain (`a`, `b`, `c`) under four violation classes —
+/// implication (`imp`), domain (`dom_s`), existential (`span`) and a
+/// *derived*-trigger constraint (`flag_ok`, through the `flagged`
+/// rule). The base instance is consistent; the update streams are
+/// violation-heavy. Small on purpose: brute-force repair enumeration
+/// over the full operation universe stays affordable, which is what
+/// `tests/prop_repair.rs` needs from its oracle.
+pub fn violation_mix_db(seed: u64) -> Database {
+    let mut src = String::from(
+        "flagged(X) :- p(X), bad(X).\n\
+         constraint imp: forall X: p(X) -> q(X).\n\
+         constraint dom_s: forall X, Y: s(X, Y) -> r(X).\n\
+         constraint span: forall X: r(X) -> (exists Y: s(X, Y)).\n\
+         constraint flag_ok: forall X: flagged(X) -> ok(X).\n",
+    );
+    let lines = vec![
+        "p(a).\n".to_string(),
+        "q(a).\n".to_string(),
+        "r(b).\n".to_string(),
+        "s(b, a).\n".to_string(),
+        "ok(c).\n".to_string(),
+    ];
+    push_shuffled(&mut src, lines, seed);
+    let db = Database::parse(&src).expect("violation-mix schema parses");
+    debug_assert!(db.is_consistent());
+    db
+}
+
+/// A violation-heavy stream of single-fact updates for
+/// [`violation_mix_db`]: most entries break one of the four constraint
+/// classes (missing implication targets, dangling tuples, widowed
+/// existentials, derived violations via `bad`), a minority are
+/// harmless. Deterministic per `(count, seed)`.
+pub fn violation_updates(count: usize, seed: u64) -> Vec<Update> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let consts = ["a", "b", "c"];
+    (0..count)
+        .map(|_| {
+            let x = consts[rng.gen_range(0..consts.len())];
+            let y = consts[rng.gen_range(0..consts.len())];
+            match rng.gen_range(0..8u8) {
+                // Implication violation: p without q.
+                0 => upd(&format!("p({x})")),
+                // Deletion side of the implication.
+                1 => upd(&format!("not q({x})")),
+                // Derived violation: bad makes flagged true, ok missing.
+                2 => upd(&format!("bad({x})")),
+                // Existential violation: r without s.
+                3 => upd(&format!("r({x})")),
+                // Domain violation: s without r.
+                4 => upd(&format!("s({x}, {y})")),
+                // Deleting support of the existential.
+                5 => upd(&format!("not s({x}, {y})")),
+                // Harmless.
+                6 => upd(&format!("ok({x})")),
+                _ => upd(&format!("q({x})")),
+            }
+        })
+        .collect()
+}
+
+/// A possibly-inconsistent small state: the consistent
+/// [`violation_mix_db`] base with `churn` raw (unguarded) updates from
+/// [`violation_updates`] applied — what an external loader or a
+/// privileged raw writer leaves behind. This is the input shape of the
+/// repair engine's differential oracle suite.
+pub fn violation_state(churn: usize, seed: u64) -> Database {
+    let mut db = violation_mix_db(seed);
+    for u in violation_updates(churn, seed ^ 0xda7a_5eed) {
+        db.apply(&u).expect("violation updates are arity-correct");
+    }
+    db
+}
+
+/// One writer's violation-heavy transaction stream for the multi-writer
+/// repair workload: mostly 1–2-update transactions that violate some
+/// constraint (exercising `Explain` / `AutoRepair` policies), a
+/// minority self-contained good ones. Deterministic per
+/// `(writer, per_writer, seed)`.
+pub fn violation_mix_stream(writer: usize, per_writer: usize, seed: u64) -> Vec<Transaction> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (writer as u64).wrapping_mul(0x9e37_79b9));
+    let consts = ["a", "b", "c"];
+    (0..per_writer)
+        .map(|i| {
+            let x = consts[rng.gen_range(0..consts.len())];
+            let y = consts[rng.gen_range(0..consts.len())];
+            match rng.gen_range(0..6u8) {
+                // Violating: p without its q.
+                0 => Transaction::new(vec![upd(&format!("p({x})"))]),
+                // Violating: a bad flag without the ok cover.
+                1 => Transaction::new(vec![upd(&format!("bad({x})"))]),
+                // Violating: dangling tuple + widowed existential.
+                2 => Transaction::new(vec![upd(&format!("s({x}, {y})"))]),
+                // Violating: delete an implication target.
+                3 => Transaction::new(vec![upd(&format!("not q({x})"))]),
+                // Good: implication pair inserted together.
+                4 => Transaction::new(vec![upd(&format!("p({x})")), upd(&format!("q({x})"))]),
+                // Good: fresh ok cover (distinct per writer/step).
+                _ => Transaction::new(vec![upd(&format!("ok(w{writer}_{i})"))]),
+            }
+        })
+        .collect()
+}
+
+/// The full violation-heavy multi-writer mix: base database plus one
+/// stream per writer.
+pub fn violation_mix(
+    writers: usize,
+    per_writer: usize,
+    seed: u64,
+) -> (Database, Vec<Vec<Transaction>>) {
+    let db = violation_mix_db(seed);
+    let streams = (0..writers)
+        .map(|w| violation_mix_stream(w, per_writer, seed))
+        .collect();
+    (db, streams)
+}
+
 /// Random ground facts over a fixed schema — fodder for property tests.
 pub fn random_facts(
     preds: &[(&str, usize)],
@@ -521,6 +640,33 @@ mod tests {
                 .collect()
         };
         assert!(preds(0).is_disjoint(&preds(1)));
+    }
+
+    #[test]
+    fn violation_mix_shape_and_determinism() {
+        let db = violation_mix_db(3);
+        assert!(db.is_consistent());
+        assert_eq!(db.constraints().len(), 4);
+        assert_eq!(db.rules().len(), 1);
+        // Streams are violation-heavy and reproducible.
+        let (base, streams) = violation_mix(2, 12, 9);
+        assert!(base.is_consistent());
+        let (_, again) = violation_mix(2, 12, 9);
+        assert_eq!(streams, again);
+        assert_ne!(streams[0], streams[1]);
+        // Raw churn produces inconsistent states often enough to matter.
+        let mut inconsistent = 0;
+        for seed in 0..16 {
+            if !violation_state(4, seed).is_consistent() {
+                inconsistent += 1;
+            }
+        }
+        assert!(inconsistent >= 8, "only {inconsistent}/16 inconsistent");
+        assert_eq!(
+            violation_updates(20, 5),
+            violation_updates(20, 5),
+            "same seed, same stream"
+        );
     }
 
     #[test]

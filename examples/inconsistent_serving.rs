@@ -1,0 +1,81 @@
+//! Inconsistency-tolerant serving: minimal repairs, certain answers,
+//! and the violation policies of the commit pipeline.
+//!
+//! ```sh
+//! cargo run --example inconsistent_serving
+//! ```
+
+use uniform::{ConcurrentDatabase, Fact, UniformDatabase, UniformOptions, Update, ViolationPolicy};
+
+fn main() {
+    // An external load left the data inconsistent: jack and jill are
+    // enrolled, but only jill attends the mandatory course.
+    let db = UniformDatabase::parse_tolerant(
+        "
+        enrolled(X, cs) :- student(X).
+        constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        student(jack). student(jill).
+        attends(jill, ddb).
+    ",
+    )
+    .unwrap();
+
+    println!("minimal repairs of the loaded state:");
+    for repair in db.minimal_repairs().unwrap() {
+        println!("  {repair}");
+    }
+
+    // Certain answers: true in EVERY minimal repair. jill is certainly
+    // enrolled; jack's enrollment depends on which repair you pick
+    // (expelling him vs. marking him as attending), so it is not
+    // certain.
+    println!("certain enrolled(X, cs):");
+    for binding in db.consistent_answer("enrolled(X, cs)").unwrap() {
+        for (var, value) in binding {
+            println!("  {var} = {value}");
+        }
+    }
+
+    // The commit pipeline can explain or auto-repair violations.
+    let cdb = ConcurrentDatabase::parse(
+        "
+        enrolled(X, cs) :- student(X).
+        constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        student(jill). attends(jill, ddb).
+    ",
+    )
+    .unwrap();
+
+    // Explain: rejected, but the error names the minimal repair.
+    let mut txn = cdb.begin();
+    txn.stage(Update::insert(Fact::parse_like("student", &["zoe"])));
+    let err = cdb
+        .commit_with_policy(&txn, ViolationPolicy::Explain)
+        .unwrap_err();
+    println!("explain: {err}");
+
+    // AutoRepair: the repair delta is folded into the commit itself.
+    let auto = ConcurrentDatabase::from_database(
+        uniform::Database::parse(
+            "
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+            student(jill). attends(jill, ddb).
+        ",
+        )
+        .unwrap(),
+        UniformOptions {
+            violation_policy: ViolationPolicy::AutoRepair,
+            ..UniformOptions::default()
+        },
+    );
+    let mut txn = auto.begin();
+    txn.stage(Update::insert(Fact::parse_like("student", &["zoe"])));
+    let outcome = auto.commit(&txn).unwrap();
+    println!(
+        "auto-repaired commit at v{} with delta {}",
+        outcome.version,
+        outcome.repair.expect("a repair was folded in")
+    );
+    assert!(auto.with_database(|d| d.is_consistent()));
+}

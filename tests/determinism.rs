@@ -15,9 +15,12 @@
 use std::fmt::Write as _;
 use uniform::datalog::{Database, MaintainedModel, RuleSet};
 use uniform::integrity::Checker;
-use uniform::logic::parse_rule;
+use uniform::logic::{parse_query, parse_rule};
 use uniform::workload;
-use uniform::{CommitQueue, SatChecker, Transaction};
+use uniform::{
+    CommitQueue, ConcurrentDatabase, RepairEngine, SatChecker, Transaction, UniformOptions,
+    ViolationPolicy,
+};
 
 /// FNV-1a over the rendered observation log (no external deps).
 fn fnv1a(s: &str) -> u64 {
@@ -142,7 +145,65 @@ fn observation_log() -> String {
     }
     let _ = writeln!(log, "maintenance {:?}", queue.maintenance());
 
-    // 5. Satisfiability search outcome (frontier order feeds the found
+    // 5. Repair sets and certain-answer lists over an inconsistent
+    //    state — both user-visible and order-sensitive (repairs in
+    //    (size, name) order, answers in rendered-binding order) — plus
+    //    the repair deltas AutoRepair folds into a violation-heavy
+    //    stream.
+    let rdb = workload::violation_state(5, 41);
+    let engine = RepairEngine::new(
+        rdb.facts().clone(),
+        rdb.rules().clone(),
+        rdb.constraints().to_vec(),
+    );
+    match engine.repairs() {
+        Ok(report) => {
+            for r in &report.repairs {
+                let _ = writeln!(log, "repair {r}");
+            }
+            for q in ["p(X)", "q(X)", "flagged(X)", "s(X, Y)"] {
+                let answers = engine.consistent_answers(&parse_query(q).unwrap()).unwrap();
+                let rendered: Vec<String> = answers
+                    .iter()
+                    .map(|b| {
+                        b.iter()
+                            .map(|(v, c)| format!("{}={}", v.as_str(), c.as_str()))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                let _ = writeln!(log, "certain {q} {rendered:?}");
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(log, "repair error {e}");
+        }
+    }
+    let auto = ConcurrentDatabase::from_database(
+        workload::violation_mix_db(43),
+        UniformOptions {
+            violation_policy: ViolationPolicy::AutoRepair,
+            ..UniformOptions::default()
+        },
+    );
+    for tx in workload::violation_mix_stream(0, 6, 43) {
+        match auto.commit_transaction(&tx) {
+            Ok(outcome) => {
+                let _ = writeln!(
+                    log,
+                    "auto v{} path {:?} repair {:?}",
+                    outcome.version,
+                    outcome.model_path,
+                    outcome.repair.map(|r| r.to_string())
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(log, "auto err {e}");
+            }
+        }
+    }
+
+    // 6. Satisfiability search outcome (frontier order feeds the found
     //    model's explicit facts).
     let schema = Database::parse(
         "

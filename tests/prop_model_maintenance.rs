@@ -242,6 +242,87 @@ fn recursive_rules_maintained_through_commit_churn() {
     assert_eq!(q.maintenance().bailouts, 0);
 }
 
+/// ROADMAP follow-up from PR 3: a *constraint-only* registry change
+/// must not reset the maintained model — constraints never contribute
+/// to the canonical model — while still fencing in-flight transactions
+/// (their pinned integrity verdicts predate the new constraint set).
+/// Rule updates in the same schedule still reset as before.
+#[test]
+fn constraint_only_registry_changes_keep_the_maintained_model() {
+    use uniform::logic::{normalize, parse_formula, Constraint};
+    for seed in 0..16u64 {
+        let (db, streams) = base_with_rules(seed);
+        let q = CommitQueue::new(db);
+        // Warm the maintained model with one commit per writer.
+        for stream in &streams {
+            let mut t = q.begin();
+            for u in &stream[0].updates {
+                t.stage(u.clone());
+            }
+            q.commit(&t).unwrap();
+            verify_snapshot(&q.snapshot(), &format!("seed {seed} warmup"));
+        }
+        assert_eq!(q.model_path(), ModelPath::Maintained, "seed {seed}");
+        let maintained_before = q.maintenance().maintained;
+
+        // In flight across the constraint change: must be fenced.
+        let mut inflight = q.begin();
+        inflight.stage(Update::insert(Fact::parse_like("vip", &["fence_probe"])));
+
+        q.update_schema(|db| {
+            db.add_constraint(Constraint::new(
+                format!("extra{seed}"),
+                normalize(&parse_formula("forall X: never(X) -> false").unwrap()).unwrap(),
+            ));
+        });
+        assert_eq!(
+            q.model_path(),
+            ModelPath::Maintained,
+            "seed {seed}: constraint-only change must keep the maintained model"
+        );
+        assert_eq!(q.maintenance().schema_resets, 0, "seed {seed}");
+        assert_eq!(q.maintenance().constraint_only_updates, 1, "seed {seed}");
+        verify_snapshot(&q.snapshot(), &format!("seed {seed} post-constraint"));
+        assert!(
+            matches!(
+                q.commit(&inflight),
+                Err(uniform::CommitError::SnapshotTooOld { .. })
+            ),
+            "seed {seed}: constraint changes still fence pinned checks"
+        );
+
+        // Maintenance continues on the very same model instance.
+        for stream in &streams {
+            let mut t = q.begin();
+            for u in &stream[1].updates {
+                t.stage(u.clone());
+            }
+            let r = q.commit(&t).unwrap();
+            if !r.effective.is_empty() {
+                assert_eq!(r.model_path, ModelPath::Maintained, "seed {seed}");
+            }
+            verify_snapshot(
+                &q.snapshot(),
+                &format!("seed {seed} post-constraint commit"),
+            );
+        }
+        assert!(
+            q.maintenance().maintained > maintained_before,
+            "seed {seed}: the incremental path must keep running"
+        );
+
+        // A rule update afterwards still resets, as before.
+        q.update_schema(|db| {
+            let mut rules = db.rules().rules().to_vec();
+            rules.push(parse_rule("late(X) :- vip(X).").unwrap());
+            db.set_rules(RuleSet::new(rules).unwrap());
+        });
+        assert_eq!(q.model_path(), ModelPath::Rematerialized, "seed {seed}");
+        assert_eq!(q.maintenance().schema_resets, 1, "seed {seed}");
+        verify_snapshot(&q.snapshot(), &format!("seed {seed} post-rule"));
+    }
+}
+
 /// The pipeline survives relations appearing for the first time *after*
 /// maintenance started, and model-order determinism holds: replaying
 /// the same schedule yields the same maintained iteration order.
