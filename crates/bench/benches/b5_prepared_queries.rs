@@ -1,0 +1,149 @@
+//! B5: one-shot vs prepared vs cached read-path latency.
+//!
+//! Three tiers over the same hot-query lists, violation-free
+//! (`deductive_university`) and violation-heavy (`violation_state`)
+//! states, at both consistency levels:
+//!
+//! * `one_shot` — the legacy serving shape: every call re-parses,
+//!   re-plans and (for `Certain`) re-enumerates repairs
+//!   (`UniformDatabase::solutions` / `consistent_answer`, which are now
+//!   shims doing exactly that through the new path);
+//! * `cached` — `ConcurrentDatabase::solutions` /
+//!   `consistent_answer`: parse and plan amortized by the shared
+//!   sharded plan cache, but a fresh session (fresh snapshot, fresh
+//!   repair enumeration) per call;
+//! * `prepared` — the full prepared shape: `PreparedQuery` + pinned
+//!   `Session` reused across calls, so execution is all that remains
+//!   (and the session's repair cache amortizes the `Certain` level's
+//!   enumeration too).
+//!
+//! The `one_shot / prepared` ratio is the headline number the README
+//! reports: what hot-query serving stops paying per request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{ConcurrentDatabase, Consistency, Params, UniformDatabase, UniformOptions};
+
+const UNIVERSITY_SIZES: &[usize] = &[32, 128];
+
+fn university(n: usize) -> uniform::Database {
+    workload::deductive_university(n, 11)
+}
+
+fn bench_latest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_latest");
+    let queries = workload::university_read_queries();
+
+    for &n in UNIVERSITY_SIZES {
+        group.bench_with_input(BenchmarkId::new("one_shot", n), &n, |b, &n| {
+            let db = UniformDatabase::parse_tolerant(&uniform::datalog::to_program_source(
+                &university(n),
+            ))
+            .unwrap();
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in queries {
+                    answers += db.solutions(q).unwrap().len();
+                }
+                assert!(answers > 0);
+                answers
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
+            let db = ConcurrentDatabase::from_database(university(n), UniformOptions::default());
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in queries {
+                    answers += db.solutions(q).unwrap().len();
+                }
+                assert!(answers > 0);
+                answers
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("prepared", n), &n, |b, &n| {
+            let db = ConcurrentDatabase::from_database(university(n), UniformOptions::default());
+            let prepared: Vec<_> = queries.iter().map(|q| db.prepare(q).unwrap()).collect();
+            let session = db.session();
+            b.iter(|| {
+                let mut answers = 0usize;
+                for q in &prepared {
+                    answers += session
+                        .execute(q, &Params::new(), Consistency::Latest)
+                        .unwrap()
+                        .len();
+                }
+                assert!(answers > 0);
+                answers
+            });
+        });
+    }
+
+    group.finish();
+}
+
+fn bench_certain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b5_certain");
+    group.sample_size(10);
+    // Violation-free and violation-heavy committed states.
+    for (label, churn) in [("clean", 0usize), ("violated", 4usize)] {
+        let queries = workload::violation_read_queries();
+
+        group.bench_with_input(BenchmarkId::new("one_shot", label), &churn, |b, &churn| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let db = ConcurrentDatabase::from_database(
+                        workload::violation_state(churn, i),
+                        UniformOptions::default(),
+                    );
+                    let t0 = Instant::now();
+                    for q in queries {
+                        // Defeat the plan cache: fresh prepare each
+                        // call, fresh session, fresh repair pass —
+                        // the legacy one-shot cost.
+                        let prepared = uniform::PreparedQuery::prepare(q).unwrap();
+                        let _ = db
+                            .session()
+                            .execute(&prepared, &Params::new(), Consistency::Certain)
+                            .unwrap();
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("prepared", label), &churn, |b, &churn| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let db = ConcurrentDatabase::from_database(
+                        workload::violation_state(churn, i),
+                        UniformOptions::default(),
+                    );
+                    let prepared: Vec<_> = queries.iter().map(|q| db.prepare(q).unwrap()).collect();
+                    let session = db.session();
+                    let t0 = Instant::now();
+                    for q in &prepared {
+                        let _ = session
+                            .execute(q, &Params::new(), Consistency::Certain)
+                            .unwrap();
+                    }
+                    total += t0.elapsed();
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_latest, bench_certain
+}
+criterion_main!(benches);

@@ -10,7 +10,7 @@
 //!    any lock, recording the relation-level read set the verdict
 //!    depends on;
 //! 3. is **submitted** to the shared
-//!    [`CommitQueue`](uniform_datalog::txn::CommitQueue), which admits
+//!    [`CommitQueue`], which admits
 //!    it with first-committer-wins conflict detection: writers over
 //!    disjoint relations commit without invalidating each other, while
 //!    a transaction whose read or write set overlaps a later commit's
@@ -23,15 +23,19 @@
 //! multi-writer schedules.
 
 use crate::facade::{UniformDatabase, UniformError, UniformOptions};
+use crate::query::{
+    Consistency, Params, PlanCache, PlanCacheStats, PreparedQuery, QueryError, Session,
+};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uniform_datalog::txn::{
     CommitError, CommitQueue, CommitReceipt, MaintenanceCounters, ModelPath,
 };
 use uniform_datalog::{Database, Snapshot, Transaction, TxnBuilder, Update};
 use uniform_integrity::{CheckReport, Checker, RuleUpdate};
-use uniform_logic::{parse_query, Sym};
+use uniform_logic::Sym;
 use uniform_repair::{RepairEngine, RepairError, RepairSet, ViolationPolicy};
 use uniform_satisfiability::SatChecker;
 
@@ -186,9 +190,49 @@ pub struct CommitOutcome {
     pub repair: Option<RepairSet>,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     queue: CommitQueue,
     options: UniformOptions,
+    /// The sharded prepared-plan cache behind
+    /// [`ConcurrentDatabase::prepare`]: source → [`PreparedQuery`],
+    /// so hot queries stop paying parse + plan per request. Plans
+    /// inside each entry are keyed by rule revision and rebuilt when a
+    /// schema change lands (see [`crate::PreparedQuery`]).
+    plans: PlanCache,
+    /// Mirrors of the database's schema revisions (+ the version the
+    /// last schema change committed at), published by
+    /// [`ConcurrentDatabase::update_schema`] / `try_add_rule` right
+    /// after the change lands. Fenced sessions read these instead of
+    /// taking the queue lock per execute — the read path must not
+    /// convoy behind committing writers. Commits never move schema
+    /// revisions, so the mirrors only change under `update_schema`.
+    rule_rev: AtomicU64,
+    constraint_rev: AtomicU64,
+    schema_version: AtomicU64,
+}
+
+impl Shared {
+    /// Current schema revisions + the version of the last schema
+    /// change, for fenced sessions (see [`crate::Session`] and
+    /// [`crate::QueryError::SnapshotTooOld`]). Lock-free: a fence
+    /// racing an in-flight schema change may read the pre-change
+    /// revisions, which is indistinguishable from executing just
+    /// before the change — the snapshot it serves predates it either
+    /// way.
+    pub(crate) fn schema_revs(&self) -> (u64, u64, u64) {
+        (
+            self.rule_rev.load(Ordering::Acquire),
+            self.constraint_rev.load(Ordering::Acquire),
+            self.schema_version.load(Ordering::Acquire),
+        )
+    }
+
+    /// Re-publish the schema-revision mirrors after a schema mutation.
+    fn publish_schema_revs(&self, rule_rev: u64, constraint_rev: u64, version: u64) {
+        self.rule_rev.store(rule_rev, Ordering::Release);
+        self.constraint_rev.store(constraint_rev, Ordering::Release);
+        self.schema_version.store(version, Ordering::Release);
+    }
 }
 
 /// See the module docs.
@@ -207,13 +251,22 @@ impl ConcurrentDatabase {
 
     /// Share a bare [`Database`] with explicit options.
     pub fn from_database(db: Database, options: UniformOptions) -> ConcurrentDatabase {
+        let (rule_rev, constraint_rev, version) =
+            (db.rule_rev(), db.constraint_rev(), db.version());
         let queue = if options.maintain_model {
             CommitQueue::new(db)
         } else {
             CommitQueue::without_maintenance(db)
         };
         ConcurrentDatabase {
-            shared: Arc::new(Shared { queue, options }),
+            shared: Arc::new(Shared {
+                queue,
+                options,
+                plans: PlanCache::new(),
+                rule_rev: AtomicU64::new(rule_rev),
+                constraint_rev: AtomicU64::new(constraint_rev),
+                schema_version: AtomicU64::new(version),
+            }),
         }
     }
 
@@ -429,17 +482,96 @@ impl ConcurrentDatabase {
     }
 
     /// Consistent (certain) answers of a conjunctive query against the
-    /// latest committed state: the answers true in **every** minimal
-    /// repair, evaluated via overlay simulation per repair candidate —
-    /// no repaired database is materialized, and the whole computation
-    /// runs on a snapshot outside every lock.
+    /// latest committed state: a thin shim over the prepared read path —
+    /// `prepare` (served from the shared plan cache) + a fresh
+    /// [`Session`] at [`Consistency::Certain`]. The whole computation
+    /// runs on a snapshot outside every lock; no repaired database is
+    /// ever materialized.
     pub fn consistent_answer(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
-        let literals = parse_query(query).map_err(UniformError::from)?;
-        let engine =
-            RepairEngine::for_snapshot(&self.snapshot()).with_options(self.shared.options.repair);
-        engine
-            .consistent_answers(&literals)
-            .map_err(UniformError::Repair)
+        let prepared = self.prepare(query)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Certain)?
+            .bindings())
+    }
+
+    // ---- the prepared read path -----------------------------------------
+
+    /// Prepare a conjunctive query through the shared sharded plan
+    /// cache: the first caller parses and plans, every later caller —
+    /// on any thread — reuses the cached [`PreparedQuery`] (and its
+    /// revision-keyed plans). See [`crate::PreparedQuery::prepare`].
+    pub fn prepare(&self, src: &str) -> Result<PreparedQuery, QueryError> {
+        self.shared
+            .plans
+            .get_or_prepare("cq", src, &[], || PreparedQuery::prepare(src))
+    }
+
+    /// [`ConcurrentDatabase::prepare`] with declared parameters (the
+    /// cache key includes them).
+    pub fn prepare_with_params(
+        &self,
+        src: &str,
+        params: &[&str],
+    ) -> Result<PreparedQuery, QueryError> {
+        self.shared.plans.get_or_prepare("cq", src, params, || {
+            PreparedQuery::prepare_with_params(src, params)
+        })
+    }
+
+    /// Prepare a formula (boolean) query through the shared plan cache.
+    pub fn prepare_formula(&self, src: &str) -> Result<PreparedQuery, QueryError> {
+        self.shared
+            .plans
+            .get_or_prepare("rq", src, &[], || PreparedQuery::prepare_formula(src))
+    }
+
+    /// Open a read session pinned to the latest committed state. Any
+    /// number of [`Session::execute`] calls see that one state while
+    /// writers keep committing; take a fresh session to observe later
+    /// commits.
+    pub fn session(&self) -> Session {
+        Session::new(self.snapshot(), self.shared.options.repair)
+    }
+
+    /// A *fenced* session: like [`ConcurrentDatabase::session`], but
+    /// executes fail with [`QueryError::SnapshotTooOld`] once a schema
+    /// change (rule or constraint revision) lands after the pin —
+    /// mirroring how the commit pipeline fences in-flight transactions
+    /// whose pinned verdicts predate the new schema. Use for long-lived
+    /// sessions that must not serve answers across schema epochs.
+    pub fn session_fenced(&self) -> Session {
+        Session::fenced(
+            self.snapshot(),
+            self.shared.options.repair,
+            self.shared.clone(),
+        )
+    }
+
+    /// Running totals of the shared prepared-plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.shared.plans.stats()
+    }
+
+    /// Evaluate a closed formula against the latest committed state —
+    /// a shim over the prepared path (cached parse + plan, fresh
+    /// session, [`Consistency::Latest`]).
+    pub fn query(&self, formula: &str) -> Result<bool, UniformError> {
+        let prepared = self.prepare_formula(formula)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Latest)?
+            .is_true())
+    }
+
+    /// Enumerate a conjunctive query's answers against the latest
+    /// committed state — a shim over the prepared path.
+    pub fn solutions(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
+        let prepared = self.prepare(query)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Latest)?
+            .bindings())
     }
 
     /// The standing model-path marker: how the next snapshot of the
@@ -458,8 +590,19 @@ impl ConcurrentDatabase {
     /// and in-flight transactions are fenced with a retriable
     /// [`TxnError::SnapshotTooOld`]. Prefer the guarded
     /// [`ConcurrentDatabase::try_add_rule`] for rule additions.
+    /// Fenced read sessions observe the change through the published
+    /// revision mirrors (see [`ConcurrentDatabase::session_fenced`]).
     pub fn update_schema<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        self.shared.queue.update_schema(f)
+        self.shared.queue.update_schema(|db| {
+            let result = f(db);
+            // Published while the queue lock still serializes schema
+            // changes: racing updates must publish in revision order,
+            // or the mirrors could stick at an older epoch and fenced
+            // sessions would keep serving across it.
+            self.shared
+                .publish_schema_revs(db.rule_rev(), db.constraint_rev(), db.version());
+            result
+        })
     }
 
     /// Add a rule, guarded like [`UniformDatabase::try_add_rule`] (the
@@ -502,7 +645,9 @@ impl ConcurrentDatabase {
                 }
             }
         };
-        self.shared.queue.update_schema(|db| {
+        // Through `Self::update_schema`, so the fencing revision
+        // mirrors are re-published after the rule lands.
+        self.update_schema(|db| {
             // Revalidate: the verdict transfers only if neither rules
             // nor constraints moved since the snapshot.
             let presat = presat.as_ref().and_then(|(report, r0, c0)| {
@@ -934,6 +1079,129 @@ mod tests {
         });
         let err = db.try_add_rule("ghost(X) :- spirit(X).").unwrap_err();
         assert!(matches!(err, UniformError::UpdateRejected(_)), "{err}");
+    }
+
+    #[test]
+    fn plan_cache_shares_prepared_queries_across_callers() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let q1 = db.prepare("member(X, Y)").unwrap();
+        let q2 = db.prepare("member(X, Y)").unwrap();
+        let stats = db.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        // Both handles share one plan: the second execute hits it.
+        let s = db.session();
+        s.execute(&q1, &Params::new(), Consistency::Latest).unwrap();
+        s.execute(&q2, &Params::new(), Consistency::Latest).unwrap();
+        assert_eq!(q1.plan_counters(), (1, 1));
+        // Formula and conjunctive entries never collide on one source.
+        db.prepare_formula("exists X: employee(X)").unwrap();
+        db.prepare("employee(X)").unwrap();
+        assert_eq!(db.plan_cache_stats().entries, 3);
+        // Concurrent preparers all resolve to the shared entry.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    let q = db.prepare("member(X, Y)").unwrap();
+                    let rows = db
+                        .session()
+                        .execute(&q, &Params::new(), Consistency::Latest)
+                        .unwrap();
+                    assert_eq!(rows.len(), 1);
+                });
+            }
+        });
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.hits + stats.misses, 8);
+    }
+
+    #[test]
+    fn cached_plans_are_invalidated_by_rule_updates() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let q = db.prepare("member(X, Y)").unwrap();
+        let before = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert_eq!(before.len(), 1);
+        assert!(db.try_add_rule("member(X, club) :- employee(X).").unwrap());
+        // Same cached PreparedQuery, new rule revision: re-planned, and
+        // the answers reflect the new rule — never the stale plan.
+        let q2 = db.prepare("member(X, Y)").unwrap();
+        let after = db
+            .session()
+            .execute(&q2, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert_eq!(after.len(), 2, "{after}");
+        let (_, misses) = q.plan_counters();
+        assert_eq!(misses, 2, "one plan per rule revision");
+    }
+
+    #[test]
+    fn fenced_sessions_refuse_after_schema_changes() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let q = db.prepare("employee(X)").unwrap();
+        let fenced = db.session_fenced();
+        let plain = db.session();
+        fenced
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        // Fact commits do not fence…
+        db.commit_updates_with_retry(&[upd(true, "veteran", &["ann"])], 4)
+            .unwrap();
+        fenced
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        // …schema changes do.
+        db.try_add_rule("boss(X) :- leads(X, Y).").unwrap();
+        let err = fenced
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::QueryError::SnapshotTooOld { .. }),
+            "{err}"
+        );
+        // An unfenced session keeps serving its pinned state.
+        assert_eq!(
+            plain
+                .execute(&q, &Params::new(), Consistency::Latest)
+                .unwrap()
+                .len(),
+            1
+        );
+        // Racing schema changes publish their revision mirrors under
+        // the queue lock, in revision order: once they settle, a fresh
+        // fenced session pins the latest revisions and must execute
+        // cleanly — a stale mirror would refuse it spuriously (or let
+        // an old session through).
+        std::thread::scope(|scope| {
+            for w in 0..4 {
+                let db = db.clone();
+                scope.spawn(move || {
+                    db.try_add_rule(&format!("fence_d{w}(X) :- employee(X)."))
+                        .unwrap();
+                });
+            }
+        });
+        db.session_fenced()
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+    }
+
+    #[test]
+    fn read_shims_flow_through_the_prepared_path() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        assert!(db.query("member(ann, sales)").unwrap());
+        assert!(!db.query("member(ann, hr)").unwrap());
+        let sols = db.solutions("member(X, sales)").unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0][0].1, Sym::new("ann"));
+        // Each shim call hit the shared cache after its first parse.
+        assert!(db.query("member(ann, sales)").unwrap());
+        let stats = db.plan_cache_stats();
+        assert_eq!(stats.misses, 3, "two formula + one conjunctive entry");
+        assert_eq!(stats.hits, 1, "the repeated formula was served cached");
     }
 
     #[test]

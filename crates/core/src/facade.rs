@@ -1,14 +1,15 @@
 //! The high-level façade: a deductive database whose every mutation is
 //! guarded by the appropriate checker of the paper.
 
+use crate::query::{Consistency, Params, PreparedQuery, QueryError, Session};
 use std::fmt;
-use uniform_datalog::{all_solutions, Database, Model, Transaction, TxnBuilder, Update};
+use uniform_datalog::{Database, Model, Transaction, TxnBuilder, Update};
 use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
 };
 use uniform_logic::{
-    normalize, parse_fact, parse_formula, parse_literal, parse_query, parse_rule, Constraint, Fact,
-    LogicError, Rq, Rule, Subst, Sym,
+    normalize, parse_fact, parse_formula, parse_literal, parse_rule, Constraint, Fact, LogicError,
+    Rule, Sym,
 };
 use uniform_repair::{RepairEngine, RepairError, RepairOptions, RepairSet, ViolationPolicy};
 use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};
@@ -68,16 +69,23 @@ pub enum UniformError {
     /// checker could not find a model within its budget).
     Unsatisfiable(Box<SatReport>),
     /// The new constraint is satisfiable but violated by the current
-    /// database; `repair` proposes fact insertions that would enforce it
-    /// (found by the model-generation search seeded with the current
-    /// facts), when the search found any.
+    /// database; `repair` carries the smallest minimal repair of the
+    /// would-be state (insertions *and* deletions, found by the
+    /// [`RepairEngine`] — the same engine behind `minimal_repairs` and
+    /// the `Explain`/`AutoRepair` policies), when one exists within the
+    /// configured budgets.
     CurrentlyViolated {
         constraint: String,
-        repair: Option<Vec<Fact>>,
+        repair: Option<RepairSet>,
     },
     /// The repair engine could not produce a repair set (budget
     /// exhausted, or the state is unrepairable).
     Repair(RepairError),
+    /// The typed read path refused (see [`QueryError`]); parse and
+    /// repair-budget refusals are mapped onto the older
+    /// [`UniformError::Language`] / [`UniformError::Repair`] variants
+    /// instead, so this carries only the genuinely new cases.
+    Query(QueryError),
 }
 
 impl fmt::Display for UniformError {
@@ -113,19 +121,13 @@ impl fmt::Display for UniformError {
             },
             UniformError::CurrentlyViolated { constraint, repair } => {
                 write!(f, "constraint {constraint} is violated by the current database")?;
-                if let Some(facts) = repair {
-                    write!(f, "; inserting ")?;
-                    for (i, fact) in facts.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{fact}")?;
-                    }
-                    write!(f, " would enforce it")?;
+                if let Some(repair) = repair {
+                    write!(f, "; applying {repair} would enforce it")?;
                 }
                 Ok(())
             }
             UniformError::Repair(e) => write!(f, "{e}"),
+            UniformError::Query(e) => write!(f, "{e}"),
         }
     }
 }
@@ -141,6 +143,21 @@ impl From<LogicError> for UniformError {
 impl From<uniform_logic::ParseError> for UniformError {
     fn from(e: uniform_logic::ParseError) -> Self {
         UniformError::Language(LogicError::Parse(e))
+    }
+}
+
+/// The shim mapping: the typed read path's [`QueryError`] folded into
+/// the façade's error taxonomy. Parse errors and repair-budget
+/// refusals keep their historical variants (callers match on them);
+/// everything genuinely new rides in [`UniformError::Query`].
+impl From<QueryError> for UniformError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::Parse(e) => UniformError::Language(LogicError::Parse(e)),
+            QueryError::Normalize(e) => UniformError::Language(LogicError::Normalize(e)),
+            QueryError::Budget(e) => UniformError::Repair(e),
+            other => UniformError::Query(other),
+        }
     }
 }
 
@@ -283,12 +300,24 @@ impl UniformDatabase {
     /// true in **every** minimal repair of the current state, evaluated
     /// via overlay simulation — no repaired database is materialized.
     /// On a consistent database this coincides with
-    /// [`UniformDatabase::solutions`].
+    /// [`UniformDatabase::solutions`]. A thin shim over the prepared
+    /// read path ([`UniformDatabase::session`] at
+    /// [`Consistency::Certain`]); prepare the query yourself to stop
+    /// paying parse + plan per call.
     pub fn consistent_answer(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
-        let literals = parse_query(query)?;
-        self.repair_engine()
-            .consistent_answers(&literals)
-            .map_err(UniformError::Repair)
+        let prepared = PreparedQuery::prepare(query)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Certain)?
+            .bindings())
+    }
+
+    /// Open a read session pinned to a snapshot of the current state —
+    /// the entry point of the typed read path (see [`Session`] and
+    /// [`PreparedQuery`]). Guarded updates through `self` keep
+    /// committing; the session's answers stay put.
+    pub fn session(&self) -> Session {
+        Session::new(self.db.snapshot(), self.options.repair)
     }
 
     /// The underlying database (read-only).
@@ -473,9 +502,11 @@ impl UniformDatabase {
     /// Add a constraint, guarded twice: first the schema-level
     /// satisfiability check (§4 — incompatible constraints are rejected
     /// no matter what the facts say), then the current-state check. When
-    /// the current state violates the new constraint, the error carries a
-    /// repair suggestion computed by seeding the model-generation search
-    /// with the current facts.
+    /// the current state violates the new constraint, the error carries
+    /// the smallest minimal repair of the would-be state, computed by
+    /// the [`RepairEngine`] — the same engine behind
+    /// [`UniformDatabase::minimal_repairs`], so the suggestion never
+    /// disagrees with the repair surface.
     pub fn try_add_constraint(&mut self, name: &str, formula: &str) -> Result<(), UniformError> {
         let f = parse_formula(formula)?;
         let rq = normalize(&f).map_err(LogicError::Normalize)?;
@@ -489,7 +520,15 @@ impl UniformDatabase {
         }
 
         if !self.db.satisfies(&constraint.rq) {
-            let repair = self.suggest_repair(&constraint);
+            let mut constraints = self.db.constraints().to_vec();
+            constraints.push(constraint);
+            let engine = RepairEngine::new(
+                self.db.facts().clone(),
+                self.db.rules().clone(),
+                constraints,
+            )
+            .with_options(self.options.repair);
+            let repair = engine.repairs().ok().map(|report| report.best().clone());
             return Err(UniformError::CurrentlyViolated {
                 constraint: name.to_string(),
                 repair,
@@ -551,32 +590,6 @@ impl UniformDatabase {
         uniform_datalog::to_program_source(&self.db)
     }
 
-    /// Fact insertions that would make `constraint` satisfied in an
-    /// extension of the current database, if the enforcement search finds
-    /// any within its budget.
-    pub fn suggest_repair(&self, constraint: &Constraint) -> Option<Vec<Fact>> {
-        let mut constraints = self.db.constraints().to_vec();
-        constraints.push(constraint.clone());
-        let seed: Vec<Fact> = self.db.facts().iter().collect();
-        let seed_len = seed.len();
-        let report = SatChecker::new(self.db.rules().clone(), constraints)
-            .with_options(self.options.sat.clone())
-            .with_seed(seed)
-            .check();
-        match report.outcome {
-            SatOutcome::Satisfiable { explicit, .. } if explicit.len() > seed_len => {
-                let current = self.db.facts();
-                Some(
-                    explicit
-                        .into_iter()
-                        .filter(|f| !current.contains(f))
-                        .collect(),
-                )
-            }
-            _ => None,
-        }
-    }
-
     // ---- queries -----------------------------------------------------------
 
     /// Why is `fact` true? Renders a well-founded derivation tree
@@ -588,38 +601,27 @@ impl UniformDatabase {
         Ok(prov.explain(&f).map(|d| d.to_string()))
     }
 
-    /// Evaluate a closed formula against the canonical model.
+    /// Evaluate a closed formula against the canonical model — a shim
+    /// over the prepared read path (parse + plan per call; prepare the
+    /// formula yourself via [`PreparedQuery::prepare_formula`] for hot
+    /// queries).
     pub fn query(&self, formula: &str) -> Result<bool, UniformError> {
-        let f = parse_formula(formula)?;
-        let rq: Rq = normalize(&f).map_err(LogicError::Normalize)?;
-        Ok(self.db.satisfies(&rq))
+        let prepared = PreparedQuery::prepare_formula(formula)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Latest)?
+            .is_true())
     }
 
     /// Enumerate the answers of a conjunctive query, as bindings of its
-    /// variables in first-occurrence order.
+    /// variables in first-occurrence order — a shim over the prepared
+    /// read path.
     pub fn solutions(&self, query: &str) -> Result<Vec<Vec<(Sym, Sym)>>, UniformError> {
-        let literals = parse_query(query)?;
-        let mut vars: Vec<Sym> = Vec::new();
-        for l in &literals {
-            for v in l.vars() {
-                if !vars.contains(&v) {
-                    vars.push(v);
-                }
-            }
-        }
-        let model = self.db.model();
-        let sols = all_solutions(model.as_ref(), &literals, &mut Subst::new(), &vars);
-        Ok(sols
-            .into_iter()
-            .map(|s| {
-                vars.iter()
-                    .filter_map(|&v| match s.walk(uniform_logic::Term::Var(v)) {
-                        uniform_logic::Term::Const(c) => Some((v, c)),
-                        uniform_logic::Term::Var(_) => None,
-                    })
-                    .collect()
-            })
-            .collect())
+        let prepared = PreparedQuery::prepare(query)?;
+        Ok(self
+            .session()
+            .execute(&prepared, &Params::new(), Consistency::Latest)?
+            .bindings())
     }
 }
 
@@ -722,14 +724,58 @@ mod tests {
         match err {
             UniformError::CurrentlyViolated { constraint, repair } => {
                 assert_eq!(constraint, "audited");
+                // The suggestion is the RepairEngine's smallest minimal
+                // repair of the would-be state — here inserting the
+                // missing audit record (deleting leads(ann, sales)
+                // would cascade into `led` and `emp_member`).
                 let repair = repair.expect("repair expected");
-                assert!(
-                    repair.contains(&Fact::parse_like("audited", &["ann"])),
-                    "{repair:?}"
+                assert_eq!(repair.to_string(), "{+audited(ann)}");
+                assert_eq!(
+                    repair.ops(),
+                    &[Update::insert(Fact::parse_like("audited", &["ann"]))]
                 );
             }
             other => panic!("unexpected {other}"),
         }
+    }
+
+    /// The pre-repair-engine `suggest_repair` (a satisfiability search
+    /// seeded with the current facts) could disagree with
+    /// `minimal_repairs`; the folded path cannot — the suggestion *is*
+    /// a minimal repair of the would-be state.
+    #[test]
+    fn constraint_repair_suggestion_agrees_with_minimal_repairs() {
+        let mut db = UniformDatabase::parse("p(a). p(b). q(b).").unwrap();
+        let err = db
+            .try_add_constraint("c", "forall X: p(X) -> q(X)")
+            .unwrap_err();
+        let UniformError::CurrentlyViolated { repair, .. } = err else {
+            panic!("expected CurrentlyViolated");
+        };
+        let suggested = repair.expect("repairable state");
+        // Independently enumerate the minimal repairs of the would-be
+        // state (current facts + candidate constraint).
+        let tolerant = UniformDatabase::parse_tolerant(
+            "p(a). p(b). q(b). constraint c: forall X: p(X) -> q(X).",
+        )
+        .unwrap();
+        let minimal = tolerant.minimal_repairs().unwrap();
+        assert!(
+            minimal.contains(&suggested),
+            "suggestion {suggested} not among the minimal repairs {minimal:?}"
+        );
+        // And it is the smallest one (the engine's (size, name) order).
+        assert_eq!(&suggested, &minimal[0]);
+        // Applying it makes the constraint addition succeed.
+        for op in suggested.ops() {
+            if op.insert {
+                db.try_insert(&format!("{}.", op.fact)).unwrap();
+            } else {
+                db.try_delete(&format!("{}.", op.fact)).unwrap();
+            }
+        }
+        db.try_add_constraint("c", "forall X: p(X) -> q(X)")
+            .unwrap();
     }
 
     #[test]

@@ -40,9 +40,13 @@
 
 pub mod concurrent;
 pub mod facade;
+pub mod query;
 
 pub use concurrent::{CommitOutcome, ConcurrentDatabase, TxnError};
 pub use facade::{UniformDatabase, UniformError, UniformOptions};
+pub use query::{
+    Consistency, Params, PlanCacheStats, PreparedQuery, QueryError, Row, Rows, Session, Value,
+};
 
 // Re-export the full stack for advanced use.
 pub use uniform_datalog as datalog;

@@ -1,0 +1,1337 @@
+//! The unified typed read path: prepared queries, sessions, and typed
+//! result sets.
+//!
+//! The paper treats constraint *satisfaction* (ordinary answering) and
+//! constraint *satisfiability* (what could hold) with one evaluation
+//! core; CAvSAT (Dixit & Kolaitis, see `PAPERS.md`) unifies ordinary
+//! and *consistent* query answering the same way. This module gives the
+//! serving surface that shape: one entry point,
+//! [`Session::execute`], through which every read flows —
+//!
+//! * a [`PreparedQuery`] is parsed and planned **once** (join order via
+//!   the cost-based [`Planner`], goal-directed
+//!   magic rewrites via [`uniform_datalog::magic`]) and is `Arc`-shared,
+//!   reusable across snapshots, threads and even databases; plans are
+//!   keyed by the originating database's *identity and rule revision*
+//!   and transparently rebuilt when a rule update lands (or the query
+//!   is executed against a different database) — a stale or foreign
+//!   plan is never served;
+//! * a [`Session`] pins one [`Snapshot`], so any number of executes see
+//!   one immutable state while writers keep committing;
+//! * [`Params`] bind a query's declared parameters by name — the same
+//!   prepared plan serves `enrolled(X, $course)` for every course;
+//! * every execute names its [`Consistency`] level: `Latest` answers
+//!   against the snapshot's canonical model, `Certain` answers with the
+//!   repair-aware certain semantics (true in **every** minimal repair),
+//!   both through the same prepared plan;
+//! * results come back as [`Rows`] — a typed result set with a named
+//!   column schema, owned [`Value`]s and a deterministic order —
+//!   instead of the historical `Vec<Vec<(Sym, Sym)>>`.
+//!
+//! ```
+//! use uniform::{Consistency, Params, PreparedQuery, UniformDatabase};
+//!
+//! let db = UniformDatabase::parse("
+//!     enrolled(X, cs) :- student(X).
+//!     student(jack). student(jill).
+//! ").unwrap();
+//!
+//! let q = PreparedQuery::prepare_with_params("enrolled(X, C)", &["C"]).unwrap();
+//! let session = db.session();
+//! let rows = session
+//!     .execute(&q, &Params::new().bind("C", "cs"), Consistency::Latest)
+//!     .unwrap();
+//! assert_eq!(rows.len(), 2);
+//! assert_eq!(rows.iter().next().unwrap().get("X").unwrap().as_str(), "jack");
+//! ```
+
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uniform_datalog::{
+    answer_prepared, magic_rewrite, satisfies, solve_planned, MagicProgram, Planner, Snapshot,
+};
+use uniform_logic::{
+    match_atom, normalize, normalize_open, parse_formula, parse_query, Atom, Literal, ParseError,
+    Rq, Subst, Sym, Term,
+};
+use uniform_repair::{RepairEngine, RepairError, RepairOptions, RepairSet};
+
+// ---------------------------------------------------------------------------
+// Values, params, consistency
+// ---------------------------------------------------------------------------
+
+/// An owned constant in a query answer or parameter binding. Backed by
+/// the interned [`Sym`] table, so values are `Copy` and comparisons are
+/// pointer-cheap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Value(Sym);
+
+impl Value {
+    /// Intern (or reuse) a constant.
+    pub fn new(s: &str) -> Value {
+        Value(Sym::new(s))
+    }
+
+    /// The underlying interned symbol.
+    pub fn sym(self) -> Sym {
+        self.0
+    }
+
+    /// The constant's text.
+    pub fn as_str(self) -> &'static str {
+        self.0.as_str()
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::new(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::new(&s)
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Value {
+        Value(s)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Value) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+/// Named parameter bindings for one [`Session::execute`] call. Built
+/// fluently:
+///
+/// ```
+/// use uniform::Params;
+/// let params = Params::new().bind("C", "cs").bind("S", "jack");
+/// assert_eq!(params.get("C").unwrap().as_str(), "cs");
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Params {
+    bound: BTreeMap<Sym, Value>,
+}
+
+impl Params {
+    /// No bindings (queries without declared parameters).
+    pub fn new() -> Params {
+        Params::default()
+    }
+
+    /// Bind `name` to `value` (builder style).
+    pub fn bind(mut self, name: &str, value: impl Into<Value>) -> Params {
+        self.set(name, value);
+        self
+    }
+
+    /// Bind `name` to `value` in place.
+    pub fn set(&mut self, name: &str, value: impl Into<Value>) {
+        self.bound.insert(Sym::new(name), value.into());
+    }
+
+    /// The binding of `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.bound.get(&Sym::new(name)).copied()
+    }
+
+    /// All bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, Value)> + '_ {
+        self.bound.iter().map(|(&k, &v)| (k, v))
+    }
+
+    pub fn len(&self) -> usize {
+        self.bound.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bound.is_empty()
+    }
+
+    fn subst(&self) -> Subst {
+        let mut s = Subst::new();
+        for (name, value) in self.iter() {
+            s.bind(name, Term::Const(value.sym()));
+        }
+        s
+    }
+}
+
+/// The consistency level of one execute — the unification this module
+/// exists for: ordinary and repair-aware answering through one entry
+/// point and one prepared plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Consistency {
+    /// Answers true in the snapshot's canonical model (ordinary query
+    /// answering; assumes nothing about constraint satisfaction).
+    #[default]
+    Latest,
+    /// Certain answers: true in **every** subset-minimal repair of the
+    /// snapshot (Arenas–Bertossi–Chomicki semantics). On a consistent
+    /// snapshot this coincides with `Latest`. Bounded by the session's
+    /// [`RepairOptions`]; refusals surface as [`QueryError::Budget`].
+    Certain,
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// The one error type of the typed read path. Shims map it into
+/// [`crate::UniformError`] (and, where transactional context calls for
+/// it, [`crate::TxnError`]) at the crate boundary.
+#[derive(Debug)]
+pub enum QueryError {
+    /// The query source does not parse.
+    Parse(ParseError),
+    /// The formula parses but does not normalize to restricted
+    /// quantification (free variables, non-restrictable quantifiers —
+    /// the domain-independence conditions). Kept structured so the
+    /// façade shims can map it onto the historical
+    /// `UniformError::Language(LogicError::Normalize(..))`.
+    Normalize(uniform_logic::NormalizeError),
+    /// The query parses but cannot be planned: a free variable that is
+    /// neither a column nor a declared parameter, a parameter that
+    /// never occurs, …
+    Plan { reason: String },
+    /// A declared parameter was not bound at execute time.
+    UnboundParam(Sym),
+    /// A parameter was bound that the query never declared.
+    UnknownParam(Sym),
+    /// The `Certain` path's repair enumeration refused within its
+    /// budgets (or proved the state unrepairable) — see [`RepairError`].
+    Budget(RepairError),
+    /// A fenced session outlived a schema change: rules or constraints
+    /// moved since the snapshot was pinned, so its answers would
+    /// predate the current schema. Re-open the session.
+    SnapshotTooOld { pinned: u64, current: u64 },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Parse(e) => write!(f, "{e}"),
+            QueryError::Normalize(e) => write!(f, "{e}"),
+            QueryError::Plan { reason } => write!(f, "cannot plan query: {reason}"),
+            QueryError::UnboundParam(name) => write!(f, "parameter {name} is not bound"),
+            QueryError::UnknownParam(name) => {
+                write!(f, "parameter {name} is not declared by the query")
+            }
+            QueryError::Budget(e) => write!(f, "{e}"),
+            QueryError::SnapshotTooOld { pinned, current } => write!(
+                f,
+                "session snapshot (version {pinned}) predates a schema change (version {current})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> QueryError {
+        QueryError::Parse(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed result sets
+// ---------------------------------------------------------------------------
+
+/// One answer of a query: the values of the result columns, in schema
+/// order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    columns: Arc<[Sym]>,
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// The column schema (shared with the owning [`Rows`]).
+    pub fn columns(&self) -> &[Sym] {
+        &self.columns
+    }
+
+    /// Value of the column named `name`.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        let name = Sym::new(name);
+        self.columns
+            .iter()
+            .position(|&c| c == name)
+            .map(|i| self.values[i])
+    }
+
+    /// Value at column position `i`.
+    pub fn value(&self, i: usize) -> Option<Value> {
+        self.values.get(i).copied()
+    }
+
+    /// All `(column, value)` pairs in schema order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, Value)> + '_ {
+        self.columns
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
+    }
+
+    /// The values alone, in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, (c, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A typed result set: a named column schema plus zero or more [`Row`]s
+/// in a deterministic order (sorted by rendered values, column by
+/// column — independent of join order, thread count and process, and
+/// digested by `tests/determinism.rs`).
+///
+/// Boolean queries (prepared formulas) report zero columns and either
+/// zero rows (`false`) or one empty row (`true`); see [`Rows::is_true`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rows {
+    columns: Arc<[Sym]>,
+    rows: Vec<Row>,
+}
+
+impl Rows {
+    fn from_rows(columns: Arc<[Sym]>, mut rows: Vec<Row>) -> Rows {
+        rows.sort_by(|a, b| {
+            a.values
+                .iter()
+                .map(|v| v.as_str())
+                .cmp(b.values.iter().map(|v| v.as_str()))
+        });
+        rows.dedup();
+        Rows { columns, rows }
+    }
+
+    fn boolean(truth: bool) -> Rows {
+        let columns: Arc<[Sym]> = Arc::from(Vec::new());
+        let rows = if truth {
+            vec![Row {
+                columns: columns.clone(),
+                values: Vec::new(),
+            }]
+        } else {
+            Vec::new()
+        };
+        Rows { columns, rows }
+    }
+
+    /// The column schema, in query first-occurrence order (declared
+    /// parameters are bound inputs, not columns).
+    pub fn columns(&self) -> &[Sym] {
+        &self.columns
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Boolean reading: did the query have at least one answer? For
+    /// prepared formulas this is *the* result.
+    pub fn is_true(&self) -> bool {
+        !self.rows.is_empty()
+    }
+
+    /// Row at position `i` (rows are in the deterministic order).
+    pub fn get(&self, i: usize) -> Option<&Row> {
+        self.rows.get(i)
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    /// The legacy binding shape (`Vec` of `(variable, constant)` pairs
+    /// per answer) the pre-session façade methods used to return; the
+    /// shims go through this.
+    pub fn bindings(&self) -> Vec<Vec<(Sym, Sym)>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|(c, v)| (c, v.sym())).collect())
+            .collect()
+    }
+}
+
+impl<'a> IntoIterator for &'a Rows {
+    type Item = &'a Row;
+    type IntoIter = std::slice::Iter<'a, Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl IntoIterator for Rows {
+    type Item = Row;
+    type IntoIter = std::vec::IntoIter<Row>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.into_iter()
+    }
+}
+
+impl std::ops::Index<usize> for Rows {
+    type Output = Row;
+    fn index(&self, i: usize) -> &Row {
+        &self.rows[i]
+    }
+}
+
+impl fmt::Display for Rows {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.columns.is_empty() {
+            return write!(f, "{}", self.is_true());
+        }
+        write!(f, "[")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{row}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Prepared queries
+// ---------------------------------------------------------------------------
+
+/// How the query text parsed.
+enum Kind {
+    /// A conjunctive query — a list of literals, answered by
+    /// enumeration.
+    Conjunctive { literals: Vec<Literal> },
+    /// A general (restricted-quantification) formula — answered by a
+    /// truth value.
+    Formula { rq: Rq },
+}
+
+/// A per-rule-revision execution plan.
+struct Plan {
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    Conjunctive {
+        /// Static dispatch order over the query's literals (see
+        /// [`uniform_datalog::Planner::plan_conjunction`]).
+        order: Vec<usize>,
+        /// A goal-directed magic rewrite for recursion-reaching
+        /// single-literal goals: the `Certain` path answers each repair
+        /// candidate through it instead of materializing the candidate's
+        /// full canonical model.
+        magic: Option<Arc<MagicProgram>>,
+    },
+    Formula {
+        /// The formula after cost-based optimization (reordering and
+        /// simplification preserve semantics; see
+        /// [`uniform_datalog::Planner`]).
+        optimized: Rq,
+    },
+}
+
+/// A plan-store key: the originating database's identity and its rule
+/// revision at plan time.
+type PlanKey = (u64, u64);
+
+struct PreparedInner {
+    source: String,
+    kind: Kind,
+    params: Vec<Sym>,
+    columns: Arc<[Sym]>,
+    /// Plans keyed by `(db_id, rule_rev)` — the database identity they
+    /// were built against *and* its rule revision — most recent last
+    /// (bounded: old keys are evicted). One prepared query used
+    /// against several databases (or a session pinned to an older
+    /// revision) plans into its own slot; another database's plan —
+    /// whose magic program bakes in that database's rules — is never
+    /// served, whatever the revision counters say.
+    plans: RwLock<Vec<(PlanKey, Arc<Plan>)>>,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+/// How many rule revisions' plans one prepared query keeps around
+/// (long-lived sessions pinned to an older revision re-plan into their
+/// own slot instead of thrashing the hot one).
+const PLAN_SLOTS: usize = 4;
+
+/// A query parsed and planned once, executable any number of times —
+/// across snapshots, sessions, threads and consistency levels. Cheap to
+/// clone (`Arc`-shared); the per-revision plan cache inside is shared
+/// by all clones, so a query prepared through
+/// [`crate::ConcurrentDatabase::prepare`] amortizes planning across
+/// every caller.
+#[derive(Clone)]
+pub struct PreparedQuery {
+    inner: Arc<PreparedInner>,
+}
+
+impl PreparedQuery {
+    /// Prepare a conjunctive query, e.g. `"member(X, Y), not leads(X, Y)"`.
+    /// Every variable becomes a result column.
+    pub fn prepare(src: &str) -> Result<PreparedQuery, QueryError> {
+        PreparedQuery::prepare_with_params(src, &[])
+    }
+
+    /// Prepare a conjunctive query with declared parameters: the named
+    /// variables are bound per execute via [`Params`] and excluded from
+    /// the result columns. Each parameter must occur in the query.
+    pub fn prepare_with_params(src: &str, params: &[&str]) -> Result<PreparedQuery, QueryError> {
+        let literals = parse_query(src)?;
+        let mut vars: Vec<Sym> = Vec::new();
+        for l in &literals {
+            for v in l.vars() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        let params = declared_params(params, &vars)?;
+        let columns: Vec<Sym> = vars.into_iter().filter(|v| !params.contains(v)).collect();
+        Ok(PreparedQuery::from_kind(
+            src,
+            Kind::Conjunctive { literals },
+            params,
+            columns,
+        ))
+    }
+
+    /// Prepare a closed formula, e.g.
+    /// `"forall X: department(X) -> (exists Y: leads(Y, X))"`. Executing
+    /// yields a boolean result set (see [`Rows::is_true`]).
+    pub fn prepare_formula(src: &str) -> Result<PreparedQuery, QueryError> {
+        PreparedQuery::prepare_formula_with_params(src, &[])
+    }
+
+    /// Prepare a formula whose free variables are exactly the declared
+    /// parameters — the prepared form of point queries like
+    /// `"attends(S, ddb)"` with `S` bound per execute.
+    pub fn prepare_formula_with_params(
+        src: &str,
+        params: &[&str],
+    ) -> Result<PreparedQuery, QueryError> {
+        let formula = parse_formula(src)?;
+        let free = formula.free_vars();
+        let params = declared_params(params, &free)?;
+        let rq = if params.is_empty() {
+            normalize(&formula)
+        } else {
+            normalize_open(&formula)
+        }
+        .map_err(QueryError::Normalize)?;
+        if let Some(stray) = rq.free_vars().iter().find(|v| !params.contains(v)) {
+            return Err(QueryError::Plan {
+                reason: format!("free variable {stray} is not a declared parameter"),
+            });
+        }
+        Ok(PreparedQuery::from_kind(
+            src,
+            Kind::Formula { rq },
+            params,
+            Vec::new(),
+        ))
+    }
+
+    fn from_kind(src: &str, kind: Kind, params: Vec<Sym>, columns: Vec<Sym>) -> PreparedQuery {
+        PreparedQuery {
+            inner: Arc::new(PreparedInner {
+                source: src.to_string(),
+                kind,
+                params,
+                columns: Arc::from(columns),
+                plans: RwLock::new(Vec::new()),
+                plan_hits: AtomicU64::new(0),
+                plan_misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The query text as prepared.
+    pub fn source(&self) -> &str {
+        &self.inner.source
+    }
+
+    /// The result columns, in first-occurrence order.
+    pub fn columns(&self) -> &[Sym] {
+        &self.inner.columns
+    }
+
+    /// The declared parameters.
+    pub fn params(&self) -> &[Sym] {
+        &self.inner.params
+    }
+
+    /// Is this a formula (boolean) query?
+    pub fn is_formula(&self) -> bool {
+        matches!(self.inner.kind, Kind::Formula { .. })
+    }
+
+    /// `(hits, misses)` of this query's per-revision plan cache: a miss
+    /// is a (re)planning — the first execute, or the first execute
+    /// after a rule update invalidated the previous plan.
+    pub fn plan_counters(&self) -> (u64, u64) {
+        (
+            self.inner.plan_hits.load(Ordering::Relaxed),
+            self.inner.plan_misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The plan for `snapshot`'s `(db_id, rule_rev)`, building (and
+    /// caching) it on first use. Identity- and revision-checked: a plan
+    /// built against another database, or under another rule set, is
+    /// never returned.
+    fn plan_for(&self, snapshot: &Snapshot) -> Arc<Plan> {
+        let key = (snapshot.db_id(), snapshot.rule_rev());
+        {
+            let plans = self.inner.plans.read();
+            if let Some((_, plan)) = plans.iter().rev().find(|(k, _)| *k == key) {
+                self.inner.plan_hits.fetch_add(1, Ordering::Relaxed);
+                return plan.clone();
+            }
+        }
+        self.inner.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(self.build_plan(snapshot));
+        let mut plans = self.inner.plans.write();
+        if let Some((_, existing)) = plans.iter().rev().find(|(k, _)| *k == key) {
+            return existing.clone(); // lost a benign race; reuse theirs
+        }
+        plans.push((key, plan.clone()));
+        if plans.len() > PLAN_SLOTS {
+            plans.remove(0);
+        }
+        plan
+    }
+
+    fn build_plan(&self, snapshot: &Snapshot) -> Plan {
+        let bound: HashSet<Sym> = self.inner.params.iter().copied().collect();
+        let planner = Planner::new(snapshot.model());
+        let kind = match &self.inner.kind {
+            Kind::Conjunctive { literals } => PlanKind::Conjunctive {
+                order: planner.plan_conjunction(literals, &bound).order,
+                magic: self.magic_plan(snapshot, literals),
+            },
+            Kind::Formula { rq } => PlanKind::Formula {
+                optimized: planner.optimize(rq),
+            },
+        };
+        Plan { kind }
+    }
+
+    /// A magic rewrite is worth carrying exactly when the goal's
+    /// predicate reaches recursion: the overlay engine then falls back
+    /// to materializing a candidate state's *full* canonical model,
+    /// while the rewrite derives only goal-relevant facts. The rewrite
+    /// depends on the binding *shape* (constants and parameters), not
+    /// the constants themselves, so one program serves every execute.
+    fn magic_plan(&self, snapshot: &Snapshot, literals: &[Literal]) -> Option<Arc<MagicProgram>> {
+        let [lit] = literals else { return None };
+        if !lit.positive {
+            return None;
+        }
+        let graph = snapshot.rules().graph();
+        if !graph.is_idb(lit.atom.pred) || !graph.reaches_recursion(lit.atom.pred) {
+            return None;
+        }
+        let params: HashSet<Sym> = self.inner.params.iter().copied().collect();
+        let shape = Atom::new(
+            lit.atom.pred,
+            lit.atom
+                .args
+                .iter()
+                .map(|&t| match t {
+                    Term::Const(c) => Term::Const(c),
+                    Term::Var(v) if params.contains(&v) => Term::Const(Sym::new("_pq_shape")),
+                    Term::Var(v) => Term::Var(v),
+                })
+                .collect(),
+        );
+        // Negation-reaching subprograms fall back to the overlay path.
+        magic_rewrite(snapshot.rules(), &shape).ok().map(Arc::new)
+    }
+}
+
+impl fmt::Debug for PreparedQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("source", &self.inner.source)
+            .field("columns", &self.inner.columns)
+            .field("params", &self.inner.params)
+            .finish()
+    }
+}
+
+/// Validate declared parameter names against the query's variables.
+fn declared_params(params: &[&str], vars: &[Sym]) -> Result<Vec<Sym>, QueryError> {
+    let mut out = Vec::with_capacity(params.len());
+    for &p in params {
+        let name = Sym::new(p);
+        if !vars.contains(&name) {
+            return Err(QueryError::Plan {
+                reason: format!("declared parameter {name} does not occur in the query"),
+            });
+        }
+        if !out.contains(&name) {
+            out.push(name);
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// A read session: one pinned [`Snapshot`], any number of executes.
+///
+/// Sessions are cheap (the snapshot clone copies no tuple data), are
+/// `Send + Sync`, and keep serving stable answers while writers commit
+/// to the originating database. Session-local caches amortize work that
+/// is per-*state* rather than per-query: the `Certain` path enumerates
+/// the snapshot's minimal repairs once and intersects every subsequent
+/// certain-answer query over the same list.
+pub struct Session {
+    snapshot: Snapshot,
+    repair: RepairOptions,
+    /// The minimal repairs of this snapshot, enumerated lazily on the
+    /// first `Certain` execute and shared by the rest.
+    repairs: RwLock<Option<Arc<Vec<RepairSet>>>>,
+    /// For fenced sessions: the live queue to revalidate schema
+    /// revisions against (see [`QueryError::SnapshotTooOld`]).
+    fence: Option<Arc<crate::concurrent::Shared>>,
+}
+
+impl Session {
+    pub(crate) fn new(snapshot: Snapshot, repair: RepairOptions) -> Session {
+        Session {
+            snapshot,
+            repair,
+            repairs: RwLock::new(None),
+            fence: None,
+        }
+    }
+
+    pub(crate) fn fenced(
+        snapshot: Snapshot,
+        repair: RepairOptions,
+        shared: Arc<crate::concurrent::Shared>,
+    ) -> Session {
+        Session {
+            snapshot,
+            repair,
+            repairs: RwLock::new(None),
+            fence: Some(shared),
+        }
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// The database version this session reads at.
+    pub fn version(&self) -> u64 {
+        self.snapshot.version()
+    }
+
+    /// Execute a prepared query at the given consistency level.
+    ///
+    /// * Declared parameters must all be bound
+    ///   ([`QueryError::UnboundParam`]); undeclared bindings are
+    ///   refused ([`QueryError::UnknownParam`]).
+    /// * The plan is fetched (or built) for the snapshot's rule
+    ///   revision — never a stale one.
+    /// * `Certain` enumerates this snapshot's minimal repairs on first
+    ///   use and serves the intersection semantics through the same
+    ///   prepared plan; budget refusals are [`QueryError::Budget`].
+    pub fn execute(
+        &self,
+        query: &PreparedQuery,
+        params: &Params,
+        consistency: Consistency,
+    ) -> Result<Rows, QueryError> {
+        for &declared in query.params() {
+            if params.get(declared.as_str()).is_none() {
+                return Err(QueryError::UnboundParam(declared));
+            }
+        }
+        for (name, _) in params.iter() {
+            if !query.params().contains(&name) {
+                return Err(QueryError::UnknownParam(name));
+            }
+        }
+        if let Some(shared) = &self.fence {
+            let (rule_rev, constraint_rev, version) = shared.schema_revs();
+            if rule_rev != self.snapshot.rule_rev()
+                || constraint_rev != self.snapshot.constraint_rev()
+            {
+                return Err(QueryError::SnapshotTooOld {
+                    pinned: self.snapshot.version(),
+                    current: version,
+                });
+            }
+        }
+
+        let plan = query.plan_for(&self.snapshot);
+        let init = params.subst();
+        match (&query.inner.kind, &plan.kind) {
+            (Kind::Conjunctive { literals }, PlanKind::Conjunctive { order, magic }) => {
+                match consistency {
+                    Consistency::Latest => Ok(self.latest_rows(query, literals, order, &init)),
+                    Consistency::Certain => self.certain_rows(query, literals, magic, &init),
+                }
+            }
+            (Kind::Formula { .. }, PlanKind::Formula { optimized }) => match consistency {
+                Consistency::Latest => Ok(Rows::boolean(satisfies(
+                    self.snapshot.model(),
+                    optimized,
+                    &mut init.clone(),
+                ))),
+                Consistency::Certain => {
+                    let repairs = self.certain_repairs()?;
+                    Ok(Rows::boolean(uniform_repair::certainly_satisfies_bound(
+                        self.snapshot.facts(),
+                        self.snapshot.rules(),
+                        &repairs,
+                        optimized,
+                        &init,
+                    )))
+                }
+            },
+            _ => unreachable!("plan kind always matches query kind"),
+        }
+    }
+
+    /// `Latest`: enumerate over the snapshot's canonical model in the
+    /// planned join order.
+    fn latest_rows(
+        &self,
+        query: &PreparedQuery,
+        literals: &[Literal],
+        order: &[usize],
+        init: &Subst,
+    ) -> Rows {
+        let columns = query.inner.columns.clone();
+        let mut rows = Vec::new();
+        solve_planned(
+            self.snapshot.model(),
+            literals,
+            order,
+            &mut init.clone(),
+            &mut |s| {
+                rows.push(row_of(&columns, |v| s.walk(Term::Var(v))));
+                true
+            },
+        );
+        Rows::from_rows(columns, rows)
+    }
+
+    /// `Certain`: intersect answers over every minimal repair. Single
+    /// recursion-reaching goals go through the prepared magic program
+    /// per repair candidate; everything else through overlay
+    /// simulation ([`uniform_repair::certain_answers_bound`]).
+    fn certain_rows(
+        &self,
+        query: &PreparedQuery,
+        literals: &[Literal],
+        magic: &Option<Arc<MagicProgram>>,
+        init: &Subst,
+    ) -> Result<Rows, QueryError> {
+        let repairs = self.certain_repairs()?;
+        let columns = query.inner.columns.clone();
+        if let Some(mp) = magic {
+            // Same intersection semantics as the overlay path — one
+            // shared implementation; only the per-repair answer
+            // enumeration differs (goal-directed magic over the
+            // repaired EDB instead of overlay simulation).
+            let goal = init.apply_atom(&literals[0].atom);
+            let rows = uniform_repair::intersect_over_repairs(&repairs, |repair| {
+                let repaired = repair.apply_to(self.snapshot.facts());
+                let mut answers: BTreeMap<Vec<&'static str>, Row> = BTreeMap::new();
+                for fact in answer_prepared(&repaired, mp, &goal).answers {
+                    let Some(s) = match_atom(&goal, &fact) else {
+                        continue;
+                    };
+                    let row = row_of(&columns, |v| s.walk(Term::Var(v)));
+                    answers.insert(row.values.iter().map(|v| v.as_str()).collect(), row);
+                }
+                answers
+            });
+            return Ok(Rows::from_rows(columns, rows));
+        }
+        let bindings = uniform_repair::certain_answers_bound(
+            self.snapshot.facts(),
+            self.snapshot.rules(),
+            &repairs,
+            literals,
+            init,
+            &columns,
+        );
+        let rows = bindings
+            .into_iter()
+            .map(|binding| {
+                row_of(&columns, |v| {
+                    binding
+                        .iter()
+                        .find(|(var, _)| *var == v)
+                        .map(|&(_, c)| Term::Const(c))
+                        .unwrap_or(Term::Var(v))
+                })
+            })
+            .collect();
+        Ok(Rows::from_rows(columns, rows))
+    }
+
+    /// The snapshot's minimal repairs, enumerated once per session.
+    fn certain_repairs(&self) -> Result<Arc<Vec<RepairSet>>, QueryError> {
+        if let Some(repairs) = self.repairs.read().as_ref() {
+            return Ok(repairs.clone());
+        }
+        let engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
+        let report = engine
+            .repairs_covering_all_minimal()
+            .map_err(QueryError::Budget)?;
+        let repairs = Arc::new(report.repairs);
+        let mut slot = self.repairs.write();
+        if let Some(existing) = slot.as_ref() {
+            return Ok(existing.clone());
+        }
+        *slot = Some(repairs.clone());
+        Ok(repairs)
+    }
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("version", &self.snapshot.version())
+            .field("fenced", &self.fence.is_some())
+            .finish()
+    }
+}
+
+/// Resolve every column through `walk`; columns of a safe query are
+/// always bound by the time an answer is emitted.
+fn row_of(columns: &Arc<[Sym]>, walk: impl Fn(Sym) -> Term) -> Row {
+    let values = columns
+        .iter()
+        .map(|&c| match walk(c) {
+            Term::Const(v) => Value(v),
+            Term::Var(_) => unreachable!("column {c} unbound in an answer (unsafe query?)"),
+        })
+        .collect();
+    Row {
+        columns: columns.clone(),
+        values,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared prepared-plan cache
+// ---------------------------------------------------------------------------
+
+/// Running totals of a [`crate::ConcurrentDatabase`]'s prepared-plan
+/// cache (see [`crate::ConcurrentDatabase::plan_cache_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache (no re-parse, shared plans).
+    pub hits: u64,
+    /// Lookups that parsed and inserted a fresh prepared query.
+    pub misses: u64,
+    /// Prepared queries currently cached.
+    pub entries: usize,
+}
+
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded source → [`PreparedQuery`] cache. Keys carry the query
+/// kind and declared parameters, so `"p(X)"` as a conjunctive query and
+/// as a formula never collide. Entries stay valid across rule updates —
+/// parsing is schema-independent; the *plans* inside each entry are
+/// revision-keyed and rebuilt on demand (see [`PreparedQuery`]).
+pub(crate) struct PlanCache {
+    shards: Vec<Mutex<HashMap<String, PreparedQuery>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    pub(crate) fn new() -> PlanCache {
+        PlanCache {
+            shards: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn get_or_prepare(
+        &self,
+        kind: &str,
+        src: &str,
+        params: &[&str],
+        build: impl FnOnce() -> Result<PreparedQuery, QueryError>,
+    ) -> Result<PreparedQuery, QueryError> {
+        let key = format!("{kind}\u{1}{}\u{1}{src}", params.join(","));
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
+        let mut map = shard.lock();
+        if let Some(query) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(query.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let query = build()?;
+        map.insert(key, query.clone());
+        Ok(query)
+    }
+
+    pub(crate) fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformDatabase;
+
+    const ORG: &str = "
+        member(X, Y) :- leads(X, Y).
+        constraint led: forall X: department(X) -> (exists Y: employee(Y) & leads(Y, X)).
+        employee(ann).
+        department(sales).
+        leads(ann, sales).
+    ";
+
+    #[test]
+    fn prepared_conjunctive_query_round_trips() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let q = PreparedQuery::prepare("member(X, Y)").unwrap();
+        assert_eq!(q.columns(), &[Sym::new("X"), Sym::new("Y")]);
+        let session = db.session();
+        let rows = session
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("X").unwrap().as_str(), "ann");
+        assert_eq!(rows[0].get("Y").unwrap().as_str(), "sales");
+        assert_eq!(rows[0].value(0).unwrap(), Value::new("ann"));
+        assert_eq!(rows.to_string(), "[X=ann, Y=sales]");
+    }
+
+    #[test]
+    fn params_bind_and_validate() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let q = PreparedQuery::prepare_with_params("leads(X, D)", &["D"]).unwrap();
+        assert_eq!(q.columns(), &[Sym::new("X")]);
+        assert_eq!(q.params(), &[Sym::new("D")]);
+        let session = db.session();
+        let rows = session
+            .execute(&q, &Params::new().bind("D", "sales"), Consistency::Latest)
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get("X").unwrap().as_str(), "ann");
+        // Unbound and unknown parameters are typed errors.
+        let err = session
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnboundParam(_)), "{err}");
+        let err = session
+            .execute(
+                &q,
+                &Params::new().bind("D", "sales").bind("Z", "x"),
+                Consistency::Latest,
+            )
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnknownParam(_)), "{err}");
+        // Declaring a parameter that never occurs is a plan error.
+        let err = PreparedQuery::prepare_with_params("leads(X, D)", &["Q"]).unwrap_err();
+        assert!(matches!(err, QueryError::Plan { .. }), "{err}");
+    }
+
+    #[test]
+    fn formula_queries_are_boolean_row_sets() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let session = db.session();
+        let yes = PreparedQuery::prepare_formula("exists X: member(ann, X)").unwrap();
+        let no = PreparedQuery::prepare_formula("member(ann, hr)").unwrap();
+        assert!(yes.is_formula());
+        let rows = session
+            .execute(&yes, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert!(rows.is_true());
+        assert_eq!(rows.len(), 1);
+        assert!(rows.columns().is_empty());
+        assert!(!session
+            .execute(&no, &Params::new(), Consistency::Latest)
+            .unwrap()
+            .is_true());
+        // Parameterized point query.
+        let point = PreparedQuery::prepare_formula_with_params("member(W, sales)", &["W"]).unwrap();
+        assert!(session
+            .execute(&point, &Params::new().bind("W", "ann"), Consistency::Latest)
+            .unwrap()
+            .is_true());
+        // A free variable that is not a parameter fails normalization,
+        // structured (the façade maps it onto the historical
+        // `UniformError::Language(LogicError::Normalize(..))`).
+        let err = PreparedQuery::prepare_formula("member(W, sales)").unwrap_err();
+        assert!(matches!(err, QueryError::Normalize(_)), "{err}");
+        assert!(matches!(
+            crate::UniformError::from(err),
+            crate::UniformError::Language(uniform_logic::LogicError::Normalize(_))
+        ));
+    }
+
+    #[test]
+    fn certain_and_latest_agree_on_consistent_states() {
+        let db = UniformDatabase::parse(ORG).unwrap();
+        let q = PreparedQuery::prepare("member(X, Y)").unwrap();
+        let session = db.session();
+        let latest = session
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        let certain = session
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(latest, certain);
+    }
+
+    #[test]
+    fn certain_drops_uncertain_answers() {
+        let db = UniformDatabase::parse_tolerant(
+            "p(a). p(b). q(b). constraint c: forall X: p(X) -> q(X).",
+        )
+        .unwrap();
+        let session = db.session();
+        let q = PreparedQuery::prepare("p(X)").unwrap();
+        let latest = session
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert_eq!(latest.len(), 2);
+        let certain = session
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(certain.len(), 1);
+        assert_eq!(certain[0].get("X").unwrap().as_str(), "b");
+    }
+
+    #[test]
+    fn recursive_goals_use_the_prepared_magic_program() {
+        let db = UniformDatabase::parse_tolerant(
+            "
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- edge(X, Y), tc(Y, Z).
+            edge(a, b). edge(b, c). marked(c). marked(zz).
+            constraint m: forall X: marked(X) -> hub(X).
+        ",
+        )
+        .unwrap();
+        let q = PreparedQuery::prepare_with_params("tc(S, X)", &["S"]).unwrap();
+        let session = db.session();
+        // The plan carries a magic program (recursion-reaching goal)…
+        let plan = q.plan_for(session.snapshot());
+        match &plan.kind {
+            PlanKind::Conjunctive { magic, .. } => assert!(magic.is_some()),
+            PlanKind::Formula { .. } => unreachable!(),
+        }
+        // …and both consistency levels answer through the prepared path.
+        let params = Params::new().bind("S", "a");
+        let latest = session.execute(&q, &params, Consistency::Latest).unwrap();
+        let certain = session.execute(&q, &params, Consistency::Certain).unwrap();
+        assert_eq!(latest.len(), 2, "{latest}");
+        assert_eq!(latest, certain, "tc is untouched by the repairs");
+    }
+
+    #[test]
+    fn rows_order_is_deterministic_and_sorted() {
+        let db = UniformDatabase::parse("edge(c, d). edge(a, b). edge(b, c).").unwrap();
+        let q = PreparedQuery::prepare("edge(X, Y)").unwrap();
+        let rows = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        let xs: Vec<&str> = rows.iter().map(|r| r.get("X").unwrap().as_str()).collect();
+        assert_eq!(xs, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn sessions_pin_their_snapshot() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        let q = PreparedQuery::prepare("employee(X)").unwrap();
+        let session = db.session();
+        db.try_update_all(&["employee(bob)", "department(hr)", "leads(bob, hr)"])
+            .unwrap();
+        // The old session still answers from its pinned state…
+        assert_eq!(
+            session
+                .execute(&q, &Params::new(), Consistency::Latest)
+                .unwrap()
+                .len(),
+            1
+        );
+        // …a fresh one observes the commit — through the same plan.
+        assert_eq!(
+            db.session()
+                .execute(&q, &Params::new(), Consistency::Latest)
+                .unwrap()
+                .len(),
+            2
+        );
+        let (hits, misses) = q.plan_counters();
+        assert_eq!((hits, misses), (1, 1), "one plan, reused across sessions");
+    }
+
+    #[test]
+    fn plans_are_rebuilt_after_rule_updates() {
+        let mut db = UniformDatabase::parse(ORG).unwrap();
+        let q = PreparedQuery::prepare("member(X, Y)").unwrap();
+        assert_eq!(
+            db.session()
+                .execute(&q, &Params::new(), Consistency::Latest)
+                .unwrap()
+                .len(),
+            1
+        );
+        db.try_add_rule("member(X, ann_club) :- employee(X).")
+            .unwrap();
+        // The rule revision moved: the stale plan is not served.
+        let rows = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        assert_eq!(rows.len(), 2, "{rows}");
+        let (_, misses) = q.plan_counters();
+        assert_eq!(misses, 2, "re-planned once after the rule update");
+    }
+
+    /// Regression: plans are keyed by `(db_id, rule_rev)`, not rule
+    /// revision alone. Two databases can agree on every revision
+    /// counter while holding different rules — a shared prepared query
+    /// must plan per database, or a magic program with the first
+    /// database's rules baked in silently answers for the second.
+    #[test]
+    fn plans_never_cross_databases_with_equal_revisions() {
+        let db1 = UniformDatabase::parse_tolerant(
+            "
+            tc(X, Y) :- edge(X, Y).
+            tc(X, Z) :- edge(X, Y), tc(Y, Z).
+            edge(a, b). edge(b, c).
+            constraint m: forall X: marked(X) -> hub(X).
+            marked(q).
+        ",
+        )
+        .unwrap();
+        let db2 = UniformDatabase::parse_tolerant(
+            "
+            tc(X, Y) :- link(X, Y).
+            tc(X, Z) :- link(X, Y), tc(Y, Z).
+            link(a, z).
+            constraint m: forall X: marked(X) -> hub(X).
+            marked(q).
+        ",
+        )
+        .unwrap();
+        assert_eq!(
+            db1.database().rule_rev(),
+            db2.database().rule_rev(),
+            "the collision precondition: equal revision counters"
+        );
+        let q = PreparedQuery::prepare_with_params("tc(S, X)", &["S"]).unwrap();
+        let params = Params::new().bind("S", "a");
+        for (db, expect) in [(&db1, vec!["b", "c"]), (&db2, vec!["z"])] {
+            let session = db.session();
+            for level in [Consistency::Latest, Consistency::Certain] {
+                let rows = session.execute(&q, &params, level).unwrap();
+                let got: Vec<&str> = rows.iter().map(|r| r.get("X").unwrap().as_str()).collect();
+                assert_eq!(got, expect, "{level:?}");
+            }
+        }
+        let (_, misses) = q.plan_counters();
+        assert_eq!(misses, 2, "one plan per database identity");
+    }
+
+    #[test]
+    fn budget_refusals_are_typed() {
+        let db = UniformDatabase::parse_tolerant("p(a). constraint c: forall X: p(X) -> q(X).")
+            .unwrap()
+            .with_options(crate::UniformOptions {
+                repair: RepairOptions {
+                    max_branches: 1,
+                    ..RepairOptions::default()
+                },
+                ..crate::UniformOptions::default()
+            });
+        let q = PreparedQuery::prepare("p(X)").unwrap();
+        let err = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Budget(_)), "{err}");
+    }
+
+    #[test]
+    fn parse_errors_are_typed() {
+        assert!(matches!(
+            PreparedQuery::prepare("p(X"),
+            Err(QueryError::Parse(_))
+        ));
+        assert!(matches!(
+            PreparedQuery::prepare_formula("forall X:"),
+            Err(QueryError::Parse(_))
+        ));
+    }
+}

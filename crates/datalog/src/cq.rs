@@ -152,6 +152,67 @@ fn solve_rec(
     keep_going
 }
 
+/// Enumerate all substitutions satisfying the conjunction, dispatching
+/// literals in the fixed `order` (indices into `literals`) instead of
+/// re-selecting greedily per step — the execution half of a prepared
+/// [`crate::planner::ConjunctionPlan`]. `order` must be a permutation
+/// of `0..literals.len()`; the answer set is identical to
+/// [`solve_conjunction`]'s (conjunction is order independent), only the
+/// join order — and thus the cost — differs.
+///
+/// # Panics
+/// Like [`solve_conjunction`], on a negative literal that is not ground
+/// when dispatched (the planner orders negatives after their binders
+/// whenever the query is safe).
+pub fn solve_planned(
+    interp: &dyn Interp,
+    literals: &[Literal],
+    order: &[usize],
+    subst: &mut Subst,
+    each: &mut dyn FnMut(&mut Subst) -> bool,
+) -> bool {
+    debug_assert_eq!(order.len(), literals.len(), "order must cover the query");
+    let mut trail = Vec::new();
+    solve_planned_rec(interp, literals, order, subst, &mut trail, each)
+}
+
+fn solve_planned_rec(
+    interp: &dyn Interp,
+    literals: &[Literal],
+    order: &[usize],
+    subst: &mut Subst,
+    trail: &mut Vec<Sym>,
+    each: &mut dyn FnMut(&mut Subst) -> bool,
+) -> bool {
+    let Some((&idx, rest)) = order.split_first() else {
+        return each(subst);
+    };
+    let lit = &literals[idx];
+    if lit.positive {
+        let pattern = bind_pattern(subst, &lit.atom);
+        let mut keep_going = true;
+        interp.scan(lit.atom.pred, &pattern, &mut |tuple| {
+            let mark = trail.len();
+            if extend_match(subst, &lit.atom, tuple, trail) {
+                keep_going = solve_planned_rec(interp, literals, rest, subst, trail, each);
+            }
+            unwind(subst, trail, mark);
+            keep_going
+        });
+        keep_going
+    } else {
+        let ground = subst.apply_atom(&lit.atom);
+        let fact = ground.to_fact().unwrap_or_else(|| {
+            panic!("negative literal not ground when evaluated: not {ground} (unsafe plan?)")
+        });
+        if interp.holds(&fact) {
+            true // this branch fails, enumeration continues elsewhere
+        } else {
+            solve_planned_rec(interp, literals, rest, subst, trail, each)
+        }
+    }
+}
+
 /// Does the conjunction have at least one solution extending `subst`?
 pub fn provable(interp: &dyn Interp, literals: &[Literal], subst: &mut Subst) -> bool {
     !solve_conjunction(interp, literals, subst, &mut |_| false)
@@ -290,5 +351,56 @@ mod tests {
         let fs = db();
         let q = lits(&[("red", &["X"], false)]);
         provable(&fs, &q, &mut Subst::new());
+    }
+
+    /// The planned evaluator must produce the same answer set as the
+    /// runtime-greedy one for every dispatch order (conjunction is
+    /// order independent) — here checked over all permutations of a
+    /// join with negation.
+    #[test]
+    fn solve_planned_matches_greedy_for_every_safe_order() {
+        let fs = db();
+        let q = lits(&[
+            ("edge", &["X", "Y"], true),
+            ("edge", &["Y", "Z"], true),
+            ("red", &["Y"], false),
+        ]);
+        let keep = [Sym::new("X"), Sym::new("Z")];
+        let render = |sols: Vec<Subst>| {
+            let mut out: Vec<String> = sols
+                .iter()
+                .map(|s| {
+                    format!(
+                        "{:?}{:?}",
+                        s.walk(Term::from_name("X")),
+                        s.walk(Term::from_name("Z"))
+                    )
+                })
+                .collect();
+            out.sort();
+            out
+        };
+        let want = render(all_solutions(&fs, &q, &mut Subst::new(), &keep));
+        // All safe orders: the negation (slot 2) needs Y, bound by
+        // either positive literal.
+        for order in [[0, 1, 2], [1, 0, 2], [0, 2, 1], [1, 2, 0]] {
+            let mut got = Vec::new();
+            let mut s = Subst::new();
+            solve_planned(&fs, &q, &order, &mut s, &mut |s| {
+                got.push(s.restrict(&keep));
+                true
+            });
+            assert!(s.is_empty(), "working substitution unwound");
+            assert_eq!(render(got), want, "order {order:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe plan")]
+    fn solve_planned_rejects_unsafe_orders() {
+        let fs = db();
+        let q = lits(&[("edge", &["X", "Y"], true), ("red", &["Y"], false)]);
+        // Dispatching the negation first is unsafe: Y is unbound.
+        solve_planned(&fs, &q, &[1, 0], &mut Subst::new(), &mut |_| true);
     }
 }

@@ -164,12 +164,24 @@ fn validate_arities(
     Ok(())
 }
 
+/// Source of process-unique database identities (see [`Database::db_id`]).
+static NEXT_DB_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn fresh_db_id() -> u64 {
+    NEXT_DB_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A deductive database: facts `F`, rules `R`, constraints `I`.
 pub struct Database {
     edb: FactSet,
     rules: Arc<RuleSet>,
     constraints: Arc<Vec<Constraint>>,
     model: RwLock<Option<Arc<Model>>>,
+    /// Process-unique identity, never shared between two instances —
+    /// even clones get a fresh one, because clones evolve (and bump
+    /// their revisions) independently, so `(db_id, rule_rev)` globally
+    /// identifies one rule set. Prepared-query plans key on that pair.
+    db_id: u64,
     /// Monotonic state version: bumped on every effective mutation (fact
     /// or schema). Snapshots pin it; the commit pipeline's first-
     /// committer-wins conflict detection compares against it.
@@ -198,6 +210,10 @@ impl Clone for Database {
             rules: self.rules.clone(),
             constraints: self.constraints.clone(),
             model: RwLock::new(self.model.read().clone()),
+            // Fresh identity: the clone's revisions advance on their
+            // own from here, so sharing the id would let two different
+            // rule sets collide on one (db_id, rule_rev) plan key.
+            db_id: fresh_db_id(),
             version: self.version,
             fact_rev: self.fact_rev,
             rule_rev: self.rule_rev,
@@ -213,6 +229,7 @@ impl Database {
             rules: Arc::new(RuleSet::empty()),
             constraints: Arc::new(Vec::new()),
             model: RwLock::new(None),
+            db_id: fresh_db_id(),
             version: 0,
             fact_rev: 0,
             rule_rev: 0,
@@ -227,6 +244,7 @@ impl Database {
             rules: Arc::new(rules),
             constraints: Arc::new(constraints),
             model: RwLock::new(None),
+            db_id: fresh_db_id(),
             version: 0,
             fact_rev: 0,
             rule_rev: 0,
@@ -311,6 +329,15 @@ impl Database {
     /// first-committer-wins conflict detection.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// This instance's process-unique identity. Never equal for two
+    /// `Database` values — clones included — so `(db_id, rule_rev)`
+    /// identifies one rule set globally; prepared-query plans are
+    /// keyed by the pair (a plan built against one database is never
+    /// served against another, whatever their revision counters say).
+    pub fn db_id(&self) -> u64 {
+        self.db_id
     }
 
     /// Revision of the fact base alone (bumped on every effective fact
@@ -400,7 +427,10 @@ impl Database {
             rules: self.rules.clone(),
             constraints: self.constraints.clone(),
             model: self.model(),
+            db_id: self.db_id,
             version: self.version,
+            rule_rev: self.rule_rev,
+            constraint_rev: self.constraint_rev,
         }
     }
 
@@ -462,7 +492,10 @@ pub struct Snapshot {
     rules: Arc<RuleSet>,
     constraints: Arc<Vec<Constraint>>,
     model: Arc<Model>,
+    db_id: u64,
     version: u64,
+    rule_rev: u64,
+    constraint_rev: u64,
 }
 
 impl Snapshot {
@@ -471,9 +504,27 @@ impl Snapshot {
         &self.edb
     }
 
+    /// The originating database's [`Database::db_id`].
+    pub fn db_id(&self) -> u64 {
+        self.db_id
+    }
+
     /// The originating database's [`Database::version`] at snapshot time.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The originating database's [`Database::rule_rev`] at snapshot
+    /// time. Prepared-query plans are keyed by this revision: a plan
+    /// built under one rule revision is never served against another.
+    pub fn rule_rev(&self) -> u64 {
+        self.rule_rev
+    }
+
+    /// The originating database's [`Database::constraint_rev`] at
+    /// snapshot time (certain answers depend on the constraint set).
+    pub fn constraint_rev(&self) -> u64 {
+        self.constraint_rev
     }
 
     /// The arity `pred` is used with anywhere in the snapshotted state;

@@ -48,16 +48,18 @@ pub mod topdown;
 pub mod txn;
 pub mod update;
 
-pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction};
+pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction, solve_planned};
 pub use database::{validate_transaction_arities, ApplyError, Database, Snapshot};
 pub use depgraph::{DepGraph, StratificationError};
 pub use eval::{satisfies, satisfies_closed};
 pub use interp::{Interp, Overlay};
-pub use magic::{answer_goal_magic, magic_rewrite, MagicAnswers, MagicError, MagicProgram};
+pub use magic::{
+    answer_goal_magic, answer_prepared, magic_rewrite, MagicAnswers, MagicError, MagicProgram,
+};
 pub use maintain::{MaintainStats, MaintainedModel};
 pub use memo::StripedMemo;
 pub use model::Model;
-pub use planner::{optimize_rq, Cardinality, FixedStats, PlanReport, Planner};
+pub use planner::{optimize_rq, Cardinality, ConjunctionPlan, FixedStats, PlanReport, Planner};
 pub use program::{BodyOccurrence, RuleSet};
 pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;

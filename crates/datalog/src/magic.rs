@@ -51,22 +51,49 @@ impl fmt::Display for MagicError {
 impl std::error::Error for MagicError {}
 
 /// A magic-rewritten program for one goal.
+///
+/// The rewrite depends only on the goal's *adornment* (which argument
+/// positions are bound), never on the bound constants themselves —
+/// those flow in through the magic seed. A `MagicProgram` is therefore
+/// reusable across every goal with the same binding shape: prepared
+/// queries build it once per rule revision and re-seed it per
+/// execution via [`answer_prepared`].
 #[derive(Clone, Debug)]
 pub struct MagicProgram {
     /// The rewritten rules (adorned + magic); empty for goals over base
     /// relations.
     pub rules: RuleSet,
-    /// Magic seed facts (one, for derived goals).
+    /// Magic seed facts (one, for derived goals) — for the goal the
+    /// program was rewritten from. [`answer_prepared`] recomputes the
+    /// seed from the actual goal instead.
     pub seeds: Vec<Fact>,
     /// The goal re-targeted at its adorned predicate (equal to the
     /// original goal when the goal predicate is a base relation).
     pub answer_goal: Atom,
     /// The goal as given.
     pub original_goal: Atom,
+    /// The goal's adornment: `true` at argument positions that were
+    /// bound (constants) in the rewritten-for goal. A later goal is
+    /// compatible iff it is ground exactly at these positions.
+    pub adornment: Vec<bool>,
     /// Number of distinct (predicate, adornment) pairs specialized.
     pub adorned_predicates: usize,
     /// Number of magic guard rules generated.
     pub magic_rules: usize,
+}
+
+impl MagicProgram {
+    /// Is `goal` answerable through this program — same predicate,
+    /// constants exactly at the adornment's bound positions?
+    pub fn compatible_with(&self, goal: &Atom) -> bool {
+        goal.pred == self.original_goal.pred
+            && goal.args.len() == self.adornment.len()
+            && goal
+                .args
+                .iter()
+                .zip(&self.adornment)
+                .all(|(t, &b)| t.is_const() == b)
+    }
 }
 
 /// Result of answering a goal through the rewrite, with the derivation
@@ -109,19 +136,20 @@ fn bound_args(atom: &Atom, ad: &[bool]) -> Vec<Term> {
 /// body order (positives first) the rules are already kept in.
 pub fn magic_rewrite(rules: &RuleSet, goal: &Atom) -> Result<MagicProgram, MagicError> {
     let graph = rules.graph();
+    let goal_ad: Vec<bool> = goal.args.iter().map(|t| t.is_const()).collect();
     if !graph.is_idb(goal.pred) {
         return Ok(MagicProgram {
             rules: RuleSet::empty(),
             seeds: Vec::new(),
             answer_goal: goal.clone(),
             original_goal: goal.clone(),
+            adornment: goal_ad,
             adorned_predicates: 0,
             magic_rules: 0,
         });
     }
     check_negation_free(rules, graph, goal.pred)?;
 
-    let goal_ad: Vec<bool> = goal.args.iter().map(|t| t.is_const()).collect();
     let mut out: Vec<Rule> = Vec::new();
     let mut magic_rules = 0usize;
     let mut seen: HashSet<(Sym, Vec<bool>)> = HashSet::new();
@@ -210,9 +238,77 @@ pub fn magic_rewrite(rules: &RuleSet, goal: &Atom) -> Result<MagicProgram, Magic
         seeds: vec![seed],
         answer_goal: Atom::new(adorned_sym(goal.pred, &goal_ad), goal.args.clone()),
         original_goal: goal.clone(),
+        adornment: goal_ad,
         adorned_predicates: seen.len(),
         magic_rules,
     })
+}
+
+/// Answer `goal` against `edb` through an already-rewritten
+/// [`MagicProgram`] — the execution half of a prepared magic plan. The
+/// rewrite is constant-free (see [`MagicProgram`]), so the same program
+/// answers every goal with its binding shape; only the seed fact and
+/// the answer filter depend on the actual constants.
+///
+/// # Panics
+/// When `goal` is not [`MagicProgram::compatible_with`] the program
+/// (different predicate, arity, or binding shape) — prepared-query
+/// plans guarantee compatibility by construction.
+pub fn answer_prepared(edb: &FactSet, mp: &MagicProgram, goal: &Atom) -> MagicAnswers {
+    assert!(
+        mp.compatible_with(goal),
+        "goal {goal} incompatible with magic program for {}",
+        mp.original_goal
+    );
+    let mut answers = Vec::new();
+    if mp.rules.is_empty() {
+        // Base-relation goal: scan the EDB directly.
+        let bound: Vec<Option<Sym>> = goal.args.iter().map(|t| t.as_const()).collect();
+        if let Some(rel) = edb.relation(goal.pred) {
+            rel.scan(&bound, &mut |args| {
+                let f = Fact {
+                    pred: goal.pred,
+                    args: args.to_vec(),
+                };
+                if match_atom(goal, &f).is_some() {
+                    answers.push(f);
+                }
+                true
+            });
+        }
+        return MagicAnswers {
+            answers,
+            derived_facts: 0,
+        };
+    }
+
+    let mut seeded = edb.clone();
+    seeded.insert(&Fact {
+        pred: magic_sym(goal.pred, &mp.adornment),
+        args: goal.args.iter().filter_map(|t| t.as_const()).collect(),
+    });
+    let model = Model::compute(&seeded, &mp.rules);
+    let derived_facts = model.len().saturating_sub(seeded.len());
+    let answer_goal = Atom::new(adorned_sym(goal.pred, &mp.adornment), goal.args.clone());
+    let bound: Vec<Option<Sym>> = answer_goal.args.iter().map(|t| t.as_const()).collect();
+    use crate::interp::Interp as _;
+    model.scan(answer_goal.pred, &bound, &mut |args| {
+        let f = Fact {
+            pred: answer_goal.pred,
+            args: args.to_vec(),
+        };
+        if match_atom(&answer_goal, &f).is_some() {
+            answers.push(Fact {
+                pred: goal.pred,
+                args: f.args,
+            });
+        }
+        true
+    });
+    MagicAnswers {
+        answers,
+        derived_facts,
+    }
 }
 
 fn check_negation_free(rules: &RuleSet, graph: &DepGraph, from: Sym) -> Result<(), MagicError> {
@@ -239,53 +335,7 @@ pub fn answer_goal_magic(
     goal: &Atom,
 ) -> Result<MagicAnswers, MagicError> {
     let mp = magic_rewrite(rules, goal)?;
-    let mut answers = Vec::new();
-    if mp.rules.is_empty() && mp.seeds.is_empty() {
-        // Base-relation goal: scan the EDB directly.
-        let bound: Vec<Option<Sym>> = goal.args.iter().map(|t| t.as_const()).collect();
-        if let Some(rel) = edb.relation(goal.pred) {
-            rel.scan(&bound, &mut |args| {
-                let f = Fact {
-                    pred: goal.pred,
-                    args: args.to_vec(),
-                };
-                if match_atom(goal, &f).is_some() {
-                    answers.push(f);
-                }
-                true
-            });
-        }
-        return Ok(MagicAnswers {
-            answers,
-            derived_facts: 0,
-        });
-    }
-
-    let mut seeded = edb.clone();
-    for s in &mp.seeds {
-        seeded.insert(s);
-    }
-    let model = Model::compute(&seeded, &mp.rules);
-    let derived_facts = model.len().saturating_sub(seeded.len());
-    let bound: Vec<Option<Sym>> = mp.answer_goal.args.iter().map(|t| t.as_const()).collect();
-    use crate::interp::Interp as _;
-    model.scan(mp.answer_goal.pred, &bound, &mut |args| {
-        let f = Fact {
-            pred: mp.answer_goal.pred,
-            args: args.to_vec(),
-        };
-        if match_atom(&mp.answer_goal, &f).is_some() {
-            answers.push(Fact {
-                pred: goal.pred,
-                args: f.args,
-            });
-        }
-        true
-    });
-    Ok(MagicAnswers {
-        answers,
-        derived_facts,
-    })
+    Ok(answer_prepared(edb, &mp, goal))
 }
 
 #[cfg(test)]
@@ -527,6 +577,27 @@ mod tests {
         }
         let bound = Atom::parse_like("even", &["two"]);
         assert_eq!(magic(&edb, &rules, &bound).len(), 1);
+    }
+
+    #[test]
+    fn prepared_program_reusable_across_constants() {
+        let (edb, rules) = setup(TC);
+        // Rewrite once for the `bf` shape, answer for several constants.
+        let mp = magic_rewrite(&rules, &Atom::parse_like("tc", &["a", "V"])).unwrap();
+        for start in ["a", "b", "x", "nowhere"] {
+            let goal = Atom::parse_like("tc", &[start, "V"]);
+            assert!(mp.compatible_with(&goal));
+            let mut got: Vec<String> = answer_prepared(&edb, &mp, &goal)
+                .answers
+                .iter()
+                .map(|f| f.to_string())
+                .collect();
+            got.sort();
+            assert_eq!(got, naive(&edb, &rules, &goal), "start {start}");
+        }
+        // A differently-shaped goal is refused.
+        assert!(!mp.compatible_with(&Atom::parse_like("tc", &["V", "d"])));
+        assert!(!mp.compatible_with(&Atom::parse_like("edge", &["a", "V"])));
     }
 
     #[test]

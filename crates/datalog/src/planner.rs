@@ -280,6 +280,81 @@ pub fn optimize_rq(rq: &Rq, stats: &dyn Cardinality) -> Rq {
     Planner::new(stats).optimize(rq)
 }
 
+/// A precomputed static evaluation order for a conjunctive query — the
+/// prepared-query counterpart of [`crate::cq::solve_conjunction`]'s
+/// per-step greedy selection. Computed once (per rule revision) by
+/// [`Planner::plan_conjunction`] and replayed by
+/// [`crate::cq::solve_planned`], so hot queries stop paying the
+/// most-bound-literal scan on every recursion step.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConjunctionPlan {
+    /// Indices into the query's literal list, in dispatch order.
+    pub order: Vec<usize>,
+    /// Estimated cost of the planned order under the statistics the
+    /// plan was built with (diagnostics only — never affects answers).
+    pub estimated_cost: f64,
+}
+
+impl Planner<'_> {
+    /// Choose a static dispatch order for the conjunction `literals`,
+    /// with the variables in `bound` treated as already bound (query
+    /// parameters are, by the time the query executes). Mirrors the
+    /// runtime heuristic — fully bound literals first, then the
+    /// cheapest positive literal — but decided once against the cost
+    /// model instead of per backtracking step. Negative literals are
+    /// dispatched as soon as their variables are covered by earlier
+    /// positive literals; the answer set is order independent, so the
+    /// plan only affects cost, never results.
+    pub fn plan_conjunction(&self, literals: &[Literal], bound: &HashSet<Sym>) -> ConjunctionPlan {
+        let mut bound = bound.clone();
+        let mut remaining: Vec<usize> = (0..literals.len()).collect();
+        let mut order = Vec::with_capacity(literals.len());
+        let mut estimated_cost = 0.0f64;
+        let mut fanout = 1.0f64;
+        while !remaining.is_empty() {
+            let ground_of = |lit: &Literal, bound: &HashSet<Sym>| {
+                lit.atom.args.iter().all(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+            };
+            // Fully bound literal (membership / ground negation test):
+            // dispatch immediately, it can only shrink the search.
+            let slot = remaining
+                .iter()
+                .position(|&i| ground_of(&literals[i], &bound))
+                .or_else(|| {
+                    // Otherwise the cheapest *positive* literal under the
+                    // current binding set.
+                    remaining
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &i)| literals[i].positive)
+                        .map(|(slot, &i)| (slot, self.literal_cost(&literals[i], &bound)))
+                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                        .map(|(slot, _)| slot)
+                })
+                // Only non-ground negative literals left: emit them in
+                // query order; the runtime reports the safety violation
+                // exactly like the unplanned path.
+                .unwrap_or(0);
+            let idx = remaining.remove(slot);
+            let lit = &literals[idx];
+            let step = self.literal_cost(lit, &bound);
+            estimated_cost = (estimated_cost + fanout * step).min(COST_CAP);
+            if lit.positive {
+                fanout = (fanout * step).min(COST_CAP);
+                bound.extend(lit.atom.vars());
+            }
+            order.push(idx);
+        }
+        ConjunctionPlan {
+            order,
+            estimated_cost,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -409,6 +484,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn conjunction_plans_are_safe_and_selective() {
+        use uniform_logic::parse_query;
+        let s = stats(&[("huge", 100_000), ("tiny", 2), ("mid", 500)]);
+        let p = Planner::new(&s);
+        // Cheapest positive first; the negative literal is dispatched
+        // only once its variable is bound.
+        let q = parse_query("huge(X, Y), tiny(X), not mid(Y)").unwrap();
+        let plan = p.plan_conjunction(&q, &HashSet::new());
+        assert_eq!(plan.order[0], 1, "tiny leads");
+        assert!(
+            plan.order.iter().position(|&i| i == 2).unwrap()
+                > plan.order.iter().position(|&i| i == 0).unwrap(),
+            "negation after its binder: {:?}",
+            plan.order
+        );
+        // Parameters count as bound: with Y a parameter, the ground
+        // negation can lead.
+        let bound: HashSet<Sym> = [Sym::new("Y")].into();
+        let q = parse_query("huge(X, Y), not mid(Y)").unwrap();
+        let plan = p.plan_conjunction(&q, &bound);
+        assert_eq!(plan.order, vec![1, 0]);
+        // The order is always a permutation.
+        let q = parse_query("mid(A, B), huge(B, C), tiny(C)").unwrap();
+        let plan = p.plan_conjunction(&q, &HashSet::new());
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+        assert!(plan.estimated_cost.is_finite());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! stays shared, the repair's insertions and deletions ride on top.
 
 use std::collections::BTreeMap;
-use uniform_datalog::{all_solutions, satisfies_closed, FactSet, OverlayEngine, RuleSet};
+use uniform_datalog::{all_solutions, satisfies, FactSet, OverlayEngine, RuleSet};
 use uniform_logic::{Literal, Rq, Subst, Sym, Term};
 
 use crate::engine::RepairSet;
@@ -40,19 +40,34 @@ pub fn certain_answers(
     repairs: &[RepairSet],
     query: &[Literal],
 ) -> Vec<Vec<(Sym, Sym)>> {
-    assert!(
-        !repairs.is_empty(),
-        "certain answers need at least one repair (the empty repair of a consistent state)"
-    );
-    // Bindings keyed by their rendered (name-deterministic) form.
-    type AnswerMap = BTreeMap<Vec<String>, Vec<(Sym, Sym)>>;
-    let vars = query_vars(query);
-    let mut certain: Option<AnswerMap> = None;
-    for repair in repairs {
+    certain_answers_bound(
+        edb,
+        rules,
+        repairs,
+        query,
+        &Subst::new(),
+        &query_vars(query),
+    )
+}
+
+/// [`certain_answers`] parameterized for prepared queries: `init`
+/// pre-binds query parameters (evaluation extends it per repair) and
+/// `vars` names the output columns explicitly, so a prepared query's
+/// column schema — variables minus parameters, in first-occurrence
+/// order — is honored instead of being re-derived per call.
+pub fn certain_answers_bound(
+    edb: &FactSet,
+    rules: &RuleSet,
+    repairs: &[RepairSet],
+    query: &[Literal],
+    init: &Subst,
+    vars: &[Sym],
+) -> Vec<Vec<(Sym, Sym)>> {
+    intersect_over_repairs(repairs, |repair| {
         let (adds, dels) = repair.overlay();
         let engine = OverlayEngine::updated(edb, rules, adds, dels);
-        let mut answers: AnswerMap = BTreeMap::new();
-        for s in all_solutions(&engine, query, &mut Subst::new(), &vars) {
+        let mut answers = BTreeMap::new();
+        for s in all_solutions(&engine, query, &mut init.clone(), vars) {
             let binding: Vec<(Sym, Sym)> = vars
                 .iter()
                 .filter_map(|&v| match s.walk(Term::Var(v)) {
@@ -66,6 +81,32 @@ pub fn certain_answers(
                 .collect();
             answers.insert(key, binding);
         }
+        answers
+    })
+}
+
+/// The certain-answer intersection, parameterized by how one repair
+/// candidate's answers are enumerated: `answers_for` returns a repair's
+/// answer set keyed by a rendered (name-deterministic, hence
+/// order-deterministic) form; an answer is certain iff its key appears
+/// for **every** repair, and the survivors come back in key order. The
+/// overlay path above and the prepared magic path (`uniform::Session`)
+/// both delegate here, so the intersection semantics — including the
+/// empty-intersection early exit — exist exactly once.
+///
+/// `repairs` must be non-empty — a consistent state contributes the
+/// single empty repair, under which this is ordinary query answering.
+pub fn intersect_over_repairs<K: Ord, T>(
+    repairs: &[RepairSet],
+    mut answers_for: impl FnMut(&RepairSet) -> BTreeMap<K, T>,
+) -> Vec<T> {
+    assert!(
+        !repairs.is_empty(),
+        "certain answers need at least one repair (the empty repair of a consistent state)"
+    );
+    let mut certain: Option<BTreeMap<K, T>> = None;
+    for repair in repairs {
+        let answers = answers_for(repair);
         certain = Some(match certain {
             None => answers,
             Some(prev) => prev
@@ -82,11 +123,23 @@ pub fn certain_answers(
 
 /// Is the closed formula true in every repair?
 pub fn certainly_satisfies(edb: &FactSet, rules: &RuleSet, repairs: &[RepairSet], rq: &Rq) -> bool {
+    certainly_satisfies_bound(edb, rules, repairs, rq, &Subst::new())
+}
+
+/// [`certainly_satisfies`] with the formula's free variables pre-bound
+/// by `init` (prepared formula queries bind parameters this way).
+pub fn certainly_satisfies_bound(
+    edb: &FactSet,
+    rules: &RuleSet,
+    repairs: &[RepairSet],
+    rq: &Rq,
+    init: &Subst,
+) -> bool {
     assert!(!repairs.is_empty(), "see certain_answers");
     repairs.iter().all(|repair| {
         let (adds, dels) = repair.overlay();
         let engine = OverlayEngine::updated(edb, rules, adds, dels);
-        satisfies_closed(&engine, rq)
+        satisfies(&engine, rq, &mut init.clone())
     })
 }
 

@@ -477,8 +477,11 @@ impl RepairEngine {
     }
 
     /// `repairs()`, additionally demanding
-    /// [`RepairReport::covers_all_minimal_repairs`].
-    fn repairs_covering_all_minimal(&self) -> Result<RepairReport, RepairError> {
+    /// [`RepairReport::covers_all_minimal_repairs`] — the precondition
+    /// for serving certain answers. Public so prepared-query sessions
+    /// can enumerate once per pinned snapshot and intersect many
+    /// queries over the same repair list (see `uniform::Session`).
+    pub fn repairs_covering_all_minimal(&self) -> Result<RepairReport, RepairError> {
         let report = self.repairs()?;
         if !report.covers_all_minimal_repairs() {
             return Err(RepairError::BudgetExhausted {

@@ -55,7 +55,10 @@
 pub mod cqa;
 pub mod engine;
 
-pub use cqa::{certain_answers, certainly_satisfies};
+pub use cqa::{
+    certain_answers, certain_answers_bound, certainly_satisfies, certainly_satisfies_bound,
+    intersect_over_repairs,
+};
 pub use engine::{RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, RepairStats};
 
 /// What a guarded commit pipeline does when a transaction's integrity

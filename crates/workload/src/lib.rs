@@ -507,6 +507,35 @@ pub fn violation_mix(
     (db, streams)
 }
 
+/// The hot-query list a serving tier would pin against
+/// [`deductive_university`] databases: joins through the derived
+/// predicate, bound and free literals, and a negation. Consumed by the
+/// `b5_prepared_queries` bench and the prepared-vs-legacy equivalence
+/// property suite.
+pub fn university_read_queries() -> &'static [&'static str] {
+    &[
+        "enrolled(X, C)",
+        "student(X), attends(X, C)",
+        "enrolled(X, cs), attends(X, ddb)",
+        "student(X), not attends(X, ddb)",
+        "attends(s0, C)",
+    ]
+}
+
+/// The hot-query list for [`violation_mix_db`] / [`violation_state`]
+/// databases (one per constraint class, plus a join), for exercising
+/// the `Certain` consistency level over inconsistent states.
+pub fn violation_read_queries() -> &'static [&'static str] {
+    &[
+        "p(X)",
+        "q(X)",
+        "flagged(X)",
+        "s(X, Y)",
+        "r(X), s(X, Y)",
+        "p(X), not q(X)",
+    ]
+}
+
 /// Random ground facts over a fixed schema — fodder for property tests.
 pub fn random_facts(
     preds: &[(&str, usize)],

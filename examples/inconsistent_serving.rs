@@ -1,11 +1,15 @@
-//! Inconsistency-tolerant serving: minimal repairs, certain answers,
-//! and the violation policies of the commit pipeline.
+//! Inconsistency-tolerant serving: minimal repairs, certain answers
+//! through the prepared read path, and the violation policies of the
+//! commit pipeline.
 //!
 //! ```sh
 //! cargo run --example inconsistent_serving
 //! ```
 
-use uniform::{ConcurrentDatabase, Fact, UniformDatabase, UniformOptions, Update, ViolationPolicy};
+use uniform::{
+    ConcurrentDatabase, Consistency, Fact, Params, PreparedQuery, UniformDatabase, UniformOptions,
+    Update, ViolationPolicy,
+};
 
 fn main() {
     // An external load left the data inconsistent: jack and jill are
@@ -25,15 +29,19 @@ fn main() {
         println!("  {repair}");
     }
 
-    // Certain answers: true in EVERY minimal repair. jill is certainly
-    // enrolled; jack's enrollment depends on which repair you pick
-    // (expelling him vs. marking him as attending), so it is not
-    // certain.
-    println!("certain enrolled(X, cs):");
-    for binding in db.consistent_answer("enrolled(X, cs)").unwrap() {
-        for (var, value) in binding {
-            println!("  {var} = {value}");
-        }
+    // One prepared query, two consistency levels — the read path the
+    // paper's uniform treatment suggests. `Latest` answers against the
+    // canonical model as loaded; `Certain` serves only what is true in
+    // EVERY minimal repair: jill is certainly enrolled; jack's
+    // enrollment depends on which repair you pick (expelling him vs.
+    // marking him as attending), so it is not certain. The session
+    // enumerates the repairs once and reuses them per execute.
+    let enrolled = PreparedQuery::prepare_with_params("enrolled(X, C)", &["C"]).unwrap();
+    let session = db.session();
+    let course = Params::new().bind("C", "cs");
+    for level in [Consistency::Latest, Consistency::Certain] {
+        let rows = session.execute(&enrolled, &course, level).unwrap();
+        println!("{level:?} enrolled(X, cs): {rows}");
     }
 
     // The commit pipeline can explain or auto-repair violations.

@@ -6,9 +6,10 @@
 //!
 //! Shows the two halves of the uniform approach on a tiny personnel
 //! database: updates checked with the integrity-maintenance method, and
-//! schema changes checked with the finite-satisfiability method.
+//! schema changes checked with the finite-satisfiability method — plus
+//! the typed read path: prepared queries executed through a session.
 
-use uniform::UniformDatabase;
+use uniform::{Consistency, Params, PreparedQuery, UniformDatabase};
 
 fn main() {
     let mut db = UniformDatabase::parse(
@@ -29,14 +30,26 @@ fn main() {
     )
     .expect("program is well-formed and initially consistent");
 
-    println!("== queries ==");
-    println!(
-        "member(ann, sales)?            {}",
-        db.query("member(ann, sales)").unwrap()
-    );
+    println!("== queries: prepare once, execute many ==");
+    // Parse + plan happen here, once; `execute` only evaluates. The
+    // `D` variable is a named parameter bound per call.
+    let members = PreparedQuery::prepare_with_params("member(X, D)", &["D"]).unwrap();
+    let led = PreparedQuery::prepare_formula("exists X: member(ann, X)").unwrap();
+    let session = db.session(); // pins a snapshot of the current state
+    let rows = session
+        .execute(
+            &members,
+            &Params::new().bind("D", "sales"),
+            Consistency::Latest,
+        )
+        .unwrap();
+    println!("member(X, sales)?              {rows}");
     println!(
         "exists X: member(ann, X)?      {}",
-        db.query("exists X: member(ann, X)").unwrap()
+        session
+            .execute(&led, &Params::new(), Consistency::Latest)
+            .unwrap()
+            .is_true()
     );
 
     println!("\n== guarded updates ==");
@@ -54,9 +67,17 @@ fn main() {
          ({} instances evaluated, {} potential updates)",
         report.stats.instances_evaluated, report.stats.potential_updates
     );
+    // Sessions pin their snapshot; a fresh one sees the commit —
+    // through the same prepared plan.
     println!(
-        "member(bob, hr)?               {}",
-        db.query("member(bob, hr)").unwrap()
+        "member(X, hr)? (new session)   {}",
+        db.session()
+            .execute(
+                &members,
+                &Params::new().bind("D", "hr"),
+                Consistency::Latest
+            )
+            .unwrap()
     );
 
     // Deleting ann's leadership would leave sales unled.

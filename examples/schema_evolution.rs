@@ -44,18 +44,24 @@ fn main() {
         Err(e) => println!("add leader_dom -> {e}\n"),
     }
 
-    // Violated now, but satisfiable: the error carries a repair.
+    // Violated now, but satisfiable: the error carries the smallest
+    // minimal repair of the would-be state (the RepairEngine's, so it
+    // never disagrees with `minimal_repairs`).
     let audited = "forall X, Y: leads(X, Y) -> audited(X)";
     match db.try_add_constraint("audited_leads", audited) {
         Err(UniformError::CurrentlyViolated { constraint, repair }) => {
             println!("add {constraint}: `{audited}`\n  -> violated by the current state");
-            if let Some(facts) = &repair {
-                let printed: Vec<String> = facts.iter().map(|f| f.to_string()).collect();
-                println!("  -> suggested repair: insert {}", printed.join(", "));
+            if let Some(repair) = &repair {
+                println!("  -> suggested repair: {repair}");
                 // Take the suggestion, then retry.
-                for fact in facts {
-                    db.try_insert(&fact.to_string())
-                        .expect("repair facts are safe");
+                for op in repair.ops() {
+                    if op.insert {
+                        db.try_insert(&op.fact.to_string())
+                            .expect("repair insertions are safe");
+                    } else {
+                        db.try_delete(&op.fact.to_string())
+                            .expect("repair deletions are safe");
+                    }
                 }
                 db.try_add_constraint("audited_leads", audited)
                     .expect("accepted after repair");
@@ -87,12 +93,20 @@ fn main() {
         Err(e) => println!("add rule boss/1      -> {e}"),
     }
 
-    // A rule whose derivations violate a constraint: rejected with the
-    // culprit derivation, found by checking only the relevant
-    // simplified instances.
+    // A rule whose derivations violate a constraint. With `some_dept`
+    // and `led` in scope every model must contain a leading employee,
+    // so the rule makes the *schema* unsatisfiable under `no_self_sub`
+    // and the §4 guard fires before any fact is consulted; without
+    // those constraints the incremental state check would reject it
+    // with the culprit derivation instead. Both guards are shown.
     db.try_add_constraint("no_self_sub", "forall X: subordinate(X, X) -> false")
         .expect("satisfiable and satisfied");
     match db.try_add_rule("subordinate(X, X) :- employee(X).") {
+        Err(UniformError::Unsatisfiable(_)) => println!(
+            "add rule subordinate -> rejected by the satisfiability guard: every model of \
+             `some_dept` + `led` contains a leading employee, whom the rule would make their \
+             own subordinate — no database state could satisfy the schema"
+        ),
         Err(UniformError::UpdateRejected(report)) => {
             let v = &report.violations[0];
             println!(

@@ -5,7 +5,8 @@
 //! child process per setting and compares digests of everything
 //! user-visible a workload produces: guarded-update violation lists (in
 //! order), maintained-model flip lists (in order), checker read sets,
-//! satisfiability outcomes, and final fact/model iteration order.
+//! satisfiability outcomes, prepared-query `Rows` iteration order and
+//! plan-cache counters, and final fact/model iteration order.
 //!
 //! This is the regression net for the ROADMAP's `net_effect`-style bug
 //! class: any `HashMap`/`HashSet` iteration leaking into user-visible
@@ -18,8 +19,8 @@ use uniform::integrity::Checker;
 use uniform::logic::{parse_query, parse_rule};
 use uniform::workload;
 use uniform::{
-    CommitQueue, ConcurrentDatabase, RepairEngine, SatChecker, Transaction, UniformOptions,
-    ViolationPolicy,
+    CommitQueue, ConcurrentDatabase, Consistency, Params, RepairEngine, SatChecker, Transaction,
+    UniformOptions, ViolationPolicy,
 };
 
 /// FNV-1a over the rendered observation log (no external deps).
@@ -203,7 +204,44 @@ fn observation_log() -> String {
         }
     }
 
-    // 6. Satisfiability search outcome (frontier order feeds the found
+    // 6. The prepared read path: Rows iteration order (the typed
+    //    result set's deterministic order is user-visible), per-query
+    //    plan counters and the shared plan-cache stats, at both
+    //    consistency levels and across a schema change (stale-rev
+    //    re-planning included).
+    let qdb = ConcurrentDatabase::from_database(
+        workload::violation_state(4, 47),
+        UniformOptions::default(),
+    );
+    for src in ["p(X)", "s(X, Y)", "flagged(X)", "r(X), s(X, Y)"] {
+        let q = qdb.prepare(src).unwrap();
+        let session = qdb.session();
+        for level in [Consistency::Latest, Consistency::Certain] {
+            match session.execute(&q, &Params::new(), level) {
+                Ok(rows) => {
+                    let _ = writeln!(log, "rows {src} {level:?} {rows}");
+                }
+                Err(e) => {
+                    let _ = writeln!(log, "rows {src} {level:?} err {e}");
+                }
+            }
+        }
+        let _ = writeln!(log, "plan {src} {:?}", q.plan_counters());
+    }
+    {
+        // A rule update moves the revision: the re-planned execution's
+        // rows and the plan-miss counter both enter the digest.
+        let q = qdb.prepare("flagged(X)").unwrap();
+        qdb.try_add_rule("flagged(X) :- r(X), bad(X).").unwrap();
+        let rows = qdb
+            .session()
+            .execute(&q, &Params::new(), Consistency::Latest)
+            .unwrap();
+        let _ = writeln!(log, "replanned {rows} plan {:?}", q.plan_counters());
+    }
+    let _ = writeln!(log, "plancache {:?}", qdb.plan_cache_stats());
+
+    // 7. Satisfiability search outcome (frontier order feeds the found
     //    model's explicit facts).
     let schema = Database::parse(
         "
