@@ -7,14 +7,16 @@
 //!    ([`ConcurrentDatabase::begin`] → [`TxnBuilder`]);
 //! 2. is **checked** by the paper's incremental integrity method
 //!    *against that snapshot* — the expensive phase, running outside
-//!    any lock, recording the relation-level read set the verdict
-//!    depends on;
+//!    any lock, recording the binding-level read patterns the verdict
+//!    depends on (`CheckReport::read_patterns`);
 //! 3. is **submitted** to the shared
 //!    [`CommitQueue`], which admits
-//!    it with first-committer-wins conflict detection: writers over
-//!    disjoint relations commit without invalidating each other, while
-//!    a transaction whose read or write set overlaps a later commit's
-//!    writes is refused with a typed, retriable [`TxnError::Conflict`].
+//!    it with first-committer-wins conflict detection at key
+//!    granularity: writers over disjoint relations — or disjoint keys
+//!    of the *same* relation — commit without invalidating each other,
+//!    while a transaction whose read patterns cover a later commit's
+//!    written tuples is refused with a typed, retriable
+//!    [`TxnError::Conflict`] naming the granularity that refused it.
 //!
 //! Admitted schedules are serializable: replaying the admitted
 //! transactions sequentially in commit order reproduces the same EDB,
@@ -31,9 +33,9 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uniform_datalog::txn::{
-    CommitError, CommitQueue, CommitReceipt, MaintenanceCounters, ModelPath,
+    CommitError, CommitQueue, CommitReceipt, ConflictStats, MaintenanceCounters, ModelPath,
 };
-use uniform_datalog::{Database, Snapshot, Transaction, TxnBuilder, Update};
+use uniform_datalog::{ConflictGranularity, Database, Snapshot, Transaction, TxnBuilder, Update};
 use uniform_integrity::{CheckReport, Checker, RuleUpdate};
 use uniform_logic::Sym;
 use uniform_repair::{RepairEngine, RepairError, RepairSet, ViolationPolicy};
@@ -63,11 +65,16 @@ pub enum TxnError {
         report: Box<CheckReport>,
         error: RepairError,
     },
-    /// A first-committer won a relation this transaction depends on.
-    /// Retriable: re-begin against a fresh snapshot.
+    /// A first-committer won a tuple (or relation) this transaction
+    /// depends on. `granularity` says what refused it: `Key` — a
+    /// committed tuple matched one of this transaction's key-level
+    /// read fingerprints; `Relation` — an unbounded read overlapped a
+    /// written relation outright. Retriable: re-begin against a fresh
+    /// snapshot.
     Conflict {
         relations: Vec<uniform_logic::Sym>,
         committed_version: u64,
+        granularity: ConflictGranularity,
     },
     /// The transaction out-lived the commit queue's conflict log.
     /// Retriable: re-begin against a fresh snapshot.
@@ -96,9 +103,11 @@ impl TxnError {
             CommitError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             } => TxnError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             },
             CommitError::SnapshotTooOld {
                 begin_version,
@@ -144,9 +153,14 @@ impl fmt::Display for TxnError {
             TxnError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             } => write!(
                 f,
-                "commit conflict on {} (first committer won at version {committed_version})",
+                "commit conflict ({}) on {} (first committer won at version {committed_version})",
+                match granularity {
+                    ConflictGranularity::Relation => "relation-level",
+                    ConflictGranularity::Key => "key-level",
+                },
                 relations
                     .iter()
                     .map(|s| s.as_str())
@@ -332,9 +346,12 @@ impl ConcurrentDatabase {
         let tx = txn.transaction();
         let report = Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check)
             .check(&tx);
-        // The admission decision needs every relation the verdict read —
-        // and so does deciding whether a *rejection* is still current.
-        txn.record_reads(report.reads.iter().copied());
+        // The admission decision needs every access pattern the verdict
+        // read — and so does deciding whether a *rejection* is still
+        // current. Patterns with bound constants become key-level
+        // fingerprints; only genuinely unbounded scans pin the whole
+        // relation.
+        txn.record_read_patterns(&report.read_patterns);
         if !report.satisfied {
             // A rejection is only final if its snapshot is still fresh
             // for the read set; if a later commit wrote into it, the
@@ -398,9 +415,11 @@ impl ConcurrentDatabase {
             debug_assert!(false, "repair delta failed to restore consistency");
             return Err(TxnError::Rejected(Box::new(combined_report)));
         }
-        let mut reads: BTreeSet<Sym> = combined_report.reads.iter().copied().collect();
-        reads.extend(Self::constraint_closure_reads(txn.snapshot()));
-        txn.record_reads(reads);
+        txn.record_read_patterns(&combined_report.read_patterns);
+        // The closure reads are deliberately unbounded (whole-relation):
+        // the repair choice surveyed those relations without any key to
+        // pin, so any write into them must conflict.
+        txn.record_reads(Self::constraint_closure_reads(txn.snapshot()));
         match self.shared.queue.commit(&txn) {
             Ok(CommitReceipt {
                 version,
@@ -585,6 +604,14 @@ impl ConcurrentDatabase {
         self.shared.queue.maintenance()
     }
 
+    /// Running conflict-detection counters of the underlying queue:
+    /// admitted commits, refusals by granularity (relation-level vs
+    /// key-level), and how many submissions carried an unbounded read
+    /// and thus fell back to whole-relation conflict detection.
+    pub fn conflict_stats(&self) -> ConflictStats {
+        self.shared.queue.conflict_stats()
+    }
+
     /// Run a raw schema mutation under the queue lock (see
     /// [`CommitQueue::update_schema`]): the maintained model is reset
     /// and in-flight transactions are fenced with a retriable
@@ -754,17 +781,56 @@ mod tests {
         let mut t1 = db.begin();
         t1.stage(upd(false, "seat", &["a"]));
         let mut t2 = db.begin();
-        t2.stage(upd(true, "seat", &["b"]));
+        t2.stage(upd(true, "seat", &["a"]));
         db.commit(&t1).unwrap();
-        // t2 writes the relation t1 just changed: first committer wins.
+        // t2 touches the tuple t1 just deleted: first committer wins,
+        // and the refusal names the key granularity that caught it.
         let err = db.commit(&t2).unwrap_err();
         assert!(err.is_retriable(), "{err}");
+        match &err {
+            TxnError::Conflict {
+                relations,
+                granularity,
+                ..
+            } => {
+                assert_eq!(relations.len(), 1);
+                assert_eq!(relations[0].as_str(), "seat");
+                assert_eq!(*granularity, ConflictGranularity::Key);
+            }
+            other => panic!("expected a conflict, got {other}"),
+        }
         // The retry path re-begins and lands it.
         let outcome = db
-            .commit_updates_with_retry(&[upd(true, "seat", &["b"])], 4)
+            .commit_updates_with_retry(&[upd(true, "seat", &["a"])], 4)
             .unwrap();
         assert!(outcome.report.satisfied);
+        assert!(db.with_database(|d| d.facts().contains(&Fact::parse_like("seat", &["a"]))));
+        let stats = db.conflict_stats();
+        assert_eq!(stats.key_conflicts, 1);
+        assert_eq!(stats.relation_conflicts, 0);
+    }
+
+    #[test]
+    fn writers_to_disjoint_keys_of_one_relation_admit_concurrently() {
+        // The b6 scenario through the full facade: two writers append
+        // different keys to the same hot relation from the same
+        // snapshot version; neither invalidates the other.
+        let db = ConcurrentDatabase::parse("seat(a).").unwrap();
+        let mut t1 = db.begin();
+        t1.stage(upd(false, "seat", &["a"]));
+        let mut t2 = db.begin();
+        t2.stage(upd(true, "seat", &["b"]));
+        db.commit(&t1).unwrap();
+        let outcome = db.commit(&t2).unwrap();
+        assert!(outcome.report.satisfied);
         assert!(db.with_database(|d| d.facts().contains(&Fact::parse_like("seat", &["b"]))));
+        let stats = db.conflict_stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.key_conflicts + stats.relation_conflicts, 0);
+        assert_eq!(
+            stats.whole_relation_fallbacks, 0,
+            "blind appends must stay key-bounded"
+        );
     }
 
     #[test]

@@ -59,8 +59,9 @@ pub use uniform_satisfiability as satisfiability;
 pub use uniform_workload as workload;
 
 pub use uniform_datalog::{
-    ApplyError, CommitError, CommitQueue, CommitReceipt, Database, FactSet, MaintenanceCounters,
-    Model, ModelPath, Snapshot, Transaction, TxnBuilder, Update,
+    ApplyError, CommitError, CommitQueue, CommitReceipt, ConflictGranularity, ConflictStats,
+    Database, FactSet, MaintenanceCounters, Model, ModelPath, ReadPattern, Snapshot, Transaction,
+    TxnBuilder, Update,
 };
 pub use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker, Violation,

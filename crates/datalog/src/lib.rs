@@ -4,7 +4,10 @@
 //! Manthey, EDBT 1988): everything below the integrity and satisfiability
 //! layers.
 //!
-//! * [`store`] — per-predicate relations with per-column hash indexes;
+//! * [`store`] — per-predicate relations as chunked copy-on-write page
+//!   tables ([`PAGE_CAP`]-slot leaves behind `Arc`s, routed by the
+//!   persistent trie in [`pagemap`]) with per-column hash indexes:
+//!   snapshot clones bump refcounts, mutation copies one page;
 //! * [`program`] — indexed rule sets with [`depgraph`] stratification;
 //! * [`model`] — stratified semi-naive materialization of the canonical
 //!   model (§2 semantics);
@@ -25,19 +28,22 @@
 //! * [`update`] — single-fact updates (Def. 1) and transactions;
 //! * [`txn`] — the concurrent commit pipeline: transactions staged
 //!   against MVCC snapshots, admitted by a [`txn::CommitQueue`] with
-//!   first-committer-wins conflict detection over relation-level
-//!   read/write sets;
+//!   first-committer-wins conflict detection over key-fingerprint
+//!   read/write footprints ([`footprint`]), falling back to
+//!   whole-relation conflicts only for genuinely unbounded reads;
 //! * [`database`] — the `D = (F, R, I)` triple with a cached model.
 
 pub mod cq;
 pub mod database;
 pub mod depgraph;
 pub mod eval;
+pub mod footprint;
 pub mod interp;
 pub mod magic;
 pub mod maintain;
 pub mod memo;
 pub mod model;
+pub mod pagemap;
 pub mod par;
 pub mod planner;
 pub mod program;
@@ -52,6 +58,7 @@ pub use cq::{all_solutions, bind_pattern, provable, solve_conjunction, solve_pla
 pub use database::{validate_transaction_arities, ApplyError, Database, Snapshot};
 pub use depgraph::{DepGraph, StratificationError};
 pub use eval::{satisfies, satisfies_closed};
+pub use footprint::{ConflictGranularity, KeyFp, ReadFootprint, ReadPattern, RelAccess};
 pub use interp::{Interp, Overlay};
 pub use magic::{
     answer_goal_magic, answer_prepared, magic_rewrite, MagicAnswers, MagicError, MagicProgram,
@@ -63,9 +70,10 @@ pub use planner::{optimize_rq, Cardinality, ConjunctionPlan, FixedStats, PlanRep
 pub use program::{BodyOccurrence, RuleSet};
 pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;
-pub use store::{FactSet, Relation};
+pub use store::{cow_stats, CowStats, FactSet, Relation, COMPACT_FLOOR, PAGE_CAP};
 pub use topdown::OverlayEngine;
 pub use txn::{
-    CommitError, CommitQueue, CommitReceipt, MaintenanceCounters, ModelPath, TxnBuilder,
+    CommitError, CommitQueue, CommitReceipt, ConflictStats, MaintenanceCounters, ModelPath,
+    TxnBuilder,
 };
 pub use update::{Transaction, Update};

@@ -1,0 +1,246 @@
+//! A persistent (path-copying) hash trie from tuples to page slots.
+//!
+//! `SlotMap` is the router of the chunked fact store
+//! ([`crate::store`]): it maps every tuple a relation has ever held —
+//! live or tombstoned — to the page and offset of its slot. The trie is
+//! built from `Arc`-shared nodes, so cloning a map is one refcount bump
+//! and an insert or remove copies only the O(log n) nodes on the path
+//! to the touched leaf. That is what keeps a whole-`Relation` clone
+//! O(#pages) and a commit-time mutation O(delta): snapshot holders keep
+//! the old root, the writer re-links a handful of fresh nodes.
+//!
+//! Keys are hashed with [`DefaultHasher`], whose SipHash keys are fixed
+//! (not per-process randomized), and no iteration order is ever exposed
+//! — lookups, inserts and removes are the entire API — so the trie
+//! cannot leak hash-dependent order into user-visible output (the
+//! determinism-digest discipline of `tests/determinism.rs`).
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use uniform_logic::Sym;
+
+/// Location of a tuple inside a chunked relation: the page ordinal in
+/// the relation's page table and the slot offset within that page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct SlotRef {
+    pub page: u32,
+    pub offset: u16,
+}
+
+const BITS: u32 = 4;
+const FANOUT: usize = 1 << BITS; // 16-way branching
+const MAX_DEPTH: u32 = 64 / BITS; // past this, leaves are pure collision buckets
+const LEAF_MAX: usize = 8;
+
+#[derive(Clone, Debug)]
+enum Node {
+    /// Bucket of `(hash, tuple, slot)`; order is never observed.
+    Leaf(Vec<(u64, Box<[Sym]>, SlotRef)>),
+    Branch(Box<[Option<Arc<Node>>; FANOUT]>),
+}
+
+fn hash_tuple(key: &[Sym]) -> u64 {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    h.finish()
+}
+
+fn branch_index(hash: u64, depth: u32) -> usize {
+    ((hash >> (depth * BITS)) & (FANOUT as u64 - 1)) as usize
+}
+
+/// Persistent tuple → [`SlotRef`] map with O(1) clone.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct SlotMap {
+    root: Option<Arc<Node>>,
+    len: usize,
+}
+
+impl SlotMap {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn get(&self, key: &[Sym]) -> Option<SlotRef> {
+        let hash = hash_tuple(key);
+        let mut node = self.root.as_deref()?;
+        let mut depth = 0;
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    return entries
+                        .iter()
+                        .find(|(h, k, _)| *h == hash && **k == *key)
+                        .map(|&(_, _, slot)| slot);
+                }
+                Node::Branch(children) => {
+                    node = children[branch_index(hash, depth)].as_deref()?;
+                    depth += 1;
+                }
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous slot if the key was
+    /// present. Copies only the path from the root to the touched leaf.
+    pub fn insert(&mut self, key: &[Sym], slot: SlotRef) -> Option<SlotRef> {
+        let hash = hash_tuple(key);
+        let root = self
+            .root
+            .get_or_insert_with(|| Arc::new(Node::Leaf(Vec::new())));
+        let prev = insert_rec(root, 0, hash, key, slot);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        prev
+    }
+
+    /// Remove; returns the slot the key mapped to, if any.
+    pub fn remove(&mut self, key: &[Sym]) -> Option<SlotRef> {
+        let hash = hash_tuple(key);
+        let root = self.root.as_mut()?;
+        let prev = remove_rec(root, 0, hash, key);
+        if prev.is_some() {
+            self.len -= 1;
+        }
+        prev
+    }
+}
+
+fn insert_rec(
+    node: &mut Arc<Node>,
+    depth: u32,
+    hash: u64,
+    key: &[Sym],
+    slot: SlotRef,
+) -> Option<SlotRef> {
+    let n = Arc::make_mut(node);
+    match n {
+        Node::Leaf(entries) => {
+            if let Some(e) = entries
+                .iter_mut()
+                .find(|(h, k, _)| *h == hash && **k == *key)
+            {
+                return Some(std::mem::replace(&mut e.2, slot));
+            }
+            entries.push((hash, key.into(), slot));
+            if entries.len() > LEAF_MAX && depth < MAX_DEPTH {
+                let drained = std::mem::take(entries);
+                let mut children: [Option<Arc<Node>>; FANOUT] = std::array::from_fn(|_| None);
+                for entry in drained {
+                    let idx = branch_index(entry.0, depth);
+                    let child =
+                        children[idx].get_or_insert_with(|| Arc::new(Node::Leaf(Vec::new())));
+                    match Arc::get_mut(child).expect("freshly built child") {
+                        Node::Leaf(bucket) => bucket.push(entry),
+                        Node::Branch(_) => unreachable!("split builds leaves only"),
+                    }
+                }
+                *n = Node::Branch(Box::new(children));
+            }
+            None
+        }
+        Node::Branch(children) => {
+            let child = children[branch_index(hash, depth)]
+                .get_or_insert_with(|| Arc::new(Node::Leaf(Vec::new())));
+            insert_rec(child, depth + 1, hash, key, slot)
+        }
+    }
+}
+
+fn remove_rec(node: &mut Arc<Node>, depth: u32, hash: u64, key: &[Sym]) -> Option<SlotRef> {
+    // Probe before copying: a miss must not clone the path.
+    match &**node {
+        Node::Leaf(entries) => {
+            let at = entries
+                .iter()
+                .position(|(h, k, _)| *h == hash && **k == *key)?;
+            match Arc::make_mut(node) {
+                Node::Leaf(entries) => Some(entries.swap_remove(at).2),
+                Node::Branch(_) => unreachable!("node kind is stable across make_mut"),
+            }
+        }
+        Node::Branch(_) => {
+            let idx = branch_index(hash, depth);
+            // Check the child exists without cloning this branch first.
+            match &**node {
+                Node::Branch(children) if children[idx].is_some() => {}
+                _ => return None,
+            }
+            match Arc::make_mut(node) {
+                Node::Branch(children) => {
+                    let child = children[idx].as_mut().expect("checked above");
+                    remove_rec(child, depth + 1, hash, key)
+                }
+                Node::Leaf(_) => unreachable!("node kind is stable across make_mut"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(parts: &[&str]) -> Box<[Sym]> {
+        parts.iter().map(|s| Sym::new(s)).collect()
+    }
+
+    fn slot(page: u32, offset: u16) -> SlotRef {
+        SlotRef { page, offset }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut m = SlotMap::default();
+        for i in 0..500u32 {
+            let k = key(&[&format!("a{i}"), &format!("b{}", i % 7)]);
+            assert_eq!(m.insert(&k, slot(i, 0)), None);
+        }
+        assert_eq!(m.len(), 500);
+        for i in 0..500u32 {
+            let k = key(&[&format!("a{i}"), &format!("b{}", i % 7)]);
+            assert_eq!(m.get(&k), Some(slot(i, 0)));
+        }
+        assert_eq!(m.get(&key(&["zzz", "b0"])), None);
+        for i in 0..250u32 {
+            let k = key(&[&format!("a{i}"), &format!("b{}", i % 7)]);
+            assert_eq!(m.remove(&k), Some(slot(i, 0)));
+            assert_eq!(m.remove(&k), None, "double remove");
+        }
+        assert_eq!(m.len(), 250);
+        for i in 250..500u32 {
+            let k = key(&[&format!("a{i}"), &format!("b{}", i % 7)]);
+            assert_eq!(m.get(&k), Some(slot(i, 0)));
+        }
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_previous() {
+        let mut m = SlotMap::default();
+        let k = key(&["x"]);
+        assert_eq!(m.insert(&k, slot(0, 3)), None);
+        assert_eq!(m.insert(&k, slot(1, 4)), Some(slot(0, 3)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&k), Some(slot(1, 4)));
+    }
+
+    #[test]
+    fn clones_are_independent_and_share_structure() {
+        let mut a = SlotMap::default();
+        for i in 0..200u32 {
+            a.insert(&key(&[&format!("k{i}")]), slot(0, i as u16));
+        }
+        let b = a.clone();
+        // Mutate the original; the clone's view is stable.
+        a.remove(&key(&["k0"]));
+        a.insert(&key(&["k1"]), slot(9, 9));
+        a.insert(&key(&["fresh"]), slot(7, 7));
+        assert_eq!(b.get(&key(&["k0"])), Some(slot(0, 0)));
+        assert_eq!(b.get(&key(&["k1"])), Some(slot(0, 1)));
+        assert_eq!(b.get(&key(&["fresh"])), None);
+        assert_eq!(b.len(), 200);
+        assert_eq!(a.len(), 200);
+    }
+}

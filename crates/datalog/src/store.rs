@@ -1,39 +1,140 @@
-//! The fact store: per-predicate relations with per-column hash indexes.
+//! The fact store: chunked copy-on-write relations with per-column
+//! hash indexes.
 //!
-//! Tuples live in an append-only arena per relation; deletion tombstones a
-//! slot (re-insertion revives it). Every column has a hash index from
-//! value to slots, so a scan with any bound position is a bucket lookup
-//! rather than a full pass — this is what makes simplified-instance
-//! evaluation O(matching tuples) instead of O(relation), the asymmetry
-//! experiment E1 measures.
+//! A [`Relation`] is a table of immutable-ish leaf *pages* of at most
+//! [`PAGE_CAP`] slots each, every page behind its own [`Arc`]. Tuples
+//! append to the tail page; deletion tombstones a slot in place
+//! (re-insertion revives it, preserving its position and therefore
+//! iteration order). A persistent `SlotMap` routes every tuple —
+//! live or tombstoned — to its `(page, offset)` slot. Each page carries
+//! its own per-column hash indexes, so a scan with any bound position
+//! is a bucket lookup per page rather than a full pass — this is what
+//! makes simplified-instance evaluation O(matching tuples) instead of
+//! O(relation), the asymmetry experiment E1 measures.
 //!
-//! Relations accumulate tombstones and stale index entries under
-//! delete-heavy churn; once more than half of a (non-trivial) arena is
-//! dead, [`Relation::compact`] rebuilds it, preserving live-tuple order.
+//! The chunking exists for the commit pipeline's copy-on-write
+//! economics: cloning a relation bumps one refcount per page (plus the
+//! router root), and mutating a clone copies only the touched pages
+//! and the router path to them — O(delta), not O(relation). A snapshot
+//! holder therefore keeps a bit-identical view while a writer lands a
+//! commit whose storage cost is proportional to the delta the paper's
+//! method already computes, never to the relation it lands in.
+//! [`cow_stats`] counts the pages, tuples and approximate bytes those
+//! clones copy (`b6_hot_relation` reports them per commit).
+//!
+//! Tombstone accounting is per page, replacing the old global
+//! `stale_slots`/`compact` pass: the tail page compacts once more than
+//! half of a non-trivial arena is dead (the [`COMPACT_FLOOR`] keeps
+//! small relations from re-indexing on every delete), while sealed
+//! (non-tail) pages — which never grow again — compact as soon as
+//! tombstones dominate, whatever their size. Page compaction rebuilds
+//! one page and re-routes only that page's tuples; live-tuple order is
+//! preserved. An explicit [`Relation::compact`] still rebuilds the
+//! whole relation, dropping empty pages.
 //!
 //! [`FactSet`] holds each relation behind an [`Arc`] with copy-on-write
 //! mutation: cloning a fact set is O(#relations) regardless of how many
 //! tuples it holds, which is what makes database snapshots cheap enough
 //! to hand to every reader (see `database::Snapshot`). A writer mutating
-//! a shared relation clones just that relation, leaving snapshot holders
-//! an immutable view of the pre-mutation state.
+//! a shared relation clones just that relation — and with chunked
+//! relations, "cloning" copies page refcounts, not tuple data.
 
-use std::collections::hash_map::Entry;
+use crate::pagemap::{SlotMap, SlotRef};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use uniform_logic::{Fact, Sym};
 
-/// One stored relation (all facts of one predicate).
+/// Maximum slots per leaf page.
+pub const PAGE_CAP: usize = 1024;
+/// Tail pages below this many slots never auto-compact.
+pub const COMPACT_FLOOR: usize = 32;
+
+static PAGES_CLONED: AtomicU64 = AtomicU64::new(0);
+static TUPLES_CLONED: AtomicU64 = AtomicU64::new(0);
+static BYTES_CLONED: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide counters of copy-on-write page clones: how many shared
+/// pages writers have had to copy before mutating, how many tuple slots
+/// those pages held, and approximately how many bytes that copied.
+/// Monotonic; read a delta around an operation to get its COW cost
+/// (`b6_hot_relation` does this per commit).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CowStats {
+    pub pages_cloned: u64,
+    pub tuples_cloned: u64,
+    pub bytes_cloned: u64,
+}
+
+/// Current process-wide copy-on-write counters (see [`CowStats`]).
+pub fn cow_stats() -> CowStats {
+    CowStats {
+        pages_cloned: PAGES_CLONED.load(Ordering::Relaxed),
+        tuples_cloned: TUPLES_CLONED.load(Ordering::Relaxed),
+        bytes_cloned: BYTES_CLONED.load(Ordering::Relaxed),
+    }
+}
+
+/// One leaf page: a slot arena of tuples with live flags, plus
+/// per-column hash indexes local to the page. Tombstoned slots keep
+/// their tuple value so revival preserves slot position and page
+/// compaction can fix the router.
+#[derive(Clone, Debug, Default)]
+struct Page {
+    slots: Vec<(Box<[Sym]>, bool)>,
+    live: u32,
+    /// Per column: value → slot offsets ever inserted with that value.
+    /// Stale entries (tombstoned slots) are filtered on read.
+    col_index: Vec<HashMap<Sym, Vec<u16>>>,
+}
+
+impl Page {
+    fn new(arity: usize) -> Page {
+        Page {
+            slots: Vec::new(),
+            live: 0,
+            col_index: (0..arity).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Append a live tuple, indexing every column; returns its offset.
+    fn push(&mut self, args: &[Sym]) -> u16 {
+        let offset = self.slots.len() as u16;
+        for (col, &value) in args.iter().enumerate() {
+            self.col_index[col].entry(value).or_default().push(offset);
+        }
+        self.slots.push((args.into(), true));
+        self.live += 1;
+        offset
+    }
+
+    fn stale(&self) -> usize {
+        self.slots.len() - self.live as usize
+    }
+
+    /// Approximate heap bytes a clone of this page copies.
+    fn approx_bytes(&self) -> u64 {
+        let per_slot = std::mem::size_of::<(Box<[Sym]>, bool)>();
+        let mut bytes = self.slots.len() * per_slot;
+        for (tuple, _) in &self.slots {
+            // Tuple storage plus roughly one index entry per column.
+            bytes += tuple.len() * (std::mem::size_of::<Sym>() + std::mem::size_of::<u16>());
+        }
+        bytes as u64
+    }
+}
+
+/// One stored relation (all facts of one predicate), chunked into
+/// `Arc`-shared pages.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: usize,
-    /// Slot arena. `None` = deleted.
-    tuples: Vec<Option<Box<[Sym]>>>,
-    /// Tuple → slot, including tombstoned slots (for revival).
-    slot_of: HashMap<Box<[Sym]>, u32>,
-    /// Per column: value → slots ever inserted with that value. Stale
-    /// entries (tombstoned or revived-elsewhere) are filtered on read.
-    col_index: Vec<HashMap<Sym, Vec<u32>>>,
+    /// The page table, in append order. Cloning the relation bumps one
+    /// refcount per page; mutation copies only the touched page.
+    pages: Vec<Arc<Page>>,
+    /// Tuple → slot router, including tombstoned slots (for revival).
+    /// Persistent: cloning is O(1), updates copy O(log n) trie nodes.
+    slots: SlotMap,
     live: usize,
 }
 
@@ -41,9 +142,8 @@ impl Relation {
     pub fn new(arity: usize) -> Relation {
         Relation {
             arity,
-            tuples: Vec::new(),
-            slot_of: HashMap::new(),
-            col_index: (0..arity).map(|_| HashMap::new()).collect(),
+            pages: Vec::new(),
+            slots: SlotMap::default(),
             live: 0,
         }
     }
@@ -61,137 +161,231 @@ impl Relation {
     }
 
     pub fn contains(&self, args: &[Sym]) -> bool {
-        self.slot_of
+        self.slots
             .get(args)
-            .is_some_and(|&slot| self.tuples[slot as usize].is_some())
+            .is_some_and(|sr| self.pages[sr.page as usize].slots[sr.offset as usize].1)
+    }
+
+    /// Mutable access to page `p`, counting the copy-on-write clone if
+    /// the page is shared with another relation handle.
+    fn page_mut(&mut self, p: usize) -> &mut Page {
+        if Arc::get_mut(&mut self.pages[p]).is_none() {
+            let page = &self.pages[p];
+            PAGES_CLONED.fetch_add(1, Ordering::Relaxed);
+            TUPLES_CLONED.fetch_add(page.slots.len() as u64, Ordering::Relaxed);
+            BYTES_CLONED.fetch_add(page.approx_bytes(), Ordering::Relaxed);
+        }
+        Arc::make_mut(&mut self.pages[p])
     }
 
     /// Insert a tuple; returns `true` if it was not present.
     pub fn insert(&mut self, args: &[Sym]) -> bool {
         debug_assert_eq!(args.len(), self.arity);
-        match self.slot_of.entry(args.into()) {
-            Entry::Occupied(e) => {
-                let slot = *e.get() as usize;
-                if self.tuples[slot].is_some() {
-                    false
-                } else {
-                    self.tuples[slot] = Some(args.into());
-                    self.live += 1;
-                    true
-                }
+        if let Some(sr) = self.slots.get(args) {
+            let (p, o) = (sr.page as usize, sr.offset as usize);
+            if self.pages[p].slots[o].1 {
+                return false;
             }
-            Entry::Vacant(e) => {
-                let slot = self.tuples.len() as u32;
-                e.insert(slot);
-                self.tuples.push(Some(args.into()));
-                for (col, &value) in args.iter().enumerate() {
-                    self.col_index[col].entry(value).or_default().push(slot);
-                }
-                self.live += 1;
-                // Growing the arena can carry a small, tombstone-heavy
-                // relation across the compaction floor (removes below
-                // the floor never compact), so the dominance invariant
-                // must be re-checked on insertion too — found by the
-                // 1024-case property pass over `prop_store`.
-                self.maybe_compact();
-                true
-            }
+            // Revival: flip the tombstoned slot back to live in place,
+            // preserving its position (and thus iteration order). A
+            // revival only improves the page's staleness, so no
+            // compaction check is needed.
+            let page = self.page_mut(p);
+            page.slots[o].1 = true;
+            page.live += 1;
+            self.live += 1;
+            return true;
         }
+        // Fresh tuple: append to the tail page, opening a new one when
+        // the tail is full (or the relation has no pages yet).
+        let p = match self.pages.last() {
+            Some(page) if page.slots.len() < PAGE_CAP => self.pages.len() - 1,
+            _ => {
+                self.pages.push(Arc::new(Page::new(self.arity)));
+                self.pages.len() - 1
+            }
+        };
+        let offset = self.page_mut(p).push(args);
+        self.live += 1;
+        self.slots.insert(
+            args,
+            SlotRef {
+                page: p as u32,
+                offset,
+            },
+        );
+        // Growing the arena can carry a small, tombstone-heavy tail
+        // page across the compaction floor (removes below the floor
+        // never compact), so the dominance invariant must be re-checked
+        // on insertion too — found by the 1024-case property pass over
+        // `prop_store`.
+        self.maybe_compact_page(p);
+        true
     }
 
     /// Delete a tuple; returns `true` if it was present. Triggers a
-    /// compaction when tombstones come to dominate the arena.
+    /// page compaction when tombstones come to dominate that page.
     pub fn remove(&mut self, args: &[Sym]) -> bool {
-        if let Some(&slot) = self.slot_of.get(args) {
-            let cell = &mut self.tuples[slot as usize];
-            if cell.is_some() {
-                *cell = None;
-                self.live -= 1;
-                self.maybe_compact();
-                return true;
-            }
+        let Some(sr) = self.slots.get(args) else {
+            return false;
+        };
+        let (p, o) = (sr.page as usize, sr.offset as usize);
+        if !self.pages[p].slots[o].1 {
+            return false;
         }
-        false
+        let page = self.page_mut(p);
+        page.slots[o].1 = false;
+        page.live -= 1;
+        self.live -= 1;
+        self.maybe_compact_page(p);
+        true
     }
 
     /// Enumerate live tuples matching `pattern` (`Some(c)` pins a column).
     /// `each` returns `false` to stop early; `scan` reports whether the
-    /// enumeration ran to completion.
+    /// enumeration ran to completion. Enumeration order is insertion
+    /// order (pages in order, offsets in order within each page).
     pub fn scan(&self, pattern: &[Option<Sym>], each: &mut dyn FnMut(&[Sym]) -> bool) -> bool {
         debug_assert_eq!(pattern.len(), self.arity);
-        // Pick the most selective bound column.
-        let mut best: Option<(usize, &Vec<u32>)> = None;
-        for (col, p) in pattern.iter().enumerate() {
-            if let Some(value) = p {
-                match self.col_index[col].get(value) {
-                    None => return true, // no tuple has this value: empty result
-                    Some(bucket) => {
-                        if best.is_none_or(|(_, b)| bucket.len() < b.len()) {
-                            best = Some((col, bucket));
-                        }
-                    }
-                }
-            }
-        }
+        let has_bound = pattern.iter().any(|p| p.is_some());
         let matches = |tuple: &[Sym]| {
             pattern
                 .iter()
                 .zip(tuple)
                 .all(|(p, &v)| p.is_none_or(|c| c == v))
         };
-        match best {
-            Some((_, bucket)) => {
-                for &slot in bucket {
-                    if let Some(tuple) = &self.tuples[slot as usize] {
-                        if matches(tuple) && !each(tuple) {
-                            return false;
-                        }
-                    }
-                }
-                true
-            }
-            None => {
-                for tuple in self.tuples.iter().flatten() {
-                    if matches(tuple) && !each(tuple) {
+        'pages: for page in &self.pages {
+            if !has_bound {
+                for (tuple, live) in &page.slots {
+                    if *live && !each(tuple) {
                         return false;
                     }
                 }
-                true
+                continue;
+            }
+            // Pick this page's most selective bound column; a bound
+            // value absent from a page's index skips the page.
+            let mut best: Option<&Vec<u16>> = None;
+            for (col, p) in pattern.iter().enumerate() {
+                if let Some(value) = p {
+                    match page.col_index[col].get(value) {
+                        None => continue 'pages,
+                        Some(bucket) => {
+                            if best.is_none_or(|b| bucket.len() < b.len()) {
+                                best = Some(bucket);
+                            }
+                        }
+                    }
+                }
+            }
+            for &off in best.expect("pattern has a bound column") {
+                let (tuple, live) = &page.slots[off as usize];
+                if *live && matches(tuple) && !each(tuple) {
+                    return false;
+                }
             }
         }
+        true
     }
 
-    /// Iterate all live tuples.
+    /// Iterate all live tuples, in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = &[Sym]> {
-        self.tuples.iter().filter_map(|t| t.as_deref())
+        self.pages.iter().flat_map(|page| {
+            page.slots
+                .iter()
+                .filter(|(_, live)| *live)
+                .map(|(t, _)| &**t)
+        })
     }
 
-    /// Tombstoned slots currently held in the arena (each also pins stale
-    /// `col_index` entries).
+    /// Tombstoned slots currently held across all pages (each also pins
+    /// stale per-page index entries).
     pub fn stale_slots(&self) -> usize {
-        self.tuples.len() - self.live
+        let stale = self.pages.iter().map(|p| p.slots.len()).sum::<usize>() - self.live;
+        // The router tracks every slot, live or tombstoned.
+        debug_assert_eq!(self.slots.len(), self.live + stale);
+        stale
     }
 
-    /// Rebuild the arena and indexes with only live tuples, dropping
-    /// tombstones, revival bookkeeping and stale index entries. Live
-    /// tuple order (and thus iteration order) is preserved.
+    /// The chunked layout, one `(slots, live)` pair per page in page
+    /// order: page count, per-page arena size and tombstone count.
+    /// Feeds the determinism digest (`tests/determinism.rs`) — chunk
+    /// boundaries must be identical across thread counts — and the
+    /// differential store tests.
+    pub fn page_shape(&self) -> Vec<(usize, usize)> {
+        self.pages
+            .iter()
+            .map(|p| (p.slots.len(), p.live as usize))
+            .collect()
+    }
+
+    /// How many leaf pages this relation physically shares (same `Arc`)
+    /// with `other`, comparing page tables positionally — the aliasing
+    /// tests' witness that cloning shares all pages and mutation
+    /// unshares only the touched ones.
+    pub fn shared_pages_with(&self, other: &Relation) -> usize {
+        self.pages
+            .iter()
+            .zip(&other.pages)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Rebuild the whole relation with only live tuples, dropping
+    /// tombstones, revival bookkeeping, stale index entries and empty
+    /// pages. Live tuple order (and thus iteration order) is preserved.
     pub fn compact(&mut self) {
         if self.stale_slots() == 0 {
             return;
         }
         let mut rebuilt = Relation::new(self.arity);
-        for tuple in self.tuples.iter().flatten() {
-            rebuilt.insert(tuple);
+        for page in &self.pages {
+            for (tuple, live) in &page.slots {
+                if *live {
+                    rebuilt.insert(tuple);
+                }
+            }
         }
         *self = rebuilt;
     }
 
-    /// Compact once tombstoned slots exceed half the arena. The size
-    /// floor keeps small relations from re-indexing on every delete.
-    fn maybe_compact(&mut self) {
-        const COMPACT_FLOOR: usize = 32;
-        if self.tuples.len() >= COMPACT_FLOOR && self.stale_slots() * 2 > self.tuples.len() {
-            self.compact();
+    /// Rebuild page `p` with only its live tuples (preserving their
+    /// order) and re-route them; router entries of its tombstones are
+    /// dropped. Cost is bounded by the page, never the relation.
+    fn compact_page(&mut self, p: usize) {
+        let old = self.pages[p].clone();
+        let mut fresh = Page::new(self.arity);
+        for (tuple, live) in &old.slots {
+            if *live {
+                let offset = fresh.push(tuple);
+                self.slots.insert(
+                    tuple,
+                    SlotRef {
+                        page: p as u32,
+                        offset,
+                    },
+                );
+            } else {
+                self.slots.remove(tuple);
+            }
+        }
+        self.pages[p] = Arc::new(fresh);
+    }
+
+    /// Per-page compaction policy. The size floor keeps a small tail
+    /// page from re-indexing on every delete; sealed (non-tail) pages
+    /// never grow again, so a tombstone majority there is permanent and
+    /// compacts immediately, whatever the page size.
+    fn maybe_compact_page(&mut self, p: usize) {
+        let page = &self.pages[p];
+        let slots = page.slots.len();
+        let floor = if p + 1 == self.pages.len() {
+            COMPACT_FLOOR
+        } else {
+            1
+        };
+        if slots >= floor && page.stale() * 2 > slots {
+            self.compact_page(p);
         }
     }
 }
@@ -209,8 +403,10 @@ impl Relation {
 /// Each relation sits behind an [`Arc`] with copy-on-write mutation:
 /// `clone()` is O(#relations) (it copies the predicate index and bumps
 /// one refcount per relation, never tuple data), and mutating a shared
-/// relation clones only that relation. Snapshot readers therefore keep
-/// a stable view while writers proceed.
+/// relation clones only that relation's page table — the pages
+/// themselves stay shared except the one the mutation lands in.
+/// Snapshot readers therefore keep a stable view while writers proceed
+/// at O(delta) copy cost.
 #[derive(Clone, Debug, Default)]
 pub struct FactSet {
     index: HashMap<Sym, u32>,
@@ -249,7 +445,8 @@ impl FactSet {
 
     /// Insert; returns `true` if the fact was new (Def. 1: inserting an
     /// explicit fact leaves the database unchanged). Copy-on-write: a
-    /// relation shared with a snapshot is cloned before mutation.
+    /// relation shared with a snapshot clones its page table before
+    /// mutation (the pages stay shared).
     pub fn insert(&mut self, fact: &Fact) -> bool {
         let slot = *self.index.entry(fact.pred).or_insert_with(|| {
             let slot = self.relations.len() as u32;
@@ -268,7 +465,7 @@ impl FactSet {
         );
         // Only pre-check membership when the relation is shared (with a
         // snapshot or clone): that is the one case where a no-op insert
-        // would otherwise pay a full COW clone. Uniquely owned relations
+        // would otherwise pay a COW clone. Uniquely owned relations
         // go straight to the arena (the hot path of materialization).
         let arc = &mut self.relations[slot as usize].1;
         if Arc::get_mut(arc).is_none() && arc.contains(&fact.args) {
@@ -556,5 +753,98 @@ mod tests {
         let mut all: Vec<String> = fs.iter().map(|f| f.to_string()).collect();
         all.sort();
         assert_eq!(all, vec!["p(d)", "q(b,c)"]);
+    }
+
+    #[test]
+    fn large_relations_spill_across_pages_in_order() {
+        let mut fs = FactSet::new();
+        let n = PAGE_CAP * 2 + 500;
+        for i in 0..n {
+            fs.insert(&fact("big", &[&format!("v{i:05}")]));
+        }
+        let rel = fs.relation(Sym::new("big")).unwrap();
+        assert_eq!(rel.len(), n);
+        assert_eq!(
+            rel.page_shape(),
+            vec![(PAGE_CAP, PAGE_CAP), (PAGE_CAP, PAGE_CAP), (500, 500)]
+        );
+        // Iteration order is insertion order across page boundaries.
+        let order: Vec<String> = rel.iter().map(|t| t[0].as_str().to_string()).collect();
+        let expect: Vec<String> = (0..n).map(|i| format!("v{i:05}")).collect();
+        assert_eq!(order, expect);
+        // Bound scans find tuples in any page.
+        for probe in [0, PAGE_CAP - 1, PAGE_CAP, n - 1] {
+            let mut hits = 0;
+            rel.scan(&[Some(Sym::new(&format!("v{probe:05}")))], &mut |_| {
+                hits += 1;
+                true
+            });
+            assert_eq!(hits, 1, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn sealed_pages_compact_as_soon_as_tombstones_dominate() {
+        let mut fs = FactSet::new();
+        let n = PAGE_CAP + 100; // two pages: sealed full page + tail
+        for i in 0..n {
+            fs.insert(&fact("p", &[&format!("v{i}")]));
+        }
+        // Tombstone most of the sealed page; it must compact on its own
+        // (the tail page is untouched and keeps its slots).
+        for i in 0..(PAGE_CAP / 2 + 1) {
+            fs.remove(&fact("p", &[&format!("v{i}")]));
+        }
+        let rel = fs.relation(Sym::new("p")).unwrap();
+        let shape = rel.page_shape();
+        assert_eq!(shape.len(), 2);
+        assert_eq!(
+            shape[0],
+            (PAGE_CAP - (PAGE_CAP / 2 + 1), PAGE_CAP - (PAGE_CAP / 2 + 1)),
+            "sealed page rebuilt with live tuples only"
+        );
+        assert_eq!(shape[1], (100, 100));
+        // Contents and lookups survive the sealed-page rebuild.
+        assert!(!fs.contains(&fact("p", &["v0"])));
+        assert!(fs.contains(&fact("p", &[&format!("v{}", PAGE_CAP / 2 + 1)])));
+        assert!(fs.contains(&fact("p", &[&format!("v{}", n - 1)])));
+        // And a revival of a compacted-away tuple re-appends cleanly.
+        assert!(fs.insert(&fact("p", &["v0"])));
+        assert!(fs.contains(&fact("p", &["v0"])));
+    }
+
+    #[test]
+    fn cloned_factsets_share_pages_and_unshare_only_touched_ones() {
+        let mut a = FactSet::new();
+        let n = PAGE_CAP * 2 + 500; // three pages, tail half-full
+        for i in 0..n {
+            a.insert(&fact("hot", &[&format!("k{i}"), "v"]));
+        }
+        let b = a.clone();
+        {
+            let ra = a.relation(Sym::new("hot")).unwrap();
+            let rb = b.relation(Sym::new("hot")).unwrap();
+            assert_eq!(ra.shared_pages_with(rb), 3, "clone shares every page");
+        }
+        let before = cow_stats();
+        // One insert lands in the tail page only.
+        a.insert(&fact("hot", &["fresh", "v"]));
+        let after = cow_stats();
+        let ra = a.relation(Sym::new("hot")).unwrap();
+        let rb = b.relation(Sym::new("hot")).unwrap();
+        assert_eq!(
+            ra.shared_pages_with(rb),
+            2,
+            "only the written page unshares"
+        );
+        assert_eq!(
+            after.pages_cloned - before.pages_cloned,
+            1,
+            "exactly one COW page clone"
+        );
+        assert!(after.bytes_cloned > before.bytes_cloned);
+        // The reader's view is bit-identical to pre-mutation.
+        assert_eq!(rb.len(), n);
+        assert!(!rb.contains(&fact("hot", &["fresh", "v"]).args));
     }
 }

@@ -4,25 +4,34 @@
 //! PR 1 made reads snapshot-isolated; this module does the same for
 //! writers. A [`TxnBuilder`] (from [`Database::begin`] or
 //! [`CommitQueue::begin`]) stages updates against a pinned [`Snapshot`]
-//! and accumulates the *relation-level* read set its guarded-update
-//! check touched. All expensive work — integrity checking, delta
-//! enumeration, model queries — happens against the snapshot, outside
-//! any lock, so writers over disjoint relations proceed concurrently.
-//! Only the admission decision and the (cheap, Def. 1) application of
-//! the net delta serialize behind the [`CommitQueue`]'s mutex.
+//! and accumulates the [`ReadFootprint`] its guarded-update check
+//! touched: per relation, either a set of key fingerprints (the bound
+//! argument positions the check actually probed) or a whole-relation
+//! access when a read is genuinely unbounded. All expensive work —
+//! integrity checking, delta enumeration, model queries — happens
+//! against the snapshot, outside any lock, so writers over disjoint
+//! relations — and disjoint *keys of the same relation* — proceed
+//! concurrently. Only the admission decision and the (cheap, Def. 1)
+//! application of the net delta serialize behind the [`CommitQueue`]'s
+//! mutex.
 //!
-//! Admission is first-committer-wins: a transaction that began at
-//! version `v` is admitted iff no transaction committed after `v` wrote
-//! a relation the candidate read or writes. A conflicting candidate is
-//! rejected with a typed [`CommitError::Conflict`] naming the
-//! relations, so callers can re-begin against a fresh snapshot and
-//! retry. This is sound for the paper's incremental checking because
-//! Bry/Decker/Manthey's method makes a check a function of (snapshot
-//! state restricted to the read set, net delta): if no admitted writer
-//! touched those relations since `v`, re-running the check at commit
-//! time would read the very same tuples and reach the very same
-//! verdict — which is exactly what `tests/prop_commit_serializability`
-//! replays sequentially and asserts.
+//! Admission is first-committer-wins at key granularity: a transaction
+//! that began at version `v` is admitted iff no transaction committed
+//! after `v` wrote a tuple matching one of the candidate's key
+//! fingerprints (or any tuple of a relation it read unbounded). A
+//! conflicting candidate is rejected with a typed
+//! [`CommitError::Conflict`] naming the relations and the granularity
+//! that refused it, so callers can re-begin against a fresh snapshot
+//! and retry; [`CommitQueue::conflict_stats`] counts refusals at each
+//! granularity. This is sound for the paper's incremental checking
+//! because Bry/Decker/Manthey's method makes a check a function of
+//! (snapshot state restricted to the tuples the read patterns cover,
+//! net delta): if no admitted writer touched those tuples since `v`,
+//! re-running the check at commit time would read the very same tuples
+//! and reach the very same verdict — which is exactly what
+//! `tests/prop_commit_serializability` replays sequentially and
+//! asserts. Fingerprint collisions only ever produce spurious
+//! conflicts (a safe retry), never admissions.
 //!
 //! The queue also owns the **lifetime of the canonical model**: it keeps
 //! a [`MaintainedModel`] that each admitted commit's net effect flips
@@ -36,24 +45,24 @@
 //! recomputation after every admitted commit.
 
 use crate::database::{ApplyError, Database, Snapshot};
+use crate::footprint::{ConflictGranularity, ReadFootprint, ReadPattern};
 use crate::maintain::MaintainedModel;
 use crate::model::Model;
 use crate::update::{Transaction, Update};
 use parking_lot::Mutex;
-use std::collections::BTreeSet;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use uniform_logic::{Fact, Sym};
 
 /// A transaction under construction: updates staged against a pinned
-/// snapshot, plus the relation-level read set recorded while checking
-/// them.
+/// snapshot, plus the key-fingerprint read footprint recorded while
+/// checking them.
 #[derive(Clone)]
 pub struct TxnBuilder {
     snapshot: Snapshot,
     updates: Vec<Update>,
-    reads: BTreeSet<Sym>,
+    reads: ReadFootprint,
 }
 
 impl TxnBuilder {
@@ -61,7 +70,7 @@ impl TxnBuilder {
         TxnBuilder {
             snapshot,
             updates: Vec::new(),
-            reads: BTreeSet::new(),
+            reads: ReadFootprint::default(),
         }
     }
 
@@ -76,10 +85,13 @@ impl TxnBuilder {
         self.snapshot.version()
     }
 
-    /// Stage an update. A staged write implies a read of the same
-    /// relation (Def. 1 effectiveness is a membership test).
+    /// Stage an update. A staged write implies a read of its own tuple
+    /// (Def. 1 effectiveness is a membership test of one ground fact) —
+    /// a *key-level* read, never a whole-relation one, so blind
+    /// appenders to disjoint keys of the same relation do not conflict
+    /// each other.
     pub fn stage(&mut self, update: Update) -> &mut TxnBuilder {
-        self.reads.insert(update.fact.pred);
+        self.reads.record_tuple(update.fact.pred, &update.fact.args);
         self.updates.push(update);
         self
     }
@@ -94,15 +106,40 @@ impl TxnBuilder {
         self.stage(Update::delete(fact))
     }
 
-    /// Record that checking this transaction read `pred`.
+    /// Record that checking this transaction read `pred` *unbounded*:
+    /// any later write into `pred` conflicts. Prefer
+    /// [`TxnBuilder::record_read_patterns`] when binding information is
+    /// available.
     pub fn record_read(&mut self, pred: Sym) -> &mut TxnBuilder {
-        self.reads.insert(pred);
+        self.reads.record_whole(pred);
         self
     }
 
-    /// Record a batch of reads (e.g. a `CheckReport`'s read set).
+    /// Record a batch of unbounded reads (deliberate widening, e.g. the
+    /// constraint-closure footprint of an auto-repair decision).
     pub fn record_reads(&mut self, preds: impl IntoIterator<Item = Sym>) -> &mut TxnBuilder {
-        self.reads.extend(preds);
+        for pred in preds {
+            self.reads.record_whole(pred);
+        }
+        self
+    }
+
+    /// Record one binding-pattern read: key-level when the pattern pins
+    /// at least one argument position, unbounded otherwise.
+    pub fn record_read_pattern(&mut self, pattern: &ReadPattern) -> &mut TxnBuilder {
+        self.reads.record_pattern(pattern);
+        self
+    }
+
+    /// Record a batch of binding-pattern reads (e.g. a `CheckReport`'s
+    /// `read_patterns`).
+    pub fn record_read_patterns<'p>(
+        &mut self,
+        patterns: impl IntoIterator<Item = &'p ReadPattern>,
+    ) -> &mut TxnBuilder {
+        for p in patterns {
+            self.reads.record_pattern(p);
+        }
         self
     }
 
@@ -126,8 +163,13 @@ impl TxnBuilder {
     }
 
     /// Relations this transaction's checks read (a superset of the
-    /// write set once updates are staged).
-    pub fn read_set(&self) -> &BTreeSet<Sym> {
+    /// write set once updates are staged), at relation granularity.
+    pub fn read_set(&self) -> BTreeSet<Sym> {
+        self.reads.relations().collect()
+    }
+
+    /// The full key-fingerprint read footprint.
+    pub fn read_footprint(&self) -> &ReadFootprint {
         &self.reads
     }
 
@@ -164,12 +206,15 @@ impl fmt::Debug for TxnBuilder {
 /// caller error (arity misuse) that no retry will fix.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum CommitError {
-    /// Another transaction committed first and wrote a relation this one
-    /// read or writes (first-committer-wins). `relations` is sorted by
-    /// name; `committed_version` is the earliest conflicting commit.
+    /// Another transaction committed first and wrote into this one's
+    /// read footprint (first-committer-wins). `relations` is sorted by
+    /// name; `committed_version` is the earliest conflicting commit;
+    /// `granularity` reports whether an unbounded relation read or a
+    /// key fingerprint caught the overlap.
     Conflict {
         relations: Vec<Sym>,
         committed_version: u64,
+        granularity: ConflictGranularity,
     },
     /// The transaction began before the queue's conflict-log horizon, so
     /// admission can no longer be decided. Re-begin and retry.
@@ -184,10 +229,15 @@ impl fmt::Display for CommitError {
             CommitError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             } => {
+                let how = match granularity {
+                    ConflictGranularity::Relation => "relation-level",
+                    ConflictGranularity::Key => "key-level",
+                };
                 write!(
                     f,
-                    "commit conflict: relation(s) {} written by commit {} after this transaction began",
+                    "commit conflict ({how}): relation(s) {} written by commit {} after this transaction began",
                     relations
                         .iter()
                         .map(|s| s.as_str())
@@ -271,12 +321,33 @@ impl CommitReceipt {
     }
 }
 
-/// One committed transaction's footprint, kept for conflict detection
-/// against still-open transactions.
+/// One committed transaction's write footprint — the *effective*
+/// tuples it changed, per relation — kept for conflict detection
+/// against still-open transactions (their key fingerprints are matched
+/// against these tuples).
 #[derive(Clone, Debug)]
 struct CommitRecord {
     version: u64,
-    writes: BTreeSet<Sym>,
+    writes: BTreeMap<Sym, Vec<Box<[Sym]>>>,
+}
+
+/// Running counters of the queue's conflict-detection behavior, by
+/// granularity (see [`CommitQueue::conflict_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConflictStats {
+    /// Commits admitted by the freshness scan.
+    pub admitted: u64,
+    /// Commits refused because an unbounded (whole-relation) read
+    /// overlapped a later write.
+    pub relation_conflicts: u64,
+    /// Commits refused because a key fingerprint matched a written
+    /// tuple.
+    pub key_conflicts: u64,
+    /// Commit attempts whose read footprint carried at least one
+    /// whole-relation access — the fallback-to-relation-granularity
+    /// count (unbounded check reads, deliberate auto-repair widening,
+    /// or a per-relation key overflow).
+    pub whole_relation_fallbacks: u64,
 }
 
 struct QueueState {
@@ -293,6 +364,7 @@ struct QueueState {
     /// current state gets its model.
     last_path: ModelPath,
     counters: MaintenanceCounters,
+    conflicts: ConflictStats,
 }
 
 /// The serialization point of the commit pipeline. Shares one
@@ -331,6 +403,7 @@ impl CommitQueue {
                 maintained: None,
                 last_path: ModelPath::Rematerialized,
                 counters: MaintenanceCounters::default(),
+                conflicts: ConflictStats::default(),
             }),
             log_capacity: log_capacity.max(1),
             maintain: true,
@@ -373,13 +446,16 @@ impl CommitQueue {
     }
 
     /// The shared first-committer-wins scan: `Err` if a snapshot pinned
-    /// at `begin` can no longer be trusted for `reads` — either a later
-    /// commit wrote into it (`Conflict`) or the log no longer reaches
-    /// back that far (`SnapshotTooOld`).
+    /// at `begin` can no longer be trusted for the `reads` footprint —
+    /// either a later commit wrote a tuple the footprint covers
+    /// (`Conflict`) or the log no longer reaches back that far
+    /// (`SnapshotTooOld`). Key-level reads match written tuples by
+    /// fingerprint projection; unbounded reads match any write to the
+    /// relation.
     fn freshness_in(
         state: &QueueState,
         begin: u64,
-        reads: &BTreeSet<Sym>,
+        reads: &ReadFootprint,
     ) -> Result<(), CommitError> {
         if begin < state.horizon {
             return Err(CommitError::SnapshotTooOld {
@@ -389,13 +465,21 @@ impl CommitQueue {
         }
         let mut conflicting: BTreeSet<Sym> = BTreeSet::new();
         let mut first_winner = None;
+        let mut granularity = ConflictGranularity::Key;
         for record in state.log.iter().filter(|r| r.version > begin) {
-            let overlap: Vec<Sym> = record.writes.intersection(reads).copied().collect();
-            if !overlap.is_empty() {
-                if first_winner.is_none() {
-                    first_winner = Some(record.version);
+            for (&pred, tuples) in &record.writes {
+                let hit = tuples
+                    .iter()
+                    .find_map(|t| reads.conflicts_with_write(pred, t));
+                if let Some(g) = hit {
+                    if first_winner.is_none() {
+                        first_winner = Some(record.version);
+                    }
+                    if g == ConflictGranularity::Relation {
+                        granularity = ConflictGranularity::Relation;
+                    }
+                    conflicting.insert(pred);
                 }
-                conflicting.extend(overlap);
             }
         }
         if let Some(committed_version) = first_winner {
@@ -404,6 +488,7 @@ impl CommitQueue {
             return Err(CommitError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             });
         }
         Ok(())
@@ -424,7 +509,19 @@ impl CommitQueue {
     /// anyone). On refusal the database is untouched.
     pub fn commit(&self, txn: &TxnBuilder) -> Result<CommitReceipt, CommitError> {
         let mut state = self.state.lock();
-        Self::freshness_in(&state, txn.begin_version(), &txn.reads)?;
+        if txn.reads.has_unbounded() {
+            state.conflicts.whole_relation_fallbacks += 1;
+        }
+        if let Err(e) = Self::freshness_in(&state, txn.begin_version(), &txn.reads) {
+            if let CommitError::Conflict { granularity, .. } = &e {
+                match granularity {
+                    ConflictGranularity::Relation => state.conflicts.relation_conflicts += 1,
+                    ConflictGranularity::Key => state.conflicts.key_conflicts += 1,
+                }
+            }
+            return Err(e);
+        }
+        state.conflicts.admitted += 1;
 
         // Arity errors must leave the store untouched: validate the
         // whole transaction (including arities its own earlier updates
@@ -486,10 +583,14 @@ impl CommitQueue {
 
         let version = state.db.version();
         if !effective.is_empty() {
-            state.log.push_back(CommitRecord {
-                version,
-                writes: effective.iter().map(|u| u.fact.pred).collect(),
-            });
+            let mut writes: BTreeMap<Sym, Vec<Box<[Sym]>>> = BTreeMap::new();
+            for u in &effective {
+                writes
+                    .entry(u.fact.pred)
+                    .or_default()
+                    .push(u.fact.args.as_slice().into());
+            }
+            state.log.push_back(CommitRecord { version, writes });
             while state.log.len() > self.log_capacity {
                 let dropped = state.log.pop_front().expect("len > capacity >= 1");
                 state.horizon = dropped.version;
@@ -547,6 +648,14 @@ impl CommitQueue {
         self.state.lock().counters
     }
 
+    /// Running conflict-detection counters, by granularity: how many
+    /// commits were admitted, refused by a whole-relation read, refused
+    /// by a key fingerprint, and how many attempts fell back to
+    /// relation granularity because some read was unbounded.
+    pub fn conflict_stats(&self) -> ConflictStats {
+        self.state.lock().conflicts
+    }
+
     /// Current EDB contents (sorted), for tests and tooling.
     pub fn facts_sorted(&self) -> Vec<Fact> {
         let mut out: Vec<Fact> = self.state.lock().db.facts().iter().collect();
@@ -596,27 +705,89 @@ mod tests {
 
     #[test]
     fn write_write_conflict_first_committer_wins() {
+        // Both transactions touch the *same tuple*: the second one's
+        // staged read (Def. 1 membership) is invalidated by the first
+        // one's write, at key granularity.
         let q = queue("");
         let mut t1 = q.begin();
         t1.insert(fact("acct", &["k", "v1"]));
         let mut t2 = q.begin();
-        t2.insert(fact("acct", &["k", "v2"]));
+        t2.delete(fact("acct", &["k", "v1"]));
         let r1 = q.commit(&t1).unwrap();
         let err = q.commit(&t2).unwrap_err();
         match err {
             CommitError::Conflict {
                 relations,
                 committed_version,
+                granularity,
             } => {
                 assert_eq!(relations, vec![Sym::new("acct")]);
                 assert_eq!(committed_version, r1.version);
+                assert_eq!(granularity, ConflictGranularity::Key);
             }
             other => panic!("expected conflict, got {other:?}"),
         }
+        assert_eq!(q.conflict_stats().key_conflicts, 1);
         // Loser retries against a fresh snapshot and succeeds.
         let mut t3 = q.begin();
-        t3.insert(fact("acct", &["k", "v2"]));
-        q.commit(&t3).unwrap();
+        t3.delete(fact("acct", &["k", "v1"]));
+        assert!(q.commit(&t3).unwrap().changed());
+    }
+
+    #[test]
+    fn blind_appenders_to_disjoint_keys_of_one_relation_both_commit() {
+        // Regression for the pre-fingerprint `stage()`: staging a write
+        // used to widen the read set with the whole predicate, so two
+        // blind appenders to the same hot relation always conflicted.
+        // With key-level staged reads they are admitted concurrently.
+        let q = queue("");
+        let mut t1 = q.begin();
+        t1.insert(fact("events", &["k1", "v1"]));
+        let mut t2 = q.begin();
+        t2.insert(fact("events", &["k2", "v2"]));
+        let r1 = q.commit(&t1).unwrap();
+        let r2 = q.commit(&t2).expect("disjoint keys must not conflict");
+        assert!(r1.changed() && r2.changed());
+        assert!(r2.version > r1.version);
+        let stats = q.conflict_stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.key_conflicts, 0);
+        assert_eq!(stats.relation_conflicts, 0);
+        assert_eq!(
+            stats.whole_relation_fallbacks, 0,
+            "blind appends must not fall back to relation granularity"
+        );
+        assert!(
+            q.with_db(|db| db.facts().contains(&fact("events", &["k1", "v1"]))
+                && db.facts().contains(&fact("events", &["k2", "v2"])))
+        );
+    }
+
+    #[test]
+    fn unbounded_read_still_conflicts_with_any_write() {
+        // A whole-relation read (no binding information) keeps the old
+        // relation-granularity behavior — the sound fallback.
+        let q = queue("");
+        let mut t1 = q.begin();
+        t1.insert(fact("log", &["e1"]));
+        t1.record_read(Sym::new("events"));
+        let mut t2 = q.begin();
+        t2.insert(fact("events", &["k9", "v9"]));
+        q.commit(&t2).unwrap();
+        let err = q.commit(&t1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CommitError::Conflict {
+                    granularity: ConflictGranularity::Relation,
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let stats = q.conflict_stats();
+        assert_eq!(stats.relation_conflicts, 1);
+        assert_eq!(stats.whole_relation_fallbacks, 1);
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub fn full_recheck(db: &Database, tx: &Transaction) -> CheckReport {
         satisfied: violations.is_empty(),
         violations,
         reads: Vec::new(),
+        read_patterns: Vec::new(),
         stats,
     }
 }
@@ -71,6 +72,7 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
             satisfied: true,
             violations: Vec::new(),
             reads: Vec::new(),
+            read_patterns: Vec::new(),
             stats,
         };
     }
@@ -180,6 +182,7 @@ pub fn interleaved_check(db: &Database, tx: &Transaction) -> CheckReport {
         satisfied: violations.is_empty(),
         violations,
         reads: Vec::new(),
+        read_patterns: Vec::new(),
         stats,
     }
 }
@@ -214,6 +217,7 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
             satisfied: true,
             violations: Vec::new(),
             reads: Vec::new(),
+            read_patterns: Vec::new(),
             stats,
         };
     }
@@ -267,6 +271,7 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
         satisfied: violations.is_empty(),
         violations,
         reads: Vec::new(),
+        read_patterns: Vec::new(),
         stats,
     }
 }

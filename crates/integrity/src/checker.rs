@@ -23,10 +23,10 @@ use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock};
 use uniform_datalog::{
-    par::par_map, satisfies_closed, Database, FactSet, Interp, Model, OverlayEngine, RuleSet,
-    Snapshot, Transaction, Update,
+    par::par_map, satisfies_closed, Database, FactSet, Interp, Model, OverlayEngine, ReadPattern,
+    RuleSet, Snapshot, Transaction, Update,
 };
-use uniform_logic::{match_atom, Constraint, Literal, Rq, Sym};
+use uniform_logic::{match_atom, Atom, Constraint, Literal, Rq, Sym, Term};
 
 /// Options controlling the evaluation phase (ablation switches for the
 /// experiments).
@@ -129,24 +129,170 @@ pub struct CheckReport {
     pub satisfied: bool,
     pub violations: Vec<Violation>,
     /// Relation-level read set of the check, sorted by predicate name:
-    /// every relation whose contents the verdict depends on (trigger and
-    /// instance predicates of the evaluated update constraints, the net
-    /// update's own relations, closed downward through rule bodies). A
-    /// commit pipeline admits a checked transaction only while none of
-    /// these relations has been written since the checked snapshot —
-    /// see `uniform_datalog::txn`.
+    /// the distinct predicates of [`CheckReport::read_patterns`]. Kept as
+    /// the coarse projection for display and for consumers that only
+    /// care *which* relations a verdict depends on.
     pub reads: Vec<Sym>,
+    /// Binding-level read set of the check: one [`ReadPattern`] per
+    /// access shape the verdict depends on, each argument position bound
+    /// to the constant the check probed it with (`None` = unbounded).
+    /// Seeded from the net update's own tuples (fully bound — Def. 1
+    /// effectiveness is a membership test) and the constants of the
+    /// simplified instances (Def. 6 pins them down), then closed through
+    /// rule bodies propagating those constants; rules whose head
+    /// constants contradict a pattern are skipped — they cannot derive
+    /// any tuple the check probed. A commit pipeline admits a checked
+    /// transaction while no tuple *covered by these patterns* has been
+    /// written since the checked snapshot — see `uniform_datalog::txn`.
+    pub read_patterns: Vec<ReadPattern>,
     pub stats: CheckStats,
 }
 
 impl CheckReport {
-    fn satisfied_with(stats: CheckStats, reads: Vec<Sym>) -> CheckReport {
+    fn satisfied_with(stats: CheckStats, read_patterns: Vec<ReadPattern>) -> CheckReport {
         CheckReport {
             satisfied: true,
             violations: Vec::new(),
-            reads,
+            reads: reads_of(&read_patterns),
+            read_patterns,
             stats,
         }
+    }
+}
+
+/// The relation-level projection of a pattern set: distinct predicates,
+/// sorted by name.
+fn reads_of(patterns: &[ReadPattern]) -> Vec<Sym> {
+    let mut reads: Vec<Sym> = patterns
+        .iter()
+        .map(|p| p.pred)
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    reads.sort_by_key(|s| s.as_str());
+    reads
+}
+
+/// Distinct binding patterns one predicate may accumulate during the
+/// read-pattern closure before its entry widens to a single unbounded
+/// pattern (mirrors the commit pipeline's per-relation key cap).
+const MAX_PATTERNS_PER_PRED: usize = 64;
+
+/// Worklist closure over binding patterns: propagates pattern constants
+/// through rule heads into rule bodies, skipping rules whose head
+/// constants contradict the pattern (sound — such rules cannot derive
+/// any tuple the pattern covers). Widening to an all-unbound pattern
+/// (on overflow, or when a pattern arrives with no bound position) is
+/// monotonic: the unbounded pattern subsumes every bounded one and
+/// still participates in the closure.
+#[derive(Default)]
+struct PatternClosure {
+    seen: BTreeSet<(Sym, Vec<Option<Sym>>)>,
+    counts: HashMap<Sym, usize>,
+    widened: BTreeSet<Sym>,
+    frontier: Vec<(Sym, Vec<Option<Sym>>)>,
+}
+
+impl PatternClosure {
+    fn add(&mut self, pred: Sym, args: Vec<Option<Sym>>) {
+        if self.widened.contains(&pred) {
+            return;
+        }
+        if args.iter().all(|a| a.is_none()) {
+            self.widen(pred, args.len());
+            return;
+        }
+        if !self.seen.insert((pred, args.clone())) {
+            return;
+        }
+        let count = self.counts.entry(pred).or_insert(0);
+        *count += 1;
+        if *count > MAX_PATTERNS_PER_PRED {
+            self.widen(pred, args.len());
+            return;
+        }
+        self.frontier.push((pred, args));
+    }
+
+    fn widen(&mut self, pred: Sym, arity: usize) {
+        self.widened.insert(pred);
+        self.seen.retain(|(p, _)| *p != pred);
+        let whole = vec![None; arity];
+        self.seen.insert((pred, whole.clone()));
+        self.frontier.push((pred, whole));
+    }
+
+    fn add_atom(&mut self, atom: &Atom) {
+        self.add(atom.pred, atom.args.iter().map(|t| t.as_const()).collect());
+    }
+
+    /// Close the collected patterns through rule bodies and return them
+    /// sorted by predicate name, then argument names (a stable,
+    /// interning-order-free order for reporting).
+    fn close(mut self, rules: &RuleSet) -> Vec<ReadPattern> {
+        while let Some((pred, args)) = self.frontier.pop() {
+            for (_, rule) in rules.rules_for(pred) {
+                // Unify the pattern's constants against the rule head:
+                // a head constant that disagrees rules the rule out; a
+                // head variable at a bound position picks up a binding.
+                let mut binding: HashMap<Sym, Sym> = HashMap::new();
+                let mut applicable = true;
+                for (i, term) in rule.head.args.iter().enumerate() {
+                    let Some(c) = args.get(i).copied().flatten() else {
+                        continue;
+                    };
+                    match term {
+                        Term::Const(h) => {
+                            if *h != c {
+                                applicable = false;
+                                break;
+                            }
+                        }
+                        Term::Var(v) => {
+                            if let Some(prev) = binding.insert(*v, c) {
+                                if prev != c {
+                                    applicable = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !applicable {
+                    continue;
+                }
+                for l in &rule.body {
+                    let child: Vec<Option<Sym>> = l
+                        .atom
+                        .args
+                        .iter()
+                        .map(|t| match t {
+                            Term::Const(c) => Some(*c),
+                            Term::Var(v) => binding.get(v).copied(),
+                        })
+                        .collect();
+                    self.add(l.atom.pred, child);
+                }
+            }
+        }
+        let mut patterns: Vec<ReadPattern> = self
+            .seen
+            .into_iter()
+            .map(|(pred, args)| ReadPattern { pred, args })
+            .collect();
+        patterns.sort_by(|a, b| {
+            let key = |p: &ReadPattern| {
+                (
+                    p.pred.as_str(),
+                    p.args
+                        .iter()
+                        .map(|a| a.map(|c| c.as_str()))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+        patterns
     }
 }
 
@@ -270,34 +416,26 @@ impl<'a> Checker<'a> {
         }
     }
 
-    /// The relation-level read set of evaluating `compiled` for `tx`:
-    /// the net update's relations, every trigger and instance predicate
-    /// of the update constraints, closed downward through rule bodies
-    /// (delta descent and overlay evaluation read exactly through
-    /// rules). A deliberate over-approximation — sound for conflict
-    /// detection, deterministic, and computable without fact access.
-    fn read_set(&self, compiled: &CompiledCheck, tx: &Transaction) -> Vec<Sym> {
-        let mut seed: BTreeSet<Sym> = tx.updates.iter().map(|u| u.fact.pred).collect();
+    /// The binding-level read set of evaluating `compiled` for `tx`:
+    /// the net update's own tuples (fully bound), every trigger and
+    /// instance literal of the update constraints with its constants
+    /// bound, closed downward through rule bodies propagating those
+    /// constants (delta descent and overlay evaluation read exactly
+    /// through rules). A deliberate over-approximation — sound for
+    /// conflict detection, deterministic, and computable without fact
+    /// access.
+    fn read_patterns(&self, compiled: &CompiledCheck, tx: &Transaction) -> Vec<ReadPattern> {
+        let mut closure = PatternClosure::default();
+        for u in &tx.updates {
+            closure.add(u.fact.pred, u.fact.args.iter().map(|&c| Some(c)).collect());
+        }
         for uc in &compiled.update_constraints {
-            seed.insert(uc.trigger.atom.pred);
+            closure.add_atom(&uc.trigger.atom);
             for occ in uc.instance.literals() {
-                seed.insert(occ.literal.atom.pred);
+                closure.add_atom(&occ.literal.atom);
             }
         }
-        let rules = self.rules();
-        let mut frontier: Vec<Sym> = seed.iter().copied().collect();
-        while let Some(p) = frontier.pop() {
-            for (_, rule) in rules.rules_for(p) {
-                for l in &rule.body {
-                    if seed.insert(l.atom.pred) {
-                        frontier.push(l.atom.pred);
-                    }
-                }
-            }
-        }
-        let mut reads: Vec<Sym> = seed.into_iter().collect();
-        reads.sort_by_key(|s| s.as_str());
-        reads
+        closure.close(self.rules())
     }
 
     /// Phase 2: evaluate a compiled check against the database and the
@@ -308,11 +446,11 @@ impl<'a> Checker<'a> {
             update_constraints: compiled.update_constraints.len(),
             ..CheckStats::default()
         };
-        let reads = self.read_set(compiled, tx);
+        let read_patterns = self.read_patterns(compiled, tx);
 
         let (adds, dels) = tx.net_effect(self.facts());
         if adds.is_empty() && dels.is_empty() {
-            return CheckReport::satisfied_with(stats, reads);
+            return CheckReport::satisfied_with(stats, read_patterns);
         }
         let net_updates: Vec<Update> = adds
             .iter()
@@ -477,7 +615,8 @@ impl<'a> Checker<'a> {
         CheckReport {
             satisfied: violations.is_empty(),
             violations,
-            reads,
+            reads: reads_of(&read_patterns),
+            read_patterns,
             stats,
         }
     }
@@ -818,7 +957,70 @@ mod tests {
         );
         // No-op transactions still report the relations they probed.
         let rep3 = checker.check(&Transaction::new(vec![]));
-        assert!(rep3.satisfied && rep3.reads.is_empty());
+        assert!(rep3.satisfied && rep3.reads.is_empty() && rep3.read_patterns.is_empty());
+    }
+
+    #[test]
+    fn read_patterns_pin_the_updates_constants() {
+        // The defining substitution (Def. 3) propagates `jack` into every
+        // trigger and instance literal, and the closure propagates it
+        // through the rule body — so every pattern of this check is fully
+        // bound, and a concurrent write about `jill` is disjoint from all
+        // of them.
+        let d = db("
+            enrolled(X, cs) :- student(X).
+            constraint cdb: forall X: student(X) & enrolled(X, cs) -> attends(X, ddb).
+        ");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("student(jack)"));
+        assert!(!rep.read_patterns.is_empty());
+        let jack = Sym::new("jack");
+        let jill = Sym::new("jill");
+        for p in &rep.read_patterns {
+            assert!(
+                p.args.iter().all(|a| a.is_some()),
+                "pattern not fully bound: {p:?}"
+            );
+            assert!(!p.args.contains(&Some(jill)));
+        }
+        // The rule-closure pattern student(jack) is present (reached from
+        // the enrolled(jack, cs) trigger through the rule head).
+        assert!(rep
+            .read_patterns
+            .iter()
+            .any(|p| p.pred.as_str() == "student" && p.args == vec![Some(jack)]));
+        // The relation-level projection matches the patterns.
+        let from_patterns: BTreeSet<Sym> = rep.read_patterns.iter().map(|p| p.pred).collect();
+        let reads: BTreeSet<Sym> = rep.reads.iter().copied().collect();
+        assert_eq!(from_patterns, reads);
+    }
+
+    #[test]
+    fn read_patterns_widen_only_genuinely_unbounded_accesses() {
+        // An existential over assign leaves Y unbound: the check scans
+        // assign at X=jack with the second position open, and dept at a
+        // data-dependent key — unbounded. Both shapes must be reported
+        // honestly: the former key-bound on position 0, the latter whole.
+        let d = db("
+            works(X) :- assign(X,Y), dept(Y).
+            constraint busy: forall X: emp(X) -> works(X).
+            dept(d). assign(a,d). emp(a).
+        ");
+        let checker = Checker::new(&d);
+        let rep = checker.check_update(&upd("emp(jack)"));
+        let jack = Sym::new("jack");
+        let assign = rep
+            .read_patterns
+            .iter()
+            .find(|p| p.pred.as_str() == "assign")
+            .expect("assign is read through the works rule");
+        assert_eq!(assign.args, vec![Some(jack), None]);
+        let dept = rep
+            .read_patterns
+            .iter()
+            .find(|p| p.pred.as_str() == "dept")
+            .expect("dept is read through the works rule");
+        assert_eq!(dept.args, vec![None], "join key is data-dependent");
     }
 
     #[test]

@@ -197,6 +197,7 @@ impl<'a> RuleUpdateChecker<'a> {
                 satisfied: true,
                 violations: Vec::new(),
                 reads: Vec::new(),
+                read_patterns: Vec::new(),
                 stats,
             };
         };
@@ -207,6 +208,7 @@ impl<'a> RuleUpdateChecker<'a> {
                 satisfied: true,
                 violations: Vec::new(),
                 reads: Vec::new(),
+                read_patterns: Vec::new(),
                 stats,
             };
         }
@@ -286,6 +288,7 @@ impl<'a> RuleUpdateChecker<'a> {
             satisfied: violations.is_empty(),
             violations,
             reads: Vec::new(),
+            read_patterns: Vec::new(),
             stats,
         }
     }

@@ -388,6 +388,40 @@ pub fn commit_mix(
     (db, streams)
 }
 
+/// Base database for the hot-relation workload (`b6_hot_relation`): a
+/// single constraint-free `ledger(key, value)` relation pre-grown to
+/// `rows` tuples, so it spans many store pages. Every writer then
+/// appends to *this one relation* — the worst case for relation-level
+/// conflict detection (every commit invalidates every reader) and the
+/// showcase for key-level detection plus chunked copy-on-write (a
+/// commit clones only the pages it touches, never the pre-grown bulk).
+/// Insertion order is seed-shuffled like every other generator.
+pub fn hot_relation_db(rows: usize, seed: u64) -> Database {
+    let mut db = Database::parse("ledger(seed_key, seed_val).").expect("hot-relation schema");
+    let mut keys: Vec<usize> = (0..rows).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..keys.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        keys.swap(i, j);
+    }
+    for k in keys {
+        db.insert_fact(&Fact::parse_like(
+            "ledger",
+            &[&format!("base{k}"), &format!("v{}", k % 7)],
+        ));
+    }
+    db
+}
+
+/// Writer `writer`'s `i`-th hot-relation transaction: an insert of a
+/// key no other writer (and no other round) ever touches. Disjoint by
+/// construction — under key-level conflict detection these all admit
+/// concurrently; under relation-level detection every concurrent pair
+/// conflicts.
+pub fn hot_relation_append(writer: usize, i: usize) -> Transaction {
+    Transaction::single(upd(&format!("ledger(w{writer}_k{i}, w{writer}_v{i})")))
+}
+
 /// Schema for the repair / consistent-query-answering workload: a tiny
 /// active domain (`a`, `b`, `c`) under four violation classes —
 /// implication (`imp`), domain (`dom_s`), existential (`span`) and a

@@ -19,8 +19,8 @@ use uniform::integrity::Checker;
 use uniform::logic::{parse_query, parse_rule};
 use uniform::workload;
 use uniform::{
-    CommitQueue, ConcurrentDatabase, Consistency, Params, RepairEngine, SatChecker, Transaction,
-    UniformOptions, ViolationPolicy,
+    CommitQueue, ConcurrentDatabase, Consistency, Fact, Params, RepairEngine, SatChecker,
+    Transaction, UniformOptions, Update, ViolationPolicy,
 };
 
 /// FNV-1a over the rendered observation log (no external deps).
@@ -53,6 +53,25 @@ fn observation_log() -> String {
             " reads {:?}",
             report.reads.iter().map(|s| s.as_str()).collect::<Vec<_>>()
         );
+        // Binding-level read patterns, rendered name-wise (`_` for an
+        // unbound position): the conflict fingerprints fed to the
+        // commit queue must not depend on interner or thread order.
+        let _ = write!(
+            log,
+            " patterns {:?}",
+            report
+                .read_patterns
+                .iter()
+                .map(|p| {
+                    let args: Vec<&str> = p
+                        .args
+                        .iter()
+                        .map(|a| a.map_or("_", |s| s.as_str()))
+                        .collect();
+                    format!("{}({})", p.pred.as_str(), args.join(","))
+                })
+                .collect::<Vec<_>>()
+        );
         if report.satisfied {
             for u in &tx.updates {
                 db.apply(u).unwrap();
@@ -67,6 +86,20 @@ fn observation_log() -> String {
         let _ = writeln!(log, "model {f}");
     }
     let _ = writeln!(log, "violated {:?}", db.violated_constraints());
+    // The chunked page tables themselves: page count, per-page arena
+    // size and live count, tombstone totals. Chunk boundaries are a
+    // function of the operation sequence alone, so they must digest
+    // identically across thread counts and processes.
+    for pred in db.facts().predicates() {
+        let rel = db.facts().relation(pred).unwrap();
+        let _ = writeln!(
+            log,
+            "shape {} {:?} stale {}",
+            pred.as_str(),
+            rel.page_shape(),
+            rel.stale_slots()
+        );
+    }
 
     // 2. Maintained-model flip lists, in emission order.
     let seed_db = workload::deductive_university(12, 5);
@@ -145,6 +178,20 @@ fn observation_log() -> String {
         let _ = writeln!(log, "maintained {f}");
     }
     let _ = writeln!(log, "maintenance {:?}", queue.maintenance());
+    // A forced key overlap: the conflict log line (granularity, relation
+    // names, version) and the queue's running conflict counters are
+    // user-visible and must be order-stable.
+    {
+        let fact = Fact::parse_like("vip", &["dcheck"]);
+        let mut first = queue.begin();
+        first.stage(Update::insert(fact.clone()));
+        let mut second = queue.begin();
+        second.stage(Update::insert(fact));
+        queue.commit(&first).unwrap();
+        let err = queue.commit(&second).unwrap_err();
+        let _ = writeln!(log, "conflict {err}");
+        let _ = writeln!(log, "conflictstats {:?}", queue.conflict_stats());
+    }
 
     // 5. Repair sets and certain-answer lists over an inconsistent
     //    state — both user-visible and order-sensitive (repairs in

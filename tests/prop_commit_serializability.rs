@@ -231,14 +231,23 @@ fn forced_interleaving_matches_sequential_order() {
     let sequential_base = base.clone();
     let cdb = ConcurrentDatabase::from_database(base, UniformOptions::default());
 
-    // Both writers pin the same snapshot and write the shared pair.
-    let mk = |tag: &str| {
-        Transaction::new(vec![
-            uniform::Update::insert(uniform::Fact::parse_like("audit", &[tag])),
-            uniform::Update::insert(uniform::Fact::parse_like("vip", &[tag])),
-        ])
+    // Both writers pin the same snapshot and write the same `shared`
+    // key of the vip/audit pair — conflict detection is per key now, so
+    // only an actual tuple overlap (not mere relation overlap) forces
+    // the second committer to retry.
+    let mk = |tags: &[&str]| {
+        Transaction::new(
+            tags.iter()
+                .flat_map(|tag| {
+                    [
+                        uniform::Update::insert(uniform::Fact::parse_like("audit", &[tag])),
+                        uniform::Update::insert(uniform::Fact::parse_like("vip", &[tag])),
+                    ]
+                })
+                .collect(),
+        )
     };
-    let (tx1, tx2) = (mk("alpha"), mk("beta"));
+    let (tx1, tx2) = (mk(&["shared"]), mk(&["shared", "beta"]));
     let mut t1 = cdb.begin();
     let mut t2 = cdb.begin();
     for u in &tx1.updates {
