@@ -10,12 +10,16 @@
 //!   shims doing exactly that through the new path);
 //! * `cached` — `ConcurrentDatabase::solutions` /
 //!   `consistent_answer`: parse and plan amortized by the shared
-//!   sharded plan cache, but a fresh session (fresh snapshot, fresh
-//!   repair enumeration) per call;
+//!   sharded plan cache, but a fresh session (fresh snapshot) per
+//!   call;
 //! * `prepared` — the full prepared shape: `PreparedQuery` + pinned
-//!   `Session` reused across calls, so execution is all that remains
-//!   (and the session's repair cache amortizes the `Certain` level's
-//!   enumeration too).
+//!   `Session` reused across calls, so execution is all that remains.
+//!
+//! Since the shared certain-answer cache landed
+//! (`uniform::certain_cache`, measured on its own in
+//! `b7_certain_cache`), fresh sessions over one database share the
+//! `Certain` repair enumeration too — only the one-shot tier's fresh
+//! database per iteration still pays it per pass.
 //!
 //! The `one_shot / prepared` ratio is the headline number the README
 //! reports: what hot-query serving stops paying per request.
@@ -102,8 +106,10 @@ fn bench_certain(c: &mut Criterion) {
                     let t0 = Instant::now();
                     for q in queries {
                         // Defeat the plan cache: fresh prepare each
-                        // call, fresh session, fresh repair pass —
-                        // the legacy one-shot cost.
+                        // call, fresh session — with the fresh
+                        // database per iteration above, the first
+                        // `Certain` read also pays the repair
+                        // enumeration, the legacy one-shot cost.
                         let prepared = uniform::PreparedQuery::prepare(q).unwrap();
                         let _ = db
                             .session()

@@ -14,19 +14,20 @@
 //!   reproducing the pre-chunking pipeline: the first committer wins
 //!   and every other writer of the round conflicts and retries.
 //!
-//! The harness also reads [`cow_stats`] around the committing phase:
-//! with the chunked store a commit clones only the pages it touches,
-//! so per-commit cloned bytes stay near the page size while the
-//! relation is ~`BASE_ROWS` tuples — the asserted bound is a tenth of
-//! the full-relation clone cost. Deterministic: batches begin against
-//! one version and commit in writer order, so admitted/conflicted
-//! counts are exact, not scheduling-dependent.
+//! The harness also reads the database's scoped [`FactSet::cow_stats`]
+//! around the committing phase: with the chunked store a commit clones
+//! only the pages it touches, so per-commit cloned bytes stay near the
+//! page size while the relation is ~`BASE_ROWS` tuples — the asserted
+//! bound is a tenth of the full-relation clone cost. The counters are
+//! per relation family (PR 7), so concurrent benches and tests in the
+//! same process cannot inflate this delta. Deterministic: batches
+//! begin against one version and commit in writer order, so
+//! admitted/conflicted counts are exact, not scheduling-dependent.
 //!
-//! [`cow_stats`]: uniform::datalog::cow_stats
+//! [`FactSet::cow_stats`]: uniform::datalog::FactSet::cow_stats
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::time::{Duration, Instant};
-use uniform::datalog::cow_stats;
 use uniform::logic::Sym;
 use uniform::workload;
 use uniform::{ConcurrentDatabase, TxnError, UniformOptions};
@@ -85,7 +86,7 @@ fn bench_hot_relation(c: &mut Criterion) {
                         let base = workload::hot_relation_db(BASE_ROWS, 42);
                         let full_clone_bytes = BASE_ROWS as u64 * 36; // ~approx_bytes per 2-ary tuple
                         let db = ConcurrentDatabase::from_database(base, UniformOptions::default());
-                        let before = cow_stats();
+                        let before = db.with_database(|d| d.facts().cow_stats());
                         let t0 = Instant::now();
                         let (mut admitted, mut conflicted) = (0usize, 0usize);
                         for round in 0..ROUNDS {
@@ -94,7 +95,8 @@ fn bench_hot_relation(c: &mut Criterion) {
                             conflicted += r;
                         }
                         total += t0.elapsed();
-                        let cloned = cow_stats().bytes_cloned - before.bytes_cloned;
+                        let cloned = db.with_database(|d| d.facts().cow_stats()).bytes_cloned
+                            - before.bytes_cloned;
                         let commits = (admitted + conflicted) as u64; // every append lands
                         if relation_level {
                             // First committer wins each round; everyone

@@ -1,0 +1,159 @@
+//! B7: the commit-invalidated shared certain-answer cache
+//! (`uniform::certain_cache`) on a violation-stable read-heavy stream.
+//!
+//! The serving shape this cache exists for: a committed state with
+//! standing violations (`workload::violation_state`) answered at
+//! `Consistency::Certain` by many short-lived sessions — dashboards,
+//! request handlers — while writers keep appending to relations no
+//! constraint reaches. Four tiers over the same hot-query list:
+//!
+//! * `cold` — a fresh database (empty cache) per iteration: the first
+//!   `Certain` read pays the repair enumeration, the rest of the list
+//!   reuses it through the shared cache;
+//! * `warm` — one database, a fresh session per read: every row set
+//!   comes straight from the cache;
+//! * `warm_with_noise_commits` — the violation-stable write stream:
+//!   each iteration lands a guarded commit *outside* every cached
+//!   closure, which carries the entries forward instead of dropping
+//!   them, then reads through fresh sessions;
+//! * `latest` — the same stream at `Consistency::Latest`, the cost
+//!   floor warm `Certain` serving is measured against.
+//!
+//! The container is single-core, so the *assertions* are on cache
+//! counters, not timings: warm hits must skip repair enumeration
+//! entirely (`repair_misses` frozen after priming), and the noise
+//! stream must carry forward, never invalidate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{
+    ConcurrentDatabase, Consistency, Fact, Params, PreparedQuery, UniformOptions, Update,
+};
+
+/// Raw violation churn in the committed state (standing violations the
+/// repair enumeration actually works on).
+const CHURN: usize = 4;
+
+fn violated_db(seed: u64) -> ConcurrentDatabase {
+    ConcurrentDatabase::from_database(
+        workload::violation_state(CHURN, seed),
+        UniformOptions::default(),
+    )
+}
+
+fn prepare_all(db: &ConcurrentDatabase) -> Vec<PreparedQuery> {
+    workload::violation_read_queries()
+        .iter()
+        .map(|q| db.prepare(q).expect("hot query prepares"))
+        .collect()
+}
+
+/// One read pass: every hot query at `consistency`, each through its
+/// own fresh session (the shared-cache serving shape).
+fn read_pass(db: &ConcurrentDatabase, prepared: &[PreparedQuery], consistency: Consistency) {
+    for q in prepared {
+        let rows = db
+            .session()
+            .execute(q, &Params::new(), consistency)
+            .expect("hot query executes");
+        std::hint::black_box(rows.len());
+    }
+}
+
+fn bench_certain_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b7_certain_cache");
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        b.iter_custom(|iters| {
+            let mut total = Duration::ZERO;
+            for i in 0..iters {
+                let db = violated_db(i);
+                let prepared = prepare_all(&db);
+                let t0 = Instant::now();
+                read_pass(&db, &prepared, Consistency::Certain);
+                total += t0.elapsed();
+                let stats = db.certain_cache_stats();
+                assert_eq!(
+                    stats.repair_misses, 1,
+                    "a cold pass enumerates repairs exactly once: {stats:?}"
+                );
+                assert_eq!(stats.hits, 0, "cold row sets all install fresh: {stats:?}");
+            }
+            total
+        });
+    });
+
+    group.bench_function("warm", |b| {
+        let db = violated_db(7);
+        let prepared = prepare_all(&db);
+        read_pass(&db, &prepared, Consistency::Certain); // prime
+        let primed = db.certain_cache_stats();
+        assert_eq!(primed.repair_misses, 1, "{primed:?}");
+        b.iter(|| read_pass(&db, &prepared, Consistency::Certain));
+        let stats = db.certain_cache_stats();
+        // The headline property: warm `Certain` hits skip the repair
+        // enumeration — and even the row computation — entirely.
+        assert_eq!(
+            stats.repair_misses, primed.repair_misses,
+            "warm hits must never re-enumerate repairs: {stats:?}"
+        );
+        assert_eq!(
+            stats.misses, primed.misses,
+            "warm hits must never recompute a row set: {stats:?}"
+        );
+        assert!(stats.hits > primed.hits, "{stats:?}");
+    });
+
+    group.bench_function("warm_with_noise_commits", |b| {
+        b.iter_custom(|iters| {
+            let db = violated_db(13);
+            let prepared = prepare_all(&db);
+            read_pass(&db, &prepared, Consistency::Certain); // prime
+            let primed = db.certain_cache_stats();
+            let mut total = Duration::ZERO;
+            for i in 0..iters {
+                // `audit` is outside every constraint's closure and
+                // every hot query: the admitted commit must carry the
+                // cache forward, not drop it.
+                let audit = Update::insert(Fact::parse_like("audit", &[&format!("n{i}")]));
+                db.commit_updates_with_retry(&[audit], 4)
+                    .expect("noise append admits");
+                let t0 = Instant::now();
+                read_pass(&db, &prepared, Consistency::Certain);
+                total += t0.elapsed();
+            }
+            let stats = db.certain_cache_stats();
+            assert_eq!(
+                stats.repair_misses, primed.repair_misses,
+                "carried-forward entries keep serving without re-enumeration: {stats:?}"
+            );
+            assert_eq!(
+                stats.misses, primed.misses,
+                "no row set was recomputed across the noise stream: {stats:?}"
+            );
+            assert_eq!(
+                stats.carried_forward, iters,
+                "every noise commit carries the cache forward: {stats:?}"
+            );
+            assert_eq!(stats.invalidated, 0, "{stats:?}");
+            total
+        });
+    });
+
+    group.bench_function("latest", |b| {
+        let db = violated_db(7);
+        let prepared = prepare_all(&db);
+        b.iter(|| read_pass(&db, &prepared, Consistency::Latest));
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_certain_cache
+}
+criterion_main!(benches);

@@ -1,0 +1,359 @@
+//! The database-level, commit-invalidated certain-answer cache.
+//!
+//! PR 5 left "shared commit-invalidated certain-answer cache" as a
+//! follow-up: every [`crate::Session`] enumerated the minimal repairs
+//! of its pinned snapshot from scratch, so a read-heavy stream of
+//! `Certain` queries over a slowly-moving (or violation-stable)
+//! database re-ran the bounded enforcement search per session. This
+//! module promotes that per-session cache to one owned by the
+//! database handle (alongside the `CommitQueue` in the shared state
+//! behind [`crate::ConcurrentDatabase`]): repair lists and certain-answer row
+//! sets keyed by the exact semantic state they were computed against —
+//! `(db_id, fact_rev, rule_rev, constraint_rev)` — plus, for row sets,
+//! the query fingerprint. Every session pinned to that state, present
+//! or future, shares the entries.
+//!
+//! **Invalidation is delta-driven, not wholesale.** Each admitted
+//! commit intersects its effective write footprint with the *verdict
+//! closure* of the cached repair list
+//! ([`uniform_repair::RepairEngine::report_closure`]): the relations
+//! the violation set — and hence the minimal repairs — can depend on,
+//! recorded as whole-relation reads in the PR 6
+//! [`ReadFootprint`] machinery. A commit writing only outside that
+//! closure *carries the entries forward* to the post-commit revisions
+//! instead of dropping them (the paper's delta-driven stance applied
+//! to CQA: an update irrelevant to every constraint cannot change any
+//! repair). Row sets carry an additional closure — the query's own
+//! reachable relations — checked the same way. Schema updates and
+//! `AutoRepair` commits invalidate wholesale: their effect is the
+//! widened constraint closure, which the cached verdicts always
+//! intersect.
+//!
+//! Advance ordering is version-fenced rather than lock-coupled: the
+//! post-commit hook runs outside the queue lock, so two hooks can
+//! race. An entry set valid at version `v` only carries forward under
+//! a receipt for version `v + 1` (same database, same schema
+//! revisions); any other receipt clears the cache. Losing a
+//! carry-forward opportunity to that fence is a cache miss, never an
+//! unsound hit — hits still require an exact state-key match.
+
+use crate::query::Rows;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uniform_datalog::{ReadFootprint, Snapshot, Update};
+use uniform_logic::Sym;
+use uniform_repair::RepairSet;
+
+/// Row-set entries kept per state (bounded LRU; repair lists are one
+/// per state by construction).
+const MAX_ROW_ENTRIES: usize = 256;
+
+/// The exact semantic state a cache entry was computed against.
+/// `fact_rev`/`rule_rev`/`constraint_rev` pin the answers; `version`
+/// fences the advance ordering (see the module docs); `db_id` keeps
+/// two databases that agree on every counter apart.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct StateKey {
+    pub db_id: u64,
+    pub version: u64,
+    pub fact_rev: u64,
+    pub rule_rev: u64,
+    pub constraint_rev: u64,
+}
+
+impl StateKey {
+    pub fn of(snapshot: &Snapshot) -> StateKey {
+        StateKey {
+            db_id: snapshot.db_id(),
+            version: snapshot.version(),
+            fact_rev: snapshot.fact_rev(),
+            rule_rev: snapshot.rule_rev(),
+            constraint_rev: snapshot.constraint_rev(),
+        }
+    }
+
+    /// Do `self`'s entries semantically apply to `other`? Everything
+    /// but `version` must match — `version` also counts no-op schema
+    /// bumps, which cannot change answers.
+    fn serves(&self, other: &StateKey) -> bool {
+        self.db_id == other.db_id
+            && self.fact_rev == other.fact_rev
+            && self.rule_rev == other.rule_rev
+            && self.constraint_rev == other.constraint_rev
+    }
+}
+
+/// Running totals of a [`crate::ConcurrentDatabase`]'s shared
+/// certain-answer cache (see
+/// [`crate::ConcurrentDatabase::certain_cache_stats`]). All counters
+/// are monotonic; `entries` is the current row-set population.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertainCacheStats {
+    /// `Certain` executes whose row set was served from the cache.
+    pub hits: u64,
+    /// `Certain` executes that computed (and installed) a fresh row set.
+    pub misses: u64,
+    /// Repair enumerations served from the cache (no enforcement search).
+    pub repair_hits: u64,
+    /// Repair enumerations that ran the bounded search.
+    pub repair_misses: u64,
+    /// Admitted commits whose write footprint missed every cached
+    /// closure: entries re-keyed to the new revisions, not dropped.
+    pub carried_forward: u64,
+    /// Commits and schema updates that dropped cached entries.
+    pub invalidated: u64,
+    /// Certain-answer row sets currently cached.
+    pub entries: usize,
+}
+
+/// The cached repair list of one state, with the closure that guards
+/// its carry-forward.
+struct RepairsEntry {
+    repairs: Arc<Vec<RepairSet>>,
+    closure: ReadFootprint,
+}
+
+/// One cached certain-answer row set.
+struct RowsEntry {
+    rows: Rows,
+    closure: ReadFootprint,
+    used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// The state every held entry is valid for (`None` = empty cache).
+    key: Option<StateKey>,
+    repairs: Option<RepairsEntry>,
+    rows: HashMap<String, RowsEntry>,
+    /// LRU clock for `rows`.
+    clock: u64,
+}
+
+impl Inner {
+    fn is_empty(&self) -> bool {
+        self.repairs.is_none() && self.rows.is_empty()
+    }
+
+    fn clear(&mut self) {
+        self.key = None;
+        self.repairs = None;
+        self.rows.clear();
+    }
+
+    /// Prepare `key` for an install: adopt it if the cache is empty,
+    /// keep it if it already matches, displace an older state's
+    /// entries, and refuse (returning `false`) when the cache already
+    /// holds a newer state — a session pinned behind the head must not
+    /// clobber the entries live readers are hitting.
+    fn adopt(&mut self, key: StateKey) -> bool {
+        match self.key {
+            None => {
+                self.key = Some(key);
+                true
+            }
+            Some(k) if k.serves(&key) => true,
+            Some(k) if k.db_id != key.db_id || k.version < key.version => {
+                self.clear();
+                self.key = Some(key);
+                true
+            }
+            Some(_) => false,
+        }
+    }
+}
+
+/// See the module docs. Owned by the shared state behind
+/// [`crate::ConcurrentDatabase`]; sessions reach it through their
+/// database handle.
+pub(crate) struct CertainCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    repair_hits: AtomicU64,
+    repair_misses: AtomicU64,
+    carried_forward: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl CertainCache {
+    pub fn new() -> CertainCache {
+        CertainCache {
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            repair_hits: AtomicU64::new(0),
+            repair_misses: AtomicU64::new(0),
+            carried_forward: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached repair list for `key`, if the cache holds that exact
+    /// semantic state. Counts a repair hit; the caller counts the miss
+    /// when it falls through to the engine (see
+    /// [`CertainCache::install_repairs`]).
+    pub fn lookup_repairs(&self, key: &StateKey) -> Option<Arc<Vec<RepairSet>>> {
+        let inner = self.inner.lock();
+        let entry = match (&inner.key, &inner.repairs) {
+            (Some(k), Some(entry)) if k.serves(key) => entry,
+            _ => return None,
+        };
+        self.repair_hits.fetch_add(1, Ordering::Relaxed);
+        Some(entry.repairs.clone())
+    }
+
+    /// Install a freshly enumerated repair list for `key`, guarded by
+    /// its verdict closure (relations, recorded whole — the repair
+    /// search surveys them without any key to pin). Counts the repair
+    /// miss that led here. No-op when the cache already serves a newer
+    /// state.
+    pub fn install_repairs(&self, key: StateKey, repairs: Arc<Vec<RepairSet>>, closure: &[Sym]) {
+        self.repair_misses.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        if !inner.adopt(key) {
+            return;
+        }
+        let mut fp = ReadFootprint::default();
+        for &pred in closure {
+            fp.record_whole(pred);
+        }
+        inner.repairs = Some(RepairsEntry {
+            repairs,
+            closure: fp,
+        });
+    }
+
+    /// The cached certain-answer row set for `(key, fingerprint)`.
+    pub fn lookup_rows(&self, key: &StateKey, fingerprint: &str) -> Option<Rows> {
+        let mut inner = self.inner.lock();
+        if !inner.key.as_ref().is_some_and(|k| k.serves(key)) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        match inner.rows.get_mut(fingerprint) {
+            Some(entry) => {
+                entry.used = clock;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.rows.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Install a certain-answer row set, guarded by the union of the
+    /// query's reachable relations and the constraint closure (the
+    /// rows depend on the repairs too). Bounded: past
+    /// [`MAX_ROW_ENTRIES`] the least-recently-used entry is evicted.
+    pub fn install_rows(&self, key: StateKey, fingerprint: String, rows: Rows, closure: &[Sym]) {
+        let mut inner = self.inner.lock();
+        if !inner.adopt(key) {
+            return;
+        }
+        let mut fp = ReadFootprint::default();
+        for &pred in closure {
+            fp.record_whole(pred);
+        }
+        inner.clock += 1;
+        let used = inner.clock;
+        inner.rows.insert(
+            fingerprint,
+            RowsEntry {
+                rows,
+                closure: fp,
+                used,
+            },
+        );
+        if inner.rows.len() > MAX_ROW_ENTRIES {
+            if let Some(lru) = inner
+                .rows
+                .iter()
+                .min_by_key(|(_, e)| e.used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.rows.remove(&lru);
+            }
+        }
+    }
+
+    /// The post-commit advance hook: re-key entries whose closures the
+    /// commit's effective writes missed, drop the rest. `new_key` is
+    /// the post-commit state; `effective` its Def. 1 effective updates.
+    pub fn advance_commit(&self, new_key: StateKey, effective: &[Update]) {
+        let mut inner = self.inner.lock();
+        let Some(key) = inner.key else {
+            return; // empty cache: nothing to advance or drop
+        };
+        if key.serves(&new_key) {
+            return; // Def. 1 no-op commit: entries stay as they are
+        }
+        // The version fence: only the immediate successor of the cached
+        // state (same database, same schema revisions) may carry
+        // entries forward. Out-of-order hooks and foreign states clear.
+        let successor = key.db_id == new_key.db_id
+            && key.version + 1 == new_key.version
+            && key.rule_rev == new_key.rule_rev
+            && key.constraint_rev == new_key.constraint_rev;
+        if !successor {
+            if !inner.is_empty() {
+                self.invalidated.fetch_add(1, Ordering::Relaxed);
+            }
+            inner.clear();
+            return;
+        }
+        let conflicts = |fp: &ReadFootprint| {
+            effective
+                .iter()
+                .any(|u| fp.conflicts_with_write(u.fact.pred, &u.fact.args).is_some())
+        };
+        // The repair list guards everything: certain rows are
+        // intersections over it, so once the repairs are stale, every
+        // row set is too.
+        if inner
+            .repairs
+            .as_ref()
+            .is_some_and(|entry| conflicts(&entry.closure))
+        {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            inner.clear();
+            return;
+        }
+        inner.rows.retain(|_, entry| !conflicts(&entry.closure));
+        inner.key = Some(new_key);
+        if inner.is_empty() {
+            inner.key = None;
+        } else {
+            self.carried_forward.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Wholesale invalidation: schema updates and `AutoRepair` commits,
+    /// whose effect is the widened constraint closure — which every
+    /// cached verdict intersects by construction.
+    pub fn invalidate_all(&self) {
+        let mut inner = self.inner.lock();
+        if !inner.is_empty() {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.clear();
+    }
+
+    pub fn stats(&self) -> CertainCacheStats {
+        CertainCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            repair_hits: self.repair_hits.load(Ordering::Relaxed),
+            repair_misses: self.repair_misses.load(Ordering::Relaxed),
+            carried_forward: self.carried_forward.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self.inner.lock().rows.len(),
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! `tests/prop_commit_serializability.rs` asserts over randomized
 //! multi-writer schedules.
 
+use crate::certain_cache::{CertainCache, CertainCacheStats, StateKey};
 use crate::facade::{UniformDatabase, UniformError, UniformOptions};
 use crate::query::{
     Consistency, Params, PlanCache, PlanCacheStats, PreparedQuery, QueryError, Session,
@@ -223,6 +224,13 @@ pub(crate) struct Shared {
     rule_rev: AtomicU64,
     constraint_rev: AtomicU64,
     schema_version: AtomicU64,
+    /// The shared certain-answer cache (see [`crate::certain_cache`]):
+    /// repair lists and `Certain` row sets keyed by the exact semantic
+    /// state — `(db_id, fact_rev, rule_rev, constraint_rev)` — shared
+    /// across every session pinned to it, advanced delta-style after
+    /// each admitted commit and invalidated wholesale by schema
+    /// updates and `AutoRepair` commits.
+    certain: CertainCache,
 }
 
 impl Shared {
@@ -246,6 +254,12 @@ impl Shared {
         self.rule_rev.store(rule_rev, Ordering::Release);
         self.constraint_rev.store(constraint_rev, Ordering::Release);
         self.schema_version.store(version, Ordering::Release);
+    }
+
+    /// The shared certain-answer cache, for sessions opened through
+    /// this handle (see [`crate::Session`]).
+    pub(crate) fn certain(&self) -> &CertainCache {
+        &self.certain
     }
 }
 
@@ -280,6 +294,7 @@ impl ConcurrentDatabase {
                 rule_rev: AtomicU64::new(rule_rev),
                 constraint_rev: AtomicU64::new(constraint_rev),
                 schema_version: AtomicU64::new(version),
+                certain: CertainCache::new(),
             }),
         }
     }
@@ -375,16 +390,35 @@ impl ConcurrentDatabase {
         match self.shared.queue.commit(&txn) {
             Ok(CommitReceipt {
                 version,
+                fact_rev,
                 effective,
                 model_path,
-            }) => Ok(CommitOutcome {
-                version,
-                report,
-                retries: 0,
-                effective,
-                model_path,
-                repair: None,
-            }),
+            }) => {
+                // Delta-driven cache advance (outside the queue lock —
+                // the version fence inside `advance_commit` keeps
+                // racing, out-of-order hooks sound): entries whose
+                // closures this commit's writes missed are carried
+                // forward to the post-commit revisions.
+                self.shared.certain.advance_commit(
+                    StateKey {
+                        db_id: txn.snapshot().db_id(),
+                        version,
+                        fact_rev,
+                        // Commits never move the schema revisions.
+                        rule_rev: txn.snapshot().rule_rev(),
+                        constraint_rev: txn.snapshot().constraint_rev(),
+                    },
+                    &effective,
+                );
+                Ok(CommitOutcome {
+                    version,
+                    report,
+                    retries: 0,
+                    effective,
+                    model_path,
+                    repair: None,
+                })
+            }
             Err(e) => Err(TxnError::from_commit(e)),
         }
     }
@@ -423,16 +457,24 @@ impl ConcurrentDatabase {
         match self.shared.queue.commit(&txn) {
             Ok(CommitReceipt {
                 version,
+                fact_rev: _,
                 effective,
                 model_path,
-            }) => Ok(CommitOutcome {
-                version,
-                report: combined_report,
-                retries: 0,
-                effective,
-                model_path,
-                repair: Some(repair),
-            }),
+            }) => {
+                // An auto-repaired commit's effect is the widened
+                // constraint closure (the repair choice surveyed every
+                // relation any constraint can reach), which every
+                // cached verdict intersects — invalidate wholesale.
+                self.shared.certain.invalidate_all();
+                Ok(CommitOutcome {
+                    version,
+                    report: combined_report,
+                    retries: 0,
+                    effective,
+                    model_path,
+                    repair: Some(repair),
+                })
+            }
             Err(e) => Err(TxnError::from_commit(e)),
         }
     }
@@ -549,8 +591,17 @@ impl ConcurrentDatabase {
     /// number of [`Session::execute`] calls see that one state while
     /// writers keep committing; take a fresh session to observe later
     /// commits.
+    /// Sessions opened here share the database-level certain-answer
+    /// cache: `Certain` reads pinned to the same `(db_id, fact_rev,
+    /// rule_rev, constraint_rev)` state reuse one repair enumeration
+    /// and cached row sets (see [`crate::certain_cache`]).
     pub fn session(&self) -> Session {
-        Session::new(self.snapshot(), self.shared.options.repair)
+        Session::shared(
+            self.snapshot(),
+            self.shared.options.repair,
+            self.shared.clone(),
+            false,
+        )
     }
 
     /// A *fenced* session: like [`ConcurrentDatabase::session`], but
@@ -560,16 +611,24 @@ impl ConcurrentDatabase {
     /// whose pinned verdicts predate the new schema. Use for long-lived
     /// sessions that must not serve answers across schema epochs.
     pub fn session_fenced(&self) -> Session {
-        Session::fenced(
+        Session::shared(
             self.snapshot(),
             self.shared.options.repair,
             self.shared.clone(),
+            true,
         )
     }
 
     /// Running totals of the shared prepared-plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.shared.plans.stats()
+    }
+
+    /// Running totals of the shared certain-answer cache (hits,
+    /// misses, carry-forwards, invalidations; see
+    /// [`crate::CertainCacheStats`]).
+    pub fn certain_cache_stats(&self) -> CertainCacheStats {
+        self.shared.certain.stats()
     }
 
     /// Evaluate a closed formula against the latest committed state —
@@ -620,7 +679,7 @@ impl ConcurrentDatabase {
     /// Fenced read sessions observe the change through the published
     /// revision mirrors (see [`ConcurrentDatabase::session_fenced`]).
     pub fn update_schema<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
-        self.shared.queue.update_schema(|db| {
+        let result = self.shared.queue.update_schema(|db| {
             let result = f(db);
             // Published while the queue lock still serializes schema
             // changes: racing updates must publish in revision order,
@@ -629,7 +688,13 @@ impl ConcurrentDatabase {
             self.shared
                 .publish_schema_revs(db.rule_rev(), db.constraint_rev(), db.version());
             result
-        })
+        });
+        // A schema change moves the constraint closure itself; cached
+        // repair verdicts cannot be carried across it. (Raw fact edits
+        // through this entry point also land here — wholesale is the
+        // only sound answer either way.)
+        self.shared.certain.invalidate_all();
+        result
     }
 
     /// Add a rule, guarded like [`UniformDatabase::try_add_rule`] (the
@@ -1293,5 +1358,195 @@ mod tests {
         assert!(db.with_database(|d| d.is_consistent()));
         // 3 seed facts + 3 per committed department.
         assert_eq!(db.with_database(|d| d.facts().len()), 3 + 4 * 8 * 3);
+    }
+
+    /// The canonical certain-cache fixture: `p(a)`/`p(b)` with `q(b)`
+    /// only, so `p(a)` violates `c` and the two minimal repairs are
+    /// {delete p(a)} and {insert q(a)} — `p(b)` is the single certain
+    /// answer of `p(X)`.
+    fn inconsistent_pq() -> ConcurrentDatabase {
+        let db = ConcurrentDatabase::parse("q(b). constraint c: forall X: p(X) -> q(X).").unwrap();
+        db.update_schema(|d| {
+            d.insert_fact(&Fact::parse_like("p", &["a"]));
+            d.insert_fact(&Fact::parse_like("p", &["b"]));
+        });
+        assert!(!db.with_database(|d| d.is_consistent()));
+        db
+    }
+
+    #[test]
+    fn certain_cache_shares_one_enumeration_across_sessions() {
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        let first = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(first.len(), 1, "{first}");
+        // A *different* session pinned to the same state: the row set
+        // comes straight from the shared cache — no repair enumeration,
+        // not even a repair-cache lookup.
+        let second = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.repair_misses, 1, "one enumeration total: {stats:?}");
+        assert_eq!((stats.hits, stats.misses), (1, 1), "{stats:?}");
+        assert_eq!(stats.entries, 1);
+        // A third session asking a different Certain query reuses the
+        // cached *repairs* even though its row set is new.
+        let f = db.prepare_formula("p(b)").unwrap();
+        assert!(db
+            .session()
+            .execute(&f, &Params::new(), Consistency::Certain)
+            .unwrap()
+            .is_true());
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.repair_misses, 1, "{stats:?}");
+        assert_eq!(stats.repair_hits, 1, "{stats:?}");
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn commits_outside_the_closure_carry_the_certain_cache_forward() {
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        let warm = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        // `noise` is outside the constraint closure and outside the
+        // query's own closure: the admitted commit carries every cached
+        // entry forward to the new revisions instead of dropping them.
+        db.commit_updates_with_retry(&[upd(true, "noise", &["n1"])], 4)
+            .unwrap();
+        let after = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(warm, after);
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.carried_forward, 1, "{stats:?}");
+        assert_eq!(stats.invalidated, 0, "{stats:?}");
+        assert_eq!(stats.repair_misses, 1, "the enumeration survived");
+        assert_eq!(stats.hits, 1, "the post-commit read was a row hit");
+    }
+
+    #[test]
+    fn fact_only_commits_inside_the_closure_invalidate_the_certain_cache() {
+        // Satellite of the PR 6 fence gap: sessions only compare
+        // rule/constraint revisions, so a *fact*-level staleness hole in
+        // the cache would serve answers of a dead state. The cache key
+        // carries `fact_rev`, and the advance hook drops entries whose
+        // closure the commit wrote into — both asserted here.
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        let stale = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(stale.len(), 1, "only p(b) is certain before the fix");
+        // A fact-only commit (rule_rev/constraint_rev unchanged) that
+        // repairs the violation: with q(a) in place the state is
+        // consistent and p(a) is certain too.
+        db.commit_updates_with_retry(&[upd(true, "q", &["a"])], 4)
+            .unwrap();
+        let fresh = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(fresh.len(), 2, "{fresh}");
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.invalidated, 1, "{stats:?}");
+        assert_eq!(stats.carried_forward, 0, "{stats:?}");
+        assert_eq!(stats.repair_misses, 2, "the commit forced a re-enumeration");
+    }
+
+    #[test]
+    fn constraint_only_schema_updates_never_serve_a_stale_repair_report() {
+        // The other satellite hole: a schema update that moves *only*
+        // the constraint revision (facts and rules untouched) must not
+        // serve the old revision's RepairReport to new sessions.
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        let narrow = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(narrow.len(), 1);
+        let (fact_rev_before, rule_rev_before) = db.with_database(|d| (d.fact_rev(), d.rule_rev()));
+        // Drop the constraint: a constraint-only change.
+        db.update_schema(|d| d.set_constraints(Vec::new()));
+        assert_eq!(
+            db.with_database(|d| (d.fact_rev(), d.rule_rev())),
+            (fact_rev_before, rule_rev_before),
+            "the update must move only constraint_rev for this test to bite"
+        );
+        // Without `c` the state is consistent: both p-facts are certain.
+        let wide = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(wide.len(), 2, "{wide}");
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.invalidated, 1, "{stats:?}");
+        assert_eq!(stats.repair_misses, 2, "{stats:?}");
+    }
+
+    #[test]
+    fn auto_repaired_commits_invalidate_the_certain_cache_wholesale() {
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        db.session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        // An auto-repaired commit folds a repair delta in: its effect
+        // is the widened constraint closure, so the cache drops
+        // everything rather than reasoning about the delta.
+        let mut t = db.begin();
+        t.stage(upd(true, "p", &["z"]));
+        let outcome = db
+            .commit_with_policy(&t, ViolationPolicy::AutoRepair)
+            .unwrap();
+        assert!(outcome.repair.is_some());
+        let stats = db.certain_cache_stats();
+        assert_eq!(stats.invalidated, 1, "{stats:?}");
+        assert_eq!(stats.entries, 0);
+        // And fresh sessions compute fresh, correct answers.
+        let fresh = db
+            .session()
+            .execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert!(!fresh.is_empty(), "{fresh}");
+        assert_eq!(db.certain_cache_stats().repair_misses, 2);
+    }
+
+    #[test]
+    fn plan_cache_shards_are_bounded_with_lru_eviction() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let hot = "member(X, Y)";
+        db.prepare(hot).unwrap();
+        // Churn far more distinct keys than the cache may hold,
+        // re-touching the hot entry throughout so its stamps stay fresh.
+        let churn = 16 * 64 * 2;
+        for i in 0..churn {
+            db.prepare(&format!("extra{i}(X)")).unwrap();
+            if i % 16 == 0 {
+                db.prepare(hot).unwrap();
+            }
+        }
+        let stats = db.plan_cache_stats();
+        assert!(
+            stats.entries <= 16 * 64,
+            "shards must stay bounded, got {} entries",
+            stats.entries
+        );
+        // The hot key survived the churn: one more lookup is a hit.
+        let misses_before = db.plan_cache_stats().misses;
+        db.prepare(hot).unwrap();
+        let after = db.plan_cache_stats();
+        assert_eq!(after.misses, misses_before, "hot entry was evicted");
     }
 }

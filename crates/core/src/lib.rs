@@ -38,10 +38,12 @@
 //! println!("rejected: {err}");
 //! ```
 
+pub mod certain_cache;
 pub mod concurrent;
 pub mod facade;
 pub mod query;
 
+pub use certain_cache::CertainCacheStats;
 pub use concurrent::{CommitOutcome, ConcurrentDatabase, TxnError};
 pub use facade::{UniformDatabase, UniformError, UniformOptions};
 pub use query::{

@@ -46,7 +46,7 @@
 //! ```
 
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -486,13 +486,18 @@ struct PreparedInner {
     params: Vec<Sym>,
     columns: Arc<[Sym]>,
     /// Plans keyed by `(db_id, rule_rev)` — the database identity they
-    /// were built against *and* its rule revision — most recent last
-    /// (bounded: old keys are evicted). One prepared query used
-    /// against several databases (or a session pinned to an older
-    /// revision) plans into its own slot; another database's plan —
-    /// whose magic program bakes in that database's rules — is never
-    /// served, whatever the revision counters say.
-    plans: RwLock<Vec<(PlanKey, Arc<Plan>)>>,
+    /// were built against *and* its rule revision — bounded at
+    /// [`PLAN_SLOTS`] with least-recently-*used* eviction (each hit
+    /// stamps its entry from `plan_clock`, so a hot plan survives any
+    /// amount of churn by other keys; insertion-order eviction would
+    /// evict it first). One prepared query used against several
+    /// databases (or a session pinned to an older revision) plans into
+    /// its own slot; another database's plan — whose magic program
+    /// bakes in that database's rules — is never served, whatever the
+    /// revision counters say.
+    plans: RwLock<Vec<(PlanKey, Arc<Plan>, AtomicU64)>>,
+    /// Monotonic use counter feeding the plan entries' LRU stamps.
+    plan_clock: AtomicU64,
     plan_hits: AtomicU64,
     plan_misses: AtomicU64,
 }
@@ -587,6 +592,7 @@ impl PreparedQuery {
                 params,
                 columns: Arc::from(columns),
                 plans: RwLock::new(Vec::new()),
+                plan_clock: AtomicU64::new(0),
                 plan_hits: AtomicU64::new(0),
                 plan_misses: AtomicU64::new(0),
             }),
@@ -629,9 +635,13 @@ impl PreparedQuery {
     /// never returned.
     fn plan_for(&self, snapshot: &Snapshot) -> Arc<Plan> {
         let key = (snapshot.db_id(), snapshot.rule_rev());
+        let stamp = || self.inner.plan_clock.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let plans = self.inner.plans.read();
-            if let Some((_, plan)) = plans.iter().rev().find(|(k, _)| *k == key) {
+            if let Some((_, plan, used)) = plans.iter().find(|(k, _, _)| *k == key) {
+                // LRU bookkeeping under the read lock: stamps are
+                // atomic, so hits never serialize on the write lock.
+                used.store(stamp(), Ordering::Relaxed);
                 self.inner.plan_hits.fetch_add(1, Ordering::Relaxed);
                 return plan.clone();
             }
@@ -639,12 +649,20 @@ impl PreparedQuery {
         self.inner.plan_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(self.build_plan(snapshot));
         let mut plans = self.inner.plans.write();
-        if let Some((_, existing)) = plans.iter().rev().find(|(k, _)| *k == key) {
+        if let Some((_, existing, used)) = plans.iter().find(|(k, _, _)| *k == key) {
+            used.store(stamp(), Ordering::Relaxed);
             return existing.clone(); // lost a benign race; reuse theirs
         }
-        plans.push((key, plan.clone()));
+        plans.push((key, plan.clone(), AtomicU64::new(stamp())));
         if plans.len() > PLAN_SLOTS {
-            plans.remove(0);
+            if let Some(lru) = plans
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, _, used))| used.load(Ordering::Relaxed))
+                .map(|(i, _)| i)
+            {
+                plans.swap_remove(lru);
+            }
         }
         plan
     }
@@ -739,12 +757,17 @@ fn declared_params(params: &[&str], vars: &[Sym]) -> Result<Vec<Sym>, QueryError
 pub struct Session {
     snapshot: Snapshot,
     repair: RepairOptions,
-    /// The minimal repairs of this snapshot, enumerated lazily on the
-    /// first `Certain` execute and shared by the rest.
+    /// The minimal repairs of this snapshot, memoized per session (the
+    /// fast path — no shared-cache lock on repeat `Certain` executes).
     repairs: RwLock<Option<Arc<Vec<RepairSet>>>>,
-    /// For fenced sessions: the live queue to revalidate schema
-    /// revisions against (see [`QueryError::SnapshotTooOld`]).
-    fence: Option<Arc<crate::concurrent::Shared>>,
+    /// For sessions opened through a [`crate::ConcurrentDatabase`]
+    /// handle: the owning database's shared state — the commit-
+    /// invalidated certain-answer cache (see [`crate::certain_cache`])
+    /// and, when `fenced`, the schema-revision mirrors to revalidate
+    /// against (see [`QueryError::SnapshotTooOld`]).
+    shared: Option<Arc<crate::concurrent::Shared>>,
+    /// Refuse executes once a schema change lands after the pin.
+    fenced: bool,
 }
 
 impl Session {
@@ -753,20 +776,23 @@ impl Session {
             snapshot,
             repair,
             repairs: RwLock::new(None),
-            fence: None,
+            shared: None,
+            fenced: false,
         }
     }
 
-    pub(crate) fn fenced(
+    pub(crate) fn shared(
         snapshot: Snapshot,
         repair: RepairOptions,
         shared: Arc<crate::concurrent::Shared>,
+        fenced: bool,
     ) -> Session {
         Session {
             snapshot,
             repair,
             repairs: RwLock::new(None),
-            fence: Some(shared),
+            shared: Some(shared),
+            fenced,
         }
     }
 
@@ -806,15 +832,17 @@ impl Session {
                 return Err(QueryError::UnknownParam(name));
             }
         }
-        if let Some(shared) = &self.fence {
-            let (rule_rev, constraint_rev, version) = shared.schema_revs();
-            if rule_rev != self.snapshot.rule_rev()
-                || constraint_rev != self.snapshot.constraint_rev()
-            {
-                return Err(QueryError::SnapshotTooOld {
-                    pinned: self.snapshot.version(),
-                    current: version,
-                });
+        if self.fenced {
+            if let Some(shared) = &self.shared {
+                let (rule_rev, constraint_rev, version) = shared.schema_revs();
+                if rule_rev != self.snapshot.rule_rev()
+                    || constraint_rev != self.snapshot.constraint_rev()
+                {
+                    return Err(QueryError::SnapshotTooOld {
+                        pinned: self.snapshot.version(),
+                        current: version,
+                    });
+                }
             }
         }
 
@@ -824,7 +852,9 @@ impl Session {
             (Kind::Conjunctive { literals }, PlanKind::Conjunctive { order, magic }) => {
                 match consistency {
                     Consistency::Latest => Ok(self.latest_rows(query, literals, order, &init)),
-                    Consistency::Certain => self.certain_rows(query, literals, magic, &init),
+                    Consistency::Certain => self.cached_certain(query, params, literals, |s| {
+                        s.certain_rows(query, literals, magic, &init)
+                    }),
                 }
             }
             (Kind::Formula { .. }, PlanKind::Formula { optimized }) => match consistency {
@@ -834,18 +864,88 @@ impl Session {
                     &mut init.clone(),
                 ))),
                 Consistency::Certain => {
-                    let repairs = self.certain_repairs()?;
-                    Ok(Rows::boolean(uniform_repair::certainly_satisfies_bound(
-                        self.snapshot.facts(),
-                        self.snapshot.rules(),
-                        &repairs,
-                        optimized,
-                        &init,
-                    )))
+                    let preds: Vec<Literal> = optimized
+                        .literals()
+                        .iter()
+                        .map(|occ| occ.literal.clone())
+                        .collect();
+                    self.cached_certain(query, params, &preds, |s| {
+                        let repairs = s.certain_repairs()?;
+                        Ok(Rows::boolean(uniform_repair::certainly_satisfies_bound(
+                            s.snapshot.facts(),
+                            s.snapshot.rules(),
+                            &repairs,
+                            optimized,
+                            &init,
+                        )))
+                    })
                 }
             },
             _ => unreachable!("plan kind always matches query kind"),
         }
+    }
+
+    /// The shared-cache wrapper around a `Certain` evaluation: sessions
+    /// opened through a [`crate::ConcurrentDatabase`] serve the row set
+    /// from the database-level cache when one is pinned to the same
+    /// `(db_id, fact_rev, rule_rev, constraint_rev)` state, and install
+    /// a freshly computed one (guarded by the query's closure unioned
+    /// with the constraint closure — the carry-forward guard) on a
+    /// miss. Plain sessions just compute.
+    fn cached_certain(
+        &self,
+        query: &PreparedQuery,
+        params: &Params,
+        literals: &[Literal],
+        compute: impl FnOnce(&Session) -> Result<Rows, QueryError>,
+    ) -> Result<Rows, QueryError> {
+        let Some(shared) = &self.shared else {
+            return compute(self);
+        };
+        let key = crate::certain_cache::StateKey::of(&self.snapshot);
+        let fingerprint = Self::fingerprint(query, params);
+        if let Some(rows) = shared.certain().lookup_rows(&key, &fingerprint) {
+            return Ok(rows);
+        }
+        let rows = compute(self)?;
+        let closure = self.certain_row_closure(literals);
+        shared
+            .certain()
+            .install_rows(key, fingerprint, rows.clone(), &closure);
+        Ok(rows)
+    }
+
+    /// The cache identity of one `Certain` evaluation under one state:
+    /// query kind + declared params + source, then the bound parameter
+    /// values in name order ([`Params`] iterates sorted).
+    fn fingerprint(query: &PreparedQuery, params: &Params) -> String {
+        use fmt::Write as _;
+        let mut fp = String::new();
+        let kind = if query.is_formula() { "rq" } else { "cq" };
+        let _ = write!(fp, "{kind}\u{1}{}", query.inner.source);
+        for (name, value) in params.iter() {
+            let _ = write!(fp, "\u{1}{name}={value}");
+        }
+        fp
+    }
+
+    /// Everything a cached `Certain` row set can depend on: the query's
+    /// own literals closed downward through rule bodies (its answers
+    /// read those relations even when the repairs are unaffected),
+    /// unioned with the constraint closure (its answers are
+    /// intersections over the minimal repairs).
+    fn certain_row_closure(&self, literals: &[Literal]) -> Vec<Sym> {
+        let graph = self.snapshot.rules().graph();
+        let mut closure: BTreeSet<Sym> = BTreeSet::new();
+        for lit in literals {
+            closure.extend(graph.reachable(lit.atom.pred));
+        }
+        for c in self.snapshot.constraints() {
+            for occ in c.rq.literals() {
+                closure.extend(graph.reachable(occ.literal.atom.pred));
+            }
+        }
+        closure.into_iter().collect()
     }
 
     /// `Latest`: enumerate over the snapshot's canonical model in the
@@ -928,22 +1028,50 @@ impl Session {
         Ok(Rows::from_rows(columns, rows))
     }
 
-    /// The snapshot's minimal repairs, enumerated once per session.
+    /// The snapshot's minimal repairs: the session-local memo first,
+    /// then — for sessions opened through a
+    /// [`crate::ConcurrentDatabase`] — the shared certain-answer cache
+    /// (any session pinned to the same semantic state reuses one
+    /// enumeration), and only then the bounded repair search, whose
+    /// result is installed shared under its verdict closure.
     fn certain_repairs(&self) -> Result<Arc<Vec<RepairSet>>, QueryError> {
         if let Some(repairs) = self.repairs.read().as_ref() {
             return Ok(repairs.clone());
+        }
+        let key = self
+            .shared
+            .as_ref()
+            .map(|_| crate::certain_cache::StateKey::of(&self.snapshot));
+        if let (Some(shared), Some(key)) = (&self.shared, &key) {
+            if let Some(repairs) = shared.certain().lookup_repairs(key) {
+                return Ok(self.memoize_repairs(repairs));
+            }
         }
         let engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
         let report = engine
             .repairs_covering_all_minimal()
             .map_err(QueryError::Budget)?;
+        // Computed before the repairs move: the closure this entry may
+        // be carried forward under (see `RepairEngine::report_closure`).
+        let closure = engine.report_closure(&report);
         let repairs = Arc::new(report.repairs);
+        if let (Some(shared), Some(key)) = (&self.shared, key) {
+            shared
+                .certain()
+                .install_repairs(key, repairs.clone(), &closure);
+        }
+        Ok(self.memoize_repairs(repairs))
+    }
+
+    /// Publish `repairs` into the session-local memo (first writer
+    /// wins, so concurrent executes agree on one list).
+    fn memoize_repairs(&self, repairs: Arc<Vec<RepairSet>>) -> Arc<Vec<RepairSet>> {
         let mut slot = self.repairs.write();
         if let Some(existing) = slot.as_ref() {
-            return Ok(existing.clone());
+            return existing.clone();
         }
         *slot = Some(repairs.clone());
-        Ok(repairs)
+        repairs
     }
 }
 
@@ -951,7 +1079,8 @@ impl fmt::Debug for Session {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Session")
             .field("version", &self.snapshot.version())
-            .field("fenced", &self.fence.is_some())
+            .field("shared", &self.shared.is_some())
+            .field("fenced", &self.fenced)
             .finish()
     }
 }
@@ -990,13 +1119,30 @@ pub struct PlanCacheStats {
 
 const CACHE_SHARDS: usize = 16;
 
-/// A sharded source → [`PreparedQuery`] cache. Keys carry the query
-/// kind and declared parameters, so `"p(X)"` as a conjunctive query and
-/// as a formula never collide. Entries stay valid across rule updates —
-/// parsing is schema-independent; the *plans* inside each entry are
-/// revision-keyed and rebuilt on demand (see [`PreparedQuery`]).
+/// Prepared queries one shard keeps (the whole cache holds at most
+/// `CACHE_SHARDS * SHARD_CAP`); past the cap the least-recently-used
+/// entry of that shard is evicted.
+const SHARD_CAP: usize = 64;
+
+/// One shard of the prepared-query cache: entries carry an LRU stamp
+/// from the shard-local `clock` (everything already runs under the
+/// shard mutex, so plain `u64`s suffice).
+#[derive(Default)]
+struct Shard {
+    map: HashMap<String, (PreparedQuery, u64)>,
+    clock: u64,
+}
+
+/// A sharded source → [`PreparedQuery`] cache, bounded by genuine LRU
+/// eviction ([`SHARD_CAP`] entries per shard; a hit refreshes its
+/// entry's stamp, so hot queries survive any amount of churn by
+/// distinct keys). Keys carry the query kind and declared parameters,
+/// so `"p(X)"` as a conjunctive query and as a formula never collide.
+/// Entries stay valid across rule updates — parsing is
+/// schema-independent; the *plans* inside each entry are revision-keyed
+/// and rebuilt on demand (see [`PreparedQuery`]).
 pub(crate) struct PlanCache {
-    shards: Vec<Mutex<HashMap<String, PreparedQuery>>>,
+    shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -1005,7 +1151,7 @@ impl PlanCache {
     pub(crate) fn new() -> PlanCache {
         PlanCache {
             shards: (0..CACHE_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -1023,14 +1169,27 @@ impl PlanCache {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut hasher);
         let shard = &self.shards[(hasher.finish() as usize) % CACHE_SHARDS];
-        let mut map = shard.lock();
-        if let Some(query) = map.get(&key) {
+        let mut shard = shard.lock();
+        shard.clock += 1;
+        let clock = shard.clock;
+        if let Some((query, used)) = shard.map.get_mut(&key) {
+            *used = clock;
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(query.clone());
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let query = build()?;
-        map.insert(key, query.clone());
+        shard.map.insert(key, (query.clone(), clock));
+        if shard.map.len() > SHARD_CAP {
+            if let Some(lru) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                shard.map.remove(&lru);
+            }
+        }
         Ok(query)
     }
 
@@ -1038,7 +1197,7 @@ impl PlanCache {
         PlanCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.shards.iter().map(|s| s.lock().len()).sum(),
+            entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
         }
     }
 }
@@ -1302,6 +1461,34 @@ mod tests {
         }
         let (_, misses) = q.plan_counters();
         assert_eq!(misses, 2, "one plan per database identity");
+    }
+
+    #[test]
+    fn plan_slots_evict_least_recently_used_not_oldest() {
+        // Regression: the plan store used to claim "bounded: old keys
+        // are evicted" but evicted in *insertion* order, so a hot
+        // database's plan died to churn by other databases even while
+        // being hit constantly. Six databases churn one PreparedQuery's
+        // PLAN_SLOTS=4 store; the hot one is re-hit between insertions
+        // and must never re-plan.
+        let dbs: Vec<UniformDatabase> = (0..6)
+            .map(|_| UniformDatabase::parse("employee(ann).").unwrap())
+            .collect();
+        let q = PreparedQuery::prepare("employee(X)").unwrap();
+        let run = |db: &UniformDatabase| {
+            db.session()
+                .execute(&q, &Params::new(), Consistency::Latest)
+                .unwrap()
+        };
+        run(&dbs[0]); // the hot database plans first
+        for cold in &dbs[1..] {
+            run(cold); // one plan per database identity
+            run(&dbs[0]); // ...with the hot plan re-hit in between
+        }
+        run(&dbs[0]);
+        let (hits, misses) = q.plan_counters();
+        assert_eq!(misses, 6, "one plan per database, hot never re-planned");
+        assert_eq!(hits, 6, "every hot re-execute was served cached");
     }
 
     #[test]

@@ -429,6 +429,7 @@ impl Database {
             model: self.model(),
             db_id: self.db_id,
             version: self.version,
+            fact_rev: self.fact_rev,
             rule_rev: self.rule_rev,
             constraint_rev: self.constraint_rev,
         }
@@ -494,6 +495,7 @@ pub struct Snapshot {
     model: Arc<Model>,
     db_id: u64,
     version: u64,
+    fact_rev: u64,
     rule_rev: u64,
     constraint_rev: u64,
 }
@@ -512,6 +514,15 @@ impl Snapshot {
     /// The originating database's [`Database::version`] at snapshot time.
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The originating database's [`Database::fact_rev`] at snapshot
+    /// time. Together with `rule_rev` and `constraint_rev` it pins the
+    /// exact semantic state a certain-answer cache entry was computed
+    /// against (`version` also counts no-op schema bumps, which cannot
+    /// change answers).
+    pub fn fact_rev(&self) -> u64 {
+        self.fact_rev
     }
 
     /// The originating database's [`Database::rule_rev`] at snapshot

@@ -70,7 +70,7 @@ pub use planner::{optimize_rq, Cardinality, ConjunctionPlan, FixedStats, PlanRep
 pub use program::{BodyOccurrence, RuleSet};
 pub use provenance::{Derivation, Provenance};
 pub use serialize::to_program_source;
-pub use store::{cow_stats, CowStats, FactSet, Relation, COMPACT_FLOOR, PAGE_CAP};
+pub use store::{CowStats, FactSet, Relation, COMPACT_FLOOR, PAGE_CAP};
 pub use topdown::OverlayEngine;
 pub use txn::{
     CommitError, CommitQueue, CommitReceipt, ConflictStats, MaintenanceCounters, ModelPath,

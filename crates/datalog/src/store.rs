@@ -19,8 +19,12 @@
 //! holder therefore keeps a bit-identical view while a writer lands a
 //! commit whose storage cost is proportional to the delta the paper's
 //! method already computes, never to the relation it lands in.
-//! [`cow_stats`] counts the pages, tuples and approximate bytes those
-//! clones copy (`b6_hot_relation` reports them per commit).
+//! [`FactSet::cow_stats`] counts the pages, tuples and approximate
+//! bytes those clones copy (`b6_hot_relation` reports them per
+//! commit). The counters are scoped to a *relation family* — a
+//! relation and every clone/snapshot descended from it share one
+//! counter set — so concurrent tests and benches in the same process
+//! never bleed into each other's before/after deltas.
 //!
 //! Tombstone accounting is per page, replacing the old global
 //! `stale_slots`/`compact` pass: the tail page compacts once more than
@@ -50,15 +54,18 @@ pub const PAGE_CAP: usize = 1024;
 /// Tail pages below this many slots never auto-compact.
 pub const COMPACT_FLOOR: usize = 32;
 
-static PAGES_CLONED: AtomicU64 = AtomicU64::new(0);
-static TUPLES_CLONED: AtomicU64 = AtomicU64::new(0);
-static BYTES_CLONED: AtomicU64 = AtomicU64::new(0);
-
-/// Process-wide counters of copy-on-write page clones: how many shared
-/// pages writers have had to copy before mutating, how many tuple slots
+/// Counters of copy-on-write page clones: how many shared pages
+/// writers have had to copy before mutating, how many tuple slots
 /// those pages held, and approximately how many bytes that copied.
 /// Monotonic; read a delta around an operation to get its COW cost
 /// (`b6_hot_relation` does this per commit).
+///
+/// Counters are *scoped*, not process-global: each relation family (a
+/// relation plus every clone and snapshot descended from it) shares
+/// one counter set, read via [`Relation::cow_stats`] and aggregated
+/// per database via [`FactSet::cow_stats`]. Two databases built
+/// independently therefore never see each other's clone traffic, even
+/// when their tests run concurrently in one process.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CowStats {
     pub pages_cloned: u64,
@@ -66,12 +73,34 @@ pub struct CowStats {
     pub bytes_cloned: u64,
 }
 
-/// Current process-wide copy-on-write counters (see [`CowStats`]).
-pub fn cow_stats() -> CowStats {
-    CowStats {
-        pages_cloned: PAGES_CLONED.load(Ordering::Relaxed),
-        tuples_cloned: TUPLES_CLONED.load(Ordering::Relaxed),
-        bytes_cloned: BYTES_CLONED.load(Ordering::Relaxed),
+impl std::ops::Add for CowStats {
+    type Output = CowStats;
+    fn add(self, rhs: CowStats) -> CowStats {
+        CowStats {
+            pages_cloned: self.pages_cloned + rhs.pages_cloned,
+            tuples_cloned: self.tuples_cloned + rhs.tuples_cloned,
+            bytes_cloned: self.bytes_cloned + rhs.bytes_cloned,
+        }
+    }
+}
+
+/// One relation family's shared COW counters. The handle is cloned
+/// (not reset) along with the relation, so a writer and the snapshots
+/// it unshares pages from all account into the same scope.
+#[derive(Debug, Default)]
+struct CowCounters {
+    pages: AtomicU64,
+    tuples: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl CowCounters {
+    fn snapshot(&self) -> CowStats {
+        CowStats {
+            pages_cloned: self.pages.load(Ordering::Relaxed),
+            tuples_cloned: self.tuples.load(Ordering::Relaxed),
+            bytes_cloned: self.bytes.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -136,6 +165,8 @@ pub struct Relation {
     /// Persistent: cloning is O(1), updates copy O(log n) trie nodes.
     slots: SlotMap,
     live: usize,
+    /// COW counters shared by this relation's whole clone family.
+    counters: Arc<CowCounters>,
 }
 
 impl Relation {
@@ -145,11 +176,18 @@ impl Relation {
             pages: Vec::new(),
             slots: SlotMap::default(),
             live: 0,
+            counters: Arc::new(CowCounters::default()),
         }
     }
 
     pub fn arity(&self) -> usize {
         self.arity
+    }
+
+    /// This relation family's accumulated COW counters (see
+    /// [`CowStats`] for the scoping rules).
+    pub fn cow_stats(&self) -> CowStats {
+        self.counters.snapshot()
     }
 
     pub fn len(&self) -> usize {
@@ -171,9 +209,13 @@ impl Relation {
     fn page_mut(&mut self, p: usize) -> &mut Page {
         if Arc::get_mut(&mut self.pages[p]).is_none() {
             let page = &self.pages[p];
-            PAGES_CLONED.fetch_add(1, Ordering::Relaxed);
-            TUPLES_CLONED.fetch_add(page.slots.len() as u64, Ordering::Relaxed);
-            BYTES_CLONED.fetch_add(page.approx_bytes(), Ordering::Relaxed);
+            self.counters.pages.fetch_add(1, Ordering::Relaxed);
+            self.counters
+                .tuples
+                .fetch_add(page.slots.len() as u64, Ordering::Relaxed);
+            self.counters
+                .bytes
+                .fetch_add(page.approx_bytes(), Ordering::Relaxed);
         }
         Arc::make_mut(&mut self.pages[p])
     }
@@ -339,6 +381,9 @@ impl Relation {
             return;
         }
         let mut rebuilt = Relation::new(self.arity);
+        // The rebuild stays in the same counter scope: compaction
+        // replaces the relation's storage, not its clone family.
+        rebuilt.counters = self.counters.clone();
         for page in &self.pages {
             for (tuple, live) in &page.slots {
                 if *live {
@@ -501,6 +546,16 @@ impl FactSet {
         self.index
             .get(&pred)
             .map(|&slot| &*self.relations[slot as usize].1)
+    }
+
+    /// Aggregate COW counters over every relation family reachable
+    /// from this fact set (see [`CowStats`]). Snapshots and clones of
+    /// the same database read the same counters; unrelated databases
+    /// read disjoint ones.
+    pub fn cow_stats(&self) -> CowStats {
+        self.relations
+            .iter()
+            .fold(CowStats::default(), |acc, (_, r)| acc + r.cow_stats())
     }
 
     /// Predicates with at least one stored (possibly tombstoned)
@@ -826,10 +881,10 @@ mod tests {
             let rb = b.relation(Sym::new("hot")).unwrap();
             assert_eq!(ra.shared_pages_with(rb), 3, "clone shares every page");
         }
-        let before = cow_stats();
+        let before = a.cow_stats();
         // One insert lands in the tail page only.
         a.insert(&fact("hot", &["fresh", "v"]));
-        let after = cow_stats();
+        let after = a.cow_stats();
         let ra = a.relation(Sym::new("hot")).unwrap();
         let rb = b.relation(Sym::new("hot")).unwrap();
         assert_eq!(
@@ -846,5 +901,13 @@ mod tests {
         // The reader's view is bit-identical to pre-mutation.
         assert_eq!(rb.len(), n);
         assert!(!rb.contains(&fact("hot", &["fresh", "v"]).args));
+        // Counter scoping: the snapshot reads the same family counters
+        // as the writer, while an unrelated fact set sees none of this
+        // traffic (no process-global bleed).
+        assert_eq!(b.cow_stats(), after);
+        let mut cold = FactSet::new();
+        cold.insert(&fact("cold", &["x"]));
+        cold.insert(&fact("cold", &["y"]));
+        assert_eq!(cold.cow_stats(), CowStats::default());
     }
 }

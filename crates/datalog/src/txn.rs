@@ -305,6 +305,10 @@ pub struct MaintenanceCounters {
 pub struct CommitReceipt {
     /// The database version after this commit.
     pub version: u64,
+    /// The database's fact revision after this commit — the post-state
+    /// half of the key a commit-invalidated certain-answer cache
+    /// advances its entries to (see `uniform::ConcurrentDatabase`).
+    pub fact_rev: u64,
     /// The updates that actually changed the store (Def. 1 effective
     /// subset, in staging order).
     pub effective: Vec<Update>,
@@ -598,6 +602,7 @@ impl CommitQueue {
         }
         Ok(CommitReceipt {
             version,
+            fact_rev: state.db.fact_rev(),
             effective,
             model_path,
         })

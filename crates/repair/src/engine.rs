@@ -493,6 +493,39 @@ impl RepairEngine {
         Ok(report)
     }
 
+    /// The *verdict closure* of a repair enumeration: every relation
+    /// the report's verdict — the violation set, the minimal repairs,
+    /// and therefore any certain answer intersected over them — can
+    /// depend on. Per constraint literal, the predicate is closed
+    /// downward through rule bodies (a constraint over a derived
+    /// predicate reads every relation its rules reach); the relations
+    /// the reported repairs themselves touch are unioned in for good
+    /// measure (they are EDB predicates of the same constraints, so
+    /// this is a no-op unless a rule set makes it otherwise).
+    ///
+    /// Soundness of carry-forward rests on this set: a committed write
+    /// entirely outside it cannot change any constraint's truth in any
+    /// candidate state, hence neither the violation set nor the
+    /// subset-minimal repairs — which is what lets a shared
+    /// certain-answer cache carry `report` forward across such commits
+    /// instead of re-enumerating (see `uniform::ConcurrentDatabase`).
+    /// Returned sorted, in `Sym` order.
+    pub fn report_closure(&self, report: &RepairReport) -> Vec<Sym> {
+        let graph = self.rules.graph();
+        let mut closure: BTreeSet<Sym> = BTreeSet::new();
+        for c in &self.constraints {
+            for occ in c.rq.literals() {
+                closure.extend(graph.reachable(occ.literal.atom.pred));
+            }
+        }
+        for repair in &report.repairs {
+            for op in repair.ops() {
+                closure.insert(op.fact.pred);
+            }
+        }
+        closure.into_iter().collect()
+    }
+
     /// Classify a repairless outcome with the satisfiability search of
     /// §4 (bounded tightly — see [`SatOptions::classification`]): if no
     /// database state at all satisfies the constraints, no budget will

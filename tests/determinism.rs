@@ -287,6 +287,39 @@ fn observation_log() -> String {
         let _ = writeln!(log, "replanned {rows} plan {:?}", q.plan_counters());
     }
     let _ = writeln!(log, "plancache {:?}", qdb.plan_cache_stats());
+    // The shared certain-answer cache: one append outside every cached
+    // closure, then re-reads through fresh sessions — the carried-
+    // forward rows and the hit/miss/carry counters are user-visible
+    // and must digest identically across thread counts and processes
+    // (all reads here are sequential, so the counters are exact).
+    {
+        // Prime the cache post-rule-update (the `try_add_rule` above
+        // invalidated it wholesale), so the audit append below
+        // exercises the carry-forward path, not a cold install.
+        for src in ["p(X)", "flagged(X)"] {
+            let q = qdb.prepare(src).unwrap();
+            let _ = qdb
+                .session()
+                .execute(&q, &Params::new(), Consistency::Certain);
+        }
+        let audit = Update::insert(Fact::parse_like("audit", &["determinism"]));
+        qdb.commit_updates_with_retry(&[audit], 4).unwrap();
+        for src in ["p(X)", "flagged(X)"] {
+            let q = qdb.prepare(src).unwrap();
+            match qdb
+                .session()
+                .execute(&q, &Params::new(), Consistency::Certain)
+            {
+                Ok(rows) => {
+                    let _ = writeln!(log, "carried {src} {rows}");
+                }
+                Err(e) => {
+                    let _ = writeln!(log, "carried {src} err {e}");
+                }
+            }
+        }
+        let _ = writeln!(log, "certaincache {:?}", qdb.certain_cache_stats());
+    }
 
     // 7. Satisfiability search outcome (frontier order feeds the found
     //    model's explicit facts).

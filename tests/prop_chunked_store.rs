@@ -17,7 +17,7 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use uniform::datalog::{cow_stats, FactSet, Relation, COMPACT_FLOOR, PAGE_CAP};
+use uniform::datalog::{FactSet, Relation, COMPACT_FLOOR, PAGE_CAP};
 use uniform::logic::{Fact, Sym};
 
 // ---------------------------------------------------------------------------
@@ -356,16 +356,17 @@ fn cloning_shares_all_pages_and_mutation_unshares_only_the_touched_one() {
     assert_eq!(rel.shared_pages_with(&snap), 4, "clone shares every page");
 
     // Appending lands in the tail page: 3 of 4 stay physically shared.
-    let before = cow_stats();
+    let before = rel.cow_stats();
     rel.insert(&tuple(n));
     assert_eq!(rel.shared_pages_with(&snap), 3);
 
     // Deleting from the first (sealed) page unshares exactly it.
     rel.remove(&tuple(0));
     assert_eq!(rel.shared_pages_with(&snap), 2);
-    let after = cow_stats();
-    assert!(
-        after.pages_cloned >= before.pages_cloned + 2,
+    let after = rel.cow_stats();
+    assert_eq!(
+        after.pages_cloned,
+        before.pages_cloned + 2,
         "both mutations paid exactly one page COW each"
     );
 
