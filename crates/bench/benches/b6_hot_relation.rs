@@ -30,11 +30,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::time::{Duration, Instant};
 use uniform::logic::Sym;
 use uniform::workload;
-use uniform::{ConcurrentDatabase, TxnError, UniformOptions};
+use uniform::{ConcurrentDatabase, Fact, TxnError, UniformOptions, Update};
 
 const WRITERS: usize = 8;
 const ROUNDS: usize = 8;
 const BASE_ROWS: usize = 20_000;
+/// Distinct staged keys in the widened-writer phase: past the
+/// per-relation key-fingerprint cap (64), so the footprint latches to a
+/// whole-relation read.
+const WIDE_APPENDS: usize = 80;
 
 /// One contention round: all writers begin at the same version, each
 /// stages one disjoint-key append, then the batch commits in writer
@@ -121,6 +125,29 @@ fn bench_hot_relation(c: &mut Criterion) {
                             db.with_database(|d| d.facts().len()),
                             BASE_ROWS + 1 + WRITERS * ROUNDS
                         );
+                        if !relation_level {
+                            // A widened writer: staging past the
+                            // per-relation key cap latches its read
+                            // footprint to a whole-relation access, and
+                            // the commit pipeline must surface that as
+                            // a whole_relation_fallback even though no
+                            // explicit record_read was issued.
+                            let before = db.conflict_stats().whole_relation_fallbacks;
+                            let mut wide = db.begin();
+                            for i in 0..WIDE_APPENDS {
+                                wide.stage(Update::insert(Fact::parse_like(
+                                    "ledger",
+                                    &[&format!("wide{i}"), &format!("wv{i}")],
+                                )));
+                            }
+                            db.commit(&wide).expect("widened append admits unopposed");
+                            let after = db.conflict_stats().whole_relation_fallbacks;
+                            assert_eq!(
+                                after,
+                                before + 1,
+                                "the key-overflow latch must count as a fallback"
+                            );
+                        }
                     }
                     total
                 });

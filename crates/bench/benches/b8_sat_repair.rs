@@ -1,0 +1,129 @@
+//! B8: SAT-backed repair vs the bounded enforcement search.
+//!
+//! The `violation_dense` workload stacks `n` independent violations of
+//! a two-constraint chain, so the unique minimal repair deletes all `n`
+//! facts at once — the worst case for the goal-directed search (~3ⁿ
+//! enforcement nodes before it can prove minimality) and the best case
+//! for the clause encoding (unit propagation settles everything).
+//! Three measurements at growing violation counts:
+//!
+//! * `search` — `RepairBackend::Search` under a fixed branch budget.
+//!   The search explores ~5·2ⁿ nodes here, so past the crossover
+//!   (`n ≳ 15` at the default 100k-node budget) it *refuses* with
+//!   `BudgetExhausted`; the bench records the refusal latency and
+//!   asserts the refusal itself — this is the cliff the SAT backend
+//!   removes.
+//! * `sat` — `RepairBackend::Sat` on the same states: answers every
+//!   size, asserts the unique `n`-deletion repair comes back covered.
+//! * `preferred` — weighted MaxSAT (`RepairEngine::preferred_repair`)
+//!   with a preference order protecting `noise` and pricing `q`
+//!   inserts above `p` deletes.
+//!
+//! [`RepairEngine`]: uniform::RepairEngine
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+use uniform::workload;
+use uniform::{RepairBackend, RepairEngine, RepairError, RepairOptions, RepairPreferences};
+
+/// Violation counts per backend. The search assert flips from success
+/// to refusal at its crossover; SAT keeps going.
+const SEARCH_SIZES: &[usize] = &[8, 12, 16, 20];
+const SAT_SIZES: &[usize] = &[8, 12, 16, 20, 24];
+
+/// The sizes where the search still fits its branch budget.
+const SEARCH_OK: usize = 12;
+
+/// Enough for the n-deletion repair at every benched size.
+fn options(backend: RepairBackend) -> RepairOptions {
+    RepairOptions {
+        max_changes: 24,
+        backend,
+        ..RepairOptions::default()
+    }
+}
+
+fn engine(n: usize, seed: u64, backend: RepairBackend) -> RepairEngine {
+    let db = workload::violation_dense_db(n, seed);
+    RepairEngine::new(
+        db.facts().clone(),
+        db.rules().clone(),
+        db.constraints().to_vec(),
+    )
+    .with_options(options(backend))
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("b8_sat_repair");
+    for &n in SEARCH_SIZES {
+        group.bench_with_input(BenchmarkId::new("search", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let eng = engine(n, i, RepairBackend::Search);
+                    let t0 = Instant::now();
+                    let out = eng.repairs();
+                    total += t0.elapsed();
+                    match out {
+                        Ok(report) => {
+                            assert!(n <= SEARCH_OK, "past the crossover the search must refuse");
+                            assert_eq!(report.repairs[0].len(), n);
+                        }
+                        Err(RepairError::BudgetExhausted { .. }) => {
+                            assert!(n > SEARCH_OK, "small states fit the branch budget");
+                        }
+                        Err(e) => panic!("unexpected refusal: {e}"),
+                    }
+                }
+                total
+            });
+        });
+    }
+    for &n in SAT_SIZES {
+        group.bench_with_input(BenchmarkId::new("sat", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let eng = engine(n, i, RepairBackend::Sat);
+                    let t0 = Instant::now();
+                    let out = eng.repairs();
+                    total += t0.elapsed();
+                    let report = out.expect("the SAT backend answers every benched size");
+                    assert_eq!(report.repairs.len(), 1, "the minimal repair is unique");
+                    assert_eq!(report.repairs[0].len(), n);
+                    assert!(report.covers_all_minimal_repairs());
+                }
+                total
+            });
+        });
+    }
+    for &n in SAT_SIZES {
+        group.bench_with_input(BenchmarkId::new("preferred", n), &n, |b, &n| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for i in 0..iters {
+                    let eng = engine(n, i, RepairBackend::Sat);
+                    let prefs = RepairPreferences::new()
+                        .protect("noise")
+                        .weight("p", 1)
+                        .weight("q", 3);
+                    let t0 = Instant::now();
+                    let out = eng.preferred_repair(&prefs);
+                    total += t0.elapsed();
+                    let best = out.expect("a preferred repair exists at every benched size");
+                    assert_eq!(best.repair.len(), n);
+                    assert_eq!(best.cost, n as u64, "n unit-weight p deletions");
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backends
+}
+criterion_main!(benches);

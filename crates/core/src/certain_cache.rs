@@ -29,11 +29,16 @@
 //! widened constraint closure, which the cached verdicts always
 //! intersect.
 //!
+//! Entries live in a small ring of per-state **generations** (LRU over
+//! `GENERATION_SLOTS` state keys): a long-pinned old session and the
+//! head-state readers each populate their own slot instead of evicting
+//! each other every pass — the PR 7 follow-up single-state thrash.
+//!
 //! Advance ordering is version-fenced rather than lock-coupled: the
 //! post-commit hook runs outside the queue lock, so two hooks can
-//! race. An entry set valid at version `v` only carries forward under
+//! race. A generation valid at version `v` only carries forward under
 //! a receipt for version `v + 1` (same database, same schema
-//! revisions); any other receipt clears the cache. Losing a
+//! revisions); any other receipt drops that generation. Losing a
 //! carry-forward opportunity to that fence is a cache miss, never an
 //! unsound hit — hits still require an exact state-key match.
 
@@ -46,9 +51,16 @@ use uniform_datalog::{ReadFootprint, Snapshot, Update};
 use uniform_logic::Sym;
 use uniform_repair::RepairSet;
 
-/// Row-set entries kept per state (bounded LRU; repair lists are one
-/// per state by construction).
+/// Row-set entries kept per generation (bounded LRU; repair lists are
+/// one per state by construction).
 const MAX_ROW_ENTRIES: usize = 256;
+
+/// Distinct semantic states cached at once (LRU over generations). One
+/// slot per state reintroduces the PR 7 follow-up thrash: a long-pinned
+/// old session alternating with head-state readers would evict the hot
+/// entries every pass. Two slots break that cycle; a couple more absorb
+/// several pinned readers cheaply.
+const GENERATION_SLOTS: usize = 4;
 
 /// The exact semantic state a cache entry was computed against.
 /// `fact_rev`/`rule_rev`/`constraint_rev` pin the answers; `version`
@@ -122,46 +134,84 @@ struct RowsEntry {
     used: u64,
 }
 
-#[derive(Default)]
-struct Inner {
-    /// The state every held entry is valid for (`None` = empty cache).
-    key: Option<StateKey>,
+/// All entries of one semantic state: its repair list and its
+/// certain-answer row sets.
+struct Generation {
+    key: StateKey,
     repairs: Option<RepairsEntry>,
     rows: HashMap<String, RowsEntry>,
-    /// LRU clock for `rows`.
+    /// LRU stamp of the generation itself (bumped on every hit and
+    /// install against it).
+    used: u64,
+}
+
+impl Generation {
+    fn is_empty(&self) -> bool {
+        self.repairs.is_none() && self.rows.is_empty()
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// At most [`GENERATION_SLOTS`] generations, one per semantic
+    /// state, evicted least-recently-used. A session pinned behind the
+    /// head populates its own generation instead of displacing the
+    /// entries live readers are hitting — and vice versa.
+    gens: Vec<Generation>,
+    /// LRU clock, shared by generations and their row entries.
     clock: u64,
 }
 
 impl Inner {
     fn is_empty(&self) -> bool {
-        self.repairs.is_none() && self.rows.is_empty()
+        self.gens.iter().all(Generation::is_empty)
     }
 
     fn clear(&mut self) {
-        self.key = None;
-        self.repairs = None;
-        self.rows.clear();
+        self.gens.clear();
     }
 
-    /// Prepare `key` for an install: adopt it if the cache is empty,
-    /// keep it if it already matches, displace an older state's
-    /// entries, and refuse (returning `false`) when the cache already
-    /// holds a newer state — a session pinned behind the head must not
-    /// clobber the entries live readers are hitting.
-    fn adopt(&mut self, key: StateKey) -> bool {
-        match self.key {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// The generation serving `key`, if cached.
+    fn find(&self, key: &StateKey) -> Option<usize> {
+        self.gens.iter().position(|g| g.key.serves(key))
+    }
+
+    /// The generation to install `key`'s entries into, creating it (and
+    /// evicting the least-recently-used generation at capacity) when
+    /// the state is not yet cached.
+    fn adopt(&mut self, key: StateKey) -> &mut Generation {
+        let idx = match self.find(&key) {
+            Some(i) => i,
             None => {
-                self.key = Some(key);
-                true
+                if self.gens.len() >= GENERATION_SLOTS {
+                    if let Some(lru) = self
+                        .gens
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, g)| g.used)
+                        .map(|(i, _)| i)
+                    {
+                        self.gens.swap_remove(lru);
+                    }
+                }
+                self.gens.push(Generation {
+                    key,
+                    repairs: None,
+                    rows: HashMap::new(),
+                    used: 0,
+                });
+                self.gens.len() - 1
             }
-            Some(k) if k.serves(&key) => true,
-            Some(k) if k.db_id != key.db_id || k.version < key.version => {
-                self.clear();
-                self.key = Some(key);
-                true
-            }
-            Some(_) => false,
-        }
+        };
+        let stamp = self.tick();
+        let gen = &mut self.gens[idx];
+        gen.used = stamp;
+        gen
     }
 }
 
@@ -196,31 +246,30 @@ impl CertainCache {
     /// when it falls through to the engine (see
     /// [`CertainCache::install_repairs`]).
     pub fn lookup_repairs(&self, key: &StateKey) -> Option<Arc<Vec<RepairSet>>> {
-        let inner = self.inner.lock();
-        let entry = match (&inner.key, &inner.repairs) {
-            (Some(k), Some(entry)) if k.serves(key) => entry,
-            _ => return None,
-        };
+        let mut inner = self.inner.lock();
+        let i = inner.find(key)?;
+        let stamp = inner.tick();
+        let gen = &mut inner.gens[i];
+        gen.used = stamp;
+        let repairs = gen.repairs.as_ref()?.repairs.clone();
         self.repair_hits.fetch_add(1, Ordering::Relaxed);
-        Some(entry.repairs.clone())
+        Some(repairs)
     }
 
     /// Install a freshly enumerated repair list for `key`, guarded by
     /// its verdict closure (relations, recorded whole — the repair
     /// search surveys them without any key to pin). Counts the repair
-    /// miss that led here. No-op when the cache already serves a newer
-    /// state.
+    /// miss that led here. Lands in `key`'s own generation, so a
+    /// session pinned behind the head never displaces the entries live
+    /// readers are hitting.
     pub fn install_repairs(&self, key: StateKey, repairs: Arc<Vec<RepairSet>>, closure: &[Sym]) {
         self.repair_misses.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock();
-        if !inner.adopt(key) {
-            return;
-        }
         let mut fp = ReadFootprint::default();
         for &pred in closure {
             fp.record_whole(pred);
         }
-        inner.repairs = Some(RepairsEntry {
+        let mut inner = self.inner.lock();
+        inner.adopt(key).repairs = Some(RepairsEntry {
             repairs,
             closure: fp,
         });
@@ -229,15 +278,16 @@ impl CertainCache {
     /// The cached certain-answer row set for `(key, fingerprint)`.
     pub fn lookup_rows(&self, key: &StateKey, fingerprint: &str) -> Option<Rows> {
         let mut inner = self.inner.lock();
-        if !inner.key.as_ref().is_some_and(|k| k.serves(key)) {
+        let Some(i) = inner.find(key) else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
-        }
-        inner.clock += 1;
-        let clock = inner.clock;
-        match inner.rows.get_mut(fingerprint) {
+        };
+        let stamp = inner.tick();
+        let gen = &mut inner.gens[i];
+        gen.used = stamp;
+        match gen.rows.get_mut(fingerprint) {
             Some(entry) => {
-                entry.used = clock;
+                entry.used = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.rows.clone())
             }
@@ -253,17 +303,14 @@ impl CertainCache {
     /// rows depend on the repairs too). Bounded: past
     /// [`MAX_ROW_ENTRIES`] the least-recently-used entry is evicted.
     pub fn install_rows(&self, key: StateKey, fingerprint: String, rows: Rows, closure: &[Sym]) {
-        let mut inner = self.inner.lock();
-        if !inner.adopt(key) {
-            return;
-        }
         let mut fp = ReadFootprint::default();
         for &pred in closure {
             fp.record_whole(pred);
         }
-        inner.clock += 1;
-        let used = inner.clock;
-        inner.rows.insert(
+        let mut inner = self.inner.lock();
+        let gen = inner.adopt(key);
+        let used = gen.used;
+        gen.rows.insert(
             fingerprint,
             RowsEntry {
                 rows,
@@ -271,14 +318,14 @@ impl CertainCache {
                 used,
             },
         );
-        if inner.rows.len() > MAX_ROW_ENTRIES {
-            if let Some(lru) = inner
+        if gen.rows.len() > MAX_ROW_ENTRIES {
+            if let Some(lru) = gen
                 .rows
                 .iter()
                 .min_by_key(|(_, e)| e.used)
                 .map(|(k, _)| k.clone())
             {
-                inner.rows.remove(&lru);
+                gen.rows.remove(&lru);
             }
         }
     }
@@ -288,48 +335,80 @@ impl CertainCache {
     /// the post-commit state; `effective` its Def. 1 effective updates.
     pub fn advance_commit(&self, new_key: StateKey, effective: &[Update]) {
         let mut inner = self.inner.lock();
-        let Some(key) = inner.key else {
+        if inner.gens.is_empty() {
             return; // empty cache: nothing to advance or drop
-        };
-        if key.serves(&new_key) {
-            return; // Def. 1 no-op commit: entries stay as they are
-        }
-        // The version fence: only the immediate successor of the cached
-        // state (same database, same schema revisions) may carry
-        // entries forward. Out-of-order hooks and foreign states clear.
-        let successor = key.db_id == new_key.db_id
-            && key.version + 1 == new_key.version
-            && key.rule_rev == new_key.rule_rev
-            && key.constraint_rev == new_key.constraint_rev;
-        if !successor {
-            if !inner.is_empty() {
-                self.invalidated.fetch_add(1, Ordering::Relaxed);
-            }
-            inner.clear();
-            return;
         }
         let conflicts = |fp: &ReadFootprint| {
             effective
                 .iter()
                 .any(|u| fp.conflicts_with_write(u.fact.pred, &u.fact.args).is_some())
         };
-        // The repair list guards everything: certain rows are
-        // intersections over it, so once the repairs are stale, every
-        // row set is too.
-        if inner
-            .repairs
-            .as_ref()
-            .is_some_and(|entry| conflicts(&entry.closure))
-        {
-            self.invalidated.fetch_add(1, Ordering::Relaxed);
-            inner.clear();
-            return;
+        let mut dropped = false;
+        let mut carried = false;
+        let mut survivors: Vec<Generation> = Vec::new();
+        for mut gen in std::mem::take(&mut inner.gens) {
+            if gen.key.serves(&new_key) {
+                // Def. 1 no-op commit relative to this generation: its
+                // entries stay as they are.
+                survivors.push(gen);
+                continue;
+            }
+            // The version fence: only the immediate predecessor of the
+            // committed state (same database, same schema revisions)
+            // may carry entries forward. A generation the head has
+            // moved past by more than one version — or of a foreign
+            // database — drops; pinned sessions behind the head simply
+            // repopulate their own slot on the next miss.
+            let successor = gen.key.db_id == new_key.db_id
+                && gen.key.version + 1 == new_key.version
+                && gen.key.rule_rev == new_key.rule_rev
+                && gen.key.constraint_rev == new_key.constraint_rev;
+            if !successor {
+                dropped |= !gen.is_empty();
+                continue;
+            }
+            // The repair list guards everything: certain rows are
+            // intersections over it, so once the repairs are stale,
+            // every row set of the generation is too.
+            if gen
+                .repairs
+                .as_ref()
+                .is_some_and(|entry| conflicts(&entry.closure))
+            {
+                dropped = true;
+                continue;
+            }
+            gen.rows.retain(|_, entry| !conflicts(&entry.closure));
+            if gen.is_empty() {
+                continue;
+            }
+            gen.key = new_key;
+            carried = true;
+            survivors.push(gen);
         }
-        inner.rows.retain(|_, entry| !conflicts(&entry.closure));
-        inner.key = Some(new_key);
-        if inner.is_empty() {
-            inner.key = None;
-        } else {
+        // A carried-forward predecessor can collide with a generation
+        // already populated under the new state (the hook runs outside
+        // the queue lock): merge rather than hold two slots on one key.
+        let mut merged: Vec<Generation> = Vec::new();
+        for gen in survivors {
+            match merged.iter_mut().find(|m| m.key.serves(&gen.key)) {
+                Some(m) => {
+                    if m.repairs.is_none() {
+                        m.repairs = gen.repairs;
+                    }
+                    for (fp, entry) in gen.rows {
+                        m.rows.entry(fp).or_insert(entry);
+                    }
+                    m.used = m.used.max(gen.used);
+                }
+                None => merged.push(gen),
+            }
+        }
+        inner.gens = merged;
+        if dropped {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        if carried {
             self.carried_forward.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -353,7 +432,7 @@ impl CertainCache {
             repair_misses: self.repair_misses.load(Ordering::Relaxed),
             carried_forward: self.carried_forward.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
-            entries: self.inner.lock().rows.len(),
+            entries: self.inner.lock().gens.iter().map(|g| g.rows.len()).sum(),
         }
     }
 }

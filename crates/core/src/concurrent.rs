@@ -1524,6 +1524,43 @@ mod tests {
     }
 
     #[test]
+    fn pinned_old_sessions_do_not_thrash_the_certain_cache() {
+        // Churn survival: one session stays pinned to the pre-commit
+        // state while fresh sessions read the head. With a single-state
+        // cache the two sides evict each other every pass (the PR 7
+        // follow-up thrash); with the generation ring each state keeps
+        // its own entries, so after the first compute per state every
+        // execute is a row hit.
+        let db = inconsistent_pq();
+        let q = db.prepare("p(X)").unwrap();
+        let old = db.session();
+        old.execute(&q, &Params::new(), Consistency::Certain)
+            .unwrap();
+        // A fact commit inside the closure: invalidates the cache and
+        // moves the head while `old` stays pinned behind it.
+        db.commit_updates_with_retry(&[upd(true, "q", &["a"])], 4)
+            .unwrap();
+        for _ in 0..4 {
+            old.execute(&q, &Params::new(), Consistency::Certain)
+                .unwrap();
+            db.session()
+                .execute(&q, &Params::new(), Consistency::Certain)
+                .unwrap();
+        }
+        let stats = db.certain_cache_stats();
+        // One row-set compute per state post-commit (plus the
+        // pre-commit warm-up); the remaining six alternating executes
+        // all hit. Before the ring, the pinned session missed every
+        // pass and its installs were refused.
+        assert_eq!((stats.hits, stats.misses), (6, 3), "{stats:?}");
+        assert_eq!(stats.entries, 2, "one row set per cached state");
+        assert_eq!(
+            stats.repair_misses, 2,
+            "one enumeration per state, churn notwithstanding: {stats:?}"
+        );
+    }
+
+    #[test]
     fn plan_cache_shards_are_bounded_with_lru_eviction() {
         let db = ConcurrentDatabase::parse(ORG).unwrap();
         let hot = "member(X, Y)";

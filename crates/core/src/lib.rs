@@ -70,6 +70,7 @@ pub use uniform_integrity::{
 };
 pub use uniform_logic::{Constraint, Fact, Formula, Literal, Rq, Rule};
 pub use uniform_repair::{
-    RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, ViolationPolicy,
+    PreferredRepair, RepairBackend, RepairChooser, RepairEngine, RepairError, RepairOptions,
+    RepairPreferences, RepairReport, RepairSet, ViolationPolicy,
 };
 pub use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport};

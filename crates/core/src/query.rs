@@ -870,7 +870,8 @@ impl Session {
                         .map(|occ| occ.literal.clone())
                         .collect();
                     self.cached_certain(query, params, &preds, |s| {
-                        let repairs = s.certain_repairs()?;
+                        let repairs =
+                            s.certain_repairs_scoped(preds.iter().map(|l| l.atom.pred))?;
                         Ok(Rows::boolean(uniform_repair::certainly_satisfies_bound(
                             s.snapshot.facts(),
                             s.snapshot.rules(),
@@ -983,7 +984,7 @@ impl Session {
         magic: &Option<Arc<MagicProgram>>,
         init: &Subst,
     ) -> Result<Rows, QueryError> {
-        let repairs = self.certain_repairs()?;
+        let repairs = self.certain_repairs_scoped(literals.iter().map(|l| l.atom.pred))?;
         let columns = query.inner.columns.clone();
         if let Some(mp) = magic {
             // Same intersection semantics as the overlay path — one
@@ -1061,6 +1062,32 @@ impl Session {
                 .install_repairs(key, repairs.clone(), &closure);
         }
         Ok(self.memoize_repairs(repairs))
+    }
+
+    /// [`Session::certain_repairs`], with the refusal scoped to the
+    /// affected closure: when the enumeration was cut short
+    /// (`BudgetExhausted`) but the query reads only relations disjoint
+    /// from every violated constraint's closure, its answers agree
+    /// across all minimal repairs — found or clipped — and across the
+    /// unrepaired state, so the singleton empty repair serves them
+    /// soundly. The substitute is *not* memoized or installed shared:
+    /// it is correct only for queries outside the closure, while the
+    /// memo and cache are state-scoped.
+    fn certain_repairs_scoped(
+        &self,
+        preds: impl IntoIterator<Item = Sym>,
+    ) -> Result<Arc<Vec<RepairSet>>, QueryError> {
+        match self.certain_repairs() {
+            Err(err @ QueryError::Budget(RepairError::BudgetExhausted { .. })) => {
+                let engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
+                if engine.reads_outside_affected(preds) {
+                    Ok(Arc::new(vec![RepairSet::empty()]))
+                } else {
+                    Err(err)
+                }
+            }
+            outcome => outcome,
+        }
     }
 
     /// Publish `repairs` into the session-local memo (first writer
@@ -1508,6 +1535,45 @@ mod tests {
             .execute(&q, &Params::new(), Consistency::Certain)
             .unwrap_err();
         assert!(matches!(err, QueryError::Budget(_)), "{err}");
+    }
+
+    #[test]
+    fn budget_refusals_scope_to_the_affected_closure() {
+        // The size-5 repair {+q(a), -t1..-t4} is clipped by the default
+        // fact budget of 4, so queries touching the violated closure
+        // refuse — but z is disjoint from every constraint's closure
+        // and its certain answers must still be served.
+        let db = UniformDatabase::parse_tolerant(
+            "
+            p(a). t1(a). t2(a). t3(a). t4(a). z(a).
+            constraint c: forall X: p(X) -> q(X).
+            constraint d1: forall X: q(X) & t1(X) -> false.
+            constraint d2: forall X: q(X) & t2(X) -> false.
+            constraint d3: forall X: q(X) & t3(X) -> false.
+            constraint d4: forall X: q(X) & t4(X) -> false.
+        ",
+        )
+        .unwrap();
+        let session = db.session();
+
+        let inside = PreparedQuery::prepare("t1(X)").unwrap();
+        let err = session
+            .execute(&inside, &Params::new(), Consistency::Certain)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::Budget(_)), "{err}");
+
+        let outside = PreparedQuery::prepare("z(X)").unwrap();
+        let rows = session
+            .execute(&outside, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert_eq!(rows.len(), 1, "z(a) is certain under a clipped budget");
+
+        // The formula path gets the same scoping.
+        let holds = PreparedQuery::prepare_formula("exists X: z(X)").unwrap();
+        let rows = session
+            .execute(&holds, &Params::new(), Consistency::Certain)
+            .unwrap();
+        assert!(rows.is_true());
     }
 
     #[test]

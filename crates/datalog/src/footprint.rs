@@ -150,6 +150,14 @@ const MAX_KEYS_PER_RELATION: usize = 64;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ReadFootprint {
     map: BTreeMap<Sym, RelAccess>,
+    /// Relations whose key set overflowed [`MAX_KEYS_PER_RELATION`]: an
+    /// explicit sticky latch, consulted before every key-level record,
+    /// so the widening to `Whole` can never be reverted — not even by a
+    /// code path that rebuilds or replaces the relation's entry. Kept
+    /// separate from `map` so overflow-widening stays distinguishable
+    /// from a deliberate [`ReadFootprint::record_whole`]
+    /// (`ConflictStats::whole_relation_fallbacks` counts the former).
+    widened: BTreeSet<Sym>,
 }
 
 impl ReadFootprint {
@@ -176,8 +184,14 @@ impl ReadFootprint {
         self.map.insert(pred, RelAccess::Whole);
     }
 
-    /// Record a key-level read of `pred`.
+    /// Record a key-level read of `pred`. Once the relation's key set
+    /// has overflowed, every further key-level read stays a
+    /// whole-relation one (the latch, not the entry, is authoritative).
     pub fn record_key(&mut self, pred: Sym, fp: KeyFp) {
+        if self.widened.contains(&pred) {
+            self.map.insert(pred, RelAccess::Whole);
+            return;
+        }
         let entry = self
             .map
             .entry(pred)
@@ -186,8 +200,15 @@ impl ReadFootprint {
             keys.insert(fp);
             if keys.len() > MAX_KEYS_PER_RELATION {
                 *entry = RelAccess::Whole;
+                self.widened.insert(pred);
             }
         }
+    }
+
+    /// Did `pred` widen to an unbounded read by key overflow (as
+    /// opposed to a deliberate [`ReadFootprint::record_whole`])?
+    pub fn overflowed(&self, pred: Sym) -> bool {
+        self.widened.contains(&pred)
     }
 
     /// Record a binding-pattern read: key-level when the pattern pins
@@ -291,5 +312,34 @@ mod tests {
             fp.conflicts_with_write(p, &syms(&["never-recorded"])),
             Some(ConflictGranularity::Relation)
         );
+    }
+
+    #[test]
+    fn overflow_widening_latches_and_never_reverts() {
+        let p = Sym::new("p");
+        let q = Sym::new("q");
+        let mut fp = ReadFootprint::default();
+        for i in 0..(MAX_KEYS_PER_RELATION + 1) {
+            fp.record_tuple(p, &syms(&[&format!("k{i}")]));
+        }
+        assert!(fp.overflowed(p), "the overflow sets the latch");
+        assert!(fp.has_unbounded());
+
+        // Any further key-level read of the latched relation stays a
+        // whole-relation read — it must never rebuild a `Keys` entry
+        // that would hide the earlier unbounded dependence.
+        fp.record_tuple(p, &syms(&["later"]));
+        assert!(matches!(fp.get(p), Some(RelAccess::Whole)));
+        assert_eq!(
+            fp.conflicts_with_write(p, &syms(&["unrelated"])),
+            Some(ConflictGranularity::Relation),
+            "latched relations conflict at relation granularity"
+        );
+
+        // A deliberate whole-relation read is *not* an overflow: the
+        // latch keeps the two distinguishable for ConflictStats.
+        fp.record_whole(q);
+        assert!(!fp.overflowed(q));
+        assert!(fp.overflowed(p));
     }
 }

@@ -39,7 +39,29 @@ use uniform_datalog::{
     Snapshot, Transaction, Update,
 };
 use uniform_logic::{unify_terms, Constraint, Fact, Literal, Rq, Subst, Sym, Term};
-use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome};
+use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SolverStats};
+
+use crate::sat::{self, PreferredRepair, RepairChooser};
+
+/// Which enumeration engine [`RepairEngine::repairs`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairBackend {
+    /// The bounded enforcement search (PR 4): goal-directed and
+    /// exhaustive within its budgets, but exponential in the violation
+    /// count — violation-dense states trip the branch limit.
+    #[default]
+    Search,
+    /// The CAvSAT-style reduction: encode the active-domain repair
+    /// space as clauses and enumerate subset-minimal repairs by
+    /// iterated SAT with blocking clauses over the bundled CDCL solver
+    /// (see `crate::sat`).
+    Sat,
+    /// Run the search first; if it cannot prove coverage of all minimal
+    /// repairs (budget trip, repair cap or domain clip), escalate to
+    /// the SAT backend. A SAT failure other than a proven
+    /// `Unrepairable` falls back to whatever the search produced.
+    Auto,
+}
 
 /// Cost bounds of the repair search.
 #[derive(Clone, Copy, Debug)]
@@ -61,7 +83,15 @@ pub struct RepairOptions {
     pub domain_cap: usize,
     /// Verify every reported repair by recomputing the repaired model
     /// and checking all constraints outright (cheap at repair scale).
+    /// The SAT backend verifies every candidate model regardless — its
+    /// propositional completion is a relaxation, so verification is
+    /// load-bearing there, not optional.
     pub verify: bool,
+    /// Which enumeration engine to run. For the SAT backend,
+    /// `max_branches` bounds solver *conflicts* instead of enforcement
+    /// nodes — the same "give up, typed" contract at the same order of
+    /// magnitude of work.
+    pub backend: RepairBackend,
 }
 
 impl Default for RepairOptions {
@@ -72,6 +102,7 @@ impl Default for RepairOptions {
             max_repairs: 256,
             domain_cap: 256,
             verify: true,
+            backend: RepairBackend::Search,
         }
     }
 }
@@ -155,7 +186,7 @@ pub struct RepairSet {
     ops: Vec<Update>,
 }
 
-fn op_key(u: &Update) -> (String, Vec<String>, bool) {
+pub(crate) fn op_key(u: &Update) -> (String, Vec<String>, bool) {
     (
         u.fact.pred.as_str().to_string(),
         u.fact.args.iter().map(|a| a.as_str().to_string()).collect(),
@@ -264,6 +295,8 @@ pub struct RepairStats {
     pub candidates: usize,
     /// Deepest enforcement level reached.
     pub max_level: usize,
+    /// SAT-solver effort counters; all zero under the search backend.
+    pub solver: SolverStats,
 }
 
 /// Result of a successful repair enumeration.
@@ -385,9 +418,27 @@ impl RepairEngine {
             .collect()
     }
 
-    /// Enumerate the subset-minimal repairs. A consistent state yields
-    /// the single empty repair.
+    /// Enumerate the subset-minimal repairs with the configured
+    /// backend. A consistent state yields the single empty repair.
     pub fn repairs(&self) -> Result<RepairReport, RepairError> {
+        match self.options.backend {
+            RepairBackend::Search => self.search_repairs(),
+            RepairBackend::Sat => sat::sat_repairs(self),
+            RepairBackend::Auto => match self.search_repairs() {
+                Ok(report) if report.covers_all_minimal_repairs() => Ok(report),
+                outcome => match sat::sat_repairs(self) {
+                    Ok(report) => Ok(report),
+                    // A SAT-proven dead end beats a search "gave up".
+                    Err(err @ RepairError::Unrepairable { .. }) => Err(err),
+                    Err(_) => outcome,
+                },
+            },
+        }
+    }
+
+    /// The bounded enforcement search (always available as the
+    /// differential oracle for the SAT backend).
+    pub(crate) fn search_repairs(&self) -> Result<RepairReport, RepairError> {
         let mut search = Search::new(self);
         search.settle(0);
 
@@ -396,6 +447,7 @@ impl RepairEngine {
             models_computed: search.models_computed,
             candidates: search.found.len(),
             max_level: search.max_level,
+            solver: SolverStats::default(),
         };
         let complete = !search.branch_limit_hit && !search.repair_cap_hit && !search.domain_clipped;
 
@@ -455,25 +507,137 @@ impl RepairEngine {
         &self,
         query: &[Literal],
     ) -> Result<Vec<Vec<(Sym, Sym)>>, RepairError> {
-        let report = self.repairs_covering_all_minimal()?;
-        Ok(crate::cqa::certain_answers(
-            &self.edb,
-            &self.rules,
-            &report.repairs,
-            query,
-        ))
+        match self.repairs_covering_all_minimal() {
+            Ok(report) => Ok(crate::cqa::certain_answers(
+                &self.edb,
+                &self.rules,
+                &report.repairs,
+                query,
+            )),
+            Err(err) => {
+                if matches!(err, RepairError::BudgetExhausted { .. })
+                    && self.reads_outside_affected(query.iter().map(|l| l.atom.pred))
+                {
+                    // The query cannot observe any relation a repair may
+                    // touch: its answers agree across all repairs (and
+                    // with the unrepaired state), clipped budget or not.
+                    return Ok(crate::cqa::certain_answers(
+                        &self.edb,
+                        &self.rules,
+                        &[RepairSet::empty()],
+                        query,
+                    ));
+                }
+                Err(err)
+            }
+        }
     }
 
     /// Is the closed formula true in every minimal repair? Same
-    /// coverage requirement as [`RepairEngine::consistent_answers`].
+    /// coverage requirement as [`RepairEngine::consistent_answers`],
+    /// with the same affected-closure exemption for formulas that read
+    /// only unaffected relations.
     pub fn certainly_satisfies(&self, rq: &Rq) -> Result<bool, RepairError> {
-        let report = self.repairs_covering_all_minimal()?;
-        Ok(crate::cqa::certainly_satisfies(
-            &self.edb,
-            &self.rules,
-            &report.repairs,
-            rq,
-        ))
+        match self.repairs_covering_all_minimal() {
+            Ok(report) => Ok(crate::cqa::certainly_satisfies(
+                &self.edb,
+                &self.rules,
+                &report.repairs,
+                rq,
+            )),
+            Err(err) => {
+                if matches!(err, RepairError::BudgetExhausted { .. })
+                    && self
+                        .reads_outside_affected(rq.literals().iter().map(|o| o.literal.atom.pred))
+                {
+                    return Ok(crate::cqa::certainly_satisfies(
+                        &self.edb,
+                        &self.rules,
+                        &[RepairSet::empty()],
+                        rq,
+                    ));
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// The *affected closure* of the engine's state: the least union of
+    /// whole constraint verdict closures that contains every violated
+    /// constraint's closure. Constraints partition around it — each has
+    /// its closure inside the set or disjoint from it — so any
+    /// subset-minimal repair operates entirely inside it: splitting a
+    /// repair `R` into `R_A` (ops inside) and `R_out` leaves `R_A`
+    /// alone already a repair (it fixes every affected constraint, and
+    /// unaffected constraints hold in the original state and cannot see
+    /// `R_A`), hence minimality forces `R_out = ∅`. Returned sorted, in
+    /// `Sym` order.
+    pub fn affected_closure(&self) -> Vec<Sym> {
+        let graph = self.rules.graph();
+        let closures: Vec<BTreeSet<Sym>> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let mut s = BTreeSet::new();
+                for occ in c.rq.literals() {
+                    s.extend(graph.reachable(occ.literal.atom.pred));
+                }
+                s
+            })
+            .collect();
+        let model = Model::compute(&self.edb, &self.rules);
+        let mut affected: BTreeSet<Sym> = BTreeSet::new();
+        let mut included = vec![false; self.constraints.len()];
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !satisfies_closed(&model, &c.rq) {
+                included[i] = true;
+                affected.extend(closures[i].iter().copied());
+            }
+        }
+        // Couple in every constraint whose closure overlaps the set so
+        // far, to fixpoint: a repair of an affected constraint may
+        // violate an overlapping one and force further ops, but it can
+        // never jump across disjoint closures.
+        loop {
+            let mut changed = false;
+            for (i, closure) in closures.iter().enumerate() {
+                if !included[i] && !closure.is_disjoint(&affected) {
+                    included[i] = true;
+                    affected.extend(closure.iter().copied());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        affected.into_iter().collect()
+    }
+
+    /// Is every relation reachable from `preds` (closed down through
+    /// rule bodies) outside the [`RepairEngine::affected_closure`]?
+    /// Such a read cannot distinguish minimal repairs from each other
+    /// or from the unrepaired state — the exemption that lets certain
+    /// answers be served even when the repair enumeration refuses.
+    pub fn reads_outside_affected(&self, preds: impl IntoIterator<Item = Sym>) -> bool {
+        let affected: BTreeSet<Sym> = self.affected_closure().into_iter().collect();
+        let graph = self.rules.graph();
+        preds
+            .into_iter()
+            .all(|p| graph.reachable(p).iter().all(|r| !affected.contains(r)))
+    }
+
+    /// The weight-minimal repair among the subset-minimal ones under a
+    /// preference order — per-relation weights and protected relations
+    /// via [`crate::sat::RepairPreferences`], or any custom
+    /// [`RepairChooser`]. Always SAT-backed (branch-and-bound weighted
+    /// MaxSAT over cardinality layers), regardless of
+    /// [`RepairOptions::backend`].
+    pub fn preferred_repair(
+        &self,
+        chooser: &dyn RepairChooser,
+    ) -> Result<PreferredRepair, RepairError> {
+        sat::sat_preferred(self, chooser)
     }
 
     /// `repairs()`, additionally demanding
@@ -530,7 +694,7 @@ impl RepairEngine {
     /// §4 (bounded tightly — see [`SatOptions::classification`]): if no
     /// database state at all satisfies the constraints, no budget will
     /// ever find a repair.
-    fn schema_unsatisfiable(&self) -> bool {
+    pub(crate) fn schema_unsatisfiable(&self) -> bool {
         let report = SatChecker::new(self.rules.clone(), self.constraints.clone())
             .with_options(SatOptions::classification())
             .check();
@@ -1224,6 +1388,43 @@ mod tests {
             .consistent_answers(&[uniform_logic::parse_literal("t1(X)").unwrap()])
             .unwrap();
         assert!(answers.is_empty(), "t1(a) is not certain: {answers:?}");
+    }
+
+    #[test]
+    fn clipped_budgets_still_answer_outside_the_affected_closure() {
+        // Same clipped fixture as above, plus a relation no constraint
+        // (and no rule) can observe. The refusal must scope to the
+        // affected closure: z's answers agree across every repair —
+        // found or clipped — so they are certain regardless.
+        let src = "
+            p(a). t1(a). t2(a). t3(a). t4(a). z(a).
+            constraint c: forall X: p(X) -> q(X).
+            constraint d1: forall X: q(X) & t1(X) -> false.
+            constraint d2: forall X: q(X) & t2(X) -> false.
+            constraint d3: forall X: q(X) & t3(X) -> false.
+            constraint d4: forall X: q(X) & t4(X) -> false.
+        ";
+        let eng = engine(src);
+        assert!(!eng.repairs().unwrap().covers_all_minimal_repairs());
+        let affected = eng.affected_closure();
+        assert!(affected.contains(&Sym::new("t1")));
+        assert!(!affected.contains(&Sym::new("z")));
+
+        let rows = eng
+            .consistent_answers(&[uniform_logic::parse_literal("z(X)").unwrap()])
+            .unwrap();
+        assert_eq!(rows.len(), 1, "z(a) is certain under a clipped budget");
+
+        // Queries inside the closure still refuse.
+        let err = eng
+            .consistent_answers(&[uniform_logic::parse_literal("t1(X)").unwrap()])
+            .unwrap_err();
+        assert!(matches!(err, RepairError::BudgetExhausted { .. }));
+
+        // Closed-formula certainty gets the same exemption.
+        let rq = uniform_logic::normalize(&uniform_logic::parse_formula("exists X: z(X)").unwrap())
+            .unwrap();
+        assert!(eng.certainly_satisfies(&rq).unwrap());
     }
 
     #[test]

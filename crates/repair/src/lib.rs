@@ -32,6 +32,16 @@
 //! ([`RepairOptions::max_branches`]); blowing the branch limit is the
 //! typed [`RepairError::BudgetExhausted`].
 //!
+//! The enforcement search is one of two backends. [`RepairBackend`]
+//! selects between it and the CAvSAT-style SAT reduction of [`sat`] —
+//! the repair space encoded as clauses over a bundled CDCL solver,
+//! minimal repairs enumerated by iterated SAT with blocking clauses,
+//! and *preference orders* (per-relation weights, protected relations,
+//! any [`RepairChooser`]) answered as branch-and-bound weighted MaxSAT
+//! via [`RepairEngine::preferred_repair`]. `RepairBackend::Auto` runs
+//! the search and escalates to SAT exactly when the search cannot prove
+//! it covered every minimal repair.
+//!
 //! ```
 //! use uniform_datalog::Database;
 //! use uniform_repair::RepairEngine;
@@ -54,12 +64,16 @@
 
 pub mod cqa;
 pub mod engine;
+pub mod sat;
 
 pub use cqa::{
     certain_answers, certain_answers_bound, certainly_satisfies, certainly_satisfies_bound,
     intersect_over_repairs,
 };
-pub use engine::{RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, RepairStats};
+pub use engine::{
+    RepairBackend, RepairEngine, RepairError, RepairOptions, RepairReport, RepairSet, RepairStats,
+};
+pub use sat::{PreferredRepair, RepairChooser, RepairPreferences};
 
 /// What a guarded commit pipeline does when a transaction's integrity
 /// check fails. Consumed by `uniform::ConcurrentDatabase`; defined here

@@ -9,6 +9,9 @@
 //! * [`search`] — the enforcement search with level saturation,
 //!   backtracking, fresh-constant budgets and iterative deepening;
 //! * [`completion`] — the §4 rule-completion transform;
+//! * [`solver`] — a bundled propositional CDCL solver behind a
+//!   pluggable [`Solver`] trait (the engine of the SAT-backed repair
+//!   path in `uniform-repair`);
 //! * [`problems`] — the worked example of §5 and a benchmark library
 //!   (Schubert's steamroller, pigeonhole, graph coloring, dependency
 //!   sets, axioms of infinity).
@@ -28,7 +31,11 @@
 pub mod completion;
 pub mod problems;
 pub mod search;
+pub mod solver;
 
 pub use completion::{completion_constraint, completion_constraints};
 pub use problems::{Expectation, Problem};
 pub use search::{SatChecker, SatOptions, SatOutcome, SatReport, SatStats};
+pub use solver::{
+    Assignment, CdclSolver, Cnf, Lit, SanityCheckingSolver, SolveResult, Solver, SolverStats,
+};

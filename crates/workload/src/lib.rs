@@ -497,6 +497,27 @@ pub fn violation_state(churn: usize, seed: u64) -> Database {
     db
 }
 
+/// A violation-*dense* state: `n` independent violations of a
+/// two-constraint chain (`p(X) -> q(X)` and `q(X) -> false`), so the
+/// **unique** minimal repair deletes all `n` `p` facts at once. The
+/// bounded enforcement search must thread all `n` enforcement chains
+/// within one branch budget (~3ⁿ nodes) and refuses with
+/// `BudgetExhausted` once `n` outgrows it, while the SAT backend
+/// settles the whole clause set by unit propagation. A disjoint `noise`
+/// relation rides along for affected-closure scoping tests. Fact order
+/// is shuffled per `seed`; the semantic state is the same for every
+/// seed.
+pub fn violation_dense_db(n: usize, seed: u64) -> Database {
+    let mut src = String::from(
+        "constraint step: forall X: p(X) -> q(X).\n\
+         constraint stop: forall X: q(X) -> false.\n",
+    );
+    let mut lines: Vec<String> = (0..n).map(|i| format!("p(c{i}).\n")).collect();
+    lines.push("noise(n0).\n".to_string());
+    push_shuffled(&mut src, lines, seed);
+    Database::parse(&src).expect("violation-dense schema parses")
+}
+
 /// One writer's violation-heavy transaction stream for the multi-writer
 /// repair workload: mostly 1–2-update transactions that violate some
 /// constraint (exercising `Explain` / `AutoRepair` policies), a

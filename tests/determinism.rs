@@ -19,8 +19,9 @@ use uniform::integrity::Checker;
 use uniform::logic::{parse_query, parse_rule};
 use uniform::workload;
 use uniform::{
-    CommitQueue, ConcurrentDatabase, Consistency, Fact, Params, RepairEngine, SatChecker,
-    Transaction, UniformOptions, Update, ViolationPolicy,
+    CommitQueue, ConcurrentDatabase, Consistency, Fact, Params, RepairBackend, RepairEngine,
+    RepairOptions, RepairPreferences, SatChecker, Transaction, UniformOptions, Update,
+    ViolationPolicy,
 };
 
 /// FNV-1a over the rendered observation log (no external deps).
@@ -227,6 +228,53 @@ fn observation_log() -> String {
             let _ = writeln!(log, "repair error {e}");
         }
     }
+    // 5b. The SAT backend on the same state plus a violation-dense one:
+    //     the clause encoding's variable order, the blocking-clause
+    //     enumeration order and the CDCL effort counters are all
+    //     deterministic by construction, and all user-visible (repairs,
+    //     coverage, `RepairStats::solver`). Any nondeterminism in the
+    //     encoder's candidate order would show up here first.
+    for (name, sdb) in [
+        ("mix", workload::violation_state(5, 41)),
+        ("dense", workload::violation_dense_db(12, 41)),
+    ] {
+        let sat_engine = RepairEngine::new(
+            sdb.facts().clone(),
+            sdb.rules().clone(),
+            sdb.constraints().to_vec(),
+        )
+        .with_options(RepairOptions {
+            max_changes: 12,
+            backend: RepairBackend::Sat,
+            ..RepairOptions::default()
+        });
+        match sat_engine.repairs() {
+            Ok(report) => {
+                for r in &report.repairs {
+                    let _ = writeln!(log, "satrepair {name} {r}");
+                }
+                let _ = writeln!(
+                    log,
+                    "satrepair {name} covers {} solver {:?}",
+                    report.covers_all_minimal_repairs(),
+                    report.stats.solver
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(log, "satrepair {name} error {e}");
+            }
+        }
+        let prefs = RepairPreferences::new().weight("p", 2).weight("q", 3);
+        match sat_engine.preferred_repair(&prefs) {
+            Ok(best) => {
+                let _ = writeln!(log, "preferred {name} {} cost {}", best.repair, best.cost);
+            }
+            Err(e) => {
+                let _ = writeln!(log, "preferred {name} error {e}");
+            }
+        }
+    }
+
     let auto = ConcurrentDatabase::from_database(
         workload::violation_mix_db(43),
         UniformOptions {

@@ -43,6 +43,7 @@ fn repair_options() -> RepairOptions {
         max_repairs: 4096,
         domain_cap: 512,
         verify: false,
+        ..RepairOptions::default()
     }
 }
 

@@ -32,6 +32,7 @@ fn repair_options() -> RepairOptions {
         max_repairs: 4096,
         domain_cap: 512,
         verify: false,
+        ..RepairOptions::default()
     }
 }
 
