@@ -14,6 +14,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::time::{Duration, Instant};
 use uniform::logic::Fact;
 use uniform::workload;
+use uniform::{ConcurrentDatabase, Consistency, Params, UniformOptions};
+use uniform_bench::{obs_footer, shared_obs};
 
 const STUDENTS: usize = 10_000;
 const QUERIES_PER_THREAD: usize = 2_000;
@@ -69,6 +71,34 @@ fn bench_snapshot_scaling(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Raw `Snapshot::holds` reads are deliberately uninstrumented (the
+    // zero-overhead claim this bench exists to protect), so the footer
+    // replays a slice of the point queries through the instrumented
+    // query layer over the same state. No-op unless `UNIFORM_OBS=1`.
+    if uniform_bench::obs_enabled() {
+        let obs = shared_obs();
+        let cdb = ConcurrentDatabase::from_database_with_obs(
+            db.clone(),
+            UniformOptions::default(),
+            obs.clone(),
+        );
+        let session = cdb.session();
+        let query = cdb
+            .prepare_with_params("enrolled(S, C)", &["S", "C"])
+            .unwrap();
+        let mut hits = 0usize;
+        for i in 0..256 {
+            let k = (i * 7919) % STUDENTS;
+            let params = Params::new().bind("S", format!("s{k}")).bind("C", "cs");
+            hits += session
+                .execute(&query, &params, Consistency::Latest)
+                .unwrap()
+                .len();
+        }
+        assert!(hits > 0);
+        obs_footer("b1_snapshot_scaling", &cdb.obs_report());
+    }
 }
 
 criterion_group! {

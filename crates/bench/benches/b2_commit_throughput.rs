@@ -16,11 +16,13 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::time::{Duration, Instant};
 use uniform::workload;
 use uniform::{ConcurrentDatabase, TxnError, UniformOptions};
+use uniform_bench::{obs_footer, obs_json_smoke, shared_obs};
 
 const TOTAL_TXNS: usize = 256;
 const MAX_ATTEMPTS: usize = 64;
 
 fn bench_commit_throughput(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b2_commit_throughput");
     group.sample_size(10);
     for &writers in &[1usize, 2, 4, 8] {
@@ -34,7 +36,11 @@ fn bench_commit_throughput(c: &mut Criterion) {
                     let mut total = Duration::ZERO;
                     for _ in 0..iters {
                         let (base, streams) = workload::commit_mix(writers, per_writer, 42);
-                        let db = ConcurrentDatabase::from_database(base, UniformOptions::default());
+                        let db = ConcurrentDatabase::from_database_with_obs(
+                            base,
+                            UniformOptions::default(),
+                            obs.clone(),
+                        );
                         let t0 = Instant::now();
                         std::thread::scope(|scope| {
                             for stream in &streams {
@@ -63,6 +69,37 @@ fn bench_commit_throughput(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // End-of-run footer plus the CI JSON smoke (both no-ops unless
+    // `UNIFORM_OBS=1`). The shared registry has accumulated every bench
+    // iteration; one last small database gives `obs_report()` a live
+    // handle to sample the COW/cache gauges from.
+    if uniform_bench::obs_enabled() {
+        let (base, streams) = workload::commit_mix(1, 8, 42);
+        let db = ConcurrentDatabase::from_database_with_obs(
+            base,
+            UniformOptions::default(),
+            obs.clone(),
+        );
+        for tx in &streams[0] {
+            let _ = db.commit_updates_with_retry(&tx.updates, MAX_ATTEMPTS);
+        }
+        let report = db.obs_report();
+        obs_footer("b2_commit_throughput", &report);
+        obs_json_smoke(
+            "b2_commit_throughput",
+            &report,
+            &[
+                "txn.commits.admitted",
+                "txn.conflicts.relation",
+                "txn.conflicts.key",
+                "maintain.commits.maintained",
+                "commit.latency",
+                "store.cow.bytes_cloned",
+                "cache.certain.invalidated",
+            ],
+        );
+    }
 }
 
 criterion_group! {

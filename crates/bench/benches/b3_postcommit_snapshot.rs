@@ -23,10 +23,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 use uniform::workload;
 use uniform::{CommitQueue, Fact};
+use uniform_bench::{obs_footer, shared_obs};
 
 const SIZES: &[usize] = &[64, 256, 1024];
 
 fn bench_postcommit_snapshot(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b3_postcommit_snapshot");
     group.sample_size(10);
     for &n in SIZES {
@@ -40,9 +42,9 @@ fn bench_postcommit_snapshot(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let db = workload::deductive_university(n, 42);
                     let queue = if maintained {
-                        CommitQueue::new(db)
+                        CommitQueue::with_obs(db, obs.clone())
                     } else {
-                        CommitQueue::without_maintenance(db)
+                        CommitQueue::without_maintenance_with_obs(db, obs.clone())
                     };
                     let mut total = Duration::ZERO;
                     for i in 0..iters {
@@ -66,6 +68,7 @@ fn bench_postcommit_snapshot(c: &mut Criterion) {
         }
     }
     group.finish();
+    obs_footer("b3_postcommit_snapshot", &obs.report());
 }
 
 criterion_group! {

@@ -22,10 +22,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 use uniform::workload;
 use uniform::{ConcurrentDatabase, RepairEngine, UniformOptions, ViolationPolicy};
+use uniform_bench::{obs_footer, shared_obs};
 
 const CHURN: &[usize] = &[2, 4, 6];
 
 fn bench_repair_latency(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b4_repair_latency");
     for &churn in CHURN {
         group.bench_with_input(BenchmarkId::new("repairs", churn), &churn, |b, &churn| {
@@ -37,7 +39,8 @@ fn bench_repair_latency(c: &mut Criterion) {
                         db.facts().clone(),
                         db.rules().clone(),
                         db.constraints().to_vec(),
-                    );
+                    )
+                    .with_obs(obs.clone());
                     let t0 = Instant::now();
                     let out = engine.repairs();
                     total += t0.elapsed();
@@ -48,9 +51,11 @@ fn bench_repair_latency(c: &mut Criterion) {
         });
     }
     group.finish();
+    obs_footer("b4_repair_latency", &obs.report());
 }
 
 fn bench_policy_throughput(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b4_policy_throughput");
     group.sample_size(10);
     const PER_WRITER: usize = 16;
@@ -66,12 +71,13 @@ fn bench_policy_throughput(c: &mut Criterion) {
                 b.iter_custom(|iters| {
                     let mut total = Duration::ZERO;
                     for i in 0..iters {
-                        let db = ConcurrentDatabase::from_database(
+                        let db = ConcurrentDatabase::from_database_with_obs(
                             workload::violation_mix_db(i),
                             UniformOptions {
                                 violation_policy: policy,
                                 ..UniformOptions::default()
                             },
+                            obs.clone(),
                         );
                         let stream = workload::violation_mix_stream(0, PER_WRITER, i);
                         let t0 = Instant::now();
@@ -95,6 +101,7 @@ fn bench_policy_throughput(c: &mut Criterion) {
         );
     }
     group.finish();
+    obs_footer("b4_policy_throughput", &obs.report());
 }
 
 criterion_group! {

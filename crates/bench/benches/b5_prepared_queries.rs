@@ -28,6 +28,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
 use uniform::workload;
 use uniform::{ConcurrentDatabase, Consistency, Params, UniformDatabase, UniformOptions};
+use uniform_bench::{obs_footer, shared_obs};
 
 const UNIVERSITY_SIZES: &[usize] = &[32, 128];
 
@@ -36,6 +37,7 @@ fn university(n: usize) -> uniform::Database {
 }
 
 fn bench_latest(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b5_latest");
     let queries = workload::university_read_queries();
 
@@ -56,7 +58,11 @@ fn bench_latest(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
-            let db = ConcurrentDatabase::from_database(university(n), UniformOptions::default());
+            let db = ConcurrentDatabase::from_database_with_obs(
+                university(n),
+                UniformOptions::default(),
+                obs.clone(),
+            );
             b.iter(|| {
                 let mut answers = 0usize;
                 for q in queries {
@@ -68,7 +74,11 @@ fn bench_latest(c: &mut Criterion) {
         });
 
         group.bench_with_input(BenchmarkId::new("prepared", n), &n, |b, &n| {
-            let db = ConcurrentDatabase::from_database(university(n), UniformOptions::default());
+            let db = ConcurrentDatabase::from_database_with_obs(
+                university(n),
+                UniformOptions::default(),
+                obs.clone(),
+            );
             let prepared: Vec<_> = queries.iter().map(|q| db.prepare(q).unwrap()).collect();
             let session = db.session();
             b.iter(|| {
@@ -86,9 +96,11 @@ fn bench_latest(c: &mut Criterion) {
     }
 
     group.finish();
+    obs_footer("b5_latest", &obs.report());
 }
 
 fn bench_certain(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b5_certain");
     group.sample_size(10);
     // Violation-free and violation-heavy committed states.
@@ -99,9 +111,10 @@ fn bench_certain(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for i in 0..iters {
-                    let db = ConcurrentDatabase::from_database(
+                    let db = ConcurrentDatabase::from_database_with_obs(
                         workload::violation_state(churn, i),
                         UniformOptions::default(),
+                        obs.clone(),
                     );
                     let t0 = Instant::now();
                     for q in queries {
@@ -126,9 +139,10 @@ fn bench_certain(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for i in 0..iters {
-                    let db = ConcurrentDatabase::from_database(
+                    let db = ConcurrentDatabase::from_database_with_obs(
                         workload::violation_state(churn, i),
                         UniformOptions::default(),
+                        obs.clone(),
                     );
                     let prepared: Vec<_> = queries.iter().map(|q| db.prepare(q).unwrap()).collect();
                     let session = db.session();
@@ -145,6 +159,7 @@ fn bench_certain(c: &mut Criterion) {
         });
     }
     group.finish();
+    obs_footer("b5_certain", &obs.report());
 }
 
 criterion_group! {

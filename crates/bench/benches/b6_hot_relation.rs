@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 use uniform::logic::Sym;
 use uniform::workload;
 use uniform::{ConcurrentDatabase, Fact, TxnError, UniformOptions, Update};
+use uniform_bench::{obs_footer, shared_obs};
 
 const WRITERS: usize = 8;
 const ROUNDS: usize = 8;
@@ -75,6 +76,7 @@ fn run_round(db: &ConcurrentDatabase, round: usize, relation_level: bool) -> (us
 }
 
 fn bench_hot_relation(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b6_hot_relation");
     group.sample_size(10);
     for &relation_level in &[false, true] {
@@ -89,8 +91,17 @@ fn bench_hot_relation(c: &mut Criterion) {
                     for _ in 0..iters {
                         let base = workload::hot_relation_db(BASE_ROWS, 42);
                         let full_clone_bytes = BASE_ROWS as u64 * 36; // ~approx_bytes per 2-ary tuple
-                        let db = ConcurrentDatabase::from_database(base, UniformOptions::default());
+                        let db = ConcurrentDatabase::from_database_with_obs(
+                            base,
+                            UniformOptions::default(),
+                            obs.clone(),
+                        );
                         let before = db.with_database(|d| d.facts().cow_stats());
+                        // Conflict counters live in the shared obs
+                        // registry now, so they accumulate across the
+                        // per-iteration databases above — assert on
+                        // deltas, not absolute values.
+                        let conflicts_before = db.conflict_stats();
                         let t0 = Instant::now();
                         let (mut admitted, mut conflicted) = (0usize, 0usize);
                         for round in 0..ROUNDS {
@@ -112,8 +123,15 @@ fn bench_hot_relation(c: &mut Criterion) {
                             assert_eq!(admitted, ROUNDS * WRITERS);
                             assert_eq!(conflicted, 0);
                             let stats = db.conflict_stats();
-                            assert_eq!(stats.whole_relation_fallbacks, 0);
-                            assert_eq!(stats.key_conflicts + stats.relation_conflicts, 0);
+                            assert_eq!(
+                                stats.whole_relation_fallbacks,
+                                conflicts_before.whole_relation_fallbacks
+                            );
+                            assert_eq!(
+                                stats.key_conflicts + stats.relation_conflicts,
+                                conflicts_before.key_conflicts
+                                    + conflicts_before.relation_conflicts
+                            );
                         }
                         assert!(
                             cloned / commits < full_clone_bytes / 10,
@@ -155,6 +173,7 @@ fn bench_hot_relation(c: &mut Criterion) {
         );
     }
     group.finish();
+    obs_footer("b6_hot_relation", &obs.report());
 }
 
 criterion_group! {

@@ -30,11 +30,17 @@ use uniform::workload;
 use uniform::{
     ConcurrentDatabase, Consistency, Fact, Params, PreparedQuery, UniformOptions, Update,
 };
+use uniform_bench::obs_footer;
 
 /// Raw violation churn in the committed state (standing violations the
 /// repair enumeration actually works on).
 const CHURN: usize = 4;
 
+/// Each tier gets its own obs domain (the `from_database` default):
+/// cache counters live in the metrics registry keyed by name, so
+/// sharing one domain across the fresh-database-per-iteration tiers
+/// would accumulate counts across databases and break the per-database
+/// cache assertions below.
 fn violated_db(seed: u64) -> ConcurrentDatabase {
     ConcurrentDatabase::from_database(
         workload::violation_state(CHURN, seed),
@@ -77,33 +83,37 @@ fn bench_certain_cache(c: &mut Criterion) {
                 let stats = db.certain_cache_stats();
                 assert_eq!(
                     stats.repair_misses, 1,
-                    "a cold pass enumerates repairs exactly once: {stats:?}"
+                    "a cold pass enumerates repairs exactly once: {stats}"
                 );
-                assert_eq!(stats.hits, 0, "cold row sets all install fresh: {stats:?}");
+                assert_eq!(stats.hits, 0, "cold row sets all install fresh: {stats}");
             }
             total
         });
     });
 
+    // One long-lived database for the warm and latest tiers: its obs
+    // domain survives to the end of the run and feeds the footer.
+    let warm_db = violated_db(7);
+
     group.bench_function("warm", |b| {
-        let db = violated_db(7);
-        let prepared = prepare_all(&db);
-        read_pass(&db, &prepared, Consistency::Certain); // prime
+        let db = &warm_db;
+        let prepared = prepare_all(db);
+        read_pass(db, &prepared, Consistency::Certain); // prime
         let primed = db.certain_cache_stats();
-        assert_eq!(primed.repair_misses, 1, "{primed:?}");
-        b.iter(|| read_pass(&db, &prepared, Consistency::Certain));
+        assert_eq!(primed.repair_misses, 1, "{primed}");
+        b.iter(|| read_pass(db, &prepared, Consistency::Certain));
         let stats = db.certain_cache_stats();
         // The headline property: warm `Certain` hits skip the repair
         // enumeration — and even the row computation — entirely.
         assert_eq!(
             stats.repair_misses, primed.repair_misses,
-            "warm hits must never re-enumerate repairs: {stats:?}"
+            "warm hits must never re-enumerate repairs: {stats}"
         );
         assert_eq!(
             stats.misses, primed.misses,
-            "warm hits must never recompute a row set: {stats:?}"
+            "warm hits must never recompute a row set: {stats}"
         );
-        assert!(stats.hits > primed.hits, "{stats:?}");
+        assert!(stats.hits > primed.hits, "{stats}");
     });
 
     group.bench_function("warm_with_noise_commits", |b| {
@@ -127,28 +137,28 @@ fn bench_certain_cache(c: &mut Criterion) {
             let stats = db.certain_cache_stats();
             assert_eq!(
                 stats.repair_misses, primed.repair_misses,
-                "carried-forward entries keep serving without re-enumeration: {stats:?}"
+                "carried-forward entries keep serving without re-enumeration: {stats}"
             );
             assert_eq!(
                 stats.misses, primed.misses,
-                "no row set was recomputed across the noise stream: {stats:?}"
+                "no row set was recomputed across the noise stream: {stats}"
             );
             assert_eq!(
                 stats.carried_forward, iters,
-                "every noise commit carries the cache forward: {stats:?}"
+                "every noise commit carries the cache forward: {stats}"
             );
-            assert_eq!(stats.invalidated, 0, "{stats:?}");
+            assert_eq!(stats.invalidated, 0, "{stats}");
             total
         });
     });
 
     group.bench_function("latest", |b| {
-        let db = violated_db(7);
-        let prepared = prepare_all(&db);
-        b.iter(|| read_pass(&db, &prepared, Consistency::Latest));
+        let prepared = prepare_all(&warm_db);
+        b.iter(|| read_pass(&warm_db, &prepared, Consistency::Latest));
     });
 
     group.finish();
+    obs_footer("b7_certain_cache", &warm_db.obs_report());
 }
 
 criterion_group! {

@@ -22,9 +22,11 @@
 //! [`RepairEngine`]: uniform::RepairEngine
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use uniform::workload;
-use uniform::{RepairBackend, RepairEngine, RepairError, RepairOptions, RepairPreferences};
+use uniform::{Obs, RepairBackend, RepairEngine, RepairError, RepairOptions, RepairPreferences};
+use uniform_bench::{obs_footer, shared_obs};
 
 /// Violation counts per backend. The search assert flips from success
 /// to refusal at its crossover; SAT keeps going.
@@ -43,7 +45,7 @@ fn options(backend: RepairBackend) -> RepairOptions {
     }
 }
 
-fn engine(n: usize, seed: u64, backend: RepairBackend) -> RepairEngine {
+fn engine(n: usize, seed: u64, backend: RepairBackend, obs: &Arc<Obs>) -> RepairEngine {
     let db = workload::violation_dense_db(n, seed);
     RepairEngine::new(
         db.facts().clone(),
@@ -51,16 +53,18 @@ fn engine(n: usize, seed: u64, backend: RepairBackend) -> RepairEngine {
         db.constraints().to_vec(),
     )
     .with_options(options(backend))
+    .with_obs(obs.clone())
 }
 
 fn bench_backends(c: &mut Criterion) {
+    let obs = shared_obs();
     let mut group = c.benchmark_group("b8_sat_repair");
     for &n in SEARCH_SIZES {
         group.bench_with_input(BenchmarkId::new("search", n), &n, |b, &n| {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for i in 0..iters {
-                    let eng = engine(n, i, RepairBackend::Search);
+                    let eng = engine(n, i, RepairBackend::Search, &obs);
                     let t0 = Instant::now();
                     let out = eng.repairs();
                     total += t0.elapsed();
@@ -84,7 +88,7 @@ fn bench_backends(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for i in 0..iters {
-                    let eng = engine(n, i, RepairBackend::Sat);
+                    let eng = engine(n, i, RepairBackend::Sat, &obs);
                     let t0 = Instant::now();
                     let out = eng.repairs();
                     total += t0.elapsed();
@@ -102,7 +106,7 @@ fn bench_backends(c: &mut Criterion) {
             b.iter_custom(|iters| {
                 let mut total = Duration::ZERO;
                 for i in 0..iters {
-                    let eng = engine(n, i, RepairBackend::Sat);
+                    let eng = engine(n, i, RepairBackend::Sat, &obs);
                     let prefs = RepairPreferences::new()
                         .protect("noise")
                         .weight("p", 1)
@@ -119,6 +123,7 @@ fn bench_backends(c: &mut Criterion) {
         });
     }
     group.finish();
+    obs_footer("b8_sat_repair", &obs.report());
 }
 
 criterion_group! {

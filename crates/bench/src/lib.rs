@@ -1,1 +1,69 @@
-//! Shared helpers for the uniform benchmark harness live in the bench targets themselves.
+//! Shared helpers for the uniform benchmark harness.
+//!
+//! The b-series benches thread one [`Obs`] domain through every
+//! pipeline object they build and end with [`obs_footer`]: one sorted
+//! [`ObsReport`] block instead of six ad-hoc `Debug` dumps. Both the
+//! footer and the [`obs_json_smoke`] export are gated on
+//! `UNIFORM_OBS=1`, so default bench output (and the measured path's
+//! timing behaviour) is unchanged.
+
+use std::sync::Arc;
+use uniform::{Obs, ObsReport, OBS_ENV};
+
+/// Whether observability output was requested for this bench run.
+pub fn obs_enabled() -> bool {
+    std::env::var(OBS_ENV).as_deref() == Ok("1")
+}
+
+/// One obs domain for a whole bench target, shared across every
+/// database/queue/engine the bench constructs so the end-of-run footer
+/// aggregates all of them. Wall-clock timing only under `UNIFORM_OBS=1`
+/// ([`Obs::from_env`]); otherwise the `NullClock` keeps span/histogram
+/// timing zero-cost.
+pub fn shared_obs() -> Arc<Obs> {
+    Obs::shared_from_env()
+}
+
+/// Print the end-of-run observability footer, if requested.
+///
+/// Takes a prepared [`ObsReport`] rather than the `Obs` handle so
+/// callers with a live database can use `db.obs_report()` (which also
+/// samples the COW/cache-size gauges) and callers without one can pass
+/// `obs.report()`.
+pub fn obs_footer(bench: &str, report: &ObsReport) {
+    if !obs_enabled() {
+        return;
+    }
+    println!("\n-- {bench}: obs report --");
+    print!("{report}");
+}
+
+/// CI smoke for the machine-readable export: render the report as
+/// JSON, parse it back, and require the metric names the dashboards
+/// key on. Panics (failing the bench run) on any mismatch.
+pub fn obs_json_smoke(bench: &str, report: &ObsReport, required: &[&str]) {
+    if !obs_enabled() {
+        return;
+    }
+    let json = report.to_json();
+    let parsed = ObsReport::parse_json(&json)
+        .unwrap_or_else(|e| panic!("{bench}: obs JSON export failed to parse: {e}"));
+    assert_eq!(
+        &parsed,
+        &report.clone().sorted(),
+        "{bench}: obs JSON round-trip diverged from the in-process report"
+    );
+    for name in required {
+        assert!(
+            parsed.counter(name).is_some() || parsed.histogram(name).is_some(),
+            "{bench}: required metric `{name}` missing from obs JSON export"
+        );
+    }
+    println!(
+        "{bench}: obs json smoke ok ({} counters, {} histograms, {} bytes)",
+        parsed.counters.len(),
+        parsed.histograms.len(),
+        json.len()
+    );
+    println!("{json}");
+}

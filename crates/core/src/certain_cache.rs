@@ -45,10 +45,11 @@
 use crate::query::Rows;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::fmt;
 use std::sync::Arc;
 use uniform_datalog::{ReadFootprint, Snapshot, Update};
 use uniform_logic::Sym;
+use uniform_obs::{Counter, Obs};
 use uniform_repair::RepairSet;
 
 /// Row-set entries kept per generation (bounded LRU; repair lists are
@@ -220,24 +221,29 @@ impl Inner {
 /// database handle.
 pub(crate) struct CertainCache {
     inner: Mutex<Inner>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    repair_hits: AtomicU64,
-    repair_misses: AtomicU64,
-    carried_forward: AtomicU64,
-    invalidated: AtomicU64,
+    /// Registry-backed counters (`cache.certain.*`). Every bump happens
+    /// while `inner` is held, so [`CertainCache::stats`] — which locks
+    /// `inner` before reading them — observes a point-in-time
+    /// consistent snapshot: `hits + misses` equals the lookups that
+    /// completed before the snapshot, never a torn in-between.
+    hits: Counter,
+    misses: Counter,
+    repair_hits: Counter,
+    repair_misses: Counter,
+    carried_forward: Counter,
+    invalidated: Counter,
 }
 
 impl CertainCache {
-    pub fn new() -> CertainCache {
+    pub fn new(obs: &Obs) -> CertainCache {
         CertainCache {
             inner: Mutex::new(Inner::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            repair_hits: AtomicU64::new(0),
-            repair_misses: AtomicU64::new(0),
-            carried_forward: AtomicU64::new(0),
-            invalidated: AtomicU64::new(0),
+            hits: obs.counter("cache.certain.hits"),
+            misses: obs.counter("cache.certain.misses"),
+            repair_hits: obs.counter("cache.certain.repair_hits"),
+            repair_misses: obs.counter("cache.certain.repair_misses"),
+            carried_forward: obs.counter("cache.certain.carried_forward"),
+            invalidated: obs.counter("cache.certain.invalidated"),
         }
     }
 
@@ -252,7 +258,7 @@ impl CertainCache {
         let gen = &mut inner.gens[i];
         gen.used = stamp;
         let repairs = gen.repairs.as_ref()?.repairs.clone();
-        self.repair_hits.fetch_add(1, Ordering::Relaxed);
+        self.repair_hits.incr();
         Some(repairs)
     }
 
@@ -263,12 +269,14 @@ impl CertainCache {
     /// session pinned behind the head never displaces the entries live
     /// readers are hitting.
     pub fn install_repairs(&self, key: StateKey, repairs: Arc<Vec<RepairSet>>, closure: &[Sym]) {
-        self.repair_misses.fetch_add(1, Ordering::Relaxed);
         let mut fp = ReadFootprint::default();
         for &pred in closure {
             fp.record_whole(pred);
         }
         let mut inner = self.inner.lock();
+        // Counted under the lock (not before taking it) so the miss and
+        // the install land in the same snapshot window.
+        self.repair_misses.incr();
         inner.adopt(key).repairs = Some(RepairsEntry {
             repairs,
             closure: fp,
@@ -279,7 +287,7 @@ impl CertainCache {
     pub fn lookup_rows(&self, key: &StateKey, fingerprint: &str) -> Option<Rows> {
         let mut inner = self.inner.lock();
         let Some(i) = inner.find(key) else {
-            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.misses.incr();
             return None;
         };
         let stamp = inner.tick();
@@ -288,11 +296,11 @@ impl CertainCache {
         match gen.rows.get_mut(fingerprint) {
             Some(entry) => {
                 entry.used = stamp;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.incr();
                 Some(entry.rows.clone())
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.incr();
                 None
             }
         }
@@ -406,10 +414,10 @@ impl CertainCache {
         }
         inner.gens = merged;
         if dropped {
-            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            self.invalidated.incr();
         }
         if carried {
-            self.carried_forward.fetch_add(1, Ordering::Relaxed);
+            self.carried_forward.incr();
         }
     }
 
@@ -419,20 +427,45 @@ impl CertainCache {
     pub fn invalidate_all(&self) {
         let mut inner = self.inner.lock();
         if !inner.is_empty() {
-            self.invalidated.fetch_add(1, Ordering::Relaxed);
+            self.invalidated.incr();
         }
         inner.clear();
     }
 
+    /// A point-in-time consistent snapshot: the lock is taken first and
+    /// held across every counter read, and all bumps happen under the
+    /// same lock, so the totals and `entries` describe one moment.
     pub fn stats(&self) -> CertainCacheStats {
+        let inner = self.inner.lock();
         CertainCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            repair_hits: self.repair_hits.load(Ordering::Relaxed),
-            repair_misses: self.repair_misses.load(Ordering::Relaxed),
-            carried_forward: self.carried_forward.load(Ordering::Relaxed),
-            invalidated: self.invalidated.load(Ordering::Relaxed),
-            entries: self.inner.lock().gens.iter().map(|g| g.rows.len()).sum(),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            repair_hits: self.repair_hits.get(),
+            repair_misses: self.repair_misses.get(),
+            carried_forward: self.carried_forward.get(),
+            invalidated: self.invalidated.get(),
+            entries: inner.gens.iter().map(|g| g.rows.len()).sum(),
         }
+    }
+}
+
+impl fmt::Display for CertainCacheStats {
+    /// Renders through the registry naming (`cache.certain.*`), so logs
+    /// and [`uniform_obs::ObsReport`] agree on what each figure is.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache.certain.hits={} cache.certain.misses={} \
+             cache.certain.repair_hits={} cache.certain.repair_misses={} \
+             cache.certain.carried_forward={} cache.certain.invalidated={} \
+             cache.certain.entries={}",
+            self.hits,
+            self.misses,
+            self.repair_hits,
+            self.repair_misses,
+            self.carried_forward,
+            self.invalidated,
+            self.entries
+        )
     }
 }

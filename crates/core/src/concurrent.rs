@@ -39,6 +39,7 @@ use uniform_datalog::txn::{
 use uniform_datalog::{ConflictGranularity, Database, Snapshot, Transaction, TxnBuilder, Update};
 use uniform_integrity::{CheckReport, Checker, RuleUpdate};
 use uniform_logic::Sym;
+use uniform_obs::{Counter, Gauge, Hist, Obs, ObsReport, SpanEvent};
 use uniform_repair::{RepairEngine, RepairError, RepairSet, ViolationPolicy};
 use uniform_satisfiability::SatChecker;
 
@@ -205,9 +206,56 @@ pub struct CommitOutcome {
     pub repair: Option<RepairSet>,
 }
 
+/// Pre-resolved registry handles for the core pipeline, looked up once
+/// at construction so the hot read/commit paths never take the registry
+/// lock (see [`uniform_obs::MetricsRegistry`]).
+pub(crate) struct CoreMetrics {
+    /// `query.executes.latest` / `query.executes.certain`.
+    pub(crate) executes_latest: Counter,
+    pub(crate) executes_certain: Counter,
+    /// `query.latency.latest` / `query.latency.certain` (log₂-ns
+    /// buckets; all recordings land in bucket 0 under a
+    /// [`uniform_obs::NullClock`]).
+    pub(crate) latency_latest: Hist,
+    pub(crate) latency_certain: Hist,
+    /// `commit.latency`, recorded by the root `commit` span.
+    commit_latency: Hist,
+    /// `store.cow.*` / `cache.*.entries` gauges, sampled point-in-time
+    /// by [`ConcurrentDatabase::obs_report`] — not maintained live.
+    cow_pages: Gauge,
+    cow_tuples: Gauge,
+    cow_bytes: Gauge,
+    plan_entries: Gauge,
+    certain_entries: Gauge,
+}
+
+impl CoreMetrics {
+    fn register(obs: &Obs) -> CoreMetrics {
+        CoreMetrics {
+            executes_latest: obs.counter("query.executes.latest"),
+            executes_certain: obs.counter("query.executes.certain"),
+            latency_latest: obs.histogram("query.latency.latest"),
+            latency_certain: obs.histogram("query.latency.certain"),
+            commit_latency: obs.histogram("commit.latency"),
+            cow_pages: obs.gauge("store.cow.pages_cloned"),
+            cow_tuples: obs.gauge("store.cow.tuples_cloned"),
+            cow_bytes: obs.gauge("store.cow.bytes_cloned"),
+            plan_entries: obs.gauge("cache.plan.entries"),
+            certain_entries: obs.gauge("cache.certain.entries"),
+        }
+    }
+}
+
 pub(crate) struct Shared {
     queue: CommitQueue,
     options: UniformOptions,
+    /// The database-wide observability domain (see [`uniform_obs`]):
+    /// one registry + span ring shared by the commit queue, the plan
+    /// and certain-answer caches, the query path and the repair engine,
+    /// so [`ConcurrentDatabase::obs_report`] covers the whole pipeline.
+    obs: Arc<Obs>,
+    /// Hot-path registry handles, resolved once (see [`CoreMetrics`]).
+    metrics: CoreMetrics,
     /// The sharded prepared-plan cache behind
     /// [`ConcurrentDatabase::prepare`]: source → [`PreparedQuery`],
     /// so hot queries stop paying parse + plan per request. Plans
@@ -261,6 +309,16 @@ impl Shared {
     pub(crate) fn certain(&self) -> &CertainCache {
         &self.certain
     }
+
+    /// The database-wide observability domain.
+    pub(crate) fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Pre-resolved handles for the query path (see [`CoreMetrics`]).
+    pub(crate) fn query_metrics(&self) -> &CoreMetrics {
+        &self.metrics
+    }
 }
 
 /// See the module docs.
@@ -277,24 +335,45 @@ impl ConcurrentDatabase {
         ConcurrentDatabase::from_database(db, options)
     }
 
-    /// Share a bare [`Database`] with explicit options.
+    /// Share a bare [`Database`] with explicit options. The
+    /// observability domain comes from the environment:
+    /// [`uniform_obs::Obs::from_env`] — wall-clock timing when
+    /// `UNIFORM_OBS=1`, the zero-cost [`uniform_obs::NullClock`]
+    /// otherwise (counters and spans are recorded either way).
     pub fn from_database(db: Database, options: UniformOptions) -> ConcurrentDatabase {
+        ConcurrentDatabase::from_database_with_obs(db, options, Arc::new(Obs::from_env()))
+    }
+
+    /// [`ConcurrentDatabase::from_database`] with an explicit
+    /// observability domain — the deterministic-test entry point: an
+    /// `Obs` built over a [`uniform_obs::NullClock`] keeps every
+    /// counter, span and histogram a pure function of the operation
+    /// sequence, independent of wall time and thread interleaving
+    /// within one serialized schedule.
+    pub fn from_database_with_obs(
+        db: Database,
+        options: UniformOptions,
+        obs: Arc<Obs>,
+    ) -> ConcurrentDatabase {
         let (rule_rev, constraint_rev, version) =
             (db.rule_rev(), db.constraint_rev(), db.version());
         let queue = if options.maintain_model {
-            CommitQueue::new(db)
+            CommitQueue::with_obs(db, obs.clone())
         } else {
-            CommitQueue::without_maintenance(db)
+            CommitQueue::without_maintenance_with_obs(db, obs.clone())
         };
+        let metrics = CoreMetrics::register(&obs);
         ConcurrentDatabase {
             shared: Arc::new(Shared {
                 queue,
                 options,
-                plans: PlanCache::new(),
+                plans: PlanCache::new(&obs),
                 rule_rev: AtomicU64::new(rule_rev),
                 constraint_rev: AtomicU64::new(constraint_rev),
                 schema_version: AtomicU64::new(version),
-                certain: CertainCache::new(),
+                certain: CertainCache::new(&obs),
+                metrics,
+                obs,
             }),
         }
     }
@@ -354,13 +433,31 @@ impl ConcurrentDatabase {
         txn: &TxnBuilder,
         policy: ViolationPolicy,
     ) -> Result<CommitOutcome, TxnError> {
+        // The root commit span, tagged with the policy; the queue's
+        // `commit.admit`/`commit.apply`/`commit.maintain` spans and the
+        // repair engine's `repair.run` nest under it (same obs domain,
+        // same thread). Its close feeds the `commit.latency` histogram.
+        let _commit = self.shared.obs.span_timed(
+            "commit",
+            Some(match policy {
+                ViolationPolicy::Reject => "reject",
+                ViolationPolicy::Explain => "explain",
+                ViolationPolicy::AutoRepair => "auto_repair",
+            }),
+            self.shared.metrics.commit_latency.clone(),
+        );
         let mut txn = txn.clone();
-        if let Err(e) = txn.validate_arities() {
-            return Err(TxnError::Apply(e));
+        {
+            let _stage = self.shared.obs.span("commit.stage");
+            if let Err(e) = txn.validate_arities() {
+                return Err(TxnError::Apply(e));
+            }
         }
         let tx = txn.transaction();
-        let report = Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check)
-            .check(&tx);
+        let report = {
+            let _check = self.shared.obs.span("commit.check");
+            Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check).check(&tx)
+        };
         // The admission decision needs every access pattern the verdict
         // read — and so does deciding whether a *rejection* is still
         // current. Patterns with bound constants become key-level
@@ -399,6 +496,7 @@ impl ConcurrentDatabase {
                 // racing, out-of-order hooks sound): entries whose
                 // closures this commit's writes missed are carried
                 // forward to the post-commit revisions.
+                let _invalidate = self.shared.obs.span("commit.invalidate");
                 self.shared.certain.advance_commit(
                     StateKey {
                         db_id: txn.snapshot().db_id(),
@@ -442,9 +540,11 @@ impl ConcurrentDatabase {
             txn.stage(op.clone());
         }
         let combined = txn.transaction();
-        let combined_report =
+        let combined_report = {
+            let _check = self.shared.obs.span("commit.check");
             Checker::for_snapshot_with_options(txn.snapshot(), self.shared.options.check)
-                .check(&combined);
+                .check(&combined)
+        };
         if !combined_report.satisfied {
             debug_assert!(false, "repair delta failed to restore consistency");
             return Err(TxnError::Rejected(Box::new(combined_report)));
@@ -465,6 +565,7 @@ impl ConcurrentDatabase {
                 // constraint closure (the repair choice surveyed every
                 // relation any constraint can reach), which every
                 // cached verdict intersects — invalidate wholesale.
+                let _invalidate = self.shared.obs.span("commit.invalidate");
                 self.shared.certain.invalidate_all();
                 Ok(CommitOutcome {
                     version,
@@ -496,8 +597,10 @@ impl ConcurrentDatabase {
         tx: &Transaction,
         report: CheckReport,
     ) -> Result<(Box<CheckReport>, RepairSet), TxnError> {
-        let engine =
-            RepairEngine::for_update(txn.snapshot(), tx).with_options(self.shared.options.repair);
+        let _repair = self.shared.obs.span("commit.repair");
+        let engine = RepairEngine::for_update(txn.snapshot(), tx)
+            .with_options(self.shared.options.repair)
+            .with_obs(self.shared.obs.clone());
         let repairs = match engine.repairs() {
             Ok(repairs) => repairs,
             Err(error) => {
@@ -537,8 +640,9 @@ impl ConcurrentDatabase {
     /// consistent state reports the single empty repair), computed on a
     /// snapshot — writers keep committing meanwhile.
     pub fn minimal_repairs(&self) -> Result<Vec<RepairSet>, UniformError> {
-        let engine =
-            RepairEngine::for_snapshot(&self.snapshot()).with_options(self.shared.options.repair);
+        let engine = RepairEngine::for_snapshot(&self.snapshot())
+            .with_options(self.shared.options.repair)
+            .with_obs(self.shared.obs.clone());
         Ok(engine.repairs().map_err(UniformError::Repair)?.repairs)
     }
 
@@ -622,6 +726,45 @@ impl ConcurrentDatabase {
     /// Running totals of the shared prepared-plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
         self.shared.plans.stats()
+    }
+
+    /// The database-wide observability domain: the metrics registry,
+    /// span recorder and clock every pipeline stage of this handle
+    /// reports into. Useful to share one domain across several
+    /// databases, or to register application metrics alongside the
+    /// built-in `txn.*`/`query.*`/`cache.*`/`repair.*` families.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
+    }
+
+    /// The most recent structured span events (bounded ring; oldest
+    /// evicted first — see [`uniform_obs::SpanRecorder`]). Each commit,
+    /// query execute and repair run contributes a small span tree:
+    /// `commit` (tagged by policy) over `commit.stage` / `commit.check`
+    /// / `commit.admit` / `commit.apply` / `commit.maintain` /
+    /// `commit.repair` / `commit.invalidate`; `query.execute` (tagged
+    /// `latest`/`certain`, closed with its outcome path `eval` /
+    /// `cache_hit` / `repair`); `repair.run` (tagged by backend).
+    pub fn recent_events(&self) -> Vec<SpanEvent> {
+        self.shared.obs.recent_events()
+    }
+
+    /// One deterministic report over every metric of this database's
+    /// pipeline: counters and gauges sorted by name, histograms as
+    /// log₂-ns bucket counts. Point-in-time gauges (`store.cow.*`,
+    /// `cache.plan.entries`, `cache.certain.entries`) are sampled here,
+    /// at report time. See [`uniform_obs::ObsReport`] for the Display
+    /// and JSON renderings.
+    pub fn obs_report(&self) -> ObsReport {
+        let m = &self.shared.metrics;
+        let cow = self.with_database(|d| d.facts().cow_stats());
+        m.cow_pages.set(cow.pages_cloned);
+        m.cow_tuples.set(cow.tuples_cloned);
+        m.cow_bytes.set(cow.bytes_cloned);
+        m.plan_entries.set(self.shared.plans.stats().entries as u64);
+        m.certain_entries
+            .set(self.shared.certain.stats().entries as u64);
+        self.shared.obs.report()
     }
 
     /// Running totals of the shared certain-answer cache (hits,

@@ -54,6 +54,10 @@ pub use query::{
 pub use uniform_datalog as datalog;
 pub use uniform_integrity as integrity;
 pub use uniform_logic as logic;
+// The unified observability layer: metrics registry, structured spans
+// and latency histograms shared by the whole commit/query/repair
+// pipeline (see the README's "Observability" section).
+pub use uniform_obs as obs;
 pub use uniform_repair as repair;
 pub use uniform_satisfiability as satisfiability;
 // Seeded synthetic workload generators, so examples and downstream
@@ -69,6 +73,10 @@ pub use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker, Violation,
 };
 pub use uniform_logic::{Constraint, Fact, Formula, Literal, Rq, Rule};
+pub use uniform_obs::{
+    Clock, Counter, Gauge, Hist, HistogramSnapshot, MetricsRegistry, NullClock, Obs, ObsReport,
+    SpanEvent, SpanRecorder, WallClock, OBS_ENV,
+};
 pub use uniform_repair::{
     PreferredRepair, RepairBackend, RepairChooser, RepairEngine, RepairError, RepairOptions,
     RepairPreferences, RepairReport, RepairSet, ViolationPolicy,

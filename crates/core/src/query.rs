@@ -46,6 +46,7 @@
 //! ```
 
 use parking_lot::{Mutex, RwLock};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -58,6 +59,7 @@ use uniform_logic::{
     match_atom, normalize, normalize_open, parse_formula, parse_query, Atom, Literal, ParseError,
     Rq, Subst, Sym, Term,
 };
+use uniform_obs::{Counter, Obs};
 use uniform_repair::{RepairEngine, RepairError, RepairOptions, RepairSet};
 
 // ---------------------------------------------------------------------------
@@ -846,15 +848,37 @@ impl Session {
             }
         }
 
+        // One root span per execute, tagged with the consistency level;
+        // the close tag is overridden by the outcome path — `eval`,
+        // `cache_hit` (served from the shared certain-answer cache), or
+        // `repair` (the repair enumeration actually ran). The repair
+        // engine's own `repair.run` span nests under this one. Kept to a
+        // single span (no per-phase children) so the hot read path pays
+        // one ring push; under a `NullClock` no timer is read at all.
+        let path = Cell::new("eval");
+        let mut span = self.shared.as_ref().map(|shared| {
+            let m = shared.query_metrics();
+            let (tag, counter, hist) = match consistency {
+                Consistency::Latest => ("latest", &m.executes_latest, &m.latency_latest),
+                Consistency::Certain => ("certain", &m.executes_certain, &m.latency_certain),
+            };
+            counter.incr();
+            shared
+                .obs()
+                .span_timed("query.execute", Some(tag), hist.clone())
+        });
+
         let plan = query.plan_for(&self.snapshot);
         let init = params.subst();
-        match (&query.inner.kind, &plan.kind) {
+        let result = match (&query.inner.kind, &plan.kind) {
             (Kind::Conjunctive { literals }, PlanKind::Conjunctive { order, magic }) => {
                 match consistency {
                     Consistency::Latest => Ok(self.latest_rows(query, literals, order, &init)),
-                    Consistency::Certain => self.cached_certain(query, params, literals, |s| {
-                        s.certain_rows(query, literals, magic, &init)
-                    }),
+                    Consistency::Certain => {
+                        self.cached_certain(query, params, literals, &path, |s| {
+                            s.certain_rows(query, literals, magic, &init, &path)
+                        })
+                    }
                 }
             }
             (Kind::Formula { .. }, PlanKind::Formula { optimized }) => match consistency {
@@ -869,9 +893,9 @@ impl Session {
                         .iter()
                         .map(|occ| occ.literal.clone())
                         .collect();
-                    self.cached_certain(query, params, &preds, |s| {
+                    self.cached_certain(query, params, &preds, &path, |s| {
                         let repairs =
-                            s.certain_repairs_scoped(preds.iter().map(|l| l.atom.pred))?;
+                            s.certain_repairs_scoped(preds.iter().map(|l| l.atom.pred), &path)?;
                         Ok(Rows::boolean(uniform_repair::certainly_satisfies_bound(
                             s.snapshot.facts(),
                             s.snapshot.rules(),
@@ -883,7 +907,11 @@ impl Session {
                 }
             },
             _ => unreachable!("plan kind always matches query kind"),
+        };
+        if let Some(span) = span.as_mut() {
+            span.set_path(path.get());
         }
+        result
     }
 
     /// The shared-cache wrapper around a `Certain` evaluation: sessions
@@ -898,6 +926,7 @@ impl Session {
         query: &PreparedQuery,
         params: &Params,
         literals: &[Literal],
+        path: &Cell<&'static str>,
         compute: impl FnOnce(&Session) -> Result<Rows, QueryError>,
     ) -> Result<Rows, QueryError> {
         let Some(shared) = &self.shared else {
@@ -906,6 +935,7 @@ impl Session {
         let key = crate::certain_cache::StateKey::of(&self.snapshot);
         let fingerprint = Self::fingerprint(query, params);
         if let Some(rows) = shared.certain().lookup_rows(&key, &fingerprint) {
+            path.set("cache_hit");
             return Ok(rows);
         }
         let rows = compute(self)?;
@@ -983,8 +1013,9 @@ impl Session {
         literals: &[Literal],
         magic: &Option<Arc<MagicProgram>>,
         init: &Subst,
+        path: &Cell<&'static str>,
     ) -> Result<Rows, QueryError> {
-        let repairs = self.certain_repairs_scoped(literals.iter().map(|l| l.atom.pred))?;
+        let repairs = self.certain_repairs_scoped(literals.iter().map(|l| l.atom.pred), path)?;
         let columns = query.inner.columns.clone();
         if let Some(mp) = magic {
             // Same intersection semantics as the overlay path — one
@@ -1035,7 +1066,10 @@ impl Session {
     /// (any session pinned to the same semantic state reuses one
     /// enumeration), and only then the bounded repair search, whose
     /// result is installed shared under its verdict closure.
-    fn certain_repairs(&self) -> Result<Arc<Vec<RepairSet>>, QueryError> {
+    fn certain_repairs(
+        &self,
+        path: &Cell<&'static str>,
+    ) -> Result<Arc<Vec<RepairSet>>, QueryError> {
         if let Some(repairs) = self.repairs.read().as_ref() {
             return Ok(repairs.clone());
         }
@@ -1048,7 +1082,14 @@ impl Session {
                 return Ok(self.memoize_repairs(repairs));
             }
         }
-        let engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
+        // The enumeration actually runs: record it in the execute
+        // span's close path, and hand the engine the database's obs so
+        // its `repair.run` span and `repair.*` counters nest here.
+        path.set("repair");
+        let mut engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
+        if let Some(shared) = &self.shared {
+            engine = engine.with_obs(shared.obs().clone());
+        }
         let report = engine
             .repairs_covering_all_minimal()
             .map_err(QueryError::Budget)?;
@@ -1076,8 +1117,9 @@ impl Session {
     fn certain_repairs_scoped(
         &self,
         preds: impl IntoIterator<Item = Sym>,
+        path: &Cell<&'static str>,
     ) -> Result<Arc<Vec<RepairSet>>, QueryError> {
-        match self.certain_repairs() {
+        match self.certain_repairs(path) {
             Err(err @ QueryError::Budget(RepairError::BudgetExhausted { .. })) => {
                 let engine = RepairEngine::for_snapshot(&self.snapshot).with_options(self.repair);
                 if engine.reads_outside_affected(preds) {
@@ -1170,18 +1212,20 @@ struct Shard {
 /// and rebuilt on demand (see [`PreparedQuery`]).
 pub(crate) struct PlanCache {
     shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Registry-backed (`cache.plan.*`); bumped only while the owning
+    /// shard's mutex is held, so per-shard reads are consistent.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl PlanCache {
-    pub(crate) fn new() -> PlanCache {
+    pub(crate) fn new(obs: &Obs) -> PlanCache {
         PlanCache {
             shards: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(Shard::default()))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: obs.counter("cache.plan.hits"),
+            misses: obs.counter("cache.plan.misses"),
         }
     }
 
@@ -1201,10 +1245,10 @@ impl PlanCache {
         let clock = shard.clock;
         if let Some((query, used)) = shard.map.get_mut(&key) {
             *used = clock;
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.incr();
             return Ok(query.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.incr();
         let query = build()?;
         shard.map.insert(key, (query.clone(), clock));
         if shard.map.len() > SHARD_CAP {
@@ -1220,12 +1264,27 @@ impl PlanCache {
         Ok(query)
     }
 
+    /// Totals as of this call. Hit/miss bumps happen under the shard
+    /// locks; `entries` sums the shards one lock at a time, so across
+    /// shards the snapshot is per-shard (not globally) atomic.
     pub(crate) fn stats(&self) -> PlanCacheStats {
         PlanCacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
             entries: self.shards.iter().map(|s| s.lock().map.len()).sum(),
         }
+    }
+}
+
+impl fmt::Display for PlanCacheStats {
+    /// Renders through the registry naming (`cache.plan.*`), matching
+    /// the [`uniform_obs::ObsReport`] counter names.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache.plan.hits={} cache.plan.misses={} cache.plan.entries={}",
+            self.hits, self.misses, self.entries
+        )
     }
 }
 

@@ -95,6 +95,14 @@ struct CowCounters {
 }
 
 impl CowCounters {
+    /// Relaxed loads: each counter is individually monotonic, but the
+    /// three fields of one snapshot may straddle a concurrent clone (a
+    /// writer bumps pages/tuples/bytes as three separate relaxed adds).
+    /// Exact cross-field arithmetic requires external quiescence —
+    /// which is how every test and bench uses it: measure while no
+    /// writer is mid-clone. The `store.cow.*` gauges exported through
+    /// `uniform-obs` are sampled from this same snapshot at report
+    /// time and inherit the same semantics.
     fn snapshot(&self) -> CowStats {
         CowStats {
             pages_cloned: self.pages.load(Ordering::Relaxed),

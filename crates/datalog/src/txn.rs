@@ -54,6 +54,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 use uniform_logic::{Fact, Sym};
+use uniform_obs::{Counter, Obs};
 
 /// A transaction under construction: updates staged against a pinned
 /// snapshot, plus the key-fingerprint read footprint recorded while
@@ -282,6 +283,12 @@ pub enum ModelPath {
 
 /// Running counters of the queue's model-maintenance behavior, for
 /// tests, benches and operators (see [`CommitQueue::maintenance`]).
+///
+/// This struct is a *view*: the authoritative storage is the queue's
+/// `uniform-obs` registry counters (`maintain.*`), and
+/// [`CommitQueue::maintenance`] snapshots them under the queue mutex —
+/// the same lock every bump holds — so the fields are mutually
+/// consistent at a single point in time.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MaintenanceCounters {
     /// Effective commits absorbed incrementally by the maintained model.
@@ -298,6 +305,24 @@ pub struct MaintenanceCounters {
     /// the maintained model survived — constraints never affect the
     /// canonical model.
     pub constraint_only_updates: u64,
+}
+
+impl fmt::Display for MaintenanceCounters {
+    /// Renders with the registry's dotted metric names, one
+    /// `name=value` pair per counter.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "maintain.commits.maintained={} maintain.commits.rematerialized={} \
+             maintain.bailouts={} maintain.schema_resets={} \
+             maintain.constraint_only_updates={}",
+            self.maintained,
+            self.rematerialized,
+            self.bailouts,
+            self.schema_resets,
+            self.constraint_only_updates
+        )
+    }
 }
 
 /// Proof of an admitted commit.
@@ -337,6 +362,11 @@ struct CommitRecord {
 
 /// Running counters of the queue's conflict-detection behavior, by
 /// granularity (see [`CommitQueue::conflict_stats`]).
+///
+/// Like [`MaintenanceCounters`], a *view* over the queue's registry
+/// counters (`txn.*`), snapshotted under the queue mutex so
+/// cross-counter invariants (e.g. `admitted + conflicts == attempts`)
+/// hold within one returned value.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ConflictStats {
     /// Commits admitted by the freshness scan.
@@ -354,6 +384,54 @@ pub struct ConflictStats {
     pub whole_relation_fallbacks: u64,
 }
 
+impl fmt::Display for ConflictStats {
+    /// Renders with the registry's dotted metric names, one
+    /// `name=value` pair per counter.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txn.commits.admitted={} txn.conflicts.relation={} txn.conflicts.key={} \
+             txn.conflicts.whole_relation_fallbacks={}",
+            self.admitted,
+            self.relation_conflicts,
+            self.key_conflicts,
+            self.whole_relation_fallbacks
+        )
+    }
+}
+
+/// Registry-backed counter handles behind the queue's stats surfaces.
+/// Every bump happens while the queue mutex is held, so locking the
+/// queue and reading all handles yields a consistent point-in-time
+/// snapshot even though each handle is individually relaxed-atomic.
+struct QueueMetrics {
+    admitted: Counter,
+    relation_conflicts: Counter,
+    key_conflicts: Counter,
+    whole_relation_fallbacks: Counter,
+    maintained: Counter,
+    rematerialized: Counter,
+    bailouts: Counter,
+    schema_resets: Counter,
+    constraint_only_updates: Counter,
+}
+
+impl QueueMetrics {
+    fn register(obs: &Obs) -> QueueMetrics {
+        QueueMetrics {
+            admitted: obs.counter("txn.commits.admitted"),
+            relation_conflicts: obs.counter("txn.conflicts.relation"),
+            key_conflicts: obs.counter("txn.conflicts.key"),
+            whole_relation_fallbacks: obs.counter("txn.conflicts.whole_relation_fallbacks"),
+            maintained: obs.counter("maintain.commits.maintained"),
+            rematerialized: obs.counter("maintain.commits.rematerialized"),
+            bailouts: obs.counter("maintain.bailouts"),
+            schema_resets: obs.counter("maintain.schema_resets"),
+            constraint_only_updates: obs.counter("maintain.constraint_only_updates"),
+        }
+    }
+}
+
 struct QueueState {
     db: Database,
     log: VecDeque<CommitRecord>,
@@ -367,8 +445,6 @@ struct QueueState {
     /// The standing [`ModelPath`] marker: how the *next* snapshot of the
     /// current state gets its model.
     last_path: ModelPath,
-    counters: MaintenanceCounters,
-    conflicts: ConflictStats,
 }
 
 /// The serialization point of the commit pipeline. Shares one
@@ -385,6 +461,10 @@ pub struct CommitQueue {
     /// next snapshot rematerializes (the pre-maintenance behavior; the
     /// `b3_postcommit_snapshot` baseline).
     maintain: bool,
+    /// The observability domain this queue reports into (a private
+    /// `NullClock` one unless injected via [`CommitQueue::with_obs`]).
+    obs: Arc<Obs>,
+    metrics: QueueMetrics,
 }
 
 /// Commit records retained for conflict detection. A transaction must
@@ -398,7 +478,23 @@ impl CommitQueue {
     }
 
     pub fn with_log_capacity(db: Database, log_capacity: usize) -> CommitQueue {
+        CommitQueue::with_log_capacity_and_obs(db, log_capacity, Arc::new(Obs::null()))
+    }
+
+    /// A queue reporting into an injected observability domain — the
+    /// constructor `uniform::ConcurrentDatabase` uses so queue metrics
+    /// land in the database-wide registry.
+    pub fn with_obs(db: Database, obs: Arc<Obs>) -> CommitQueue {
+        CommitQueue::with_log_capacity_and_obs(db, DEFAULT_LOG_CAPACITY, obs)
+    }
+
+    pub fn with_log_capacity_and_obs(
+        db: Database,
+        log_capacity: usize,
+        obs: Arc<Obs>,
+    ) -> CommitQueue {
         let horizon = db.version();
+        let metrics = QueueMetrics::register(&obs);
         CommitQueue {
             state: Mutex::new(QueueState {
                 db,
@@ -406,11 +502,11 @@ impl CommitQueue {
                 horizon,
                 maintained: None,
                 last_path: ModelPath::Rematerialized,
-                counters: MaintenanceCounters::default(),
-                conflicts: ConflictStats::default(),
             }),
             log_capacity: log_capacity.max(1),
             maintain: true,
+            obs,
+            metrics,
         }
     }
 
@@ -421,6 +517,20 @@ impl CommitQueue {
             maintain: false,
             ..CommitQueue::new(db)
         }
+    }
+
+    /// [`CommitQueue::without_maintenance`] reporting into an injected
+    /// observability domain (see [`CommitQueue::with_obs`]).
+    pub fn without_maintenance_with_obs(db: Database, obs: Arc<Obs>) -> CommitQueue {
+        CommitQueue {
+            maintain: false,
+            ..CommitQueue::with_obs(db, obs)
+        }
+    }
+
+    /// The observability domain this queue reports into.
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
     }
 
     /// Pin a snapshot and open a transaction against it.
@@ -513,75 +623,88 @@ impl CommitQueue {
     /// anyone). On refusal the database is untouched.
     pub fn commit(&self, txn: &TxnBuilder) -> Result<CommitReceipt, CommitError> {
         let mut state = self.state.lock();
-        if txn.reads.has_unbounded() {
-            state.conflicts.whole_relation_fallbacks += 1;
+        {
+            let _admit = self.obs.span("commit.admit");
+            if txn.reads.has_unbounded() {
+                self.metrics.whole_relation_fallbacks.incr();
+            }
+            if let Err(e) = Self::freshness_in(&state, txn.begin_version(), &txn.reads) {
+                if let CommitError::Conflict { granularity, .. } = &e {
+                    match granularity {
+                        ConflictGranularity::Relation => self.metrics.relation_conflicts.incr(),
+                        ConflictGranularity::Key => self.metrics.key_conflicts.incr(),
+                    }
+                }
+                return Err(e);
+            }
+            self.metrics.admitted.incr();
+
+            // Arity errors must leave the store untouched: validate the
+            // whole transaction (including arities its own earlier updates
+            // introduce) against the live schema before applying any of it.
+            crate::database::validate_transaction_arities(
+                |pred| state.db.arity_of(pred),
+                &txn.updates,
+            )
+            .map_err(CommitError::Apply)?;
         }
-        if let Err(e) = Self::freshness_in(&state, txn.begin_version(), &txn.reads) {
-            if let CommitError::Conflict { granularity, .. } = &e {
-                match granularity {
-                    ConflictGranularity::Relation => state.conflicts.relation_conflicts += 1,
-                    ConflictGranularity::Key => state.conflicts.key_conflicts += 1,
+
+        let effective = {
+            let _apply = self.obs.span("commit.apply");
+            // Build the maintained model from the pre-commit state the first
+            // time an admitted commit arrives (or the first after a schema
+            // reset / bail-out). This reuses the database's cached model when
+            // one exists; from here on the queue owns the model's lifetime.
+            if self.maintain && state.maintained.is_none() {
+                let model = state.db.model();
+                let st = &mut *state;
+                st.maintained = Some(MaintainedModel::with_model(
+                    st.db.facts().clone(),
+                    st.db.rules().clone(),
+                    model.facts().clone(),
+                ));
+            }
+
+            let mut effective = Vec::new();
+            for u in &txn.updates {
+                if state.db.apply(u).expect("arities validated above") {
+                    effective.push(u.clone());
                 }
             }
-            return Err(e);
-        }
-        state.conflicts.admitted += 1;
+            effective
+        };
 
-        // Arity errors must leave the store untouched: validate the
-        // whole transaction (including arities its own earlier updates
-        // introduce) against the live schema before applying any of it.
-        crate::database::validate_transaction_arities(|pred| state.db.arity_of(pred), &txn.updates)
-            .map_err(CommitError::Apply)?;
-
-        // Build the maintained model from the pre-commit state the first
-        // time an admitted commit arrives (or the first after a schema
-        // reset / bail-out). This reuses the database's cached model when
-        // one exists; from here on the queue owns the model's lifetime.
-        if self.maintain && state.maintained.is_none() {
-            let model = state.db.model();
-            let st = &mut *state;
-            st.maintained = Some(MaintainedModel::with_model(
-                st.db.facts().clone(),
-                st.db.rules().clone(),
-                model.facts().clone(),
-            ));
-        }
-
-        let mut effective = Vec::new();
-        for u in &txn.updates {
-            if state.db.apply(u).expect("arities validated above") {
-                effective.push(u.clone());
-            }
-        }
-
-        let model_path = if effective.is_empty() {
-            // Def. 1 no-op: nothing was invalidated, the cached model
-            // (and the maintained one) still describe the state exactly.
-            state.last_path
-        } else if self.maintain {
-            // Flip the maintained model forward by the same update list
-            // the store just applied: its EDB mirrors the database's
-            // update for update, so the two stay bit-identical.
-            let st = &mut *state;
-            let healthy = {
-                let m = st.maintained.as_mut().expect("built above");
-                m.apply_transaction(&Transaction::new(txn.updates.to_vec()));
-                !m.is_poisoned()
-            };
-            if healthy {
-                let model = st.maintained.as_ref().expect("built above").model().clone();
-                st.db.install_model(Arc::new(Model::from_facts(model)));
-                st.counters.maintained += 1;
-                ModelPath::Maintained
+        let model_path = {
+            let _maintain = self.obs.span("commit.maintain");
+            if effective.is_empty() {
+                // Def. 1 no-op: nothing was invalidated, the cached model
+                // (and the maintained one) still describe the state exactly.
+                state.last_path
+            } else if self.maintain {
+                // Flip the maintained model forward by the same update list
+                // the store just applied: its EDB mirrors the database's
+                // update for update, so the two stay bit-identical.
+                let st = &mut *state;
+                let healthy = {
+                    let m = st.maintained.as_mut().expect("built above");
+                    m.apply_transaction(&Transaction::new(txn.updates.to_vec()));
+                    !m.is_poisoned()
+                };
+                if healthy {
+                    let model = st.maintained.as_ref().expect("built above").model().clone();
+                    st.db.install_model(Arc::new(Model::from_facts(model)));
+                    self.metrics.maintained.incr();
+                    ModelPath::Maintained
+                } else {
+                    st.maintained = None;
+                    self.metrics.bailouts.incr();
+                    self.metrics.rematerialized.incr();
+                    ModelPath::Rematerialized
+                }
             } else {
-                st.maintained = None;
-                st.counters.bailouts += 1;
-                st.counters.rematerialized += 1;
+                self.metrics.rematerialized.incr();
                 ModelPath::Rematerialized
             }
-        } else {
-            state.counters.rematerialized += 1;
-            ModelPath::Rematerialized
         };
         state.last_path = model_path;
 
@@ -630,11 +753,11 @@ impl CommitQueue {
             let constraint_only =
                 state.db.fact_rev() == before_facts && state.db.rule_rev() == before_rules;
             if constraint_only {
-                state.counters.constraint_only_updates += 1;
+                self.metrics.constraint_only_updates.incr();
             } else {
                 state.maintained = None;
                 state.last_path = ModelPath::Rematerialized;
-                state.counters.schema_resets += 1;
+                self.metrics.schema_resets.incr();
             }
             state.log.clear();
             state.horizon = state.db.version();
@@ -648,17 +771,36 @@ impl CommitQueue {
         self.state.lock().last_path
     }
 
-    /// Running model-maintenance counters.
+    /// Running model-maintenance counters — a point-in-time view over
+    /// the registry's `maintain.*` counters, read under the queue mutex
+    /// (the lock every bump holds) so the fields are mutually
+    /// consistent.
     pub fn maintenance(&self) -> MaintenanceCounters {
-        self.state.lock().counters
+        let _state = self.state.lock();
+        MaintenanceCounters {
+            maintained: self.metrics.maintained.get(),
+            rematerialized: self.metrics.rematerialized.get(),
+            bailouts: self.metrics.bailouts.get(),
+            schema_resets: self.metrics.schema_resets.get(),
+            constraint_only_updates: self.metrics.constraint_only_updates.get(),
+        }
     }
 
     /// Running conflict-detection counters, by granularity: how many
     /// commits were admitted, refused by a whole-relation read, refused
     /// by a key fingerprint, and how many attempts fell back to
-    /// relation granularity because some read was unbounded.
+    /// relation granularity because some read was unbounded. A
+    /// point-in-time view over the registry's `txn.*` counters, read
+    /// under the queue mutex so cross-counter arithmetic (e.g.
+    /// `admitted + refusals == attempts`) is exact.
     pub fn conflict_stats(&self) -> ConflictStats {
-        self.state.lock().conflicts
+        let _state = self.state.lock();
+        ConflictStats {
+            admitted: self.metrics.admitted.get(),
+            relation_conflicts: self.metrics.relation_conflicts.get(),
+            key_conflicts: self.metrics.key_conflicts.get(),
+            whole_relation_fallbacks: self.metrics.whole_relation_fallbacks.get(),
+        }
     }
 
     /// Current EDB contents (sorted), for tests and tooling.

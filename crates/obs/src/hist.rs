@@ -1,0 +1,213 @@
+//! Log-bucketed latency histograms with *fixed* bucket boundaries.
+//!
+//! HDR-style precision is traded for determinism: bucket `i` covers the
+//! nanosecond range `[2^(i-1), 2^i)` (bucket 0 holds exact zeros, the
+//! [`crate::NullClock`] case), so the bucket a value lands in is a pure
+//! function of the value — no dynamic resizing, no rescaling, and two
+//! histograms that saw the same durations always produce bit-identical
+//! digests. The top bucket absorbs everything from ~9.1 minutes up.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets: zeros, then one power-of-two rung per bit up to
+/// `2^(HIST_BUCKETS-1)` ns (~9.1 min), with the last rung unbounded.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The bucket a nanosecond value lands in: its bit length, clamped.
+/// Zero → bucket 0; `[2^(i-1), 2^i)` → bucket `i`.
+#[inline]
+pub fn bucket_of(nanos: u64) -> usize {
+    ((u64::BITS - nanos.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The inclusive lower bound of bucket `i`, in nanoseconds.
+pub fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// One latency histogram: `HIST_BUCKETS` relaxed atomic counters.
+///
+/// All increments use `Ordering::Relaxed`: each bucket is monotonic on
+/// its own and no cross-bucket invariant is asserted on the live
+/// atomics — consistency questions are answered on a
+/// [`snapshot`](Histogram::snapshot), which is a plain value.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Record one duration (relaxed; lock-free).
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.counts[bucket_of(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// A cheaply clonable handle to a shared [`Histogram`].
+#[derive(Clone, Debug)]
+pub struct Hist(pub(crate) Arc<Histogram>);
+
+impl Hist {
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.0.record(nanos)
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// A plain-value copy of a histogram's bucket counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// `buckets[i]` = recordings in `[bucket_floor(i), bucket_floor(i+1))`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Total recordings.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub fn nonzero(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// The upper bound (exclusive, ns) of the bucket where the
+    /// cumulative count first reaches `q` of the total — a conservative
+    /// quantile estimate. `None` when empty.
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return Some(bucket_floor(i + 1));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// Render a nanosecond bound compactly (`512ns`, `2µs`, `16ms`, `4s`).
+pub fn fmt_nanos(nanos: u64) -> String {
+    match nanos {
+        0..=999 => format!("{nanos}ns"),
+        1_000..=999_999 => format!("{}µs", nanos / 1_000),
+        1_000_000..=999_999_999 => format!("{}ms", nanos / 1_000_000),
+        _ => format!("{}s", nanos / 1_000_000_000),
+    }
+}
+
+impl fmt::Display for HistogramSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let count = self.count();
+        write!(f, "count={count}")?;
+        if count == 0 {
+            return Ok(());
+        }
+        if let (Some(p50), Some(p99)) = (self.quantile_bound(0.50), self.quantile_bound(0.99)) {
+            write!(f, " p50<{} p99<{}", fmt_nanos(p50), fmt_nanos(p99))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_fixed_powers_of_two() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(1023), 10);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        for i in 1..HIST_BUCKETS {
+            assert_eq!(bucket_of(bucket_floor(i)), i);
+            assert_eq!(bucket_of(bucket_floor(i + 1) - 1).min(HIST_BUCKETS - 1), i);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(700);
+        h.record(1500);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[bucket_of(700)], 1);
+        assert_eq!(s.buckets[bucket_of(1500)], 1);
+        assert_eq!(s.nonzero().len(), 3);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bounds() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket 7: [64, 128)
+        }
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.5), Some(128));
+        assert!(s.quantile_bound(1.0).unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().to_string(), "count=0");
+        h.record(3_000);
+        let rendered = h.snapshot().to_string();
+        assert!(rendered.starts_with("count=1 p50<"), "{rendered}");
+    }
+}

@@ -1,0 +1,371 @@
+//! `ObsReport`: the single export surface over the registry.
+//!
+//! The report is a plain value — sorted counter/gauge `(name, value)`
+//! pairs plus histogram snapshots — with a deterministic `Display`
+//! table and a hand-rolled JSON renderer/parser (the environment is
+//! offline; no serde). Two reports built from identical metric states
+//! render byte-identically, which is what lets `tests/determinism.rs`
+//! fold a report into its digest.
+
+use std::fmt;
+
+use crate::hist::HistogramSnapshot;
+
+/// A point-in-time export of every registered metric.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Sorted `(dotted name, value)` for counters and gauges.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted `(dotted name, snapshot)` for histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl ObsReport {
+    /// Normalise ordering so construction order can't leak into output.
+    pub fn sorted(mut self) -> ObsReport {
+        self.counters.sort();
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        self
+    }
+
+    /// Look up one counter/gauge value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look up one histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    /// Render as JSON. Histogram buckets are exported sparsely as
+    /// `[bucket_index, count]` pairs so the payload stays small.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, snap)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{{\"buckets\":[", json_string(name)));
+            for (j, (bucket, count)) in snap.nonzero().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{bucket},{count}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parse a report previously rendered with [`ObsReport::to_json`].
+    /// Accepts exactly that shape; used by the CI obs smoke to prove
+    /// the export is machine-readable.
+    pub fn parse_json(input: &str) -> Result<ObsReport, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let report = parser.report()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(report)
+    }
+}
+
+impl fmt::Display for ObsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0);
+        writeln!(f, "== obs report ==")?;
+        for (name, value) in &self.counters {
+            writeln!(f, "{name:<width$}  {value}")?;
+        }
+        for (name, snap) in &self.histograms {
+            writeln!(f, "{name:<width$}  {snap}")?;
+        }
+        Ok(())
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Minimal recursive-descent parser for the report's own JSON subset:
+/// objects, arrays, strings with basic escapes, unsigned integers.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input came from a &str).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("bad number: {e}"))
+    }
+
+    fn report(&mut self) -> Result<ObsReport, String> {
+        self.expect(b'{')?;
+        let mut report = ObsReport::default();
+        loop {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                break;
+            }
+            let key = self.string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "counters" => report.counters = self.counters()?,
+                "histograms" => report.histograms = self.histograms()?,
+                other => return Err(format!("unknown top-level key `{other}`")),
+            }
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+        Ok(report.sorted())
+    }
+
+    fn counters(&mut self) -> Result<Vec<(String, u64)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        loop {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(out);
+            }
+            let name = self.string()?;
+            self.expect(b':')?;
+            let value = self.number()?;
+            out.push((name, value));
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn histograms(&mut self) -> Result<Vec<(String, HistogramSnapshot)>, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        loop {
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(out);
+            }
+            let name = self.string()?;
+            self.expect(b':')?;
+            self.expect(b'{')?;
+            let key = self.string()?;
+            if key != "buckets" {
+                return Err(format!("expected `buckets`, got `{key}`"));
+            }
+            self.expect(b':')?;
+            self.expect(b'[')?;
+            let mut snap = HistogramSnapshot {
+                buckets: vec![0; crate::hist::HIST_BUCKETS],
+            };
+            loop {
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    break;
+                }
+                self.expect(b'[')?;
+                let bucket = self.number()? as usize;
+                self.expect(b',')?;
+                let count = self.number()?;
+                self.expect(b']')?;
+                if bucket >= snap.buckets.len() {
+                    return Err(format!("bucket index {bucket} out of range"));
+                }
+                snap.buckets[bucket] = count;
+                if self.peek() == Some(b',') {
+                    self.pos += 1;
+                }
+            }
+            self.expect(b'}')?;
+            out.push((name, snap));
+            if self.peek() == Some(b',') {
+                self.pos += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::HIST_BUCKETS;
+
+    fn sample() -> ObsReport {
+        let mut hist = HistogramSnapshot {
+            buckets: vec![0; HIST_BUCKETS],
+        };
+        hist.buckets[0] = 3;
+        hist.buckets[11] = 2;
+        ObsReport {
+            counters: vec![
+                ("txn.commits.admitted".to_string(), 41),
+                ("cache.plan.hits".to_string(), 7),
+            ],
+            histograms: vec![("commit.latency".to_string(), hist)],
+        }
+        .sorted()
+    }
+
+    #[test]
+    fn display_is_sorted_and_stable() {
+        let a = sample().to_string();
+        let b = sample().to_string();
+        assert_eq!(a, b);
+        let hits = a.find("cache.plan.hits").unwrap();
+        let admitted = a.find("txn.commits.admitted").unwrap();
+        assert!(hits < admitted, "counters must render sorted:\n{a}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let json = report.to_json();
+        let parsed = ObsReport::parse_json(&json).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = ObsReport::default();
+        let parsed = ObsReport::parse_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(ObsReport::parse_json("").is_err());
+        assert!(ObsReport::parse_json("{\"counters\":{").is_err());
+        assert!(ObsReport::parse_json("{\"wat\":{}}").is_err());
+        let good = sample().to_json();
+        assert!(ObsReport::parse_json(&format!("{good}x")).is_err());
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let report = sample();
+        assert_eq!(report.counter("cache.plan.hits"), Some(7));
+        assert_eq!(report.counter("nope"), None);
+        assert_eq!(report.histogram("commit.latency").unwrap().count(), 5);
+    }
+}

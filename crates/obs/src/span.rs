@@ -1,0 +1,335 @@
+//! Structured spans: open/close event pairs in a bounded ring buffer.
+//!
+//! A span is opened with [`crate::Obs::span`] and closed when the
+//! returned [`SpanGuard`] drops. Each open and each close appends one
+//! [`SpanEvent`] to the recorder's ring buffer; when the ring is full
+//! the oldest event is discarded and counted in [`SpanRecorder::dropped`].
+//!
+//! Parentage is tracked with a per-thread stack, so a span opened while
+//! another span from the same recorder is live on the same thread gets
+//! that span as its parent. Cross-thread parent links are deliberately
+//! not inferred — a commit admitted on thread A and applied on thread B
+//! shows up as two roots, which is the truth.
+//!
+//! Timestamp semantics: an *open* event's `nanos` is the clock reading
+//! at open (`0` under [`crate::NullClock`]); a *close* event's `nanos`
+//! is the span's **duration** (`0` under `NullClock`). No wall-clock
+//! value is recorded unless the clock is enabled.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::clock::Clock;
+use crate::hist::Hist;
+
+/// Default ring-buffer capacity (events, i.e. opens + closes).
+pub const DEFAULT_RING_CAPACITY: usize = 16_384;
+
+/// One open or close record in the span ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Unique (per recorder) span id shared by the open/close pair.
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Ordinal of the recording thread (stable within a process run,
+    /// but dependent on thread scheduling — never digest it).
+    pub thread: u64,
+    /// Span name, e.g. `"commit"` or `"query.execute"`.
+    pub name: &'static str,
+    /// Variant tag: the open carries the caller's tag (e.g. `"certain"`),
+    /// the close carries the path set via [`SpanGuard::set_path`] (or
+    /// the open tag if no path was set).
+    pub tag: Option<&'static str>,
+    /// `false` for the open event, `true` for the close.
+    pub close: bool,
+    /// Open: timestamp at open. Close: span duration. Zero when the
+    /// clock is disabled.
+    pub nanos: u64,
+}
+
+static RECORDER_IDS: AtomicUsize = AtomicUsize::new(0);
+static THREAD_ORDINALS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// (recorder instance id, span id) stack for parentage.
+    static SPAN_STACK: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    static THREAD_ORDINAL: u64 = THREAD_ORDINALS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The bounded ring of recent [`SpanEvent`]s plus span-id allocation.
+pub struct SpanRecorder {
+    /// Distinguishes this recorder's frames on the thread-local stack
+    /// when several `Obs` instances are live in one process.
+    instance: usize,
+    next_id: AtomicU64,
+    dropped: AtomicU64,
+    capacity: usize,
+    ring: Mutex<VecDeque<SpanEvent>>,
+}
+
+impl SpanRecorder {
+    pub fn new() -> SpanRecorder {
+        SpanRecorder::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> SpanRecorder {
+        SpanRecorder {
+            instance: RECORDER_IDS.fetch_add(1, Ordering::Relaxed),
+            next_id: AtomicU64::new(1),
+            dropped: AtomicU64::new(0),
+            capacity: capacity.max(2),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Events evicted from the ring so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of the ring, oldest event first.
+    pub fn recent(&self) -> Vec<SpanEvent> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    fn push(&self, ev: SpanEvent) {
+        let mut ring = self.ring.lock();
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+
+    /// Open a span: allocate an id, record the open event, push this
+    /// span onto the calling thread's parent stack.
+    pub(crate) fn open(
+        &self,
+        name: &'static str,
+        tag: Option<&'static str>,
+        nanos: u64,
+    ) -> (u64, Option<u64>, u64) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let thread = THREAD_ORDINAL.with(|t| *t);
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(inst, _)| *inst == self.instance)
+                .map(|(_, id)| *id);
+            stack.push((self.instance, id));
+            parent
+        });
+        self.push(SpanEvent {
+            id,
+            parent,
+            thread,
+            name,
+            tag,
+            close: false,
+            nanos,
+        });
+        (id, parent, thread)
+    }
+
+    /// Close a span: pop it from the thread's parent stack and record
+    /// the close event.
+    pub(crate) fn close(
+        &self,
+        id: u64,
+        parent: Option<u64>,
+        thread: u64,
+        name: &'static str,
+        tag: Option<&'static str>,
+        nanos: u64,
+    ) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|(inst, sid)| *inst == self.instance && *sid == id)
+            {
+                stack.remove(pos);
+            }
+        });
+        self.push(SpanEvent {
+            id,
+            parent,
+            thread,
+            name,
+            tag,
+            close: true,
+            nanos,
+        });
+    }
+}
+
+impl Default for SpanRecorder {
+    fn default() -> SpanRecorder {
+        SpanRecorder::new()
+    }
+}
+
+impl std::fmt::Debug for SpanRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRecorder")
+            .field("capacity", &self.capacity)
+            .field("len", &self.ring.lock().len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+/// RAII handle for a live span; records the close event on drop and,
+/// when a histogram was attached, records the span duration into it.
+pub struct SpanGuard<'a> {
+    recorder: &'a SpanRecorder,
+    clock: &'a dyn Clock,
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+    name: &'static str,
+    tag: Option<&'static str>,
+    path: Option<&'static str>,
+    start: Option<u64>,
+    hist: Option<Hist>,
+}
+
+impl<'a> SpanGuard<'a> {
+    pub(crate) fn open(
+        recorder: &'a SpanRecorder,
+        clock: &'a dyn Clock,
+        name: &'static str,
+        tag: Option<&'static str>,
+        hist: Option<Hist>,
+    ) -> SpanGuard<'a> {
+        let start = clock.now_nanos();
+        let (id, parent, thread) = recorder.open(name, tag, start.unwrap_or(0));
+        SpanGuard {
+            recorder,
+            clock,
+            id,
+            parent,
+            thread,
+            name,
+            tag,
+            path: None,
+            start,
+            hist,
+        }
+    }
+
+    /// This span's id (for tests and cross-referencing).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Record which path the operation took (e.g. `"cache_hit"` vs
+    /// `"eval"`); shows up as the close event's tag.
+    pub fn set_path(&mut self, path: &'static str) {
+        self.path = Some(path);
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let duration = match self.start {
+            Some(start) => self
+                .clock
+                .now_nanos()
+                .map(|end| end.saturating_sub(start))
+                .unwrap_or(0),
+            None => 0,
+        };
+        if let Some(hist) = &self.hist {
+            hist.record(duration);
+        }
+        self.recorder.close(
+            self.id,
+            self.parent,
+            self.thread,
+            self.name,
+            self.path.or(self.tag),
+            duration,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::NullClock;
+
+    fn open<'a>(rec: &'a SpanRecorder, name: &'static str) -> SpanGuard<'a> {
+        SpanGuard::open(rec, &NullClock, name, None, None)
+    }
+
+    #[test]
+    fn open_close_pairs_and_nesting() {
+        let rec = SpanRecorder::new();
+        {
+            let _outer = open(&rec, "outer");
+            let _inner = open(&rec, "inner");
+        }
+        let events = rec.recent();
+        assert_eq!(events.len(), 4);
+        let outer_open = &events[0];
+        let inner_open = &events[1];
+        assert_eq!(outer_open.name, "outer");
+        assert_eq!(outer_open.parent, None);
+        assert_eq!(inner_open.parent, Some(outer_open.id));
+        // inner closes before outer
+        assert!(events[2].close && events[2].id == inner_open.id);
+        assert!(events[3].close && events[3].id == outer_open.id);
+        assert!(events.iter().all(|e| e.nanos == 0));
+    }
+
+    #[test]
+    fn path_overrides_close_tag() {
+        let rec = SpanRecorder::new();
+        {
+            let mut sp = SpanGuard::open(&rec, &NullClock, "query", Some("certain"), None);
+            sp.set_path("cache_hit");
+        }
+        let events = rec.recent();
+        assert_eq!(events[0].tag, Some("certain"));
+        assert_eq!(events[1].tag, Some("cache_hit"));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let rec = SpanRecorder::with_capacity(4);
+        for _ in 0..6 {
+            let _sp = open(&rec, "x");
+        }
+        assert_eq!(rec.recent().len(), 4);
+        assert_eq!(rec.dropped(), 8);
+    }
+
+    #[test]
+    fn two_recorders_do_not_cross_parent() {
+        let rec_a = SpanRecorder::new();
+        let rec_b = SpanRecorder::new();
+        let _a = open(&rec_a, "a");
+        let _b = open(&rec_b, "b");
+        assert_eq!(rec_b.recent()[0].parent, None);
+    }
+
+    #[test]
+    fn hist_records_duration_on_drop() {
+        let rec = SpanRecorder::new();
+        let reg = crate::registry::MetricsRegistry::new();
+        let hist = reg.histogram("lat");
+        {
+            let _sp = SpanGuard::open(&rec, &NullClock, "x", None, Some(hist.clone()));
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.buckets[0], 1); // NullClock → bucket 0
+    }
+}

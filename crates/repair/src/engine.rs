@@ -39,6 +39,7 @@ use uniform_datalog::{
     Snapshot, Transaction, Update,
 };
 use uniform_logic::{unify_terms, Constraint, Fact, Literal, Rq, Subst, Sym, Term};
+use uniform_obs::Obs;
 use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SolverStats};
 
 use crate::sat::{self, PreferredRepair, RepairChooser};
@@ -343,6 +344,9 @@ pub struct RepairEngine {
     rules: RuleSet,
     constraints: Vec<Constraint>,
     options: RepairOptions,
+    /// Observability domain for `repair.run` spans, `repair.latency.*`
+    /// histograms and `repair.*` effort counters; `None` runs silent.
+    obs: Option<Arc<Obs>>,
 }
 
 impl RepairEngine {
@@ -352,6 +356,7 @@ impl RepairEngine {
             rules,
             constraints,
             options: RepairOptions::default(),
+            obs: None,
         }
     }
 
@@ -392,6 +397,16 @@ impl RepairEngine {
         self
     }
 
+    /// Report runs into an observability domain: every
+    /// [`RepairEngine::repairs`] call records a `repair.run` span
+    /// (tagged with the backend), its latency into
+    /// `repair.latency.<backend>`, and the search/solver effort
+    /// counters under `repair.search.*` / `repair.sat.*`.
+    pub fn with_obs(mut self, obs: Arc<Obs>) -> RepairEngine {
+        self.obs = Some(obs);
+        self
+    }
+
     pub fn options(&self) -> &RepairOptions {
         &self.options
     }
@@ -421,6 +436,45 @@ impl RepairEngine {
     /// Enumerate the subset-minimal repairs with the configured
     /// backend. A consistent state yields the single empty repair.
     pub fn repairs(&self) -> Result<RepairReport, RepairError> {
+        let tag = match self.options.backend {
+            RepairBackend::Search => "search",
+            RepairBackend::Sat => "sat",
+            RepairBackend::Auto => "auto",
+        };
+        let _span = self.obs.as_ref().map(|obs| {
+            let hist = match self.options.backend {
+                RepairBackend::Search => obs.histogram("repair.latency.search"),
+                RepairBackend::Sat => obs.histogram("repair.latency.sat"),
+                RepairBackend::Auto => obs.histogram("repair.latency.auto"),
+            };
+            obs.span_timed("repair.run", Some(tag), hist)
+        });
+        let result = self.dispatch_backend();
+        if let (Some(obs), Ok(report)) = (self.obs.as_ref(), &result) {
+            match self.options.backend {
+                RepairBackend::Search => obs.counter("repair.runs.search").incr(),
+                RepairBackend::Sat => obs.counter("repair.runs.sat").incr(),
+                RepairBackend::Auto => obs.counter("repair.runs.auto").incr(),
+            }
+            let stats = &report.stats;
+            obs.counter("repair.search.explored")
+                .add(stats.explored as u64);
+            obs.counter("repair.search.models_computed")
+                .add(stats.models_computed as u64);
+            obs.counter("repair.sat.decisions")
+                .add(stats.solver.decisions);
+            obs.counter("repair.sat.propagations")
+                .add(stats.solver.propagations);
+            obs.counter("repair.sat.conflicts")
+                .add(stats.solver.conflicts);
+            obs.counter("repair.sat.learned").add(stats.solver.learned);
+            obs.counter("repair.sat.restarts")
+                .add(stats.solver.restarts);
+        }
+        result
+    }
+
+    fn dispatch_backend(&self) -> Result<RepairReport, RepairError> {
         match self.options.backend {
             RepairBackend::Search => self.search_repairs(),
             RepairBackend::Sat => sat::sat_repairs(self),

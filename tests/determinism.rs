@@ -19,7 +19,7 @@ use uniform::integrity::Checker;
 use uniform::logic::{parse_query, parse_rule};
 use uniform::workload;
 use uniform::{
-    CommitQueue, ConcurrentDatabase, Consistency, Fact, Params, RepairBackend, RepairEngine,
+    CommitQueue, ConcurrentDatabase, Consistency, Fact, Obs, Params, RepairBackend, RepairEngine,
     RepairOptions, RepairPreferences, SatChecker, Transaction, UniformOptions, Update,
     ViolationPolicy,
 };
@@ -304,9 +304,14 @@ fn observation_log() -> String {
     //    plan counters and the shared plan-cache stats, at both
     //    consistency levels and across a schema change (stale-rev
     //    re-planning included).
-    let qdb = ConcurrentDatabase::from_database(
+    // Pinned to the `NullClock` obs domain (not `from_env`) so the
+    // observability digest below stays bit-identical even when the
+    // environment sets `UNIFORM_OBS=1`: counters don't read clocks, and
+    // every histogram recording lands in bucket 0.
+    let qdb = ConcurrentDatabase::from_database_with_obs(
         workload::violation_state(4, 47),
         UniformOptions::default(),
+        std::sync::Arc::new(Obs::null()),
     );
     for src in ["p(X)", "s(X, Y)", "flagged(X)", "r(X), s(X, Y)"] {
         let q = qdb.prepare(src).unwrap();
@@ -367,6 +372,22 @@ fn observation_log() -> String {
             }
         }
         let _ = writeln!(log, "certaincache {:?}", qdb.certain_cache_stats());
+    }
+    // 6b. The unified observability export over the same query
+    //     database: sorted counter names and values, plus histogram
+    //     bucket counts — never wall-clock values. All reads above are
+    //     sequential, so every counter total is exact, and under the
+    //     pinned NullClock each histogram is `count` recordings in
+    //     bucket 0: the report digests identically across thread
+    //     counts, processes, and `UNIFORM_OBS` settings.
+    {
+        let report = qdb.obs_report();
+        for (name, value) in &report.counters {
+            let _ = writeln!(log, "obs {name} {value}");
+        }
+        for (name, snap) in &report.histograms {
+            let _ = writeln!(log, "obs {name} buckets {:?}", snap.nonzero());
+        }
     }
 
     // 7. Satisfiability search outcome (frontier order feeds the found
