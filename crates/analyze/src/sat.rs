@@ -1,0 +1,193 @@
+//! UA03xx: schema-time satisfiability classification (§4 of the paper).
+//!
+//! The paper's satisfiability search answers "is there *any* database
+//! state satisfying the constraints?" — a property of the schema alone,
+//! independent of the current facts. The analyzer runs the bounded
+//! search ([`SatOptions::classification`]) once per constraint and once
+//! for the whole set, and folds the outcomes into four classes:
+//!
+//! * **Unsatisfiable** — no state at all satisfies it; the schema (or
+//!   the constraint) is unusable no matter what the facts say. This is
+//!   the class integration layers *refuse*, and it is deliberately
+//!   distinct from "currently violated": a violated-but-satisfiable
+//!   constraint is repairable, an unsatisfiable one is not.
+//! * **Tautological** — every state satisfies it (its negation is
+//!   unsatisfiable); it never rejects anything and only costs time.
+//! * **Contingent** — some states satisfy it, some do not: a useful
+//!   constraint.
+//! * **Unknown** — the bounded search gave up (both properties are only
+//!   semi-decidable; §4 calls such cases unavoidable).
+
+use crate::diag::{Code, Diagnostic};
+use std::fmt;
+use uniform_datalog::RuleSet;
+use uniform_logic::{normalize, rq_to_formula, Constraint, Formula};
+use uniform_satisfiability::{SatChecker, SatOptions, SatOutcome, SatReport, SatStats};
+
+/// Schema-time classification of a constraint (or a constraint set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SatClass {
+    /// No database state satisfies it.
+    Unsatisfiable,
+    /// Every database state satisfies it.
+    Tautological,
+    /// Satisfied by some states, violated by others.
+    Contingent,
+    /// The bounded search exhausted its budget before deciding.
+    Unknown,
+}
+
+impl fmt::Display for SatClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SatClass::Unsatisfiable => "unsatisfiable",
+            SatClass::Tautological => "tautological",
+            SatClass::Contingent => "contingent",
+            SatClass::Unknown => "unknown",
+        })
+    }
+}
+
+/// The result of the lazy UA03xx pass: per-constraint classes (parallel
+/// to the constraint list), the whole-set class, and the diagnostics
+/// they imply.
+#[derive(Clone, Debug)]
+pub struct SatAnalysis {
+    /// Class of each constraint on its own, in registration order.
+    /// Empty when the analysis ran set-only (see
+    /// [`crate::AnalyzeOptions::classify_each`]).
+    pub per_constraint: Vec<SatClass>,
+    /// Class of the whole constraint set. An empty set is
+    /// [`SatClass::Tautological`] (vacuously satisfied everywhere).
+    pub set_class: SatClass,
+    /// The raw report of the whole-set search, when one ran (it is
+    /// skipped when a single constraint already proved the set
+    /// unsatisfiable, and when the set is empty).
+    pub set_report: Option<SatReport>,
+    /// UA0301–UA0304 findings, set-level last.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Summed search statistics over every check that ran.
+    pub stats: SatStats,
+}
+
+fn add_stats(into: &mut SatStats, s: &SatStats) {
+    into.attempts += s.attempts;
+    into.enforcement_steps += s.enforcement_steps;
+    into.assertions += s.assertions;
+    into.undo_events += s.undo_events;
+    into.max_level = into.max_level.max(s.max_level);
+    into.fresh_constants = into.fresh_constants.max(s.fresh_constants);
+    into.incremental_checks += s.incremental_checks;
+    into.full_checks += s.full_checks;
+}
+
+/// The negation of `c` as a constraint, when it normalizes to a closed
+/// RQ formula (it always should — `c.rq` is closed — but normalization
+/// of the negation can still exceed the RQ fragment's shape limits, in
+/// which case the tautology probe is skipped).
+fn negated(c: &Constraint) -> Option<Constraint> {
+    let f = Formula::Not(Box::new(rq_to_formula(&c.rq)));
+    let rq = normalize(&f).ok()?;
+    Some(Constraint::new(format!("~{}", c.name), rq))
+}
+
+/// Classify every constraint and the whole set. `probe_tautologies`
+/// doubles the per-constraint checks (one search for the constraint, one
+/// for its negation), so callers on a hot path can turn it off.
+pub(crate) fn classify(
+    rules: &RuleSet,
+    constraints: &[Constraint],
+    options: &SatOptions,
+    probe_tautologies: bool,
+    classify_each: bool,
+) -> SatAnalysis {
+    let mut stats = SatStats::default();
+    let mut diagnostics = Vec::new();
+    let mut per_constraint = Vec::with_capacity(constraints.len());
+
+    let check = |cs: Vec<Constraint>, stats: &mut SatStats| -> SatOutcome {
+        let report = SatChecker::new(rules.clone(), cs)
+            .with_options(options.clone())
+            .check();
+        add_stats(stats, &report.stats);
+        report.outcome
+    };
+
+    for c in constraints.iter().filter(|_| classify_each) {
+        let class = match check(vec![c.clone()], &mut stats) {
+            SatOutcome::Unsatisfiable => SatClass::Unsatisfiable,
+            SatOutcome::Unknown { .. } => SatClass::Unknown,
+            SatOutcome::Satisfiable { .. } => {
+                let tautological = probe_tautologies
+                    && negated(c).is_some_and(|neg| {
+                        matches!(check(vec![neg], &mut stats), SatOutcome::Unsatisfiable)
+                    });
+                if tautological {
+                    SatClass::Tautological
+                } else {
+                    SatClass::Contingent
+                }
+            }
+        };
+        match class {
+            SatClass::Unsatisfiable => diagnostics.push(
+                Diagnostic::new(
+                    Code::UnsatisfiableConstraint,
+                    "no database state satisfies this constraint on its own".to_string(),
+                )
+                .with_item(c.name.clone()),
+            ),
+            SatClass::Tautological => diagnostics.push(
+                Diagnostic::new(
+                    Code::TautologicalConstraint,
+                    "holds in every database state; it never rejects an update".to_string(),
+                )
+                .with_item(c.name.clone()),
+            ),
+            SatClass::Unknown => diagnostics.push(
+                Diagnostic::new(
+                    Code::SatisfiabilityUnknown,
+                    "bounded satisfiability search exhausted its budget before classifying"
+                        .to_string(),
+                )
+                .with_item(c.name.clone()),
+            ),
+            SatClass::Contingent => {}
+        }
+        per_constraint.push(class);
+    }
+
+    // Whole set. A constraint that is unsatisfiable alone makes the set
+    // unsatisfiable without another search; otherwise the set needs its
+    // own check — jointly-unsatisfiable contingent constraints are the
+    // interesting case.
+    let mut set_report = None;
+    let set_class = if constraints.is_empty() {
+        SatClass::Tautological
+    } else if per_constraint.contains(&SatClass::Unsatisfiable) {
+        SatClass::Unsatisfiable
+    } else {
+        let report = SatChecker::new(rules.clone(), constraints.to_vec())
+            .with_options(options.clone())
+            .check();
+        add_stats(&mut stats, &report.stats);
+        let class = match report.outcome {
+            SatOutcome::Unsatisfiable => SatClass::Unsatisfiable,
+            SatOutcome::Unknown { .. } => SatClass::Unknown,
+            SatOutcome::Satisfiable { .. } => SatClass::Contingent,
+        };
+        set_report = Some(report);
+        class
+    };
+    if set_class == SatClass::Unsatisfiable {
+        diagnostics.push(Diagnostic::unsatisfiable_set(constraints.len()));
+    }
+
+    SatAnalysis {
+        per_constraint,
+        set_class,
+        set_report,
+        diagnostics,
+        stats,
+    }
+}

@@ -29,16 +29,18 @@ use crate::facade::{UniformDatabase, UniformError, UniformOptions};
 use crate::query::{
     Consistency, Params, PlanCache, PlanCacheStats, PreparedQuery, QueryError, Session,
 };
+use parking_lot::Mutex;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use uniform_analyze::{AnalyzeOptions, AnalyzedProgram, Analyzer};
 use uniform_datalog::txn::{
     CommitError, CommitQueue, CommitReceipt, ConflictStats, MaintenanceCounters, ModelPath,
 };
 use uniform_datalog::{ConflictGranularity, Database, Snapshot, Transaction, TxnBuilder, Update};
 use uniform_integrity::{CheckReport, Checker, RuleUpdate};
-use uniform_logic::Sym;
+use uniform_logic::{normalize, parse_formula, Constraint, LogicError, Sym};
 use uniform_obs::{Counter, Gauge, Hist, Obs, ObsReport, SpanEvent};
 use uniform_repair::{RepairEngine, RepairError, RepairSet, ViolationPolicy};
 use uniform_satisfiability::SatChecker;
@@ -227,6 +229,10 @@ pub(crate) struct CoreMetrics {
     cow_bytes: Gauge,
     plan_entries: Gauge,
     certain_entries: Gauge,
+    /// `analyze.cache.hits` / `analyze.cache.misses`, recorded by
+    /// [`Shared::analyzed_for_snapshot`].
+    analyze_hits: Counter,
+    analyze_misses: Counter,
 }
 
 impl CoreMetrics {
@@ -242,6 +248,8 @@ impl CoreMetrics {
             cow_bytes: obs.gauge("store.cow.bytes_cloned"),
             plan_entries: obs.gauge("cache.plan.entries"),
             certain_entries: obs.gauge("cache.certain.entries"),
+            analyze_hits: obs.counter("analyze.cache.hits"),
+            analyze_misses: obs.counter("analyze.cache.misses"),
         }
     }
 }
@@ -279,6 +287,12 @@ pub(crate) struct Shared {
     /// each admitted commit and invalidated wholesale by schema
     /// updates and `AutoRepair` commits.
     certain: CertainCache,
+    /// The cached static analysis of the registered program (see
+    /// [`ConcurrentDatabase::analyze`]): one entry keyed by
+    /// `(rule_rev, constraint_rev)`. Schema changes move the key, so a
+    /// stale entry is simply never served again; it is replaced on the
+    /// next miss.
+    analyzed: crate::facade::AnalyzedSlot,
 }
 
 impl Shared {
@@ -318,6 +332,35 @@ impl Shared {
     /// Pre-resolved handles for the query path (see [`CoreMetrics`]).
     pub(crate) fn query_metrics(&self) -> &CoreMetrics {
         &self.metrics
+    }
+
+    /// The static analysis of the schema as of `snapshot`, served from
+    /// the shared single-entry cache when the snapshot's schema
+    /// revisions match the cached key (`analyze.cache.hits`), rebuilt
+    /// from the snapshot and cached otherwise (`analyze.cache.misses`).
+    /// The satisfiability classification inside the returned program is
+    /// lazy, so a cache miss costs lints + closures + templates only.
+    pub(crate) fn analyzed_for_snapshot(&self, snapshot: &Snapshot) -> Arc<AnalyzedProgram> {
+        let key = (snapshot.rule_rev(), snapshot.constraint_rev());
+        let mut slot = self.analyzed.lock();
+        if let Some((cached_key, analyzed)) = slot.as_ref() {
+            if *cached_key == key {
+                self.metrics.analyze_hits.incr();
+                return analyzed.clone();
+            }
+        }
+        self.metrics.analyze_misses.incr();
+        let analyzed = Arc::new(
+            Analyzer::of_snapshot(snapshot)
+                .with_options(AnalyzeOptions {
+                    sat: self.options.sat.clone(),
+                    ..AnalyzeOptions::default()
+                })
+                .with_obs(self.obs.clone())
+                .analyze(),
+        );
+        *slot = Some((key, analyzed.clone()));
+        analyzed
     }
 }
 
@@ -372,6 +415,7 @@ impl ConcurrentDatabase {
                 constraint_rev: AtomicU64::new(constraint_rev),
                 schema_version: AtomicU64::new(version),
                 certain: CertainCache::new(&obs),
+                analyzed: Mutex::new(None),
                 metrics,
                 obs,
             }),
@@ -552,8 +596,15 @@ impl ConcurrentDatabase {
         txn.record_read_patterns(&combined_report.read_patterns);
         // The closure reads are deliberately unbounded (whole-relation):
         // the repair choice surveyed those relations without any key to
-        // pin, so any write into them must conflict.
-        txn.record_reads(Self::constraint_closure_reads(txn.snapshot()));
+        // pin, so any write into them must conflict. The closure itself
+        // is a pure function of the schema, served precomputed from the
+        // shared static analysis.
+        txn.record_reads(
+            self.shared
+                .analyzed_for_snapshot(txn.snapshot())
+                .closure_union()
+                .to_vec(),
+        );
         match self.shared.queue.commit(&txn) {
             Ok(CommitReceipt {
                 version,
@@ -619,21 +670,6 @@ impl ConcurrentDatabase {
             .unwrap_or(repairs.best())
             .clone();
         Ok((Box::new(report), repair))
-    }
-
-    /// Every relation any constraint depends on, closed downward
-    /// through rule bodies (via the rule set's dependency graph) — the
-    /// read footprint of a full consistency determination (which is
-    /// what choosing a repair performs).
-    fn constraint_closure_reads(snapshot: &Snapshot) -> Vec<Sym> {
-        let graph = snapshot.rules().graph();
-        let mut reads: BTreeSet<Sym> = BTreeSet::new();
-        for c in snapshot.constraints() {
-            for occ in c.rq.literals() {
-                reads.extend(graph.reachable(occ.literal.atom.pred));
-            }
-        }
-        reads.into_iter().collect()
     }
 
     /// The subset-minimal repairs of the latest committed state (a
@@ -889,6 +925,104 @@ impl ConcurrentDatabase {
                 (db.rule_rev() == *r0 && db.constraint_rev() == *c0).then_some(report)
             });
             crate::facade::guarded_rule_update_presat(db, options, RuleUpdate::Add(parsed), presat)
+        })
+    }
+
+    /// The cached static analysis of the registered program (see
+    /// [`uniform_analyze`]): lints, per-constraint closures,
+    /// read-pattern templates and — computed lazily on first demand —
+    /// the §4 satisfiability classification. One entry keyed by
+    /// `(rule_rev, constraint_rev)`: the first caller after a schema
+    /// change rebuilds it, every later caller on any thread shares the
+    /// same `Arc` (`analyze.cache.hits` / `analyze.cache.misses`).
+    pub fn analyze(&self) -> Arc<AnalyzedProgram> {
+        self.shared.analyzed_for_snapshot(&self.snapshot())
+    }
+
+    /// Add a constraint, guarded like
+    /// [`UniformDatabase::try_add_constraint`] — the §4 gate refuses
+    /// candidate sets proven unsatisfiable with a typed
+    /// [`UniformError::Analyze`] (UA0301; no state could ever satisfy
+    /// them), then the *current* state is checked and a
+    /// violated-but-satisfiable constraint is refused with
+    /// [`UniformError::CurrentlyViolated`] carrying a suggested repair —
+    /// atomically with respect to concurrent writers. Like
+    /// [`ConcurrentDatabase::try_add_rule`], the expensive
+    /// satisfiability search runs *optimistically outside the queue
+    /// lock* on a pinned snapshot; the schema revisions are revalidated
+    /// under the lock and the search re-runs there if another schema
+    /// change slipped in. Returns `false` when an identical constraint
+    /// (same name and formula) is already registered.
+    pub fn try_add_constraint(&self, name: &str, formula: &str) -> Result<bool, UniformError> {
+        let f = parse_formula(formula)?;
+        let rq = normalize(&f).map_err(LogicError::Normalize)?;
+        let constraint = Constraint::new(name, rq);
+        // `Constraint` carries no `PartialEq`; the `name: rq` rendering
+        // is injective on normalized constraints and serves as identity.
+        let rendered = constraint.to_string();
+        let duplicate = |cs: &[Constraint]| cs.iter().any(|c| c.to_string() == rendered);
+        let options = &self.shared.options;
+
+        // Optimistic phase (no lock held): classify the candidate
+        // constraint set on a pinned snapshot.
+        let preverdict = if options.skip_satisfiability {
+            None
+        } else {
+            let (snapshot, rule_rev, constraint_rev) = self
+                .shared
+                .queue
+                .with_db(|db| (db.snapshot(), db.rule_rev(), db.constraint_rev()));
+            if duplicate(snapshot.constraints()) {
+                None // no-op addition: nothing to search for
+            } else {
+                let mut candidate = snapshot.constraints().to_vec();
+                candidate.push(constraint.clone());
+                let verdict = crate::facade::refuse_unsatisfiable_candidate(
+                    snapshot.rules(),
+                    candidate,
+                    &options.sat,
+                );
+                Some((verdict, rule_rev, constraint_rev))
+            }
+        };
+
+        // Through `Self::update_schema`, so the fencing revision
+        // mirrors are re-published after the constraint lands.
+        self.update_schema(|db| {
+            if duplicate(db.constraints()) {
+                return Ok(false);
+            }
+            // Revalidate: the verdict transfers only if neither rules
+            // nor constraints moved since the snapshot.
+            match preverdict {
+                Some((verdict, r0, c0)) if db.rule_rev() == r0 && db.constraint_rev() == c0 => {
+                    verdict?
+                }
+                _ if options.skip_satisfiability => {}
+                _ => {
+                    let mut candidate = db.constraints().to_vec();
+                    candidate.push(constraint.clone());
+                    crate::facade::refuse_unsatisfiable_candidate(
+                        db.rules(),
+                        candidate,
+                        &options.sat,
+                    )?;
+                }
+            }
+            if !db.satisfies(&constraint.rq) {
+                let mut constraints = db.constraints().to_vec();
+                constraints.push(constraint.clone());
+                let engine = RepairEngine::new(db.facts().clone(), db.rules().clone(), constraints)
+                    .with_options(options.repair)
+                    .with_obs(self.shared.obs.clone());
+                let repair = engine.repairs().ok().map(|report| report.best().clone());
+                return Err(UniformError::CurrentlyViolated {
+                    constraint: name.to_string(),
+                    repair,
+                });
+            }
+            db.add_constraint(constraint);
+            Ok(true)
         })
     }
 
@@ -1353,6 +1487,68 @@ mod tests {
         });
         let err = db.try_add_rule("ghost(X) :- spirit(X).").unwrap_err();
         assert!(matches!(err, UniformError::UpdateRejected(_)), "{err}");
+    }
+
+    #[test]
+    fn guarded_constraint_addition_mirrors_the_facade() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        // Satisfiable and satisfied: accepted.
+        assert!(db
+            .try_add_constraint("some_dept", "exists X: department(X)")
+            .unwrap());
+        // Identical duplicate: a no-op.
+        assert!(!db
+            .try_add_constraint("some_dept", "exists X: department(X)")
+            .unwrap());
+        // Unsatisfiable with what is already registered: refused with
+        // the typed analyzer error before any fact is consulted.
+        let err = db
+            .try_add_constraint("nobody_leads", "forall X, Y: leads(X, Y) -> false")
+            .unwrap_err();
+        match err {
+            UniformError::Analyze(e) => assert!(
+                e.diagnostics
+                    .iter()
+                    .any(|d| d.code == uniform_analyze::Code::UnsatisfiableSet),
+                "{e}"
+            ),
+            other => panic!("unexpected: {other}"),
+        }
+        // Satisfiable, but violated by the current state: refused with
+        // the repairable error — the distinction UA0301 is about.
+        let err = db
+            .try_add_constraint("managed", "forall X: employee(X) -> manager(X)")
+            .unwrap_err();
+        assert!(
+            matches!(err, UniformError::CurrentlyViolated { .. }),
+            "{err}"
+        );
+        // Refusals left the schema at the accepted two constraints.
+        assert_eq!(db.with_database(|d| d.constraints().len()), 2);
+    }
+
+    #[test]
+    fn analysis_is_cached_per_schema_revision() {
+        let db = ConcurrentDatabase::parse(ORG).unwrap();
+        let a1 = db.analyze();
+        let a2 = db.analyze();
+        assert!(Arc::ptr_eq(&a1, &a2), "same schema, one analysis");
+        assert!(!a1.closure_union().is_empty());
+        // A schema change moves the key: the next call rebuilds.
+        assert!(db.try_add_rule("boss(X) :- leads(X, Y).").unwrap());
+        let a3 = db.analyze();
+        assert!(!Arc::ptr_eq(&a1, &a3), "schema moved, analysis rebuilt");
+        let report = db.obs_report();
+        let get = |name: &str| {
+            report
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0)
+        };
+        assert_eq!(get("analyze.cache.misses"), 2);
+        assert!(get("analyze.cache.hits") >= 1);
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //! guarded by the appropriate checker of the paper.
 
 use crate::query::{Consistency, Params, PreparedQuery, QueryError, Session};
+use parking_lot::Mutex;
 use std::fmt;
-use uniform_datalog::{Database, Model, Transaction, TxnBuilder, Update};
+use std::sync::Arc;
+use uniform_analyze::{AnalyzeError, AnalyzeOptions, AnalyzedProgram, Analyzer, SatClass};
+use uniform_datalog::{Database, Model, RuleSet, Transaction, TxnBuilder, Update};
 use uniform_integrity::{
     CheckOptions, CheckReport, Checker, ConditionalUpdate, RuleUpdate, RuleUpdateChecker,
 };
@@ -68,6 +71,13 @@ pub enum UniformError {
     /// A new constraint or rule makes the schema unsatisfiable (or the
     /// checker could not find a model within its budget).
     Unsatisfiable(Box<SatReport>),
+    /// The static analyzer refused the schema: at least one
+    /// error-severity diagnostic (stable `UAxxxx` codes — an
+    /// unsatisfiable constraint *set* above all, UA0301). Distinct from
+    /// [`UniformError::CurrentlyViolated`]: a violated-but-satisfiable
+    /// constraint is repairable, an analyzer-refused one admits no
+    /// state at all, whatever the facts.
+    Analyze(AnalyzeError),
     /// The new constraint is satisfiable but violated by the current
     /// database; `repair` carries the smallest minimal repair of the
     /// would-be state (insertions *and* deletions, found by the
@@ -119,6 +129,7 @@ impl fmt::Display for UniformError {
                 }
                 SatOutcome::Satisfiable { .. } => write!(f, "internal: satisfiable reported as error"),
             },
+            UniformError::Analyze(e) => write!(f, "{e}"),
             UniformError::CurrentlyViolated { constraint, repair } => {
                 write!(f, "constraint {constraint} is violated by the current database")?;
                 if let Some(repair) = repair {
@@ -143,6 +154,45 @@ impl From<LogicError> for UniformError {
 impl From<uniform_logic::ParseError> for UniformError {
     fn from(e: uniform_logic::ParseError) -> Self {
         UniformError::Language(LogicError::Parse(e))
+    }
+}
+
+impl From<AnalyzeError> for UniformError {
+    fn from(e: AnalyzeError) -> Self {
+        UniformError::Analyze(e)
+    }
+}
+
+/// The schema-satisfiability gate shared by [`UniformDatabase`] and
+/// [`crate::ConcurrentDatabase`]: classify the candidate constraint set
+/// against `rules` with the analyzer in gate mode (one bounded search —
+/// the cost of the pre-analyzer `SatChecker` call). A proven-impossible
+/// set is refused with the typed [`AnalyzeError`] (UA0301); an
+/// exhausted search keeps the legacy [`UniformError::Unsatisfiable`]
+/// refusal, whose report carries the search's reason and stats.
+pub(crate) fn refuse_unsatisfiable_candidate(
+    rules: &RuleSet,
+    candidate: Vec<Constraint>,
+    sat: &SatOptions,
+) -> Result<(), UniformError> {
+    let analyzed = Analyzer::new(rules.clone(), candidate)
+        .with_options(AnalyzeOptions::gate(sat.clone()))
+        .analyze();
+    match analyzed.set_class() {
+        SatClass::Unsatisfiable => {
+            Err(UniformError::Analyze(analyzed.refusal().expect(
+                "an unsatisfiable set always carries an error diagnostic",
+            )))
+        }
+        SatClass::Unknown => {
+            let report = analyzed
+                .sat()
+                .set_report
+                .clone()
+                .expect("unknown class comes from the set search");
+            Err(UniformError::Unsatisfiable(Box::new(report)))
+        }
+        SatClass::Tautological | SatClass::Contingent => Ok(()),
     }
 }
 
@@ -209,7 +259,16 @@ pub(crate) fn guarded_rule_update_presat(
             }
         };
         if !report.outcome.is_satisfiable() {
-            return Err(UniformError::Unsatisfiable(Box::new(report.clone())));
+            // A *proven* unsatisfiable candidate schema is a static
+            // refusal — the same UA0301 verdict the analyzer reaches —
+            // while an exhausted search keeps the legacy report-carrying
+            // error so callers can inspect the budget that ran out.
+            return Err(match report.outcome {
+                SatOutcome::Unsatisfiable => {
+                    UniformError::Analyze(AnalyzeError::unsatisfiable_set(db.constraints().len()))
+                }
+                _ => UniformError::Unsatisfiable(Box::new(report.clone())),
+            });
         }
     }
 
@@ -221,11 +280,21 @@ pub(crate) fn guarded_rule_update_presat(
     Ok(true)
 }
 
+/// One cached [`AnalyzedProgram`] keyed by `(rule_rev, constraint_rev)`
+/// — the single-entry schema-analysis cache shared in shape by
+/// [`UniformDatabase`] and [`crate::ConcurrentDatabase`].
+pub(crate) type AnalyzedSlot = Mutex<Option<((u64, u64), Arc<AnalyzedProgram>)>>;
+
 /// A deductive database with guarded updates — the paper's two methods
 /// behind one API.
 pub struct UniformDatabase {
     db: Database,
     options: UniformOptions,
+    /// The cached static analysis of the registered program, keyed by
+    /// `(rule_rev, constraint_rev)` — schema mutations change the key,
+    /// so stale entries are simply never served (see
+    /// [`UniformDatabase::analyze`]).
+    analyzed: AnalyzedSlot,
 }
 
 impl UniformDatabase {
@@ -234,6 +303,7 @@ impl UniformDatabase {
         UniformDatabase {
             db: Database::new(),
             options: UniformOptions::default(),
+            analyzed: Mutex::new(None),
         }
     }
 
@@ -249,6 +319,7 @@ impl UniformDatabase {
         Ok(UniformDatabase {
             db,
             options: UniformOptions::default(),
+            analyzed: Mutex::new(None),
         })
     }
 
@@ -267,6 +338,7 @@ impl UniformDatabase {
         Ok(UniformDatabase {
             db: Database::parse(src)?,
             options: UniformOptions::default(),
+            analyzed: Mutex::new(None),
         })
     }
 
@@ -323,6 +395,36 @@ impl UniformDatabase {
     /// The underlying database (read-only).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The static analysis of the registered program (see
+    /// [`uniform_analyze`]): lints with stable `UAxxxx` codes,
+    /// per-constraint predicate closures, the dependency graph and
+    /// read-pattern templates, plus the lazy UA03xx satisfiability
+    /// classification. Cached keyed by `(rule_rev, constraint_rev)` —
+    /// repeated calls between schema changes are free. Declared
+    /// relations are sampled when the entry is built, so fact-dependent
+    /// lints (UA0101 against relations, UA0201) reflect the relations
+    /// existing at that moment; the closure/template/satisfiability
+    /// artifacts depend only on the schema and are always exact.
+    pub fn analyze(&self) -> Arc<AnalyzedProgram> {
+        let key = (self.db.rule_rev(), self.db.constraint_rev());
+        let mut cached = self.analyzed.lock();
+        if let Some((k, analyzed)) = cached.as_ref() {
+            if *k == key {
+                return analyzed.clone();
+            }
+        }
+        let analyzed = Arc::new(
+            Analyzer::of_database(&self.db)
+                .with_options(AnalyzeOptions {
+                    sat: self.options.sat.clone(),
+                    ..AnalyzeOptions::default()
+                })
+                .analyze(),
+        );
+        *cached = Some((key, analyzed.clone()));
+        analyzed
     }
 
     /// Tear down the façade into its parts (used by
@@ -501,7 +603,10 @@ impl UniformDatabase {
 
     /// Add a constraint, guarded twice: first the schema-level
     /// satisfiability check (§4 — incompatible constraints are rejected
-    /// no matter what the facts say), then the current-state check. When
+    /// no matter what the facts say, through the static analyzer's gate
+    /// mode: a proven-impossible set is refused with the typed
+    /// [`AnalyzeError`] and its UA0301 diagnostic), then the
+    /// current-state check. When
     /// the current state violates the new constraint, the error carries
     /// the smallest minimal repair of the would-be state, computed by
     /// the [`RepairEngine`] — the same engine behind
@@ -513,10 +618,9 @@ impl UniformDatabase {
         let constraint = Constraint::new(name, rq);
 
         if !self.options.skip_satisfiability {
-            let report = self.satisfiability_with(Some(&constraint));
-            if !report.outcome.is_satisfiable() {
-                return Err(UniformError::Unsatisfiable(Box::new(report)));
-            }
+            let mut candidate = self.db.constraints().to_vec();
+            candidate.push(constraint.clone());
+            refuse_unsatisfiable_candidate(self.db.rules(), candidate, &self.options.sat)?;
         }
 
         if !self.db.satisfies(&constraint.rq) {
@@ -712,7 +816,17 @@ mod tests {
         let err = db
             .try_add_constraint("nobody", "forall X, Y: leads(X, Y) -> false")
             .unwrap_err();
-        assert!(matches!(err, UniformError::Unsatisfiable(_)), "{err}");
+        // A *proven* impossible set is the analyzer's typed refusal,
+        // with the stable UA0301 code — not the CurrentlyViolated (=
+        // repairable) shape, and not the legacy Unsatisfiable (which
+        // now only carries budget-exhausted searches).
+        let UniformError::Analyze(e) = err else {
+            panic!("expected analyzer refusal");
+        };
+        assert!(e
+            .diagnostics
+            .iter()
+            .any(|d| d.code == uniform_analyze::Code::UnsatisfiableSet));
     }
 
     #[test]

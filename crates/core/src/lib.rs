@@ -51,6 +51,7 @@ pub use query::{
 };
 
 // Re-export the full stack for advanced use.
+pub use uniform_analyze as analyze;
 pub use uniform_datalog as datalog;
 pub use uniform_integrity as integrity;
 pub use uniform_logic as logic;
@@ -64,6 +65,10 @@ pub use uniform_satisfiability as satisfiability;
 // benchmarks need only the façade crate.
 pub use uniform_workload as workload;
 
+pub use uniform_analyze::{
+    AnalyzeError, AnalyzeOptions, AnalyzedProgram, Analyzer, Code as AnalyzeCode, Diagnostic,
+    SatAnalysis, SatClass, Severity,
+};
 pub use uniform_datalog::{
     ApplyError, CommitError, CommitQueue, CommitReceipt, ConflictGranularity, ConflictStats,
     Database, FactSet, MaintenanceCounters, Model, ModelPath, ReadPattern, Snapshot, Transaction,

@@ -971,9 +971,21 @@ impl Session {
         for lit in literals {
             closure.extend(graph.reachable(lit.atom.pred));
         }
-        for c in self.snapshot.constraints() {
-            for occ in c.rq.literals() {
-                closure.extend(graph.reachable(occ.literal.atom.pred));
+        // The constraint part is a pure function of the schema: sessions
+        // over a `ConcurrentDatabase` take it precomputed from the shared
+        // static analysis instead of re-walking the dependency graph per
+        // install (`tests/prop_analyze.rs` holds the two bit-identical).
+        match &self.shared {
+            Some(shared) => {
+                let analyzed = shared.analyzed_for_snapshot(&self.snapshot);
+                closure.extend(analyzed.closure_union().iter().copied());
+            }
+            None => {
+                for c in self.snapshot.constraints() {
+                    for occ in c.rq.literals() {
+                        closure.extend(graph.reachable(occ.literal.atom.pred));
+                    }
+                }
             }
         }
         closure.into_iter().collect()
@@ -1093,11 +1105,21 @@ impl Session {
         let report = engine
             .repairs_covering_all_minimal()
             .map_err(QueryError::Budget)?;
-        // Computed before the repairs move: the closure this entry may
-        // be carried forward under (see `RepairEngine::report_closure`).
-        let closure = engine.report_closure(&report);
         let repairs = Arc::new(report.repairs);
         if let (Some(shared), Some(key)) = (&self.shared, key) {
+            // The closure this entry may be carried forward under: the
+            // static (constraint) part comes precomputed from the shared
+            // analysis, the repair-op predicates are per-report — together
+            // exactly `RepairEngine::report_closure`, without re-walking
+            // the dependency graph per state.
+            let analyzed = shared.analyzed_for_snapshot(&self.snapshot);
+            let mut closure: BTreeSet<Sym> = analyzed.closure_union().iter().copied().collect();
+            for repair in repairs.iter() {
+                for op in repair.ops() {
+                    closure.insert(op.fact.pred);
+                }
+            }
+            let closure: Vec<Sym> = closure.into_iter().collect();
             shared
                 .certain()
                 .install_repairs(key, repairs.clone(), &closure);

@@ -89,9 +89,11 @@ impl DepGraph {
             }
         }
 
-        // Reject negative edges within an SCC.
-        for (&head, deps) in &edges {
-            for dep in deps {
+        // Reject negative edges within an SCC. `nodes` is in rule order,
+        // so the reported offender is the first one written, not whatever
+        // the edge map happens to yield first.
+        for &head in &nodes {
+            for dep in edges.get(&head).map(Vec::as_slice).unwrap_or_default() {
                 if dep.negative && scc_of[&head] == scc_of[&dep.on] {
                     return Err(StratificationError {
                         head,

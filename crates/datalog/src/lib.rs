@@ -45,6 +45,7 @@ pub mod memo;
 pub mod model;
 pub mod pagemap;
 pub mod par;
+pub mod patterns;
 pub mod planner;
 pub mod program;
 pub mod provenance;
@@ -66,6 +67,7 @@ pub use magic::{
 pub use maintain::{MaintainStats, MaintainedModel};
 pub use memo::StripedMemo;
 pub use model::Model;
+pub use patterns::{PatternSpecializer, PatternTemplates, MAX_PATTERNS_PER_PRED};
 pub use planner::{optimize_rq, Cardinality, ConjunctionPlan, FixedStats, PlanReport, Planner};
 pub use program::{BodyOccurrence, RuleSet};
 pub use provenance::{Derivation, Provenance};

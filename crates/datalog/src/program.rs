@@ -9,7 +9,9 @@
 //!   potential-update (Def. 5) computations walk this index.
 
 use crate::depgraph::{DepGraph, StratificationError};
+use crate::patterns::PatternTemplates;
 use std::collections::HashMap;
+use std::sync::Arc;
 use uniform_logic::{Literal, Rule, Sym};
 
 /// One `directly_dependent` entry: the body literal `L'` at `position` of
@@ -30,6 +32,10 @@ pub struct RuleSet {
     /// (body predicate, body-literal positivity) → occurrences.
     by_body: HashMap<(Sym, bool), Vec<BodyOccurrence>>,
     graph: DepGraph,
+    /// Precompiled read-pattern templates (see [`crate::patterns`]):
+    /// built once here, shared by every clone, specialized per check
+    /// instead of re-walking `rules` on every commit.
+    templates: Arc<PatternTemplates>,
 }
 
 impl RuleSet {
@@ -49,11 +55,13 @@ impl RuleSet {
                     });
             }
         }
+        let templates = Arc::new(PatternTemplates::build(&rules));
         Ok(RuleSet {
             rules,
             by_head,
             by_body,
             graph,
+            templates,
         })
     }
 
@@ -75,6 +83,11 @@ impl RuleSet {
 
     pub fn graph(&self) -> &DepGraph {
         &self.graph
+    }
+
+    /// The precompiled read-pattern templates of this rule set.
+    pub fn templates(&self) -> &Arc<PatternTemplates> {
+        &self.templates
     }
 
     /// Rules whose head predicate is `pred`.

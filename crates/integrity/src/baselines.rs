@@ -232,7 +232,12 @@ pub fn lloyd_topor_check(db: &Database, tx: &Transaction) -> CheckReport {
 
     let mut violations = Vec::new();
     let mut verdict_cache: HashMap<Rq, bool> = HashMap::new();
-    for members in groups.values() {
+    // Trigger-key order, so the violation list (user-visible through the
+    // report) never depends on the group map's iteration order.
+    let mut keyed: Vec<(&String, &Vec<&crate::checker::UpdateConstraint>)> =
+        groups.iter().collect();
+    keyed.sort_by(|a, b| a.0.cmp(b.0));
+    for (_, members) in keyed {
         let representative = &members[0].trigger;
         let answers = enumerate_new_answers(&updated, current.as_ref(), representative);
         stats.delta.answers += answers.len();

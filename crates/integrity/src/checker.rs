@@ -26,7 +26,7 @@ use uniform_datalog::{
     par::par_map, satisfies_closed, Database, FactSet, Interp, Model, OverlayEngine, ReadPattern,
     RuleSet, Snapshot, Transaction, Update,
 };
-use uniform_logic::{match_atom, Atom, Constraint, Literal, Rq, Sym, Term};
+use uniform_logic::{match_atom, Constraint, Literal, Rq, Sym};
 
 /// Options controlling the evaluation phase (ablation switches for the
 /// experiments).
@@ -173,129 +173,6 @@ fn reads_of(patterns: &[ReadPattern]) -> Vec<Sym> {
     reads
 }
 
-/// Distinct binding patterns one predicate may accumulate during the
-/// read-pattern closure before its entry widens to a single unbounded
-/// pattern (mirrors the commit pipeline's per-relation key cap).
-const MAX_PATTERNS_PER_PRED: usize = 64;
-
-/// Worklist closure over binding patterns: propagates pattern constants
-/// through rule heads into rule bodies, skipping rules whose head
-/// constants contradict the pattern (sound — such rules cannot derive
-/// any tuple the pattern covers). Widening to an all-unbound pattern
-/// (on overflow, or when a pattern arrives with no bound position) is
-/// monotonic: the unbounded pattern subsumes every bounded one and
-/// still participates in the closure.
-#[derive(Default)]
-struct PatternClosure {
-    seen: BTreeSet<(Sym, Vec<Option<Sym>>)>,
-    counts: HashMap<Sym, usize>,
-    widened: BTreeSet<Sym>,
-    frontier: Vec<(Sym, Vec<Option<Sym>>)>,
-}
-
-impl PatternClosure {
-    fn add(&mut self, pred: Sym, args: Vec<Option<Sym>>) {
-        if self.widened.contains(&pred) {
-            return;
-        }
-        if args.iter().all(|a| a.is_none()) {
-            self.widen(pred, args.len());
-            return;
-        }
-        if !self.seen.insert((pred, args.clone())) {
-            return;
-        }
-        let count = self.counts.entry(pred).or_insert(0);
-        *count += 1;
-        if *count > MAX_PATTERNS_PER_PRED {
-            self.widen(pred, args.len());
-            return;
-        }
-        self.frontier.push((pred, args));
-    }
-
-    fn widen(&mut self, pred: Sym, arity: usize) {
-        self.widened.insert(pred);
-        self.seen.retain(|(p, _)| *p != pred);
-        let whole = vec![None; arity];
-        self.seen.insert((pred, whole.clone()));
-        self.frontier.push((pred, whole));
-    }
-
-    fn add_atom(&mut self, atom: &Atom) {
-        self.add(atom.pred, atom.args.iter().map(|t| t.as_const()).collect());
-    }
-
-    /// Close the collected patterns through rule bodies and return them
-    /// sorted by predicate name, then argument names (a stable,
-    /// interning-order-free order for reporting).
-    fn close(mut self, rules: &RuleSet) -> Vec<ReadPattern> {
-        while let Some((pred, args)) = self.frontier.pop() {
-            for (_, rule) in rules.rules_for(pred) {
-                // Unify the pattern's constants against the rule head:
-                // a head constant that disagrees rules the rule out; a
-                // head variable at a bound position picks up a binding.
-                let mut binding: HashMap<Sym, Sym> = HashMap::new();
-                let mut applicable = true;
-                for (i, term) in rule.head.args.iter().enumerate() {
-                    let Some(c) = args.get(i).copied().flatten() else {
-                        continue;
-                    };
-                    match term {
-                        Term::Const(h) => {
-                            if *h != c {
-                                applicable = false;
-                                break;
-                            }
-                        }
-                        Term::Var(v) => {
-                            if let Some(prev) = binding.insert(*v, c) {
-                                if prev != c {
-                                    applicable = false;
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }
-                if !applicable {
-                    continue;
-                }
-                for l in &rule.body {
-                    let child: Vec<Option<Sym>> = l
-                        .atom
-                        .args
-                        .iter()
-                        .map(|t| match t {
-                            Term::Const(c) => Some(*c),
-                            Term::Var(v) => binding.get(v).copied(),
-                        })
-                        .collect();
-                    self.add(l.atom.pred, child);
-                }
-            }
-        }
-        let mut patterns: Vec<ReadPattern> = self
-            .seen
-            .into_iter()
-            .map(|(pred, args)| ReadPattern { pred, args })
-            .collect();
-        patterns.sort_by(|a, b| {
-            let key = |p: &ReadPattern| {
-                (
-                    p.pred.as_str(),
-                    p.args
-                        .iter()
-                        .map(|a| a.map(|c| c.as_str()))
-                        .collect::<Vec<_>>(),
-                )
-            };
-            key(a).cmp(&key(b))
-        });
-        patterns
-    }
-}
-
 /// The state a checker evaluates against: a live [`Database`] or a
 /// pinned [`Snapshot`]. Both expose the same four components; the only
 /// behavioral difference is where the canonical model comes from (the
@@ -425,7 +302,7 @@ impl<'a> Checker<'a> {
     /// conflict detection, deterministic, and computable without fact
     /// access.
     fn read_patterns(&self, compiled: &CompiledCheck, tx: &Transaction) -> Vec<ReadPattern> {
-        let mut closure = PatternClosure::default();
+        let mut closure = self.rules().templates().specializer();
         for u in &tx.updates {
             closure.add(u.fact.pred, u.fact.args.iter().map(|&c| Some(c)).collect());
         }
@@ -435,7 +312,7 @@ impl<'a> Checker<'a> {
                 closure.add_atom(&occ.literal.atom);
             }
         }
-        closure.close(self.rules())
+        closure.close()
     }
 
     /// Phase 2: evaluate a compiled check against the database and the

@@ -37,7 +37,8 @@ pub use error::{LogicError, NormalizeError, ParseError, RuleError};
 pub use formula::{Constraint, Formula, Rq, RqLiteral, RqPath, RqStep};
 pub use normalize::{normalize, normalize_open, rq_to_formula};
 pub use parser::{
-    parse_fact, parse_formula, parse_literal, parse_program, parse_query, parse_rule, ProgramSource,
+    parse_fact, parse_formula, parse_literal, parse_program, parse_query, parse_rule,
+    ProgramSource, Span,
 };
 pub use rule::Rule;
 pub use subst::Subst;

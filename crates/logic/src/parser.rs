@@ -27,6 +27,7 @@ use crate::formula::Formula;
 use crate::rule::Rule;
 use crate::symbol::Sym;
 use crate::term::{Atom, Fact, Literal, Term};
+use std::fmt;
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
@@ -216,6 +217,22 @@ impl<'a> Lexer<'a> {
     }
 }
 
+/// A source position (1-based line and column). The parser attaches one
+/// to every top-level item of a program so later passes — most notably
+/// the static analyzer in `uniform-analyze` — can point diagnostics at
+/// the offending text instead of merely naming the item.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    pub line: usize,
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
@@ -254,6 +271,15 @@ impl Parser {
             line: s.line,
             col: s.col,
             message: message.into(),
+        }
+    }
+
+    /// Position of the token about to be consumed.
+    fn span(&self) -> Span {
+        let s = &self.toks[self.pos];
+        Span {
+            line: s.line,
+            col: s.col,
         }
     }
 
@@ -470,12 +496,31 @@ impl Parser {
 }
 
 /// A parsed source program: facts, rules, and (optionally named, not yet
-/// normalized) constraints.
+/// normalized) constraints. The three `*_spans` vectors run parallel to
+/// their item vectors (`fact_spans[i]` is the source position of
+/// `facts[i]`, and so on); they are empty for programmatically built
+/// sources, so every consumer must treat a missing span as "unknown".
 #[derive(Clone, Debug, Default)]
 pub struct ProgramSource {
     pub facts: Vec<Fact>,
     pub rules: Vec<Rule>,
     pub constraints: Vec<(Option<String>, Formula)>,
+    pub fact_spans: Vec<Span>,
+    pub rule_spans: Vec<Span>,
+    pub constraint_spans: Vec<Span>,
+}
+
+impl ProgramSource {
+    /// Span of the `i`-th rule, when the source was parsed from text.
+    pub fn rule_span(&self, i: usize) -> Option<Span> {
+        self.rule_spans.get(i).copied()
+    }
+
+    /// Span of the `i`-th constraint, when the source was parsed from
+    /// text.
+    pub fn constraint_span(&self, i: usize) -> Option<Span> {
+        self.constraint_spans.get(i).copied()
+    }
 }
 
 /// Parse a formula from text.
@@ -556,6 +601,7 @@ pub fn parse_program(src: &str) -> Result<ProgramSource, ParseError> {
     let mut p = Parser::new(src)?;
     let mut out = ProgramSource::default();
     while !p.at_eof() {
+        let span = p.span();
         if p.peek_ident() == Some("constraint") {
             p.bump();
             let name = if let Some(id) = p.peek_ident() {
@@ -569,6 +615,7 @@ pub fn parse_program(src: &str) -> Result<ProgramSource, ParseError> {
             let f = p.formula()?;
             p.expect(Tok::Dot, "`.` after constraint")?;
             out.constraints.push((name, f));
+            out.constraint_spans.push(span);
             continue;
         }
         let head = p.atom()?;
@@ -578,6 +625,7 @@ pub fn parse_program(src: &str) -> Result<ProgramSource, ParseError> {
                 let rule = p.rule_tail(head)?;
                 p.expect(Tok::Dot, "`.` after rule")?;
                 out.rules.push(rule);
+                out.rule_spans.push(span);
             }
             Tok::Dot => {
                 p.bump();
@@ -585,6 +633,7 @@ pub fn parse_program(src: &str) -> Result<ProgramSource, ParseError> {
                     Some(f) => out.facts.push(f),
                     None => return Err(p.error(format!("fact `{head}` must be ground"))),
                 }
+                out.fact_spans.push(span);
             }
             other => {
                 return Err(p.error(format!("expected `.` or `:-`, found {other:?}")));
@@ -705,6 +754,22 @@ mod tests {
     #[test]
     fn unsafe_rule_rejected_at_parse() {
         assert!(parse_rule("r(X, Z) :- q(X).").is_err());
+    }
+
+    #[test]
+    fn program_items_carry_spans() {
+        let prog = parse_program("p(a).\n q(X) :- p(X).\n\n constraint c: exists X: q(X).\n r(b).")
+            .unwrap();
+        assert_eq!(prog.fact_spans.len(), prog.facts.len());
+        assert_eq!(prog.rule_spans.len(), prog.rules.len());
+        assert_eq!(prog.constraint_spans.len(), prog.constraints.len());
+        assert_eq!(prog.fact_spans[0], Span { line: 1, col: 1 });
+        assert_eq!(prog.rule_span(0), Some(Span { line: 2, col: 2 }));
+        assert_eq!(prog.constraint_span(0), Some(Span { line: 4, col: 2 }));
+        assert_eq!(prog.fact_spans[1], Span { line: 5, col: 2 });
+        // Programmatic sources have no spans; accessors degrade to None.
+        let empty = ProgramSource::default();
+        assert_eq!(empty.rule_span(0), None);
     }
 
     #[test]

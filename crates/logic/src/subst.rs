@@ -110,9 +110,13 @@ impl Subst {
         out
     }
 
-    /// Variables bound by this substitution.
+    /// Variables bound by this substitution, in name order — callers
+    /// render and compare domains, so the backing map's iteration order
+    /// must not leak.
     pub fn domain(&self) -> impl Iterator<Item = Sym> + '_ {
-        self.map.keys().copied()
+        let mut vars: Vec<Sym> = self.map.keys().copied().collect();
+        vars.sort_by_key(|v| v.as_str());
+        vars.into_iter()
     }
 
     /// Merge `other` into `self`; bindings must agree on shared variables.

@@ -79,8 +79,9 @@ fn main() {
         .expect("satisfied: sales exists");
     let nobody = "forall X, Y: leads(X, Y) -> false";
     match db.try_add_constraint("nobody_leads", nobody) {
-        Err(UniformError::Unsatisfiable(_)) => {
-            println!("add nobody_leads: `{nobody}`\n  -> rejected: unsatisfiable with `led` + `some_dept`; no repair can exist\n")
+        Err(UniformError::Analyze(e)) => {
+            println!("add nobody_leads: `{nobody}`\n  -> rejected [{}]: unsatisfiable with `led` + `some_dept`; no repair can exist\n",
+                e.primary().map(|d| d.code.as_str()).unwrap_or("?"))
         }
         other => println!("unexpected: {other:?}\n"),
     }
@@ -102,7 +103,7 @@ fn main() {
     db.try_add_constraint("no_self_sub", "forall X: subordinate(X, X) -> false")
         .expect("satisfiable and satisfied");
     match db.try_add_rule("subordinate(X, X) :- employee(X).") {
-        Err(UniformError::Unsatisfiable(_)) => println!(
+        Err(UniformError::Analyze(_)) => println!(
             "add rule subordinate -> rejected by the satisfiability guard: every model of \
              `some_dept` + `led` contains a leading employee, whom the rule would make their \
              own subordinate — no database state could satisfy the schema"

@@ -404,6 +404,36 @@ fn observation_log() -> String {
     let report = SatChecker::from_database(&schema).check();
     let _ = writeln!(log, "sat {:?}", report.outcome);
 
+    // 8. The static analyzer: diagnostics, per-constraint closures and
+    //    the satisfiability classification over two workload schemas —
+    //    all rendered through predicate *names* (closures are kept in
+    //    `Sym` order internally, which is interning order and must
+    //    never reach a digest).
+    for (name, adb) in [
+        ("org", workload::org(2, 1, 13)),
+        ("violation", workload::violation_state(3, 13)),
+    ] {
+        let analyzed = uniform::Analyzer::of_database(&adb).analyze();
+        for d in analyzed.diagnostics() {
+            let _ = writeln!(log, "analyze {name} diag {d}");
+        }
+        for (i, c) in adb.constraints().iter().enumerate() {
+            let mut preds: Vec<&str> = analyzed.closure_of(i).iter().map(|p| p.as_str()).collect();
+            preds.sort_unstable();
+            let _ = writeln!(log, "analyze {name} closure {} {preds:?}", c.name);
+        }
+        let schema: Vec<&str> = analyzed
+            .schema_predicates()
+            .iter()
+            .map(|p| p.as_str())
+            .collect();
+        let _ = writeln!(
+            log,
+            "analyze {name} schema {schema:?} set {}",
+            analyzed.set_class()
+        );
+    }
+
     log
 }
 

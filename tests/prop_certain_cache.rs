@@ -78,6 +78,27 @@ fn fresh_certainly_satisfies(db: &Database, src: &str) -> Result<bool, ()> {
 /// Compare every query, twice each (install path, then row-hit path),
 /// against the fresh enumeration of the same state.
 fn check_state(cdb: &ConcurrentDatabase, ctx: &str) {
+    // The cache install paths serve the constraint closure from the
+    // shared `AnalyzedProgram` (keyed on schema revisions) instead of
+    // re-walking the dependency graph per state; the served closure
+    // must equal the per-state recompute, including right after the
+    // schedule's constraint-only schema swaps.
+    let static_closure = cdb.analyze().closure_union().to_vec();
+    let fresh_closure: Vec<Sym> = cdb.with_database(|d| {
+        let graph = d.rules().graph();
+        let mut set: std::collections::BTreeSet<Sym> = std::collections::BTreeSet::new();
+        for c in d.constraints() {
+            for occ in c.rq.literals() {
+                set.extend(graph.reachable(occ.literal.atom.pred));
+            }
+        }
+        set.into_iter().collect()
+    });
+    assert_eq!(
+        static_closure, fresh_closure,
+        "analyzed closure must equal the per-state recompute on {ctx}"
+    );
+
     let session = cdb.session();
     for src in QUERIES {
         let q = cdb.prepare(src).expect("query prepares");

@@ -195,6 +195,8 @@ fn span_ring_is_well_formed() {
         "commit.invalidate",
         "query.execute",
         "repair.run",
+        "analyze.run",
+        "analyze.classify",
     ];
     for name in &names {
         assert!(known.contains(name), "undocumented span name {name}");
